@@ -1,0 +1,48 @@
+//! MX pattern matching, RFC 6125 host matching, and the bounded
+//! Levenshtein used for typo classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtasts::{classify_mismatch, MxPattern};
+use netbase::{levenshtein, levenshtein_within, DomainName};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let n = |s: &str| s.parse::<DomainName>().unwrap();
+    let host = n("alt1.aspmx.l.google.com");
+    let wildcard = MxPattern::parse("*.aspmx.l.google.com").unwrap();
+    let exact = MxPattern::parse("alt1.aspmx.l.google.com").unwrap();
+    c.bench_function("match/pattern-exact", |b| {
+        b.iter(|| black_box(&exact).matches(black_box(&host)))
+    });
+    c.bench_function("match/pattern-wildcard", |b| {
+        b.iter(|| black_box(&wildcard).matches(black_box(&host)))
+    });
+
+    let cert_host = n("mta-sts.example.com");
+    let identifier = n("*.example.com");
+    c.bench_function("match/rfc6125", |b| {
+        b.iter(|| pkix::validate::host_matches_identifier(black_box(&cert_host), black_box(&identifier)))
+    });
+
+    let a = "mail.exampleprovider.com";
+    let b2 = "mial.exampleprovider.com";
+    c.bench_function("match/levenshtein", |b| {
+        b.iter(|| levenshtein(black_box(a), black_box(b2)))
+    });
+    c.bench_function("match/levenshtein-bounded", |b| {
+        b.iter(|| levenshtein_within(black_box(a), black_box(b2), 3))
+    });
+
+    let mx_hosts = vec![n("mx1.example.com"), n("mx2.example.com")];
+    let mismatched = MxPattern::parse("mta-sts.example.com").unwrap();
+    c.bench_function("match/classify-mismatch", |b| {
+        b.iter(|| classify_mismatch(black_box(&mismatched), black_box(&mx_hosts)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Parsing throughput: MTA-STS records, policy documents, TLSRPT records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let record = "v=STSv1; id=20240131000000;";
+    c.bench_function("parse/sts-record", |b| {
+        b.iter(|| mtasts::parse_record(black_box(record)).unwrap())
+    });
+
+    let record_set: Vec<String> = vec![
+        "v=spf1 include:_spf.example.com -all".into(),
+        "google-site-verification=abcdefghij".into(),
+        "v=STSv1; id=20240131000000;".into(),
+    ];
+    c.bench_function("parse/record-set", |b| {
+        b.iter(|| mtasts::evaluate_record_set(black_box(&record_set)).unwrap())
+    });
+
+    let policy = "version: STSv1\r\nmode: enforce\r\nmx: mx1.example.com\r\nmx: mx2.example.com\r\nmx: *.backup.example.net\r\nmax_age: 604800\r\n";
+    c.bench_function("parse/policy", |b| {
+        b.iter(|| mtasts::parse_policy(black_box(policy)).unwrap())
+    });
+
+    let tlsrpt = "v=TLSRPTv1; rua=mailto:tls@example.com,https://collector.example.com/v1";
+    c.bench_function("parse/tlsrpt", |b| {
+        b.iter(|| mtasts::parse_tlsrpt(black_box(tlsrpt)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_parse
+}
+criterion_main!(benches);

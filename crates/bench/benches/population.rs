@@ -1,0 +1,27 @@
+//! Ecosystem generation scaling: spec generation and world
+//! materialization at several scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecosystem::{Ecosystem, EcosystemConfig, SnapshotDetail};
+use netbase::SimDate;
+use std::hint::black_box;
+
+fn bench_population(c: &mut Criterion) {
+    for scale in [0.005, 0.02] {
+        c.bench_function(&format!("population/generate-scale-{scale}"), |b| {
+            b.iter(|| Ecosystem::generate(black_box(EcosystemConfig::paper(42, scale))))
+        });
+    }
+    let eco = Ecosystem::generate(EcosystemConfig::paper(42, 0.02));
+    let date = SimDate::ymd(2024, 9, 29);
+    c.bench_function("population/world-full-scale-0.02", |b| {
+        b.iter(|| eco.world_at(black_box(date), SnapshotDetail::Full))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_population
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! DNS wire codec throughput, with the compression ablation from
+//! DESIGN.md (name compression on vs off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns::types::{Message, Question, Rcode, Record, RecordData, RecordType};
+use netbase::DomainName;
+use std::hint::black_box;
+
+fn sample_message() -> Message {
+    let n = |s: &str| s.parse::<DomainName>().unwrap();
+    let q = Message::query(7, Question::new(n("example.com"), RecordType::Mx));
+    let mut m = Message::response_to(&q, Rcode::NoError);
+    for i in 0..4 {
+        m.answers.push(Record::new(
+            n("example.com"),
+            3600,
+            RecordData::Mx {
+                preference: 10 * (i + 1),
+                exchange: n(&format!("mx{i}.mail.example.com")),
+            },
+        ));
+    }
+    for i in 0..4 {
+        m.additionals.push(Record::new(
+            n(&format!("mx{i}.mail.example.com")),
+            3600,
+            RecordData::A(format!("192.0.2.{}", i + 1).parse().unwrap()),
+        ));
+    }
+    m
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = sample_message();
+    let compressed = dns::wire::encode_with(&msg, true);
+    let plain = dns::wire::encode_with(&msg, false);
+    eprintln!(
+        "# message size: {} bytes compressed vs {} uncompressed",
+        compressed.len(),
+        plain.len()
+    );
+    c.bench_function("wire/encode-compressed", |b| {
+        b.iter(|| dns::wire::encode_with(black_box(&msg), true))
+    });
+    c.bench_function("wire/encode-plain", |b| {
+        b.iter(|| dns::wire::encode_with(black_box(&msg), false))
+    });
+    c.bench_function("wire/decode", |b| {
+        b.iter(|| dns::wire::decode(black_box(&compressed)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_wire
+}
+criterion_main!(benches);

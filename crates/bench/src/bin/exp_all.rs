@@ -1,0 +1,116 @@
+//! Runs the complete longitudinal study once and prints a compact summary
+//! of every table and figure — the one-shot reproduction driver used to
+//! fill EXPERIMENTS.md.
+
+use scanner::analysis::*;
+use scanner::classify::EntityClass;
+use scanner::notify::run_campaign;
+use scanner::taxonomy::MisconfigCategory;
+
+fn main() {
+    let (study, run) = mtasts_bench::full_study();
+    let scale = study.eco.config.scale;
+    println!("== Table 1 ==");
+    for r in table1(&run, scale) {
+        println!(
+            "{}: {} MX domains, {} MTA-STS ({:.3}%)",
+            r.tld, r.mx_domains, r.mtasts_domains, r.percent
+        );
+    }
+    println!("\n== Figure 2 (first/last) ==");
+    let f2 = fig2_series(&run, scale);
+    for (d, m) in [f2.first().unwrap(), f2.last().unwrap()] {
+        println!("{d}: {m:?}");
+    }
+    println!("\n== Figure 3 ==");
+    let bins = fig3_bins(&study.eco, study.eco.config.end);
+    let top: f64 = bins[..10].iter().map(|(_, p)| p).sum::<f64>() / 10.0;
+    let bottom: f64 = bins[90..].iter().map(|(_, p)| p).sum::<f64>() / 10.0;
+    println!("top-100k {top:.2}%  bottom-100k {bottom:.2}%  (paper 1.2% / 0.4%)");
+    println!("\n== Figure 4 (latest) ==");
+    let f4 = fig4_series(&run);
+    let l4 = f4.last().unwrap();
+    println!(
+        "{}: {}/{} misconfigured ({:.1}%), categories {:?}",
+        l4.date,
+        l4.misconfigured,
+        l4.total,
+        100.0 * l4.misconfigured as f64 / l4.total as f64,
+        MisconfigCategory::ALL
+            .iter()
+            .map(|c| format!("{}={:.1}%", c.label(), l4.category_pct[c]))
+            .collect::<Vec<_>>()
+    );
+    println!("\n== Figure 5 (latest) ==");
+    for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
+        let s = fig5_series(&run, class);
+        let l = s.last().unwrap();
+        println!(
+            "{}: {}/{} faulty ({:.1}%)",
+            class.label(),
+            l.faulty,
+            l.class_total,
+            100.0 * l.faulty as f64 / l.class_total.max(1) as f64
+        );
+    }
+    println!("\n== Figure 6 (latest) ==");
+    for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
+        let s = fig6_series(&run, class);
+        let l = s.last().unwrap();
+        println!(
+            "{}: {}/{} invalid ({:.1}%)",
+            class.label(),
+            l.invalid,
+            l.class_total,
+            100.0 * l.invalid as f64 / l.class_total.max(1) as f64
+        );
+    }
+    println!("\n== Figure 7 (latest) ==");
+    let f7 = fig7_series(&run);
+    let l7 = f7.last().unwrap();
+    println!(
+        "all-invalid {} ({:.1}%), partial {}, enforce-at-risk {}",
+        l7.all_invalid,
+        100.0 * l7.all_invalid as f64 / l7.total as f64,
+        l7.partially_invalid,
+        l7.enforce_at_risk
+    );
+    println!("\n== Figure 8 (latest) ==");
+    let f8 = fig8_series(&run);
+    let l8 = f8.last().unwrap();
+    println!(
+        "{:?}, stray-label {}, enforce-failures {}",
+        l8.kind_counts, l8.stray_mta_sts_label, l8.enforce_failures
+    );
+    println!("\n== Figure 9 ==");
+    for (d, p) in fig9_series(&run) {
+        println!("{d}: {p:.1}%");
+    }
+    println!("\n== Figure 10 (latest) ==");
+    let f10 = fig10_series(&run);
+    let l10 = f10.last().unwrap();
+    println!(
+        "same-provider {}/{}; different {}/{}",
+        l10.same_inconsistent, l10.same_total, l10.diff_inconsistent, l10.diff_total
+    );
+    println!("\n== Table 2 ==");
+    for r in table2_rows(run.latest(), 8) {
+        println!("{}: {} domains (e.g. {})", r.provider, r.domains, r.example_target);
+    }
+    println!("\n== Figure 12 ==");
+    let f12 = fig12_mtasts_series(&run);
+    println!(
+        "TLSRPT among MTA-STS domains: {:.1}% -> {:.1}%",
+        f12.first().unwrap().1,
+        f12.last().unwrap().1
+    );
+    println!("\n== Notification campaign ==");
+    let campaign = run_campaign(run.latest(), study.eco.config.seed);
+    println!(
+        "notified {}, bounced {}, remediated {} ({:.1}%)",
+        campaign.notified,
+        campaign.bounced,
+        campaign.remediated,
+        100.0 * campaign.remediation_share()
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 11: survey demographics — accounts managed per respondent,
+//! with the MTA-STS deployment overlay. Paper: 92 respondents, from 22
+//! managing fewer than 10 accounts to 36 managing more than 500.
+
+use report::Table;
+use survey::{compute, synthesize};
+
+fn main() {
+    let stats = compute(&synthesize(42));
+    let mut table = Table::new(&["accounts", "respondents", "deployed MTA-STS"])
+        .with_title("Figure 11: respondents by managed email accounts");
+    for (bucket, total, deployed) in &stats.accounts_histogram {
+        table.row(vec![
+            bucket.label().to_string(),
+            total.to_string(),
+            deployed.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: 92 respondents answered; 22 under 10 accounts, 36 over 500");
+}

@@ -1,0 +1,35 @@
+//! Figure 4: % of MTA-STS domains with errors per category over the
+//! monthly scans. Paper latest: 29.6% misconfigured overall; policy
+//! retrieval dominates; the Porkbun wave lifts the tail from Aug 2024.
+
+use report::{AsciiChart, Table};
+use scanner::analysis::fig4_series;
+use scanner::taxonomy::MisconfigCategory;
+
+fn main() {
+    let (_, run) = mtasts_bench::full_scans_only();
+    let series = fig4_series(&run);
+    let mut chart = AsciiChart::new(
+        "Figure 4: misconfigured MTA-STS domains by category (% of domains)",
+        12,
+    );
+    for cat in MisconfigCategory::ALL {
+        chart.series(
+            cat.label(),
+            series.iter().map(|p| p.category_pct[&cat]).collect(),
+        );
+    }
+    println!("{}", chart.render());
+    let mut table = Table::new(&["date", "total", "misconfigured", "%"])
+        .with_title("per-scan totals");
+    for p in &series {
+        table.row(vec![
+            p.date.to_string(),
+            p.total.to_string(),
+            p.misconfigured.to_string(),
+            mtasts_bench::pct(100.0 * p.misconfigured as f64 / p.total.max(1) as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper latest: 20,144 of 68,030 (29.6%) misconfigured");
+}

@@ -1,0 +1,34 @@
+//! Figure 5: policy-server errors by layer and managing entity.
+//! Paper latest: 9,588 (37.8%) of self-managed and 1,393 (4.9%) of
+//! third-party policy servers misconfigured; TLS dominates; the June 8
+//! self-signed incident spikes the third-party series.
+
+use report::Table;
+use scanner::analysis::fig5_series;
+use scanner::classify::EntityClass;
+use scanner::taxonomy::PolicyLayer;
+
+fn main() {
+    let (_, run) = mtasts_bench::full_scans_only();
+    for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
+        let series = fig5_series(&run, class);
+        let mut table = Table::new(&["date", "domains", "faulty", "%", "DNS", "TCP", "TLS", "HTTP", "Syntax"])
+            .with_title(&format!("Figure 5 ({})", class.label()));
+        for p in &series {
+            table.row(vec![
+                p.date.to_string(),
+                p.class_total.to_string(),
+                p.faulty.to_string(),
+                mtasts_bench::pct(100.0 * p.faulty as f64 / p.class_total.max(1) as f64),
+                mtasts_bench::pct(p.layer_pct[&PolicyLayer::Dns]),
+                mtasts_bench::pct(p.layer_pct[&PolicyLayer::Tcp]),
+                mtasts_bench::pct(p.layer_pct[&PolicyLayer::Tls]),
+                mtasts_bench::pct(p.layer_pct[&PolicyLayer::Http]),
+                mtasts_bench::pct(p.layer_pct[&PolicyLayer::Syntax]),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("paper latest: self-managed 37.8% (TLS-heavy), third-party 4.9%;");
+    println!("June 8 2024: 1,385 domains hit by a provider's self-signed certs");
+}

@@ -1,0 +1,29 @@
+//! Figure 6: PKIX-invalid MX certificates by kind and managing entity.
+//! Paper latest: 1,046 (4.4%) self-managed vs 397 (1%) third-party; CN
+//! mismatch dominates; 270 self-hosted domains fixed it by the last scan.
+
+use report::Table;
+use scanner::analysis::fig6_series;
+use scanner::classify::EntityClass;
+
+fn main() {
+    let (_, run) = mtasts_bench::full_scans_only();
+    for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
+        let series = fig6_series(&run, class);
+        let mut table = Table::new(&["date", "domains", "invalid", "%", "CN mism.", "Self-signed", "Expired"])
+            .with_title(&format!("Figure 6 ({} MX hosts)", class.label()));
+        for p in &series {
+            table.row(vec![
+                p.date.to_string(),
+                p.class_total.to_string(),
+                p.invalid.to_string(),
+                mtasts_bench::pct(100.0 * p.invalid as f64 / p.class_total.max(1) as f64),
+                mtasts_bench::pct(p.kind_pct[&"CN mismatch"]),
+                mtasts_bench::pct(p.kind_pct[&"Self-signed"]),
+                mtasts_bench::pct(p.kind_pct[&"Expired"]),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("paper latest: self-managed 4.4%, third-party 1%; 270 CN fixes at the end");
+}

@@ -1,0 +1,41 @@
+//! §6.2: sender-side validation statistics from the deliverability-test
+//! platform. Paper: 94.6% TLS, 93.2% opportunistic, 1.3% PKIX-always,
+//! 19.6% MTA-STS validators, 29.8% DANE, 8.5% both, 2.6% preferring
+//! MTA-STS over DANE (the milter bug); top-10 operators: 60.7% of
+//! interactions.
+
+use report::Table;
+use sender::profile::calib;
+use sender::{analyze, Platform, SenderPopulation};
+
+fn main() {
+    let platform = Platform::new(netbase::SimDate::ymd(2024, 6, 1));
+    let pop = SenderPopulation::generate(42, calib::SENDER_DOMAINS);
+    eprintln!("# running {} senders x 5 receiver cases...", pop.len());
+    let records = platform.run_all(&pop.profiles);
+    let stats = analyze(&records);
+
+    let mut table = Table::new(&["metric", "measured", "paper"])
+        .with_title("Sender-side MTA-STS/DANE validation (§6.2)");
+    let n = stats.senders as f64;
+    let row = |t: &mut Table, name: &str, count: u64, paper: &str| {
+        t.row(vec![
+            name.to_string(),
+            format!("{count} ({:.1}%)", 100.0 * count as f64 / n),
+            paper.to_string(),
+        ]);
+    };
+    row(&mut table, "sender domains", stats.senders, "2,394");
+    row(&mut table, "TLS-capable", stats.tls_senders, "2,264 (94.6%)");
+    row(&mut table, "opportunistic TLS", stats.opportunistic, "2,232 (93.2%)");
+    row(&mut table, "PKIX always", stats.pkix_always, "31 (1.3%)");
+    row(&mut table, "validate MTA-STS", stats.mtasts_validators, "469 (19.6%)");
+    row(&mut table, "validate DANE", stats.dane_validators, "714 (29.8%)");
+    row(&mut table, "validate both", stats.both_validators, "203 (8.5%)");
+    row(&mut table, "prefer MTA-STS over DANE", stats.prefer_mtasts, "62 (2.6%)");
+    println!("{}", table.render());
+    println!(
+        "top-10 operator share of interactions: {:.1}% (paper: 60.7%)",
+        100.0 * stats.top10_share()
+    );
+}

@@ -1,0 +1,26 @@
+//! Table 1: dataset overview — domains with MX records and the share
+//! publishing MTA-STS records, per TLD, at the latest snapshot.
+//!
+//! Paper values (2024-09-29): .com 73,939,004 / 53,800 (0.07%);
+//! .net 6,248,969 / 6,183 (0.09%); .org 5,781,423 / 7,355 (0.13%);
+//! .se 822,449 / 692 (0.08%).
+
+use report::Table;
+use scanner::analysis::table1;
+
+fn main() {
+    let (study, run) = mtasts_bench::weekly_only();
+    let rows = table1(&run, study.eco.config.scale);
+    let mut table = Table::new(&["TLD", "MX domains (scaled)", "with MTA-STS", "percent"])
+        .with_title("Table 1: overview of the dataset (latest snapshot)");
+    for r in &rows {
+        table.row(vec![
+            r.tld.to_string(),
+            r.mx_domains.to_string(),
+            r.mtasts_domains.to_string(),
+            mtasts_bench::pct(r.percent),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: .com 0.07%  .net 0.09%  .org 0.13%  .se 0.08%");
+}

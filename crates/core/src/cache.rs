@@ -1,0 +1,285 @@
+//! The sender-side policy cache: trust-on-first-use with `max_age` expiry
+//! and `id`-triggered refresh (RFC 8461 §3.3, paper §2.4).
+//!
+//! Senders cache a fetched policy for up to `max_age` seconds. On each
+//! delivery they look up the `_mta-sts` record; when the record's `id`
+//! differs from the cached one they refetch over HTTPS. When the *record*
+//! lookup fails but a non-expired cached policy exists, the cached policy
+//! still applies — that property is what makes a DNS-blocking attacker
+//! unable to downgrade an already-seen domain (and what makes improper
+//! removal, §2.6, cause lingering delivery failures).
+
+use crate::policy::Policy;
+use netbase::{DomainName, Duration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A cached policy and its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedPolicy {
+    /// The policy document.
+    pub policy: Policy,
+    /// The record `id` in effect when the policy was fetched.
+    pub record_id: String,
+    /// When the policy was fetched.
+    pub fetched_at: SimInstant,
+}
+
+impl CachedPolicy {
+    /// When this entry expires (`fetched_at + max_age`).
+    pub fn expires_at(&self) -> SimInstant {
+        self.fetched_at + Duration::seconds(self.policy.max_age as i64)
+    }
+
+    /// Whether the entry is still fresh at `now`.
+    pub fn is_fresh(&self, now: SimInstant) -> bool {
+        now < self.expires_at()
+    }
+}
+
+/// Why the cache asks the caller to fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshReason {
+    /// Nothing cached for the domain.
+    NoEntry,
+    /// The cached entry has passed `max_age`.
+    Expired,
+    /// The DNS record's `id` changed.
+    IdChanged,
+}
+
+/// What the cache says about a domain before a delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// Use this cached policy; no fetch needed.
+    UseCached(CachedPolicy),
+    /// Fetch (or refetch) the policy over HTTPS.
+    Fetch(RefreshReason),
+    /// The cached policy applies even though the current record is absent
+    /// or unreadable (TOFU protection against downgrade-by-DNS-blocking).
+    UseCachedDespiteDns(CachedPolicy),
+}
+
+/// The sender's policy cache.
+///
+/// Instrumented with hit/refresh counters for the `cache` benchmark and the
+/// always-refetch ablation in DESIGN.md.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyCache {
+    entries: HashMap<DomainName, CachedPolicy>,
+    hits: u64,
+    fetches: u64,
+}
+
+impl PolicyCache {
+    /// An empty cache.
+    pub fn new() -> PolicyCache {
+        PolicyCache::default()
+    }
+
+    /// Decides between cached use and refetching, given the outcome of the
+    /// `_mta-sts` record lookup (`Some(id)` when a valid record was read,
+    /// `None` when the record was absent or unreadable).
+    pub fn decide(
+        &mut self,
+        domain: &DomainName,
+        current_record_id: Option<&str>,
+        now: SimInstant,
+    ) -> CacheDecision {
+        let entry = self.entries.get(domain).cloned();
+        match (entry, current_record_id) {
+            (Some(cached), Some(id)) if cached.is_fresh(now) && cached.record_id == id => {
+                self.hits += 1;
+                CacheDecision::UseCached(cached)
+            }
+            (Some(cached), Some(_id_changed)) if cached.is_fresh(now) => {
+                self.fetches += 1;
+                CacheDecision::Fetch(RefreshReason::IdChanged)
+            }
+            (Some(cached), None) if cached.is_fresh(now) => {
+                // Record gone/unreadable but policy still valid: keep
+                // enforcing (this is the RFC's protection, and the §2.6
+                // removal-ordering hazard).
+                self.hits += 1;
+                CacheDecision::UseCachedDespiteDns(cached)
+            }
+            (Some(_expired), Some(_)) => {
+                self.fetches += 1;
+                CacheDecision::Fetch(RefreshReason::Expired)
+            }
+            (Some(expired), None) => {
+                // Expired and no record: drop the entry; MTA-STS no longer
+                // applies.
+                let _ = expired;
+                self.entries.remove(domain);
+                self.fetches += 1;
+                CacheDecision::Fetch(RefreshReason::Expired)
+            }
+            (None, _) => {
+                self.fetches += 1;
+                CacheDecision::Fetch(RefreshReason::NoEntry)
+            }
+        }
+    }
+
+    /// Stores a freshly fetched policy.
+    pub fn store(&mut self, domain: DomainName, policy: Policy, record_id: &str, now: SimInstant) {
+        self.entries.insert(
+            domain,
+            CachedPolicy {
+                policy,
+                record_id: record_id.to_string(),
+                fetched_at: now,
+            },
+        );
+    }
+
+    /// Reads the raw entry (tests, instrumentation).
+    pub fn peek(&self, domain: &DomainName) -> Option<&CachedPolicy> {
+        self.entries.get(domain)
+    }
+
+    /// Removes the entry for `domain`.
+    pub fn evict(&mut self, domain: &DomainName) -> bool {
+        self.entries.remove(domain).is_some()
+    }
+
+    /// Removes every expired entry; returns how many were dropped.
+    pub fn evict_expired(&mut self, now: SimInstant) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.is_fresh(now));
+        before - self.entries.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(cache uses, fetches)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.fetches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Mode, MxPattern, Policy};
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn policy(max_age: u64) -> Policy {
+        Policy::new(
+            Mode::Enforce,
+            max_age,
+            vec![MxPattern::parse("mx.example.com").unwrap()],
+        )
+    }
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    #[test]
+    fn first_contact_fetches() {
+        let mut cache = PolicyCache::new();
+        assert_eq!(
+            cache.decide(&n("example.com"), Some("id1"), t0()),
+            CacheDecision::Fetch(RefreshReason::NoEntry)
+        );
+    }
+
+    #[test]
+    fn fresh_entry_with_same_id_is_used() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("example.com"), policy(604_800), "id1", t0());
+        let later = t0() + Duration::days(3);
+        let CacheDecision::UseCached(entry) = cache.decide(&n("example.com"), Some("id1"), later)
+        else {
+            panic!("expected cached use")
+        };
+        assert_eq!(entry.record_id, "id1");
+    }
+
+    #[test]
+    fn id_change_triggers_refetch() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("example.com"), policy(604_800), "id1", t0());
+        assert_eq!(
+            cache.decide(&n("example.com"), Some("id2"), t0() + Duration::hours(1)),
+            CacheDecision::Fetch(RefreshReason::IdChanged)
+        );
+    }
+
+    #[test]
+    fn expiry_triggers_refetch() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("example.com"), policy(3600), "id1", t0());
+        assert_eq!(
+            cache.decide(&n("example.com"), Some("id1"), t0() + Duration::hours(2)),
+            CacheDecision::Fetch(RefreshReason::Expired)
+        );
+    }
+
+    #[test]
+    fn dns_outage_does_not_downgrade() {
+        // Record lookup fails, but the cached policy is fresh: MTA-STS
+        // still applies (TOFU downgrade protection).
+        let mut cache = PolicyCache::new();
+        cache.store(n("example.com"), policy(604_800), "id1", t0());
+        let decision = cache.decide(&n("example.com"), None, t0() + Duration::days(1));
+        assert!(matches!(decision, CacheDecision::UseCachedDespiteDns(_)));
+    }
+
+    #[test]
+    fn record_removed_and_cache_expired_releases_domain() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("example.com"), policy(3600), "id1", t0());
+        let decision = cache.decide(&n("example.com"), None, t0() + Duration::days(1));
+        assert_eq!(decision, CacheDecision::Fetch(RefreshReason::Expired));
+        assert!(cache.peek(&n("example.com")).is_none());
+    }
+
+    #[test]
+    fn eviction() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("a.com"), policy(3600), "1", t0());
+        cache.store(n("b.com"), policy(604_800), "1", t0());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evict_expired(t0() + Duration::hours(2)), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.evict(&n("b.com")));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_count_uses_and_fetches() {
+        let mut cache = PolicyCache::new();
+        let _ = cache.decide(&n("a.com"), Some("1"), t0()); // fetch
+        cache.store(n("a.com"), policy(3600), "1", t0());
+        let _ = cache.decide(&n("a.com"), Some("1"), t0()); // hit
+        let _ = cache.decide(&n("a.com"), Some("2"), t0()); // fetch (id)
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("a.com"), policy(3600), "1", t0());
+        let exactly = t0() + Duration::seconds(3600);
+        // At exactly max_age the entry is expired (strict <).
+        assert_eq!(
+            cache.decide(&n("a.com"), Some("1"), exactly),
+            CacheDecision::Fetch(RefreshReason::Expired)
+        );
+    }
+}

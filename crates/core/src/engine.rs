@@ -1,0 +1,570 @@
+//! The sender decision procedure: RFC 8461 §4/§5 end to end.
+//!
+//! Given the observations a sending MTA makes — the `_mta-sts` TXT lookup,
+//! the HTTPS policy fetch, the chosen MX host, and the STARTTLS certificate
+//! verdict — the engine produces the protocol outcome and the final action
+//! (deliver / refuse). It owns the TOFU [`PolicyCache`], so repeated
+//! deliveries to the same domain exercise caching, `id`-triggered refresh
+//! and the downgrade protections the paper discusses (§2.4, §2.6).
+//!
+//! The engine is deliberately transport-free: the `sender` and `simnet`
+//! crates plug in real lookups; unit tests script the observations.
+
+use crate::cache::{CacheDecision, PolicyCache};
+use crate::matching::mx_matches_policy;
+use crate::policy::{parse_policy, Mode, Policy};
+use crate::record::{evaluate_record_set, RecordError};
+use netbase::{DomainName, SimInstant};
+use pkix::CertError;
+use serde::{Deserialize, Serialize};
+
+/// Why MTA-STS validation failed for a delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StsFailure {
+    /// The selected MX matches no `mx` pattern.
+    MxNotListed,
+    /// The MX does not offer STARTTLS at all.
+    StartTlsUnavailable,
+    /// The MX certificate failed PKIX validation.
+    CertInvalid(CertError),
+}
+
+impl StsFailure {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StsFailure::MxNotListed => "mx-not-listed",
+            StsFailure::StartTlsUnavailable => "starttls-unavailable",
+            StsFailure::CertInvalid(_) => "cert-invalid",
+        }
+    }
+}
+
+/// The protocol-level outcome of evaluating one delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StsOutcome {
+    /// The domain does not use MTA-STS (no record, nothing cached).
+    NotApplicable,
+    /// A record exists but is invalid — MTA-STS counts as not deployed
+    /// (RFC 8461 §3.1), so no protection applies.
+    RecordInvalid(RecordError),
+    /// The record was fine but the policy could not be fetched or parsed
+    /// and nothing usable was cached; the sender proceeds unprotected
+    /// (this is the "TLS fallback" degradation the paper highlights).
+    PolicyUnavailable {
+        /// Human-readable fetch/parse failure.
+        reason: String,
+    },
+    /// Validation ran and passed.
+    Validated {
+        /// The policy's mode.
+        mode: Mode,
+        /// Whether the policy came from cache (vs a fresh fetch).
+        from_cache: bool,
+    },
+    /// Validation ran and failed; the action depends on the mode.
+    Failed {
+        /// The policy's mode.
+        mode: Mode,
+        /// What failed.
+        failure: StsFailure,
+        /// Whether the policy came from cache.
+        from_cache: bool,
+    },
+}
+
+/// The final action for the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SenderAction {
+    /// Deliver; MTA-STS validated successfully.
+    Deliver,
+    /// Deliver without MTA-STS protection (no/invalid policy, or a failure
+    /// under `testing`/`none`).
+    DeliverUnvalidated,
+    /// Do not deliver (failure under `enforce`). The message is queued or
+    /// bounced — the delivery failures §4.4/Figure 7-8 quantify.
+    Refuse,
+}
+
+/// Derives the action from the protocol outcome (RFC 8461 §5.3).
+pub fn action_for(outcome: &StsOutcome) -> SenderAction {
+    match outcome {
+        StsOutcome::NotApplicable
+        | StsOutcome::RecordInvalid(_)
+        | StsOutcome::PolicyUnavailable { .. } => SenderAction::DeliverUnvalidated,
+        StsOutcome::Validated { mode, .. } => match mode {
+            // A `none` policy means "do not validate" — the successful
+            // validation is vacuous, the message is simply delivered.
+            Mode::None => SenderAction::DeliverUnvalidated,
+            _ => SenderAction::Deliver,
+        },
+        StsOutcome::Failed { mode, .. } => match mode {
+            Mode::Enforce => SenderAction::Refuse,
+            Mode::Testing | Mode::None => SenderAction::DeliverUnvalidated,
+        },
+    }
+}
+
+/// The observations the engine needs for one delivery attempt.
+pub struct DeliveryObservation<'a, FetchFn, CertFn>
+where
+    FetchFn: FnOnce() -> Result<String, String>,
+    CertFn: FnOnce() -> Result<(), StsFailure>,
+{
+    /// The recipient domain.
+    pub domain: &'a DomainName,
+    /// The TXT strings at `_mta-sts.<domain>`, or `None` when the lookup
+    /// failed or the name does not exist.
+    pub record_txts: Option<&'a [String]>,
+    /// Fetches the policy document over HTTPS (strict TLS per the RFC).
+    pub fetch_policy: FetchFn,
+    /// The MX host selected for this delivery.
+    pub mx_host: &'a DomainName,
+    /// Establishes STARTTLS to the MX and validates its certificate.
+    pub check_mx_tls: CertFn,
+    /// Current time.
+    pub now: SimInstant,
+}
+
+/// A stateful MTA-STS-validating sender.
+#[derive(Debug, Default)]
+pub struct SenderEngine {
+    cache: PolicyCache,
+}
+
+impl SenderEngine {
+    /// A fresh engine with an empty cache.
+    pub fn new() -> SenderEngine {
+        SenderEngine::default()
+    }
+
+    /// Access to the cache (instrumentation; the `cache` bench reads
+    /// hit/fetch counters).
+    pub fn cache(&self) -> &PolicyCache {
+        &self.cache
+    }
+
+    /// Evaluates one delivery, updating the cache, and returns the
+    /// protocol outcome plus the action to take.
+    pub fn evaluate<FetchFn, CertFn>(
+        &mut self,
+        obs: DeliveryObservation<'_, FetchFn, CertFn>,
+    ) -> (StsOutcome, SenderAction)
+    where
+        FetchFn: FnOnce() -> Result<String, String>,
+        CertFn: FnOnce() -> Result<(), StsFailure>,
+    {
+        let record = obs.record_txts.map(|txts| evaluate_record_set(txts));
+        let record_id: Option<String> = match &record {
+            Some(Ok(r)) => Some(r.id.clone()),
+            _ => None,
+        };
+
+        // Cache consultation drives whether we fetch.
+        let decision = self
+            .cache
+            .decide(obs.domain, record_id.as_deref(), obs.now);
+
+        let (policy, from_cache): (Policy, bool) = match decision {
+            CacheDecision::UseCached(entry) | CacheDecision::UseCachedDespiteDns(entry) => {
+                (entry.policy, true)
+            }
+            CacheDecision::Fetch(_) => {
+                // A fetch requires a currently valid record.
+                let record = match record {
+                    None => return (StsOutcome::NotApplicable, SenderAction::DeliverUnvalidated),
+                    Some(Err(RecordError::NoRecord)) => {
+                        return (StsOutcome::NotApplicable, SenderAction::DeliverUnvalidated)
+                    }
+                    Some(Err(e)) => {
+                        let outcome = StsOutcome::RecordInvalid(e);
+                        let action = action_for(&outcome);
+                        return (outcome, action);
+                    }
+                    Some(Ok(r)) => r,
+                };
+                match (obs.fetch_policy)() {
+                    Ok(document) => match parse_policy(&document) {
+                        Ok(policy) => {
+                            self.cache.store(
+                                obs.domain.clone(),
+                                policy.clone(),
+                                &record.id,
+                                obs.now,
+                            );
+                            (policy, false)
+                        }
+                        Err(e) => {
+                            // Unparsable (e.g. empty) policy: sender treats
+                            // the domain as unprotected (≈ `none`, §5).
+                            let outcome = StsOutcome::PolicyUnavailable {
+                                reason: format!("policy parse failure: {e}"),
+                            };
+                            let action = action_for(&outcome);
+                            return (outcome, action);
+                        }
+                    },
+                    Err(e) => {
+                        let outcome = StsOutcome::PolicyUnavailable {
+                            reason: format!("policy fetch failure: {e}"),
+                        };
+                        let action = action_for(&outcome);
+                        return (outcome, action);
+                    }
+                }
+            }
+        };
+
+        // `none` mode: no validation at all.
+        if policy.mode == Mode::None {
+            let outcome = StsOutcome::Validated {
+                mode: Mode::None,
+                from_cache,
+            };
+            let action = action_for(&outcome);
+            return (outcome, action);
+        }
+
+        // MX pattern matching precedes the TLS session (§2.4).
+        if !mx_matches_policy(obs.mx_host, &policy) {
+            let outcome = StsOutcome::Failed {
+                mode: policy.mode,
+                failure: StsFailure::MxNotListed,
+                from_cache,
+            };
+            let action = action_for(&outcome);
+            return (outcome, action);
+        }
+
+        // STARTTLS + certificate validation.
+        match (obs.check_mx_tls)() {
+            Ok(()) => {
+                let outcome = StsOutcome::Validated {
+                    mode: policy.mode,
+                    from_cache,
+                };
+                let action = action_for(&outcome);
+                (outcome, action)
+            }
+            Err(failure) => {
+                let outcome = StsOutcome::Failed {
+                    mode: policy.mode,
+                    failure,
+                    from_cache,
+                };
+                let action = action_for(&outcome);
+                (outcome, action)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::{Duration, SimDate};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    fn record() -> Vec<String> {
+        vec!["v=STSv1; id=20240601;".to_string()]
+    }
+
+    fn doc(mode: &str) -> String {
+        format!("version: STSv1\r\nmode: {mode}\r\nmx: mx.example.com\r\nmax_age: 604800\r\n")
+    }
+
+    fn eval(
+        engine: &mut SenderEngine,
+        txts: Option<Vec<String>>,
+        fetch: Result<String, String>,
+        mx: &str,
+        cert: Result<(), StsFailure>,
+        now: SimInstant,
+    ) -> (StsOutcome, SenderAction) {
+        let domain = n("example.com");
+        let mx = n(mx);
+        engine.evaluate(DeliveryObservation {
+            domain: &domain,
+            record_txts: txts.as_deref(),
+            fetch_policy: move || fetch,
+            mx_host: &mx,
+            check_mx_tls: move || cert,
+            now,
+        })
+    }
+
+    #[test]
+    fn no_record_means_not_applicable() {
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(&mut e, Some(vec![]), Err("unused".into()), "mx.example.com", Ok(()), t0());
+        assert_eq!(outcome, StsOutcome::NotApplicable);
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn invalid_record_means_not_deployed() {
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=2024-06-01;".to_string()]),
+            Err("unused".into()),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        assert!(matches!(outcome, StsOutcome::RecordInvalid(RecordError::InvalidId(_))));
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn happy_path_enforce_validates_and_delivers() {
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        assert_eq!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::Enforce,
+                from_cache: false
+            }
+        );
+        assert_eq!(action, SenderAction::Deliver);
+    }
+
+    #[test]
+    fn second_delivery_hits_cache() {
+        let mut e = SenderEngine::new();
+        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        let (outcome, _) = eval(
+            &mut e,
+            Some(record()),
+            Err("network should not be touched".into()),
+            "mx.example.com",
+            Ok(()),
+            t0() + Duration::hours(1),
+        );
+        assert_eq!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::Enforce,
+                from_cache: true
+            }
+        );
+    }
+
+    #[test]
+    fn id_change_refetches() {
+        let mut e = SenderEngine::new();
+        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        // New id, new policy says testing.
+        let (outcome, _) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=20240701;".to_string()]),
+            Ok(doc("testing")),
+            "mx.example.com",
+            Ok(()),
+            t0() + Duration::hours(2),
+        );
+        assert_eq!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::Testing,
+                from_cache: false
+            }
+        );
+    }
+
+    #[test]
+    fn dns_blocking_cannot_downgrade_cached_domain() {
+        let mut e = SenderEngine::new();
+        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        // Attacker blocks the record lookup; MX fails validation.
+        let (outcome, action) = eval(
+            &mut e,
+            None,
+            Err("blocked".into()),
+            "evil.attacker.net",
+            Ok(()),
+            t0() + Duration::days(1),
+        );
+        assert!(matches!(
+            outcome,
+            StsOutcome::Failed {
+                mode: Mode::Enforce,
+                failure: StsFailure::MxNotListed,
+                from_cache: true
+            }
+        ));
+        assert_eq!(action, SenderAction::Refuse);
+    }
+
+    #[test]
+    fn enforce_refuses_on_bad_cert() {
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Err(StsFailure::CertInvalid(CertError::Expired)),
+            t0(),
+        );
+        assert!(matches!(outcome, StsOutcome::Failed { .. }));
+        assert_eq!(action, SenderAction::Refuse);
+    }
+
+    #[test]
+    fn testing_delivers_despite_failure() {
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("testing")),
+            "mx.example.com",
+            Err(StsFailure::CertInvalid(CertError::SelfSigned)),
+            t0(),
+        );
+        assert!(matches!(
+            outcome,
+            StsOutcome::Failed {
+                mode: Mode::Testing,
+                ..
+            }
+        ));
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn none_mode_skips_validation() {
+        let mut e = SenderEngine::new();
+        let doc_none = "version: STSv1\r\nmode: none\r\nmax_age: 86400\r\n".to_string();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc_none),
+            "anything.anywhere.net",
+            Err(StsFailure::StartTlsUnavailable), // would fail, but never runs
+            t0(),
+        );
+        assert_eq!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::None,
+                from_cache: false
+            }
+        );
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn fetch_failure_means_unprotected_delivery() {
+        // The degradation the paper warns about: validation failure at
+        // fetch time falls back to opportunistic behaviour.
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Err("tls handshake failed: certificate expired".into()),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        assert!(matches!(outcome, StsOutcome::PolicyUnavailable { .. }));
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn empty_policy_file_behaves_like_none() {
+        // DMARCReport's opt-out artefact (§5): empty file → parse failure →
+        // unprotected delivery.
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(String::new()),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        let StsOutcome::PolicyUnavailable { reason } = &outcome else {
+            panic!("expected PolicyUnavailable, got {outcome:?}")
+        };
+        assert!(reason.contains("empty"), "{reason}");
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+
+    #[test]
+    fn mx_not_listed_under_enforce_refuses() {
+        // The lucidgrow incident shape (§4.4): policy lists patterns that
+        // match none of the real MXes, mode enforce → delivery failure.
+        let mut e = SenderEngine::new();
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.lucidgrow-customer.com",
+            Ok(()),
+            t0(),
+        );
+        assert!(matches!(
+            outcome,
+            StsOutcome::Failed {
+                failure: StsFailure::MxNotListed,
+                ..
+            }
+        ));
+        assert_eq!(action, SenderAction::Refuse);
+    }
+
+    #[test]
+    fn starttls_unavailable_under_enforce_refuses() {
+        let mut e = SenderEngine::new();
+        let (_, action) = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Err(StsFailure::StartTlsUnavailable),
+            t0(),
+        );
+        assert_eq!(action, SenderAction::Refuse);
+    }
+
+    #[test]
+    fn proper_removal_sequence_releases_domain() {
+        // §2.6: publish none-mode policy with small max_age, new id, wait,
+        // then remove everything.
+        let mut e = SenderEngine::new();
+        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        // Step 1-2: new id, none policy, max_age one day.
+        let none_doc = "version: STSv1\r\nmode: none\r\nmax_age: 86400\r\n".to_string();
+        let t1 = t0() + Duration::days(1);
+        let (outcome, _) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=removal1;".to_string()]),
+            Ok(none_doc),
+            "mx.example.com",
+            Ok(()),
+            t1,
+        );
+        assert!(matches!(outcome, StsOutcome::Validated { mode: Mode::None, .. }));
+        // Step 3-4: after the old+new max_age elapsed, everything removed.
+        let t2 = t1 + Duration::days(2);
+        let (outcome, action) = eval(&mut e, Some(vec![]), Err("gone".into()), "mx.example.com", Ok(()), t2);
+        assert_eq!(outcome, StsOutcome::NotApplicable);
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+    }
+}

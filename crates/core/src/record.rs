@@ -1,0 +1,310 @@
+//! The MTA-STS DNS record (`_mta-sts.<domain> IN TXT`), RFC 8461 §3.1.
+//!
+//! Grammar:
+//!
+//! ```text
+//! sts-text-record = sts-version 1*(field-delim sts-field) [field-delim]
+//! sts-version     = "v=STSv1"
+//! field-delim     = *WSP ";" *WSP
+//! sts-field       = sts-id / sts-extension
+//! sts-id          = "id=" 1*32(ALPHA / DIGIT)
+//! sts-extension   = sts-ext-name "=" sts-ext-value
+//! sts-ext-name    = (ALPHA / DIGIT) *31(ALPHA / DIGIT / "_" / "-" / ".")
+//! ```
+//!
+//! §4.3.2 of the paper classifies wild records into exactly the error
+//! classes this module produces: missing `id` (19.6% of broken records),
+//! invalid `id` such as dates with dashes (61%), bad version prefix
+//! (15.7%), and invalid extension fields. A domain publishing more than one
+//! `v=STSv1` record is treated as *not deployed* per the RFC.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed, valid MTA-STS record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StsRecord {
+    /// The policy instance identifier (changes signal a new policy).
+    pub id: String,
+    /// Extension fields, in order of appearance.
+    pub extensions: Vec<(String, String)>,
+}
+
+/// Ways a record (or record set) fails, mirroring §4.3.2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordError {
+    /// The text does not begin with `v=STSv1` (bad version prefix).
+    BadVersionPrefix,
+    /// No `id` field present.
+    MissingId,
+    /// The `id` value violates `1*32(ALPHA / DIGIT)` — e.g. contains `-`.
+    InvalidId(String),
+    /// More than one `id` field.
+    DuplicateId,
+    /// An extension field violates the ABNF (bad name, missing `=`, or the
+    /// study's observed `mx:`/`mode:` misfields inside the TXT record).
+    InvalidExtension(String),
+    /// More than one record in the set begins with `v=STSv1`: MTA-STS is
+    /// treated as not deployed.
+    MultipleRecords(usize),
+    /// No record beginning with `v=STSv1` exists at the name.
+    NoRecord,
+}
+
+impl RecordError {
+    /// Short machine-readable label used in scan reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecordError::BadVersionPrefix => "bad-version-prefix",
+            RecordError::MissingId => "missing-id",
+            RecordError::InvalidId(_) => "invalid-id",
+            RecordError::DuplicateId => "duplicate-id",
+            RecordError::InvalidExtension(_) => "invalid-extension",
+            RecordError::MultipleRecords(_) => "multiple-records",
+            RecordError::NoRecord => "no-record",
+        }
+    }
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::BadVersionPrefix => write!(f, "record does not begin with v=STSv1"),
+            RecordError::MissingId => write!(f, "record has no id field"),
+            RecordError::InvalidId(id) => write!(f, "invalid id {id:?} (must be 1*32 alphanumeric)"),
+            RecordError::DuplicateId => write!(f, "record has more than one id field"),
+            RecordError::InvalidExtension(e) => write!(f, "invalid extension field {e:?}"),
+            RecordError::MultipleRecords(n) => {
+                write!(f, "{n} records begin with v=STSv1 (at most one allowed)")
+            }
+            RecordError::NoRecord => write!(f, "no MTA-STS record present"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Whether `s` is a valid `sts-id`: 1 to 32 ASCII alphanumerics.
+fn valid_id(s: &str) -> bool {
+    !s.is_empty() && s.len() <= 32 && s.bytes().all(|b| b.is_ascii_alphanumeric())
+}
+
+/// Whether `s` is a valid `sts-ext-name`.
+fn valid_ext_name(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let Some(&first) = bytes.first() else {
+        return false;
+    };
+    if !first.is_ascii_alphanumeric() || bytes.len() > 32 {
+        return false;
+    }
+    bytes[1..]
+        .iter()
+        .all(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+}
+
+/// Whether `s` is a valid `sts-ext-value` (visible ASCII except `;`, per the
+/// RFC's `%x21-3A / %x3C / %x3E-7E`).
+fn valid_ext_value(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| matches!(b, 0x21..=0x3A | 0x3C | 0x3E..=0x7E))
+}
+
+/// Parses a single TXT string as an MTA-STS record.
+pub fn parse_record(text: &str) -> Result<StsRecord, RecordError> {
+    // The version tag must come first, byte-for-byte.
+    let Some(rest) = text.strip_prefix("v=STSv1") else {
+        return Err(RecordError::BadVersionPrefix);
+    };
+    let mut id: Option<String> = None;
+    let mut extensions = Vec::new();
+    for raw_field in rest.split(';') {
+        let field = raw_field.trim();
+        if field.is_empty() {
+            continue; // field-delim allows trailing/padded delimiters
+        }
+        let Some((name, value)) = field.split_once('=') else {
+            return Err(RecordError::InvalidExtension(field.to_string()));
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name == "id" {
+            if id.is_some() {
+                return Err(RecordError::DuplicateId);
+            }
+            if !valid_id(value) {
+                return Err(RecordError::InvalidId(value.to_string()));
+            }
+            id = Some(value.to_string());
+        } else {
+            if !valid_ext_name(name) || !valid_ext_value(value) {
+                return Err(RecordError::InvalidExtension(field.to_string()));
+            }
+            extensions.push((name.to_string(), value.to_string()));
+        }
+    }
+    let Some(id) = id else {
+        return Err(RecordError::MissingId);
+    };
+    Ok(StsRecord { id, extensions })
+}
+
+/// Evaluates the full TXT record set at `_mta-sts.<domain>` per RFC 8461:
+/// TXT strings not beginning with `v=STSv1` are ignored; exactly one
+/// STS record must remain; it must parse.
+pub fn evaluate_record_set(txt_strings: &[String]) -> Result<StsRecord, RecordError> {
+    let sts: Vec<&String> = txt_strings
+        .iter()
+        .filter(|s| s.starts_with("v=STSv1"))
+        .collect();
+    match sts.len() {
+        0 => {
+            // Distinguish "nothing here" from "a record exists but with a
+            // bad version prefix" — the paper reports the latter class.
+            if txt_strings.iter().any(|s| looks_like_sts_attempt(s)) {
+                Err(RecordError::BadVersionPrefix)
+            } else {
+                Err(RecordError::NoRecord)
+            }
+        }
+        1 => parse_record(sts[0]),
+        n => Err(RecordError::MultipleRecords(n)),
+    }
+}
+
+/// Heuristic for "this was meant to be an MTA-STS record": mentions STS in
+/// a v= tag but with wrong spelling/case, e.g. `v=STSv1.` or `V=stsv1`.
+fn looks_like_sts_attempt(s: &str) -> bool {
+    let lower = s.to_ascii_lowercase();
+    lower.contains("stsv1") || lower.starts_with("v=sts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_record() {
+        let r = parse_record("v=STSv1; id=20240131000000;").unwrap();
+        assert_eq!(r.id, "20240131000000");
+        assert!(r.extensions.is_empty());
+    }
+
+    #[test]
+    fn parses_without_trailing_delimiter() {
+        let r = parse_record("v=STSv1; id=abc123").unwrap();
+        assert_eq!(r.id, "abc123");
+    }
+
+    #[test]
+    fn parses_with_extensions() {
+        let r = parse_record("v=STSv1; id=1a; ext-1=foo; a.b_c=bar;").unwrap();
+        assert_eq!(r.extensions.len(), 2);
+        assert_eq!(r.extensions[0], ("ext-1".to_string(), "foo".to_string()));
+    }
+
+    #[test]
+    fn rejects_bad_version_prefix() {
+        for bad in ["v=STSv2; id=1;", "STSv1; id=1;", " v=STSv1; id=1;", "v=stsv1; id=1;"] {
+            assert_eq!(parse_record(bad), Err(RecordError::BadVersionPrefix), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_id() {
+        assert_eq!(parse_record("v=STSv1;"), Err(RecordError::MissingId));
+        assert_eq!(parse_record("v=STSv1"), Err(RecordError::MissingId));
+    }
+
+    #[test]
+    fn rejects_invalid_ids() {
+        // The paper: 61% of broken records carry ids with characters like
+        // '-', which the RFC forbids.
+        for bad_id in ["2024-01-31", "a b", "", "x".repeat(33).as_str(), "id!"] {
+            let text = format!("v=STSv1; id={bad_id};");
+            match parse_record(&text) {
+                Err(RecordError::InvalidId(_)) | Err(RecordError::MissingId) => {}
+                other => panic!("id={bad_id:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_id() {
+        assert_eq!(
+            parse_record("v=STSv1; id=1; id=2;"),
+            Err(RecordError::DuplicateId)
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_extensions() {
+        // The paper's example: "v=STSv1; id=1; mx: a.com; mode: testing;"
+        // (policy fields stuffed into the record with colons, not `=`).
+        assert!(matches!(
+            parse_record("v=STSv1; id=1; mx: a.com; mode: testing;"),
+            Err(RecordError::InvalidExtension(_))
+        ));
+        assert!(matches!(
+            parse_record("v=STSv1; id=1; _badname=x;"),
+            Err(RecordError::InvalidExtension(_))
+        ));
+        assert!(matches!(
+            parse_record("v=STSv1; id=1; name=;"),
+            Err(RecordError::InvalidExtension(_))
+        ));
+    }
+
+    #[test]
+    fn record_set_ignores_foreign_txt() {
+        let set = vec![
+            "google-site-verification=abcdef".to_string(),
+            "v=STSv1; id=20240101;".to_string(),
+            "v=spf1 -all".to_string(),
+        ];
+        assert_eq!(evaluate_record_set(&set).unwrap().id, "20240101");
+    }
+
+    #[test]
+    fn record_set_rejects_multiple_sts_records() {
+        let set = vec![
+            "v=STSv1; id=1;".to_string(),
+            "v=STSv1; id=2;".to_string(),
+        ];
+        assert_eq!(evaluate_record_set(&set), Err(RecordError::MultipleRecords(2)));
+    }
+
+    #[test]
+    fn record_set_empty_is_no_record() {
+        assert_eq!(evaluate_record_set(&[]), Err(RecordError::NoRecord));
+        assert_eq!(
+            evaluate_record_set(&["v=spf1 -all".to_string()]),
+            Err(RecordError::NoRecord)
+        );
+    }
+
+    #[test]
+    fn record_set_detects_botched_version() {
+        // Wrong case / misspelling counts as a bad version prefix, not as
+        // absence — the paper's 15.7% class.
+        let set = vec!["V=stsv1; id=1;".to_string()];
+        assert_eq!(evaluate_record_set(&set), Err(RecordError::BadVersionPrefix));
+    }
+
+    #[test]
+    fn error_labels_stable() {
+        assert_eq!(RecordError::MissingId.label(), "missing-id");
+        assert_eq!(RecordError::InvalidId("x-y".into()).label(), "invalid-id");
+        assert_eq!(RecordError::MultipleRecords(2).label(), "multiple-records");
+    }
+
+    #[test]
+    fn id_grammar_boundaries() {
+        assert!(valid_id("a"));
+        assert!(valid_id(&"a".repeat(32)));
+        assert!(!valid_id(&"a".repeat(33)));
+        assert!(!valid_id("has-dash"));
+        assert!(!valid_id(""));
+    }
+}

@@ -1,0 +1,288 @@
+//! The MTA-STS removal procedure checker (RFC 8461 §8.3, paper §2.6).
+//!
+//! Removing MTA-STS abruptly strands senders with cached `enforce`
+//! policies. The correct sequence is:
+//!
+//! 1. publish a new policy with mode `none` and a small `max_age`;
+//! 2. publish a new record `id` so senders refetch;
+//! 3. wait max(old `max_age`, new `max_age`);
+//! 4. remove the record, the policy host, and the document.
+//!
+//! The checker consumes a timeline of observed `(record, policy)` states —
+//! exactly what the longitudinal scanner records — and reports whether a
+//! removal it witnesses was performed safely. §5 of the paper audits
+//! provider opt-out behaviour against this procedure (none of the eight
+//! providers follow it).
+
+use crate::policy::{Mode, Policy};
+use netbase::{Duration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// One observed state of a domain's MTA-STS deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentSnapshot {
+    /// Observation time.
+    pub at: SimInstant,
+    /// The record's `id`, when a valid record was present.
+    pub record_id: Option<String>,
+    /// The served policy, when one was retrievable and parsable.
+    pub policy: Option<Policy>,
+}
+
+/// Verdict on an observed removal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemovalVerdict {
+    /// No removal happened in the window (deployment persisted or never
+    /// existed).
+    NoRemovalObserved,
+    /// Removal followed the RFC sequence.
+    Clean {
+        /// When the none-mode policy first appeared.
+        none_published_at: SimInstant,
+        /// When the deployment disappeared.
+        removed_at: SimInstant,
+    },
+    /// The deployment vanished while the last served policy was still
+    /// `enforce`/`testing` — senders with the cached policy may refuse
+    /// delivery until it expires.
+    Abrupt {
+        /// The last policy seen before disappearance.
+        last_mode: Mode,
+        /// The last policy's max_age: the worst-case stranding window.
+        stranded_for: Duration,
+        /// When the deployment disappeared.
+        removed_at: SimInstant,
+    },
+    /// A none-mode policy was published, but the removal happened before
+    /// the required waiting period elapsed.
+    RemovedTooSoon {
+        /// The wait the RFC requires.
+        required_wait: Duration,
+        /// The wait actually observed.
+        observed_wait: Duration,
+    },
+    /// The record `id` was not changed when the none policy was published,
+    /// so senders with fresh caches never refetched it.
+    IdNotBumped,
+}
+
+/// Analyzes a chronological timeline of snapshots for removal correctness.
+///
+/// # Panics
+///
+/// Panics if `timeline` is not sorted by time (scanner output always is).
+pub fn check_removal(timeline: &[DeploymentSnapshot]) -> RemovalVerdict {
+    assert!(
+        timeline.windows(2).all(|w| w[0].at <= w[1].at),
+        "timeline must be chronological"
+    );
+    // Find the last snapshot with a live deployment and the first
+    // subsequent snapshot without one.
+    let Some(last_live_idx) = timeline
+        .iter()
+        .rposition(|s| s.record_id.is_some() || s.policy.is_some())
+    else {
+        return RemovalVerdict::NoRemovalObserved;
+    };
+    let Some(removed) = timeline.get(last_live_idx + 1) else {
+        return RemovalVerdict::NoRemovalObserved; // still deployed at the end
+    };
+    let removed_at = removed.at;
+
+    // Walk backwards over the live period to find the final policy era.
+    let live = &timeline[..=last_live_idx];
+    let last_policy_snapshot = live.iter().rev().find(|s| s.policy.is_some());
+    let Some(last_snapshot) = last_policy_snapshot else {
+        // Record existed but no policy was ever retrievable; nothing could
+        // have been cached, so disappearance is harmless.
+        return RemovalVerdict::Clean {
+            none_published_at: removed_at,
+            removed_at,
+        };
+    };
+    let last_policy = last_snapshot.policy.as_ref().expect("selected above");
+
+    if last_policy.mode != Mode::None {
+        return RemovalVerdict::Abrupt {
+            last_mode: last_policy.mode,
+            stranded_for: Duration::seconds(last_policy.max_age as i64),
+            removed_at,
+        };
+    }
+
+    // The none policy: find when it first appeared (the start of the final
+    // none era) and the era just before it.
+    let mut none_start_idx = live.len() - 1;
+    while none_start_idx > 0 {
+        let prev = &live[none_start_idx - 1];
+        match &prev.policy {
+            Some(p) if p.mode == Mode::None => none_start_idx -= 1,
+            Some(_) => break,
+            // Gaps (unretrievable policy) within the none era are tolerated.
+            None => none_start_idx -= 1,
+        }
+    }
+    let none_published_at = live[none_start_idx].at;
+
+    // The id must have changed when the none policy appeared, otherwise
+    // cached senders never refetched (§2.6 step 2).
+    if none_start_idx > 0 {
+        let before = live[..none_start_idx]
+            .iter()
+            .rev()
+            .find_map(|s| s.record_id.as_ref());
+        let after = live[none_start_idx..]
+            .iter()
+            .find_map(|s| s.record_id.as_ref());
+        if let (Some(old), Some(new)) = (before, after) {
+            if old == new {
+                return RemovalVerdict::IdNotBumped;
+            }
+        }
+    }
+
+    // Required wait: max of the previous policy's max_age and the none
+    // policy's max_age.
+    let prev_max_age = live[..none_start_idx]
+        .iter()
+        .rev()
+        .find_map(|s| s.policy.as_ref())
+        .map(|p| p.max_age)
+        .unwrap_or(0);
+    let none_max_age = last_policy.max_age;
+    let required_wait = Duration::seconds(prev_max_age.max(none_max_age) as i64);
+    let observed_wait = removed_at.since(none_published_at);
+    if observed_wait < required_wait {
+        return RemovalVerdict::RemovedTooSoon {
+            required_wait,
+            observed_wait,
+        };
+    }
+    RemovalVerdict::Clean {
+        none_published_at,
+        removed_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MxPattern;
+    use netbase::SimDate;
+
+    fn at(day: u32) -> SimInstant {
+        SimDate::ymd(2024, 6, day).at_midnight()
+    }
+
+    fn pol(mode: Mode, max_age: u64) -> Policy {
+        let mx = if mode == Mode::None {
+            vec![]
+        } else {
+            vec![MxPattern::parse("mx.example.com").unwrap()]
+        };
+        Policy::new(mode, max_age, mx)
+    }
+
+    fn snap(day: u32, id: Option<&str>, policy: Option<Policy>) -> DeploymentSnapshot {
+        DeploymentSnapshot {
+            at: at(day),
+            record_id: id.map(String::from),
+            policy,
+        }
+    }
+
+    #[test]
+    fn persistent_deployment_is_no_removal() {
+        let tl = vec![
+            snap(1, Some("a"), Some(pol(Mode::Enforce, 86_400))),
+            snap(8, Some("a"), Some(pol(Mode::Enforce, 86_400))),
+        ];
+        assert_eq!(check_removal(&tl), RemovalVerdict::NoRemovalObserved);
+    }
+
+    #[test]
+    fn never_deployed_is_no_removal() {
+        let tl = vec![snap(1, None, None), snap(8, None, None)];
+        assert_eq!(check_removal(&tl), RemovalVerdict::NoRemovalObserved);
+    }
+
+    #[test]
+    fn clean_removal() {
+        let tl = vec![
+            snap(1, Some("a"), Some(pol(Mode::Enforce, 86_400))),
+            // Step 1+2: none policy, small max_age, new id.
+            snap(8, Some("b"), Some(pol(Mode::None, 86_400))),
+            // Step 3: waiting (86 400 s = 1 day needed, 7 days given).
+            snap(15, Some("b"), Some(pol(Mode::None, 86_400))),
+            // Step 4: gone.
+            snap(22, None, None),
+        ];
+        let RemovalVerdict::Clean {
+            none_published_at, ..
+        } = check_removal(&tl)
+        else {
+            panic!("expected clean, got {:?}", check_removal(&tl))
+        };
+        assert_eq!(none_published_at, at(8));
+    }
+
+    #[test]
+    fn abrupt_removal_detected() {
+        let tl = vec![
+            snap(1, Some("a"), Some(pol(Mode::Enforce, 604_800))),
+            snap(8, None, None),
+        ];
+        let RemovalVerdict::Abrupt {
+            last_mode,
+            stranded_for,
+            ..
+        } = check_removal(&tl)
+        else {
+            panic!("expected abrupt")
+        };
+        assert_eq!(last_mode, Mode::Enforce);
+        assert_eq!(stranded_for, Duration::seconds(604_800));
+    }
+
+    #[test]
+    fn removed_too_soon_detected() {
+        let tl = vec![
+            snap(1, Some("a"), Some(pol(Mode::Enforce, 2_592_000))), // 30 days
+            snap(8, Some("b"), Some(pol(Mode::None, 86_400))),
+            snap(9, None, None), // only 1 day after none; 30 required
+        ];
+        let RemovalVerdict::RemovedTooSoon {
+            required_wait,
+            observed_wait,
+        } = check_removal(&tl)
+        else {
+            panic!("expected too-soon")
+        };
+        assert_eq!(required_wait, Duration::seconds(2_592_000));
+        assert_eq!(observed_wait, Duration::days(1));
+    }
+
+    #[test]
+    fn id_not_bumped_detected() {
+        let tl = vec![
+            snap(1, Some("same"), Some(pol(Mode::Enforce, 86_400))),
+            snap(8, Some("same"), Some(pol(Mode::None, 86_400))),
+            snap(22, None, None),
+        ];
+        assert_eq!(check_removal(&tl), RemovalVerdict::IdNotBumped);
+    }
+
+    #[test]
+    fn record_without_policy_removal_is_clean() {
+        // Nothing retrievable was ever cached; removal cannot strand.
+        let tl = vec![snap(1, Some("a"), None), snap(8, None, None)];
+        assert!(matches!(check_removal(&tl), RemovalVerdict::Clean { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn unsorted_timeline_panics() {
+        let tl = vec![snap(8, None, None), snap(1, Some("a"), None)];
+        let _ = check_removal(&tl);
+    }
+}

@@ -1,0 +1,163 @@
+//! SMTP TLS Reporting records (RFC 8460; paper Appendix B, Figure 12).
+//!
+//! A TLSRPT record is a TXT record at `_smtp._tls.<domain>`:
+//!
+//! ```text
+//! v=TLSRPTv1; rua=mailto:tls-reports@example.com
+//! ```
+//!
+//! `rua` may carry multiple comma-separated URIs (`mailto:` or `https:`).
+//! The paper tracks TLSRPT adoption alongside MTA-STS: domains that cannot
+//! receive reports have no feedback channel for the misconfigurations the
+//! study quantifies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed TLSRPT record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsRptRecord {
+    /// Reporting URIs in order (`mailto:...` or `https://...`).
+    pub rua: Vec<String>,
+    /// Extension fields.
+    pub extensions: Vec<(String, String)>,
+}
+
+/// TLSRPT parse failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlsRptError {
+    /// Does not begin with `v=TLSRPTv1`.
+    BadVersionPrefix,
+    /// No `rua` field.
+    MissingRua,
+    /// A reporting URI is neither `mailto:` nor `https:`.
+    BadRuaUri(String),
+    /// A field is not a `key=value` pair.
+    MalformedField(String),
+    /// More than one TLSRPT record in the set.
+    MultipleRecords(usize),
+    /// No TLSRPT record in the set.
+    NoRecord,
+}
+
+impl fmt::Display for TlsRptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsRptError::BadVersionPrefix => write!(f, "record does not begin with v=TLSRPTv1"),
+            TlsRptError::MissingRua => write!(f, "no rua field"),
+            TlsRptError::BadRuaUri(u) => write!(f, "bad reporting URI {u:?}"),
+            TlsRptError::MalformedField(x) => write!(f, "malformed field {x:?}"),
+            TlsRptError::MultipleRecords(n) => write!(f, "{n} TLSRPT records present"),
+            TlsRptError::NoRecord => write!(f, "no TLSRPT record present"),
+        }
+    }
+}
+
+impl std::error::Error for TlsRptError {}
+
+/// Parses a single TXT string as a TLSRPT record.
+pub fn parse_tlsrpt(text: &str) -> Result<TlsRptRecord, TlsRptError> {
+    let Some(rest) = text.strip_prefix("v=TLSRPTv1") else {
+        return Err(TlsRptError::BadVersionPrefix);
+    };
+    let mut rua: Option<Vec<String>> = None;
+    let mut extensions = Vec::new();
+    for field in rest.split(';') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = field.split_once('=') else {
+            return Err(TlsRptError::MalformedField(field.to_string()));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key == "rua" {
+            let uris: Vec<String> = value.split(',').map(|u| u.trim().to_string()).collect();
+            for uri in &uris {
+                if !uri.starts_with("mailto:") && !uri.starts_with("https://") {
+                    return Err(TlsRptError::BadRuaUri(uri.clone()));
+                }
+            }
+            rua = Some(uris);
+        } else {
+            extensions.push((key.to_string(), value.to_string()));
+        }
+    }
+    let rua = rua.ok_or(TlsRptError::MissingRua)?;
+    Ok(TlsRptRecord { rua, extensions })
+}
+
+/// Evaluates the full TXT set at `_smtp._tls.<domain>`.
+pub fn evaluate_tlsrpt_set(txt_strings: &[String]) -> Result<TlsRptRecord, TlsRptError> {
+    let candidates: Vec<&String> = txt_strings
+        .iter()
+        .filter(|s| s.starts_with("v=TLSRPTv1"))
+        .collect();
+    match candidates.len() {
+        0 => Err(TlsRptError::NoRecord),
+        1 => parse_tlsrpt(candidates[0]),
+        n => Err(TlsRptError::MultipleRecords(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mailto() {
+        let r = parse_tlsrpt("v=TLSRPTv1; rua=mailto:tls@example.com").unwrap();
+        assert_eq!(r.rua, vec!["mailto:tls@example.com"]);
+    }
+
+    #[test]
+    fn parses_multiple_uris() {
+        let r = parse_tlsrpt("v=TLSRPTv1; rua=mailto:a@x.com, https://collector.x.com/v1")
+            .unwrap();
+        assert_eq!(r.rua.len(), 2);
+        assert!(r.rua[1].starts_with("https://"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        assert_eq!(
+            parse_tlsrpt("v=TLSRPT1; rua=mailto:a@x.com"),
+            Err(TlsRptError::BadVersionPrefix)
+        );
+    }
+
+    #[test]
+    fn rejects_missing_rua() {
+        assert_eq!(parse_tlsrpt("v=TLSRPTv1;"), Err(TlsRptError::MissingRua));
+    }
+
+    #[test]
+    fn rejects_bad_uri_scheme() {
+        assert_eq!(
+            parse_tlsrpt("v=TLSRPTv1; rua=ftp://x.com/reports"),
+            Err(TlsRptError::BadRuaUri("ftp://x.com/reports".into()))
+        );
+    }
+
+    #[test]
+    fn set_semantics() {
+        let set = vec![
+            "v=spf1 -all".to_string(),
+            "v=TLSRPTv1; rua=mailto:t@x.com".to_string(),
+        ];
+        assert!(evaluate_tlsrpt_set(&set).is_ok());
+        assert_eq!(evaluate_tlsrpt_set(&[]), Err(TlsRptError::NoRecord));
+        let dup = vec![
+            "v=TLSRPTv1; rua=mailto:a@x.com".to_string(),
+            "v=TLSRPTv1; rua=mailto:b@x.com".to_string(),
+        ];
+        assert_eq!(evaluate_tlsrpt_set(&dup), Err(TlsRptError::MultipleRecords(2)));
+    }
+
+    #[test]
+    fn extensions_preserved() {
+        let r = parse_tlsrpt("v=TLSRPTv1; rua=mailto:t@x.com; ext=1").unwrap();
+        assert_eq!(r.extensions, vec![("ext".to_string(), "1".to_string())]);
+    }
+}

@@ -1,0 +1,314 @@
+//! SMTP TLS Report generation (RFC 8460 §4): the sender side of the
+//! feedback loop.
+//!
+//! Appendix B of the paper observes that many domains publish TLSRPT
+//! records but only two major providers actually *send* reports. This
+//! module is the sending half: it aggregates a day's delivery outcomes per
+//! recipient domain into the RFC 8460 JSON report structure, mapping
+//! MTA-STS validation failures onto the standard result types.
+
+use crate::engine::{StsFailure, StsOutcome};
+use netbase::{DomainName, SimDate};
+use pkix::CertError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// RFC 8460 §4.3 result types (the subset MTA-STS senders emit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResultType {
+    /// `starttls-not-supported`.
+    #[serde(rename = "starttls-not-supported")]
+    StartTlsNotSupported,
+    /// `certificate-expired`.
+    #[serde(rename = "certificate-expired")]
+    CertificateExpired,
+    /// `certificate-not-trusted`.
+    #[serde(rename = "certificate-not-trusted")]
+    CertificateNotTrusted,
+    /// `certificate-host-mismatch`.
+    #[serde(rename = "certificate-host-mismatch")]
+    CertificateHostMismatch,
+    /// `validation-failure` (catch-all).
+    #[serde(rename = "validation-failure")]
+    ValidationFailure,
+    /// `sts-policy-fetch-error`.
+    #[serde(rename = "sts-policy-fetch-error")]
+    StsPolicyFetchError,
+    /// `sts-policy-invalid`.
+    #[serde(rename = "sts-policy-invalid")]
+    StsPolicyInvalid,
+    /// `sts-webpki-invalid` (the MX failed PKIX under an STS policy).
+    #[serde(rename = "sts-webpki-invalid")]
+    StsWebpkiInvalid,
+}
+
+impl ResultType {
+    /// Maps an engine outcome to the result type a report would carry.
+    /// `None` means the delivery was successful or MTA-STS did not apply
+    /// (nothing to report).
+    pub fn from_outcome(outcome: &StsOutcome) -> Option<ResultType> {
+        match outcome {
+            StsOutcome::NotApplicable | StsOutcome::Validated { .. } => None,
+            StsOutcome::RecordInvalid(_) => Some(ResultType::StsPolicyInvalid),
+            StsOutcome::PolicyUnavailable { reason } => {
+                if reason.contains("parse") {
+                    Some(ResultType::StsPolicyInvalid)
+                } else {
+                    Some(ResultType::StsPolicyFetchError)
+                }
+            }
+            StsOutcome::Failed { failure, .. } => Some(match failure {
+                StsFailure::MxNotListed => ResultType::ValidationFailure,
+                StsFailure::StartTlsUnavailable => ResultType::StartTlsNotSupported,
+                StsFailure::CertInvalid(e) => match e {
+                    CertError::Expired | CertError::IntermediateExpired => {
+                        ResultType::CertificateExpired
+                    }
+                    CertError::NameMismatch { .. } => ResultType::CertificateHostMismatch,
+                    CertError::SelfSigned | CertError::UnknownIssuer => {
+                        ResultType::CertificateNotTrusted
+                    }
+                    _ => ResultType::StsWebpkiInvalid,
+                },
+            }),
+        }
+    }
+}
+
+/// One failure-details entry (RFC 8460 §4.4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureDetail {
+    /// The result type.
+    #[serde(rename = "result-type")]
+    pub result_type: ResultType,
+    /// The receiving MX the failure occurred against.
+    #[serde(rename = "receiving-mx-hostname")]
+    pub receiving_mx_hostname: String,
+    /// Number of failed sessions of this kind.
+    #[serde(rename = "failed-session-count")]
+    pub failed_session_count: u64,
+}
+
+/// Per-policy result block (RFC 8460 §4.2; one per recipient domain here).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyResult {
+    /// `sts`, `tlsa` or `no-policy-found`.
+    #[serde(rename = "policy-type")]
+    pub policy_type: String,
+    /// The recipient domain the policy belongs to.
+    #[serde(rename = "policy-domain")]
+    pub policy_domain: String,
+    /// Sessions that negotiated TLS successfully.
+    #[serde(rename = "total-successful-session-count")]
+    pub total_successful: u64,
+    /// Sessions that failed.
+    #[serde(rename = "total-failure-session-count")]
+    pub total_failure: u64,
+    /// Failure breakdown.
+    #[serde(rename = "failure-details")]
+    pub failure_details: Vec<FailureDetail>,
+}
+
+/// A full daily report (RFC 8460 §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsReport {
+    /// The reporting organization.
+    #[serde(rename = "organization-name")]
+    pub organization_name: String,
+    /// Report window start (`YYYY-MM-DD`, midnight).
+    #[serde(rename = "date-range-start")]
+    pub date_range_start: String,
+    /// Report window end.
+    #[serde(rename = "date-range-end")]
+    pub date_range_end: String,
+    /// Contact address.
+    #[serde(rename = "contact-info")]
+    pub contact_info: String,
+    /// Unique report id.
+    #[serde(rename = "report-id")]
+    pub report_id: String,
+    /// One block per recipient-domain policy.
+    pub policies: Vec<PolicyResult>,
+}
+
+/// Aggregates one day's delivery outcomes into per-domain reports.
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    /// (domain → (successes, failures by (type, mx))).
+    domains: BTreeMap<DomainName, DomainTally>,
+}
+
+#[derive(Debug, Default)]
+struct DomainTally {
+    successes: u64,
+    failures: BTreeMap<(ResultType, String), u64>,
+}
+
+impl ReportBuilder {
+    /// An empty builder.
+    pub fn new() -> ReportBuilder {
+        ReportBuilder::default()
+    }
+
+    /// Records one delivery attempt's outcome against `mx`.
+    pub fn record(&mut self, domain: &DomainName, mx: &DomainName, outcome: &StsOutcome) {
+        let tally = self.domains.entry(domain.clone()).or_default();
+        match ResultType::from_outcome(outcome) {
+            None => tally.successes += 1,
+            Some(result_type) => {
+                *tally
+                    .failures
+                    .entry((result_type, mx.to_string()))
+                    .or_default() += 1;
+            }
+        }
+    }
+
+    /// Number of recipient domains with recorded traffic.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Builds the final report for the given day.
+    pub fn build(&self, organization: &str, contact: &str, day: SimDate) -> TlsReport {
+        let policies = self
+            .domains
+            .iter()
+            .map(|(domain, tally)| {
+                let total_failure: u64 = tally.failures.values().sum();
+                PolicyResult {
+                    policy_type: "sts".to_string(),
+                    policy_domain: domain.to_string(),
+                    total_successful: tally.successes,
+                    total_failure,
+                    failure_details: tally
+                        .failures
+                        .iter()
+                        .map(|((result_type, mx), count)| FailureDetail {
+                            result_type: *result_type,
+                            receiving_mx_hostname: mx.clone(),
+                            failed_session_count: *count,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        TlsReport {
+            organization_name: organization.to_string(),
+            date_range_start: format!("{day}"),
+            date_range_end: format!("{}", day.add_days(1)),
+            contact_info: contact.to_string(),
+            report_id: format!("{}-{}", day, organization.replace(' ', "-").to_lowercase()),
+            policies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Mode;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn outcome_mapping() {
+        assert_eq!(ResultType::from_outcome(&StsOutcome::NotApplicable), None);
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::Validated {
+                mode: Mode::Enforce,
+                from_cache: false
+            }),
+            None
+        );
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::Failed {
+                mode: Mode::Enforce,
+                failure: StsFailure::StartTlsUnavailable,
+                from_cache: false
+            }),
+            Some(ResultType::StartTlsNotSupported)
+        );
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::Failed {
+                mode: Mode::Testing,
+                failure: StsFailure::CertInvalid(CertError::Expired),
+                from_cache: true
+            }),
+            Some(ResultType::CertificateExpired)
+        );
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::PolicyUnavailable {
+                reason: "policy fetch failure: tls".into()
+            }),
+            Some(ResultType::StsPolicyFetchError)
+        );
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::PolicyUnavailable {
+                reason: "policy parse failure: empty".into()
+            }),
+            Some(ResultType::StsPolicyInvalid)
+        );
+    }
+
+    #[test]
+    fn builder_aggregates_per_domain_and_mx() {
+        let mut b = ReportBuilder::new();
+        let ok = StsOutcome::Validated {
+            mode: Mode::Enforce,
+            from_cache: false,
+        };
+        let bad = StsOutcome::Failed {
+            mode: Mode::Testing,
+            failure: StsFailure::CertInvalid(CertError::SelfSigned),
+            from_cache: false,
+        };
+        for _ in 0..3 {
+            b.record(&n("a.com"), &n("mx.a.com"), &ok);
+        }
+        b.record(&n("a.com"), &n("mx.a.com"), &bad);
+        b.record(&n("a.com"), &n("mx2.a.com"), &bad);
+        b.record(&n("b.com"), &n("mx.b.com"), &ok);
+        assert_eq!(b.domain_count(), 2);
+
+        let report = b.build("Example Sender", "mailto:tls@sender.example", SimDate::ymd(2024, 6, 1));
+        assert_eq!(report.policies.len(), 2);
+        let a = &report.policies[0];
+        assert_eq!(a.policy_domain, "a.com");
+        assert_eq!(a.total_successful, 3);
+        assert_eq!(a.total_failure, 2);
+        assert_eq!(a.failure_details.len(), 2); // two distinct MXes
+        assert!(a
+            .failure_details
+            .iter()
+            .all(|d| d.result_type == ResultType::CertificateNotTrusted));
+        assert_eq!(report.date_range_start, "2024-06-01");
+        assert_eq!(report.date_range_end, "2024-06-02");
+    }
+
+    #[test]
+    fn report_serializes_with_rfc8460_field_names() {
+        let mut b = ReportBuilder::new();
+        b.record(
+            &n("a.com"),
+            &n("mx.a.com"),
+            &StsOutcome::Failed {
+                mode: Mode::Enforce,
+                failure: StsFailure::MxNotListed,
+                from_cache: false,
+            },
+        );
+        let report = b.build("Org", "mailto:x@y.z", SimDate::ymd(2024, 6, 1));
+        // Verified through the serde rename attributes; spot-check a few.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"organization-name\""));
+        assert!(json.contains("\"policy-type\":\"sts\""));
+        assert!(json.contains("\"result-type\":\"validation-failure\""));
+        assert!(json.contains("\"failed-session-count\":1"));
+        // And it round-trips.
+        let back: TlsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

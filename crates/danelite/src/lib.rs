@@ -1,0 +1,422 @@
+//! `danelite` — DANE (RFC 6698/7672) for SMTP, the baseline protocol.
+//!
+//! The paper contrasts MTA-STS with DANE throughout: DANE binds MX
+//! certificates through DNSSEC-signed TLSA records instead of the web PKI
+//! plus HTTPS (§1, §8), and §6.2 measures senders validating one, the
+//! other, or both — including the Postfix-milter bug that prefers MTA-STS
+//! over DANE against RFC 8461's advice. This crate implements enough of
+//! DANE to drive those experiments:
+//!
+//! - TLSA association data computation over [`pkix::SimCert`]s (selector:
+//!   full certificate or SPKI; matching type: exact or digest);
+//! - certificate-usage semantics: DANE-EE(3) and DANE-TA(2) fully, with
+//!   PKIX-EE(1)/PKIX-TA(0) additionally requiring WebPKI validation;
+//! - the DNSSEC gate: TLSA records from unsigned zones are unusable
+//!   (RFC 7672 §2.2), which is exactly why DANE adoption trails — the 4%
+//!   DNSSEC deployment the paper cites.
+
+use dns::TlsaRecord;
+use netbase::{DomainName, SimInstant};
+use pkix::digest::digest;
+use pkix::{validate_chain, SimCert, TrustStore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// TLSA certificate usages (RFC 6698 §2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertUsage {
+    /// 0: CA constraint (PKIX-TA).
+    PkixTa,
+    /// 1: service certificate constraint (PKIX-EE).
+    PkixEe,
+    /// 2: trust anchor assertion (DANE-TA).
+    DaneTa,
+    /// 3: domain-issued certificate (DANE-EE).
+    DaneEe,
+}
+
+impl CertUsage {
+    /// Decodes the wire value.
+    pub fn from_u8(v: u8) -> Option<CertUsage> {
+        match v {
+            0 => Some(CertUsage::PkixTa),
+            1 => Some(CertUsage::PkixEe),
+            2 => Some(CertUsage::DaneTa),
+            3 => Some(CertUsage::DaneEe),
+            _ => None,
+        }
+    }
+}
+
+/// TLSA selectors (RFC 6698 §2.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Selector {
+    /// 0: the full certificate.
+    FullCert,
+    /// 1: the SubjectPublicKeyInfo.
+    Spki,
+}
+
+impl Selector {
+    /// Decodes the wire value.
+    pub fn from_u8(v: u8) -> Option<Selector> {
+        match v {
+            0 => Some(Selector::FullCert),
+            1 => Some(Selector::Spki),
+            _ => None,
+        }
+    }
+}
+
+/// TLSA matching types (RFC 6698 §2.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchingType {
+    /// 0: exact contents.
+    Exact,
+    /// 1: SHA-256 (simulated 32-byte digest here).
+    Sha256,
+}
+
+impl MatchingType {
+    /// Decodes the wire value (512-bit digests are not simulated).
+    pub fn from_u8(v: u8) -> Option<MatchingType> {
+        match v {
+            0 => Some(MatchingType::Exact),
+            1 => Some(MatchingType::Sha256),
+            _ => None,
+        }
+    }
+}
+
+/// DANE validation failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DaneError {
+    /// The zone holding the TLSA records is not DNSSEC-signed, so the
+    /// records are unusable (RFC 7672 §2.2).
+    ZoneNotSigned,
+    /// No TLSA records at `_25._tcp.<mx>`.
+    NoTlsaRecords,
+    /// A record carried an unknown usage/selector/matching type and no
+    /// usable record remained.
+    NoUsableRecords,
+    /// The server presented no certificate.
+    NoCertificate,
+    /// No TLSA record matched the presented chain.
+    NoMatch,
+    /// A PKIX-usage record matched but WebPKI validation failed.
+    PkixFailed(pkix::CertError),
+}
+
+impl fmt::Display for DaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaneError::ZoneNotSigned => write!(f, "TLSA zone is not DNSSEC-signed"),
+            DaneError::NoTlsaRecords => write!(f, "no TLSA records"),
+            DaneError::NoUsableRecords => write!(f, "no usable TLSA records"),
+            DaneError::NoCertificate => write!(f, "server presented no certificate"),
+            DaneError::NoMatch => write!(f, "no TLSA record matches the presented chain"),
+            DaneError::PkixFailed(e) => write!(f, "PKIX-usage TLSA matched but PKIX failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaneError {}
+
+/// The TLSA owner name for SMTP on port 25: `_25._tcp.<mx>`.
+pub fn tlsa_name(mx: &DomainName) -> DomainName {
+    mx.prefixed("_tcp")
+        .and_then(|n| n.prefixed("_25"))
+        .expect("static labels are valid")
+}
+
+/// Computes the association data of `cert` under a selector/matching pair.
+pub fn association_data(cert: &SimCert, selector: Selector, matching: MatchingType) -> Vec<u8> {
+    let selected: Vec<u8> = match selector {
+        Selector::FullCert => cert.to_bytes(),
+        Selector::Spki => cert.subject_key_id.to_be_bytes().to_vec(),
+    };
+    match matching {
+        MatchingType::Exact => selected,
+        MatchingType::Sha256 => digest(&selected).to_vec(),
+    }
+}
+
+/// Builds a TLSA record asserting `cert` (the common DANE-EE(3)/SPKI(1)/
+/// SHA-256(1) profile operators publish).
+pub fn tlsa_for_cert(cert: &SimCert) -> TlsaRecord {
+    TlsaRecord {
+        usage: 3,
+        selector: 1,
+        matching_type: 1,
+        data: association_data(cert, Selector::Spki, MatchingType::Sha256),
+    }
+}
+
+/// Validates a presented chain against TLSA records.
+///
+/// `zone_signed` is the DNSSEC gate; `roots`/`now`/`host` feed the PKIX
+/// check required by usages 0/1 (and by DANE-TA for chain validity).
+pub fn validate_dane(
+    tlsa_records: &[TlsaRecord],
+    chain: &[SimCert],
+    zone_signed: bool,
+    host: &DomainName,
+    now: SimInstant,
+    roots: &TrustStore,
+) -> Result<CertUsage, DaneError> {
+    if !zone_signed {
+        return Err(DaneError::ZoneNotSigned);
+    }
+    if tlsa_records.is_empty() {
+        return Err(DaneError::NoTlsaRecords);
+    }
+    let Some(leaf) = chain.first() else {
+        return Err(DaneError::NoCertificate);
+    };
+    let mut any_usable = false;
+    let mut pkix_failure: Option<pkix::CertError> = None;
+    for record in tlsa_records {
+        let (Some(usage), Some(selector), Some(matching)) = (
+            CertUsage::from_u8(record.usage),
+            Selector::from_u8(record.selector),
+            MatchingType::from_u8(record.matching_type),
+        ) else {
+            continue; // unusable record: skip (RFC 7672 §3.1)
+        };
+        any_usable = true;
+        match usage {
+            CertUsage::DaneEe => {
+                // Matches the leaf; PKIX validity and name checks are
+                // explicitly NOT applied (RFC 7672 §3.1.1).
+                if association_data(leaf, selector, matching) == record.data {
+                    return Ok(CertUsage::DaneEe);
+                }
+            }
+            CertUsage::DaneTa => {
+                // Matches any issuer certificate in the chain; the chain
+                // below the anchor must be internally valid.
+                let anchored = chain[1..]
+                    .iter()
+                    .any(|c| association_data(c, selector, matching) == record.data);
+                if anchored && chain.iter().all(|c| c.signature_valid()) {
+                    return Ok(CertUsage::DaneTa);
+                }
+            }
+            CertUsage::PkixEe | CertUsage::PkixTa => {
+                let target = if usage == CertUsage::PkixEe {
+                    association_data(leaf, selector, matching) == record.data
+                } else {
+                    chain[1..]
+                        .iter()
+                        .any(|c| association_data(c, selector, matching) == record.data)
+                };
+                if target {
+                    match validate_chain(chain, host, now, roots) {
+                        Ok(()) => return Ok(usage),
+                        Err(e) => pkix_failure = Some(e),
+                    }
+                }
+            }
+        }
+    }
+    if !any_usable {
+        return Err(DaneError::NoUsableRecords);
+    }
+    if let Some(e) = pkix_failure {
+        return Err(DaneError::PkixFailed(e));
+    }
+    Err(DaneError::NoMatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::SimDate;
+    use pkix::authority::{self_signed_leaf, CertAuthority};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn now() -> SimInstant {
+        SimDate::ymd(2024, 9, 29).at_midnight()
+    }
+
+    fn window() -> (SimInstant, SimInstant) {
+        (
+            SimDate::ymd(2023, 1, 1).at_midnight(),
+            SimDate::ymd(2026, 1, 1).at_midnight(),
+        )
+    }
+
+    #[test]
+    fn tlsa_owner_name() {
+        assert_eq!(tlsa_name(&n("mx.example.com")).to_string(), "_25._tcp.mx.example.com");
+    }
+
+    #[test]
+    fn dane_ee_matches_even_self_signed() {
+        // The key property: DANE-EE works with self-signed certificates —
+        // no web PKI needed (the paper's "superior security" argument from
+        // operators).
+        let (nb, na) = window();
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = tlsa_for_cert(&cert);
+        let verdict = validate_dane(
+            &[tlsa],
+            &[cert],
+            true,
+            &n("mx.example.com"),
+            now(),
+            &TrustStore::empty(),
+        );
+        assert_eq!(verdict, Ok(CertUsage::DaneEe));
+    }
+
+    #[test]
+    fn unsigned_zone_blocks_dane() {
+        let (nb, na) = window();
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = tlsa_for_cert(&cert);
+        assert_eq!(
+            validate_dane(&[tlsa], &[cert], false, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Err(DaneError::ZoneNotSigned)
+        );
+    }
+
+    #[test]
+    fn mismatched_key_is_rejected() {
+        // Rotated server key without a TLSA update: the DANE failure mode
+        // the paper's prior work (Lee et al.) documents.
+        let (nb, na) = window();
+        let old = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let new = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = tlsa_for_cert(&old);
+        assert_eq!(
+            validate_dane(&[tlsa], &[new], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Err(DaneError::NoMatch)
+        );
+    }
+
+    #[test]
+    fn dane_ta_anchors_on_intermediate() {
+        let (nb, na) = window();
+        let mut root = CertAuthority::new_root("DANE Root", nb, na);
+        let mut inter = root.issue_intermediate("DANE Inter", nb, na);
+        let leaf = inter.issue_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = TlsaRecord {
+            usage: 2,
+            selector: 0,
+            matching_type: 1,
+            data: association_data(&inter.cert, Selector::FullCert, MatchingType::Sha256),
+        };
+        let chain = vec![leaf, inter.cert.clone()];
+        let verdict = validate_dane(
+            &[tlsa],
+            &chain,
+            true,
+            &n("mx.example.com"),
+            now(),
+            &TrustStore::empty(),
+        );
+        assert_eq!(verdict, Ok(CertUsage::DaneTa));
+    }
+
+    #[test]
+    fn pkix_ee_requires_webpki_too() {
+        let (nb, na) = window();
+        // Self-signed cert: the TLSA data matches, but usage 1 also needs
+        // PKIX validation, which fails.
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = TlsaRecord {
+            usage: 1,
+            selector: 1,
+            matching_type: 1,
+            data: association_data(&cert, Selector::Spki, MatchingType::Sha256),
+        };
+        let verdict = validate_dane(
+            &[tlsa],
+            &[cert.clone()],
+            true,
+            &n("mx.example.com"),
+            now(),
+            &TrustStore::empty(),
+        );
+        assert!(matches!(verdict, Err(DaneError::PkixFailed(_))));
+
+        // With a proper CA-issued cert it passes.
+        let mut root = CertAuthority::new_root("Root", nb, na);
+        let mut store = TrustStore::empty();
+        store.add_root(&root);
+        let good = root.issue_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa_good = TlsaRecord {
+            usage: 1,
+            selector: 1,
+            matching_type: 1,
+            data: association_data(&good, Selector::Spki, MatchingType::Sha256),
+        };
+        assert_eq!(
+            validate_dane(&[tlsa_good], &[good], true, &n("mx.example.com"), now(), &store),
+            Ok(CertUsage::PkixEe)
+        );
+    }
+
+    #[test]
+    fn exact_matching_type() {
+        let (nb, na) = window();
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let tlsa = TlsaRecord {
+            usage: 3,
+            selector: 0,
+            matching_type: 0,
+            data: cert.to_bytes(),
+        };
+        assert_eq!(
+            validate_dane(&[tlsa], &[cert], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Ok(CertUsage::DaneEe)
+        );
+    }
+
+    #[test]
+    fn unknown_parameter_records_are_skipped() {
+        let (nb, na) = window();
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        let junk = TlsaRecord {
+            usage: 9,
+            selector: 0,
+            matching_type: 0,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(
+            validate_dane(
+                &[junk.clone()],
+                &[cert.clone()],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
+            Err(DaneError::NoUsableRecords)
+        );
+        // A junk record plus a good one: the good one wins.
+        let good = tlsa_for_cert(&cert);
+        assert_eq!(
+            validate_dane(&[junk, good], &[cert], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Ok(CertUsage::DaneEe)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (nb, na) = window();
+        let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
+        assert_eq!(
+            validate_dane(&[], &[cert.clone()], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Err(DaneError::NoTlsaRecords)
+        );
+        assert_eq!(
+            validate_dane(&[tlsa_for_cert(&cert)], &[], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            Err(DaneError::NoCertificate)
+        );
+    }
+}

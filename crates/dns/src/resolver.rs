@@ -1,0 +1,652 @@
+//! Stub resolver with pluggable transport, CNAME chasing and a TTL cache.
+//!
+//! The paper's scanner issues all queries through public resolvers (§A.1);
+//! here the equivalent abstraction is [`DnsTransport`]: the resolver asks
+//! *something* to answer a question and post-processes the result. Two
+//! transports are provided:
+//!
+//! - [`UdpTransport`]: real RFC 1035 datagrams against an address, used by
+//!   the live-wire examples together with [`crate::server::AuthServer`];
+//! - [`InMemoryAuthorities`]: a registry of [`Zone`]s consulted directly,
+//!   used at simulation scale (tens of thousands of domains × weekly
+//!   snapshots) where socket round-trips would dominate.
+//!
+//! Both yield identical results by construction; the `scan` benchmark
+//! compares their throughput (a design-choice ablation from DESIGN.md).
+
+use crate::types::{Message, Question, Rcode, Record, RecordData, RecordType};
+use crate::wire;
+use crate::zone::{Zone, ZoneLookup};
+use netbase::{DomainName, SimInstant};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+/// Resolution errors, mirroring the failure classes the paper's pipeline
+/// distinguishes (§4.3.3 "DNS errors").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// The name does not exist (authenticated NXDOMAIN).
+    NxDomain,
+    /// The server answered with SERVFAIL or another error code.
+    ServFail(Rcode),
+    /// No response within the timeout.
+    Timeout,
+    /// The response could not be parsed.
+    Malformed(String),
+    /// A CNAME chain exceeded the resolver's limit.
+    CnameChainTooLong,
+    /// Transport-level failure (socket error, no route).
+    Transport(String),
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::NxDomain => write!(f, "NXDOMAIN"),
+            DnsError::ServFail(rc) => write!(f, "server failure ({rc:?})"),
+            DnsError::Timeout => write!(f, "query timed out"),
+            DnsError::Malformed(e) => write!(f, "malformed response: {e}"),
+            DnsError::CnameChainTooLong => write!(f, "CNAME chain too long"),
+            DnsError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// The result of a successful lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lookup {
+    /// The records answering the final question (post CNAME chasing). Empty
+    /// means NODATA: the name exists but has no records of this type.
+    pub records: Vec<Record>,
+    /// The CNAME chain traversed, in order (`mta-sts.example.com` →
+    /// `mta-sts.provider.net` → ...). Policy-delegation analysis (§5) reads
+    /// this.
+    pub cname_chain: Vec<DomainName>,
+}
+
+impl Lookup {
+    /// True if the lookup produced no records (NODATA).
+    pub fn is_nodata(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Extracts TXT payloads (joined character-strings).
+    pub fn txt_strings(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .filter_map(|r| r.data.txt_joined())
+            .collect()
+    }
+
+    /// Extracts MX (preference, exchange) pairs sorted by preference.
+    pub fn mx_hosts(&self) -> Vec<(u16, DomainName)> {
+        let mut out: Vec<(u16, DomainName)> = self
+            .records
+            .iter()
+            .filter_map(|r| match &r.data {
+                RecordData::Mx {
+                    preference,
+                    exchange,
+                } => Some((*preference, exchange.clone())),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Extracts IPv4 addresses.
+    pub fn a_addrs(&self) -> Vec<std::net::Ipv4Addr> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.data {
+                RecordData::A(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A transport that can answer a single DNS question with a full message.
+pub trait DnsTransport: Send + Sync {
+    /// Answers `question`, returning a complete response message.
+    fn query(&self, question: &Question) -> Result<Message, DnsError>;
+}
+
+/// In-memory authority registry: zones consulted by longest-suffix match.
+///
+/// This is the simulation-scale transport. It is cheap to clone (`Arc`
+/// inside) and safe to share across scanner worker threads.
+#[derive(Clone, Default)]
+pub struct InMemoryAuthorities {
+    inner: Arc<Mutex<AuthoritiesInner>>,
+}
+
+#[derive(Default)]
+struct AuthoritiesInner {
+    /// Zones keyed by apex.
+    zones: HashMap<DomainName, Zone>,
+    /// Apexes that answer SERVFAIL (fault injection: broken authoritative
+    /// servers).
+    servfail: HashMap<DomainName, ()>,
+    /// Apexes that never answer (fault injection: timeouts).
+    blackhole: HashMap<DomainName, ()>,
+    /// Total queries served (instrumentation).
+    queries: u64,
+}
+
+impl InMemoryAuthorities {
+    /// Creates an empty registry.
+    pub fn new() -> InMemoryAuthorities {
+        InMemoryAuthorities::default()
+    }
+
+    /// Installs (or replaces) a zone.
+    pub fn upsert_zone(&self, zone: Zone) {
+        self.inner.lock().zones.insert(zone.apex().clone(), zone);
+    }
+
+    /// Removes a zone entirely; returns whether it existed.
+    pub fn remove_zone(&self, apex: &DomainName) -> bool {
+        self.inner.lock().zones.remove(apex).is_some()
+    }
+
+    /// Runs `f` against the zone with the given apex, if present.
+    pub fn with_zone<R>(&self, apex: &DomainName, f: impl FnOnce(&mut Zone) -> R) -> Option<R> {
+        self.inner.lock().zones.get_mut(apex).map(f)
+    }
+
+    /// Marks a zone's servers as failing (SERVFAIL to everything).
+    pub fn set_servfail(&self, apex: &DomainName, broken: bool) {
+        let mut g = self.inner.lock();
+        if broken {
+            g.servfail.insert(apex.clone(), ());
+        } else {
+            g.servfail.remove(apex);
+        }
+    }
+
+    /// Marks a zone's servers as unreachable (timeout to everything).
+    pub fn set_blackhole(&self, apex: &DomainName, dark: bool) {
+        let mut g = self.inner.lock();
+        if dark {
+            g.blackhole.insert(apex.clone(), ());
+        } else {
+            g.blackhole.remove(apex);
+        }
+    }
+
+    /// Number of queries served so far.
+    pub fn query_count(&self) -> u64 {
+        self.inner.lock().queries
+    }
+
+    /// Number of installed zones.
+    pub fn zone_count(&self) -> usize {
+        self.inner.lock().zones.len()
+    }
+
+    /// Finds the apex of the zone authoritative for `name` (longest match).
+    fn find_apex(g: &AuthoritiesInner, name: &DomainName) -> Option<DomainName> {
+        let mut candidate = Some(name.clone());
+        while let Some(c) = candidate {
+            if g.zones.contains_key(&c) {
+                return Some(c);
+            }
+            candidate = c.parent();
+        }
+        None
+    }
+}
+
+impl DnsTransport for InMemoryAuthorities {
+    fn query(&self, question: &Question) -> Result<Message, DnsError> {
+        let mut g = self.inner.lock();
+        g.queries += 1;
+        let Some(apex) = Self::find_apex(&g, &question.name) else {
+            // No authority at all: the public resolver would get a
+            // referral failure; the paper's pipeline sees NXDOMAIN from the
+            // TLD for unregistered names.
+            return Err(DnsError::NxDomain);
+        };
+        if g.blackhole.contains_key(&apex) {
+            return Err(DnsError::Timeout);
+        }
+        if g.servfail.contains_key(&apex) {
+            return Err(DnsError::ServFail(Rcode::ServFail));
+        }
+        let zone = &g.zones[&apex];
+        let query = Message::query(0, question.clone());
+        let mut resp = Message::response_to(&query, Rcode::NoError);
+        match zone.lookup(question) {
+            ZoneLookup::Answer(records) => {
+                resp.answers = records;
+            }
+            ZoneLookup::NoData(chain) => {
+                resp.answers = chain;
+                resp.authorities.push(zone.soa_record());
+            }
+            ZoneLookup::NxDomain => {
+                resp.rcode = Rcode::NxDomain;
+                resp.authorities.push(zone.soa_record());
+            }
+            ZoneLookup::NotAuthoritative => {
+                resp.rcode = Rcode::Refused;
+                resp.flags.aa = false;
+            }
+        }
+        Ok(resp)
+    }
+}
+
+/// Blocking UDP transport: encodes the question, sends it to `server`, and
+/// decodes the response. Used from synchronous scanner contexts; the async
+/// server side lives in [`crate::server`].
+pub struct UdpTransport {
+    /// Authoritative/recursive server address.
+    server: SocketAddr,
+    /// Per-query timeout.
+    timeout: StdDuration,
+}
+
+impl UdpTransport {
+    /// Creates a transport querying `server` with the given timeout.
+    pub fn new(server: SocketAddr, timeout: StdDuration) -> UdpTransport {
+        UdpTransport { server, timeout }
+    }
+}
+
+impl DnsTransport for UdpTransport {
+    fn query(&self, question: &Question) -> Result<Message, DnsError> {
+        use std::net::UdpSocket;
+        let sock = UdpSocket::bind(("127.0.0.1", 0))
+            .map_err(|e| DnsError::Transport(e.to_string()))?;
+        sock.set_read_timeout(Some(self.timeout))
+            .map_err(|e| DnsError::Transport(e.to_string()))?;
+        // Derive a transaction ID from the question so retries are stable
+        // but concurrent queries rarely collide.
+        let id = {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut h = DefaultHasher::new();
+            question.hash(&mut h);
+            std::process::id().hash(&mut h);
+            h.finish() as u16
+        };
+        let msg = Message::query(id, question.clone());
+        sock.send_to(&wire::encode(&msg), self.server)
+            .map_err(|e| DnsError::Transport(e.to_string()))?;
+        let mut buf = [0u8; wire::MAX_UDP_PAYLOAD];
+        let (n, _) = sock.recv_from(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                DnsError::Timeout
+            } else {
+                DnsError::Transport(e.to_string())
+            }
+        })?;
+        let resp = wire::decode(&buf[..n]).map_err(|e| DnsError::Malformed(e.to_string()))?;
+        if resp.id != id {
+            return Err(DnsError::Malformed("transaction id mismatch".to_string()));
+        }
+        Ok(resp)
+    }
+}
+
+/// Cache entry: what we learned and when it expires.
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    Positive { lookup: Lookup, expires: SimInstant },
+    Negative { error: DnsError, expires: SimInstant },
+}
+
+/// A caching, CNAME-chasing stub resolver over any [`DnsTransport`].
+pub struct Resolver<T> {
+    transport: T,
+    cache: Mutex<HashMap<Question, CacheEntry>>,
+    /// Maximum CNAME links to follow across authorities.
+    max_cname_links: usize,
+    /// Negative-cache TTL in seconds (used when no SOA minimum is present).
+    negative_ttl: u32,
+    /// Cache hit/miss counters (instrumentation).
+    hits: Mutex<(u64, u64)>,
+}
+
+impl<T: DnsTransport> Resolver<T> {
+    /// Creates a resolver with the default CNAME limit (8 links).
+    pub fn new(transport: T) -> Resolver<T> {
+        Resolver {
+            transport,
+            cache: Mutex::new(HashMap::new()),
+            max_cname_links: 8,
+            negative_ttl: 300,
+            hits: Mutex::new((0, 0)),
+        }
+    }
+
+    /// Access to the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        *self.hits.lock()
+    }
+
+    /// Drops all cached entries (the scanner does this between snapshots —
+    /// each weekly pass must observe fresh state).
+    pub fn flush_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Resolves `name`/`rtype` at simulated time `now`, consulting and
+    /// populating the TTL cache, and chasing CNAMEs across authorities.
+    pub fn lookup(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        now: SimInstant,
+    ) -> Result<Lookup, DnsError> {
+        let question = Question::new(name.clone(), rtype);
+        if let Some(entry) = self.cache_get(&question, now) {
+            return entry;
+        }
+        let result = self.lookup_uncached(&question, now);
+        self.cache_put(&question, &result, now);
+        result
+    }
+
+    fn cache_get(&self, q: &Question, now: SimInstant) -> Option<Result<Lookup, DnsError>> {
+        let mut cache = self.cache.lock();
+        let hit = match cache.get(q) {
+            Some(CacheEntry::Positive { lookup, expires }) if *expires > now => {
+                Some(Ok(lookup.clone()))
+            }
+            Some(CacheEntry::Negative { error, expires }) if *expires > now => {
+                Some(Err(error.clone()))
+            }
+            Some(_) => {
+                cache.remove(q);
+                None
+            }
+            None => None,
+        };
+        let mut stats = self.hits.lock();
+        if hit.is_some() {
+            stats.0 += 1;
+        } else {
+            stats.1 += 1;
+        }
+        hit
+    }
+
+    fn cache_put(&self, q: &Question, result: &Result<Lookup, DnsError>, now: SimInstant) {
+        let entry = match result {
+            Ok(lookup) => {
+                let ttl = lookup
+                    .records
+                    .iter()
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(self.negative_ttl);
+                CacheEntry::Positive {
+                    lookup: lookup.clone(),
+                    expires: now + netbase::Duration::seconds(i64::from(ttl)),
+                }
+            }
+            Err(DnsError::NxDomain) => CacheEntry::Negative {
+                error: DnsError::NxDomain,
+                expires: now + netbase::Duration::seconds(i64::from(self.negative_ttl)),
+            },
+            // Transient failures are not cached.
+            Err(_) => return,
+        };
+        self.cache.lock().insert(q.clone(), entry);
+    }
+
+    fn lookup_uncached(&self, question: &Question, _now: SimInstant) -> Result<Lookup, DnsError> {
+        let mut chain: Vec<DomainName> = Vec::new();
+        let mut current = question.name.clone();
+        for _ in 0..=self.max_cname_links {
+            let q = Question::new(current.clone(), question.rtype);
+            let resp = self.transport.query(&q)?;
+            match resp.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => return Err(DnsError::NxDomain),
+                other => return Err(DnsError::ServFail(other)),
+            }
+            // Partition the answer section: records of the target type at
+            // any name (post-CNAME owners differ from the query name), and
+            // CNAMEs to chase.
+            let hits: Vec<Record> = resp
+                .answers
+                .iter()
+                .filter(|r| r.rtype() == question.rtype)
+                .cloned()
+                .collect();
+            // Collect the CNAME links present in the answer.
+            let mut links: HashMap<DomainName, DomainName> = HashMap::new();
+            for r in &resp.answers {
+                if let RecordData::Cname(target) = &r.data {
+                    links.insert(r.name.clone(), target.clone());
+                }
+            }
+            // Follow links from `current` as far as the answer takes us.
+            while let Some(target) = links.get(&current) {
+                chain.push(target.clone());
+                if chain.len() > self.max_cname_links {
+                    return Err(DnsError::CnameChainTooLong);
+                }
+                current = target.clone();
+            }
+            if !hits.is_empty() {
+                return Ok(Lookup {
+                    records: hits,
+                    cname_chain: chain,
+                });
+            }
+            if chain.last() == Some(&current) && !resp.answers.is_empty() {
+                // The answer ended on a CNAME whose target this authority
+                // does not serve: restart the query at the target.
+                continue;
+            }
+            // NODATA: name exists, no records of this type, no further
+            // aliases to chase.
+            return Ok(Lookup {
+                records: Vec::new(),
+                cname_chain: chain,
+            });
+        }
+        Err(DnsError::CnameChainTooLong)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RecordData;
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 9, 29).at_midnight()
+    }
+
+    fn world() -> InMemoryAuthorities {
+        let auth = InMemoryAuthorities::new();
+        let mut example = Zone::new(n("example.com"));
+        example.add_rr(
+            &n("example.com"),
+            300,
+            RecordData::Mx {
+                preference: 10,
+                exchange: n("mx.example.com"),
+            },
+        );
+        example.add_rr(&n("mx.example.com"), 300, RecordData::A("192.0.2.25".parse().unwrap()));
+        example.add_rr(
+            &n("_mta-sts.example.com"),
+            300,
+            RecordData::Txt(vec!["v=STSv1; id=20240929;".into()]),
+        );
+        example.add_rr(
+            &n("mta-sts.example.com"),
+            300,
+            RecordData::Cname(n("mta-sts.provider.net")),
+        );
+        auth.upsert_zone(example);
+
+        let mut provider = Zone::new(n("provider.net"));
+        provider.add_rr(&n("mta-sts.provider.net"), 300, RecordData::A("198.51.100.7".parse().unwrap()));
+        auth.upsert_zone(provider);
+        auth
+    }
+
+    #[test]
+    fn resolves_mx() {
+        let r = Resolver::new(world());
+        let got = r.lookup(&n("example.com"), RecordType::Mx, t0()).unwrap();
+        assert_eq!(got.mx_hosts(), vec![(10, n("mx.example.com"))]);
+        assert!(got.cname_chain.is_empty());
+    }
+
+    #[test]
+    fn resolves_txt() {
+        let r = Resolver::new(world());
+        let got = r
+            .lookup(&n("_mta-sts.example.com"), RecordType::Txt, t0())
+            .unwrap();
+        assert_eq!(got.txt_strings(), vec!["v=STSv1; id=20240929;".to_string()]);
+    }
+
+    #[test]
+    fn chases_cname_across_authorities() {
+        let r = Resolver::new(world());
+        let got = r
+            .lookup(&n("mta-sts.example.com"), RecordType::A, t0())
+            .unwrap();
+        assert_eq!(got.cname_chain, vec![n("mta-sts.provider.net")]);
+        assert_eq!(got.a_addrs(), vec!["198.51.100.7".parse::<std::net::Ipv4Addr>().unwrap()]);
+    }
+
+    #[test]
+    fn nxdomain_for_unregistered() {
+        let r = Resolver::new(world());
+        assert_eq!(
+            r.lookup(&n("nosuch.example.com"), RecordType::A, t0()),
+            Err(DnsError::NxDomain)
+        );
+        assert_eq!(
+            r.lookup(&n("unregistered.org"), RecordType::A, t0()),
+            Err(DnsError::NxDomain)
+        );
+    }
+
+    #[test]
+    fn nodata_for_missing_type() {
+        let r = Resolver::new(world());
+        let got = r.lookup(&n("mx.example.com"), RecordType::Txt, t0()).unwrap();
+        assert!(got.is_nodata());
+    }
+
+    #[test]
+    fn dangling_cname_is_nxdomain() {
+        let auth = world();
+        auth.with_zone(&n("provider.net"), |z| {
+            z.remove_all(&n("mta-sts.provider.net"));
+        });
+        let r = Resolver::new(auth);
+        let got = r.lookup(&n("mta-sts.example.com"), RecordType::A, t0());
+        assert_eq!(got, Err(DnsError::NxDomain));
+    }
+
+    #[test]
+    fn fault_injection_servfail_and_timeout() {
+        let auth = world();
+        auth.set_servfail(&n("example.com"), true);
+        let r = Resolver::new(auth);
+        assert!(matches!(
+            r.lookup(&n("example.com"), RecordType::Mx, t0()),
+            Err(DnsError::ServFail(_))
+        ));
+        r.transport().set_servfail(&n("example.com"), false);
+        r.transport().set_blackhole(&n("example.com"), true);
+        assert_eq!(
+            r.lookup(&n("example.com"), RecordType::Ns, t0()),
+            Err(DnsError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cache_hits_within_ttl_and_expires_after() {
+        let r = Resolver::new(world());
+        let before = r.transport().query_count();
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, t0()).unwrap();
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, t0()).unwrap();
+        // Second lookup is served from cache: no new transport query.
+        assert_eq!(r.transport().query_count(), before + 1);
+        // After the 300s TTL the transport is consulted again.
+        let later = t0() + netbase::Duration::seconds(301);
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, later).unwrap();
+        assert_eq!(r.transport().query_count(), before + 2);
+        let (hits, misses) = r.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn negative_cache_applies_to_nxdomain() {
+        let r = Resolver::new(world());
+        let q0 = r.transport().query_count();
+        let _ = r.lookup(&n("missing.example.com"), RecordType::A, t0());
+        let _ = r.lookup(&n("missing.example.com"), RecordType::A, t0());
+        assert_eq!(r.transport().query_count(), q0 + 1);
+    }
+
+    #[test]
+    fn transient_errors_are_not_cached() {
+        let auth = world();
+        auth.set_blackhole(&n("example.com"), true);
+        let r = Resolver::new(auth);
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, t0());
+        r.transport().set_blackhole(&n("example.com"), false);
+        // Recovers immediately: the timeout was not cached.
+        assert!(r.lookup(&n("example.com"), RecordType::Mx, t0()).is_ok());
+    }
+
+    #[test]
+    fn flush_cache_forces_requery() {
+        let r = Resolver::new(world());
+        let q0 = r.transport().query_count();
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, t0()).unwrap();
+        r.flush_cache();
+        let _ = r.lookup(&n("example.com"), RecordType::Mx, t0()).unwrap();
+        assert_eq!(r.transport().query_count(), q0 + 2);
+    }
+
+    #[test]
+    fn cname_loop_detected() {
+        let auth = InMemoryAuthorities::new();
+        let mut a = Zone::new(n("a.test"));
+        a.add_rr(&n("x.a.test"), 60, RecordData::Cname(n("y.b.test")));
+        auth.upsert_zone(a);
+        let mut b = Zone::new(n("b.test"));
+        b.add_rr(&n("y.b.test"), 60, RecordData::Cname(n("x.a.test")));
+        auth.upsert_zone(b);
+        let r = Resolver::new(auth);
+        assert_eq!(
+            r.lookup(&n("x.a.test"), RecordType::A, t0()),
+            Err(DnsError::CnameChainTooLong)
+        );
+    }
+}

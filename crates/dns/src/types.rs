@@ -1,0 +1,389 @@
+//! DNS data model: record types, resource records, questions, messages.
+//!
+//! Only the record types the study touches are implemented; unknown types
+//! are carried opaquely so the wire codec round-trips anything it receives.
+
+use netbase::DomainName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// DNS class; the study only uses the Internet class.
+pub const CLASS_IN: u16 = 1;
+
+/// Record type codes (RFC 1035 and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority (carried in negative responses).
+    Soa,
+    /// Domain name pointer (reverse DNS; FCrDNS for the SMTP client).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text record (MTA-STS `_mta-sts`, TLSRPT `_smtp._tls`).
+    Txt,
+    /// IPv6 host address.
+    Aaaa,
+    /// TLSA (DANE, RFC 6698) — the baseline protocol.
+    Tlsa,
+    /// Any other type, preserved by code.
+    Other(u16),
+}
+
+impl RecordType {
+    /// The 16-bit wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Tlsa => 52,
+            RecordType::Other(c) => c,
+        }
+    }
+
+    /// Maps a wire code to a type, folding unknowns into `Other`.
+    pub fn from_code(code: u16) -> RecordType {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            52 => RecordType::Tlsa,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Cname => write!(f, "CNAME"),
+            RecordType::Soa => write!(f, "SOA"),
+            RecordType::Ptr => write!(f, "PTR"),
+            RecordType::Mx => write!(f, "MX"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Aaaa => write!(f, "AAAA"),
+            RecordType::Tlsa => write!(f, "TLSA"),
+            RecordType::Other(c) => write!(f, "TYPE{c}"),
+        }
+    }
+}
+
+/// SOA record data (only the fields negative caching needs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SoaRecord {
+    /// Primary name server.
+    pub mname: DomainName,
+    /// Responsible mailbox, encoded as a domain name.
+    pub rname: DomainName,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL, seconds.
+    pub minimum: u32,
+}
+
+/// TLSA record data (RFC 6698 §2.1) for the DANE baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlsaRecord {
+    /// Certificate usage: 0 CA constraint, 1 service cert constraint,
+    /// 2 trust anchor assertion, 3 domain-issued certificate (DANE-EE).
+    pub usage: u8,
+    /// Selector: 0 full certificate, 1 SubjectPublicKeyInfo.
+    pub selector: u8,
+    /// Matching type: 0 exact, 1 SHA-256, 2 SHA-512.
+    pub matching_type: u8,
+    /// Certificate association data.
+    pub data: Vec<u8>,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name server.
+    Ns(DomainName),
+    /// Alias target.
+    Cname(DomainName),
+    /// Reverse pointer target.
+    Ptr(DomainName),
+    /// Mail exchange: preference and exchange host.
+    Mx { preference: u16, exchange: DomainName },
+    /// Text record: one or more character-strings. MTA-STS consumers join
+    /// the strings without separators per RFC 7208-style TXT handling.
+    Txt(Vec<String>),
+    /// Start of authority.
+    Soa(SoaRecord),
+    /// DANE TLSA association.
+    Tlsa(TlsaRecord),
+    /// Opaque data for record types the study does not interpret.
+    Opaque { rtype: u16, data: Vec<u8> },
+}
+
+impl RecordData {
+    /// The record type this data belongs to.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Aaaa(_) => RecordType::Aaaa,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Ptr(_) => RecordType::Ptr,
+            RecordData::Mx { .. } => RecordType::Mx,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Soa(_) => RecordType::Soa,
+            RecordData::Tlsa(_) => RecordType::Tlsa,
+            RecordData::Opaque { rtype, .. } => RecordType::from_code(*rtype),
+        }
+    }
+
+    /// For TXT records: the logical text (character-strings concatenated).
+    pub fn txt_joined(&self) -> Option<String> {
+        match self {
+            RecordData::Txt(parts) => Some(parts.concat()),
+            _ => None,
+        }
+    }
+}
+
+/// A resource record: owner name, TTL and typed data (class is always IN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed payload.
+    pub data: RecordData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: DomainName, ttl: u32, data: RecordData) -> Record {
+        Record { name, ttl, data }
+    }
+
+    /// The record's type.
+    pub fn rtype(&self) -> RecordType {
+        self.data.rtype()
+    }
+}
+
+/// A DNS question.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried type.
+    pub rtype: RecordType,
+}
+
+impl Question {
+    /// Convenience constructor.
+    pub fn new(name: DomainName, rtype: RecordType) -> Question {
+        Question { name, rtype }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.rtype)
+    }
+}
+
+/// Response codes (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+    /// Any other code.
+    Other(u8),
+}
+
+impl Rcode {
+    /// The 4-bit wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c & 0x0F,
+        }
+    }
+
+    /// Maps a wire code back to an `Rcode`.
+    pub fn from_code(code: u8) -> Rcode {
+        match code & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Header flag bits the study uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Query (false) / response (true).
+    pub qr: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncation.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+}
+
+/// A DNS message (header + sections).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section (SOA for negative answers).
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A query for a single question, recursion desired.
+    pub fn query(id: u16, question: Question) -> Message {
+        Message {
+            id,
+            flags: Flags {
+                qr: false,
+                rd: true,
+                ..Flags::default()
+            },
+            rcode: Rcode::NoError,
+            questions: vec![question],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// An authoritative response skeleton mirroring a query.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            id: query.id,
+            flags: Flags {
+                qr: true,
+                aa: true,
+                tc: false,
+                rd: query.flags.rd,
+                ra: false,
+            },
+            rcode,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_code_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Tlsa,
+            RecordType::Other(999),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for c in 0u8..16 {
+            assert_eq!(Rcode::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn txt_joining_concatenates_strings() {
+        // Long MTA-STS records may be split into multiple character-strings;
+        // consumers must join them without separators.
+        let d = RecordData::Txt(vec!["v=STSv1; ".into(), "id=20240101;".into()]);
+        assert_eq!(d.txt_joined().unwrap(), "v=STSv1; id=20240101;");
+        assert_eq!(RecordData::A(Ipv4Addr::LOCALHOST).txt_joined(), None);
+    }
+
+    #[test]
+    fn response_mirrors_query() {
+        let q = Message::query(
+            7,
+            Question::new("_mta-sts.example.com".parse().unwrap(), RecordType::Txt),
+        );
+        let r = Message::response_to(&q, Rcode::NxDomain);
+        assert_eq!(r.id, 7);
+        assert!(r.flags.qr && r.flags.aa && r.flags.rd);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+    }
+}

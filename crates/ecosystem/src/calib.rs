@@ -1,0 +1,251 @@
+//! Calibration constants: the paper's latest-snapshot numbers as rates.
+//!
+//! Every constant cites the section/figure it reproduces. Rates are
+//! applied per domain through seeded draws, so the measured values in a
+//! generated ecosystem land near the paper's with binomial noise;
+//! EXPERIMENTS.md records measured-vs-paper for every experiment.
+
+/// §3.2/Table 1: total MTA-STS domains at the latest snapshot, all TLDs.
+pub const TOTAL_MTASTS_LATEST: u64 = 68_030;
+
+// ---------------------------------------------------------------------
+// Policy hosting composition (latest snapshot, §4.3.3 and §5).
+// ---------------------------------------------------------------------
+
+/// Domains using third-party policy hosts (classified): 28,591.
+pub const POLICY_THIRD_PARTY: u64 = 28_591;
+/// Domains self-managing the policy host: 25,344.
+pub const POLICY_SELF_MANAGED: u64 = 25_344;
+/// Porkbun-registered domains with broken parking-cert policy hosts (from
+/// August 2024; Figure 4/5 notes): 7,237 — counted inside self-managed.
+pub const PORKBUN_DOMAINS: u64 = 7_237;
+/// The mxascen single-administrator pseudo-provider (§4.3.1): 4,722 —
+/// counted inside self-managed.
+pub const MXASCEN_DOMAINS: u64 = 4_722;
+/// Misc third-party policy hosts beyond Table 2's eight: 28,591 − 24,796.
+pub const MISC_THIRD_PARTY_POLICY: u64 = 3_795;
+/// Number of misc third-party policy providers (each ≥50 customers).
+pub const MISC_THIRD_PARTY_PROVIDERS: u64 = 15;
+/// Domains whose policy hosting could not be classified (68,030 − 53,935):
+/// modelled as CNAME targets serving 6-49 domains, invisible to both
+/// heuristics.
+pub const POLICY_UNCLASSIFIED: u64 = 14_095;
+/// Average customers per small (unclassifiable) policy provider.
+pub const SMALL_PROVIDER_MEAN_CUSTOMERS: u64 = 30;
+
+// ---------------------------------------------------------------------
+// Mail (MX) hosting composition (latest snapshot, §4.3.4).
+// ---------------------------------------------------------------------
+
+/// Domains using third-party MX: 40,683 (59.8%).
+pub const MX_THIRD_PARTY: u64 = 40_683;
+/// Domains self-managing MXes: 23,512 (34.6%) — includes mxascen.
+pub const MX_SELF_MANAGED: u64 = 23_512;
+/// Unclassifiable MX hosting: 3,835.
+pub const MX_UNCLASSIFIED: u64 = 3_835;
+/// lucidgrow.com customers (unique MX per domain, policy at DMARCReport;
+/// §4.4's January 23 incident hit all 246).
+pub const LUCIDGROW_DOMAINS: u64 = 246;
+/// mxrouting.net customers carrying invalid MX certificates (§4.3.4
+/// footnote: one large provider responsible for ~122 affected domains).
+pub const MXROUTING_FAULTY: u64 = 122;
+/// mxrouting.net total customers in the population (so the faulty share
+/// is ~10%).
+pub const MXROUTING_DOMAINS: u64 = 1_300;
+
+// ---------------------------------------------------------------------
+// DNS record errors (§4.3.2): 331 of 68,030.
+// ---------------------------------------------------------------------
+
+/// P(record fault) ≈ 331 / 68,030.
+pub const RECORD_FAULT_RATE: f64 = 331.0 / 68_030.0;
+/// Conditional mix: missing id 65, invalid id 203, bad version 52,
+/// invalid extension 2, multiple records ~9 (weights, not probabilities).
+pub const RECORD_FAULT_MIX: [(RecordFaultKind, f64); 5] = [
+    (RecordFaultKind::MissingId, 65.0),
+    (RecordFaultKind::InvalidId, 203.0),
+    (RecordFaultKind::BadVersion, 52.0),
+    (RecordFaultKind::BadExtension, 2.0),
+    (RecordFaultKind::MultipleRecords, 9.0),
+];
+
+/// The record-level fault kinds of §4.3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RecordFaultKind {
+    /// No `id` field (19.6% of broken records).
+    MissingId,
+    /// `id` with forbidden characters, e.g. dashes (61%).
+    InvalidId,
+    /// Wrong version prefix (15.7%).
+    BadVersion,
+    /// Invalid extension fields (2 domains).
+    BadExtension,
+    /// More than one `v=STSv1` record.
+    MultipleRecords,
+}
+
+// ---------------------------------------------------------------------
+// Policy-server faults (§4.3.3, Figure 5), latest snapshot.
+//
+// Self-managed (non-Porkbun, non-mxascen baseline 13,385 + mxascen 4,722
+// = 18,107 domains carrying: DNS 42, TCP 193, CN-mismatch 1,148 (8,385
+// total minus Porkbun's 7,237), TLS-other 486, HTTP 377, syntax 55.
+// ---------------------------------------------------------------------
+
+/// P(policy DNS fault | plain self-managed) = 42 / 18,107.
+pub const SELF_POLICY_DNS_RATE: f64 = 42.0 / 18_107.0;
+/// P(policy TCP fault | plain self-managed) = 193 / 18,107.
+pub const SELF_POLICY_TCP_RATE: f64 = 193.0 / 18_107.0;
+/// P(CN-mismatch TLS fault | plain self-managed) = 1,148 / 18,107.
+pub const SELF_POLICY_TLS_CN_RATE: f64 = 1_148.0 / 18_107.0;
+/// P(other TLS fault — self-signed/expired | plain self-managed).
+pub const SELF_POLICY_TLS_OTHER_RATE: f64 = 486.0 / 18_107.0;
+/// P(HTTP fault | plain self-managed) = 377 / 18,107.
+pub const SELF_POLICY_HTTP_RATE: f64 = 377.0 / 18_107.0;
+/// P(policy syntax fault | plain self-managed) = 55 / 18,107.
+pub const SELF_POLICY_SYNTAX_RATE: f64 = 55.0 / 18_107.0;
+
+/// Third-party policy hosts (excluding the named DMARCReport / Tutanota
+/// artefacts): TCP 34, TLS ~650, HTTP 215, syntax 76 over ~21,200.
+pub const THIRD_POLICY_TCP_RATE: f64 = 34.0 / 21_200.0;
+/// Third-party TLS fault rate (expired/CN-mismatch on sloppier hosts).
+pub const THIRD_POLICY_TLS_RATE: f64 = 650.0 / 21_200.0;
+/// Third-party HTTP fault rate.
+pub const THIRD_POLICY_HTTP_RATE: f64 = 215.0 / 21_200.0;
+/// Third-party policy syntax fault rate.
+pub const THIRD_POLICY_SYNTAX_RATE: f64 = 76.0 / 21_200.0;
+
+/// DMARCReport customers whose CNAME points there but were never hosted:
+/// 354 SSL-alert (no certificate) domains (§4.3.3).
+pub const DMARCREPORT_NEVER_HOSTED: u64 = 354;
+/// DMARCReport opted-out customers served an empty policy file: 5 (§5).
+pub const DMARCREPORT_EMPTY_POLICY: u64 = 5;
+/// Tutanota leftovers with policy-server errors: 10, of which 8 expired
+/// certificates (§5).
+pub const TUTANOTA_STALE: u64 = 10;
+/// The June 8, 2024 incident: a leading provider (modelled as PowerDMARC)
+/// serving self-signed certificates for 1,385 domains, one snapshot only
+/// (Figure 5).
+pub const JUNE8_SELFSIGNED_DOMAINS: u64 = 1_385;
+/// Unclassified-hosting policy fault rate (~6,200 faulty of 14,095 —
+/// closes the gap between category sums and the 17,184 policy-error
+/// domains of §9).
+pub const UNCLASSIFIED_POLICY_FAULT_RATE: f64 = 6_200.0 / 14_095.0;
+
+// ---------------------------------------------------------------------
+// MX certificate faults (§4.3.4, Figures 6-7), latest snapshot.
+// ---------------------------------------------------------------------
+
+/// P(MX cert fault | self-managed MX): the paper's latest 1,046 (4.4%)
+/// *plus* the 270-domain cohort that had just fixed its CN mismatch —
+/// injection is pre-fix, the fix clears at the final scan (Figure 6).
+pub const SELF_MX_CERT_FAULT_RATE: f64 = (1_046.0 + 270.0) / 23_512.0;
+/// Self-hosted MX domains that fixed their CN mismatch just before the
+/// latest snapshot (Figure 6's dip): 270.
+pub const SELF_MX_CN_FIXED: u64 = 270;
+/// P(MX cert fault | third-party MX, excluding mxrouting): ~275 of
+/// ~39,400 (overall third-party lands at 1% once mxrouting's 122 join).
+pub const THIRD_MX_CERT_FAULT_RATE: f64 = 275.0 / 39_400.0;
+/// Conditional mix of MX cert fault kinds (Figure 6): CN mismatch
+/// dominates, then self-signed, then expired.
+pub const MX_FAULT_MIX: [(MxCertFaultKind, f64); 3] = [
+    (MxCertFaultKind::CnMismatch, 0.55),
+    (MxCertFaultKind::SelfSigned, 0.25),
+    (MxCertFaultKind::Expired, 0.20),
+];
+/// P(fault covers all MXes | fault present) — Figure 7's all-invalid
+/// (1,326) vs partially-invalid split.
+pub const MX_FAULT_ALL_SCOPE_RATE: f64 = 0.75;
+
+/// The MX certificate fault kinds of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MxCertFaultKind {
+    /// Certificate does not cover the MX hostname.
+    CnMismatch,
+    /// Self-signed certificate.
+    SelfSigned,
+    /// Expired certificate.
+    Expired,
+}
+
+// ---------------------------------------------------------------------
+// Inconsistency faults (§4.4-§4.5, Figures 8-10), latest snapshot.
+// ---------------------------------------------------------------------
+
+/// P(inconsistency | both outsourced to different providers): 640/18,922.
+pub const INCONSISTENCY_DIFF_PROVIDER_RATE: f64 = 640.0 / 18_922.0;
+/// P(inconsistency | both outsourced to the same provider): 1/7,492 — the
+/// generator pins exactly one such domain (the laura-norman.com typo).
+pub const INCONSISTENCY_SAME_PROVIDER_COUNT: u64 = 1;
+/// P(inconsistency | everything else): ≈1,246 over ~41,600 domains.
+pub const INCONSISTENCY_OTHER_RATE: f64 = 1_246.0 / 41_600.0;
+/// Conditional kind mix (Figure 8 latest: complete 1,023, 3LD+ 730,
+/// typo 63, TLD ~70).
+pub const INCONSISTENCY_MIX: [(InconsistencyKind, f64); 4] = [
+    (InconsistencyKind::CompleteDomain, 1_023.0),
+    (InconsistencyKind::ThirdLabel, 730.0),
+    (InconsistencyKind::Typo, 63.0),
+    (InconsistencyKind::Tld, 70.0),
+];
+/// Among complete-domain mismatches: the share explained by *stale*
+/// policies matching historical MX records (Figure 9's latest point).
+pub const COMPLETE_MISMATCH_STALE_SHARE: f64 = 644.0 / 1_023.0;
+/// Among 3LD+ mismatches: the share embedding the stray `mta-sts` label
+/// (597 of 730, §4.4).
+pub const THIRD_LABEL_STRAY_SHARE: f64 = 597.0 / 730.0;
+
+/// Inconsistency kinds (Figure 8's series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum InconsistencyKind {
+    /// Completely different domain in the pattern.
+    CompleteDomain,
+    /// Same eSLD, divergence from the third label.
+    ThirdLabel,
+    /// Edit distance ≤ 3 typo.
+    Typo,
+    /// TLD mismatch.
+    Tld,
+}
+
+// ---------------------------------------------------------------------
+// Modes, max_age, TLSRPT.
+// ---------------------------------------------------------------------
+
+/// P(enforce) for domains carrying MX/inconsistency faults — calibrated
+/// from Figure 7 (269 enforce of 1,326 all-invalid) and Figure 8 (406
+/// enforce of ~1,886 mismatched): ≈21%.
+pub const ENFORCE_RATE_FAULTY: f64 = 0.21;
+/// Mode split for clean domains (majors push enforce).
+pub const MODE_SPLIT_CLEAN: (f64, f64, f64) = (0.40, 0.45, 0.15); // enforce/testing/none
+/// Mode split for faulty domains.
+pub const MODE_SPLIT_FAULTY: (f64, f64, f64) = (0.21, 0.55, 0.24);
+
+/// `max_age` menu (seconds) with weights: 1 day, 1 week, 30 days, 1 year.
+pub const MAX_AGE_MENU: [(u64, f64); 4] = [
+    (86_400, 0.15),
+    (604_800, 0.45),
+    (2_592_000, 0.25),
+    (31_557_600, 0.15),
+];
+
+/// P(TLSRPT at MTA-STS adoption time) and P(TLSRPT eventually) — the
+/// bottom panel of Figure 12 rises toward ~72%.
+pub const TLSRPT_AT_ADOPTION: f64 = 0.55;
+/// Eventual TLSRPT share among MTA-STS domains.
+pub const TLSRPT_EVENTUAL: f64 = 0.72;
+
+// ---------------------------------------------------------------------
+// Tranco (Figure 3).
+// ---------------------------------------------------------------------
+
+/// MTA-STS rate in the top 10k bin (1.2%) and bottom bin (0.4%).
+pub const TRANCO_TOP_BIN_RATE: f64 = 0.012;
+/// Rate in the bottom (1M) bin.
+pub const TRANCO_BOTTOM_BIN_RATE: f64 = 0.004;
+/// Bin width used by Figure 3.
+pub const TRANCO_BIN: u64 = 10_000;
+/// Universe size.
+pub const TRANCO_UNIVERSE: u64 = 1_000_000;
+
+/// The `.org` organizational adoption spike: 461 domains on 2024-01-02.
+pub const ORG_SPIKE_DOMAINS: u64 = 461;

@@ -1,0 +1,121 @@
+//! Generator configuration and the measurement calendar.
+
+use netbase::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcosystemConfig {
+    /// Root seed; every derived quantity flows from it.
+    pub seed: u64,
+    /// Population scale factor. 1.0 reproduces the paper's absolute
+    /// counts (~68k MTA-STS domains at the end); tests use small values.
+    pub scale: f64,
+    /// First day of the DNS measurement window (paper: 2021-09-09).
+    pub start: SimDate,
+    /// Last day (paper: 2024-09-29).
+    pub end: SimDate,
+}
+
+impl EcosystemConfig {
+    /// The paper's configuration at a given scale.
+    pub fn paper(seed: u64, scale: f64) -> EcosystemConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        EcosystemConfig {
+            seed,
+            scale,
+            start: SimDate::ymd(2021, 9, 9),
+            end: SimDate::ymd(2024, 9, 29),
+        }
+    }
+
+    /// Scales an absolute paper count, rounding to nearest, min 0.
+    pub fn scaled(&self, paper_count: u64) -> u64 {
+        (paper_count as f64 * self.scale).round() as u64
+    }
+
+    /// Scales a count but keeps at least 1 when the paper count is
+    /// nonzero (named incidents must survive scaling).
+    pub fn scaled_at_least_one(&self, paper_count: u64) -> u64 {
+        if paper_count == 0 {
+            0
+        } else {
+            self.scaled(paper_count).max(1)
+        }
+    }
+
+    /// The weekly DNS snapshot dates (§3.1: weekly records over the whole
+    /// window).
+    pub fn weekly_snapshots(&self) -> Vec<SimDate> {
+        self.start.iter_to(self.end, 7).collect()
+    }
+
+    /// The monthly full-component scan dates (§4.1: Nov 7, 2023 through
+    /// Sep 29, 2024). One scan is scheduled on 2024-01-23 so the
+    /// lucidgrow incident (§4.4) is observed exactly as the paper saw it.
+    pub fn full_scan_dates(&self) -> Vec<SimDate> {
+        let mut dates = vec![
+            SimDate::ymd(2023, 11, 7),
+            SimDate::ymd(2023, 12, 7),
+            SimDate::ymd(2024, 1, 23),
+            SimDate::ymd(2024, 2, 7),
+            SimDate::ymd(2024, 3, 7),
+            SimDate::ymd(2024, 4, 7),
+            SimDate::ymd(2024, 5, 7),
+            SimDate::ymd(2024, 6, 8),
+            SimDate::ymd(2024, 7, 7),
+            SimDate::ymd(2024, 8, 7),
+            SimDate::ymd(2024, 9, 29),
+        ];
+        dates.retain(|d| *d <= self.end);
+        dates
+    }
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> EcosystemConfig {
+        EcosystemConfig::paper(0xEC0, 1.0)
+    }
+}
+
+/// How much of a snapshot to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotDetail {
+    /// Zones only — enough for record-level scans (Figure 2, 3, 12).
+    DnsOnly,
+    /// Zones plus web and MX endpoints with certificates — full-component
+    /// scans (Figures 4-10, Tables 1-2).
+    Full,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calendar() {
+        let c = EcosystemConfig::paper(1, 1.0);
+        let weekly = c.weekly_snapshots();
+        assert_eq!(weekly.len(), 160);
+        assert_eq!(weekly[0], SimDate::ymd(2021, 9, 9));
+        let full = c.full_scan_dates();
+        assert_eq!(full.len(), 11);
+        assert!(full.contains(&SimDate::ymd(2024, 1, 23)));
+        assert!(full.contains(&SimDate::ymd(2024, 6, 8)));
+        assert_eq!(*full.last().unwrap(), SimDate::ymd(2024, 9, 29));
+    }
+
+    #[test]
+    fn scaling() {
+        let c = EcosystemConfig::paper(1, 0.1);
+        assert_eq!(c.scaled(1000), 100);
+        assert_eq!(c.scaled_at_least_one(3), 1);
+        assert_eq!(c.scaled_at_least_one(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        let _ = EcosystemConfig::paper(1, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! HTTPS GET: the policy fetcher's client side.
+//!
+//! [`https_get`] drives the full ladder over an *established* transport
+//! stream (TCP or in-memory): toy-TLS handshake with SNI, then one GET, one
+//! response. Connection establishment (DNS, TCP) belongs to the caller —
+//! the scanner needs to classify those failures separately (§4.3.3).
+
+use crate::codec::{read_response, write_request};
+use crate::types::{HttpError, Request, Response};
+use netbase::DomainName;
+use pkix::SimCert;
+use tlssim::{client_handshake, ClientConfig, HandshakeError};
+use tokio::io::{AsyncRead, AsyncWrite, BufReader};
+
+/// Result of an HTTPS fetch: the response plus TLS-layer evidence.
+#[derive(Debug)]
+pub struct HttpsFetch {
+    /// The HTTP response.
+    pub response: Response,
+    /// The certificate chain the server presented (leaf first). The caller
+    /// validates it — the fetch itself is opportunistic so the scanner can
+    /// record invalid certificates rather than just failing.
+    pub peer_chain: Vec<SimCert>,
+}
+
+/// Errors from an HTTPS fetch, separated by layer for the error taxonomy.
+#[derive(Debug)]
+pub enum HttpsError {
+    /// TLS handshake failed (alert, transport, or strict-mode certificate
+    /// rejection).
+    Tls(HandshakeError),
+    /// The handshake succeeded but the HTTP exchange failed.
+    Http(HttpError),
+}
+
+impl std::fmt::Display for HttpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpsError::Tls(e) => write!(f, "tls: {e}"),
+            HttpsError::Http(e) => write!(f, "http: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpsError {}
+
+/// Performs one `GET https://<sni><path>` over `transport`.
+///
+/// `tls` controls SNI and (optionally) strict in-handshake validation; the
+/// `Host` header is set to the SNI per RFC 8461's policy-fetch rules.
+pub async fn https_get<S: AsyncRead + AsyncWrite + Unpin>(
+    transport: S,
+    tls: ClientConfig,
+    path: &str,
+) -> Result<HttpsFetch, HttpsError> {
+    let host = tls.sni.clone();
+    let session = client_handshake(transport, tls).await.map_err(HttpsError::Tls)?;
+    let peer_chain = session.peer_chain;
+    let mut stream = session.stream;
+    let request = Request::get(&host.to_string(), path);
+    write_request(&mut stream, &request)
+        .await
+        .map_err(HttpsError::Http)?;
+    let mut reader = BufReader::new(stream);
+    let response = read_response(&mut reader).await.map_err(HttpsError::Http)?;
+    Ok(HttpsFetch {
+        response,
+        peer_chain,
+    })
+}
+
+/// The well-known path for MTA-STS policies (RFC 8461 §3.3).
+pub const MTA_STS_WELL_KNOWN: &str = "/.well-known/mta-sts.txt";
+
+/// Convenience: fetch the MTA-STS policy for `policy_host` over `transport`.
+pub async fn fetch_policy_document<S: AsyncRead + AsyncWrite + Unpin>(
+    transport: S,
+    policy_host: &DomainName,
+    nonce: u64,
+    dh_secret: u64,
+) -> Result<HttpsFetch, HttpsError> {
+    https_get(
+        transport,
+        ClientConfig::opportunistic(policy_host.clone(), nonce, dh_secret),
+        MTA_STS_WELL_KNOWN,
+    )
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_request, write_response};
+    use crate::types::{Response, StatusCode};
+    use netbase::SimDate;
+    use pkix::{CertAuthority, TrustStore};
+    use tlssim::{server_handshake, ServerConfig, ServerIdentity};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    async fn serve_one(
+        io: tokio::io::DuplexStream,
+        sc: ServerConfig,
+        response: Response,
+    ) {
+        let Ok(mut session) = server_handshake(io, &sc).await else {
+            return;
+        };
+        let mut reader = BufReader::new(&mut session.stream);
+        let req = read_request(&mut reader).await.unwrap();
+        assert_eq!(req.path, MTA_STS_WELL_KNOWN);
+        assert_eq!(req.host(), Some("mta-sts.example.com"));
+        write_response(&mut session.stream, &response).await.unwrap();
+    }
+
+    fn server_with_cert() -> (ServerConfig, TrustStore) {
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let mut root = CertAuthority::new_root("Root", nb, na);
+        let mut store = TrustStore::empty();
+        store.add_root(&root);
+        let mut identity = ServerIdentity::empty();
+        identity.install(
+            n("mta-sts.example.com"),
+            vec![root.issue_leaf(&[n("mta-sts.example.com")], nb, na)],
+        );
+        (
+            ServerConfig {
+                identity,
+                behavior: Default::default(),
+                nonce: 5,
+                dh_secret: 55,
+            },
+            store,
+        )
+    }
+
+    #[tokio::test]
+    async fn fetches_policy_over_https() {
+        let (sc, store) = server_with_cert();
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        let policy = "version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 604800\n";
+        let server = tokio::spawn(serve_one(server_io, sc, Response::ok(policy)));
+        let fetch = fetch_policy_document(client_io, &n("mta-sts.example.com"), 1, 2)
+            .await
+            .unwrap();
+        assert_eq!(fetch.response.status, StatusCode::OK);
+        assert_eq!(fetch.response.body_text().unwrap(), policy);
+        assert_eq!(fetch.peer_chain.len(), 1);
+        // Offline validation succeeds against the right store.
+        let now = SimDate::ymd(2024, 9, 29).at_midnight();
+        assert!(pkix::validate_chain(&fetch.peer_chain, &n("mta-sts.example.com"), now, &store)
+            .is_ok());
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn http_404_is_not_a_transport_error() {
+        let (sc, _) = server_with_cert();
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        let server = tokio::spawn(serve_one(server_io, sc, Response::not_found()));
+        let fetch = fetch_policy_document(client_io, &n("mta-sts.example.com"), 1, 2)
+            .await
+            .unwrap();
+        assert_eq!(fetch.response.status, StatusCode::NOT_FOUND);
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn tls_alert_is_a_tls_error() {
+        let sc = ServerConfig {
+            identity: ServerIdentity::empty(), // no cert for any SNI
+            behavior: Default::default(),
+            nonce: 5,
+            dh_secret: 55,
+        };
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move {
+            let _ = server_handshake(server_io, &sc).await;
+        });
+        let err = fetch_policy_document(client_io, &n("mta-sts.example.com"), 1, 2)
+            .await
+            .err()
+            .expect("expected TLS failure");
+        assert!(matches!(err, HttpsError::Tls(_)));
+    }
+}

@@ -1,0 +1,297 @@
+//! Reading and writing HTTP/1.1 messages over async streams.
+
+use crate::types::{
+    HttpError, Request, Response, StatusCode, MAX_BODY_BYTES, MAX_HEADER_BYTES,
+};
+use std::collections::BTreeMap;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt, BufReader};
+
+/// Reads a CRLF- (or bare-LF-) terminated line, bounded by `budget`.
+async fn read_line<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+    budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let byte = match reader.read_u8().await {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof && !line.is_empty() => {
+                return Err(HttpError::UnexpectedEof)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if *budget == 0 {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        *budget -= 1;
+        if byte == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| HttpError::BadHeader("non-utf8".into()));
+        }
+        line.push(byte);
+    }
+}
+
+/// Reads headers into a lowercase-keyed map.
+async fn read_headers<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+    budget: &mut usize,
+) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(reader, budget).await?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader(line.clone()));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+}
+
+/// Reads the body for a parsed header block (Content-Length only; absent
+/// means empty for requests and means read-to-EOF for responses — the
+/// `Connection: close` model).
+async fn read_body<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+    headers: &BTreeMap<String, String>,
+    to_eof_when_unsized: bool,
+) -> Result<Vec<u8>, HttpError> {
+    if let Some(len_str) = headers.get("content-length") {
+        let len: usize = len_str
+            .parse()
+            .map_err(|_| HttpError::BadBody(format!("bad content-length {len_str:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::BadBody(format!("body of {len} bytes too large")));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).await.map_err(|_| HttpError::UnexpectedEof)?;
+        Ok(body)
+    } else if to_eof_when_unsized {
+        let mut body = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let n = reader.read(&mut chunk).await?;
+            if n == 0 {
+                return Ok(body);
+            }
+            body.extend_from_slice(&chunk[..n]);
+            if body.len() > MAX_BODY_BYTES {
+                return Err(HttpError::BadBody("unsized body too large".into()));
+            }
+        }
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+/// Reads one request.
+pub async fn read_request<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let start = read_line(reader, &mut budget).await?;
+    let mut parts = start.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::BadStartLine(start)),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadStartLine(start));
+    }
+    let headers = read_headers(reader, &mut budget).await?;
+    let body = read_body(reader, &headers, false).await?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Reads one response.
+pub async fn read_response<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let start = read_line(reader, &mut budget).await?;
+    let mut parts = start.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) if v.starts_with("HTTP/") => (v, c),
+        _ => return Err(HttpError::BadStartLine(start)),
+    };
+    let _ = version;
+    let code: u16 = code
+        .parse()
+        .map_err(|_| HttpError::BadStartLine(start.clone()))?;
+    let headers = read_headers(reader, &mut budget).await?;
+    let body = read_body(reader, &headers, true).await?;
+    Ok(Response {
+        status: StatusCode(code),
+        headers,
+        body,
+    })
+}
+
+/// Writes one request.
+pub async fn write_request<S: AsyncWrite + Unpin>(
+    writer: &mut S,
+    request: &Request,
+) -> Result<(), HttpError> {
+    let mut out = format!("{} {} HTTP/1.1\r\n", request.method, request.path).into_bytes();
+    for (name, value) in &request.headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    if !request.body.is_empty() {
+        out.extend_from_slice(format!("content-length: {}\r\n", request.body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&request.body);
+    writer.write_all(&out).await?;
+    writer.flush().await?;
+    Ok(())
+}
+
+/// Writes one response (always with an explicit `Content-Length` and
+/// `Connection: close`).
+pub async fn write_response<S: AsyncWrite + Unpin>(
+    writer: &mut S,
+    response: &Response,
+) -> Result<(), HttpError> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status.0,
+        response.status.reason()
+    )
+    .into_bytes();
+    for (name, value) in &response.headers {
+        if name == "content-length" || name == "connection" {
+            continue; // we own these
+        }
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("content-length: {}\r\n", response.body.len()).as_bytes());
+    out.extend_from_slice(b"connection: close\r\n\r\n");
+    out.extend_from_slice(&response.body);
+    writer.write_all(&out).await?;
+    writer.flush().await?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn request_roundtrip() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        let req = Request::get("mta-sts.example.com", "/.well-known/mta-sts.txt");
+        write_request(&mut a, &req).await.unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        let back = read_request(&mut reader).await.unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[tokio::test]
+    async fn response_roundtrip_with_content_length() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        let resp = Response::ok("version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 604800\n");
+        write_response(&mut a, &resp).await.unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        let back = read_response(&mut reader).await.unwrap();
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.body, resp.body);
+        assert_eq!(back.headers.get("connection").map(String::as_str), Some("close"));
+    }
+
+    #[tokio::test]
+    async fn response_without_length_reads_to_eof() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\r\npolicy-body")
+            .await
+            .unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        let back = read_response(&mut reader).await.unwrap();
+        assert_eq!(back.body, b"policy-body");
+    }
+
+    #[tokio::test]
+    async fn rejects_malformed_start_lines() {
+        for bad in ["GARBAGE", "GET /x", "GET path HTTP/1.1", "GET /x SPDY/3"] {
+            let (mut a, b) = tokio::io::duplex(4096);
+            use tokio::io::AsyncWriteExt;
+            a.write_all(format!("{bad}\r\n\r\n").as_bytes()).await.unwrap();
+            drop(a);
+            let mut reader = BufReader::new(b);
+            let err = read_request(&mut reader).await.unwrap_err();
+            assert!(matches!(err, HttpError::BadStartLine(_)), "{bad}");
+        }
+    }
+
+    #[tokio::test]
+    async fn rejects_bad_headers() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").await.unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        assert!(matches!(
+            read_request(&mut reader).await.unwrap_err(),
+            HttpError::BadHeader(_)
+        ));
+    }
+
+    #[tokio::test]
+    async fn rejects_oversized_headers() {
+        let (mut a, b) = tokio::io::duplex(64 * 1024);
+        use tokio::io::AsyncWriteExt;
+        let huge = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "y".repeat(MAX_HEADER_BYTES));
+        a.write_all(huge.as_bytes()).await.unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        assert_eq!(
+            read_request(&mut reader).await.unwrap_err(),
+            HttpError::HeadersTooLarge
+        );
+    }
+
+    #[tokio::test]
+    async fn rejects_oversized_declared_body() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 9999999\r\n\r\n")
+            .await
+            .unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        assert!(matches!(
+            read_response(&mut reader).await.unwrap_err(),
+            HttpError::BadBody(_)
+        ));
+    }
+
+    #[tokio::test]
+    async fn eof_mid_body_detected() {
+        let (mut a, b) = tokio::io::duplex(4096);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 50\r\n\r\nshort")
+            .await
+            .unwrap();
+        drop(a);
+        let mut reader = BufReader::new(b);
+        assert_eq!(
+            read_response(&mut reader).await.unwrap_err(),
+            HttpError::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Minimal HTTP/1.1 over toy-TLS: the policy-retrieval substrate.
+//!
+//! MTA-STS policies live at `https://mta-sts.<domain>/.well-known/mta-sts.txt`
+//! (§2.2.2 of the paper). The study's error taxonomy needs the full HTTPS
+//! failure ladder — DNS, TCP, TLS, HTTP status, body syntax (§4.3.3) — so
+//! this crate implements just enough HTTP/1.1 to walk it faithfully:
+//! request/status lines, headers, `Content-Length` bodies, one
+//! request/response exchange per connection (`Connection: close`), exactly
+//! like a policy fetcher uses it.
+//!
+//! - [`types`]: requests, responses, status codes;
+//! - [`codec`]: reading/writing messages over any `AsyncRead + AsyncWrite`;
+//! - [`client`]: `GET` over an established stream, TLS included;
+//! - [`server`]: a routing HTTPS server (TCP listener or single in-memory
+//!   connections), with per-SNI certificates from [`tlssim`].
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod types;
+
+pub use client::{https_get, HttpsFetch};
+pub use server::{HttpsServer, Router};
+pub use types::{HttpError, Request, Response, StatusCode};

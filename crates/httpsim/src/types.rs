@@ -1,0 +1,198 @@
+//! HTTP message types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum accepted header block size.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body size (policy files are tiny; RFC 8461 suggests
+/// senders enforce limits).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// HTTP status codes the study encounters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 301 Moved Permanently (policy fetchers must not follow redirects per
+    /// RFC 8461 §3.3, so this is an error for them).
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 404 Not Found — the dominant HTTP-level policy error (§4.3.3).
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// Whether the code is 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            301 => "Moved Permanently",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An HTTP request (methods beyond GET exist only for tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/.well-known/mta-sts.txt`.
+    pub path: String,
+    /// Header map with lowercase keys.
+    pub headers: BTreeMap<String, String>,
+    /// Request body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A GET request with a `Host` header.
+    pub fn get(host: &str, path: &str) -> Request {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".to_string(), host.to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        headers.insert("user-agent".to_string(), "mta-sts-lab/0.1".to_string());
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// The `Host` header, if present.
+    pub fn host(&self) -> Option<&str> {
+        self.headers.get("host").map(String::as_str)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header map with lowercase keys.
+    pub headers: BTreeMap<String, String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a text body.
+    pub fn text(status: StatusCode, body: &str) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".to_string(), "text/plain".to_string());
+        Response {
+            status,
+            headers,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// 200 with a body (the happy policy-fetch path).
+    pub fn ok(body: &str) -> Response {
+        Response::text(StatusCode::OK, body)
+    }
+
+    /// 404 with a small body.
+    pub fn not_found() -> Response {
+        Response::text(StatusCode::NOT_FOUND, "not found\n")
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// HTTP-layer errors (transport and TLS failures are separate enums carried
+/// by [`crate::client::HttpsFetch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request or status line.
+    BadStartLine(String),
+    /// Malformed header.
+    BadHeader(String),
+    /// Headers exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// Body exceeded [`MAX_BODY_BYTES`] or Content-Length was invalid.
+    BadBody(String),
+    /// Connection closed mid-message.
+    UnexpectedEof,
+    /// Underlying I/O error.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadStartLine(l) => write!(f, "malformed start line: {l:?}"),
+            HttpError::BadHeader(h) => write!(f, "malformed header: {h:?}"),
+            HttpError::HeadersTooLarge => write!(f, "headers too large"),
+            HttpError::BadBody(m) => write!(f, "bad body: {m}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::UnexpectedEof
+        } else {
+            HttpError::Io(e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_helpers() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode(418).reason(), "Unknown");
+    }
+
+    #[test]
+    fn get_request_shape() {
+        let r = Request::get("mta-sts.example.com", "/.well-known/mta-sts.txt");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.host(), Some("mta-sts.example.com"));
+        assert_eq!(r.headers.get("connection").map(String::as_str), Some("close"));
+    }
+
+    #[test]
+    fn response_helpers() {
+        let ok = Response::ok("v: STSv1\nmode: enforce\n");
+        assert!(ok.status.is_success());
+        assert_eq!(ok.body_text().unwrap(), "v: STSv1\nmode: enforce\n");
+        assert_eq!(Response::not_found().status, StatusCode::NOT_FOUND);
+    }
+}

@@ -1,0 +1,128 @@
+//! Levenshtein edit distance.
+//!
+//! §4.4 of the paper classifies an mx-pattern mismatch as a *typographical
+//! error* when the pattern is within edit distance ≤ 3 of one of the
+//! domain's actual MX hosts (and the mismatch is not a TLD mismatch). The
+//! scanner evaluates this over every (pattern, MX) pair, so a banded
+//! early-exit variant is provided alongside the plain distance.
+
+/// Classic Levenshtein distance between two byte strings (unit costs for
+/// insert / delete / substitute), O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter string on the column axis to minimize the row buffer.
+    let (cols, rows) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=cols.len()).collect();
+    let mut cur = vec![0usize; cols.len() + 1];
+    for (i, &rc) in rows.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cc) in cols.iter().enumerate() {
+            let sub = prev[j] + usize::from(rc != cc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[cols.len()]
+}
+
+/// Returns `Some(distance)` if `levenshtein(a, b) <= bound`, `None`
+/// otherwise, using the banded algorithm (only cells within `bound` of the
+/// diagonal are computed) for an early exit on distant strings.
+pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
+        return None;
+    }
+    if n == 0 {
+        return Some(m); // m <= bound given the check above
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    const INF: usize = usize::MAX / 2;
+    let mut prev = vec![INF; m + 1];
+    let mut cur = vec![INF; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(bound.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        // Band of columns within `bound` of the diagonal.
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(m);
+        cur[lo - 1] = if lo == 1 { i } else { INF };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j] + 1;
+            let ins = cur[j - 1] + 1;
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < m {
+            cur[hi + 1..].fill(INF);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn typo_examples_from_mx_hosts() {
+        // Typical typos the paper attributes to manual pattern entry.
+        assert_eq!(levenshtein("mx1.example.com", "mx.example.com"), 1);
+        assert_eq!(levenshtein("mail.example.com", "mial.example.com"), 2);
+        assert!(levenshtein("mx.google.com", "mx.example.com") > 3);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact() {
+        let words = [
+            "", "a", "mail", "mial", "mx1.example.com", "mx.example.com",
+            "aspmx.l.google.com", "alt1.aspmx.l.google.com", "smtp.se", "smtp.de",
+        ];
+        for a in words {
+            for b in words {
+                let d = levenshtein(a, b);
+                for bound in 0..6 {
+                    let got = levenshtein_within(a, b, bound);
+                    if d <= bound {
+                        assert_eq!(got, Some(d), "a={a:?} b={b:?} bound={bound}");
+                    } else {
+                        assert_eq!(got, None, "a={a:?} b={b:?} bound={bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_zero_is_equality() {
+        assert_eq!(levenshtein_within("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_within("abc", "abd", 0), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic, forkable randomness.
+//!
+//! Every experiment in this repository must be exactly reproducible from a
+//! single seed, *and* insensitive to the order in which independent entities
+//! are generated (adding a new analysis must not reshuffle the ecosystem).
+//! [`DetRng`] therefore derives per-entity substreams by hashing a textual
+//! path (e.g. `"ecosystem/domain/example.com/adoption"`) together with the
+//! root seed, rather than drawing sequentially from one global stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG factory rooted at a single `u64` seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetRng {
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a factory from a root seed.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng { seed }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a child factory for a labelled sub-scope. Children derived
+    /// with different labels are statistically independent; the same label
+    /// always yields the same child.
+    pub fn fork(&self, label: &str) -> DetRng {
+        DetRng {
+            seed: fnv1a64(label.as_bytes(), self.seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// A concrete RNG stream for this scope.
+    pub fn stream(&self) -> SmallRng {
+        // Mix the seed through SplitMix64 so nearby seeds give unrelated
+        // streams.
+        SmallRng::seed_from_u64(splitmix64(self.seed))
+    }
+
+    /// Convenience: a stream for the sub-scope `label`.
+    pub fn stream_for(&self, label: &str) -> SmallRng {
+        self.fork(label).stream()
+    }
+
+    /// Bernoulli draw in the sub-scope `label`.
+    pub fn chance(&self, label: &str, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        self.stream_for(label).gen::<f64>() < p
+    }
+
+    /// Uniform integer in `[0, n)` in the sub-scope `label`.
+    pub fn index(&self, label: &str, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.stream_for(label).gen_range(0..n)
+    }
+
+    /// Picks an item from `weights` (relative, not necessarily normalized)
+    /// in the sub-scope `label`, returning its index.
+    pub fn weighted_index(&self, label: &str, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.stream_for(label).gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "negative weight");
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// FNV-1a with a caller-supplied basis, used for label→seed derivation.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis ^ 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let root = DetRng::new(42);
+        let a: Vec<u64> = {
+            let mut s = root.stream_for("domain/x");
+            (0..8).map(|_| s.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = root.stream_for("domain/x");
+            (0..8).map(|_| s.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = DetRng::new(42);
+        let a: u64 = root.stream_for("domain/x").gen();
+        let b: u64 = root.stream_for("domain/y").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = DetRng::new(1).stream_for("x").gen();
+        let b: u64 = DetRng::new(2).stream_for("x").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fork_is_hierarchical() {
+        let root = DetRng::new(7);
+        let via_fork: u64 = root.fork("eco").stream_for("d1").gen();
+        let again: u64 = root.fork("eco").stream_for("d1").gen();
+        assert_eq!(via_fork, again);
+        let sibling: u64 = root.fork("eco2").stream_for("d1").gen();
+        assert_ne!(via_fork, sibling);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let root = DetRng::new(3);
+        assert!(!root.chance("never", 0.0));
+        assert!(root.chance("always", 1.0));
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let root = DetRng::new(11);
+        let hits = (0..10_000)
+            .filter(|i| root.chance(&format!("c/{i}"), 0.3))
+            .count();
+        // Binomial(10_000, 0.3): mean 3000, sd ≈ 46. Allow ±5 sd.
+        assert!((2770..=3230).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let root = DetRng::new(5);
+        let mut counts = [0usize; 3];
+        for i in 0..30_000 {
+            counts[root.weighted_index(&format!("w/{i}"), &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!((2400..=3600).contains(&counts[0]), "{counts:?}");
+        assert!((5200..=6800).contains(&counts[1]), "{counts:?}");
+        assert!((20000..=22000).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn index_bounds() {
+        let root = DetRng::new(9);
+        for i in 0..100 {
+            let v = root.index(&format!("i/{i}"), 4);
+            assert!(v < 4);
+        }
+    }
+}

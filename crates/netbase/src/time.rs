@@ -1,0 +1,505 @@
+//! Simulated civil time.
+//!
+//! The study replays a fixed historical window (2021-09-09 through
+//! 2024-09-29, §3.1 of the paper) with weekly DNS snapshots and monthly
+//! full-component scans. Experiments must therefore be able to name civil
+//! dates, advance them by days/weeks/months, and convert to seconds for
+//! policy `max_age` arithmetic — all deterministically and without a system
+//! clock.
+//!
+//! [`SimDate`] is a day-precision civil date backed by a days-since-epoch
+//! count (proleptic Gregorian, Howard Hinnant's `days_from_civil`
+//! algorithm). [`SimInstant`] is second-precision, used by the sender policy
+//! cache where `max_age` is specified in seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+/// Seconds in one civil day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A signed span of time with second precision.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration {
+    secs: i64,
+}
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration { secs: 0 };
+
+    /// Duration of `secs` seconds.
+    pub const fn seconds(secs: i64) -> Duration {
+        Duration { secs }
+    }
+
+    /// Duration of `mins` minutes.
+    pub const fn minutes(mins: i64) -> Duration {
+        Duration { secs: mins * 60 }
+    }
+
+    /// Duration of `hours` hours.
+    pub const fn hours(hours: i64) -> Duration {
+        Duration { secs: hours * 3600 }
+    }
+
+    /// Duration of `days` civil days.
+    pub const fn days(days: i64) -> Duration {
+        Duration {
+            secs: days * SECS_PER_DAY,
+        }
+    }
+
+    /// Duration of `weeks` weeks.
+    pub const fn weeks(weeks: i64) -> Duration {
+        Duration::days(weeks * 7)
+    }
+
+    /// Total number of whole seconds.
+    pub const fn as_secs(self) -> i64 {
+        self.secs
+    }
+
+    /// Total number of whole days (truncating).
+    pub const fn as_days(self) -> i64 {
+        self.secs / SECS_PER_DAY
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::seconds(self.secs + rhs.secs)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::seconds(self.secs - rhs.secs)
+    }
+}
+
+/// A civil date (proleptic Gregorian), day precision.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(try_from = "String", into = "String")]
+pub struct SimDate {
+    /// Days since 1970-01-01 (may be negative).
+    days: i64,
+}
+
+/// Day of the week; `Monday` through `Sunday`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl SimDate {
+    /// 1970-01-01.
+    pub const EPOCH: SimDate = SimDate { days: 0 };
+
+    /// Constructs a date from a civil year/month/day triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the month or day are outside their civil range (the
+    /// experiment timeline is authored in source; invalid literals are bugs).
+    pub fn ymd(year: i32, month: u32, day: u32) -> SimDate {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range: {year:04}-{month:02}-{day:02}"
+        );
+        SimDate {
+            days: days_from_civil(year, month, day),
+        }
+    }
+
+    /// Days since the Unix epoch.
+    pub const fn days_since_epoch(self) -> i64 {
+        self.days
+    }
+
+    /// Builds a date from a days-since-epoch count.
+    pub const fn from_days_since_epoch(days: i64) -> SimDate {
+        SimDate { days }
+    }
+
+    /// The civil (year, month, day) triple.
+    pub fn civil(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// Civil year.
+    pub fn year(self) -> i32 {
+        self.civil().0
+    }
+
+    /// Civil month, 1-12.
+    pub fn month(self) -> u32 {
+        self.civil().1
+    }
+
+    /// Civil day of month, 1-31.
+    pub fn day(self) -> u32 {
+        self.civil().2
+    }
+
+    /// Day of week (epoch 1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        match self.days.rem_euclid(7) {
+            0 => Weekday::Thursday,
+            1 => Weekday::Friday,
+            2 => Weekday::Saturday,
+            3 => Weekday::Sunday,
+            4 => Weekday::Monday,
+            5 => Weekday::Tuesday,
+            _ => Weekday::Wednesday,
+        }
+    }
+
+    /// The date `n` days later (or earlier for negative `n`).
+    pub fn add_days(self, n: i64) -> SimDate {
+        SimDate { days: self.days + n }
+    }
+
+    /// Adds `n` calendar months, clamping the day-of-month to the target
+    /// month's length (2024-01-31 + 1 month = 2024-02-29).
+    pub fn add_months(self, n: i32) -> SimDate {
+        let (y, m, d) = self.civil();
+        let total = (y * 12 + (m as i32 - 1)) + n;
+        let ny = total.div_euclid(12);
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        SimDate::ymd(ny, nm, nd)
+    }
+
+    /// Whole days from `earlier` to `self` (negative if `self` is earlier).
+    pub fn days_since(self, earlier: SimDate) -> i64 {
+        self.days - earlier.days
+    }
+
+    /// Midnight (00:00:00) of this date as an instant.
+    pub fn at_midnight(self) -> SimInstant {
+        SimInstant {
+            secs: self.days * SECS_PER_DAY,
+        }
+    }
+
+    /// Iterator over dates from `self` to `end` inclusive, stepping by
+    /// `step_days`. This is how the scanner walks its weekly (7) and the
+    /// deployment figures their plotting (varying) cadences.
+    pub fn iter_to(self, end: SimDate, step_days: i64) -> DateRange {
+        assert!(step_days > 0, "step must be positive");
+        DateRange {
+            next: self,
+            end,
+            step_days,
+        }
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.civil();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error when parsing a `YYYY-MM-DD` date string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateParseError(pub String);
+
+impl fmt::Display for DateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date (expected YYYY-MM-DD): {:?}", self.0)
+    }
+}
+
+impl std::error::Error for DateParseError {}
+
+impl FromStr for SimDate {
+    type Err = DateParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DateParseError(s.to_string());
+        let mut it = s.split('-');
+        let y: i32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return Err(err());
+        }
+        Ok(SimDate::ymd(y, m, d))
+    }
+}
+
+impl TryFrom<String> for SimDate {
+    type Error = DateParseError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+impl From<SimDate> for String {
+    fn from(d: SimDate) -> String {
+        d.to_string()
+    }
+}
+
+impl Add<Duration> for SimDate {
+    type Output = SimDate;
+    fn add(self, rhs: Duration) -> SimDate {
+        self.add_days(rhs.as_days())
+    }
+}
+
+/// Inclusive date range iterator, see [`SimDate::iter_to`].
+#[derive(Debug, Clone)]
+pub struct DateRange {
+    next: SimDate,
+    end: SimDate,
+    step_days: i64,
+}
+
+impl Iterator for DateRange {
+    type Item = SimDate;
+
+    fn next(&mut self) -> Option<SimDate> {
+        if self.next > self.end {
+            return None;
+        }
+        let out = self.next;
+        self.next = self.next.add_days(self.step_days);
+        Some(out)
+    }
+}
+
+/// A second-precision simulated instant, used wherever `max_age` (seconds)
+/// interacts with the timeline.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimInstant {
+    /// Seconds since the Unix epoch.
+    secs: i64,
+}
+
+impl SimInstant {
+    /// Seconds since the Unix epoch.
+    pub const fn unix_secs(self) -> i64 {
+        self.secs
+    }
+
+    /// Builds an instant from seconds since the Unix epoch.
+    pub const fn from_unix_secs(secs: i64) -> SimInstant {
+        SimInstant { secs }
+    }
+
+    /// The civil date this instant falls on.
+    pub fn date(self) -> SimDate {
+        SimDate {
+            days: self.secs.div_euclid(SECS_PER_DAY),
+        }
+    }
+
+    /// Elapsed time since `earlier` (negative if `self` is earlier).
+    pub fn since(self, earlier: SimInstant) -> Duration {
+        Duration::seconds(self.secs - earlier.secs)
+    }
+}
+
+impl Add<Duration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: Duration) -> SimInstant {
+        SimInstant {
+            secs: self.secs + rhs.as_secs(),
+        }
+    }
+}
+
+impl AddAssign<Duration> for SimInstant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.secs += rhs.as_secs();
+    }
+}
+
+impl Sub<Duration> for SimInstant {
+    type Output = SimInstant;
+    fn sub(self, rhs: Duration) -> SimInstant {
+        SimInstant {
+            secs: self.secs - rhs.as_secs(),
+        }
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let date = self.date();
+        let tod = self.secs.rem_euclid(SECS_PER_DAY);
+        write!(
+            f,
+            "{date}T{:02}:{:02}:{:02}Z",
+            tod / 3600,
+            (tod % 3600) / 60,
+            tod % 60
+        )
+    }
+}
+
+impl fmt::Debug for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in the given civil month.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(y) => 29,
+        2 => 28,
+        _ => panic!("month out of range: {m}"),
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for a days-since-1970-01-01 count (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(SimDate::EPOCH.civil(), (1970, 1, 1));
+        assert_eq!(SimDate::ymd(1970, 1, 1).days_since_epoch(), 0);
+        assert_eq!(SimDate::EPOCH.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates() {
+        // The paper's measurement window endpoints.
+        assert_eq!(SimDate::ymd(2021, 9, 9).days_since_epoch(), 18_879);
+        assert_eq!(SimDate::ymd(2024, 9, 29).to_string(), "2024-09-29");
+        // Leap day.
+        assert_eq!(SimDate::ymd(2024, 2, 29).add_days(1).civil(), (2024, 3, 1));
+    }
+
+    #[test]
+    fn civil_roundtrip_many_days() {
+        // Every day across the measurement window plus margin round-trips.
+        let start = SimDate::ymd(2020, 1, 1).days_since_epoch();
+        let end = SimDate::ymd(2026, 1, 1).days_since_epoch();
+        for days in start..=end {
+            let d = SimDate::from_days_since_epoch(days);
+            let (y, m, dd) = d.civil();
+            assert_eq!(SimDate::ymd(y, m, dd).days_since_epoch(), days);
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d: SimDate = "2024-06-08".parse().unwrap();
+        assert_eq!(d, SimDate::ymd(2024, 6, 8));
+        assert_eq!(d.to_string(), "2024-06-08");
+        assert!("2024-13-01".parse::<SimDate>().is_err());
+        assert!("2023-02-29".parse::<SimDate>().is_err());
+        assert!("2024-1".parse::<SimDate>().is_err());
+        assert!("nonsense".parse::<SimDate>().is_err());
+    }
+
+    #[test]
+    fn month_arithmetic_clamps() {
+        assert_eq!(SimDate::ymd(2024, 1, 31).add_months(1), SimDate::ymd(2024, 2, 29));
+        assert_eq!(SimDate::ymd(2023, 1, 31).add_months(1), SimDate::ymd(2023, 2, 28));
+        assert_eq!(SimDate::ymd(2023, 11, 7).add_months(2), SimDate::ymd(2024, 1, 7));
+        assert_eq!(SimDate::ymd(2024, 3, 15).add_months(-3), SimDate::ymd(2023, 12, 15));
+    }
+
+    #[test]
+    fn weekly_range_covers_study_window() {
+        let start = SimDate::ymd(2021, 9, 9);
+        let end = SimDate::ymd(2024, 9, 29);
+        let snaps: Vec<_> = start.iter_to(end, 7).collect();
+        assert_eq!(snaps.first().copied(), Some(start));
+        assert!(snaps.last().copied().unwrap() <= end);
+        // ~36 months of weekly snapshots.
+        assert_eq!(snaps.len(), 160);
+        for w in snaps.windows(2) {
+            assert_eq!(w[1].days_since(w[0]), 7);
+        }
+    }
+
+    #[test]
+    fn instants_and_durations() {
+        let t0 = SimDate::ymd(2024, 1, 1).at_midnight();
+        let t1 = t0 + Duration::days(1) + Duration::hours(2) + Duration::seconds(30);
+        assert_eq!(t1.to_string(), "2024-01-02T02:00:30Z");
+        assert_eq!(t1.since(t0).as_secs(), 86_400 + 7_200 + 30);
+        assert_eq!(t1.date(), SimDate::ymd(2024, 1, 2));
+        assert_eq!((t1 - Duration::hours(3)).date(), SimDate::ymd(2024, 1, 1));
+    }
+
+    #[test]
+    fn max_age_style_arithmetic() {
+        // A policy cached at t0 with max_age 604800 (one week) expires
+        // exactly one week later.
+        let t0 = SimDate::ymd(2024, 5, 1).at_midnight();
+        let max_age = Duration::seconds(604_800);
+        let expiry = t0 + max_age;
+        assert_eq!(expiry.date(), SimDate::ymd(2024, 5, 8));
+    }
+
+    #[test]
+    fn weekdays() {
+        assert_eq!(SimDate::ymd(2024, 9, 29).weekday(), Weekday::Sunday);
+        assert_eq!(SimDate::ymd(2024, 1, 23).weekday(), Weekday::Tuesday);
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulated digests and signatures.
+//!
+//! **Not cryptography.** The study's validation logic only needs digests to
+//! be deterministic and collision-free in practice within a simulation; it
+//! never defends against an adversary computing preimages. We use four
+//! lanes of FNV-1a with different bases, yielding a 32-byte value shaped
+//! like a SHA-256 output so DANE TLSA `matching_type=1` code paths are
+//! structurally faithful.
+
+/// Output size in bytes, matching SHA-256 for structural fidelity.
+pub const DIGEST_LEN: usize = 32;
+
+/// A 32-byte simulated digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Computes the simulated digest of `data`.
+pub fn digest(data: &[u8]) -> Digest {
+    let mut out = [0u8; DIGEST_LEN];
+    for lane in 0..4u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for &b in data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // A final avalanche so lanes differ substantially.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        out[lane as usize * 8..(lane as usize + 1) * 8].copy_from_slice(&h.to_be_bytes());
+    }
+    out
+}
+
+/// Computes a keyed digest: the simulated signature of `data` under the
+/// private key `key_secret`. "Verification" recomputes it from the *key id*
+/// — see [`crate::authority::KeyPair`] for the simplification involved.
+pub fn keyed_digest(key: u64, data: &[u8]) -> Digest {
+    let mut buf = Vec::with_capacity(8 + data.len());
+    buf.extend_from_slice(&key.to_be_bytes());
+    buf.extend_from_slice(data);
+    digest(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(digest(b"hello"), digest(b"hello"));
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(digest(b"hello"), digest(b"hellp"));
+        assert_ne!(digest(b""), digest(b"\0"));
+        assert_ne!(digest(b"ab"), digest(b"ba"));
+    }
+
+    #[test]
+    fn keyed_digest_depends_on_key() {
+        assert_ne!(keyed_digest(1, b"data"), keyed_digest(2, b"data"));
+        assert_eq!(keyed_digest(7, b"data"), keyed_digest(7, b"data"));
+    }
+
+    #[test]
+    fn no_collisions_over_a_large_sample() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..50_000u32 {
+            let d = digest(&i.to_be_bytes());
+            assert!(seen.insert(d), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated PKIX (X.509) certificates and validation.
+//!
+//! MTA-STS hinges on the web PKI twice: the HTTPS policy server must present
+//! a certificate valid for `mta-sts.<domain>` (§2.2.2 of the paper), and
+//! every MX host must present one valid for its own name (§2.2.3). The
+//! paper's misconfiguration taxonomy distinguishes expired certificates,
+//! self-signed certificates, Common Name / Subject Alternative Name
+//! mismatches, and servers with *no* certificate installed for the requested
+//! name (§4.3.3-§4.3.4).
+//!
+//! This crate models exactly the semantics those analyses need — names,
+//! validity windows, issuer chains, a trust store — with *simulated*
+//! signatures (a keyed digest, not real cryptography; see [`digest`]). The
+//! shape of validation, and every error class, matches real PKIX.
+//!
+//! - [`cert`]: the certificate structure and its binary codec (carried in
+//!   toy-TLS handshake frames);
+//! - [`authority`]: simulated CAs, root/intermediate/leaf issuance, ACME-
+//!   style domain-validated issuance used by policy-hosting providers;
+//! - [`validate`]: chain building and verification, RFC 6125 host-name
+//!   matching, and the full [`validate::CertError`] taxonomy;
+//! - [`digest`]: the non-cryptographic digest used for signatures and TLSA
+//!   matching (shared with the DANE baseline).
+
+pub mod authority;
+pub mod cert;
+pub mod digest;
+pub mod validate;
+
+pub use authority::{CertAuthority, KeyPair, TrustStore};
+pub use cert::SimCert;
+pub use validate::{validate_chain, CertError};

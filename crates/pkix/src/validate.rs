@@ -1,0 +1,401 @@
+//! Chain validation and RFC 6125 host-name matching.
+//!
+//! The error taxonomy here is the paper's: §4.3.3 separates policy-server
+//! TLS failures into CN/SAN mismatches, missing certificates and self-signed
+//! certificates; §4.3.4 and Figure 6 use the same classes for MX hosts
+//! (self-signed, expired, CN mismatch).
+
+use crate::authority::TrustStore;
+use crate::cert::SimCert;
+use netbase::{DomainName, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PKIX validation failures, ordered roughly by where in the handshake they
+/// surface.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertError {
+    /// The server presented no certificate at all (the paper's "missing
+    /// certificates installed for the domain" — SSL alert class, prominent
+    /// for the DMARCReport third-party in §4.3.3).
+    NoCertificate,
+    /// The leaf certificate has expired.
+    Expired,
+    /// The leaf certificate is not yet valid.
+    NotYetValid,
+    /// The chain terminates in a self-signed certificate that is not a
+    /// trusted root.
+    SelfSigned,
+    /// The chain's issuer is unknown to the trust store.
+    UnknownIssuer,
+    /// A signature in the chain does not verify.
+    BadSignature,
+    /// An intermediate lacks the CA basic constraint.
+    NotACa,
+    /// A non-leaf certificate in the chain is outside its validity window.
+    IntermediateExpired,
+    /// The certificate does not cover the requested host name
+    /// (CN/SAN mismatch).
+    NameMismatch {
+        /// The name the client wanted.
+        wanted: DomainName,
+        /// The names the certificate presented.
+        presented: Vec<String>,
+    },
+    /// The chain was empty or structurally broken (issuer links don't
+    /// connect).
+    BrokenChain,
+}
+
+impl CertError {
+    /// Short machine-readable label used in scan reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CertError::NoCertificate => "no-certificate",
+            CertError::Expired => "expired",
+            CertError::NotYetValid => "not-yet-valid",
+            CertError::SelfSigned => "self-signed",
+            CertError::UnknownIssuer => "unknown-issuer",
+            CertError::BadSignature => "bad-signature",
+            CertError::NotACa => "not-a-ca",
+            CertError::IntermediateExpired => "intermediate-expired",
+            CertError::NameMismatch { .. } => "name-mismatch",
+            CertError::BrokenChain => "broken-chain",
+        }
+    }
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::NameMismatch { wanted, presented } => {
+                write!(f, "certificate does not match {wanted} (presented: {presented:?})")
+            }
+            other => write!(f, "{}", other.label()),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// RFC 6125 §6.4.3 host-name matching against one presented identifier.
+///
+/// - Comparison is case-insensitive (names are canonical lowercase here).
+/// - A wildcard is accepted only as the complete leftmost label and matches
+///   exactly one label (`*.example.com` matches `mta-sts.example.com`, not
+///   `example.com` nor `a.b.example.com`).
+/// - Wildcards must leave at least two labels after them (no `*.com`).
+pub fn host_matches_identifier(host: &DomainName, identifier: &DomainName) -> bool {
+    if identifier.is_wildcard() {
+        // Reject over-broad wildcards like `*.com`.
+        if identifier.label_count() < 3 {
+            return false;
+        }
+        host.matches_pattern(identifier)
+    } else {
+        host == identifier
+    }
+}
+
+/// Whether a certificate covers `host` through any of its DNS names (SANs,
+/// with legacy CN fallback).
+pub fn cert_covers_host(cert: &SimCert, host: &DomainName) -> bool {
+    cert.dns_names()
+        .iter()
+        .any(|id| host_matches_identifier(host, id))
+}
+
+/// Validates a presented chain (`chain[0]` = leaf, rest = intermediates)
+/// for `host` at time `now` against `roots`.
+///
+/// The checks, in the order real implementations surface them:
+/// 1. a certificate must be present;
+/// 2. every signature must verify and issuer links must connect;
+/// 3. the chain must anchor in the trust store (self-signed leaves get the
+///    distinct [`CertError::SelfSigned`]);
+/// 4. validity windows (leaf errors reported as `Expired`/`NotYetValid`,
+///    intermediate ones as `IntermediateExpired`);
+/// 5. the leaf must cover `host` (CN/SAN matching per RFC 6125).
+pub fn validate_chain(
+    chain: &[SimCert],
+    host: &DomainName,
+    now: SimInstant,
+    roots: &TrustStore,
+) -> Result<(), CertError> {
+    let Some(leaf) = chain.first() else {
+        return Err(CertError::NoCertificate);
+    };
+
+    // Structural pass over the chain: signatures and issuer links.
+    for (i, cert) in chain.iter().enumerate() {
+        if !cert.signature_valid() {
+            return Err(CertError::BadSignature);
+        }
+        if i > 0 && !cert.is_ca {
+            return Err(CertError::NotACa);
+        }
+        if let Some(next) = chain.get(i + 1) {
+            if cert.issuer_key_id != next.subject_key_id {
+                return Err(CertError::BrokenChain);
+            }
+        }
+    }
+
+    // Anchor check.
+    let last = chain.last().expect("chain is non-empty");
+    if !roots.is_trusted_root_key(last.issuer_key_id) {
+        // Distinguish the classic self-signed case from a merely unknown CA.
+        if last.is_self_signed() {
+            return Err(CertError::SelfSigned);
+        }
+        return Err(CertError::UnknownIssuer);
+    }
+
+    // Validity windows: leaf first (the error users see), then the rest.
+    if now > leaf.not_after {
+        return Err(CertError::Expired);
+    }
+    if now < leaf.not_before {
+        return Err(CertError::NotYetValid);
+    }
+    for cert in &chain[1..] {
+        if !cert.in_validity_window(now) {
+            return Err(CertError::IntermediateExpired);
+        }
+    }
+
+    // Host-name matching.
+    if !cert_covers_host(leaf, host) {
+        return Err(CertError::NameMismatch {
+            wanted: host.clone(),
+            presented: leaf.dns_names().iter().map(|d| d.to_string()).collect(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::{self_signed_leaf, CertAuthority, TrustStore};
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    struct World {
+        root: CertAuthority,
+        inter: CertAuthority,
+        store: TrustStore,
+        nb: SimInstant,
+        na: SimInstant,
+        now: SimInstant,
+    }
+
+    fn world() -> World {
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let now = SimDate::ymd(2024, 9, 29).at_midnight();
+        let mut root = CertAuthority::new_root("Sim Root", nb, na);
+        let inter = root.issue_intermediate("Sim Intermediate", nb, na);
+        let mut store = TrustStore::empty();
+        store.add_root(&root);
+        World {
+            root,
+            inter,
+            store,
+            nb,
+            na,
+            now,
+        }
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let mut w = world();
+        let leaf = w.inter.issue_leaf(&[n("mta-sts.example.com")], w.nb, w.na);
+        let chain = vec![leaf, w.inter.cert.clone(), w.root.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn leaf_directly_from_root_passes() {
+        let mut w = world();
+        let leaf = w.root.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
+        let chain = vec![leaf];
+        // Chain of just the leaf: its issuer key is the trusted root.
+        assert_eq!(validate_chain(&chain, &n("mx.example.com"), w.now, &w.store), Ok(()));
+    }
+
+    #[test]
+    fn empty_chain_is_no_certificate() {
+        let w = world();
+        assert_eq!(
+            validate_chain(&[], &n("x.example.com"), w.now, &w.store),
+            Err(CertError::NoCertificate)
+        );
+    }
+
+    #[test]
+    fn expired_leaf() {
+        let mut w = world();
+        let leaf = w.inter.issue_leaf(
+            &[n("mta-sts.example.com")],
+            w.nb,
+            SimDate::ymd(2024, 1, 1).at_midnight(),
+        );
+        let chain = vec![leaf, w.inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store),
+            Err(CertError::Expired)
+        );
+    }
+
+    #[test]
+    fn not_yet_valid_leaf() {
+        let mut w = world();
+        let leaf = w.inter.issue_leaf(
+            &[n("mta-sts.example.com")],
+            SimDate::ymd(2025, 1, 1).at_midnight(),
+            w.na,
+        );
+        let chain = vec![leaf, w.inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store),
+            Err(CertError::NotYetValid)
+        );
+    }
+
+    #[test]
+    fn self_signed_leaf_rejected_distinctly() {
+        let w = world();
+        let leaf = self_signed_leaf(&[n("mta-sts.example.com")], w.nb, w.na);
+        assert_eq!(
+            validate_chain(&[leaf], &n("mta-sts.example.com"), w.now, &w.store),
+            Err(CertError::SelfSigned)
+        );
+    }
+
+    #[test]
+    fn unknown_issuer_rejected() {
+        let mut other_root = CertAuthority::new_root(
+            "Rogue Root",
+            SimDate::ymd(2023, 1, 1).at_midnight(),
+            SimDate::ymd(2026, 1, 1).at_midnight(),
+        );
+        let w = world();
+        let leaf = other_root.issue_leaf(&[n("mta-sts.example.com")], w.nb, w.na);
+        assert_eq!(
+            validate_chain(&[leaf], &n("mta-sts.example.com"), w.now, &w.store),
+            Err(CertError::UnknownIssuer)
+        );
+    }
+
+    #[test]
+    fn name_mismatch_reports_names() {
+        let mut w = world();
+        // The classic §4.3.3 error: certificate for the bare domain, not the
+        // mta-sts subdomain.
+        let leaf = w.inter.issue_leaf(&[n("example.com"), n("www.example.com")], w.nb, w.na);
+        let chain = vec![leaf, w.inter.cert.clone()];
+        let got = validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store);
+        let Err(CertError::NameMismatch { wanted, presented }) = got else {
+            panic!("expected NameMismatch, got {got:?}")
+        };
+        assert_eq!(wanted, n("mta-sts.example.com"));
+        assert!(presented.contains(&"www.example.com".to_string()));
+    }
+
+    #[test]
+    fn wildcard_certificate_matching() {
+        let mut w = world();
+        let leaf = w.inter.issue_leaf(&[n("*.example.com")], w.nb, w.na);
+        let chain = vec![leaf, w.inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store),
+            Ok(())
+        );
+        // One label only: apex and deeper names do not match.
+        assert!(validate_chain(&chain, &n("example.com"), w.now, &w.store).is_err());
+        assert!(validate_chain(&chain, &n("a.b.example.com"), w.now, &w.store).is_err());
+    }
+
+    #[test]
+    fn overbroad_wildcard_rejected() {
+        assert!(!host_matches_identifier(&n("example.com"), &n("*.com")));
+    }
+
+    #[test]
+    fn tampered_signature_detected() {
+        let mut w = world();
+        let mut leaf = w.inter.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
+        leaf.san.push(n("extra.example.com")); // invalidates the signature
+        let chain = vec![leaf, w.inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),
+            Err(CertError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn non_ca_intermediate_rejected() {
+        let mut w = world();
+        // A leaf "signing" another leaf: forge the issuer linkage.
+        let fake_inter = w.inter.issue_leaf(&[n("notaca.example.com")], w.nb, w.na);
+        let mut leaf = w.inter.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
+        leaf.issuer_key_id = fake_inter.subject_key_id;
+        leaf.signature =
+            crate::digest::keyed_digest(fake_inter.subject_key_id, &leaf.tbs_bytes());
+        let chain = vec![leaf, fake_inter, w.inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),
+            Err(CertError::NotACa)
+        );
+    }
+
+    #[test]
+    fn broken_issuer_link_rejected() {
+        let mut w = world();
+        let leaf = w.inter.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
+        // Skip the intermediate: leaf's issuer key is the intermediate, but
+        // the next cert in the chain is the root.
+        let chain = vec![leaf, w.root.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),
+            Err(CertError::BrokenChain)
+        );
+    }
+
+    #[test]
+    fn expired_intermediate_reported_separately() {
+        let mut w = world();
+        let mut short_inter = w.root.issue_intermediate(
+            "Short Intermediate",
+            w.nb,
+            SimDate::ymd(2024, 1, 1).at_midnight(),
+        );
+        let leaf = short_inter.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
+        let chain = vec![leaf, short_inter.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),
+            Err(CertError::IntermediateExpired)
+        );
+    }
+
+    #[test]
+    fn error_labels_are_stable() {
+        assert_eq!(CertError::Expired.label(), "expired");
+        assert_eq!(
+            CertError::NameMismatch {
+                wanted: n("a.b"),
+                presented: vec![]
+            }
+            .label(),
+            "name-mismatch"
+        );
+    }
+}

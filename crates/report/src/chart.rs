@@ -1,0 +1,145 @@
+//! Terminal line charts for time series (the figures' shapes, in ASCII).
+
+/// A multi-series ASCII chart.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    /// (label, values) per series; all series share the x axis.
+    series: Vec<(String, Vec<f64>)>,
+    /// Labels for selected x positions (sparse).
+    x_labels: Vec<(usize, String)>,
+    height: usize,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+impl AsciiChart {
+    /// Creates a chart with the given title and height in rows.
+    pub fn new(title: &str, height: usize) -> AsciiChart {
+        AsciiChart {
+            title: title.to_string(),
+            series: Vec::new(),
+            x_labels: Vec::new(),
+            height: height.max(4),
+        }
+    }
+
+    /// Adds one series. Series must share the x axis length.
+    pub fn series(&mut self, label: &str, values: Vec<f64>) -> &mut AsciiChart {
+        if let Some((_, first)) = self.series.first() {
+            assert_eq!(first.len(), values.len(), "series lengths must agree");
+        }
+        self.series.push((label.to_string(), values));
+        self
+    }
+
+    /// Adds a sparse x-axis label at `index`.
+    pub fn x_label(&mut self, index: usize, label: &str) -> &mut AsciiChart {
+        self.x_labels.push((index, label.to_string()));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let width = self.series.first().map_or(0, |(_, v)| v.len());
+        if width == 0 {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
+        let min = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MAX, f64::min)
+            .min(0.0);
+        let span = (max - min).max(1e-9);
+        let mut grid = vec![vec![' '; width]; self.height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (x, v) in values.iter().enumerate() {
+                let t = (v - min) / span;
+                let y = ((1.0 - t) * (self.height - 1) as f64).round() as usize;
+                grid[y.min(self.height - 1)][x] = glyph;
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let axis_value = max - span * i as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{axis_value:8.2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:8} +{}\n", "", "-".repeat(width)));
+        // Sparse x labels.
+        if !self.x_labels.is_empty() {
+            let mut label_row = vec![' '; width + 10];
+            for (idx, label) in &self.x_labels {
+                let start = 10 + idx.min(&(width - 1));
+                for (off, ch) in label.chars().enumerate() {
+                    if start + off < label_row.len() {
+                        label_row[start + off] = ch;
+                    }
+                }
+            }
+            out.push_str(&label_row.iter().collect::<String>().trim_end().to_string());
+            out.push('\n');
+        }
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (label, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], label))
+            .collect();
+        out.push_str(&format!("legend: {}\n", legend.join("   ")));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_growing_series() {
+        let mut chart = AsciiChart::new("adoption", 6);
+        chart.series(".com", (0..40).map(|i| i as f64 * 0.01).collect());
+        chart.x_label(0, "2021-09");
+        chart.x_label(35, "2024-09");
+        let s = chart.render();
+        assert!(s.starts_with("adoption\n"));
+        assert!(s.contains("legend: * .com"));
+        assert!(s.contains("2021-09"));
+        // The max value appears on the top axis row.
+        assert!(s.contains("0.39"));
+    }
+
+    #[test]
+    fn multi_series_glyphs() {
+        let mut chart = AsciiChart::new("x", 5);
+        chart.series("a", vec![1.0, 2.0, 3.0]);
+        chart.series("b", vec![3.0, 2.0, 1.0]);
+        let s = chart.render();
+        assert!(s.contains("* a") && s.contains("+ b"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        let chart = AsciiChart::new("empty", 5);
+        assert!(chart.render().contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series lengths")]
+    fn mismatched_series_length_panics() {
+        let mut chart = AsciiChart::new("x", 5);
+        chart.series("a", vec![1.0]);
+        chart.series("b", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! `report` — rendering experiment outputs.
+//!
+//! The experiment binaries print the same rows and series the paper's
+//! tables and figures report. This crate provides the rendering: aligned
+//! ASCII tables, a terminal line chart for time series, and CSV/JSON
+//! emission for downstream plotting.
+
+pub mod chart;
+pub mod table;
+
+pub use chart::AsciiChart;
+pub use table::Table;
+
+use serde::Serialize;
+
+/// Serializes any experiment result to pretty JSON (for EXPERIMENTS.md
+/// bookkeeping and external plotting).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment outputs serialize")
+}
+
+/// Renders rows as CSV with the given header.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escaping() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "with,comma".into()],
+                vec!["3".into(), "with\"quote".into()],
+            ],
+        );
+        assert_eq!(
+            csv,
+            "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n"
+        );
+    }
+
+    #[test]
+    fn json_smoke() {
+        #[derive(Serialize)]
+        struct X {
+            v: u32,
+        }
+        assert!(to_json(&X { v: 7 }).contains("\"v\": 7"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `scanner` — the paper's measurement pipeline.
+//!
+//! Everything §3-§5 does to the live Internet, done to a
+//! [`simnet::World`]:
+//!
+//! - [`taxonomy`]: the per-domain scan record and every error category the
+//!   paper reports (record errors, the policy-retrieval ladder, MX
+//!   certificate verdicts, mx-pattern inconsistency classes, predicted
+//!   delivery failures);
+//! - [`classify`]: the managing-entity heuristics of §4.3.1 (≥50-domain
+//!   third parties, same-eSLD self-management, ≤5-domain policy hosts,
+//!   and the single-administrator IP-grouping nuance);
+//! - [`scan`]: one full-component snapshot scan of a world;
+//! - [`longitudinal`]: the weekly record series and monthly full scans
+//!   over the whole study calendar, retaining MX history for Figure 9;
+//! - [`analysis`]: figure- and table-shaped aggregations;
+//! - [`notify`]: the §4.7 responsible-disclosure campaign simulation.
+
+pub mod analysis;
+pub mod classify;
+pub mod longitudinal;
+pub mod notify;
+pub mod scan;
+pub mod taxonomy;
+
+pub use classify::{EntityClass, EntityClassifier};
+pub use longitudinal::{LongitudinalRun, Study};
+pub use scan::{scan_domain, scan_snapshot, Snapshot};
+pub use taxonomy::{DomainScan, MisconfigCategory, MxVerdict, PolicyLayer};

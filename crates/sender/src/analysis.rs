@@ -1,0 +1,190 @@
+//! §6.2's statistics over the platform's records.
+
+use crate::platform::{TestCase, TestRecord};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// The sender-side statistics the paper reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct SenderStats {
+    /// Unique sender domains observed.
+    pub senders: u64,
+    /// Senders using TLS on at least one delivery.
+    pub tls_senders: u64,
+    /// Senders performing opportunistic TLS: TLS-capable without the
+    /// blanket PKIX requirement (the paper's 2,232 = 93.2%; validators
+    /// are still opportunistic toward domains without policies).
+    pub opportunistic: u64,
+    /// Senders that never deliver without a PKIX-valid certificate.
+    pub pkix_always: u64,
+    /// Senders observed validating MTA-STS (refused the broken-cert
+    /// MTA-STS receiver while TLS-capable).
+    pub mtasts_validators: u64,
+    /// Senders observed validating DANE (refused the conflict receiver or
+    /// validated the DANE-only one).
+    pub dane_validators: u64,
+    /// Senders validating both.
+    pub both_validators: u64,
+    /// Both-validators that delivered to the conflict receiver — the
+    /// MTA-STS-over-DANE preference bug.
+    pub prefer_mtasts: u64,
+    /// EHLO interactions per operator.
+    pub operator_interactions: BTreeMap<String, u64>,
+}
+
+impl SenderStats {
+    /// Share of senders validating MTA-STS (paper: 19.6%).
+    pub fn mtasts_share(&self) -> f64 {
+        self.mtasts_validators as f64 / self.senders.max(1) as f64
+    }
+
+    /// Share validating DANE (paper: 29.8%).
+    pub fn dane_share(&self) -> f64 {
+        self.dane_validators as f64 / self.senders.max(1) as f64
+    }
+
+    /// Top-10-operator share of interactions (paper: 60.7%). With the
+    /// synthetic operator buckets, this is outlook + google + top10-other.
+    pub fn top10_share(&self) -> f64 {
+        let total: u64 = self.operator_interactions.values().sum();
+        let top: u64 = ["outlook.com", "google.com", "top10-other"]
+            .iter()
+            .filter_map(|k| self.operator_interactions.get(**&k).copied())
+            .sum();
+        top as f64 / total.max(1) as f64
+    }
+}
+
+/// Infers per-sender behaviour from its recorded tests (the paper's
+/// "most recent test per sender" — here each sender has exactly one run
+/// per case).
+pub fn analyze(records: &[TestRecord]) -> SenderStats {
+    #[derive(Default)]
+    struct PerSender {
+        tls_any: bool,
+        delivered_badcert: bool,
+        tls_on_badcert: bool,
+        refused_badcert: bool,
+        validated_dane_only: bool,
+        refused_conflict: bool,
+        delivered_conflict: bool,
+        refused_plain: bool,
+        refused_dane_only: bool,
+    }
+    let mut per: HashMap<String, PerSender> = HashMap::new();
+    let mut operator_interactions: BTreeMap<String, u64> = BTreeMap::new();
+    for r in records {
+        let entry = per.entry(r.sender.to_string()).or_default();
+        entry.tls_any |= r.tls_used;
+        match r.case {
+            TestCase::MtaStsBrokenCert => {
+                entry.delivered_badcert |= r.delivered;
+                entry.tls_on_badcert |= r.delivered && r.tls_used;
+                entry.refused_badcert |= !r.delivered;
+            }
+            TestCase::DaneOnly => {
+                entry.validated_dane_only |= r.delivered && r.validated;
+                entry.refused_dane_only |= !r.delivered;
+            }
+            TestCase::Conflict => {
+                entry.refused_conflict |= !r.delivered;
+                entry.delivered_conflict |= r.delivered;
+            }
+            TestCase::Plaintext => {
+                entry.refused_plain |= !r.delivered;
+            }
+            TestCase::MtaStsValid => {}
+        }
+        *operator_interactions.entry(r.operator.to_string()).or_default() += 1;
+    }
+
+    let mut stats = SenderStats {
+        senders: per.len() as u64,
+        tls_senders: 0,
+        opportunistic: 0,
+        pkix_always: 0,
+        mtasts_validators: 0,
+        dane_validators: 0,
+        both_validators: 0,
+        prefer_mtasts: 0,
+        operator_interactions,
+    };
+    for s in per.values() {
+        if s.tls_any {
+            stats.tls_senders += 1;
+        }
+        // PKIX-always: refuses any invalid certificate even without a
+        // policy (bad-cert receiver AND dane-only receiver AND plaintext).
+        let pkix_always = s.refused_badcert && s.refused_dane_only && s.refused_plain;
+        if pkix_always {
+            stats.pkix_always += 1;
+        }
+        // Opportunistic TLS: any TLS use without the blanket PKIX
+        // requirement (validators remain opportunistic toward unprotected
+        // domains).
+        if s.tls_any && !pkix_always {
+            stats.opportunistic += 1;
+        }
+        // MTA-STS validation: refused the enforce-mode broken-cert
+        // receiver, but not because of blanket PKIX (those still count in
+        // the paper's 31, so exclude them here).
+        let mtasts = s.refused_badcert && !pkix_always;
+        // DANE validation: validated the matching self-signed TLSA
+        // receiver, or refused the conflicting one.
+        let dane = (s.validated_dane_only || s.refused_conflict) && !pkix_always;
+        if mtasts {
+            stats.mtasts_validators += 1;
+        }
+        if dane {
+            stats.dane_validators += 1;
+        }
+        if mtasts && dane {
+            stats.both_validators += 1;
+            if s.delivered_conflict {
+                stats.prefer_mtasts += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::profile::{calib, SenderPopulation};
+    use netbase::SimDate;
+
+    #[test]
+    fn full_population_reproduces_section6() {
+        let platform = Platform::new(SimDate::ymd(2024, 6, 1));
+        let pop = SenderPopulation::generate(9, calib::SENDER_DOMAINS);
+        let records = platform.run_all(&pop.profiles);
+        let stats = analyze(&records);
+
+        assert_eq!(stats.senders, calib::SENDER_DOMAINS);
+        // 94.6% TLS.
+        let tls_share = stats.tls_senders as f64 / stats.senders as f64;
+        assert!((0.90..0.98).contains(&tls_share), "{tls_share}");
+        // 19.6% MTA-STS validators.
+        let sts = stats.mtasts_share();
+        assert!((0.17..0.23).contains(&sts), "{sts}");
+        // 29.8% DANE validators.
+        let dane = stats.dane_share();
+        assert!((0.26..0.33).contains(&dane), "{dane}");
+        // 8.5% both.
+        let both = stats.both_validators as f64 / stats.senders as f64;
+        assert!((0.07..0.10).contains(&both), "{both}");
+        // 2.6% prefer MTA-STS (the bug).
+        let prefer = stats.prefer_mtasts as f64 / stats.senders as f64;
+        assert!((0.02..0.035).contains(&prefer), "{prefer}");
+        // PKIX-always ≈ 31 senders (1.3%).
+        assert!((25..=40).contains(&(stats.pkix_always as i64)), "{}", stats.pkix_always);
+        // Top-10 operator concentration ≈ 60.7%.
+        let top10 = stats.top10_share();
+        assert!((0.55..0.66).contains(&top10), "{top10}");
+        // Opportunistic majority (93.2%).
+        let opp = stats.opportunistic as f64 / stats.senders as f64;
+        assert!((0.88..0.96).contains(&opp), "{opp}");
+    }
+}

@@ -1,0 +1,26 @@
+//! `sender` — sender-side MTA-STS/DANE validation (§6).
+//!
+//! The paper complements its recipient-side scans with a deliverability
+//! platform (email-security-scans.org): participants send mail to test
+//! domains whose MTA-STS/DANE configurations are deliberately varied, and
+//! the platform infers each sender's validation behaviour from what gets
+//! delivered. This crate rebuilds that apparatus:
+//!
+//! - [`profile`]: sender behaviour profiles calibrated to §6.2 (TLS
+//!   support, opportunistic vs PKIX-always, MTA-STS and/or DANE
+//!   validation, and the Postfix-milter bug preferring MTA-STS over DANE
+//!   against RFC 8461's advice);
+//! - [`platform`]: the test receiver domains (valid MTA-STS, broken-cert
+//!   MTA-STS, DANE-only, MTA-STS/DANE conflict, plaintext) and the test
+//!   harness that runs each sender against them, recording EHLO
+//!   interactions with operator attribution;
+//! - [`analysis`]: the §6.2 statistics over the most recent test per
+//!   sender domain.
+
+pub mod analysis;
+pub mod platform;
+pub mod profile;
+
+pub use analysis::{analyze, SenderStats};
+pub use platform::{Platform, TestCase, TestRecord};
+pub use profile::{SenderPopulation, SenderProfile, TlsSupport};

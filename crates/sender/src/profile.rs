@@ -1,0 +1,236 @@
+//! Sender behaviour profiles, calibrated to §6.2.
+//!
+//! Of the 2,394 sender domains in the paper's dataset: 94.6% support TLS,
+//! 93.2% are purely opportunistic, 1.3% always require PKIX-valid
+//! certificates; 19.6% validate MTA-STS, 29.8% validate DANE, 8.5% both,
+//! and 2.6% carry the milter bug that prefers MTA-STS over DANE.
+
+use netbase::{DetRng, DomainName};
+use serde::Serialize;
+
+/// Transport-security posture of a sending MTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TlsSupport {
+    /// Plaintext only (the 5.4% without TLS).
+    None,
+    /// STARTTLS when offered, any certificate accepted.
+    Opportunistic,
+    /// STARTTLS required with PKIX-valid certificates, always.
+    PkixAlways,
+}
+
+/// One sending domain's behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SenderProfile {
+    /// The sender's domain.
+    pub domain: DomainName,
+    /// Transport posture.
+    pub tls: TlsSupport,
+    /// Whether MTA-STS policies are fetched and enforced.
+    pub validates_mtasts: bool,
+    /// Whether DANE TLSA records are validated.
+    pub validates_dane: bool,
+    /// The known milter bug: when both protocols apply, MTA-STS wins
+    /// (RFC 8461 §2 says DANE should; footnote 11 of the paper).
+    pub prefers_mtasts_over_dane: bool,
+    /// The mail operator actually running this sender's MTA (EHLO
+    /// attribution; §6.1's concentration statistics).
+    pub operator: &'static str,
+}
+
+/// Calibration: sender-count targets from §6.1-6.2.
+pub mod calib {
+    /// Unique sender domains in the dataset.
+    pub const SENDER_DOMAINS: u64 = 2_394;
+    /// Individual deliverability tests.
+    pub const TOTAL_TESTS: u64 = 3_806;
+    /// P(TLS supported) = 2,264/2,394.
+    pub const TLS_RATE: f64 = 2_264.0 / 2_394.0;
+    /// P(PKIX always | TLS) — 31 domains.
+    pub const PKIX_ALWAYS: u64 = 31;
+    /// Senders validating MTA-STS: 469 (19.6%).
+    pub const MTASTS_VALIDATORS: u64 = 469;
+    /// Senders validating DANE: 714 (29.8%).
+    pub const DANE_VALIDATORS: u64 = 714;
+    /// Senders validating both: 203 (8.5%).
+    pub const BOTH_VALIDATORS: u64 = 203;
+    /// Buggy preference for MTA-STS over DANE: 62 (2.6%).
+    pub const PREFER_MTASTS: u64 = 62;
+    /// Operator shares of EHLO interactions (§6.1): outlook 26.31%,
+    /// google 23.03%, the rest of the top 10 ≈ 11.4%, long tail the rest.
+    pub const OPERATOR_WEIGHTS: [(&str, f64); 4] = [
+        ("outlook.com", 26.31),
+        ("google.com", 23.03),
+        ("top10-other", 11.36),
+        ("long-tail", 39.30),
+    ];
+}
+
+/// The generated sender population.
+#[derive(Debug, Clone)]
+pub struct SenderPopulation {
+    /// All profiles, in deterministic order.
+    pub profiles: Vec<SenderProfile>,
+}
+
+impl SenderPopulation {
+    /// Generates `n` senders (use [`calib::SENDER_DOMAINS`] for the
+    /// paper's population) from a seed.
+    pub fn generate(seed: u64, n: u64) -> SenderPopulation {
+        let root = DetRng::new(seed).fork("senders");
+        let scale = n as f64 / calib::SENDER_DOMAINS as f64;
+        let scaled = |count: u64| ((count as f64 * scale).round() as u64).min(n);
+
+        // Deterministic quota assignment over a shuffled order: exact
+        // counts rather than binomial noise, matching how the paper
+        // reports absolute numbers.
+        let mut profiles: Vec<SenderProfile> = (0..n)
+            .map(|i| {
+                let domain: DomainName = format!("sender{i:04}.example")
+                    .parse()
+                    .expect("generated names are valid");
+                let operator = {
+                    let weights: Vec<f64> = calib::OPERATOR_WEIGHTS
+                        .iter()
+                        .map(|(_, w)| *w)
+                        .collect();
+                    let idx = root
+                        .fork(&format!("op/{i}"))
+                        .weighted_index("operator", &weights);
+                    calib::OPERATOR_WEIGHTS[idx].0
+                };
+                SenderProfile {
+                    domain,
+                    tls: TlsSupport::Opportunistic,
+                    validates_mtasts: false,
+                    validates_dane: false,
+                    prefers_mtasts_over_dane: false,
+                    operator,
+                }
+            })
+            .collect();
+
+        // Quotas, assigned over a deterministic shuffle.
+        let mut order: Vec<usize> = (0..profiles.len()).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut root.stream_for("quota-order"));
+
+        let no_tls = n - scaled((calib::TLS_RATE * calib::SENDER_DOMAINS as f64) as u64);
+        let pkix_always = scaled(calib::PKIX_ALWAYS);
+        let both = scaled(calib::BOTH_VALIDATORS);
+        let mtasts_only = scaled(calib::MTASTS_VALIDATORS).saturating_sub(both);
+        let dane_only = scaled(calib::DANE_VALIDATORS).saturating_sub(both);
+        let prefer = scaled(calib::PREFER_MTASTS);
+
+        let mut cursor = order.into_iter();
+        for _ in 0..no_tls {
+            if let Some(i) = cursor.next() {
+                profiles[i].tls = TlsSupport::None;
+            }
+        }
+        for _ in 0..pkix_always {
+            if let Some(i) = cursor.next() {
+                profiles[i].tls = TlsSupport::PkixAlways;
+            }
+        }
+        let mut both_indices = Vec::new();
+        for _ in 0..both {
+            if let Some(i) = cursor.next() {
+                profiles[i].validates_mtasts = true;
+                profiles[i].validates_dane = true;
+                both_indices.push(i);
+            }
+        }
+        for _ in 0..mtasts_only {
+            if let Some(i) = cursor.next() {
+                profiles[i].validates_mtasts = true;
+            }
+        }
+        for _ in 0..dane_only {
+            if let Some(i) = cursor.next() {
+                profiles[i].validates_dane = true;
+            }
+        }
+        // The preference bug lives among the both-validators.
+        for &i in both_indices.iter().take(prefer as usize) {
+            profiles[i].prefers_mtasts_over_dane = true;
+        }
+        SenderPopulation { profiles }
+    }
+
+    /// Number of senders.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_population_hits_paper_counts() {
+        let pop = SenderPopulation::generate(9, calib::SENDER_DOMAINS);
+        assert_eq!(pop.len() as u64, calib::SENDER_DOMAINS);
+        let tls = pop
+            .profiles
+            .iter()
+            .filter(|p| p.tls != TlsSupport::None)
+            .count() as u64;
+        assert_eq!(tls, 2_264);
+        let pkix = pop
+            .profiles
+            .iter()
+            .filter(|p| p.tls == TlsSupport::PkixAlways)
+            .count() as u64;
+        assert_eq!(pkix, 31);
+        let mtasts = pop.profiles.iter().filter(|p| p.validates_mtasts).count() as u64;
+        assert_eq!(mtasts, calib::MTASTS_VALIDATORS);
+        let dane = pop.profiles.iter().filter(|p| p.validates_dane).count() as u64;
+        assert_eq!(dane, calib::DANE_VALIDATORS);
+        let both = pop
+            .profiles
+            .iter()
+            .filter(|p| p.validates_mtasts && p.validates_dane)
+            .count() as u64;
+        assert_eq!(both, calib::BOTH_VALIDATORS);
+        let prefer = pop
+            .profiles
+            .iter()
+            .filter(|p| p.prefers_mtasts_over_dane)
+            .count() as u64;
+        assert_eq!(prefer, calib::PREFER_MTASTS);
+        // The bug only occurs among both-validators.
+        assert!(pop
+            .profiles
+            .iter()
+            .filter(|p| p.prefers_mtasts_over_dane)
+            .all(|p| p.validates_mtasts && p.validates_dane));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = SenderPopulation::generate(9, 500);
+        let b = SenderPopulation::generate(9, 500);
+        assert_eq!(a.profiles, b.profiles);
+        let c = SenderPopulation::generate(10, 500);
+        assert_ne!(a.profiles, c.profiles);
+    }
+
+    #[test]
+    fn operator_concentration() {
+        let pop = SenderPopulation::generate(3, calib::SENDER_DOMAINS);
+        let outlook = pop
+            .profiles
+            .iter()
+            .filter(|p| p.operator == "outlook.com")
+            .count() as f64;
+        let share = outlook / pop.len() as f64;
+        assert!((0.22..0.31).contains(&share), "{share}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Endpoints: the hosts behind the IPs.
+//!
+//! A [`WebEndpoint`] is an HTTPS server (a policy host — self-managed or a
+//! provider platform serving thousands of customers); an [`MxEndpoint`] is
+//! an inbound MTA. Both carry the reachability and TLS fault knobs the
+//! study's taxonomy requires and can be deployed 1:1 onto real sockets by
+//! [`crate::wire`].
+
+use netbase::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The certificate situation of an endpoint for a given name — the fault
+/// palette behind Figures 5 and 6.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CertKind {
+    /// Properly issued, covers the right names.
+    Valid,
+    /// Expired (issued in the past, lapsed).
+    Expired,
+    /// Self-signed.
+    SelfSigned,
+    /// Valid chain for a *different* name (shared-hosting default cert —
+    /// the CN-mismatch class dominating self-managed failures, §4.3.3).
+    WrongName(DomainName),
+    /// Issued by a CA outside the public trust store.
+    UntrustedCa,
+    /// No certificate installed for the name at all (SSL-alert class;
+    /// DMARCReport's signature failure, §4.3.3).
+    NoneInstalled,
+}
+
+/// Reachability of an endpoint's TCP listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Reachability {
+    /// Accepting connections.
+    #[default]
+    Up,
+    /// Port closed (RST) — "not running a web server".
+    Refused,
+    /// Packets dropped — connect timeout.
+    Timeout,
+}
+
+/// TLS-layer behaviour of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TlsBehavior {
+    /// Complete handshakes normally.
+    #[default]
+    Normal,
+    /// Refuse every handshake (no TLS support on the port).
+    Refuse,
+    /// Drop the connection mid-handshake.
+    Abort,
+}
+
+/// A policy web host.
+///
+/// Provider platforms install one certificate chain per customer SNI (or a
+/// wildcard/default), and one document per `(host, path)` — exactly the
+/// shape of [`httpsim::Router`] + [`tlssim::ServerIdentity`], which the
+/// wire deployment reuses directly.
+#[derive(Debug, Clone, Default)]
+pub struct WebEndpoint {
+    /// TCP reachability.
+    pub reachability: Reachability,
+    /// TLS behaviour.
+    pub tls_behavior: TlsBehavior,
+    /// Certificate chains by installed SNI name.
+    pub chains: HashMap<DomainName, Vec<pkix::SimCert>>,
+    /// Fallback chain for unknown SNI (shared-hosting default cert).
+    pub default_chain: Option<Vec<pkix::SimCert>>,
+    /// Documents by `(host, path)`: `(status, body)`.
+    pub documents: HashMap<(DomainName, String), (u16, String)>,
+}
+
+impl WebEndpoint {
+    /// A reachable endpoint with nothing installed.
+    pub fn up() -> WebEndpoint {
+        WebEndpoint::default()
+    }
+
+    /// Installs a certificate chain for `sni`.
+    pub fn install_chain(&mut self, sni: DomainName, chain: Vec<pkix::SimCert>) {
+        self.chains.insert(sni, chain);
+    }
+
+    /// Installs a policy document served with HTTP 200.
+    pub fn install_policy(&mut self, host: DomainName, body: &str) {
+        self.documents.insert(
+            (host, mtasts::WELL_KNOWN_PATH.to_string()),
+            (200, body.to_string()),
+        );
+    }
+
+    /// Installs an arbitrary `(status, body)` at `(host, path)`.
+    pub fn install_document(&mut self, host: DomainName, path: &str, status: u16, body: &str) {
+        self.documents
+            .insert((host, path.to_string()), (status, body.to_string()));
+    }
+
+    /// Removes the policy document for `host`; returns whether it existed.
+    pub fn remove_policy(&mut self, host: &DomainName) -> bool {
+        self.documents
+            .remove(&(host.clone(), mtasts::WELL_KNOWN_PATH.to_string()))
+            .is_some()
+    }
+
+    /// Selects the chain presented for `sni`: exact name, then any
+    /// wildcard-covering installed chain, then the default.
+    pub fn select_chain(&self, sni: &DomainName) -> Option<&Vec<pkix::SimCert>> {
+        if let Some(chain) = self.chains.get(sni) {
+            return Some(chain);
+        }
+        self.chains
+            .values()
+            .find(|chain| {
+                chain
+                    .first()
+                    .is_some_and(|leaf| pkix::validate::cert_covers_host(leaf, sni))
+            })
+            .or(self.default_chain.as_ref())
+    }
+
+    /// Looks up the document for `(host, path)`.
+    pub fn document(&self, host: &DomainName, path: &str) -> Option<&(u16, String)> {
+        self.documents.get(&(host.clone(), path.to_string()))
+    }
+}
+
+/// An inbound MTA endpoint.
+#[derive(Debug, Clone)]
+pub struct MxEndpoint {
+    /// The hostname the server announces (and the SNI key for its cert).
+    pub hostname: DomainName,
+    /// TCP reachability.
+    pub reachability: Reachability,
+    /// Whether STARTTLS is advertised and usable.
+    pub starttls: bool,
+    /// The certificate chain presented after STARTTLS (empty = alert).
+    pub chain: Vec<pkix::SimCert>,
+    /// Whether the server hides STARTTLS (greylisting-style).
+    pub hide_starttls: bool,
+    /// Whether EHLO is refused (HELO-only legacy server).
+    pub helo_only: bool,
+    /// Recipient domains rejected with 550 (provider opt-out residue, §5).
+    pub reject_rcpt_domains: Vec<DomainName>,
+}
+
+impl MxEndpoint {
+    /// A healthy STARTTLS-capable MX presenting `chain`.
+    pub fn healthy(hostname: DomainName, chain: Vec<pkix::SimCert>) -> MxEndpoint {
+        MxEndpoint {
+            hostname,
+            reachability: Reachability::Up,
+            starttls: true,
+            chain,
+            hide_starttls: false,
+            helo_only: false,
+            reject_rcpt_domains: Vec::new(),
+        }
+    }
+
+    /// A plaintext-only MX.
+    pub fn plaintext(hostname: DomainName) -> MxEndpoint {
+        MxEndpoint {
+            hostname,
+            reachability: Reachability::Up,
+            starttls: false,
+            chain: Vec::new(),
+            hide_starttls: false,
+            helo_only: false,
+            reject_rcpt_domains: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pki::SharedPki;
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn web_endpoint_chain_selection() {
+        let pki = SharedPki::new();
+        let now = SimDate::ymd(2024, 6, 1).at_midnight();
+        let mut ep = WebEndpoint::up();
+        ep.install_chain(
+            n("mta-sts.alpha.com"),
+            pki.issue_valid(&[n("mta-sts.alpha.com")], now),
+        );
+        ep.install_chain(
+            n("*.provider.net"),
+            pki.issue_valid(&[n("*.provider.net")], now),
+        );
+        ep.default_chain = Some(pki.issue_valid(&[n("shared.host.net")], now));
+        // Exact.
+        assert!(ep.select_chain(&n("mta-sts.alpha.com")).is_some());
+        // Wildcard coverage.
+        let wild = ep.select_chain(&n("a-com.provider.net")).unwrap();
+        assert_eq!(wild[0].subject_cn, "*.provider.net");
+        // Default for strangers.
+        let def = ep.select_chain(&n("mta-sts.unknown.org")).unwrap();
+        assert_eq!(def[0].subject_cn, "shared.host.net");
+    }
+
+    #[test]
+    fn web_endpoint_documents() {
+        let mut ep = WebEndpoint::up();
+        ep.install_policy(n("mta-sts.alpha.com"), "version: STSv1\nmode: none\nmax_age: 60\n");
+        assert!(ep.document(&n("mta-sts.alpha.com"), mtasts::WELL_KNOWN_PATH).is_some());
+        assert!(ep.document(&n("mta-sts.alpha.com"), "/other").is_none());
+        assert!(ep.remove_policy(&n("mta-sts.alpha.com")));
+        assert!(!ep.remove_policy(&n("mta-sts.alpha.com")));
+    }
+}

@@ -1,0 +1,501 @@
+//! The fast-path error ladders: policy fetch and MX probe.
+//!
+//! These walk the exact layer sequence the paper's taxonomy is built on
+//! (§4.3.3: DNS → TCP → TLS → HTTP → policy syntax; §4.3.4: reachability →
+//! STARTTLS → certificate), against the in-memory [`World`]. The wire path
+//! in [`crate::wire`] performs the same ladders over real sockets; the
+//! differential tests in `tests/` assert agreement.
+
+use crate::endpoint::{Reachability, TlsBehavior};
+use crate::world::World;
+use dns::RecordType;
+use mtasts::{parse_policy, Policy, PolicyError};
+use netbase::{DomainName, SimInstant};
+use pkix::{validate_chain, CertError, SimCert};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// TLS-layer failure detail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlsFailure {
+    /// Handshake never completed (refusal, abort, no TLS support).
+    Handshake(String),
+    /// Handshake completed but the certificate failed validation.
+    Cert(CertError),
+}
+
+impl fmt::Display for TlsFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsFailure::Handshake(m) => write!(f, "handshake: {m}"),
+            TlsFailure::Cert(e) => write!(f, "certificate: {e}"),
+        }
+    }
+}
+
+/// Policy retrieval failure, by layer — Figure 5's five series.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyFetchError {
+    /// The policy host has no usable A/AAAA (or the lookup failed).
+    Dns(String),
+    /// TCP connection failed (closed port or timeout).
+    Tcp(String),
+    /// TLS failed (handshake or certificate).
+    Tls(TlsFailure),
+    /// An HTTP response other than 200.
+    Http(u16),
+    /// Fetched but syntactically invalid.
+    Syntax(PolicyError),
+}
+
+impl PolicyFetchError {
+    /// The layer label used by Figure 5.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            PolicyFetchError::Dns(_) => "dns",
+            PolicyFetchError::Tcp(_) => "tcp",
+            PolicyFetchError::Tls(_) => "tls",
+            PolicyFetchError::Http(_) => "http",
+            PolicyFetchError::Syntax(_) => "policy-syntax",
+        }
+    }
+}
+
+impl fmt::Display for PolicyFetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyFetchError::Dns(m) => write!(f, "dns: {m}"),
+            PolicyFetchError::Tcp(m) => write!(f, "tcp: {m}"),
+            PolicyFetchError::Tls(t) => write!(f, "tls: {t}"),
+            PolicyFetchError::Http(s) => write!(f, "http status {s}"),
+            PolicyFetchError::Syntax(e) => write!(f, "policy syntax: {e}"),
+        }
+    }
+}
+
+/// Everything a policy fetch observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyFetchOutcome {
+    /// CNAME chain observed at `mta-sts.<domain>` (delegation evidence,
+    /// recorded even when the fetch subsequently fails).
+    pub cname_chain: Vec<DomainName>,
+    /// The certificate chain the endpoint would present, when the TLS
+    /// layer was reached (recorded even when invalid).
+    pub presented_chain: Option<Vec<SimCert>>,
+    /// The fetch result: parsed policy + raw document, or the layered
+    /// error.
+    pub result: Result<(Policy, String), PolicyFetchError>,
+}
+
+impl PolicyFetchOutcome {
+    /// The parsed policy, if retrieval succeeded.
+    pub fn policy(&self) -> Option<&Policy> {
+        self.result.as_ref().ok().map(|(p, _)| p)
+    }
+}
+
+/// Everything an MX probe observes (§4.1's instrumented client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxProbeOutcome {
+    /// Whether the SMTP endpoint was reachable at all.
+    pub reachable: bool,
+    /// Whether EHLO failed and HELO was used.
+    pub used_helo: bool,
+    /// Whether STARTTLS was advertised.
+    pub starttls_offered: bool,
+    /// The presented certificate chain (empty = none installed), when the
+    /// upgrade was attempted.
+    pub chain: Option<Vec<SimCert>>,
+    /// A handshake-level failure description, if the upgrade broke.
+    pub tls_failure: Option<String>,
+}
+
+impl MxProbeOutcome {
+    /// An unreachable-host outcome.
+    fn unreachable() -> MxProbeOutcome {
+        MxProbeOutcome {
+            reachable: false,
+            used_helo: false,
+            starttls_offered: false,
+            chain: None,
+            tls_failure: None,
+        }
+    }
+
+    /// Validates the presented chain for `host`; `None` when no chain was
+    /// retrievable (unreachable or no STARTTLS).
+    pub fn cert_verdict(
+        &self,
+        host: &DomainName,
+        now: SimInstant,
+        roots: &pkix::TrustStore,
+    ) -> Option<Result<(), CertError>> {
+        self.chain
+            .as_ref()
+            .map(|chain| validate_chain(chain, host, now, roots))
+    }
+}
+
+impl World {
+    /// Fetches `domain`'s MTA-STS policy over the simulated HTTPS path,
+    /// walking the full §4.3.3 ladder.
+    pub fn fetch_policy(&self, domain: &DomainName, now: SimInstant) -> PolicyFetchOutcome {
+        let policy_host = domain
+            .prefixed(mtasts::POLICY_HOST_LABEL)
+            .expect("policy host label is valid");
+
+        // Layer 1: DNS. Resolve A; recover the CNAME chain for delegation
+        // analysis even when resolution fails (provider NXDOMAIN opt-outs,
+        // §5).
+        let (addrs, cname_chain) = match self.resolve(&policy_host, RecordType::A, now) {
+            Ok(lookup) => (lookup.a_addrs(), lookup.cname_chain),
+            Err(e) => {
+                let chain = self
+                    .resolve(&policy_host, RecordType::Cname, now)
+                    .ok()
+                    .map(|l| {
+                        l.records
+                            .iter()
+                            .filter_map(|r| match &r.data {
+                                dns::RecordData::Cname(t) => Some(t.clone()),
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                return PolicyFetchOutcome {
+                    cname_chain: chain,
+                    presented_chain: None,
+                    result: Err(PolicyFetchError::Dns(e.to_string())),
+                };
+            }
+        };
+        let Some(ip) = addrs.first().copied() else {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: None,
+                result: Err(PolicyFetchError::Dns("no A records".to_string())),
+            };
+        };
+
+        // Layer 2: TCP.
+        let Some(endpoint) = self.web_endpoint(ip) else {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: None,
+                result: Err(PolicyFetchError::Tcp(format!("connection refused to {ip}"))),
+            };
+        };
+        match endpoint.reachability {
+            Reachability::Up => {}
+            Reachability::Refused => {
+                return PolicyFetchOutcome {
+                    cname_chain,
+                    presented_chain: None,
+                    result: Err(PolicyFetchError::Tcp(format!("connection refused to {ip}"))),
+                }
+            }
+            Reachability::Timeout => {
+                return PolicyFetchOutcome {
+                    cname_chain,
+                    presented_chain: None,
+                    result: Err(PolicyFetchError::Tcp(format!("connect timeout to {ip}"))),
+                }
+            }
+        }
+
+        // Layer 3: TLS. SNI and Host stay `mta-sts.<domain>` even through
+        // CNAME delegation (RFC 8461 §3.3).
+        match endpoint.tls_behavior {
+            TlsBehavior::Normal => {}
+            TlsBehavior::Refuse => {
+                return PolicyFetchOutcome {
+                    cname_chain,
+                    presented_chain: None,
+                    result: Err(PolicyFetchError::Tls(TlsFailure::Handshake(
+                        "handshake_failure alert".to_string(),
+                    ))),
+                }
+            }
+            TlsBehavior::Abort => {
+                return PolicyFetchOutcome {
+                    cname_chain,
+                    presented_chain: None,
+                    result: Err(PolicyFetchError::Tls(TlsFailure::Handshake(
+                        "connection reset during handshake".to_string(),
+                    ))),
+                }
+            }
+        }
+        let chain = endpoint.select_chain(&policy_host).cloned().unwrap_or_default();
+        if let Err(e) = validate_chain(&chain, &policy_host, now, self.pki.trust_store()) {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Tls(TlsFailure::Cert(e))),
+            };
+        }
+
+        // Layer 4: HTTP.
+        let doc = endpoint
+            .document(&policy_host, mtasts::WELL_KNOWN_PATH)
+            .cloned();
+        let (status, body) = match doc {
+            Some(pair) => pair,
+            None => (404, String::new()),
+        };
+        if status != 200 {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Http(status)),
+            };
+        }
+
+        // Layer 5: syntax.
+        match parse_policy(&body) {
+            Ok(policy) => PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: Some(chain),
+                result: Ok((policy, body)),
+            },
+            Err(e) => PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Syntax(e)),
+            },
+        }
+    }
+
+    /// Probes one MX host (§4.1's instrumented SMTP client, fast path).
+    pub fn probe_mx(&self, mx_host: &DomainName, now: SimInstant) -> MxProbeOutcome {
+        let Ok(lookup) = self.resolve(mx_host, RecordType::A, now) else {
+            return MxProbeOutcome::unreachable();
+        };
+        let Some(ip) = lookup.a_addrs().first().copied() else {
+            return MxProbeOutcome::unreachable();
+        };
+        let Some(endpoint) = self.mx_endpoint(ip) else {
+            return MxProbeOutcome::unreachable();
+        };
+        if endpoint.reachability != Reachability::Up {
+            return MxProbeOutcome::unreachable();
+        }
+        let used_helo = endpoint.helo_only;
+        let starttls_offered = endpoint.starttls && !endpoint.hide_starttls && !endpoint.helo_only;
+        if !starttls_offered {
+            return MxProbeOutcome {
+                reachable: true,
+                used_helo,
+                starttls_offered,
+                chain: None,
+                tls_failure: None,
+            };
+        }
+        MxProbeOutcome {
+            reachable: true,
+            used_helo,
+            starttls_offered,
+            chain: Some(endpoint.chain.clone()),
+            tls_failure: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{CertKind, MxEndpoint, WebEndpoint};
+    use dns::RecordData;
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn now() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    const GOOD_POLICY: &str =
+        "version: STSv1\r\nmode: enforce\r\nmx: mx.example.com\r\nmax_age: 604800\r\n";
+
+    /// A world with one correctly deployed domain.
+    fn good_world() -> World {
+        let w = World::new();
+        w.ensure_zone(&n("example.com"));
+        let policy_host = n("mta-sts.example.com");
+        let mut web = WebEndpoint::up();
+        web.install_chain(policy_host.clone(), w.pki.issue_valid(&[policy_host.clone()], now()));
+        web.install_policy(policy_host.clone(), GOOD_POLICY);
+        let web_ip = w.add_web_endpoint(web);
+        let mx_chain = w.pki.issue_valid(&[n("mx.example.com")], now());
+        let mx_ip = w.add_mx_endpoint(MxEndpoint::healthy(n("mx.example.com"), mx_chain));
+        w.with_zone(&n("example.com"), |z| {
+            z.add_rr(&n("mta-sts.example.com"), 300, RecordData::A(web_ip));
+            z.add_rr(&n("mx.example.com"), 300, RecordData::A(mx_ip));
+            z.add_rr(
+                &n("example.com"),
+                300,
+                RecordData::Mx {
+                    preference: 10,
+                    exchange: n("mx.example.com"),
+                },
+            );
+            z.add_rr(
+                &n("_mta-sts.example.com"),
+                300,
+                RecordData::Txt(vec!["v=STSv1; id=20240601;".into()]),
+            );
+        });
+        w
+    }
+
+    #[test]
+    fn healthy_domain_fetches_policy() {
+        let w = good_world();
+        let outcome = w.fetch_policy(&n("example.com"), now());
+        let (policy, raw) = outcome.result.expect("fetch must succeed");
+        assert_eq!(policy.mode, mtasts::Mode::Enforce);
+        assert_eq!(raw, GOOD_POLICY);
+        assert!(outcome.cname_chain.is_empty());
+    }
+
+    #[test]
+    fn dns_layer_error() {
+        let w = World::new();
+        w.ensure_zone(&n("broken.com"));
+        // Record exists but mta-sts has no A record.
+        let outcome = w.fetch_policy(&n("broken.com"), now());
+        assert!(matches!(outcome.result, Err(PolicyFetchError::Dns(_))));
+        assert_eq!(outcome.result.unwrap_err().layer(), "dns");
+    }
+
+    #[test]
+    fn tcp_layer_errors() {
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        w.with_web(ip, |ep| ep.reachability = Reachability::Refused);
+        let refused = w.fetch_policy(&n("example.com"), now());
+        assert!(matches!(refused.result, Err(PolicyFetchError::Tcp(_))));
+        w.with_web(ip, |ep| ep.reachability = Reachability::Timeout);
+        w.flush_dns_cache();
+        let timeout = w.fetch_policy(&n("example.com"), now());
+        let Err(PolicyFetchError::Tcp(msg)) = timeout.result else {
+            panic!("expected tcp error")
+        };
+        assert!(msg.contains("timeout"));
+    }
+
+    #[test]
+    fn tls_layer_cert_errors() {
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        let host = n("mta-sts.example.com");
+        // Swap in an expired certificate.
+        let expired = w.pki.issue(&CertKind::Expired, &[host.clone()], now());
+        w.with_web(ip, |ep| ep.install_chain(host.clone(), expired));
+        let outcome = w.fetch_policy(&n("example.com"), now());
+        assert_eq!(
+            outcome.result,
+            Err(PolicyFetchError::Tls(TlsFailure::Cert(CertError::Expired)))
+        );
+        // The invalid chain is still recorded as evidence.
+        assert!(outcome.presented_chain.is_some());
+    }
+
+    #[test]
+    fn tls_layer_no_cert_for_sni() {
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        w.with_web(ip, |ep| {
+            ep.chains.clear();
+        });
+        let outcome = w.fetch_policy(&n("example.com"), now());
+        assert_eq!(
+            outcome.result,
+            Err(PolicyFetchError::Tls(TlsFailure::Cert(CertError::NoCertificate)))
+        );
+    }
+
+    #[test]
+    fn http_layer_404() {
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        w.with_web(ip, |ep| {
+            ep.remove_policy(&n("mta-sts.example.com"));
+        });
+        let outcome = w.fetch_policy(&n("example.com"), now());
+        assert_eq!(outcome.result, Err(PolicyFetchError::Http(404)));
+    }
+
+    #[test]
+    fn syntax_layer_error_and_empty_file() {
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        w.with_web(ip, |ep| {
+            ep.install_policy(n("mta-sts.example.com"), "");
+        });
+        let outcome = w.fetch_policy(&n("example.com"), now());
+        assert_eq!(
+            outcome.result,
+            Err(PolicyFetchError::Syntax(PolicyError::EmptyDocument))
+        );
+    }
+
+    #[test]
+    fn delegated_fetch_records_cname_even_on_nxdomain() {
+        // PowerDMARC-style opt-out: the CNAME remains, the target is gone.
+        let w = World::new();
+        w.ensure_zone(&n("customer.com"));
+        w.ensure_zone(&n("provider.net"));
+        w.with_zone(&n("customer.com"), |z| {
+            z.add_rr(
+                &n("mta-sts.customer.com"),
+                300,
+                RecordData::Cname(n("customer-com.mta-sts.provider.net")),
+            );
+        });
+        // provider.net zone exists but the target name does not → NXDOMAIN.
+        let outcome = w.fetch_policy(&n("customer.com"), now());
+        assert!(matches!(outcome.result, Err(PolicyFetchError::Dns(_))));
+        assert_eq!(outcome.cname_chain, vec![n("customer-com.mta-sts.provider.net")]);
+    }
+
+    #[test]
+    fn probe_healthy_mx() {
+        let w = good_world();
+        let probe = w.probe_mx(&n("mx.example.com"), now());
+        assert!(probe.reachable && probe.starttls_offered);
+        let verdict = probe
+            .cert_verdict(&n("mx.example.com"), now(), w.pki.trust_store())
+            .unwrap();
+        assert_eq!(verdict, Ok(()));
+    }
+
+    #[test]
+    fn probe_mx_fault_modes() {
+        let w = good_world();
+        let ip = w.mx_ips()[0];
+        // Hide STARTTLS.
+        w.with_mx(ip, |mx| mx.hide_starttls = true);
+        let hidden = w.probe_mx(&n("mx.example.com"), now());
+        assert!(hidden.reachable && !hidden.starttls_offered && hidden.chain.is_none());
+        // Self-signed chain.
+        w.with_mx(ip, |mx| {
+            mx.hide_starttls = false;
+        });
+        let self_signed = w.pki.issue(&CertKind::SelfSigned, &[n("mx.example.com")], now());
+        w.with_mx(ip, |mx| mx.chain = self_signed);
+        let probe = w.probe_mx(&n("mx.example.com"), now());
+        assert_eq!(
+            probe.cert_verdict(&n("mx.example.com"), now(), w.pki.trust_store()),
+            Some(Err(CertError::SelfSigned))
+        );
+        // Unreachable.
+        w.with_mx(ip, |mx| mx.reachability = Reachability::Timeout);
+        assert!(!w.probe_mx(&n("mx.example.com"), now()).reachable);
+        // Unresolvable host.
+        assert!(!w.probe_mx(&n("mx.nowhere.org"), now()).reachable);
+    }
+}

@@ -1,0 +1,31 @@
+//! `simnet` — the simulated Internet the study scans.
+//!
+//! The paper measures the real `.com`/`.net`/`.org`/`.se` ecosystems; this
+//! crate provides the stand-in: a world of DNS zones (via
+//! [`dns::InMemoryAuthorities`]), HTTPS policy endpoints and SMTP MX
+//! endpoints addressed by IPv4, all sharing one simulated web PKI.
+//!
+//! Two execution paths observe the *same* world:
+//!
+//! - the **fast path** ([`World::fetch_policy`], [`World::probe_mx`]):
+//!   synchronous, allocation-light walks of the §4.3.3 error ladder
+//!   (DNS → TCP → TLS → HTTP → syntax) used by the scanner at
+//!   tens-of-thousands-of-domains scale;
+//! - the **wire path** ([`wire`]): the same endpoints served over real
+//!   tokio TCP/UDP sockets with the full `httpsim`/`smtp`/`tlssim`
+//!   protocol stacks, used by examples and differential tests that assert
+//!   both paths agree.
+//!
+//! Fault injection is first-class: every endpoint models the reachability,
+//! TLS and content failures the paper's taxonomy needs.
+
+pub mod endpoint;
+pub mod fetch;
+pub mod pki;
+pub mod wire;
+pub mod world;
+
+pub use endpoint::{CertKind, MxEndpoint, WebEndpoint};
+pub use fetch::{MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure};
+pub use pki::SharedPki;
+pub use world::World;

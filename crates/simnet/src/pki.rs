@@ -1,0 +1,165 @@
+//! The shared web PKI of the simulated Internet.
+//!
+//! One root CA ("SimNet Root CA") anchors every legitimately issued
+//! certificate, mirroring the study's implicit single trust ecosystem. The
+//! issuing intermediate plays the ACME CA: providers and self-hosters
+//! request domain-validated leaves from it; misconfigured hosts get
+//! expired, wrong-name or self-signed certificates via [`SharedPki::issue`].
+
+use crate::endpoint::CertKind;
+use netbase::{DomainName, Duration, SimInstant};
+use parking_lot::Mutex;
+use pkix::authority::self_signed_leaf;
+use pkix::{CertAuthority, SimCert, TrustStore};
+use std::sync::Arc;
+
+/// Default leaf lifetime (90 days, Let's Encrypt-style).
+pub const LEAF_LIFETIME: Duration = Duration::days(90);
+
+/// The shared PKI: root, issuing intermediate, and the public trust store.
+#[derive(Clone)]
+pub struct SharedPki {
+    inner: Arc<Mutex<PkiInner>>,
+    /// The trust store every validating client uses (cheap to clone).
+    trust: TrustStore,
+}
+
+struct PkiInner {
+    /// Kept so the root's certificate (and key id) outlive setup — the
+    /// trust store references it and examples may serve it.
+    #[allow(dead_code)]
+    root: CertAuthority,
+    issuing: CertAuthority,
+}
+
+impl SharedPki {
+    /// Creates the PKI with certificates valid across the whole study
+    /// window (2021..2027).
+    pub fn new() -> SharedPki {
+        let nb = netbase::SimDate::ymd(2021, 1, 1).at_midnight();
+        let na = netbase::SimDate::ymd(2027, 1, 1).at_midnight();
+        let mut root = CertAuthority::new_root("SimNet Root CA", nb, na);
+        let issuing = root.issue_intermediate("SimNet Issuing CA R1", nb, na);
+        let mut trust = TrustStore::empty();
+        trust.add_root(&root);
+        SharedPki {
+            inner: Arc::new(Mutex::new(PkiInner { root, issuing })),
+            trust,
+        }
+    }
+
+    /// The public trust store.
+    pub fn trust_store(&self) -> &TrustStore {
+        &self.trust
+    }
+
+    /// The intermediate's certificate (served alongside leaves).
+    pub fn issuing_cert(&self) -> SimCert {
+        self.inner.lock().issuing.cert.clone()
+    }
+
+    /// Issues a *valid* domain-validated chain (leaf + intermediate) for
+    /// `names`, valid from `now` for [`LEAF_LIFETIME`].
+    pub fn issue_valid(&self, names: &[DomainName], now: SimInstant) -> Vec<SimCert> {
+        let mut g = self.inner.lock();
+        let leaf = g.issuing.issue_leaf(names, now, now + LEAF_LIFETIME);
+        vec![leaf, g.issuing.cert.clone()]
+    }
+
+    /// Issues a chain exhibiting `kind` for `names` at `now` — the fault
+    /// palette of Figures 5 and 6.
+    pub fn issue(&self, kind: &CertKind, names: &[DomainName], now: SimInstant) -> Vec<SimCert> {
+        match kind {
+            CertKind::Valid => self.issue_valid(names, now),
+            CertKind::Expired => {
+                // Issued long ago, expired before `now`.
+                let mut g = self.inner.lock();
+                let start = now - Duration::days(180);
+                let end = now - Duration::days(30);
+                let leaf = g.issuing.issue_leaf(names, start, end);
+                vec![leaf, g.issuing.cert.clone()]
+            }
+            CertKind::SelfSigned => {
+                vec![self_signed_leaf(names, now - Duration::days(1), now + LEAF_LIFETIME)]
+            }
+            CertKind::WrongName(other) => self.issue_valid(std::slice::from_ref(other), now),
+            CertKind::UntrustedCa => {
+                let mut rogue = CertAuthority::new_root(
+                    "Unknown Issuing CA",
+                    now - Duration::days(365),
+                    now + Duration::days(365),
+                );
+                let leaf = rogue.issue_leaf(names, now - Duration::days(1), now + LEAF_LIFETIME);
+                // Served without the rogue root: the validator sees an
+                // unknown external issuer (vs. SelfSigned when a chain
+                // terminates in an untrusted self-signed certificate).
+                vec![leaf]
+            }
+            CertKind::NoneInstalled => Vec::new(),
+        }
+    }
+}
+
+impl Default for SharedPki {
+    fn default() -> SharedPki {
+        SharedPki::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::SimDate;
+    use pkix::{validate_chain, CertError};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn now() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    #[test]
+    fn valid_chains_validate() {
+        let pki = SharedPki::new();
+        let chain = pki.issue_valid(&[n("mta-sts.example.com")], now());
+        assert_eq!(chain.len(), 2);
+        assert!(validate_chain(&chain, &n("mta-sts.example.com"), now(), pki.trust_store()).is_ok());
+    }
+
+    #[test]
+    fn fault_palette_produces_expected_errors() {
+        let pki = SharedPki::new();
+        let host = n("mta-sts.example.com");
+        let cases: Vec<(CertKind, CertError)> = vec![
+            (CertKind::Expired, CertError::Expired),
+            (CertKind::SelfSigned, CertError::SelfSigned),
+            (
+                CertKind::WrongName(n("shared.provider.net")),
+                CertError::NameMismatch {
+                    wanted: host.clone(),
+                    presented: vec!["shared.provider.net".to_string()],
+                },
+            ),
+            (CertKind::UntrustedCa, CertError::UnknownIssuer),
+            (CertKind::NoneInstalled, CertError::NoCertificate),
+        ];
+        for (kind, expected) in cases {
+            let chain = pki.issue(&kind, std::slice::from_ref(&host), now());
+            let got = validate_chain(&chain, &host, now(), pki.trust_store());
+            assert_eq!(got, Err(expected), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn issuance_is_shared_across_clones() {
+        let pki = SharedPki::new();
+        let clone = pki.clone();
+        let a = pki.issue_valid(&[n("a.example.com")], now());
+        let b = clone.issue_valid(&[n("b.example.com")], now());
+        // Serials advance through the shared issuing CA.
+        assert_ne!(a[0].serial, b[0].serial);
+        assert_eq!(a[1], b[1]);
+    }
+}

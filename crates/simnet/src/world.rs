@@ -1,0 +1,298 @@
+//! The world: zones, endpoints and the shared PKI under one handle.
+
+use crate::endpoint::{MxEndpoint, WebEndpoint};
+use crate::pki::SharedPki;
+use dns::{DnsError, InMemoryAuthorities, Lookup, RecordType, Resolver, Zone};
+use netbase::{DomainName, SimInstant};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The simulated Internet. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct World {
+    /// All authoritative zones.
+    pub authorities: InMemoryAuthorities,
+    resolver: Arc<Resolver<InMemoryAuthorities>>,
+    /// The shared web PKI.
+    pub pki: SharedPki,
+    web: Arc<Mutex<HashMap<Ipv4Addr, WebEndpoint>>>,
+    mx: Arc<Mutex<HashMap<Ipv4Addr, MxEndpoint>>>,
+    signed_zones: Arc<Mutex<HashSet<DomainName>>>,
+    next_ip: Arc<Mutex<u32>>,
+}
+
+impl World {
+    /// An empty world with a fresh PKI.
+    pub fn new() -> World {
+        let authorities = InMemoryAuthorities::new();
+        let resolver = Arc::new(Resolver::new(authorities.clone()));
+        World {
+            authorities,
+            resolver,
+            pki: SharedPki::new(),
+            web: Arc::new(Mutex::new(HashMap::new())),
+            mx: Arc::new(Mutex::new(HashMap::new())),
+            signed_zones: Arc::new(Mutex::new(HashSet::new())),
+            // 10.0.0.0/8, skipping .0.0.0.
+            next_ip: Arc::new(Mutex::new(1)),
+        }
+    }
+
+    /// The shared stub resolver.
+    pub fn resolver(&self) -> &Resolver<InMemoryAuthorities> {
+        &self.resolver
+    }
+
+    /// Drops resolver cache state (between longitudinal snapshots).
+    pub fn flush_dns_cache(&self) {
+        self.resolver.flush_cache();
+    }
+
+    /// Allocates a fresh simulated IPv4 address in 10/8.
+    pub fn alloc_ip(&self) -> Ipv4Addr {
+        let mut next = self.next_ip.lock();
+        let v = *next;
+        *next += 1;
+        assert!(v < 1 << 24, "simulated 10/8 exhausted");
+        Ipv4Addr::new(10, (v >> 16) as u8, (v >> 8) as u8, v as u8)
+    }
+
+    /// Ensures a zone exists for `apex`, creating an empty one if needed.
+    pub fn ensure_zone(&self, apex: &DomainName) {
+        if self
+            .authorities
+            .with_zone(apex, |_| ())
+            .is_none()
+        {
+            self.authorities.upsert_zone(Zone::new(apex.clone()));
+        }
+    }
+
+    /// Runs `f` on the zone for `apex` (which must exist).
+    pub fn with_zone<R>(&self, apex: &DomainName, f: impl FnOnce(&mut Zone) -> R) -> R {
+        self.authorities
+            .with_zone(apex, f)
+            .unwrap_or_else(|| panic!("zone {apex} does not exist"))
+    }
+
+    /// Marks a zone as DNSSEC-signed (the DANE gate).
+    pub fn set_dnssec(&self, apex: &DomainName, signed: bool) {
+        let mut g = self.signed_zones.lock();
+        if signed {
+            g.insert(apex.clone());
+        } else {
+            g.remove(apex);
+        }
+    }
+
+    /// Whether the zone containing `name` is DNSSEC-signed (longest match
+    /// by eSLD: per-domain signing in this simulation).
+    pub fn is_signed(&self, name: &DomainName) -> bool {
+        let g = self.signed_zones.lock();
+        let mut candidate = Some(name.clone());
+        while let Some(c) = candidate {
+            if g.contains(&c) {
+                return true;
+            }
+            candidate = c.parent();
+        }
+        false
+    }
+
+    /// Registers a web endpoint; returns its IP.
+    pub fn add_web_endpoint(&self, endpoint: WebEndpoint) -> Ipv4Addr {
+        let ip = self.alloc_ip();
+        self.web.lock().insert(ip, endpoint);
+        ip
+    }
+
+    /// Registers a web endpoint at a specific IP (tests, named incidents).
+    pub fn put_web_endpoint(&self, ip: Ipv4Addr, endpoint: WebEndpoint) {
+        self.web.lock().insert(ip, endpoint);
+    }
+
+    /// Mutates the web endpoint at `ip`.
+    pub fn with_web<R>(&self, ip: Ipv4Addr, f: impl FnOnce(&mut WebEndpoint) -> R) -> Option<R> {
+        self.web.lock().get_mut(&ip).map(f)
+    }
+
+    /// Clones the web endpoint at `ip` (wire deployment reads these).
+    pub fn web_endpoint(&self, ip: Ipv4Addr) -> Option<WebEndpoint> {
+        self.web.lock().get(&ip).cloned()
+    }
+
+    /// All web endpoint IPs.
+    pub fn web_ips(&self) -> Vec<Ipv4Addr> {
+        self.web.lock().keys().copied().collect()
+    }
+
+    /// Registers an MX endpoint; returns its IP.
+    pub fn add_mx_endpoint(&self, endpoint: MxEndpoint) -> Ipv4Addr {
+        let ip = self.alloc_ip();
+        self.mx.lock().insert(ip, endpoint);
+        ip
+    }
+
+    /// Mutates the MX endpoint at `ip`.
+    pub fn with_mx<R>(&self, ip: Ipv4Addr, f: impl FnOnce(&mut MxEndpoint) -> R) -> Option<R> {
+        self.mx.lock().get_mut(&ip).map(f)
+    }
+
+    /// Clones the MX endpoint at `ip`.
+    pub fn mx_endpoint(&self, ip: Ipv4Addr) -> Option<MxEndpoint> {
+        self.mx.lock().get(&ip).cloned()
+    }
+
+    /// All MX endpoint IPs.
+    pub fn mx_ips(&self) -> Vec<Ipv4Addr> {
+        self.mx.lock().keys().copied().collect()
+    }
+
+    /// Resolves `name`/`rtype` at `now` through the shared resolver.
+    pub fn resolve(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        now: SimInstant,
+    ) -> Result<Lookup, DnsError> {
+        self.resolver.lookup(name, rtype, now)
+    }
+
+    /// The TXT strings at `_mta-sts.<domain>`, or the DNS error.
+    pub fn mta_sts_txts(
+        &self,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> Result<Vec<String>, DnsError> {
+        let name = domain
+            .prefixed(mtasts::RECORD_LABEL)
+            .expect("record label is valid");
+        Ok(self.resolve(&name, RecordType::Txt, now)?.txt_strings())
+    }
+
+    /// The TXT strings at `_smtp._tls.<domain>` (TLSRPT), or the DNS error.
+    pub fn tlsrpt_txts(
+        &self,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> Result<Vec<String>, DnsError> {
+        let name = domain
+            .prefixed("_tls")
+            .and_then(|n| n.prefixed("_smtp"))
+            .expect("static labels are valid");
+        Ok(self.resolve(&name, RecordType::Txt, now)?.txt_strings())
+    }
+
+    /// The domain's MX hosts sorted by preference (empty = none published).
+    pub fn mx_records(
+        &self,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> Result<Vec<DomainName>, DnsError> {
+        Ok(self
+            .resolve(domain, RecordType::Mx, now)?
+            .mx_hosts()
+            .into_iter()
+            .map(|(_, host)| host)
+            .collect())
+    }
+}
+
+impl Default for World {
+    fn default() -> World {
+        World::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns::RecordData;
+    use netbase::SimDate;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn now() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    #[test]
+    fn ip_allocation_is_unique_and_in_10_slash_8() {
+        let w = World::new();
+        let a = w.alloc_ip();
+        let b = w.alloc_ip();
+        assert_ne!(a, b);
+        assert_eq!(a.octets()[0], 10);
+    }
+
+    #[test]
+    fn zone_management() {
+        let w = World::new();
+        w.ensure_zone(&n("example.com"));
+        w.with_zone(&n("example.com"), |z| {
+            z.add_rr(
+                &n("example.com"),
+                300,
+                RecordData::Mx {
+                    preference: 10,
+                    exchange: n("mx.example.com"),
+                },
+            );
+        });
+        assert_eq!(w.mx_records(&n("example.com"), now()).unwrap(), vec![n("mx.example.com")]);
+        // ensure_zone is idempotent.
+        w.ensure_zone(&n("example.com"));
+        assert_eq!(w.mx_records(&n("example.com"), now()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dnssec_flags_follow_hierarchy() {
+        let w = World::new();
+        w.set_dnssec(&n("signed.se"), true);
+        assert!(w.is_signed(&n("signed.se")));
+        assert!(w.is_signed(&n("mx.signed.se")));
+        assert!(!w.is_signed(&n("other.se")));
+        w.set_dnssec(&n("signed.se"), false);
+        assert!(!w.is_signed(&n("mx.signed.se")));
+    }
+
+    #[test]
+    fn record_lookups() {
+        let w = World::new();
+        w.ensure_zone(&n("example.com"));
+        w.with_zone(&n("example.com"), |z| {
+            z.add_rr(
+                &n("_mta-sts.example.com"),
+                300,
+                RecordData::Txt(vec!["v=STSv1; id=1;".into()]),
+            );
+            z.add_rr(
+                &n("_smtp._tls.example.com"),
+                300,
+                RecordData::Txt(vec!["v=TLSRPTv1; rua=mailto:t@example.com".into()]),
+            );
+        });
+        assert_eq!(w.mta_sts_txts(&n("example.com"), now()).unwrap().len(), 1);
+        assert_eq!(w.tlsrpt_txts(&n("example.com"), now()).unwrap().len(), 1);
+        assert!(w.mta_sts_txts(&n("missing.org"), now()).is_err());
+    }
+
+    #[test]
+    fn endpoint_registries() {
+        let w = World::new();
+        let web_ip = w.add_web_endpoint(WebEndpoint::up());
+        assert!(w.web_endpoint(web_ip).is_some());
+        w.with_web(web_ip, |ep| {
+            ep.install_policy(n("mta-sts.example.com"), "version: STSv1\nmode: none\nmax_age: 60\n");
+        });
+        assert_eq!(w.web_endpoint(web_ip).unwrap().documents.len(), 1);
+        let mx_ip = w.add_mx_endpoint(MxEndpoint::plaintext(n("mx.example.com")));
+        assert!(w.mx_endpoint(mx_ip).is_some());
+        assert_eq!(w.web_ips().len(), 1);
+        assert_eq!(w.mx_ips().len(), 1);
+    }
+}

@@ -1,0 +1,649 @@
+//! The SMTP client side: the instrumented probe and the delivering sender.
+//!
+//! [`probe_mx`] is the paper's measurement client (§4.1): it connects from a
+//! host with forward-confirmed reverse DNS, EHLOs (falling back to HELO),
+//! checks the STARTTLS capability, upgrades, captures the presented
+//! certificate chain, and quits without sending mail.
+//!
+//! [`deliver`] is a real sender with a configurable [`TlsPolicy`], covering
+//! the behaviours §6.2 measures: plaintext-only, opportunistic TLS (93.2% of
+//! senders), and PKIX-required (the validation step MTA-STS/DANE enforcement
+//! builds on).
+
+use crate::types::{Capability, Envelope, ReplyCode, SmtpError};
+use netbase::{DomainName, SimInstant};
+use pkix::{validate_chain, CertError, SimCert, TrustStore};
+use tlssim::{client_handshake, ClientConfig};
+use tokio::io::{AsyncBufReadExt, AsyncRead, AsyncWrite, AsyncWriteExt, BufReader};
+
+/// TLS enforcement levels for [`deliver`].
+#[derive(Debug, Clone)]
+pub enum TlsPolicy {
+    /// Never upgrade; send in plaintext (legacy senders).
+    Disabled,
+    /// Upgrade when STARTTLS is offered; accept any certificate; fall back
+    /// to plaintext when it is not offered.
+    Opportunistic,
+    /// Require STARTTLS and a PKIX-valid certificate for `host`, validated
+    /// against `roots` at `now`. Fail delivery otherwise — the behaviour
+    /// MTA-STS "enforce" mandates (§2.4).
+    RequirePkix {
+        /// Trust anchors.
+        roots: TrustStore,
+        /// Validation time.
+        now: SimInstant,
+        /// The host name the certificate must cover (the MX hostname).
+        host: DomainName,
+    },
+}
+
+/// Probe configuration (§4.1's instrumented client).
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// EHLO/HELO parameter — the scanner's FCrDNS-confirmed name.
+    pub helo_name: DomainName,
+    /// The MX hostname, used as TLS SNI.
+    pub mx_hostname: DomainName,
+    /// Handshake nonce (deterministic in simulations).
+    pub nonce: u64,
+    /// DH secret.
+    pub dh_secret: u64,
+}
+
+/// What the probe observed.
+#[derive(Debug)]
+pub struct ProbeResult {
+    /// The server's greeting line.
+    pub greeting: String,
+    /// Whether EHLO failed and HELO was used instead.
+    pub used_helo_fallback: bool,
+    /// Capabilities advertised in the EHLO reply (empty after HELO).
+    pub capabilities: Vec<Capability>,
+    /// Whether STARTTLS was advertised.
+    pub starttls_offered: bool,
+    /// When STARTTLS was offered: the result of the upgrade — the presented
+    /// chain on success (validated offline by the scanner), or the error.
+    pub tls: Option<Result<Vec<SimCert>, String>>,
+}
+
+impl ProbeResult {
+    /// Convenience: the chain if TLS succeeded.
+    pub fn peer_chain(&self) -> Option<&[SimCert]> {
+        match &self.tls {
+            Some(Ok(chain)) => Some(chain),
+            _ => None,
+        }
+    }
+}
+
+/// Reads one (possibly multi-line) SMTP reply.
+async fn read_reply<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+) -> Result<(ReplyCode, Vec<String>), SmtpError> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).await?;
+        if n == 0 {
+            return Err(SmtpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            )));
+        }
+        let line = line.trim_end_matches(['\r', '\n']).to_string();
+        if line.len() < 3 {
+            return Err(SmtpError::Malformed(line));
+        }
+        let code: u16 = line[..3]
+            .parse()
+            .map_err(|_| SmtpError::Malformed(line.clone()))?;
+        let more = line.as_bytes().get(3) == Some(&b'-');
+        let text = line.get(4..).unwrap_or("").to_string();
+        lines.push(text);
+        let _ = code;
+        if !more {
+            return Ok((ReplyCode(code), lines));
+        }
+    }
+}
+
+/// Sends one command and reads the reply.
+async fn command<S: AsyncRead + AsyncWrite + Unpin>(
+    reader: &mut BufReader<S>,
+    line: &str,
+) -> Result<(ReplyCode, Vec<String>), SmtpError> {
+    reader
+        .get_mut()
+        .write_all(format!("{line}\r\n").as_bytes())
+        .await?;
+    reader.get_mut().flush().await?;
+    read_reply(reader).await
+}
+
+/// Expects a specific reply class, otherwise returns `UnexpectedReply`.
+fn expect_positive(
+    phase: &'static str,
+    reply: (ReplyCode, Vec<String>),
+) -> Result<(ReplyCode, Vec<String>), SmtpError> {
+    if reply.0.is_positive() {
+        Ok(reply)
+    } else {
+        Err(SmtpError::UnexpectedReply {
+            phase,
+            code: reply.0,
+            text: reply.1.first().cloned().unwrap_or_default(),
+        })
+    }
+}
+
+/// Runs the instrumented probe over an established transport stream.
+pub async fn probe_mx<S: AsyncRead + AsyncWrite + Unpin>(
+    io: S,
+    config: &ProbeConfig,
+) -> Result<ProbeResult, SmtpError> {
+    let mut reader = BufReader::new(io);
+    let (code, greeting_lines) = read_reply(&mut reader).await?;
+    if !code.is_positive() {
+        return Err(SmtpError::UnexpectedReply {
+            phase: "greeting",
+            code,
+            text: greeting_lines.first().cloned().unwrap_or_default(),
+        });
+    }
+    let greeting = greeting_lines.first().cloned().unwrap_or_default();
+
+    // EHLO, falling back to HELO on 500-class refusals (§4.1 footnote 3).
+    let mut used_helo_fallback = false;
+    let mut capabilities = Vec::new();
+    let ehlo = command(&mut reader, &format!("EHLO {}", config.helo_name)).await?;
+    if ehlo.0.is_positive() {
+        capabilities = ehlo.1.iter().skip(1).map(|l| Capability::parse(l)).collect();
+    } else {
+        used_helo_fallback = true;
+        expect_positive(
+            "HELO",
+            command(&mut reader, &format!("HELO {}", config.helo_name)).await?,
+        )?;
+    }
+    let starttls_offered = capabilities.contains(&Capability::StartTls);
+
+    // STARTTLS + certificate retrieval (opportunistic: we validate offline).
+    if starttls_offered {
+        let go_ahead = command(&mut reader, "STARTTLS").await?;
+        if go_ahead.0 != ReplyCode::READY {
+            let _ = command(&mut reader, "QUIT").await;
+            return Ok(ProbeResult {
+                greeting,
+                used_helo_fallback,
+                capabilities,
+                starttls_offered,
+                tls: Some(Err(format!("STARTTLS refused with {}", go_ahead.0))),
+            });
+        }
+        let inner = reader.into_inner();
+        let tls = match client_handshake(
+            inner,
+            ClientConfig::opportunistic(
+                config.mx_hostname.clone(),
+                config.nonce,
+                config.dh_secret,
+            ),
+        )
+        .await
+        {
+            Ok(session) => {
+                // End the session politely over TLS, ignoring failures —
+                // the evidence is already in hand.
+                let chain = session.peer_chain;
+                let mut tls_reader = BufReader::new(session.stream);
+                let _ = command(&mut tls_reader, "QUIT").await;
+                Ok(chain)
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        return Ok(ProbeResult {
+            greeting,
+            used_helo_fallback,
+            capabilities,
+            starttls_offered,
+            tls: Some(tls),
+        });
+    }
+
+    // No STARTTLS: quit in plaintext.
+    let _ = command(&mut reader, "QUIT").await;
+    Ok(ProbeResult {
+        greeting,
+        used_helo_fallback,
+        capabilities,
+        starttls_offered,
+        tls: None,
+    })
+}
+
+/// How a delivery attempt concluded.
+#[derive(Debug)]
+pub enum DeliveryOutcome {
+    /// The message was accepted.
+    Delivered {
+        /// Whether the session was upgraded to TLS.
+        tls_used: bool,
+        /// Whether the certificate was validated (PKIX policy only).
+        cert_validated: bool,
+    },
+    /// The server rejected the transaction (5xx/4xx on MAIL/RCPT/DATA).
+    Rejected {
+        /// Phase in which rejection occurred.
+        phase: &'static str,
+        /// Reply code.
+        code: ReplyCode,
+        /// Reply text.
+        text: String,
+    },
+}
+
+/// The mail transaction once a (possibly TLS) session is established and
+/// greeted.
+async fn transact<S: AsyncRead + AsyncWrite + Unpin>(
+    reader: &mut BufReader<S>,
+    envelope: &Envelope,
+) -> Result<Option<(&'static str, ReplyCode, String)>, SmtpError> {
+    let from = command(reader, &format!("MAIL FROM:<{}>", envelope.mail_from)).await?;
+    if !from.0.is_positive() {
+        return Ok(Some(("MAIL", from.0, from.1.first().cloned().unwrap_or_default())));
+    }
+    for rcpt in &envelope.rcpt_to {
+        let r = command(reader, &format!("RCPT TO:<{rcpt}>")).await?;
+        if !r.0.is_positive() {
+            return Ok(Some(("RCPT", r.0, r.1.first().cloned().unwrap_or_default())));
+        }
+    }
+    let data = command(reader, "DATA").await?;
+    if data.0 != ReplyCode::START_INPUT {
+        return Ok(Some(("DATA", data.0, data.1.first().cloned().unwrap_or_default())));
+    }
+    // Dot-stuff the body per RFC 5321 §4.5.2.
+    let mut payload = String::new();
+    for line in envelope.body.lines() {
+        if line.starts_with('.') {
+            payload.push('.');
+        }
+        payload.push_str(line);
+        payload.push_str("\r\n");
+    }
+    payload.push_str(".\r\n");
+    reader.get_mut().write_all(payload.as_bytes()).await?;
+    reader.get_mut().flush().await?;
+    let fin = read_reply(reader).await?;
+    if !fin.0.is_positive() {
+        return Ok(Some(("END-OF-DATA", fin.0, fin.1.first().cloned().unwrap_or_default())));
+    }
+    let _ = command(reader, "QUIT").await;
+    Ok(None)
+}
+
+/// Delivers `envelope` over an established transport under `policy`.
+pub async fn deliver<S: AsyncRead + AsyncWrite + Unpin>(
+    io: S,
+    helo_name: &DomainName,
+    mx_hostname: &DomainName,
+    envelope: &Envelope,
+    policy: &TlsPolicy,
+    nonce: u64,
+    dh_secret: u64,
+) -> Result<DeliveryOutcome, SmtpError> {
+    let mut reader = BufReader::new(io);
+    expect_positive("greeting", read_reply(&mut reader).await?)?;
+    let ehlo = command(&mut reader, &format!("EHLO {helo_name}")).await?;
+    let capabilities: Vec<Capability> = if ehlo.0.is_positive() {
+        ehlo.1.iter().skip(1).map(|l| Capability::parse(l)).collect()
+    } else {
+        expect_positive("HELO", command(&mut reader, &format!("HELO {helo_name}")).await?)?;
+        Vec::new()
+    };
+    let starttls_offered = capabilities.contains(&Capability::StartTls);
+
+    let want_tls = !matches!(policy, TlsPolicy::Disabled);
+    let must_tls = matches!(policy, TlsPolicy::RequirePkix { .. });
+    if must_tls && !starttls_offered {
+        return Err(SmtpError::StartTlsNotOffered);
+    }
+
+    if want_tls && starttls_offered {
+        let go_ahead = command(&mut reader, "STARTTLS").await?;
+        if go_ahead.0 != ReplyCode::READY {
+            if must_tls {
+                return Err(SmtpError::UnexpectedReply {
+                    phase: "STARTTLS",
+                    code: go_ahead.0,
+                    text: go_ahead.1.first().cloned().unwrap_or_default(),
+                });
+            }
+            // Opportunistic: carry on in plaintext.
+            return finish_plaintext(&mut reader, helo_name, envelope).await;
+        }
+        let inner = reader.into_inner();
+        let session = client_handshake(
+            inner,
+            ClientConfig::opportunistic(mx_hostname.clone(), nonce, dh_secret),
+        )
+        .await
+        .map_err(SmtpError::Tls)?;
+
+        let mut cert_validated = false;
+        if let TlsPolicy::RequirePkix { roots, now, host } = policy {
+            validate_cert(&session.peer_chain, host, *now, roots)?;
+            cert_validated = true;
+        }
+
+        let mut tls_reader = BufReader::new(session.stream);
+        // Fresh EHLO over TLS per RFC 3207.
+        let ehlo2 = command(&mut tls_reader, &format!("EHLO {helo_name}")).await?;
+        expect_positive("EHLO-over-TLS", ehlo2)?;
+        return match transact(&mut tls_reader, envelope).await? {
+            None => Ok(DeliveryOutcome::Delivered {
+                tls_used: true,
+                cert_validated,
+            }),
+            Some((phase, code, text)) => Ok(DeliveryOutcome::Rejected { phase, code, text }),
+        };
+    }
+
+    finish_plaintext(&mut reader, helo_name, envelope).await
+}
+
+async fn finish_plaintext<S: AsyncRead + AsyncWrite + Unpin>(
+    reader: &mut BufReader<S>,
+    _helo_name: &DomainName,
+    envelope: &Envelope,
+) -> Result<DeliveryOutcome, SmtpError> {
+    match transact(reader, envelope).await? {
+        None => Ok(DeliveryOutcome::Delivered {
+            tls_used: false,
+            cert_validated: false,
+        }),
+        Some((phase, code, text)) => Ok(DeliveryOutcome::Rejected { phase, code, text }),
+    }
+}
+
+fn validate_cert(
+    chain: &[SimCert],
+    host: &DomainName,
+    now: SimInstant,
+    roots: &TrustStore,
+) -> Result<(), SmtpError> {
+    validate_chain(chain, host, now, roots).map_err(SmtpError::Cert)
+}
+
+/// Re-export for callers that classify probe chains offline.
+pub fn classify_chain(
+    chain: &[SimCert],
+    host: &DomainName,
+    now: SimInstant,
+    roots: &TrustStore,
+) -> Result<(), CertError> {
+    validate_chain(chain, host, now, roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve_connection, MxBehavior, MxConfig, RecipientPolicy};
+    use netbase::SimDate;
+    use pkix::CertAuthority;
+    use tlssim::{ServerConfig, ServerIdentity};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn now() -> SimInstant {
+        SimDate::ymd(2024, 9, 29).at_midnight()
+    }
+
+    struct Pki {
+        root: CertAuthority,
+        store: TrustStore,
+    }
+
+    fn pki() -> Pki {
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let root = CertAuthority::new_root("Root", nb, na);
+        let mut store = TrustStore::empty();
+        store.add_root(&root);
+        Pki { root, store }
+    }
+
+    fn mx_with_cert(pki: &mut Pki, host: &str) -> MxConfig {
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let dn = n(host);
+        let mut identity = ServerIdentity::empty();
+        identity.install(dn.clone(), vec![pki.root.issue_leaf(&[dn.clone()], nb, na)]);
+        MxConfig::new(
+            dn,
+            Some(ServerConfig {
+                identity,
+                behavior: Default::default(),
+                nonce: 77,
+                dh_secret: 777,
+            }),
+        )
+    }
+
+    fn probe_config(mx: &str) -> ProbeConfig {
+        ProbeConfig {
+            helo_name: n("scanner.example.org"),
+            mx_hostname: n(mx),
+            nonce: 5,
+            dh_secret: 55,
+        }
+    }
+
+    #[tokio::test]
+    async fn probe_retrieves_certificate() {
+        let mut pki = pki();
+        let config = mx_with_cert(&mut pki, "mx.example.com");
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let result = probe_mx(client_io, &probe_config("mx.example.com")).await.unwrap();
+        assert!(result.greeting.contains("mx.example.com"));
+        assert!(!result.used_helo_fallback);
+        assert!(result.starttls_offered);
+        let chain = result.peer_chain().expect("chain retrieved");
+        assert!(classify_chain(chain, &n("mx.example.com"), now(), &pki.store).is_ok());
+    }
+
+    #[tokio::test]
+    async fn probe_detects_missing_starttls() {
+        let config = MxConfig::new(n("mx.plain.com"), None);
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let result = probe_mx(client_io, &probe_config("mx.plain.com")).await.unwrap();
+        assert!(!result.starttls_offered);
+        assert!(result.tls.is_none());
+    }
+
+    #[tokio::test]
+    async fn probe_helo_fallback() {
+        let mut config = MxConfig::new(n("mx.old.com"), None);
+        config.behavior = MxBehavior::HeloOnly;
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let result = probe_mx(client_io, &probe_config("mx.old.com")).await.unwrap();
+        assert!(result.used_helo_fallback);
+        assert!(result.capabilities.is_empty());
+    }
+
+    #[tokio::test]
+    async fn probe_sees_invalid_certificates_too() {
+        // Self-signed MX: the probe still retrieves the chain; offline
+        // classification reports SelfSigned (§4.3.4's taxonomy).
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let dn = n("mx.selfsigned.com");
+        let mut identity = ServerIdentity::empty();
+        identity.install(
+            dn.clone(),
+            vec![pkix::authority::self_signed_leaf(&[dn.clone()], nb, na)],
+        );
+        let config = MxConfig::new(
+            dn.clone(),
+            Some(ServerConfig {
+                identity,
+                behavior: Default::default(),
+                nonce: 1,
+                dh_secret: 2,
+            }),
+        );
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let result = probe_mx(client_io, &probe_config("mx.selfsigned.com")).await.unwrap();
+        let chain = result.peer_chain().unwrap();
+        let verdict = classify_chain(chain, &dn, now(), &pki().store);
+        assert_eq!(verdict, Err(CertError::SelfSigned));
+    }
+
+    #[tokio::test]
+    async fn deliver_opportunistic_with_tls() {
+        let mut pki = pki();
+        let config = mx_with_cert(&mut pki, "mx.example.com");
+        let sink = config.sink.clone();
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let envelope = Envelope::new("a@sender.org", "user@example.com", "hello\n.dot-stuffed\n");
+        let outcome = deliver(
+            client_io,
+            &n("sender.org"),
+            &n("mx.example.com"),
+            &envelope,
+            &TlsPolicy::Opportunistic,
+            1,
+            2,
+        )
+        .await
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            DeliveryOutcome::Delivered { tls_used: true, cert_validated: false }
+        ));
+        assert_eq!(sink.len(), 1);
+        assert!(sink.messages()[0].body.contains(".dot-stuffed"));
+    }
+
+    #[tokio::test]
+    async fn deliver_opportunistic_falls_back_to_plaintext() {
+        let config = MxConfig::new(n("mx.plain.com"), None);
+        let sink = config.sink.clone();
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let envelope = Envelope::new("a@sender.org", "user@plain.com", "body");
+        let outcome = deliver(
+            client_io,
+            &n("sender.org"),
+            &n("mx.plain.com"),
+            &envelope,
+            &TlsPolicy::Opportunistic,
+            1,
+            2,
+        )
+        .await
+        .unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::Delivered { tls_used: false, .. }));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[tokio::test]
+    async fn deliver_pkix_required_rejects_self_signed() {
+        let nb = SimDate::ymd(2023, 1, 1).at_midnight();
+        let na = SimDate::ymd(2026, 1, 1).at_midnight();
+        let dn = n("mx.selfsigned.com");
+        let mut identity = ServerIdentity::empty();
+        identity.install(
+            dn.clone(),
+            vec![pkix::authority::self_signed_leaf(&[dn.clone()], nb, na)],
+        );
+        let config = MxConfig::new(
+            dn.clone(),
+            Some(ServerConfig {
+                identity,
+                behavior: Default::default(),
+                nonce: 1,
+                dh_secret: 2,
+            }),
+        );
+        let sink = config.sink.clone();
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let envelope = Envelope::new("a@sender.org", "user@selfsigned.com", "body");
+        let err = deliver(
+            client_io,
+            &n("sender.org"),
+            &dn,
+            &envelope,
+            &TlsPolicy::RequirePkix {
+                roots: pki().store,
+                now: now(),
+                host: dn.clone(),
+            },
+            1,
+            2,
+        )
+        .await
+        .err()
+        .expect("delivery must fail");
+        assert!(matches!(err, SmtpError::Cert(CertError::SelfSigned)));
+        assert!(sink.is_empty(), "no mail must be delivered on enforce-failure");
+    }
+
+    #[tokio::test]
+    async fn deliver_pkix_required_fails_without_starttls() {
+        let config = MxConfig::new(n("mx.plain.com"), None);
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let envelope = Envelope::new("a@sender.org", "user@plain.com", "body");
+        let err = deliver(
+            client_io,
+            &n("sender.org"),
+            &n("mx.plain.com"),
+            &envelope,
+            &TlsPolicy::RequirePkix {
+                roots: pki().store,
+                now: now(),
+                host: n("mx.plain.com"),
+            },
+            1,
+            2,
+        )
+        .await
+        .err()
+        .expect("must fail");
+        assert!(matches!(err, SmtpError::StartTlsNotOffered));
+    }
+
+    #[tokio::test]
+    async fn deliver_surfaces_recipient_rejection() {
+        let mut config = MxConfig::new(n("mail.tutanota.de"), None);
+        config.recipient_policy = RecipientPolicy::RejectAll;
+        let (client_io, server_io) = tokio::io::duplex(8192);
+        tokio::spawn(async move { serve_connection(server_io, &config).await });
+        let envelope = Envelope::new("a@sender.org", "user@cancelled.com", "body");
+        let outcome = deliver(
+            client_io,
+            &n("sender.org"),
+            &n("mail.tutanota.de"),
+            &envelope,
+            &TlsPolicy::Disabled,
+            1,
+            2,
+        )
+        .await
+        .unwrap();
+        let DeliveryOutcome::Rejected { phase, code, .. } = outcome else {
+            panic!("expected rejection")
+        };
+        assert_eq!(phase, "RCPT");
+        assert_eq!(code, ReplyCode::REJECTED);
+    }
+}

@@ -1,0 +1,25 @@
+//! SMTP with STARTTLS: the mail-transport substrate.
+//!
+//! The paper probes every MX of every MTA-STS domain with an instrumented
+//! SMTP client (§4.1): connect, EHLO (HELO fallback), check the STARTTLS
+//! capability, upgrade, retrieve the certificate, quit without sending
+//! mail. Sender-side analysis (§6) additionally needs real delivery
+//! attempts under different TLS policies. This crate provides both sides:
+//!
+//! - [`types`]: reply codes, capabilities, envelopes, error taxonomy;
+//! - [`server`]: an async MX server with a correct EHLO/STARTTLS state
+//!   machine, per-SNI certificates, greylisting and fault injection, and a
+//!   recipient policy hook (Tutanota-style rejection of unsubscribed
+//!   customers, §5);
+//! - [`client`]: the instrumented probe ([`client::probe_mx`]) and a
+//!   delivering client ([`client::deliver`]) with configurable TLS
+//!   enforcement (none / opportunistic / PKIX-required) matching the sender
+//!   behaviours of §6.2.
+
+pub mod client;
+pub mod server;
+pub mod types;
+
+pub use client::{deliver, probe_mx, DeliveryOutcome, ProbeConfig, ProbeResult, TlsPolicy};
+pub use server::{serve_connection, MxBehavior, MxConfig, MxServer};
+pub use types::{Capability, Envelope, ReplyCode, SmtpError};

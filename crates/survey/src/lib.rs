@@ -1,0 +1,16 @@
+//! `survey` — the operator survey of §7 (questionnaire in Appendix C).
+//!
+//! The paper surveyed 117 operators recruited from MailOP, NANOG and
+//! MESSEU. This crate holds the response schema ([`schema`]), a
+//! deterministic synthesizer that reproduces the paper's reported
+//! marginals exactly ([`synth`] — quota assignment, not sampling, because
+//! §7.2 reports absolute counts), and the statistics functions that
+//! compute every number the paper cites ([`stats`]).
+
+pub mod schema;
+pub mod stats;
+pub mod synth;
+
+pub use schema::{AccountsBucket, PolicyHostManagement, Respondent, UpdateOrder, WhichProtocol};
+pub use stats::{compute, SurveyStats};
+pub use synth::synthesize;

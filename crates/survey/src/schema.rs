@@ -1,0 +1,187 @@
+//! The response schema, mirroring Appendix C's questionnaire.
+//!
+//! Every question is optional (participants could skip), so each field is
+//! an `Option`; `None` means the respondent did not reach or answer the
+//! question.
+
+use serde::{Deserialize, Serialize};
+
+/// Page 2: number of email accounts managed (Figure 11's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccountsBucket {
+    /// Fewer than 10 accounts.
+    Under10,
+    /// 10 to 100.
+    From10To100,
+    /// 100 to 500.
+    From100To500,
+    /// 500 to 1,000.
+    From500To1k,
+    /// More than 1,000.
+    Over1k,
+}
+
+impl AccountsBucket {
+    /// All buckets in Figure 11's order.
+    pub const ALL: [AccountsBucket; 5] = [
+        AccountsBucket::Under10,
+        AccountsBucket::From10To100,
+        AccountsBucket::From100To500,
+        AccountsBucket::From500To1k,
+        AccountsBucket::Over1k,
+    ];
+
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccountsBucket::Under10 => "~10",
+            AccountsBucket::From10To100 => "10 ~ 100",
+            AccountsBucket::From100To500 => "100 ~ 500",
+            AccountsBucket::From500To1k => "500 ~ 1k",
+            AccountsBucket::Over1k => "1k ~",
+        }
+    }
+}
+
+/// Page 5: primary motivation for deploying MTA-STS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeployMotivation {
+    /// Prevent downgrade/interception attacks (34 of 42).
+    PreventDowngrade,
+    /// Web PKI felt more trustworthy than DANE (9).
+    TrustWebPki,
+    /// DANE's DNSSEC requirement is harder (10).
+    DaneTooHard,
+    /// Customers asked (13 of 41).
+    CustomerDemand,
+    /// Regulatory compliance (14).
+    Regulation,
+    /// Reputation with large providers (5).
+    ProviderReputation,
+}
+
+/// Page 5/10: the biggest deployment bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Operational complexity (21 of 43).
+    OperationalComplexity,
+    /// DANE is the better alternative (17).
+    DaneIsBetter,
+    /// No need for email encryption (5).
+    NoNeed,
+}
+
+/// Page 10: why MTA-STS was not deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NotDeployedReason {
+    /// Uses DANE instead (15 of 33).
+    UsesDane,
+    /// Too complicated to deploy/manage (9).
+    TooComplicated,
+    /// Doesn't understand it (other).
+    DontUnderstand,
+    /// Understands it but sees no need.
+    NoNeed,
+}
+
+/// Page 6: the hardest management aspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ManagementDifficulty {
+    /// Setting up DNS records.
+    DnsRecords,
+    /// Configuring the HTTPS policy file (8 of 41).
+    HttpsPolicyFile,
+    /// PKIX certificates on the SMTP server.
+    SmtpCertificates,
+    /// Managing policy updates (11).
+    PolicyUpdates,
+    /// Opting out.
+    OptingOut,
+}
+
+/// Page 6: policy update ordering practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateOrder {
+    /// TXT record first — the risky order (10 of 42).
+    TxtFirst,
+    /// HTTPS policy body first — the standard's order (recommended).
+    PolicyFirst,
+    /// Never updated a policy (15).
+    NeverUpdated,
+    /// Automated / outsourced / unsure.
+    DontKnow,
+}
+
+/// Page 7: who runs the policy host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyHostManagement {
+    /// Outsourced to a third-party hosting provider.
+    Outsourced,
+    /// Self-managed.
+    SelfManaged,
+}
+
+/// Page 12: which protocol is better for mandating encryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WhichProtocol {
+    /// MTA-STS.
+    MtaSts,
+    /// Balanced.
+    Balanced,
+    /// DANE (51 of 79, 72.8%... of 70 substantive answers).
+    Dane,
+}
+
+/// One survey respondent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Respondent {
+    /// Page 2: accounts managed.
+    pub accounts: Option<AccountsBucket>,
+    /// Page 3: has heard of MTA-STS (94 answered; 89 yes).
+    pub heard_of_mtasts: Option<bool>,
+    /// Page 4: deployed MTA-STS on the primary domain (88; 50 yes).
+    pub deployed_mtasts: Option<bool>,
+    /// Page 5: main deployment motivation.
+    pub motivation: Option<DeployMotivation>,
+    /// Page 5: adoption driven by customer demand (41 answered; 13 yes).
+    pub customer_demand: Option<bool>,
+    /// Page 5: adoption mandated by regulation (41 answered; 14 yes).
+    pub regulation_driven: Option<bool>,
+    /// Page 5: biggest bottleneck (43 answered among deployers).
+    pub bottleneck: Option<Bottleneck>,
+    /// Page 10: why not deployed (33 answered among non-deployers).
+    pub not_deployed_reason: Option<NotDeployedReason>,
+    /// Page 6: hardest management aspect (41 answered).
+    pub management_difficulty: Option<ManagementDifficulty>,
+    /// Page 6: update ordering (42 answered).
+    pub update_order: Option<UpdateOrder>,
+    /// Page 7: policy host management.
+    pub policy_host: Option<PolicyHostManagement>,
+    /// Page 11: familiar with DANE (79 answered; 78 yes).
+    pub heard_of_dane: Option<bool>,
+    /// Page 12: serves no TLSA record (26 of 78).
+    pub no_tlsa: Option<bool>,
+    /// Page 12: DNS/registrar lacks DNSSEC support (10).
+    pub dnssec_unsupported: Option<bool>,
+    /// Page 12: the better protocol (51 of 70 said DANE).
+    pub better_protocol: Option<WhichProtocol>,
+    /// Page 13: validates MTA-STS outbound.
+    pub validates_outbound: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_labels_match_figure11() {
+        let labels: Vec<&str> = AccountsBucket::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["~10", "10 ~ 100", "100 ~ 500", "500 ~ 1k", "1k ~"]);
+    }
+
+    #[test]
+    fn default_respondent_answered_nothing() {
+        let r = Respondent::default();
+        assert!(r.accounts.is_none() && r.heard_of_mtasts.is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Survey statistics: every number §7.2 reports, computed from responses.
+
+use crate::schema::{
+    AccountsBucket, Bottleneck, DeployMotivation, ManagementDifficulty, NotDeployedReason,
+    Respondent, UpdateOrder, WhichProtocol,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A count with its denominator (for "X of N (p%)" reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Share {
+    /// Respondents matching.
+    pub count: u64,
+    /// Respondents who answered the question.
+    pub answered: u64,
+}
+
+impl Share {
+    /// Percentage of answered.
+    pub fn pct(self) -> f64 {
+        100.0 * self.count as f64 / self.answered.max(1) as f64
+    }
+}
+
+/// The §7.2 statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurveyStats {
+    /// Total respondents.
+    pub respondents: u64,
+    /// Awareness of MTA-STS (paper: 89/94 = 94.7%).
+    pub awareness: Share,
+    /// Deployment on the primary domain (50/88 = 56.8%).
+    pub deployment: Share,
+    /// Figure 11: per-bucket totals and deployed counts.
+    pub accounts_histogram: Vec<(AccountsBucket, u64, u64)>,
+    /// Downgrade prevention as deployment motivation (34/42 = 80.9%).
+    pub motivation_downgrade: Share,
+    /// Customer demand drove adoption (13/41 = 31.7%).
+    pub customer_demand: Share,
+    /// Regulation mandated adoption (14/41 = 34.1%).
+    pub regulation: Share,
+    /// Operational complexity as the bottleneck (21/43 = 48.8%).
+    pub bottleneck_complexity: Share,
+    /// "DANE is fundamentally more secure" (17/43 = 39.5%).
+    pub bottleneck_dane_better: Share,
+    /// Non-deployers using DANE instead (15/33 = 45.4%).
+    pub not_deployed_uses_dane: Share,
+    /// Non-deployers finding it too complicated (9/33 = 27.2%).
+    pub not_deployed_too_complicated: Share,
+    /// HTTPS policy file hardest to manage (8/41 = 19.5%).
+    pub difficulty_https: Share,
+    /// Policy updates hardest (11/41 = 26.8%).
+    pub difficulty_updates: Share,
+    /// Never updated their policy (15/42 = 35.7%).
+    pub never_updated: Share,
+    /// Update the TXT record first — the risky order (10/42 = 23.8%).
+    pub txt_first: Share,
+    /// DANE familiarity (78/79 = 98.7%).
+    pub dane_familiarity: Share,
+    /// Serve no TLSA record (26/78 = 33.3%).
+    pub no_tlsa: Share,
+    /// DNS/registrar lacks DNSSEC (10 respondents).
+    pub dnssec_unsupported: Share,
+    /// DANE judged the better design (51/70 = 72.8%).
+    pub dane_superior: Share,
+}
+
+fn share<F: Fn(&Respondent) -> Option<bool>>(data: &[Respondent], f: F) -> Share {
+    let mut answered = 0;
+    let mut count = 0;
+    for r in data {
+        if let Some(hit) = f(r) {
+            answered += 1;
+            if hit {
+                count += 1;
+            }
+        }
+    }
+    Share { count, answered }
+}
+
+/// Computes all statistics from a response set.
+pub fn compute(data: &[Respondent]) -> SurveyStats {
+    let mut histogram: BTreeMap<AccountsBucket, (u64, u64)> = BTreeMap::new();
+    for r in data {
+        if let Some(bucket) = r.accounts {
+            let entry = histogram.entry(bucket).or_default();
+            entry.0 += 1;
+            if r.deployed_mtasts == Some(true) {
+                entry.1 += 1;
+            }
+        }
+    }
+    SurveyStats {
+        respondents: data.len() as u64,
+        awareness: share(data, |r| r.heard_of_mtasts),
+        deployment: share(data, |r| r.deployed_mtasts),
+        accounts_histogram: AccountsBucket::ALL
+            .iter()
+            .map(|b| {
+                let (total, deployed) = histogram.get(b).copied().unwrap_or((0, 0));
+                (*b, total, deployed)
+            })
+            .collect(),
+        motivation_downgrade: share(data, |r| {
+            r.motivation.map(|m| m == DeployMotivation::PreventDowngrade)
+        }),
+        customer_demand: share(data, |r| r.customer_demand),
+        regulation: share(data, |r| r.regulation_driven),
+        bottleneck_complexity: share(data, |r| {
+            r.bottleneck.map(|b| b == Bottleneck::OperationalComplexity)
+        }),
+        bottleneck_dane_better: share(data, |r| {
+            r.bottleneck.map(|b| b == Bottleneck::DaneIsBetter)
+        }),
+        not_deployed_uses_dane: share(data, |r| {
+            r.not_deployed_reason.map(|x| x == NotDeployedReason::UsesDane)
+        }),
+        not_deployed_too_complicated: share(data, |r| {
+            r.not_deployed_reason
+                .map(|x| x == NotDeployedReason::TooComplicated)
+        }),
+        difficulty_https: share(data, |r| {
+            r.management_difficulty
+                .map(|d| d == ManagementDifficulty::HttpsPolicyFile)
+        }),
+        difficulty_updates: share(data, |r| {
+            r.management_difficulty
+                .map(|d| d == ManagementDifficulty::PolicyUpdates)
+        }),
+        never_updated: share(data, |r| {
+            r.update_order.map(|o| o == UpdateOrder::NeverUpdated)
+        }),
+        txt_first: share(data, |r| r.update_order.map(|o| o == UpdateOrder::TxtFirst)),
+        dane_familiarity: share(data, |r| r.heard_of_dane),
+        no_tlsa: share(data, |r| r.no_tlsa),
+        dnssec_unsupported: share(data, |r| r.dnssec_unsupported),
+        dane_superior: share(data, |r| {
+            r.better_protocol.map(|p| p == WhichProtocol::Dane)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+
+    #[test]
+    fn reproduces_every_section72_number() {
+        let stats = compute(&synthesize(5));
+        assert_eq!(stats.respondents, 117);
+        // Awareness: 89 of 94 = 94.7%.
+        assert_eq!((stats.awareness.count, stats.awareness.answered), (89, 94));
+        assert!((stats.awareness.pct() - 94.7).abs() < 0.1);
+        // Deployment: 50 of 88 = 56.8%.
+        assert_eq!((stats.deployment.count, stats.deployment.answered), (50, 88));
+        assert!((stats.deployment.pct() - 56.8).abs() < 0.1);
+        // Motivation: 34 of 42 = 80.9%.
+        assert_eq!(
+            (stats.motivation_downgrade.count, stats.motivation_downgrade.answered),
+            (34, 42)
+        );
+        // Customer demand 13/41 (31.7%), regulation 14/41 (34.1%).
+        assert_eq!((stats.customer_demand.count, stats.customer_demand.answered), (13, 41));
+        assert_eq!((stats.regulation.count, stats.regulation.answered), (14, 41));
+        // Bottlenecks: 21/43 (48.8%) complexity, 17/43 (39.5%) DANE.
+        assert_eq!(
+            (stats.bottleneck_complexity.count, stats.bottleneck_complexity.answered),
+            (21, 43)
+        );
+        assert!((stats.bottleneck_complexity.pct() - 48.8).abs() < 0.1);
+        assert_eq!(stats.bottleneck_dane_better.count, 17);
+        // Non-deployers: 15/33 DANE (45.4%), 9/33 complicated (27.2%).
+        assert_eq!(
+            (stats.not_deployed_uses_dane.count, stats.not_deployed_uses_dane.answered),
+            (15, 33)
+        );
+        assert!((stats.not_deployed_uses_dane.pct() - 45.4).abs() < 0.1);
+        assert_eq!(stats.not_deployed_too_complicated.count, 9);
+        // Management: 8/41 HTTPS (19.5%), 11/41 updates (26.8%).
+        assert_eq!(stats.difficulty_https.count, 8);
+        assert_eq!(stats.difficulty_updates.count, 11);
+        assert!((stats.difficulty_updates.pct() - 26.8).abs() < 0.1);
+        // Updates: 15/42 never (35.7%), 10/42 TXT-first (23.8%).
+        assert_eq!((stats.never_updated.count, stats.never_updated.answered), (15, 42));
+        assert_eq!(stats.txt_first.count, 10);
+        // DANE: 78/79 familiar (98.7%), 26/78 no TLSA (33.3%), 10 lack
+        // DNSSEC, 51/70 DANE superior (72.8%).
+        assert_eq!((stats.dane_familiarity.count, stats.dane_familiarity.answered), (78, 79));
+        assert!((stats.dane_familiarity.pct() - 98.7).abs() < 0.1);
+        assert_eq!((stats.no_tlsa.count, stats.no_tlsa.answered), (26, 78));
+        assert!((stats.no_tlsa.pct() - 33.3).abs() < 0.1);
+        assert_eq!(stats.dnssec_unsupported.count, 10);
+        assert_eq!((stats.dane_superior.count, stats.dane_superior.answered), (51, 70));
+        assert!((stats.dane_superior.pct() - 72.8).abs() < 0.2);
+    }
+
+    #[test]
+    fn figure11_histogram() {
+        let stats = compute(&synthesize(5));
+        let totals: u64 = stats.accounts_histogram.iter().map(|(_, t, _)| t).sum();
+        let deployed: u64 = stats.accounts_histogram.iter().map(|(_, _, d)| d).sum();
+        assert_eq!(totals, 92);
+        assert_eq!(deployed, 50);
+        // 22 under 10 accounts; 36 over 500 (paper's demographic spread).
+        assert_eq!(stats.accounts_histogram[0].1, 22);
+        let over500: u64 = stats.accounts_histogram[3].1 + stats.accounts_histogram[4].1;
+        assert_eq!(over500, 36);
+        // Deployment per bucket never exceeds the bucket total.
+        for (b, total, deployed) in &stats.accounts_histogram {
+            assert!(deployed <= total, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn stats_survive_shuffling() {
+        // Different seeds permute respondents but not the statistics.
+        let a = compute(&synthesize(1));
+        let b = compute(&synthesize(99));
+        assert_eq!(a.awareness, b.awareness);
+        assert_eq!(a.dane_superior, b.dane_superior);
+        assert_eq!(a.accounts_histogram, b.accounts_histogram);
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic respondent synthesis.
+//!
+//! §7.2 reports absolute counts, so the synthesizer assigns answers by
+//! quota rather than sampling: the released dataset always reproduces the
+//! paper's marginals exactly, while a seed permutes which (anonymous)
+//! respondent carries which answer — the joint structure the paper does
+//! not constrain.
+
+use crate::schema::{
+    AccountsBucket, Bottleneck, DeployMotivation, ManagementDifficulty, NotDeployedReason,
+    PolicyHostManagement, Respondent, UpdateOrder, WhichProtocol,
+};
+use netbase::DetRng;
+use rand::seq::SliceRandom;
+
+/// Total respondents who engaged with at least one question.
+pub const RESPONDENTS: usize = 117;
+
+/// Figure 11's per-bucket totals (92 respondents; 22 under 10 accounts,
+/// 36 over 500).
+pub const ACCOUNTS_TOTALS: [(AccountsBucket, usize); 5] = [
+    (AccountsBucket::Under10, 22),
+    (AccountsBucket::From10To100, 18),
+    (AccountsBucket::From100To500, 16),
+    (AccountsBucket::From500To1k, 10),
+    (AccountsBucket::Over1k, 26),
+];
+
+/// Figure 11's per-bucket deployment overlay (sums to the 50 deployers).
+pub const ACCOUNTS_DEPLOYED: [usize; 5] = [10, 9, 9, 6, 16];
+
+/// Synthesizes the 117-respondent dataset.
+///
+/// The assignment is laid out in respondent order so the survey's skip
+/// logic holds (non-hearers answer nothing further; deployer-only pages
+/// only among deployers), then shuffled by `seed` for release.
+pub fn synthesize(seed: u64) -> Vec<Respondent> {
+    let mut r: Vec<Respondent> = vec![Respondent::default(); RESPONDENTS];
+
+    // Page 3: 94 answered familiarity; indices 0..89 yes, 89..94 no.
+    for (i, resp) in r.iter_mut().enumerate().take(94) {
+        resp.heard_of_mtasts = Some(i < 89);
+    }
+    // Page 4: of the 89 hearers, 88 answered deployment; 50 yes.
+    for (i, resp) in r.iter_mut().enumerate().take(88) {
+        resp.deployed_mtasts = Some(i < 50);
+    }
+
+    // Page 2: accounts — 92 respondents, allocated so the deployment
+    // overlay of Figure 11 holds. Deployers first (indices 0..50), then
+    // non-deployers/others.
+    {
+        let mut deployed_quota = ACCOUNTS_DEPLOYED;
+        let mut total_quota: Vec<(AccountsBucket, usize)> = ACCOUNTS_TOTALS.to_vec();
+        let mut give = |resp: &mut Respondent, deployer: bool| {
+            for (bi, (bucket, left)) in total_quota.iter_mut().enumerate() {
+                if *left == 0 {
+                    continue;
+                }
+                if deployer {
+                    if deployed_quota[bi] == 0 {
+                        continue;
+                    }
+                    deployed_quota[bi] -= 1;
+                }
+                *left -= 1;
+                resp.accounts = Some(*bucket);
+                return true;
+            }
+            false
+        };
+        let mut assigned = 0;
+        for (i, resp) in r.iter_mut().enumerate() {
+            if assigned >= 92 {
+                break;
+            }
+            let deployer = i < 50;
+            if give(resp, deployer) {
+                assigned += 1;
+            }
+        }
+    }
+
+    // Deployer-only pages (indices 0..50).
+    let motivations: Vec<DeployMotivation> = quota(&[
+        (DeployMotivation::PreventDowngrade, 34), // 80.9% of 42
+        (DeployMotivation::TrustWebPki, 3),
+        (DeployMotivation::DaneTooHard, 3),
+        (DeployMotivation::ProviderReputation, 2),
+    ]);
+    for (resp, m) in r.iter_mut().take(42).zip(motivations) {
+        resp.motivation = Some(m);
+    }
+    // Separate Likert-derived booleans (41 answered each).
+    for (i, resp) in r.iter_mut().enumerate().take(41) {
+        resp.customer_demand = Some(i < 13); // 13 of 41 (31.7%)
+        resp.regulation_driven = Some(i >= 13 && i < 27); // 14 of 41 (34.1%)
+    }
+    let bottlenecks: Vec<Bottleneck> = quota(&[
+        (Bottleneck::OperationalComplexity, 21), // 48.8% of 43
+        (Bottleneck::DaneIsBetter, 17),          // 39.5%
+        (Bottleneck::NoNeed, 5),                 // 11.6%
+    ]);
+    for (resp, b) in r.iter_mut().take(43).zip(bottlenecks) {
+        resp.bottleneck = Some(b);
+    }
+    let difficulties: Vec<ManagementDifficulty> = quota(&[
+        (ManagementDifficulty::PolicyUpdates, 11),   // 26.8% of 41
+        (ManagementDifficulty::HttpsPolicyFile, 8),  // 19.5%
+        (ManagementDifficulty::SmtpCertificates, 9),
+        (ManagementDifficulty::DnsRecords, 8),
+        (ManagementDifficulty::OptingOut, 5),
+    ]);
+    for (resp, d) in r.iter_mut().take(41).zip(difficulties) {
+        resp.management_difficulty = Some(d);
+    }
+    let orders: Vec<UpdateOrder> = quota(&[
+        (UpdateOrder::NeverUpdated, 15), // 35.7% of 42
+        (UpdateOrder::TxtFirst, 10),     // 23.8%
+        (UpdateOrder::PolicyFirst, 9),
+        (UpdateOrder::DontKnow, 8),
+    ]);
+    for (resp, o) in r.iter_mut().take(42).zip(orders) {
+        resp.update_order = Some(o);
+    }
+    // Page 7 (44 deployers answered): outsourced vs self-managed.
+    for (i, resp) in r.iter_mut().enumerate().take(44) {
+        resp.policy_host = Some(if i % 3 == 0 {
+            PolicyHostManagement::Outsourced
+        } else {
+            PolicyHostManagement::SelfManaged
+        });
+    }
+
+    // Non-deployer page (indices 50..88): 33 of 38 answered.
+    let reasons: Vec<NotDeployedReason> = quota(&[
+        (NotDeployedReason::UsesDane, 15),       // 45.4% of 33
+        (NotDeployedReason::TooComplicated, 9),  // 27.2%
+        (NotDeployedReason::NoNeed, 5),
+        (NotDeployedReason::DontUnderstand, 4),
+    ]);
+    for (resp, reason) in r.iter_mut().skip(50).take(33).zip(reasons) {
+        resp.not_deployed_reason = Some(reason);
+    }
+
+    // DANE pages: 79 answered familiarity (index 78 is the one "no").
+    for (i, resp) in r.iter_mut().enumerate().take(79) {
+        resp.heard_of_dane = Some(i != 78);
+    }
+    // Among the 78 DANE-familiar: 26 serve no TLSA; 10 lack DNSSEC
+    // support; 70 answered the comparison (51 DANE, 11 balanced, 8
+    // MTA-STS — 72.8% DANE).
+    for (i, resp) in r.iter_mut().enumerate().take(78) {
+        if i == 78 {
+            continue;
+        }
+        resp.no_tlsa = Some(i < 26);
+        resp.dnssec_unsupported = Some(i >= 26 && i < 36);
+    }
+    let protocols: Vec<WhichProtocol> = quota(&[
+        (WhichProtocol::Dane, 51),
+        (WhichProtocol::Balanced, 11),
+        (WhichProtocol::MtaSts, 8),
+    ]);
+    for (resp, p) in r
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| *i != 78)
+        .map(|(_, r)| r)
+        .take(70)
+        .zip(protocols)
+    {
+        resp.better_protocol = Some(p);
+    }
+
+    // Page 13: outbound validation (60 answered; 21 yes).
+    for (i, resp) in r.iter_mut().enumerate().take(60) {
+        resp.validates_outbound = Some(i < 21);
+    }
+
+    // Release order: shuffle so respondent identity carries no structure.
+    let mut rng = DetRng::new(seed).stream_for("survey-release-order");
+    r.shuffle(&mut rng);
+    r
+}
+
+/// Expands (value, count) pairs into a flat vector.
+fn quota<T: Copy>(pairs: &[(T, usize)]) -> Vec<T> {
+    pairs
+        .iter()
+        .flat_map(|(v, n)| std::iter::repeat(*v).take(*n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        assert_eq!(synthesize(1), synthesize(1));
+        assert_ne!(synthesize(1), synthesize(2));
+    }
+
+    #[test]
+    fn skip_logic_holds() {
+        let data = synthesize(3);
+        for resp in &data {
+            // Nobody unaware of MTA-STS answers deployment questions.
+            if resp.heard_of_mtasts == Some(false) {
+                assert!(resp.deployed_mtasts.is_none());
+                assert!(resp.bottleneck.is_none());
+            }
+            // Deployment-page answers only from deployers.
+            if resp.bottleneck.is_some() || resp.motivation.is_some() {
+                assert_eq!(resp.deployed_mtasts, Some(true));
+            }
+            // Not-deployed reasons only from non-deployers.
+            if resp.not_deployed_reason.is_some() {
+                assert_eq!(resp.deployed_mtasts, Some(false));
+            }
+        }
+    }
+
+    #[test]
+    fn headline_counts_match_section72() {
+        let data = synthesize(3);
+        assert_eq!(data.len(), RESPONDENTS);
+        let heard_answered = data.iter().filter(|r| r.heard_of_mtasts.is_some()).count();
+        let heard_yes = data
+            .iter()
+            .filter(|r| r.heard_of_mtasts == Some(true))
+            .count();
+        assert_eq!((heard_answered, heard_yes), (94, 89));
+        let deployed_answered = data.iter().filter(|r| r.deployed_mtasts.is_some()).count();
+        let deployed_yes = data
+            .iter()
+            .filter(|r| r.deployed_mtasts == Some(true))
+            .count();
+        assert_eq!((deployed_answered, deployed_yes), (88, 50));
+        let accounts = data.iter().filter(|r| r.accounts.is_some()).count();
+        assert_eq!(accounts, 92);
+    }
+}

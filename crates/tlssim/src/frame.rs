@@ -1,0 +1,173 @@
+//! Handshake framing: length-delimited, typed frames.
+//!
+//! Only the handshake is framed; application data after the handshake is a
+//! continuous XOR-enciphered byte stream (see [`crate::stream`]). Frames
+//! are `u32` big-endian length (of type byte + payload), then a type byte,
+//! then the payload.
+
+use bytes::{Buf, BufMut, BytesMut};
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Upper bound on a frame payload; certificates chains are small.
+pub const MAX_FRAME_LEN: usize = 256 * 1024;
+
+/// Frame types used during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client's opening message (nonce, SNI, DH public).
+    ClientHello,
+    /// Server's reply (nonce, DH public, certificate chain).
+    ServerHello,
+    /// Client's acknowledgement completing the handshake.
+    Finished,
+    /// Fatal handshake failure notification.
+    Alert,
+}
+
+impl FrameType {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            FrameType::ClientHello => 1,
+            FrameType::ServerHello => 2,
+            FrameType::Finished => 3,
+            FrameType::Alert => 21, // mirrors TLS's alert content type
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<FrameType> {
+        match code {
+            1 => Some(FrameType::ClientHello),
+            2 => Some(FrameType::ServerHello),
+            3 => Some(FrameType::Finished),
+            21 => Some(FrameType::Alert),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame type.
+    pub ftype: FrameType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Frame-level I/O errors.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed (includes clean EOF mid-frame).
+    Io(std::io::Error),
+    /// Frame length exceeded [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// Unknown frame type byte.
+    UnknownType(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame too large: {n}"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame.
+pub async fn write_frame<S: AsyncWrite + Unpin>(
+    stream: &mut S,
+    ftype: FrameType,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let mut buf = BytesMut::with_capacity(5 + payload.len());
+    buf.put_u32(1 + payload.len() as u32);
+    buf.put_u8(ftype.code());
+    buf.put_slice(payload);
+    stream.write_all(&buf).await?;
+    stream.flush().await?;
+    Ok(())
+}
+
+/// Reads one frame.
+pub async fn read_frame<S: AsyncRead + Unpin>(stream: &mut S) -> Result<Frame, FrameError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).await?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).await?;
+    let mut cursor = &body[..];
+    let type_byte = cursor.get_u8();
+    let ftype = FrameType::from_code(type_byte).ok_or(FrameError::UnknownType(type_byte))?;
+    Ok(Frame {
+        ftype,
+        payload: cursor.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        write_frame(&mut a, FrameType::ClientHello, b"hello-payload")
+            .await
+            .unwrap();
+        let f = read_frame(&mut b).await.unwrap();
+        assert_eq!(f.ftype, FrameType::ClientHello);
+        assert_eq!(f.payload, b"hello-payload");
+    }
+
+    #[tokio::test]
+    async fn empty_payload_roundtrips() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        write_frame(&mut a, FrameType::Finished, b"").await.unwrap();
+        let f = read_frame(&mut b).await.unwrap();
+        assert_eq!(f.ftype, FrameType::Finished);
+        assert!(f.payload.is_empty());
+    }
+
+    #[tokio::test]
+    async fn unknown_type_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&[0, 0, 0, 1, 99]).await.unwrap();
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, FrameError::UnknownType(99)));
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&u32::to_be_bytes(64 * 1024 * 1024)).await.unwrap();
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_is_io_error() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&[0, 0, 0, 10, 1, 2, 3]).await.unwrap();
+        drop(a);
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
+    }
+}

@@ -1,0 +1,198 @@
+//! Toy key agreement and the record-layer keystream.
+//!
+//! Diffie-Hellman over a 61-bit Mersenne prime (2^61 - 1) with generator 3.
+//! The shared secret seeds two xorshift-based keystreams, one per
+//! direction, mixed with both handshake nonces. None of this is secure; it
+//! exists so the record layer genuinely depends on the handshake (a client
+//! that skipped validation still derives working keys — exactly the
+//! opportunistic-TLS behaviour §6.2 measures).
+
+/// The DH modulus: 2^61 - 1 (prime).
+pub const DH_PRIME: u64 = (1 << 61) - 1;
+/// The DH generator.
+pub const DH_GENERATOR: u64 = 3;
+
+/// Modular multiplication via 128-bit intermediates.
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Modular exponentiation by squaring.
+pub fn powmod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, modulus);
+        }
+        base = mulmod(base, base, modulus);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A DH key pair: secret exponent and public value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhKeyPair {
+    /// Secret exponent.
+    pub secret: u64,
+    /// `g^secret mod p`.
+    pub public: u64,
+}
+
+impl DhKeyPair {
+    /// Derives a key pair from a secret exponent.
+    pub fn from_secret(secret: u64) -> DhKeyPair {
+        // Clamp into [2, p-2].
+        let secret = 2 + secret % (DH_PRIME - 3);
+        DhKeyPair {
+            secret,
+            public: powmod(DH_GENERATOR, secret, DH_PRIME),
+        }
+    }
+
+    /// Computes the shared secret with a peer's public value.
+    pub fn shared_secret(&self, peer_public: u64) -> u64 {
+        powmod(peer_public, self.secret, DH_PRIME)
+    }
+}
+
+/// Per-direction key material derived from the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Keystream seed for client→server data.
+    pub client_to_server: u64,
+    /// Keystream seed for server→client data.
+    pub server_to_client: u64,
+}
+
+/// Derives session keys from the shared secret and both nonces.
+pub fn derive_keys(shared: u64, client_nonce: u64, server_nonce: u64) -> SessionKeys {
+    SessionKeys {
+        client_to_server: mix(shared, client_nonce, 0xC11E_27_5_EA7),
+        server_to_client: mix(shared, server_nonce, 0x5E12_7E12_BEEF),
+    }
+}
+
+fn mix(a: u64, b: u64, tag: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(17) ^ tag;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A byte-oriented XOR keystream (xorshift64* core).
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    state: u64,
+    /// Buffered keystream bytes not yet consumed.
+    buffer: [u8; 8],
+    /// Next unread index into `buffer`; 8 means empty.
+    cursor: usize,
+}
+
+impl KeyStream {
+    /// Creates a keystream from a seed.
+    pub fn new(seed: u64) -> KeyStream {
+        KeyStream {
+            // Avoid the xorshift fixed point at zero.
+            state: seed | 1,
+            buffer: [0; 8],
+            cursor: 8,
+        }
+    }
+
+    fn next_block(&mut self) {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        self.buffer = x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_be_bytes();
+        self.cursor = 0;
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.cursor == 8 {
+                self.next_block();
+            }
+            *byte ^= self.buffer[self.cursor];
+            self.cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement() {
+        let a = DhKeyPair::from_secret(0xDEAD_BEEF_1234);
+        let b = DhKeyPair::from_secret(0xFEED_FACE_5678);
+        assert_eq!(a.shared_secret(b.public), b.shared_secret(a.public));
+        let c = DhKeyPair::from_secret(0x1111);
+        assert_ne!(a.shared_secret(b.public), a.shared_secret(c.public));
+    }
+
+    #[test]
+    fn powmod_basics() {
+        assert_eq!(powmod(2, 10, 1_000_000), 1024);
+        assert_eq!(powmod(3, 0, 7), 1);
+        assert_eq!(powmod(5, 3, 13), 125 % 13);
+    }
+
+    #[test]
+    fn keystream_roundtrip() {
+        let mut enc = KeyStream::new(42);
+        let mut dec = KeyStream::new(42);
+        let mut data = b"MTA-STS policy file contents".to_vec();
+        let original = data.clone();
+        enc.apply(&mut data);
+        assert_ne!(data, original);
+        dec.apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn keystream_roundtrip_across_chunk_boundaries() {
+        let mut enc = KeyStream::new(7);
+        let mut dec = KeyStream::new(7);
+        let original: Vec<u8> = (0..=255).collect();
+        let mut data = original.clone();
+        // Encrypt in irregular chunks, decrypt in different chunks.
+        let (head, tail) = data.split_at_mut(13);
+        enc.apply(head);
+        enc.apply(tail);
+        let (h2, t2) = data.split_at_mut(200);
+        dec.apply(h2);
+        dec.apply(t2);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn directions_differ() {
+        let keys = derive_keys(0xABCDEF, 1, 2);
+        assert_ne!(keys.client_to_server, keys.server_to_client);
+        // Different nonces give different keys for the same shared secret.
+        let keys2 = derive_keys(0xABCDEF, 3, 2);
+        assert_ne!(keys.client_to_server, keys2.client_to_server);
+    }
+
+    #[test]
+    fn full_agreement_to_keystream() {
+        let a = DhKeyPair::from_secret(101);
+        let b = DhKeyPair::from_secret(202);
+        let ka = derive_keys(a.shared_secret(b.public), 11, 22);
+        let kb = derive_keys(b.shared_secret(a.public), 11, 22);
+        assert_eq!(ka, kb);
+        let mut c2s_tx = KeyStream::new(ka.client_to_server);
+        let mut c2s_rx = KeyStream::new(kb.client_to_server);
+        let mut msg = b"EHLO sender.example".to_vec();
+        c2s_tx.apply(&mut msg);
+        c2s_rx.apply(&mut msg);
+        assert_eq!(msg, b"EHLO sender.example");
+    }
+}

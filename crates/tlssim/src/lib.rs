@@ -1,0 +1,37 @@
+//! Toy TLS: a handshake + record layer with the *shape* of TLS and none of
+//! its cryptographic strength.
+//!
+//! The study needs TLS in three places: HTTPS policy retrieval (§2.2.2),
+//! STARTTLS on MX hosts (§2.2.3), and the failure taxonomy built on both
+//! (§4.3.3-§4.3.4: handshake alerts, certificate errors, SNI-dependent
+//! certificate selection). What it does *not* need is resistance to real
+//! attackers — the adversary in every experiment is scripted. This crate
+//! therefore implements:
+//!
+//! - a framed handshake (`ClientHello` with SNI → `ServerHello` with a
+//!   certificate chain, or an `Alert`) over any `AsyncRead + AsyncWrite`;
+//! - a toy Diffie-Hellman agreement (64-bit modular exponentiation) whose
+//!   shared secret keys per-direction XOR keystreams;
+//! - [`TlsStream`], an `AsyncRead + AsyncWrite` wrapper carrying the
+//!   encrypted byte stream, so HTTP and SMTP layers compose with tokio's
+//!   buffered readers unchanged;
+//! - server-side certificate selection by SNI, including the
+//!   "no certificate for this name" alert the paper observes from policy
+//!   hosts (§4.3.3).
+//!
+//! Certificate *validation policy* stays with the caller: the client
+//! returns the presented chain, and [`client_handshake`] takes the
+//! validation verdict from a callback so opportunistic-TLS senders (§6.2)
+//! can accept anything while MTA-STS/DANE validators enforce.
+
+pub mod frame;
+pub mod handshake;
+pub mod keys;
+pub mod stream;
+
+pub use frame::{Frame, FrameType};
+pub use handshake::{
+    client_handshake, server_handshake, Alert, ClientConfig, ClientSession, HandshakeError,
+    ServerBehavior, ServerConfig, ServerIdentity, ServerSession,
+};
+pub use stream::TlsStream;

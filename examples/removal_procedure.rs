@@ -1,0 +1,88 @@
+//! The MTA-STS removal procedure (§2.6 / RFC 8461 §8.3): a domain that
+//! follows the four-step sequence releases its senders cleanly; one that
+//! rips the records out strands senders with cached enforce policies.
+//!
+//! ```sh
+//! cargo run --example removal_procedure
+//! ```
+
+use mtasts::removal::{check_removal, DeploymentSnapshot, RemovalVerdict};
+use mtasts::{parse_policy, Mode, MxPattern, Policy};
+use netbase::{Duration, SimDate};
+
+fn enforce_policy() -> Policy {
+    Policy::new(
+        Mode::Enforce,
+        604_800,
+        vec![MxPattern::parse("mx.example.com").unwrap()],
+    )
+}
+
+fn none_policy() -> Policy {
+    parse_policy("version: STSv1\r\nmode: none\r\nmax_age: 86400\r\n").unwrap()
+}
+
+fn snapshot(date: SimDate, id: Option<&str>, policy: Option<Policy>) -> DeploymentSnapshot {
+    DeploymentSnapshot {
+        at: date.at_midnight(),
+        record_id: id.map(String::from),
+        policy,
+    }
+}
+
+fn main() {
+    // The correct sequence.
+    let clean = vec![
+        snapshot(SimDate::ymd(2024, 5, 1), Some("a1"), Some(enforce_policy())),
+        // Step 1+2: none-mode policy, one-day max_age, new record id.
+        snapshot(SimDate::ymd(2024, 6, 1), Some("a2"), Some(none_policy())),
+        // Step 3: wait out max(old, new) max_age (7 days > 1 day needed).
+        snapshot(SimDate::ymd(2024, 6, 12), Some("a2"), Some(none_policy())),
+        // Step 4: everything removed.
+        snapshot(SimDate::ymd(2024, 6, 20), None, None),
+    ];
+    println!("correct removal: {:?}\n", check_removal(&clean));
+
+    // The abrupt removal the paper warns about.
+    let abrupt = vec![
+        snapshot(SimDate::ymd(2024, 5, 1), Some("a1"), Some(enforce_policy())),
+        snapshot(SimDate::ymd(2024, 6, 1), None, None),
+    ];
+    let verdict = check_removal(&abrupt);
+    println!("abrupt removal:  {verdict:?}");
+    if let RemovalVerdict::Abrupt { stranded_for, .. } = verdict {
+        println!(
+            "=> senders with the cached enforce policy keep enforcing for up to {} days\n",
+            stranded_for.as_days()
+        );
+    }
+
+    // Forgetting to bump the record id.
+    let no_bump = vec![
+        snapshot(SimDate::ymd(2024, 5, 1), Some("same"), Some(enforce_policy())),
+        snapshot(SimDate::ymd(2024, 6, 1), Some("same"), Some(none_policy())),
+        snapshot(SimDate::ymd(2024, 7, 1), None, None),
+    ];
+    println!("id not bumped:   {:?}", check_removal(&no_bump));
+
+    // Removing before the waiting period elapses.
+    let rushed = vec![
+        snapshot(SimDate::ymd(2024, 5, 1), Some("a1"), Some(enforce_policy())),
+        snapshot(SimDate::ymd(2024, 6, 1), Some("a2"), Some(none_policy())),
+        snapshot(SimDate::ymd(2024, 6, 2), None, None),
+    ];
+    let verdict = check_removal(&rushed);
+    println!("removed early:   {verdict:?}");
+    if let RemovalVerdict::RemovedTooSoon {
+        required_wait,
+        observed_wait,
+    } = verdict
+    {
+        println!(
+            "=> waited {} days, needed {}",
+            observed_wait.as_days(),
+            required_wait.as_days()
+        );
+    }
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the full mta-sts-lab workspace API.
+pub use danelite;
+pub use dns;
+pub use ecosystem;
+pub use httpsim;
+pub use mtasts;
+pub use netbase;
+pub use pkix;
+pub use report;
+pub use scanner;
+pub use sender;
+pub use simnet;
+pub use smtp;
+pub use survey;
+pub use tlssim;

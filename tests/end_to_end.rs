@@ -1,0 +1,162 @@
+//! End-to-end integration: ecosystem generation → world deployment →
+//! scanning → analysis, with ground-truth cross-checks spanning every
+//! crate in the workspace.
+
+use ecosystem::{Ecosystem, EcosystemConfig, SnapshotDetail};
+use netbase::{DomainName, SimDate};
+use scanner::analysis::{fig4_series, fig9_series, table1};
+use scanner::longitudinal::Study;
+use scanner::scan_snapshot;
+use scanner::taxonomy::MisconfigCategory;
+
+fn eco() -> Ecosystem {
+    Ecosystem::generate(EcosystemConfig::paper(1234, 0.02))
+}
+
+#[test]
+fn measured_misconfiguration_matches_injected_ground_truth() {
+    let eco = eco();
+    let date = SimDate::ymd(2024, 9, 29);
+    let world = eco.world_at(date, SnapshotDetail::Full);
+    let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+    let snapshot = scan_snapshot(&world, &domains, date, None);
+
+    let mut false_negatives = 0usize;
+    let mut false_positives = 0usize;
+    let mut total = 0usize;
+    for spec in eco.domains_at(date) {
+        let scan = snapshot.scan_of(&spec.name).expect("every domain scanned");
+        total += 1;
+        // Ground truth: any spec-level fault effective at this date. The
+        // lucidgrow window is closed and the CN-fix cohort has fixed, so
+        // effective_* handles the date dependence.
+        let injected = spec.faults.record.is_some()
+            || eco.effective_policy_fault(spec, date).is_some()
+            || eco.effective_mx_fault(spec, date).is_some()
+            || spec.faults.inconsistency.is_some();
+        let measured = scan.is_misconfigured();
+        if injected && !measured {
+            false_negatives += 1;
+        }
+        if !injected && measured {
+            false_positives += 1;
+        }
+    }
+    // Stale-policy domains only manifest after their migration, and some
+    // probabilistic edge cases shift categories; demand near-exact
+    // agreement rather than perfection.
+    assert!(total > 1000);
+    assert!(
+        false_negatives * 50 < total,
+        "false negatives {false_negatives}/{total}"
+    );
+    assert!(
+        false_positives * 50 < total,
+        "false positives {false_positives}/{total}"
+    );
+}
+
+#[test]
+fn full_study_reproduces_headline_numbers() {
+    let eco = eco();
+    let scale = eco.config.scale;
+    let study = Study::new(eco);
+    let run = study.run();
+
+    // Table 1 percentages in the paper's band.
+    for row in table1(&run, scale) {
+        assert!(
+            (0.02..0.35).contains(&row.percent),
+            "{}: {}%",
+            row.tld,
+            row.percent
+        );
+    }
+
+    // The headline: ~29.6% misconfigured at the latest scan, policy
+    // retrieval the dominant category (70-85% of errors).
+    let f4 = fig4_series(&run);
+    let latest = f4.last().unwrap();
+    let pct = 100.0 * latest.misconfigured as f64 / latest.total as f64;
+    assert!((20.0..40.0).contains(&pct), "misconfigured {pct}%");
+    let policy_share = latest.category_pct[&MisconfigCategory::PolicyRetrieval]
+        / (100.0 * latest.misconfigured as f64 / latest.total as f64);
+    assert!(
+        (0.6..1.0).contains(&policy_share),
+        "policy errors are {policy_share} of misconfigurations"
+    );
+
+    // Figure 9 ends in the paper's neighbourhood (63%).
+    let f9 = fig9_series(&run);
+    let last9 = f9.last().unwrap().1;
+    assert!((35.0..90.0).contains(&last9), "stale share {last9}%");
+
+    // Delivery failures: a small but real share of misconfigured domains
+    // (paper: 640 of 20,144 = 3.2%).
+    let latest_snap = run.latest();
+    let failures = latest_snap
+        .scans
+        .iter()
+        .filter(|s| s.delivery_failure_predicted())
+        .count();
+    let misconfigured = latest_snap
+        .scans
+        .iter()
+        .filter(|s| s.is_misconfigured())
+        .count();
+    let share = failures as f64 / misconfigured.max(1) as f64;
+    assert!(
+        (0.005..0.12).contains(&share),
+        "delivery failures {failures}/{misconfigured} = {share}"
+    );
+}
+
+#[test]
+fn weekly_and_full_scans_are_consistent() {
+    let eco = eco();
+    let study = Study::new(eco);
+    let run = study.run();
+    // Each series counts exactly the domains adopted by its own date
+    // (the weekly series ends 2024-09-26, the full scans 2024-09-29).
+    let last_weekly = run.weekly.last().unwrap();
+    let weekly_total: u64 = last_weekly.mtasts_per_tld.values().sum();
+    assert_eq!(
+        weekly_total,
+        study.eco.domains_at(last_weekly.date).count() as u64
+    );
+    let latest_full = run.latest();
+    assert_eq!(
+        latest_full.len(),
+        study.eco.domains_at(latest_full.date).count()
+    );
+    assert!(latest_full.len() as u64 >= weekly_total);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let a = {
+        let eco = Ecosystem::generate(EcosystemConfig::paper(77, 0.01));
+        let date = SimDate::ymd(2024, 9, 29);
+        let world = eco.world_at(date, SnapshotDetail::Full);
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        let snap = scan_snapshot(&world, &domains, date, None);
+        snap.scans
+            .iter()
+            .filter(|s| s.is_misconfigured())
+            .map(|s| s.domain.to_string())
+            .collect::<Vec<_>>()
+    };
+    let b = {
+        let eco = Ecosystem::generate(EcosystemConfig::paper(77, 0.01));
+        let date = SimDate::ymd(2024, 9, 29);
+        let world = eco.world_at(date, SnapshotDetail::Full);
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        let snap = scan_snapshot(&world, &domains, date, None);
+        snap.scans
+            .iter()
+            .filter(|s| s.is_misconfigured())
+            .map(|s| s.domain.to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(a, b, "same seed must misconfigure the same domains");
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core data structures and codecs.
+
+use dns::types::{Message, Question, Rcode, Record, RecordData, RecordType, SoaRecord};
+use netbase::{levenshtein, levenshtein_within, DomainName};
+use proptest::prelude::*;
+
+/// Strategy: a valid DNS label.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_filter("no double hyphen edge", |s| !s.ends_with('-'))
+}
+
+/// Strategy: a valid domain name of 2-4 labels.
+fn domain_name() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(label(), 2..=4)
+        .prop_map(|labels| labels.join(".").parse::<DomainName>().unwrap())
+}
+
+/// Strategy: arbitrary record data.
+fn record_data() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RecordData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RecordData::Aaaa(o.into())),
+        domain_name().prop_map(RecordData::Ns),
+        domain_name().prop_map(RecordData::Cname),
+        domain_name().prop_map(RecordData::Ptr),
+        (any::<u16>(), domain_name()).prop_map(|(preference, exchange)| RecordData::Mx {
+            preference,
+            exchange
+        }),
+        prop::collection::vec("[ -~]{0,80}", 1..3).prop_map(|strings| {
+            // TXT character-strings are ≤255 bytes; the strategy stays well
+            // under.
+            RecordData::Txt(strings)
+        }),
+        (domain_name(), domain_name(), any::<u32>()).prop_map(|(mname, rname, serial)| {
+            RecordData::Soa(SoaRecord {
+                mname,
+                rname,
+                serial,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            })
+        }),
+        (0u8..4, 0u8..2, 0u8..2, prop::collection::vec(any::<u8>(), 0..40)).prop_map(
+            |(usage, selector, matching_type, data)| RecordData::Tlsa(dns::TlsaRecord {
+                usage,
+                selector,
+                matching_type,
+                data,
+            })
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any well-formed DNS message round-trips through the wire codec,
+    /// with and without name compression.
+    #[test]
+    fn dns_message_roundtrips(
+        id in any::<u16>(),
+        qname in domain_name(),
+        answers in prop::collection::vec((domain_name(), any::<u32>(), record_data()), 0..6),
+    ) {
+        let q = Message::query(id, Question::new(qname, RecordType::Txt));
+        let mut msg = Message::response_to(&q, Rcode::NoError);
+        for (name, ttl, data) in answers {
+            msg.answers.push(Record::new(name, ttl, data));
+        }
+        let compressed = dns::wire::encode_with(&msg, true);
+        let plain = dns::wire::encode_with(&msg, false);
+        prop_assert_eq!(&dns::wire::decode(&compressed).unwrap(), &msg);
+        prop_assert_eq!(&dns::wire::decode(&plain).unwrap(), &msg);
+        prop_assert!(compressed.len() <= plain.len());
+    }
+
+    /// Valid MTA-STS policies round-trip through serialization.
+    #[test]
+    fn policy_document_roundtrips(
+        mode in prop_oneof![
+            Just(mtasts::Mode::Enforce),
+            Just(mtasts::Mode::Testing),
+            Just(mtasts::Mode::None)
+        ],
+        max_age in 1u64..31_557_600,
+        mx in prop::collection::vec(domain_name(), 1..4),
+        wildcard in any::<bool>(),
+    ) {
+        let mut patterns: Vec<mtasts::MxPattern> = mx
+            .iter()
+            .map(|m| mtasts::MxPattern::parse(&m.to_string()).unwrap())
+            .collect();
+        if wildcard {
+            let base = mx[0].to_string();
+            patterns.push(mtasts::MxPattern::parse(&format!("*.{base}")).unwrap());
+        }
+        let policy = mtasts::Policy::new(mode, max_age, patterns);
+        let document = policy.to_document();
+        let parsed = mtasts::policy::parse_policy(&document).unwrap();
+        prop_assert_eq!(parsed, policy);
+    }
+
+    /// Valid record ids round-trip through the record parser.
+    #[test]
+    fn sts_record_roundtrips(id in "[a-zA-Z0-9]{1,32}") {
+        let text = format!("v=STSv1; id={id};");
+        let parsed = mtasts::parse_record(&text).unwrap();
+        prop_assert_eq!(parsed.id, id);
+    }
+
+    /// The record parser never panics on arbitrary printable input.
+    #[test]
+    fn record_parser_total(input in "[ -~]{0,120}") {
+        let _ = mtasts::parse_record(&input);
+        let _ = mtasts::policy::parse_policy(&input);
+        let _ = mtasts::parse_tlsrpt(&input);
+    }
+
+    /// The DNS wire decoder never panics on arbitrary bytes.
+    #[test]
+    fn wire_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = dns::wire::decode(&bytes);
+    }
+
+    /// Certificate decoding never panics and round-trips valid certs.
+    #[test]
+    fn cert_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pkix::SimCert::from_bytes(&bytes);
+    }
+
+    /// Levenshtein is a metric: symmetry, identity, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-z.]{0,20}",
+        b in "[a-z.]{0,20}",
+        c in "[a-z.]{0,20}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// The bounded variant agrees with the exact distance.
+    #[test]
+    fn bounded_levenshtein_agrees(
+        a in "[a-z.]{0,20}",
+        b in "[a-z.]{0,20}",
+        bound in 0usize..8,
+    ) {
+        let exact = levenshtein(&a, &b);
+        match levenshtein_within(&a, &b, bound) {
+            Some(d) => prop_assert_eq!(d, exact),
+            None => prop_assert!(exact > bound),
+        }
+    }
+
+    /// Domain-name parsing canonicalizes: reparsing the display form is
+    /// the identity.
+    #[test]
+    fn domain_name_canonical(name in domain_name()) {
+        let reparsed: DomainName = name.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, name);
+    }
+
+    /// Wildcard pattern matching never matches across label counts.
+    #[test]
+    fn wildcard_matches_exactly_one_label(base in domain_name(), extra in label()) {
+        let pattern = mtasts::MxPattern::parse(&format!("*.{base}")).unwrap();
+        let one: DomainName = format!("{extra}.{base}").parse().unwrap();
+        let two: DomainName = format!("{extra}.{extra}.{base}").parse().unwrap();
+        prop_assert!(pattern.matches(&one));
+        prop_assert!(!pattern.matches(&two));
+        prop_assert!(!pattern.matches(&base));
+    }
+
+    /// Zone files round-trip through the parser.
+    #[test]
+    fn zonefile_roundtrips(
+        apex in domain_name(),
+        hosts in prop::collection::vec((label(), any::<[u8; 4]>()), 1..5),
+    ) {
+        let mut zone = dns::Zone::new(apex.clone());
+        for (host, addr) in &hosts {
+            let name: DomainName = format!("{host}.{apex}").parse().unwrap();
+            zone.add_rr(&name, 300, RecordData::A((*addr).into()));
+        }
+        let text = zone.to_zonefile();
+        let back = dns::Zone::parse(&text).unwrap();
+        prop_assert_eq!(back.apex(), zone.apex());
+        let mut a: Vec<String> = zone.iter().map(|r| format!("{r:?}")).collect();
+        let mut b: Vec<String> = back.iter().map(|r| format!("{r:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
