@@ -21,7 +21,9 @@ fn bench_matching(c: &mut Criterion) {
     let cert_host = n("mta-sts.example.com");
     let identifier = n("*.example.com");
     c.bench_function("match/rfc6125", |b| {
-        b.iter(|| pkix::validate::host_matches_identifier(black_box(&cert_host), black_box(&identifier)))
+        b.iter(|| {
+            pkix::validate::host_matches_identifier(black_box(&cert_host), black_box(&identifier))
+        })
     });
 
     let a = "mail.exampleprovider.com";

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ecosystem::{Ecosystem, EcosystemConfig, SnapshotDetail};
 use netbase::{DomainName, SimDate, TokenBucket};
-use scanner::{scan_domain, scan_snapshot};
+use scanner::{scan_domain, scan_snapshot, ScanConfig};
 use std::hint::black_box;
 
 fn bench_scan(c: &mut Criterion) {
@@ -15,19 +15,28 @@ fn bench_scan(c: &mut Criterion) {
     let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
     eprintln!("# scanning population: {} domains", domains.len());
 
+    let config = ScanConfig::default();
     let one = domains[0].clone();
     c.bench_function("scan/single-domain", |b| {
-        b.iter(|| scan_domain(black_box(&world), black_box(&one), date))
+        b.iter(|| scan_domain(black_box(&world), black_box(&one), date, &config))
     });
 
     let sample: Vec<DomainName> = domains.iter().take(100).cloned().collect();
     c.bench_function("scan/snapshot-100", |b| {
-        b.iter(|| scan_snapshot(black_box(&world), black_box(&sample), date, None))
+        b.iter(|| scan_snapshot(black_box(&world), black_box(&sample), date, None, &config))
     });
     c.bench_function("scan/snapshot-100-rate-limited", |b| {
         b.iter_batched(
             || TokenBucket::new(1000.0, 100, date.at_midnight()),
-            |mut bucket| scan_snapshot(black_box(&world), black_box(&sample), date, Some(&mut bucket)),
+            |mut bucket| {
+                scan_snapshot(
+                    black_box(&world),
+                    black_box(&sample),
+                    date,
+                    Some(&mut bucket),
+                    &config,
+                )
+            },
             BatchSize::SmallInput,
         )
     });

@@ -95,7 +95,10 @@ fn main() {
     );
     println!("\n== Table 2 ==");
     for r in table2_rows(run.latest(), 8) {
-        println!("{}: {} domains (e.g. {})", r.provider, r.domains, r.example_target);
+        println!(
+            "{}: {} domains (e.g. {})",
+            r.provider, r.domains, r.example_target
+        );
     }
     println!("\n== Figure 12 ==");
     let f12 = fig12_mtasts_series(&run);

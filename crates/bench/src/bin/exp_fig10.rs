@@ -9,7 +9,13 @@ fn main() {
     let (_, run) = mtasts_bench::full_scans_only();
     let series = fig10_series(&run);
     let mut table = Table::new(&[
-        "date", "same-prov", "inconsistent", "%", "diff-prov", "inconsistent", "%",
+        "date",
+        "same-prov",
+        "inconsistent",
+        "%",
+        "diff-prov",
+        "inconsistent",
+        "%",
     ])
     .with_title("Figure 10: both services outsourced");
     for p in &series {

@@ -20,8 +20,8 @@ fn main() {
         );
     }
     println!("{}", chart.render());
-    let mut table = Table::new(&["date", "total", "misconfigured", "%"])
-        .with_title("per-scan totals");
+    let mut table =
+        Table::new(&["date", "total", "misconfigured", "%"]).with_title("per-scan totals");
     for p in &series {
         table.row(vec![
             p.date.to_string(),

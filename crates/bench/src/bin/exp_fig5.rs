@@ -12,8 +12,10 @@ fn main() {
     let (_, run) = mtasts_bench::full_scans_only();
     for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
         let series = fig5_series(&run, class);
-        let mut table = Table::new(&["date", "domains", "faulty", "%", "DNS", "TCP", "TLS", "HTTP", "Syntax"])
-            .with_title(&format!("Figure 5 ({})", class.label()));
+        let mut table = Table::new(&[
+            "date", "domains", "faulty", "%", "DNS", "TCP", "TLS", "HTTP", "Syntax",
+        ])
+        .with_title(&format!("Figure 5 ({})", class.label()));
         for p in &series {
             table.row(vec![
                 p.date.to_string(),

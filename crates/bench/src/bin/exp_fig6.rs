@@ -10,8 +10,16 @@ fn main() {
     let (_, run) = mtasts_bench::full_scans_only();
     for class in [EntityClass::SelfManaged, EntityClass::ThirdParty] {
         let series = fig6_series(&run, class);
-        let mut table = Table::new(&["date", "domains", "invalid", "%", "CN mism.", "Self-signed", "Expired"])
-            .with_title(&format!("Figure 6 ({} MX hosts)", class.label()));
+        let mut table = Table::new(&[
+            "date",
+            "domains",
+            "invalid",
+            "%",
+            "CN mism.",
+            "Self-signed",
+            "Expired",
+        ])
+        .with_title(&format!("Figure 6 ({} MX hosts)", class.label()));
         for p in &series {
             table.row(vec![
                 p.date.to_string(),

@@ -8,8 +8,16 @@ use scanner::analysis::fig7_series;
 fn main() {
     let (_, run) = mtasts_bench::full_scans_only();
     let series = fig7_series(&run);
-    let mut table = Table::new(&["date", "total", "all invalid", "%", "partial", "%", "enforce@risk"])
-        .with_title("Figure 7: invalid MX host sets");
+    let mut table = Table::new(&[
+        "date",
+        "total",
+        "all invalid",
+        "%",
+        "partial",
+        "%",
+        "enforce@risk",
+    ])
+    .with_title("Figure 7: invalid MX host sets");
     for p in &series {
         table.row(vec![
             p.date.to_string(),

@@ -9,8 +9,17 @@ use scanner::analysis::fig8_series;
 fn main() {
     let (_, run) = mtasts_bench::full_scans_only();
     let series = fig8_series(&run);
-    let mut table = Table::new(&["date", "total", "Domain", "3LD+", "Typos", "TLD", "stray label", "enforce fail"])
-        .with_title("Figure 8: mx pattern mismatch classes (domain counts)");
+    let mut table = Table::new(&[
+        "date",
+        "total",
+        "Domain",
+        "3LD+",
+        "Typos",
+        "TLD",
+        "stray label",
+        "enforce fail",
+    ])
+    .with_title("Figure 8: mx pattern mismatch classes (domain counts)");
     for p in &series {
         let get = |k: &str| p.kind_counts.get(k).copied().unwrap_or(0).to_string();
         table.row(vec![

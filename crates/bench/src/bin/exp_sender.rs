@@ -26,13 +26,43 @@ fn main() {
         ]);
     };
     row(&mut table, "sender domains", stats.senders, "2,394");
-    row(&mut table, "TLS-capable", stats.tls_senders, "2,264 (94.6%)");
-    row(&mut table, "opportunistic TLS", stats.opportunistic, "2,232 (93.2%)");
+    row(
+        &mut table,
+        "TLS-capable",
+        stats.tls_senders,
+        "2,264 (94.6%)",
+    );
+    row(
+        &mut table,
+        "opportunistic TLS",
+        stats.opportunistic,
+        "2,232 (93.2%)",
+    );
     row(&mut table, "PKIX always", stats.pkix_always, "31 (1.3%)");
-    row(&mut table, "validate MTA-STS", stats.mtasts_validators, "469 (19.6%)");
-    row(&mut table, "validate DANE", stats.dane_validators, "714 (29.8%)");
-    row(&mut table, "validate both", stats.both_validators, "203 (8.5%)");
-    row(&mut table, "prefer MTA-STS over DANE", stats.prefer_mtasts, "62 (2.6%)");
+    row(
+        &mut table,
+        "validate MTA-STS",
+        stats.mtasts_validators,
+        "469 (19.6%)",
+    );
+    row(
+        &mut table,
+        "validate DANE",
+        stats.dane_validators,
+        "714 (29.8%)",
+    );
+    row(
+        &mut table,
+        "validate both",
+        stats.both_validators,
+        "203 (8.5%)",
+    );
+    row(
+        &mut table,
+        "prefer MTA-STS over DANE",
+        stats.prefer_mtasts,
+        "62 (2.6%)",
+    );
     println!("{}", table.render());
     println!(
         "top-10 operator share of interactions: {:.1}% (paper: 60.7%)",

@@ -7,7 +7,8 @@ use survey::{compute, synthesize};
 
 fn main() {
     let stats = compute(&synthesize(42));
-    let mut t = Table::new(&["statistic", "measured", "paper"]).with_title("Survey findings (§7.2)");
+    let mut t =
+        Table::new(&["statistic", "measured", "paper"]).with_title("Survey findings (§7.2)");
     let mut row = |name: &str, share: survey::stats::Share, paper: &str| {
         t.row(vec![
             name.to_string(),
@@ -17,18 +18,54 @@ fn main() {
     };
     row("heard of MTA-STS", stats.awareness, "89/94 (94.7%)");
     row("deployed MTA-STS", stats.deployment, "50/88 (56.8%)");
-    row("motivation: prevent downgrade", stats.motivation_downgrade, "34/42 (80.9%)");
-    row("adoption: customer demand", stats.customer_demand, "13/41 (31.7%)");
+    row(
+        "motivation: prevent downgrade",
+        stats.motivation_downgrade,
+        "34/42 (80.9%)",
+    );
+    row(
+        "adoption: customer demand",
+        stats.customer_demand,
+        "13/41 (31.7%)",
+    );
     row("adoption: regulation", stats.regulation, "14/41 (34.1%)");
-    row("bottleneck: operational complexity", stats.bottleneck_complexity, "21/43 (48.8%)");
-    row("bottleneck: DANE more secure", stats.bottleneck_dane_better, "17/43 (39.5%)");
-    row("not deployed: uses DANE", stats.not_deployed_uses_dane, "15/33 (45.4%)");
-    row("not deployed: too complicated", stats.not_deployed_too_complicated, "9/33 (27.2%)");
-    row("hardest: HTTPS policy file", stats.difficulty_https, "8/41 (19.5%)");
-    row("hardest: policy updates", stats.difficulty_updates, "11/41 (26.8%)");
+    row(
+        "bottleneck: operational complexity",
+        stats.bottleneck_complexity,
+        "21/43 (48.8%)",
+    );
+    row(
+        "bottleneck: DANE more secure",
+        stats.bottleneck_dane_better,
+        "17/43 (39.5%)",
+    );
+    row(
+        "not deployed: uses DANE",
+        stats.not_deployed_uses_dane,
+        "15/33 (45.4%)",
+    );
+    row(
+        "not deployed: too complicated",
+        stats.not_deployed_too_complicated,
+        "9/33 (27.2%)",
+    );
+    row(
+        "hardest: HTTPS policy file",
+        stats.difficulty_https,
+        "8/41 (19.5%)",
+    );
+    row(
+        "hardest: policy updates",
+        stats.difficulty_updates,
+        "11/41 (26.8%)",
+    );
     row("never updated policy", stats.never_updated, "15/42 (35.7%)");
     row("updates TXT record first", stats.txt_first, "10/42 (23.8%)");
-    row("familiar with DANE", stats.dane_familiarity, "78/79 (98.7%)");
+    row(
+        "familiar with DANE",
+        stats.dane_familiarity,
+        "78/79 (98.7%)",
+    );
     row("serves no TLSA record", stats.no_tlsa, "26/78 (33.3%)");
     row("DANE judged superior", stats.dane_superior, "51/70 (72.8%)");
     println!("{}", t.render());

@@ -26,14 +26,23 @@ fn main() {
     println!("{}", table.render());
 
     let mut audit = Table::new(&[
-        "provider", "email hosting", "NXDOMAIN on opt-out", "reissues cert", "policy update",
+        "provider",
+        "email hosting",
+        "NXDOMAIN on opt-out",
+        "reissues cert",
+        "policy update",
     ])
     .with_title("Opt-out behaviour (provider audit, Table 2 right-hand columns)");
     for p in policy_providers() {
         audit.row(vec![
             p.key.to_string(),
             if p.email_hosting { "yes" } else { "no" }.to_string(),
-            if p.opt_out.returns_nxdomain { "yes" } else { "no" }.to_string(),
+            if p.opt_out.returns_nxdomain {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             if p.opt_out.reissues_cert { "yes" } else { "no" }.to_string(),
             match p.opt_out.policy_update {
                 PolicyUpdateOnOptOut::Unchanged => "unchanged (stale)",

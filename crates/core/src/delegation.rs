@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn direct_hosting() {
-        assert_eq!(classify_hosting(&n("example.com"), &[]), PolicyHosting::Direct);
+        assert_eq!(
+            classify_hosting(&n("example.com"), &[]),
+            PolicyHosting::Direct
+        );
     }
 
     #[test]
@@ -128,13 +131,19 @@ mod tests {
 
     #[test]
     fn same_provider_by_esld() {
-        assert!(same_provider(&n("mta-sts.fastmail.com"), &n("in1-smtp.fastmail.com")));
+        assert!(same_provider(
+            &n("mta-sts.fastmail.com"),
+            &n("in1-smtp.fastmail.com")
+        ));
     }
 
     #[test]
     fn same_provider_across_tlds_by_brand_label() {
         // The paper's Tutanota example: .de MX, .com policy host.
-        assert!(same_provider(&n("mail.tutanota.de"), &n("mta-sts.tutanota.com")));
+        assert!(same_provider(
+            &n("mail.tutanota.de"),
+            &n("mta-sts.tutanota.com")
+        ));
     }
 
     #[test]

@@ -154,16 +154,14 @@ impl SenderEngine {
         FetchFn: FnOnce() -> Result<String, String>,
         CertFn: FnOnce() -> Result<(), StsFailure>,
     {
-        let record = obs.record_txts.map(|txts| evaluate_record_set(txts));
+        let record = obs.record_txts.map(evaluate_record_set);
         let record_id: Option<String> = match &record {
             Some(Ok(r)) => Some(r.id.clone()),
             _ => None,
         };
 
         // Cache consultation drives whether we fetch.
-        let decision = self
-            .cache
-            .decide(obs.domain, record_id.as_deref(), obs.now);
+        let decision = self.cache.decide(obs.domain, record_id.as_deref(), obs.now);
 
         let (policy, from_cache): (Policy, bool) = match decision {
             CacheDecision::UseCached(entry) | CacheDecision::UseCachedDespiteDns(entry) => {
@@ -303,7 +301,14 @@ mod tests {
     #[test]
     fn no_record_means_not_applicable() {
         let mut e = SenderEngine::new();
-        let (outcome, action) = eval(&mut e, Some(vec![]), Err("unused".into()), "mx.example.com", Ok(()), t0());
+        let (outcome, action) = eval(
+            &mut e,
+            Some(vec![]),
+            Err("unused".into()),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
         assert_eq!(outcome, StsOutcome::NotApplicable);
         assert_eq!(action, SenderAction::DeliverUnvalidated);
     }
@@ -319,7 +324,10 @@ mod tests {
             Ok(()),
             t0(),
         );
-        assert!(matches!(outcome, StsOutcome::RecordInvalid(RecordError::InvalidId(_))));
+        assert!(matches!(
+            outcome,
+            StsOutcome::RecordInvalid(RecordError::InvalidId(_))
+        ));
         assert_eq!(action, SenderAction::DeliverUnvalidated);
     }
 
@@ -347,7 +355,14 @@ mod tests {
     #[test]
     fn second_delivery_hits_cache() {
         let mut e = SenderEngine::new();
-        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
         let (outcome, _) = eval(
             &mut e,
             Some(record()),
@@ -368,7 +383,14 @@ mod tests {
     #[test]
     fn id_change_refetches() {
         let mut e = SenderEngine::new();
-        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
         // New id, new policy says testing.
         let (outcome, _) = eval(
             &mut e,
@@ -390,7 +412,14 @@ mod tests {
     #[test]
     fn dns_blocking_cannot_downgrade_cached_domain() {
         let mut e = SenderEngine::new();
-        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
         // Attacker blocks the record lookup; MX fails validation.
         let (outcome, action) = eval(
             &mut e,
@@ -548,7 +577,14 @@ mod tests {
         // §2.6: publish none-mode policy with small max_age, new id, wait,
         // then remove everything.
         let mut e = SenderEngine::new();
-        let _ = eval(&mut e, Some(record()), Ok(doc("enforce")), "mx.example.com", Ok(()), t0());
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
         // Step 1-2: new id, none policy, max_age one day.
         let none_doc = "version: STSv1\r\nmode: none\r\nmax_age: 86400\r\n".to_string();
         let t1 = t0() + Duration::days(1);
@@ -560,10 +596,23 @@ mod tests {
             Ok(()),
             t1,
         );
-        assert!(matches!(outcome, StsOutcome::Validated { mode: Mode::None, .. }));
+        assert!(matches!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::None,
+                ..
+            }
+        ));
         // Step 3-4: after the old+new max_age elapsed, everything removed.
         let t2 = t1 + Duration::days(2);
-        let (outcome, action) = eval(&mut e, Some(vec![]), Err("gone".into()), "mx.example.com", Ok(()), t2);
+        let (outcome, action) = eval(
+            &mut e,
+            Some(vec![]),
+            Err("gone".into()),
+            "mx.example.com",
+            Ok(()),
+            t2,
+        );
         assert_eq!(outcome, StsOutcome::NotApplicable);
         assert_eq!(action, SenderAction::DeliverUnvalidated);
     }

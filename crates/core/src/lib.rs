@@ -38,7 +38,9 @@ pub mod tlsrpt_report;
 
 pub use cache::{CachedPolicy, PolicyCache};
 pub use engine::{DeliveryObservation, SenderAction, SenderEngine, StsFailure, StsOutcome};
-pub use matching::{classify_mismatch, classify_policy_mismatches, mx_matches_policy, MismatchKind};
+pub use matching::{
+    classify_mismatch, classify_policy_mismatches, mx_matches_policy, MismatchKind,
+};
 pub use policy::{parse_policy, Mode, MxPattern, Policy, PolicyError};
 pub use record::{evaluate_record_set, parse_record, RecordError, StsRecord};
 pub use tlsrpt::{parse_tlsrpt, TlsRptError, TlsRptRecord};

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn coverage_classes() {
         let p = policy(&["mx1.example.com"]);
-        assert_eq!(coverage(&[n("mx1.example.com")], &p), CoverageOutcome::AllMatch);
+        assert_eq!(
+            coverage(&[n("mx1.example.com")], &p),
+            CoverageOutcome::AllMatch
+        );
         assert_eq!(
             coverage(&[n("mx1.example.com"), n("mx2.example.com")], &p),
             CoverageOutcome::PartialMatch
@@ -181,7 +184,10 @@ mod tests {
 
     #[test]
     fn match_is_not_a_mismatch() {
-        assert_eq!(classify_mismatch(&pat("mx.example.com"), &[n("mx.example.com")]), None);
+        assert_eq!(
+            classify_mismatch(&pat("mx.example.com"), &[n("mx.example.com")]),
+            None
+        );
         assert_eq!(
             classify_mismatch(&pat("*.example.com"), &[n("mx.example.com")]),
             None

@@ -285,7 +285,10 @@ pub fn parse_policy(text: &str) -> Result<Policy, PolicyError> {
                 if mode.is_some() {
                     return Err(PolicyError::DuplicateKey("mode".into()));
                 }
-                mode = Some(Mode::parse(value).ok_or_else(|| PolicyError::InvalidMode(value.to_string()))?);
+                mode = Some(
+                    Mode::parse(value)
+                        .ok_or_else(|| PolicyError::InvalidMode(value.to_string()))?,
+                );
             }
             "max_age" => {
                 if max_age.is_some() {
@@ -345,7 +348,8 @@ mod tests {
 
     #[test]
     fn tolerates_bare_lf() {
-        let p = parse_policy("version: STSv1\nmode: testing\nmx: mx.a.se\nmax_age: 86400\n").unwrap();
+        let p =
+            parse_policy("version: STSv1\nmode: testing\nmx: mx.a.se\nmax_age: 86400\n").unwrap();
         assert_eq!(p.mode, Mode::Testing);
     }
 
@@ -424,7 +428,10 @@ mod tests {
         for bad in ["user@mx.example.com", "mx.example.com.", "", "com"] {
             let text = format!("version: STSv1\r\nmode: enforce\r\nmx: {bad}\r\nmax_age: 1\r\n");
             assert!(
-                matches!(parse_policy(&text), Err(PolicyError::InvalidMxPattern { .. })),
+                matches!(
+                    parse_policy(&text),
+                    Err(PolicyError::InvalidMxPattern { .. })
+                ),
                 "pattern {bad:?} must be rejected"
             );
         }
@@ -433,14 +440,20 @@ mod tests {
     #[test]
     fn duplicate_singletons_rejected() {
         let text = "version: STSv1\r\nmode: enforce\r\nmode: testing\r\nmx: a.b\r\nmax_age: 1\r\n";
-        assert_eq!(parse_policy(text), Err(PolicyError::DuplicateKey("mode".into())));
+        assert_eq!(
+            parse_policy(text),
+            Err(PolicyError::DuplicateKey("mode".into()))
+        );
     }
 
     #[test]
     fn unknown_keys_are_extensions() {
         let text = "version: STSv1\r\nmode: none\r\nmax_age: 60\r\nfuture_field: hello\r\n";
         let p = parse_policy(text).unwrap();
-        assert_eq!(p.extensions, vec![("future_field".to_string(), "hello".to_string())]);
+        assert_eq!(
+            p.extensions,
+            vec![("future_field".to_string(), "hello".to_string())]
+        );
     }
 
     #[test]

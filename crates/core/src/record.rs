@@ -71,7 +71,9 @@ impl fmt::Display for RecordError {
         match self {
             RecordError::BadVersionPrefix => write!(f, "record does not begin with v=STSv1"),
             RecordError::MissingId => write!(f, "record has no id field"),
-            RecordError::InvalidId(id) => write!(f, "invalid id {id:?} (must be 1*32 alphanumeric)"),
+            RecordError::InvalidId(id) => {
+                write!(f, "invalid id {id:?} (must be 1*32 alphanumeric)")
+            }
             RecordError::DuplicateId => write!(f, "record has more than one id field"),
             RecordError::InvalidExtension(e) => write!(f, "invalid extension field {e:?}"),
             RecordError::MultipleRecords(n) => {
@@ -206,8 +208,17 @@ mod tests {
 
     #[test]
     fn rejects_bad_version_prefix() {
-        for bad in ["v=STSv2; id=1;", "STSv1; id=1;", " v=STSv1; id=1;", "v=stsv1; id=1;"] {
-            assert_eq!(parse_record(bad), Err(RecordError::BadVersionPrefix), "{bad}");
+        for bad in [
+            "v=STSv2; id=1;",
+            "STSv1; id=1;",
+            " v=STSv1; id=1;",
+            "v=stsv1; id=1;",
+        ] {
+            assert_eq!(
+                parse_record(bad),
+                Err(RecordError::BadVersionPrefix),
+                "{bad}"
+            );
         }
     }
 
@@ -268,11 +279,11 @@ mod tests {
 
     #[test]
     fn record_set_rejects_multiple_sts_records() {
-        let set = vec![
-            "v=STSv1; id=1;".to_string(),
-            "v=STSv1; id=2;".to_string(),
-        ];
-        assert_eq!(evaluate_record_set(&set), Err(RecordError::MultipleRecords(2)));
+        let set = vec!["v=STSv1; id=1;".to_string(), "v=STSv1; id=2;".to_string()];
+        assert_eq!(
+            evaluate_record_set(&set),
+            Err(RecordError::MultipleRecords(2))
+        );
     }
 
     #[test]
@@ -289,7 +300,10 @@ mod tests {
         // Wrong case / misspelling counts as a bad version prefix, not as
         // absence — the paper's 15.7% class.
         let set = vec!["V=stsv1; id=1;".to_string()];
-        assert_eq!(evaluate_record_set(&set), Err(RecordError::BadVersionPrefix));
+        assert_eq!(
+            evaluate_record_set(&set),
+            Err(RecordError::BadVersionPrefix)
+        );
     }
 
     #[test]

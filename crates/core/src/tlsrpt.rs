@@ -113,8 +113,7 @@ mod tests {
 
     #[test]
     fn parses_multiple_uris() {
-        let r = parse_tlsrpt("v=TLSRPTv1; rua=mailto:a@x.com, https://collector.x.com/v1")
-            .unwrap();
+        let r = parse_tlsrpt("v=TLSRPTv1; rua=mailto:a@x.com, https://collector.x.com/v1").unwrap();
         assert_eq!(r.rua.len(), 2);
         assert!(r.rua[1].starts_with("https://"));
     }
@@ -152,7 +151,10 @@ mod tests {
             "v=TLSRPTv1; rua=mailto:a@x.com".to_string(),
             "v=TLSRPTv1; rua=mailto:b@x.com".to_string(),
         ];
-        assert_eq!(evaluate_tlsrpt_set(&dup), Err(TlsRptError::MultipleRecords(2)));
+        assert_eq!(
+            evaluate_tlsrpt_set(&dup),
+            Err(TlsRptError::MultipleRecords(2))
+        );
     }
 
     #[test]

@@ -273,7 +273,11 @@ mod tests {
         b.record(&n("b.com"), &n("mx.b.com"), &ok);
         assert_eq!(b.domain_count(), 2);
 
-        let report = b.build("Example Sender", "mailto:tls@sender.example", SimDate::ymd(2024, 6, 1));
+        let report = b.build(
+            "Example Sender",
+            "mailto:tls@sender.example",
+            SimDate::ymd(2024, 6, 1),
+        );
         assert_eq!(report.policies.len(), 2);
         let a = &report.policies[0];
         assert_eq!(a.policy_domain, "a.com");

@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn tlsa_owner_name() {
-        assert_eq!(tlsa_name(&n("mx.example.com")).to_string(), "_25._tcp.mx.example.com");
+        assert_eq!(
+            tlsa_name(&n("mx.example.com")).to_string(),
+            "_25._tcp.mx.example.com"
+        );
     }
 
     #[test]
@@ -279,7 +282,14 @@ mod tests {
         let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
         let tlsa = tlsa_for_cert(&cert);
         assert_eq!(
-            validate_dane(&[tlsa], &[cert], false, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[tlsa],
+                &[cert],
+                false,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Err(DaneError::ZoneNotSigned)
         );
     }
@@ -293,7 +303,14 @@ mod tests {
         let new = self_signed_leaf(&[n("mx.example.com")], nb, na);
         let tlsa = tlsa_for_cert(&old);
         assert_eq!(
-            validate_dane(&[tlsa], &[new], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[tlsa],
+                &[new],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Err(DaneError::NoMatch)
         );
     }
@@ -336,7 +353,7 @@ mod tests {
         };
         let verdict = validate_dane(
             &[tlsa],
-            &[cert.clone()],
+            std::slice::from_ref(&cert),
             true,
             &n("mx.example.com"),
             now(),
@@ -356,7 +373,14 @@ mod tests {
             data: association_data(&good, Selector::Spki, MatchingType::Sha256),
         };
         assert_eq!(
-            validate_dane(&[tlsa_good], &[good], true, &n("mx.example.com"), now(), &store),
+            validate_dane(
+                &[tlsa_good],
+                &[good],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &store
+            ),
             Ok(CertUsage::PkixEe)
         );
     }
@@ -372,7 +396,14 @@ mod tests {
             data: cert.to_bytes(),
         };
         assert_eq!(
-            validate_dane(&[tlsa], &[cert], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[tlsa],
+                &[cert],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Ok(CertUsage::DaneEe)
         );
     }
@@ -389,8 +420,8 @@ mod tests {
         };
         assert_eq!(
             validate_dane(
-                &[junk.clone()],
-                &[cert.clone()],
+                std::slice::from_ref(&junk),
+                std::slice::from_ref(&cert),
                 true,
                 &n("mx.example.com"),
                 now(),
@@ -401,7 +432,14 @@ mod tests {
         // A junk record plus a good one: the good one wins.
         let good = tlsa_for_cert(&cert);
         assert_eq!(
-            validate_dane(&[junk, good], &[cert], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[junk, good],
+                &[cert],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Ok(CertUsage::DaneEe)
         );
     }
@@ -411,11 +449,25 @@ mod tests {
         let (nb, na) = window();
         let cert = self_signed_leaf(&[n("mx.example.com")], nb, na);
         assert_eq!(
-            validate_dane(&[], &[cert.clone()], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[],
+                std::slice::from_ref(&cert),
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Err(DaneError::NoTlsaRecords)
         );
         assert_eq!(
-            validate_dane(&[tlsa_for_cert(&cert)], &[], true, &n("mx.example.com"), now(), &TrustStore::empty()),
+            validate_dane(
+                &[tlsa_for_cert(&cert)],
+                &[],
+                true,
+                &n("mx.example.com"),
+                now(),
+                &TrustStore::empty()
+            ),
             Err(DaneError::NoCertificate)
         );
     }

@@ -265,8 +265,8 @@ impl UdpTransport {
 impl DnsTransport for UdpTransport {
     fn query(&self, question: &Question) -> Result<Message, DnsError> {
         use std::net::UdpSocket;
-        let sock = UdpSocket::bind(("127.0.0.1", 0))
-            .map_err(|e| DnsError::Transport(e.to_string()))?;
+        let sock =
+            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| DnsError::Transport(e.to_string()))?;
         sock.set_read_timeout(Some(self.timeout))
             .map_err(|e| DnsError::Transport(e.to_string()))?;
         // Derive a transaction ID from the question so retries are stable
@@ -284,7 +284,8 @@ impl DnsTransport for UdpTransport {
             .map_err(|e| DnsError::Transport(e.to_string()))?;
         let mut buf = [0u8; wire::MAX_UDP_PAYLOAD];
         let (n, _) = sock.recv_from(&mut buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
             {
                 DnsError::Timeout
             } else {
@@ -302,8 +303,14 @@ impl DnsTransport for UdpTransport {
 /// Cache entry: what we learned and when it expires.
 #[derive(Debug, Clone)]
 enum CacheEntry {
-    Positive { lookup: Lookup, expires: SimInstant },
-    Negative { error: DnsError, expires: SimInstant },
+    Positive {
+        lookup: Lookup,
+        expires: SimInstant,
+    },
+    Negative {
+        error: DnsError,
+        expires: SimInstant,
+    },
 }
 
 /// A caching, CNAME-chasing stub resolver over any [`DnsTransport`].
@@ -493,7 +500,11 @@ mod tests {
                 exchange: n("mx.example.com"),
             },
         );
-        example.add_rr(&n("mx.example.com"), 300, RecordData::A("192.0.2.25".parse().unwrap()));
+        example.add_rr(
+            &n("mx.example.com"),
+            300,
+            RecordData::A("192.0.2.25".parse().unwrap()),
+        );
         example.add_rr(
             &n("_mta-sts.example.com"),
             300,
@@ -507,7 +518,11 @@ mod tests {
         auth.upsert_zone(example);
 
         let mut provider = Zone::new(n("provider.net"));
-        provider.add_rr(&n("mta-sts.provider.net"), 300, RecordData::A("198.51.100.7".parse().unwrap()));
+        provider.add_rr(
+            &n("mta-sts.provider.net"),
+            300,
+            RecordData::A("198.51.100.7".parse().unwrap()),
+        );
         auth.upsert_zone(provider);
         auth
     }
@@ -536,7 +551,10 @@ mod tests {
             .lookup(&n("mta-sts.example.com"), RecordType::A, t0())
             .unwrap();
         assert_eq!(got.cname_chain, vec![n("mta-sts.provider.net")]);
-        assert_eq!(got.a_addrs(), vec!["198.51.100.7".parse::<std::net::Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            got.a_addrs(),
+            vec!["198.51.100.7".parse::<std::net::Ipv4Addr>().unwrap()]
+        );
     }
 
     #[test]
@@ -555,7 +573,9 @@ mod tests {
     #[test]
     fn nodata_for_missing_type() {
         let r = Resolver::new(world());
-        let got = r.lookup(&n("mx.example.com"), RecordType::Txt, t0()).unwrap();
+        let got = r
+            .lookup(&n("mx.example.com"), RecordType::Txt, t0())
+            .unwrap();
         assert!(got.is_nodata());
     }
 

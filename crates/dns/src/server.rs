@@ -85,12 +85,15 @@ fn handle_datagram(authorities: &InMemoryAuthorities, datagram: &[u8]) -> Option
                 return None;
             }
             let id = u16::from_be_bytes([datagram[0], datagram[1]]);
-            let mut resp = Message::query(id, Question::new(
-                // Placeholder question; FORMERR responses may omit it, but
-                // keeping the message well-formed simplifies clients.
-                "invalid.query".parse().expect("static name"),
-                crate::types::RecordType::A,
-            ));
+            let mut resp = Message::query(
+                id,
+                Question::new(
+                    // Placeholder question; FORMERR responses may omit it, but
+                    // keeping the message well-formed simplifies clients.
+                    "invalid.query".parse().expect("static name"),
+                    crate::types::RecordType::A,
+                ),
+            );
             resp.questions.clear();
             resp.flags.qr = true;
             resp.rcode = Rcode::FormErr;
@@ -146,7 +149,11 @@ mod tests {
                 exchange: n("mx.wire.test"),
             },
         );
-        z.add_rr(&n("mx.wire.test"), 120, RecordData::A("192.0.2.2".parse().unwrap()));
+        z.add_rr(
+            &n("mx.wire.test"),
+            120,
+            RecordData::A("192.0.2.2".parse().unwrap()),
+        );
         z.add_rr(
             &n("_mta-sts.wire.test"),
             120,
@@ -190,7 +197,8 @@ mod tests {
         let addr = server.addr();
         let reply = tokio::task::spawn_blocking(move || {
             let sock = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
-            sock.set_read_timeout(Some(StdDuration::from_millis(500))).unwrap();
+            sock.set_read_timeout(Some(StdDuration::from_millis(500)))
+                .unwrap();
             sock.send_to(&[0xAB, 0xCD, 0xFF], addr).unwrap();
             let mut buf = [0u8; 512];
             sock.recv_from(&mut buf).map(|(n, _)| buf[..n].to_vec())

@@ -134,7 +134,10 @@ pub enum RecordData {
     /// Reverse pointer target.
     Ptr(DomainName),
     /// Mail exchange: preference and exchange host.
-    Mx { preference: u16, exchange: DomainName },
+    Mx {
+        preference: u16,
+        exchange: DomainName,
+    },
     /// Text record: one or more character-strings. MTA-STS consumers join
     /// the strings without separators per RFC 7208-style TXT handling.
     Txt(Vec<String>),

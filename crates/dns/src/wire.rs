@@ -299,10 +299,9 @@ impl<'a> Decoder<'a> {
             let label = std::str::from_utf8(raw)
                 .map_err(|_| WireError::BadLabel)?
                 .to_ascii_lowercase();
-            if !label
-                .bytes()
-                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_' || b == b'*')
-            {
+            if !label.bytes().all(|b| {
+                b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_' || b == b'*'
+            }) {
                 return Err(WireError::BadLabel);
             }
             labels.push(label);
@@ -514,11 +513,27 @@ mod tests {
         let q = Message::query(1, Question::new(n("d.example.org"), RecordType::Txt));
         let mut m = Message::response_to(&q, Rcode::NoError);
         m.answers = vec![
-            Record::new(n("d.example.org"), 60, RecordData::A("192.0.2.7".parse().unwrap())),
-            Record::new(n("d.example.org"), 60, RecordData::Aaaa("2001:db8::7".parse().unwrap())),
+            Record::new(
+                n("d.example.org"),
+                60,
+                RecordData::A("192.0.2.7".parse().unwrap()),
+            ),
+            Record::new(
+                n("d.example.org"),
+                60,
+                RecordData::Aaaa("2001:db8::7".parse().unwrap()),
+            ),
             Record::new(n("d.example.org"), 60, RecordData::Ns(n("ns1.example.org"))),
-            Record::new(n("mta-sts.d.example.org"), 60, RecordData::Cname(n("policy.host.example"))),
-            Record::new(n("7.2.0.192.in-addr.arpa"), 60, RecordData::Ptr(n("d.example.org"))),
+            Record::new(
+                n("mta-sts.d.example.org"),
+                60,
+                RecordData::Cname(n("policy.host.example")),
+            ),
+            Record::new(
+                n("7.2.0.192.in-addr.arpa"),
+                60,
+                RecordData::Ptr(n("d.example.org")),
+            ),
             Record::new(
                 n("_mta-sts.d.example.org"),
                 60,
@@ -565,7 +580,12 @@ mod tests {
         let msg = sample_response();
         let compressed = encode_with(&msg, true);
         let plain = encode_with(&msg, false);
-        assert!(compressed.len() < plain.len(), "{} vs {}", compressed.len(), plain.len());
+        assert!(
+            compressed.len() < plain.len(),
+            "{} vs {}",
+            compressed.len(),
+            plain.len()
+        );
         assert_eq!(decode(&compressed).unwrap(), decode(&plain).unwrap());
     }
 
@@ -580,7 +600,10 @@ mod tests {
             RecordData::Txt(vec![long.clone(), "tail".into()]),
         ));
         let back = decode(&encode(&m)).unwrap();
-        assert_eq!(back.answers[0].data.txt_joined().unwrap(), format!("{long}tail"));
+        assert_eq!(
+            back.answers[0].data.txt_joined().unwrap(),
+            format!("{long}tail")
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl Zone {
             record.name,
             self.apex
         );
-        self.records.entry(record.name.clone()).or_default().push(record);
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
     }
 
     /// Convenience: add a record by parts.
@@ -165,7 +168,11 @@ impl Zone {
 
     /// The SOA as a record at the apex (for negative responses).
     pub fn soa_record(&self) -> Record {
-        Record::new(self.apex.clone(), self.soa.minimum, RecordData::Soa(self.soa.clone()))
+        Record::new(
+            self.apex.clone(),
+            self.soa.minimum,
+            RecordData::Soa(self.soa.clone()),
+        )
     }
 
     /// Answers a question with RFC 1034 §4.3.2 semantics, following CNAMEs
@@ -192,7 +199,9 @@ impl Zone {
                 }
                 // CNAME present (and the query itself is not for CNAME)?
                 if q.rtype != RecordType::Cname {
-                    if let Some(cname) = records.iter().find(|r| matches!(r.data, RecordData::Cname(_)))
+                    if let Some(cname) = records
+                        .iter()
+                        .find(|r| matches!(r.data, RecordData::Cname(_)))
                     {
                         chain.push(cname.clone());
                         let RecordData::Cname(target) = &cname.data else {
@@ -264,7 +273,9 @@ impl Zone {
                 zone = Some(Zone::new(apex));
                 continue;
             }
-            let origin_ref = origin.as_ref().ok_or_else(|| err("record before $ORIGIN"))?;
+            let origin_ref = origin
+                .as_ref()
+                .ok_or_else(|| err("record before $ORIGIN"))?;
             let mut parts = line.split_whitespace();
             let name_tok = parts.next().ok_or_else(|| err("missing name"))?;
             let name = parse_name_token(name_tok, origin_ref).map_err(|e| err(&e))?;
@@ -365,7 +376,8 @@ impl Zone {
                     }
                     let usage: u8 = rest[0].parse().map_err(|_| err("bad usage"))?;
                     let selector: u8 = rest[1].parse().map_err(|_| err("bad selector"))?;
-                    let matching_type: u8 = rest[2].parse().map_err(|_| err("bad matching type"))?;
+                    let matching_type: u8 =
+                        rest[2].parse().map_err(|_| err("bad matching type"))?;
                     let data = hex_decode(rest[3]).ok_or_else(|| err("bad hex data"))?;
                     zone_mut.add(Record::new(
                         name,
@@ -399,7 +411,11 @@ pub struct ZoneParseError {
 
 impl fmt::Display for ZoneParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "zone parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "zone parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -450,7 +466,7 @@ fn parse_txt_strings(s: &str) -> Option<Vec<String>> {
 
 /// Decodes a lowercase/uppercase hex string.
 fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -520,7 +536,11 @@ mod tests {
 
     fn sample_zone() -> Zone {
         let mut z = Zone::new(n("example.com"));
-        z.add_rr(&n("example.com"), 300, RecordData::A("192.0.2.10".parse().unwrap()));
+        z.add_rr(
+            &n("example.com"),
+            300,
+            RecordData::A("192.0.2.10".parse().unwrap()),
+        );
         z.add_rr(
             &n("example.com"),
             300,
@@ -529,7 +549,11 @@ mod tests {
                 exchange: n("mx1.example.com"),
             },
         );
-        z.add_rr(&n("mx1.example.com"), 300, RecordData::A("192.0.2.25".parse().unwrap()));
+        z.add_rr(
+            &n("mx1.example.com"),
+            300,
+            RecordData::A("192.0.2.25".parse().unwrap()),
+        );
         z.add_rr(
             &n("_mta-sts.example.com"),
             300,
@@ -540,7 +564,11 @@ mod tests {
             300,
             RecordData::Cname(n("mta-sts.provider.net")),
         );
-        z.add_rr(&n("www.deep.example.com"), 300, RecordData::A("192.0.2.80".parse().unwrap()));
+        z.add_rr(
+            &n("www.deep.example.com"),
+            300,
+            RecordData::A("192.0.2.80".parse().unwrap()),
+        );
         z
     }
 
@@ -552,7 +580,10 @@ mod tests {
             panic!("expected answer, got {got:?}")
         };
         assert_eq!(recs.len(), 1);
-        assert!(matches!(recs[0].data, RecordData::Mx { preference: 10, .. }));
+        assert!(matches!(
+            recs[0].data,
+            RecordData::Mx { preference: 10, .. }
+        ));
     }
 
     #[test]
@@ -604,7 +635,11 @@ mod tests {
     #[test]
     fn cname_within_zone_is_followed() {
         let mut z = sample_zone();
-        z.add_rr(&n("alias.example.com"), 300, RecordData::Cname(n("mx1.example.com")));
+        z.add_rr(
+            &n("alias.example.com"),
+            300,
+            RecordData::Cname(n("mx1.example.com")),
+        );
         let got = z.lookup(&Question::new(n("alias.example.com"), RecordType::A));
         let ZoneLookup::Answer(recs) = got else {
             panic!("expected answer, got {got:?}")
@@ -648,7 +683,11 @@ mod tests {
     #[should_panic(expected = "outside zone")]
     fn adding_out_of_zone_record_panics() {
         let mut z = Zone::new(n("example.com"));
-        z.add_rr(&n("other.net"), 60, RecordData::A("192.0.2.1".parse().unwrap()));
+        z.add_rr(
+            &n("other.net"),
+            60,
+            RecordData::A("192.0.2.1".parse().unwrap()),
+        );
     }
 
     #[test]
@@ -686,7 +725,9 @@ ext 300 IN CNAME mta-sts.provider.net.
 ";
         let z = Zone::parse(text).unwrap();
         let mx = z.get(&n("example.se"), RecordType::Mx);
-        assert!(matches!(&mx[0].data, RecordData::Mx { exchange, .. } if *exchange == n("mail.example.se")));
+        assert!(
+            matches!(&mx[0].data, RecordData::Mx { exchange, .. } if *exchange == n("mail.example.se"))
+        );
         let cn = z.get(&n("ext.example.se"), RecordType::Cname);
         assert!(matches!(&cn[0].data, RecordData::Cname(t) if *t == n("mta-sts.provider.net")));
     }

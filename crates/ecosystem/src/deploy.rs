@@ -111,11 +111,7 @@ impl Ecosystem {
         }
         match &spec.mail {
             MailHosting::SelfManaged { mx_count } => (1..=*mx_count)
-                .map(|i| {
-                    spec.name
-                        .prefixed(&format!("mx{i}"))
-                        .expect("static label")
-                })
+                .map(|i| spec.name.prefixed(&format!("mx{i}")).expect("static label"))
                 .collect(),
             MailHosting::Provider { key } => self
                 .mail_provider(key)
@@ -171,9 +167,7 @@ impl Ecosystem {
             // that is also the live MX (consistent), after it the real MXes
             // moved on (Figure 9's stale share).
             let _ = migration;
-            return vec![
-                MxPattern::parse(&self.legacy_mx_of(spec).to_string()).expect("valid")
-            ];
+            return vec![MxPattern::parse(&self.legacy_mx_of(spec).to_string()).expect("valid")];
         }
         let first = actual
             .first()
@@ -324,8 +318,8 @@ impl Ecosystem {
                         MxCertFaultKind::Expired => CertKind::Expired,
                     };
                     let chain = world.pki.issue(&cert_kind, &chain_names, now);
-                    let ip = world
-                        .add_mx_endpoint(MxEndpoint::healthy(chain_names[0].clone(), chain));
+                    let ip =
+                        world.add_mx_endpoint(MxEndpoint::healthy(chain_names[0].clone(), chain));
                     mail_faulty_ip.insert((provider.key.to_string(), kind), ip);
                 }
             }
@@ -336,7 +330,9 @@ impl Ecosystem {
             world.ensure_zone(&base);
             let host = base.prefixed("in").expect("static label");
             let ip = if full {
-                let chain = world.pki.issue(&CertKind::Valid, &[host.clone()], now);
+                let chain = world
+                    .pki
+                    .issue(&CertKind::Valid, std::slice::from_ref(&host), now);
                 world.add_mx_endpoint(MxEndpoint::healthy(host.clone(), chain))
             } else {
                 world.alloc_ip()
@@ -358,7 +354,9 @@ impl Ecosystem {
                         MxCertFaultKind::SelfSigned => CertKind::SelfSigned,
                         MxCertFaultKind::Expired => CertKind::Expired,
                     };
-                    let chain = world.pki.issue(&cert_kind, &[host.clone()], now);
+                    let chain = world
+                        .pki
+                        .issue(&cert_kind, std::slice::from_ref(&host), now);
                     let ip = world.add_mx_endpoint(MxEndpoint::healthy(host.clone(), chain));
                     mail_faulty_ip.insert((format!("small{i}"), kind), ip);
                 }
@@ -370,7 +368,9 @@ impl Ecosystem {
         world.ensure_zone(&mxascen_base);
         let mxascen_host: DomainName = crate::providers::MXASCEN_MX.parse().expect("static");
         let mxascen_mx = if full {
-            let chain = world.pki.issue(&CertKind::Valid, &[mxascen_host.clone()], now);
+            let chain = world
+                .pki
+                .issue(&CertKind::Valid, std::slice::from_ref(&mxascen_host), now);
             world.add_mx_endpoint(MxEndpoint::healthy(mxascen_host.clone(), chain))
         } else {
             world.alloc_ip()
@@ -448,9 +448,7 @@ impl Ecosystem {
             .and_then(|i| i.stale_migration)
             .map(|m| date < m)
             .unwrap_or(false);
-        let self_hosted_mx = mx_hosts
-            .iter()
-            .any(|h| h.is_subdomain_of(&spec.name));
+        let self_hosted_mx = mx_hosts.iter().any(|h| h.is_subdomain_of(&spec.name));
         if self_hosted_mx || legacy_active {
             // Endpoints + A records, in the domain's own zone (self-hosted)
             // or the legacy provider's zone (pre-migration stale domains).
@@ -469,7 +467,7 @@ impl Ecosystem {
                         (true, Some((MxCertFaultKind::Expired, _))) => CertKind::Expired,
                         _ => CertKind::Valid,
                     };
-                    let chain = world.pki.issue(&cert_kind, &[host.clone()], now);
+                    let chain = world.pki.issue(&cert_kind, std::slice::from_ref(host), now);
                     world.add_mx_endpoint(MxEndpoint::healthy(host.clone(), chain))
                 } else {
                     world.alloc_ip()
@@ -506,9 +504,7 @@ impl Ecosystem {
                     if infra.shared_a_done.contains(host) {
                         continue;
                     }
-                    let zone_apex = host
-                        .effective_sld()
-                        .expect("provider hosts have an eSLD");
+                    let zone_apex = host.effective_sld().expect("provider hosts have an eSLD");
                     world.ensure_zone(&zone_apex);
                     let installed = world.with_zone(&zone_apex, |z| {
                         if z.get(host, dns::RecordType::A).is_empty() {
@@ -593,8 +589,14 @@ impl Ecosystem {
                     return; // no A record at all
                 }
                 let ip = if full {
-                    let endpoint =
-                        self.self_web_endpoint(world, spec, &policy_host, now, policy_fault, &document);
+                    let endpoint = self.self_web_endpoint(
+                        world,
+                        spec,
+                        &policy_host,
+                        now,
+                        policy_fault,
+                        &document,
+                    );
                     world.add_web_endpoint(endpoint)
                 } else {
                     world.alloc_ip()
@@ -639,7 +641,15 @@ impl Ecosystem {
                 let provider = self.policy_provider(key).expect("known provider");
                 let target = provider.cname_target(&spec.name);
                 self.install_delegation(
-                    world, infra, spec, &policy_host, &target, key, now, policy_fault, &document,
+                    world,
+                    infra,
+                    spec,
+                    &policy_host,
+                    &target,
+                    key,
+                    now,
+                    policy_fault,
+                    &document,
                     full,
                 );
             }
@@ -650,7 +660,15 @@ impl Ecosystem {
                         .expect("valid");
                 let key = format!("misc{idx}");
                 self.install_delegation(
-                    world, infra, spec, &policy_host, &target, &key, now, policy_fault, &document,
+                    world,
+                    infra,
+                    spec,
+                    &policy_host,
+                    &target,
+                    &key,
+                    now,
+                    policy_fault,
+                    &document,
                     full,
                 );
             }
@@ -661,7 +679,15 @@ impl Ecosystem {
                         .expect("valid");
                 let key = format!("small{idx}");
                 self.install_delegation(
-                    world, infra, spec, &policy_host, &target, &key, now, policy_fault, &document,
+                    world,
+                    infra,
+                    spec,
+                    &policy_host,
+                    &target,
+                    &key,
+                    now,
+                    policy_fault,
+                    &document,
                     full,
                 );
             }
@@ -745,9 +771,7 @@ impl Ecosystem {
             Some(PolicyFaultKind::TlsNoCert) => None, // nothing installed: SSL alert
             Some(PolicyFaultKind::TlsExpired) => Some(CertKind::Expired),
             Some(PolicyFaultKind::TlsSelfSigned) => Some(CertKind::SelfSigned),
-            Some(PolicyFaultKind::TlsCnMismatch) => {
-                Some(CertKind::WrongName(spec.name.clone()))
-            }
+            Some(PolicyFaultKind::TlsCnMismatch) => Some(CertKind::WrongName(spec.name.clone())),
             _ => Some(CertKind::Valid),
         };
         world.with_web(ip, |ep| {
@@ -921,7 +945,10 @@ mod tests {
         let late = eco.world_at(SimDate::ymd(2024, 9, 29), SnapshotDetail::DnsOnly);
         let early_count = eco.domains_at(SimDate::ymd(2021, 10, 1)).count();
         let late_count = eco.domains_at(SimDate::ymd(2024, 9, 29)).count();
-        assert!(late_count > early_count * 3, "{early_count} -> {late_count}");
+        assert!(
+            late_count > early_count * 3,
+            "{early_count} -> {late_count}"
+        );
         assert!(late.authorities.zone_count() > early.authorities.zone_count());
     }
 
@@ -992,7 +1019,12 @@ mod tests {
                 PolicyFaultKind::Http404 | PolicyFaultKind::Http500 => "http",
                 PolicyFaultKind::SyntaxBadMx | PolicyFaultKind::SyntaxEmpty => "policy-syntax",
             };
-            assert_eq!(err.layer(), expected_layer, "{}: {fault:?} vs {err}", spec.name);
+            assert_eq!(
+                err.layer(),
+                expected_layer,
+                "{}: {fault:?} vs {err}",
+                spec.name
+            );
             checked += 1;
         }
         assert!(checked > 10, "too few faulty domains exercised: {checked}");
@@ -1038,7 +1070,9 @@ mod tests {
         let outcome = world.fetch_policy(&spec.name, incident.at_midnight());
         let (policy, _) = outcome.result.expect("policy is served");
         assert_eq!(policy.mode, Mode::Enforce);
-        let mx = world.mx_records(&spec.name, incident.at_midnight()).unwrap();
+        let mx = world
+            .mx_records(&spec.name, incident.at_midnight())
+            .unwrap();
         assert!(!mx.iter().any(|h| mtasts::mx_matches_policy(h, &policy)));
         // After the window: consistent again.
         let world2 = eco.world_at(after, SnapshotDetail::Full);
@@ -1062,7 +1096,13 @@ mod tests {
                     .is_some_and(|i| i.stale_migration.is_some())
             })
             .expect("stale-policy domains exist");
-        let migration = spec.faults.inconsistency.as_ref().unwrap().stale_migration.unwrap();
+        let migration = spec
+            .faults
+            .inconsistency
+            .as_ref()
+            .unwrap()
+            .stale_migration
+            .unwrap();
         let before = migration.add_days(-7).max(spec.adopted);
         let after = migration.add_days(7);
         if before >= migration || after > eco.config.end {
@@ -1116,10 +1156,9 @@ mod tests {
             .domains_at(date)
             .find(|d| d.faults.record.is_none())
             .unwrap();
-        assert!(world
-            .mta_sts_txts(&spec.name, date.at_midnight())
-            .unwrap()[0]
-            .starts_with("v=STSv1"));
+        assert!(
+            world.mta_sts_txts(&spec.name, date.at_midnight()).unwrap()[0].starts_with("v=STSv1")
+        );
     }
 
     #[test]

@@ -332,7 +332,10 @@ mod tests {
         assert_eq!(total, 24_796);
         // Exactly three NXDOMAIN providers, four cert re-issuers.
         assert_eq!(
-            providers.iter().filter(|p| p.opt_out.returns_nxdomain).count(),
+            providers
+                .iter()
+                .filter(|p| p.opt_out.returns_nxdomain)
+                .count(),
             3
         );
         assert_eq!(

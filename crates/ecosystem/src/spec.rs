@@ -348,8 +348,7 @@ pub fn generate(config: &EcosystemConfig) -> Population {
     }
     // Unclassifiable small hosts (6-49 customers).
     let small_total = config.scaled(calib::POLICY_UNCLASSIFIED);
-    let small_provider_count =
-        (small_total / calib::SMALL_PROVIDER_MEAN_CUSTOMERS).max(1) as u32;
+    let small_provider_count = (small_total / calib::SMALL_PROVIDER_MEAN_CUSTOMERS).max(1) as u32;
     for i in 0..small_total {
         slots.push(PolicyHosting::SmallProvider {
             idx: (i % u64::from(small_provider_count)) as u32,
@@ -382,9 +381,9 @@ pub fn generate(config: &EcosystemConfig) -> Population {
         .filter(|p| p.weight > 0.0)
         .map(|p| (p.key, p.weight))
         .collect();
-    let small_mail_providers =
-        (config.scaled(calib::MX_UNCLASSIFIED) / calib::SMALL_PROVIDER_MEAN_CUSTOMERS).max(1)
-            as u32;
+    let small_mail_providers = (config.scaled(calib::MX_UNCLASSIFIED)
+        / calib::SMALL_PROVIDER_MEAN_CUSTOMERS)
+        .max(1) as u32;
     // lucidgrow customers: carved from the DMARCReport quota.
     let mut lucid_left = config.scaled_at_least_one(calib::LUCIDGROW_DOMAINS);
     // Tutanota stale leftovers.
@@ -459,9 +458,10 @@ pub fn generate(config: &EcosystemConfig) -> Population {
 
     // Exactly one same-provider (Tutanota-both) inconsistency: the
     // laura-norman.com analogue (§4.5.2).
-    if let Some(spec) = domains.iter_mut().find(|d| {
-        d.policy == (PolicyHosting::Provider { key: "tutanota" }) && !d.tutanota_stale
-    }) {
+    if let Some(spec) = domains
+        .iter_mut()
+        .find(|d| d.policy == (PolicyHosting::Provider { key: "tutanota" }) && !d.tutanota_stale)
+    {
         spec.faults.inconsistency = Some(InconsistencySpec {
             kind: InconsistencyKind::Typo,
             stale_migration: None,
@@ -470,9 +470,9 @@ pub fn generate(config: &EcosystemConfig) -> Population {
     }
 
     domains.sort_by(|a, b| a.name.cmp(&b.name));
-    let small_policy_providers =
-        (config.scaled(calib::POLICY_UNCLASSIFIED) / calib::SMALL_PROVIDER_MEAN_CUSTOMERS).max(1)
-            as u32;
+    let small_policy_providers = (config.scaled(calib::POLICY_UNCLASSIFIED)
+        / calib::SMALL_PROVIDER_MEAN_CUSTOMERS)
+        .max(1) as u32;
     Population {
         domains,
         small_policy_providers,
@@ -537,9 +537,18 @@ fn assign_faults(spec: &mut DomainSpec, rng: &DetRng, _config: &EcosystemConfig)
                 rng,
                 &[
                     (PolicyFaultKind::Dns, calib::SELF_POLICY_DNS_RATE),
-                    (PolicyFaultKind::TcpRefused, calib::SELF_POLICY_TCP_RATE * 0.7),
-                    (PolicyFaultKind::TcpTimeout, calib::SELF_POLICY_TCP_RATE * 0.3),
-                    (PolicyFaultKind::TlsCnMismatch, calib::SELF_POLICY_TLS_CN_RATE),
+                    (
+                        PolicyFaultKind::TcpRefused,
+                        calib::SELF_POLICY_TCP_RATE * 0.7,
+                    ),
+                    (
+                        PolicyFaultKind::TcpTimeout,
+                        calib::SELF_POLICY_TCP_RATE * 0.3,
+                    ),
+                    (
+                        PolicyFaultKind::TlsCnMismatch,
+                        calib::SELF_POLICY_TLS_CN_RATE,
+                    ),
                     (
                         PolicyFaultKind::TlsSelfSigned,
                         calib::SELF_POLICY_TLS_OTHER_RATE * 0.6,
@@ -548,35 +557,49 @@ fn assign_faults(spec: &mut DomainSpec, rng: &DetRng, _config: &EcosystemConfig)
                         PolicyFaultKind::TlsExpired,
                         calib::SELF_POLICY_TLS_OTHER_RATE * 0.4,
                     ),
-                    (PolicyFaultKind::Http404, calib::SELF_POLICY_HTTP_RATE * 0.65),
-                    (PolicyFaultKind::Http500, calib::SELF_POLICY_HTTP_RATE * 0.35),
+                    (
+                        PolicyFaultKind::Http404,
+                        calib::SELF_POLICY_HTTP_RATE * 0.65,
+                    ),
+                    (
+                        PolicyFaultKind::Http500,
+                        calib::SELF_POLICY_HTTP_RATE * 0.35,
+                    ),
                     (PolicyFaultKind::SyntaxBadMx, calib::SELF_POLICY_SYNTAX_RATE),
                 ],
             ),
             PolicyHosting::Provider { .. } | PolicyHosting::MiscProvider { .. } => {
                 draw_policy_fault(
-                rng,
-                &[
-                    (PolicyFaultKind::TcpRefused, calib::THIRD_POLICY_TCP_RATE),
-                    (PolicyFaultKind::TlsExpired, calib::THIRD_POLICY_TLS_RATE * 0.6),
-                    (
-                        PolicyFaultKind::TlsCnMismatch,
-                        calib::THIRD_POLICY_TLS_RATE * 0.4,
-                    ),
-                    (PolicyFaultKind::Http404, calib::THIRD_POLICY_HTTP_RATE),
-                    (PolicyFaultKind::SyntaxBadMx, calib::THIRD_POLICY_SYNTAX_RATE),
-                ],
+                    rng,
+                    &[
+                        (PolicyFaultKind::TcpRefused, calib::THIRD_POLICY_TCP_RATE),
+                        (
+                            PolicyFaultKind::TlsExpired,
+                            calib::THIRD_POLICY_TLS_RATE * 0.6,
+                        ),
+                        (
+                            PolicyFaultKind::TlsCnMismatch,
+                            calib::THIRD_POLICY_TLS_RATE * 0.4,
+                        ),
+                        (PolicyFaultKind::Http404, calib::THIRD_POLICY_HTTP_RATE),
+                        (
+                            PolicyFaultKind::SyntaxBadMx,
+                            calib::THIRD_POLICY_SYNTAX_RATE,
+                        ),
+                    ],
                 )
             }
             PolicyHosting::SmallProvider { .. } => {
                 if rng.chance("uncls-fault", calib::UNCLASSIFIED_POLICY_FAULT_RATE) {
                     // Small hosts fail like self-managed ones: mostly TLS.
-                    Some(match rng.weighted_index("uncls-kind", &[0.70, 0.12, 0.12, 0.06]) {
-                        0 => PolicyFaultKind::TlsCnMismatch,
-                        1 => PolicyFaultKind::TlsSelfSigned,
-                        2 => PolicyFaultKind::Http404,
-                        _ => PolicyFaultKind::TcpRefused,
-                    })
+                    Some(
+                        match rng.weighted_index("uncls-kind", &[0.70, 0.12, 0.12, 0.06]) {
+                            0 => PolicyFaultKind::TlsCnMismatch,
+                            1 => PolicyFaultKind::TlsSelfSigned,
+                            2 => PolicyFaultKind::Http404,
+                            _ => PolicyFaultKind::TcpRefused,
+                        },
+                    )
                 } else {
                     None
                 }
@@ -667,10 +690,7 @@ fn assign_faults(spec: &mut DomainSpec, rng: &DetRng, _config: &EcosystemConfig)
 
 /// One-of-many fault draw: each (kind, rate) is an independent Bernoulli;
 /// the first hit wins (rates are small, overlaps negligible).
-fn draw_policy_fault(
-    rng: &DetRng,
-    table: &[(PolicyFaultKind, f64)],
-) -> Option<PolicyFaultKind> {
+fn draw_policy_fault(rng: &DetRng, table: &[(PolicyFaultKind, f64)]) -> Option<PolicyFaultKind> {
     for (kind, rate) in table {
         if rng.chance(&format!("policy-{kind:?}"), *rate) {
             return Some(*kind);
@@ -726,8 +746,8 @@ fn assign_tranco(domains: &mut [DomainSpec], root: &DetRng, config: &EcosystemCo
                 return;
             };
             cursor += 1;
-            let rank_in_bin = (k as u64 * calib::TRANCO_BIN / want.max(1) as u64)
-                .min(calib::TRANCO_BIN - 1);
+            let rank_in_bin =
+                (k as u64 * calib::TRANCO_BIN / want.max(1) as u64).min(calib::TRANCO_BIN - 1);
             domains[idx].tranco_rank =
                 Some((bin as u64 * calib::TRANCO_BIN + rank_in_bin) as u32 + 1);
         }
@@ -768,7 +788,11 @@ mod tests {
         let config = small_config();
         let pop = generate(&config);
         for d in &pop.domains {
-            assert!(d.adopted >= config.start && d.adopted <= config.end, "{}", d.name);
+            assert!(
+                d.adopted >= config.start && d.adopted <= config.end,
+                "{}",
+                d.name
+            );
         }
         // Baseline .com domains adopt in index order.
         let mut coms: Vec<&DomainSpec> = pop
@@ -804,7 +828,11 @@ mod tests {
             .filter(|d| matches!(d.mail, MailHosting::Provider { .. }))
             .count() as f64;
         // ≈ 59.8% plus parkmail; allow a band.
-        assert!((0.5..0.75).contains(&(third_mail / n)), "{}", third_mail / n);
+        assert!(
+            (0.5..0.75).contains(&(third_mail / n)),
+            "{}",
+            third_mail / n
+        );
     }
 
     #[test]

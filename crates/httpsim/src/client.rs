@@ -54,7 +54,9 @@ pub async fn https_get<S: AsyncRead + AsyncWrite + Unpin>(
     path: &str,
 ) -> Result<HttpsFetch, HttpsError> {
     let host = tls.sni.clone();
-    let session = client_handshake(transport, tls).await.map_err(HttpsError::Tls)?;
+    let session = client_handshake(transport, tls)
+        .await
+        .map_err(HttpsError::Tls)?;
     let peer_chain = session.peer_chain;
     let mut stream = session.stream;
     let request = Request::get(&host.to_string(), path);
@@ -100,11 +102,7 @@ mod tests {
         s.parse().unwrap()
     }
 
-    async fn serve_one(
-        io: tokio::io::DuplexStream,
-        sc: ServerConfig,
-        response: Response,
-    ) {
+    async fn serve_one(io: tokio::io::DuplexStream, sc: ServerConfig, response: Response) {
         let Ok(mut session) = server_handshake(io, &sc).await else {
             return;
         };
@@ -112,7 +110,9 @@ mod tests {
         let req = read_request(&mut reader).await.unwrap();
         assert_eq!(req.path, MTA_STS_WELL_KNOWN);
         assert_eq!(req.host(), Some("mta-sts.example.com"));
-        write_response(&mut session.stream, &response).await.unwrap();
+        write_response(&mut session.stream, &response)
+            .await
+            .unwrap();
     }
 
     fn server_with_cert() -> (ServerConfig, TrustStore) {
@@ -151,8 +151,9 @@ mod tests {
         assert_eq!(fetch.peer_chain.len(), 1);
         // Offline validation succeeds against the right store.
         let now = SimDate::ymd(2024, 9, 29).at_midnight();
-        assert!(pkix::validate_chain(&fetch.peer_chain, &n("mta-sts.example.com"), now, &store)
-            .is_ok());
+        assert!(
+            pkix::validate_chain(&fetch.peer_chain, &n("mta-sts.example.com"), now, &store).is_ok()
+        );
         server.await.unwrap();
     }
 

@@ -1,8 +1,6 @@
 //! Reading and writing HTTP/1.1 messages over async streams.
 
-use crate::types::{
-    HttpError, Request, Response, StatusCode, MAX_BODY_BYTES, MAX_HEADER_BYTES,
-};
+use crate::types::{HttpError, Request, Response, StatusCode, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 use std::collections::BTreeMap;
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt, BufReader};
 
@@ -71,7 +69,10 @@ async fn read_body<S: AsyncRead + Unpin>(
             return Err(HttpError::BadBody(format!("body of {len} bytes too large")));
         }
         let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).await.map_err(|_| HttpError::UnexpectedEof)?;
+        reader
+            .read_exact(&mut body)
+            .await
+            .map_err(|_| HttpError::UnexpectedEof)?;
         Ok(body)
     } else if to_eof_when_unsized {
         let mut body = Vec::new();
@@ -202,14 +203,18 @@ mod tests {
     #[tokio::test]
     async fn response_roundtrip_with_content_length() {
         let (mut a, b) = tokio::io::duplex(4096);
-        let resp = Response::ok("version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 604800\n");
+        let resp =
+            Response::ok("version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 604800\n");
         write_response(&mut a, &resp).await.unwrap();
         drop(a);
         let mut reader = BufReader::new(b);
         let back = read_response(&mut reader).await.unwrap();
         assert_eq!(back.status, StatusCode::OK);
         assert_eq!(back.body, resp.body);
-        assert_eq!(back.headers.get("connection").map(String::as_str), Some("close"));
+        assert_eq!(
+            back.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
     }
 
     #[tokio::test]
@@ -230,7 +235,9 @@ mod tests {
         for bad in ["GARBAGE", "GET /x", "GET path HTTP/1.1", "GET /x SPDY/3"] {
             let (mut a, b) = tokio::io::duplex(4096);
             use tokio::io::AsyncWriteExt;
-            a.write_all(format!("{bad}\r\n\r\n").as_bytes()).await.unwrap();
+            a.write_all(format!("{bad}\r\n\r\n").as_bytes())
+                .await
+                .unwrap();
             drop(a);
             let mut reader = BufReader::new(b);
             let err = read_request(&mut reader).await.unwrap_err();
@@ -242,7 +249,9 @@ mod tests {
     async fn rejects_bad_headers() {
         let (mut a, b) = tokio::io::duplex(4096);
         use tokio::io::AsyncWriteExt;
-        a.write_all(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").await.unwrap();
+        a.write_all(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+            .await
+            .unwrap();
         drop(a);
         let mut reader = BufReader::new(b);
         assert!(matches!(
@@ -255,7 +264,10 @@ mod tests {
     async fn rejects_oversized_headers() {
         let (mut a, b) = tokio::io::duplex(64 * 1024);
         use tokio::io::AsyncWriteExt;
-        let huge = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "y".repeat(MAX_HEADER_BYTES));
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES)
+        );
         a.write_all(huge.as_bytes()).await.unwrap();
         drop(a);
         let mut reader = BufReader::new(b);

@@ -43,7 +43,9 @@ impl Router {
 
     /// Installs a document at `(host, path)`.
     pub fn route(&self, host: DomainName, path: &str, response: Response) {
-        self.routes.write().insert((host, path.to_string()), response);
+        self.routes
+            .write()
+            .insert((host, path.to_string()), response);
     }
 
     /// Removes a document; returns whether it existed.
@@ -204,11 +206,17 @@ mod tests {
             .await
             .unwrap();
 
-        for (host, marker) in [("mta-sts.alpha.com", "enforce"), ("mta-sts.beta.com", "testing")] {
+        for (host, marker) in [
+            ("mta-sts.alpha.com", "enforce"),
+            ("mta-sts.beta.com", "testing"),
+        ] {
             let socket = TcpStream::connect(server.addr()).await.unwrap();
             let fetch = fetch_policy_document(socket, &n(host), 1, 2).await.unwrap();
             assert_eq!(fetch.response.status, StatusCode::OK);
-            assert!(fetch.response.body_text().unwrap().contains(marker), "{host}");
+            assert!(
+                fetch.response.body_text().unwrap().contains(marker),
+                "{host}"
+            );
         }
 
         // Unknown path on a known host: 404 fallback.
@@ -227,12 +235,20 @@ mod tests {
     #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
     async fn route_updates_apply_to_new_connections() {
         let router = Router::new();
-        router.route(n("mta-sts.alpha.com"), MTA_STS_WELL_KNOWN, Response::ok("old"));
+        router.route(
+            n("mta-sts.alpha.com"),
+            MTA_STS_WELL_KNOWN,
+            Response::ok("old"),
+        );
         let tls = Arc::new(RwLock::new(tls_config(&["mta-sts.alpha.com"])));
         let server = HttpsServer::spawn("127.0.0.1:0".parse().unwrap(), tls, router.clone())
             .await
             .unwrap();
-        router.route(n("mta-sts.alpha.com"), MTA_STS_WELL_KNOWN, Response::ok("new"));
+        router.route(
+            n("mta-sts.alpha.com"),
+            MTA_STS_WELL_KNOWN,
+            Response::ok("new"),
+        );
         let socket = TcpStream::connect(server.addr()).await.unwrap();
         let fetch = fetch_policy_document(socket, &n("mta-sts.alpha.com"), 1, 2)
             .await

@@ -185,7 +185,10 @@ mod tests {
         let r = Request::get("mta-sts.example.com", "/.well-known/mta-sts.txt");
         assert_eq!(r.method, "GET");
         assert_eq!(r.host(), Some("mta-sts.example.com"));
-        assert_eq!(r.headers.get("connection").map(String::as_str), Some("close"));
+        assert_eq!(
+            r.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
     }
 
     #[test]

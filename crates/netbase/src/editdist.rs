@@ -102,8 +102,16 @@ mod tests {
     #[test]
     fn bounded_agrees_with_exact() {
         let words = [
-            "", "a", "mail", "mial", "mx1.example.com", "mx.example.com",
-            "aspmx.l.google.com", "alt1.aspmx.l.google.com", "smtp.se", "smtp.de",
+            "",
+            "a",
+            "mail",
+            "mial",
+            "mx1.example.com",
+            "mx.example.com",
+            "aspmx.l.google.com",
+            "alt1.aspmx.l.google.com",
+            "smtp.se",
+            "smtp.de",
         ];
         for a in words {
             for b in words {

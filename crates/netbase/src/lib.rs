@@ -13,17 +13,22 @@
 //!   §4.4 of the paper);
 //! - [`rate`]: a token-bucket rate limiter (the paper rate-limits its DNS
 //!   scans to protect small authoritative servers, §3.1);
+//! - [`retry`]: clock-agnostic retry policies with deterministic backoff,
+//!   so transient network failures are retried before anything is
+//!   classified as a misconfiguration;
 //! - [`rng`]: deterministic, forkable randomness so every experiment is
 //!   reproducible from a single seed.
 
 pub mod editdist;
 pub mod name;
 pub mod rate;
+pub mod retry;
 pub mod rng;
 pub mod time;
 
 pub use editdist::{levenshtein, levenshtein_within};
 pub use name::{DomainName, NameError};
 pub use rate::TokenBucket;
+pub use retry::{RetryOutcome, RetryPolicy, RetryVerdict};
 pub use rng::DetRng;
 pub use time::{Duration, SimDate, SimInstant};

@@ -105,8 +105,7 @@ impl DomainName {
                 }
             } else {
                 for ch in label.chars() {
-                    if !(ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-' || ch == '_')
-                    {
+                    if !(ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-' || ch == '_') {
                         return Err(NameError::BadChar { label, ch });
                     }
                 }
@@ -379,10 +378,16 @@ mod tests {
 
     #[test]
     fn effective_sld() {
-        assert_eq!(n("mail.example.com").effective_sld().unwrap(), n("example.com"));
+        assert_eq!(
+            n("mail.example.com").effective_sld().unwrap(),
+            n("example.com")
+        );
         assert_eq!(n("example.com").effective_sld().unwrap(), n("example.com"));
         assert_eq!(n("com").effective_sld(), None);
-        assert_eq!(n("x.y.example.co.uk").effective_sld().unwrap(), n("example.co.uk"));
+        assert_eq!(
+            n("x.y.example.co.uk").effective_sld().unwrap(),
+            n("example.co.uk")
+        );
         assert_eq!(n("co.uk").effective_sld(), None);
         assert!(n("mx.foo.se").same_esld(&n("www.foo.se")));
         assert!(!n("mx.foo.se").same_esld(&n("mx.bar.se")));

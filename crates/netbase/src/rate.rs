@@ -71,13 +71,24 @@ impl TokenBucket {
 
     /// Time to wait from `now` until one token is available (zero if one is
     /// available immediately). Does not consume a token.
+    ///
+    /// Non-monotonic timestamps are clamped like in [`Self::try_acquire`]:
+    /// a `now` older than the bucket's clock never rewinds the refill state,
+    /// and the returned wait is measured from the caller's `now` — it
+    /// includes the skew back up to the bucket's clock, so `now + wait` is
+    /// always an instant at which a token really is available.
     pub fn time_until_available(&mut self, now: SimInstant) -> Duration {
-        self.refill(now);
+        let clamped = self.clamp(now);
+        self.refill(clamped);
         if self.tokens >= 1.0 {
+            // A present token is admissible at any timestamp.
             Duration::ZERO
         } else {
+            // Tokens accrue on the bucket's clock: availability is at
+            // `clamped + deficit/rate`, so a stale caller also waits out
+            // the skew.
             let deficit = 1.0 - self.tokens;
-            Duration::seconds((deficit / self.rate_per_sec).ceil() as i64)
+            clamped.since(now) + Duration::seconds((deficit / self.rate_per_sec).ceil() as i64)
         }
     }
 
@@ -166,5 +177,31 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(0.0, 1, t0());
+    }
+
+    #[test]
+    fn non_monotonic_timestamps_are_clamped() {
+        // The bucket's clock starts at t1; a caller with an independent,
+        // *earlier* clock must neither rewind the refill state nor be told
+        // a wait that undershoots real availability.
+        let t1 = t0() + Duration::seconds(100);
+        let mut b = TokenBucket::new(1.0, 1, t1);
+        assert!(b.try_acquire(t1));
+        // Stale queries do not mutate the level or the refill clock.
+        let stale = t0();
+        let level_before = b.level();
+        let wait = b.time_until_available(stale);
+        assert_eq!(b.level(), level_before);
+        // The wait is measured from the stale `now`: it spans the 100 s of
+        // skew plus the 1 s refill, so `stale + wait` really has a token.
+        assert_eq!(wait.as_secs(), 101);
+        assert!(b.try_acquire(stale + wait));
+        // A stale acquire_at never travels backwards in time either.
+        let at = b.acquire_at(stale);
+        assert!(at >= t1, "acquire_at returned {at:?} before bucket clock");
+        // And with a token present, a stale caller is admitted immediately.
+        let mut fresh = TokenBucket::new(1.0, 2, t1);
+        assert_eq!(fresh.time_until_available(stale), Duration::ZERO);
+        assert!(fresh.try_acquire(stale));
     }
 }

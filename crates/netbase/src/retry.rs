@@ -1,0 +1,323 @@
+//! Retry policies with deterministic backoff.
+//!
+//! The paper's scanner runs for 31–36 months against flaky real-world
+//! infrastructure; transient failures (greylisting, intermittent SERVFAIL,
+//! connection resets) must be retried before anything is classified as a
+//! misconfiguration, or the measured rates inflate (cf. "No Need for Black
+//! Chambers" and "Lazy Gatekeepers", PAPERS.md). [`RetryPolicy`] captures
+//! the retry discipline — attempt cap, exponential backoff with seeded
+//! jitter, per-attempt timeout, total deadline — and, like
+//! [`crate::TokenBucket`], is driven entirely by explicit [`SimInstant`]
+//! timestamps so the same policy runs in simulated and wall-clock time.
+
+use crate::rng::DetRng;
+use crate::time::{Duration, SimInstant};
+use rand::Rng;
+
+/// A retry discipline. All durations are in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (≥ 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub initial_backoff: Duration,
+    /// Multiplier applied to the backoff after each failure.
+    pub multiplier: u32,
+    /// Upper bound on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Jitter as a fraction of the raw delay, in `[0, 1]`: each delay is
+    /// stretched by up to this factor, deterministically per seed.
+    pub jitter: f64,
+    /// Simulated cost charged to each *failed* attempt (a failed fetch
+    /// occupies the scanner until its timeout fires).
+    pub attempt_timeout: Duration,
+    /// Budget for the whole retry sequence, measured from the first
+    /// attempt's start. No backoff sleep may cross this deadline.
+    pub total_deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// One attempt, no waiting: the seed scanner's behaviour.
+    pub fn single_shot() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::ZERO,
+            multiplier: 2,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            attempt_timeout: Duration::ZERO,
+            total_deadline: Duration::seconds(i64::MAX / 4),
+        }
+    }
+
+    /// A production-shaped discipline: `attempts` tries, exponential
+    /// doubling from 2 s capped at 60 s, 50% jitter, 5 s attempt timeout,
+    /// 10 min total deadline.
+    pub fn resilient(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            initial_backoff: Duration::seconds(2),
+            multiplier: 2,
+            max_backoff: Duration::seconds(60),
+            jitter: 0.5,
+            attempt_timeout: Duration::seconds(5),
+            total_deadline: Duration::minutes(10),
+        }
+    }
+
+    /// The backoff delays this policy sleeps before attempts `2..=n`,
+    /// jittered deterministically from `rng`/`label`.
+    ///
+    /// The sequence is non-decreasing by construction (each jittered delay
+    /// is clamped below by its predecessor) and capped at `max_backoff`,
+    /// so a jitter draw can never shrink a later delay below an earlier
+    /// one — the property the backoff proptest pins down.
+    pub fn backoff_delays(&self, rng: &DetRng, label: &str) -> Vec<Duration> {
+        let scope = rng.fork("retry-backoff").fork(label);
+        let cap = self.max_backoff.as_secs().max(0);
+        let mut delays = Vec::new();
+        let mut prev: i64 = 0;
+        let mut raw = self.initial_backoff.as_secs().max(0) as f64;
+        for attempt in 2..=self.max_attempts {
+            let u: f64 = scope.stream_for(&format!("attempt/{attempt}")).gen();
+            let jittered = (raw * (1.0 + self.jitter * u)).ceil() as i64;
+            let delay = jittered.max(prev).min(cap);
+            delays.push(Duration::seconds(delay));
+            prev = delay;
+            raw = (raw * f64::from(self.multiplier)).min(1e15);
+        }
+        delays
+    }
+
+    /// Drives `op` under this policy, starting at `start`.
+    ///
+    /// `op` receives the current simulated instant and the 1-based attempt
+    /// number. A failed attempt is charged [`RetryPolicy::attempt_timeout`],
+    /// then — if the error is transient per `is_transient`, attempts
+    /// remain, and the next backoff sleep fits inside
+    /// [`RetryPolicy::total_deadline`] — the clock advances by the backoff
+    /// delay and `op` runs again.
+    pub fn run<T, E>(
+        &self,
+        rng: &DetRng,
+        label: &str,
+        start: SimInstant,
+        mut is_transient: impl FnMut(&E) -> bool,
+        mut op: impl FnMut(SimInstant, u32) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+        let deadline = start + self.total_deadline;
+        let delays = self.backoff_delays(rng, label);
+        let mut now = start;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match op(now, attempts) {
+                Ok(value) => {
+                    let verdict = if attempts == 1 {
+                        RetryVerdict::FirstTry
+                    } else {
+                        RetryVerdict::RecoveredTransient
+                    };
+                    return RetryOutcome {
+                        result: Ok(value),
+                        attempts,
+                        finished_at: now,
+                        verdict,
+                    };
+                }
+                Err(e) => {
+                    now += self.attempt_timeout;
+                    let transient = is_transient(&e);
+                    let next_delay = delays.get(attempts as usize - 1).copied();
+                    let (verdict, stop) = if !transient {
+                        (RetryVerdict::Persistent, true)
+                    } else {
+                        match next_delay {
+                            None => (RetryVerdict::Exhausted, true),
+                            Some(d) if now + d > deadline => (RetryVerdict::Exhausted, true),
+                            Some(_) => (RetryVerdict::Exhausted, false),
+                        }
+                    };
+                    if stop {
+                        return RetryOutcome {
+                            result: Err(e),
+                            attempts,
+                            finished_at: now,
+                            verdict,
+                        };
+                    }
+                    now += next_delay.expect("checked above");
+                }
+            }
+        }
+    }
+}
+
+/// How a retry sequence ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryVerdict {
+    /// Succeeded on the first attempt.
+    FirstTry,
+    /// Failed at least once, then succeeded: a recovered transient.
+    RecoveredTransient,
+    /// Ended on a non-transient error (no point retrying).
+    Persistent,
+    /// Still failing transiently when attempts or the deadline ran out.
+    Exhausted,
+}
+
+/// The result of driving an operation under a [`RetryPolicy`].
+#[derive(Debug, Clone)]
+pub struct RetryOutcome<T, E> {
+    /// The final attempt's result.
+    pub result: Result<T, E>,
+    /// Number of attempts made (≥ 1).
+    pub attempts: u32,
+    /// The simulated instant the sequence ended at.
+    pub finished_at: SimInstant,
+    /// How the sequence ended.
+    pub verdict: RetryVerdict,
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// Retries issued beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// Whether a transient failure was observed and later recovered.
+    pub fn recovered(&self) -> bool {
+        self.verdict == RetryVerdict::RecoveredTransient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDate;
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 1, 1).at_midnight()
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::seconds(2),
+            multiplier: 2,
+            max_backoff: Duration::seconds(60),
+            jitter: 0.5,
+            attempt_timeout: Duration::seconds(5),
+            total_deadline: Duration::minutes(10),
+        }
+    }
+
+    #[test]
+    fn first_try_success_makes_no_retries() {
+        let out = policy().run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, _| Ok::<_, &str>(7),
+        );
+        assert_eq!(out.result, Ok(7));
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.verdict, RetryVerdict::FirstTry);
+        assert_eq!(out.finished_at, t0());
+    }
+
+    #[test]
+    fn transient_then_success_recovers() {
+        let out = policy().run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, attempt| {
+                if attempt < 3 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out.result, Ok(3));
+        assert_eq!(out.attempts, 3);
+        assert!(out.recovered());
+        // Two failed attempts cost two timeouts plus two backoff sleeps.
+        assert!(out.finished_at > t0() + Duration::seconds(10));
+    }
+
+    #[test]
+    fn persistent_error_stops_immediately() {
+        let out = policy().run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |e: &&str| *e != "fatal",
+            |_, _| Err::<u32, _>("fatal"),
+        );
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.verdict, RetryVerdict::Persistent);
+    }
+
+    #[test]
+    fn transient_exhaustion_uses_all_attempts() {
+        let out = policy().run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, _| Err::<u32, _>("flaky"),
+        );
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.verdict, RetryVerdict::Exhausted);
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        let mut p = policy();
+        p.total_deadline = Duration::seconds(6); // one timeout + no room to sleep
+        let out = p.run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, _| Err::<u32, _>("flaky"),
+        );
+        assert!(out.attempts < 4, "attempts={}", out.attempts);
+        assert_eq!(out.verdict, RetryVerdict::Exhausted);
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_monotone() {
+        let p = policy();
+        let a = p.backoff_delays(&DetRng::new(9), "domain/example.com");
+        let b = p.backoff_delays(&DetRng::new(9), "domain/example.com");
+        assert_eq!(a, b);
+        let c = p.backoff_delays(&DetRng::new(9), "domain/other.org");
+        assert_ne!(a, c, "different labels should jitter differently");
+        assert_eq!(a.len(), 3);
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0], "{a:?}");
+        }
+        for d in &a {
+            assert!(*d <= p.max_backoff);
+        }
+    }
+
+    #[test]
+    fn single_shot_never_retries() {
+        let out = RetryPolicy::single_shot().run(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, _| Err::<u32, _>("flaky"),
+        );
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.verdict, RetryVerdict::Exhausted);
+    }
+}

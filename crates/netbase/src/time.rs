@@ -85,9 +85,7 @@ impl Sub for Duration {
 }
 
 /// A civil date (proleptic Gregorian), day precision.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(try_from = "String", into = "String")]
 pub struct SimDate {
     /// Days since 1970-01-01 (may be negative).
@@ -172,7 +170,9 @@ impl SimDate {
 
     /// The date `n` days later (or earlier for negative `n`).
     pub fn add_days(self, n: i64) -> SimDate {
-        SimDate { days: self.days + n }
+        SimDate {
+            days: self.days + n,
+        }
     }
 
     /// Adds `n` calendar months, clamping the day-of-month to the target
@@ -295,9 +295,7 @@ impl Iterator for DateRange {
 
 /// A second-precision simulated instant, used wherever `max_age` (seconds)
 /// interacts with the timeline.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct SimInstant {
     /// Seconds since the Unix epoch.
     secs: i64,
@@ -457,10 +455,22 @@ mod tests {
 
     #[test]
     fn month_arithmetic_clamps() {
-        assert_eq!(SimDate::ymd(2024, 1, 31).add_months(1), SimDate::ymd(2024, 2, 29));
-        assert_eq!(SimDate::ymd(2023, 1, 31).add_months(1), SimDate::ymd(2023, 2, 28));
-        assert_eq!(SimDate::ymd(2023, 11, 7).add_months(2), SimDate::ymd(2024, 1, 7));
-        assert_eq!(SimDate::ymd(2024, 3, 15).add_months(-3), SimDate::ymd(2023, 12, 15));
+        assert_eq!(
+            SimDate::ymd(2024, 1, 31).add_months(1),
+            SimDate::ymd(2024, 2, 29)
+        );
+        assert_eq!(
+            SimDate::ymd(2023, 1, 31).add_months(1),
+            SimDate::ymd(2023, 2, 28)
+        );
+        assert_eq!(
+            SimDate::ymd(2023, 11, 7).add_months(2),
+            SimDate::ymd(2024, 1, 7)
+        );
+        assert_eq!(
+            SimDate::ymd(2024, 3, 15).add_months(-3),
+            SimDate::ymd(2023, 12, 15)
+        );
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl SimCert {
         let mut san = Vec::with_capacity(san_len);
         for _ in 0..san_len {
             let s = r.string()?;
-            san.push(
-                DomainName::parse(&s).map_err(|e| CertDecodeError(format!("bad SAN: {e}")))?,
-            );
+            san.push(DomainName::parse(&s).map_err(|e| CertDecodeError(format!("bad SAN: {e}")))?);
         }
         let issuer_cn = r.string()?;
         let subject_key_id = r.u64()?;

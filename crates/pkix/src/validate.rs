@@ -69,7 +69,10 @@ impl fmt::Display for CertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CertError::NameMismatch { wanted, presented } => {
-                write!(f, "certificate does not match {wanted} (presented: {presented:?})")
+                write!(
+                    f,
+                    "certificate does not match {wanted} (presented: {presented:?})"
+                )
             }
             other => write!(f, "{}", other.label()),
         }
@@ -228,7 +231,10 @@ mod tests {
         let leaf = w.root.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
         let chain = vec![leaf];
         // Chain of just the leaf: its issuer key is the trusted root.
-        assert_eq!(validate_chain(&chain, &n("mx.example.com"), w.now, &w.store), Ok(()));
+        assert_eq!(
+            validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),
+            Ok(())
+        );
     }
 
     #[test]
@@ -300,7 +306,9 @@ mod tests {
         let mut w = world();
         // The classic §4.3.3 error: certificate for the bare domain, not the
         // mta-sts subdomain.
-        let leaf = w.inter.issue_leaf(&[n("example.com"), n("www.example.com")], w.nb, w.na);
+        let leaf = w
+            .inter
+            .issue_leaf(&[n("example.com"), n("www.example.com")], w.nb, w.na);
         let chain = vec![leaf, w.inter.cert.clone()];
         let got = validate_chain(&chain, &n("mta-sts.example.com"), w.now, &w.store);
         let Err(CertError::NameMismatch { wanted, presented }) = got else {
@@ -348,8 +356,7 @@ mod tests {
         let fake_inter = w.inter.issue_leaf(&[n("notaca.example.com")], w.nb, w.na);
         let mut leaf = w.inter.issue_leaf(&[n("mx.example.com")], w.nb, w.na);
         leaf.issuer_key_id = fake_inter.subject_key_id;
-        leaf.signature =
-            crate::digest::keyed_digest(fake_inter.subject_key_id, &leaf.tbs_bytes());
+        leaf.signature = crate::digest::keyed_digest(fake_inter.subject_key_id, &leaf.tbs_bytes());
         let chain = vec![leaf, fake_inter, w.inter.cert.clone()];
         assert_eq!(
             validate_chain(&chain, &n("mx.example.com"), w.now, &w.store),

@@ -87,7 +87,7 @@ impl AsciiChart {
                     }
                 }
             }
-            out.push_str(&label_row.iter().collect::<String>().trim_end().to_string());
+            out.push_str(label_row.iter().collect::<String>().trim_end());
             out.push('\n');
         }
         // Legend.

@@ -55,10 +55,7 @@ mod tests {
                 vec!["3".into(), "with\"quote".into()],
             ],
         );
-        assert_eq!(
-            csv,
-            "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n"
-        );
+        assert_eq!(csv, "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n");
     }
 
     #[test]

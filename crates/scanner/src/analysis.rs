@@ -442,12 +442,10 @@ pub fn fig10_series(run: &LongitudinalRun) -> Vec<Fig10Point> {
                     .classifier
                     .classify_policy(&scan.domain, &scan.policy_cname);
                 let mx_class = snap.classifier.classify_mx(&scan.domain, &scan.mx_records);
-                if policy_class != EntityClass::ThirdParty || mx_class != EntityClass::ThirdParty
-                {
+                if policy_class != EntityClass::ThirdParty || mx_class != EntityClass::ThirdParty {
                     continue;
                 }
-                let (Some(cname), Some(mx)) =
-                    (scan.policy_cname.first(), scan.mx_records.first())
+                let (Some(cname), Some(mx)) = (scan.policy_cname.first(), scan.mx_records.first())
                 else {
                     continue;
                 };
@@ -567,7 +565,7 @@ mod tests {
         let scale = eco.config.scale;
 
         // Table 1: percentages land near the paper's (0.07-0.13%).
-        let t1 = table1(&run, scale);
+        let t1 = table1(run, scale);
         for row in &t1 {
             assert!(
                 (0.03..0.30).contains(&row.percent),
@@ -578,43 +576,52 @@ mod tests {
         }
 
         // Figure 2: monotone growth per TLD.
-        let f2 = fig2_series(&run, scale);
+        let f2 = fig2_series(run, scale);
         assert_eq!(f2.len(), 160);
         let first_com = f2.first().unwrap().1[&TldId::Com];
         let last_com = f2.last().unwrap().1[&TldId::Com];
         assert!(last_com > first_com * 2.5, "{first_com} -> {last_com}");
 
         // Figure 4: misconfiguration 22-38%, policy retrieval dominant.
-        let f4 = fig4_series(&run);
+        let f4 = fig4_series(run);
         let latest = f4.last().unwrap();
         let total_pct = 100.0 * latest.misconfigured as f64 / latest.total as f64;
         assert!((20.0..40.0).contains(&total_pct), "{total_pct}");
         let policy_pct = latest.category_pct[&MisconfigCategory::PolicyRetrieval];
         let record_pct = latest.category_pct[&MisconfigCategory::DnsRecord];
-        assert!(policy_pct > record_pct * 5.0, "{policy_pct} vs {record_pct}");
+        assert!(
+            policy_pct > record_pct * 5.0,
+            "{policy_pct} vs {record_pct}"
+        );
 
         // Figure 4's Porkbun effect: the last scans jump.
-        let aug = f4.iter().find(|p| p.date >= SimDate::ymd(2024, 8, 1)).unwrap();
-        let spring = f4.iter().find(|p| p.date >= SimDate::ymd(2024, 3, 1)).unwrap();
+        let aug = f4
+            .iter()
+            .find(|p| p.date >= SimDate::ymd(2024, 8, 1))
+            .unwrap();
+        let spring = f4
+            .iter()
+            .find(|p| p.date >= SimDate::ymd(2024, 3, 1))
+            .unwrap();
         let aug_pct = 100.0 * aug.misconfigured as f64 / aug.total as f64;
         let spring_pct = 100.0 * spring.misconfigured as f64 / spring.total as f64;
         assert!(aug_pct > spring_pct, "{spring_pct} -> {aug_pct}");
 
         // Figure 7: all-invalid ~1-3%.
-        let f7 = fig7_series(&run);
+        let f7 = fig7_series(run);
         let latest7 = f7.last().unwrap();
         let all_pct = 100.0 * latest7.all_invalid as f64 / latest7.total as f64;
         assert!((0.5..4.0).contains(&all_pct), "{all_pct}");
         assert!(latest7.all_invalid >= latest7.enforce_at_risk);
 
         // Figure 8: mismatch classes present; complete-domain largest.
-        let f8 = fig8_series(&run);
+        let f8 = fig8_series(run);
         let latest8 = f8.last().unwrap();
         let domain_count = latest8.kind_counts.get("Domain").copied().unwrap_or(0);
         assert!(domain_count > 0);
 
         // Figure 9: the stale share grows over the scan window.
-        let f9 = fig9_series(&run);
+        let f9 = fig9_series(run);
         let first9 = f9.first().unwrap().1;
         let last9 = f9.last().unwrap().1;
         assert!(
@@ -623,7 +630,7 @@ mod tests {
         );
 
         // Figure 10: same-provider inconsistency rarer than different.
-        let f10 = fig10_series(&run);
+        let f10 = fig10_series(run);
         let latest10 = f10.last().unwrap();
         if latest10.same_total > 0 && latest10.diff_total > 0 {
             let same_rate = latest10.same_inconsistent as f64 / latest10.same_total as f64;
@@ -639,12 +646,14 @@ mod tests {
         assert!(!t2.is_empty());
         let names: Vec<String> = t2.iter().map(|r| r.provider.to_string()).collect();
         assert!(
-            names.iter().any(|n| n.contains("tutanota") || n.contains("dmarcinput")),
+            names
+                .iter()
+                .any(|n| n.contains("tutanota") || n.contains("dmarcinput")),
             "{names:?}"
         );
 
         // Figure 12: TLSRPT share among MTA-STS domains is substantial.
-        let f12 = fig12_mtasts_series(&run);
+        let f12 = fig12_mtasts_series(run);
         let last12 = f12.last().unwrap().1;
         assert!((55.0..85.0).contains(&last12), "{last12}");
     }
@@ -657,15 +666,18 @@ mod tests {
         let top10_avg: f64 = bins[..10].iter().map(|(_, p)| p).sum::<f64>() / 10.0;
         let bottom10_avg: f64 = bins[90..].iter().map(|(_, p)| p).sum::<f64>() / 10.0;
         // Paper: 1.2% vs 0.4%.
-        assert!(top10_avg > bottom10_avg * 1.8, "{top10_avg} vs {bottom10_avg}");
+        assert!(
+            top10_avg > bottom10_avg * 1.8,
+            "{top10_avg} vs {bottom10_avg}"
+        );
         assert!((0.5..2.5).contains(&top10_avg), "{top10_avg}");
     }
 
     #[test]
     fn fig5_self_managed_worse_than_third_party() {
         let (_, run) = &run();
-        let self_series = fig5_series(&run, EntityClass::SelfManaged);
-        let third_series = fig5_series(&run, EntityClass::ThirdParty);
+        let self_series = fig5_series(run, EntityClass::SelfManaged);
+        let third_series = fig5_series(run, EntityClass::ThirdParty);
         let s = self_series.last().unwrap();
         let t = third_series.last().unwrap();
         let self_rate = s.faulty as f64 / s.class_total.max(1) as f64;
@@ -685,8 +697,8 @@ mod tests {
     #[test]
     fn fig6_self_managed_mx_worse() {
         let (_, run) = &run();
-        let s = fig6_series(&run, EntityClass::SelfManaged);
-        let t = fig6_series(&run, EntityClass::ThirdParty);
+        let s = fig6_series(run, EntityClass::SelfManaged);
+        let t = fig6_series(run, EntityClass::ThirdParty);
         let s_last = s.last().unwrap();
         let t_last = t.last().unwrap();
         let s_rate = s_last.invalid as f64 / s_last.class_total.max(1) as f64;
@@ -698,7 +710,7 @@ mod tests {
     #[test]
     fn lucidgrow_spike_in_fig8_and_fig10() {
         let (_, run) = &run();
-        let f8 = fig8_series(&run);
+        let f8 = fig8_series(run);
         // The 2024-01-23 scan has a 3LD+ spike relative to its neighbours.
         let jan = f8
             .iter()

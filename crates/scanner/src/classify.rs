@@ -178,11 +178,7 @@ impl EntityClassifier {
     /// effective treatment (the Porkbun cohort lands in the self-managed
     /// series of Figure 5); CNAME targets are classified by their
     /// provider's customer count.
-    pub fn classify_policy(
-        &self,
-        domain: &DomainName,
-        policy_cname: &[DomainName],
-    ) -> EntityClass {
+    pub fn classify_policy(&self, domain: &DomainName, policy_cname: &[DomainName]) -> EntityClass {
         let Some(target) = policy_cname.first() else {
             return EntityClass::SelfManaged;
         };
@@ -255,6 +251,7 @@ mod tests {
             ns_records: vec![],
             mx_verdicts: vec![],
             mismatches: vec![],
+            attempts: crate::taxonomy::ScanAttempts::clean(),
         }
     }
 
@@ -367,7 +364,10 @@ mod tests {
             EntityClass::Unclassified
         );
         // No CNAME at all: self-managed.
-        assert_eq!(c.classify_policy(&n("x.com"), &[]), EntityClass::SelfManaged);
+        assert_eq!(
+            c.classify_policy(&n("x.com"), &[]),
+            EntityClass::SelfManaged
+        );
         // Internal alias: self-managed.
         assert_eq!(
             c.classify_policy(&n("x.com"), &[n("web.x.com")]),

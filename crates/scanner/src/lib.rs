@@ -13,6 +13,8 @@
 //! - [`scan`]: one full-component snapshot scan of a world;
 //! - [`longitudinal`]: the weekly record series and monthly full scans
 //!   over the whole study calendar, retaining MX history for Figure 9;
+//! - [`supervisor`]: the checkpointing, resumable, panic-isolating driver
+//!   around the monthly campaign, with its degradation report;
 //! - [`analysis`]: figure- and table-shaped aggregations;
 //! - [`notify`]: the §4.7 responsible-disclosure campaign simulation.
 
@@ -21,9 +23,13 @@ pub mod classify;
 pub mod longitudinal;
 pub mod notify;
 pub mod scan;
+pub mod supervisor;
 pub mod taxonomy;
 
 pub use classify::{EntityClass, EntityClassifier};
 pub use longitudinal::{LongitudinalRun, Study};
-pub use scan::{scan_domain, scan_snapshot, Snapshot};
-pub use taxonomy::{DomainScan, MisconfigCategory, MxVerdict, PolicyLayer};
+pub use scan::{scan_domain, scan_snapshot, ScanConfig, Snapshot};
+pub use supervisor::{DegradationReport, SupervisedOutcome, SupervisorConfig};
+pub use taxonomy::{
+    DomainScan, MisconfigCategory, MxVerdict, PolicyLayer, ScanAttempts, StageAttempts,
+};

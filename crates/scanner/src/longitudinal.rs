@@ -2,7 +2,7 @@
 //! 2024-09) and monthly full-component scans (2023-11 → 2024-09), §3.1
 //! and §4.1.
 
-use crate::scan::{scan_snapshot, Snapshot};
+use crate::scan::{scan_snapshot, ScanConfig, Snapshot};
 use ecosystem::{Ecosystem, SnapshotDetail, TldId};
 use netbase::{DomainName, SimDate};
 use serde::Serialize;
@@ -92,7 +92,10 @@ impl Study {
                 let Ok(txts) = world.mta_sts_txts(&spec.name, now) else {
                     continue;
                 };
-                if !txts.iter().any(|t| t.starts_with("v=STS") || t.contains("STS")) {
+                if !txts
+                    .iter()
+                    .any(|t| t.starts_with("v=STS") || t.contains("STS"))
+                {
                     continue;
                 }
                 *mtasts.entry(spec.tld).or_default() += 1;
@@ -126,12 +129,15 @@ impl Study {
         let mut out = Vec::new();
         for date in self.eco.config.full_scan_dates() {
             let world = self.eco.world_at(date, SnapshotDetail::Full);
-            let domains: Vec<DomainName> = self
-                .eco
-                .domains_at(date)
-                .map(|d| d.name.clone())
-                .collect();
-            out.push(scan_snapshot(&world, &domains, date, None));
+            let domains: Vec<DomainName> =
+                self.eco.domains_at(date).map(|d| d.name.clone()).collect();
+            out.push(scan_snapshot(
+                &world,
+                &domains,
+                date,
+                None,
+                &ScanConfig::default(),
+            ));
         }
         out
     }
@@ -166,10 +172,7 @@ mod tests {
         let last = weekly.last().unwrap().total();
         assert!(last > first * 3, "{first} -> {last}");
         // The measured totals equal the adopted-domain counts.
-        let expected = study
-            .eco
-            .domains_at(weekly.last().unwrap().date)
-            .count() as u64;
+        let expected = study.eco.domains_at(weekly.last().unwrap().date).count() as u64;
         assert_eq!(last, expected);
         assert!(!history.is_empty());
     }
@@ -180,11 +183,7 @@ mod tests {
         let (weekly, _) = study.run_weekly();
         // Find the week straddling 2024-01-02.
         let spike_date = SimDate::ymd(2024, 1, 2);
-        let before = weekly
-            .iter()
-            .filter(|w| w.date < spike_date)
-            .next_back()
-            .unwrap();
+        let before = weekly.iter().rfind(|w| w.date < spike_date).unwrap();
         let after = weekly.iter().find(|w| w.date >= spike_date).unwrap();
         let b = before.mtasts_per_tld.get(&TldId::Org).copied().unwrap_or(0);
         let a = after.mtasts_per_tld.get(&TldId::Org).copied().unwrap_or(0);
@@ -219,8 +218,7 @@ mod tests {
         };
         let hist = run.historical_mx(&spec.name, migration);
         assert!(
-            hist.iter()
-                .any(|h| h.to_string().contains("oldhost-")),
+            hist.iter().any(|h| h.to_string().contains("oldhost-")),
             "{}: {hist:?}",
             spec.name
         );

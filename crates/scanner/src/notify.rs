@@ -99,7 +99,7 @@ pub fn run_campaign(snapshot: &Snapshot, seed: u64) -> CampaignOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scan_snapshot;
+    use crate::scan::{scan_snapshot, ScanConfig};
     use ecosystem::{Ecosystem, EcosystemConfig, SnapshotDetail};
     use netbase::SimDate;
 
@@ -107,9 +107,8 @@ mod tests {
         let eco = Ecosystem::generate(EcosystemConfig::paper(42, 0.05));
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
-        let domains: Vec<DomainName> =
-            eco.domains_at(date).map(|d| d.name.clone()).collect();
-        scan_snapshot(&world, &domains, date, None)
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        scan_snapshot(&world, &domains, date, None, &ScanConfig::default())
     }
 
     #[test]

@@ -1,13 +1,67 @@
 //! Snapshot scanning: §4.1's methodology against a world.
 
 use crate::classify::EntityClassifier;
-use crate::taxonomy::{DomainScan, MxVerdict, PolicyLayer, PolicyLayerError};
+use crate::taxonomy::{
+    DomainScan, MxVerdict, PolicyLayer, PolicyLayerError, ScanAttempts, StageAttempts,
+};
 use dns::RecordType;
 use mtasts::{classify_policy_mismatches, evaluate_record_set, RecordError};
-use netbase::{DomainName, SimDate, TokenBucket};
-use simnet::{PolicyFetchError, TlsFailure, World};
+use netbase::{DetRng, DomainName, RetryPolicy, SimDate, TokenBucket};
+use simnet::{
+    dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure, World,
+};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// The scanner's retry discipline, per stage.
+///
+/// All retry state derives from `seed` and the domain name, so a scan is a
+/// pure function of `(world, domain, date, config)` — which is what lets
+/// the supervisor resume an interrupted run byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanConfig {
+    /// Root seed for backoff jitter.
+    pub seed: u64,
+    /// Retry policy for DNS lookups (`_mta-sts`, MX, NS).
+    pub record_retry: RetryPolicy,
+    /// Retry policy for the HTTPS policy fetch.
+    pub policy_retry: RetryPolicy,
+    /// Retry policy for each SMTP MX probe.
+    pub mx_retry: RetryPolicy,
+}
+
+impl ScanConfig {
+    /// The seed scanner's behaviour: one attempt everywhere.
+    pub fn single_shot() -> ScanConfig {
+        ScanConfig {
+            seed: 0,
+            record_retry: RetryPolicy::single_shot(),
+            policy_retry: RetryPolicy::single_shot(),
+            mx_retry: RetryPolicy::single_shot(),
+        }
+    }
+
+    /// A production-shaped discipline: up to `attempts` tries per stage.
+    pub fn resilient(seed: u64, attempts: u32) -> ScanConfig {
+        ScanConfig {
+            seed,
+            record_retry: RetryPolicy::resilient(attempts),
+            policy_retry: RetryPolicy::resilient(attempts),
+            mx_retry: RetryPolicy::resilient(attempts),
+        }
+    }
+}
+
+impl Default for ScanConfig {
+    /// Resilient with 4 attempts. On a fault-free world this is
+    /// indistinguishable from [`ScanConfig::single_shot`] except for the
+    /// attempt accounting: persistent errors stop after one try, and
+    /// static faults that *look* transient (a permanently dropped port)
+    /// exhaust their retries into the same classification.
+    fn default() -> ScanConfig {
+        ScanConfig::resilient(0, 4)
+    }
+}
 
 /// One full-component snapshot: scans + classification context.
 pub struct Snapshot {
@@ -52,28 +106,98 @@ fn layer_error(error: &PolicyFetchError) -> PolicyLayerError {
 }
 
 /// Scans one domain end to end (§4.1: record, policy over HTTPS,
-/// instrumented SMTP probe of every MX, consistency check).
-pub fn scan_domain(world: &World, domain: &DomainName, date: SimDate) -> DomainScan {
+/// instrumented SMTP probe of every MX, consistency check), retrying
+/// transient failures per `config` before anything reaches the taxonomy.
+///
+/// Classification only ever sees the *final* attempt of each stage, so a
+/// failure that a retry recovered never inflates the misconfiguration
+/// statistics; the attempt counts land in [`DomainScan::attempts`].
+// The policy-retry closure's Err carries the whole fetch outcome on
+// purpose — delegation evidence from the final attempt must survive.
+#[allow(clippy::result_large_err)]
+pub fn scan_domain(
+    world: &World,
+    domain: &DomainName,
+    date: SimDate,
+    config: &ScanConfig,
+) -> DomainScan {
     let now = date.at_midnight();
+    let rng = DetRng::new(config.seed).fork(&domain.to_string());
+    let mut attempts = ScanAttempts::default();
 
-    // 1. The `_mta-sts` record.
-    let record = match world.mta_sts_txts(domain, now) {
+    // 1. The `_mta-sts` record, retrying SERVFAIL/timeout shapes.
+    let record_out =
+        config
+            .record_retry
+            .run(&rng, "record", now, dns_error_is_transient, |at, _| {
+                world.mta_sts_txts(domain, at)
+            });
+    attempts.record = StageAttempts {
+        attempts: record_out.attempts,
+        recovered: record_out.recovered(),
+    };
+    let record = match record_out.result {
         Ok(txts) => evaluate_record_set(&txts).map(|r| r.id),
         Err(_) => Err(RecordError::NoRecord),
     };
 
-    // 2. Policy retrieval over HTTPS (full §4.3.3 ladder).
-    let fetch = world.fetch_policy(domain, now);
-    let policy = match fetch.result {
-        Ok((policy, _raw)) => Ok(policy),
-        Err(e) => Err(layer_error(&e)),
+    // 2. Policy retrieval over HTTPS (full §4.3.3 ladder). The whole
+    // outcome travels through the retry loop so delegation evidence from
+    // the final attempt is preserved either way.
+    let policy_out = config.policy_retry.run(
+        &rng,
+        "policy",
+        now,
+        |o: &PolicyFetchOutcome| {
+            o.result
+                .as_ref()
+                .err()
+                .is_some_and(PolicyFetchError::is_transient)
+        },
+        |at, _| {
+            let outcome = world.fetch_policy(domain, at);
+            if outcome.result.is_ok() {
+                Ok(outcome)
+            } else {
+                Err(outcome)
+            }
+        },
+    );
+    attempts.policy = StageAttempts {
+        attempts: policy_out.attempts,
+        recovered: policy_out.recovered(),
+    };
+    let fetch = match policy_out.result {
+        Ok(outcome) | Err(outcome) => outcome,
+    };
+    let policy = match &fetch.result {
+        Ok((policy, _raw)) => Ok(policy.clone()),
+        Err(e) => Err(layer_error(e)),
     };
 
     // 3. MX records and the instrumented SMTP probe (NS records are
-    // collected alongside, §3.1).
-    let mx_records = world.mx_records(domain, now).unwrap_or_default();
-    let ns_records: Vec<DomainName> = world
-        .resolve(domain, RecordType::Ns, now)
+    // collected alongside, §3.1). The MX-record lookup and every per-host
+    // probe count toward the MX stage's attempt budget; a probe that still
+    // tempfails after its last retry is kept with `chain: None`, excluding
+    // the host from certificate analysis rather than miscounting it.
+    let mut mx_stage = StageAttempts::default();
+    let mx_out =
+        config
+            .record_retry
+            .run(&rng, "mx-records", now, dns_error_is_transient, |at, _| {
+                world.mx_records(domain, at)
+            });
+    mx_stage.attempts += mx_out.attempts;
+    mx_stage.recovered |= mx_out.recovered();
+    let mx_records = mx_out.result.unwrap_or_default();
+    let ns_out =
+        config
+            .record_retry
+            .run(&rng, "ns-records", now, dns_error_is_transient, |at, _| {
+                world.resolve(domain, RecordType::Ns, at)
+            });
+    let ns_records: Vec<DomainName> = ns_out
+        .result
         .map(|l| {
             l.records
                 .iter()
@@ -87,7 +211,25 @@ pub fn scan_domain(world: &World, domain: &DomainName, date: SimDate) -> DomainS
     let mx_verdicts: Vec<MxVerdict> = mx_records
         .iter()
         .map(|host| {
-            let probe = world.probe_mx(host, now);
+            let probe_out = config.mx_retry.run(
+                &rng,
+                &format!("mx/{host}"),
+                now,
+                MxProbeOutcome::is_transient_failure,
+                |at, _| {
+                    let probe = world.probe_mx(host, at);
+                    if probe.is_transient_failure() {
+                        Err(probe)
+                    } else {
+                        Ok(probe)
+                    }
+                },
+            );
+            mx_stage.attempts += probe_out.attempts;
+            mx_stage.recovered |= probe_out.recovered();
+            let probe = match probe_out.result {
+                Ok(p) | Err(p) => p,
+            };
             let cert = probe.cert_verdict(host, now, world.pki.trust_store());
             MxVerdict {
                 host: host.clone(),
@@ -97,6 +239,7 @@ pub fn scan_domain(world: &World, domain: &DomainName, date: SimDate) -> DomainS
             }
         })
         .collect();
+    attempts.mx = mx_stage;
 
     // 4. Consistency between mx patterns and MX records (§4.4).
     let mismatches = match &policy {
@@ -117,6 +260,7 @@ pub fn scan_domain(world: &World, domain: &DomainName, date: SimDate) -> DomainS
         ns_records,
         mx_verdicts,
         mismatches,
+        attempts,
     }
 }
 
@@ -127,6 +271,7 @@ pub fn scan_snapshot(
     domains: &[DomainName],
     date: SimDate,
     mut rate: Option<&mut TokenBucket>,
+    config: &ScanConfig,
 ) -> Snapshot {
     let mut now = date.at_midnight();
     let mut scans = Vec::with_capacity(domains.len());
@@ -135,15 +280,8 @@ pub fn scan_snapshot(
         if let Some(bucket) = rate.as_deref_mut() {
             now = bucket.acquire_at(now);
         }
-        let scan = scan_domain(world, domain, date);
-        // Resolve the policy host's address as classification evidence.
-        if let Ok(policy_host) = domain.prefixed(mtasts::POLICY_HOST_LABEL) {
-            if let Ok(lookup) = world.resolve(&policy_host, RecordType::A, now) {
-                if let Some(ip) = lookup.a_addrs().first() {
-                    policy_ips.insert(domain.clone(), *ip);
-                }
-            }
-        }
+        let scan = scan_domain(world, domain, date, config);
+        record_policy_ip(world, domain, now, config, &mut policy_ips);
         scans.push(scan);
     }
     let classifier = EntityClassifier::from_scans(scans.iter(), &policy_ips);
@@ -152,6 +290,31 @@ pub fn scan_snapshot(
         scans,
         policy_ips,
         classifier,
+    }
+}
+
+/// Resolves the policy host's address as classification evidence, retrying
+/// transient DNS failures so flaky resolution doesn't degrade clustering.
+pub(crate) fn record_policy_ip(
+    world: &World,
+    domain: &DomainName,
+    now: netbase::SimInstant,
+    config: &ScanConfig,
+    policy_ips: &mut HashMap<DomainName, Ipv4Addr>,
+) {
+    let Ok(policy_host) = domain.prefixed(mtasts::POLICY_HOST_LABEL) else {
+        return;
+    };
+    let rng = DetRng::new(config.seed).fork(&domain.to_string());
+    let out = config
+        .record_retry
+        .run(&rng, "policy-ip", now, dns_error_is_transient, |at, _| {
+            world.resolve(&policy_host, RecordType::A, at)
+        });
+    if let Ok(lookup) = out.result {
+        if let Some(ip) = lookup.a_addrs().first() {
+            policy_ips.insert(domain.clone(), *ip);
+        }
     }
 }
 
@@ -172,9 +335,8 @@ mod tests {
         let eco = eco();
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
-        let domains: Vec<DomainName> =
-            eco.domains_at(date).map(|d| d.name.clone()).collect();
-        let snapshot = scan_snapshot(&world, &domains, date, None);
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        let snapshot = scan_snapshot(&world, &domains, date, None, &ScanConfig::default());
         assert_eq!(snapshot.len(), domains.len());
 
         // Ground truth from the spec vs measured categories.
@@ -208,9 +370,8 @@ mod tests {
         let eco = eco();
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
-        let domains: Vec<DomainName> =
-            eco.domains_at(date).map(|d| d.name.clone()).collect();
-        let snapshot = scan_snapshot(&world, &domains, date, None);
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        let snapshot = scan_snapshot(&world, &domains, date, None, &ScanConfig::default());
         let misconfigured = snapshot
             .scans
             .iter()
@@ -238,9 +399,8 @@ mod tests {
         let eco = Ecosystem::generate(EcosystemConfig::paper(11, 0.25));
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
-        let domains: Vec<DomainName> =
-            eco.domains_at(date).map(|d| d.name.clone()).collect();
-        let snapshot = scan_snapshot(&world, &domains, date, None);
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+        let snapshot = scan_snapshot(&world, &domains, date, None, &ScanConfig::default());
 
         let mut policy_ok = 0usize;
         let mut policy_total = 0usize;
@@ -290,7 +450,9 @@ mod tests {
         let mut dns_total = 0usize;
         for spec in eco.domains_at(date) {
             let scan = snapshot.scan_of(&spec.name).unwrap();
-            let got = snapshot.classifier.classify_dns(&spec.name, &scan.ns_records);
+            let got = snapshot
+                .classifier
+                .classify_dns(&spec.name, &scan.ns_records);
             if spec.dns_self_hosted {
                 dns_total += 1;
                 if got == EntityClass::SelfManaged {
@@ -316,6 +478,70 @@ mod tests {
     }
 
     #[test]
+    fn layer_error_maps_every_fetch_error_shape() {
+        use crate::taxonomy::PolicyLayer;
+        use mtasts::PolicyError;
+        use pkix::CertError;
+        use simnet::TlsFailure;
+
+        // Non-TLS layers never carry a certificate error.
+        let cases = [
+            (
+                PolicyFetchError::Dns("no A records".into()),
+                PolicyLayer::Dns,
+            ),
+            (PolicyFetchError::Tcp("refused".into()), PolicyLayer::Tcp),
+            (PolicyFetchError::Http(404), PolicyLayer::Http),
+            (PolicyFetchError::Http(503), PolicyLayer::Http),
+            (
+                PolicyFetchError::Syntax(PolicyError::EmptyDocument),
+                PolicyLayer::Syntax,
+            ),
+            (
+                PolicyFetchError::Syntax(PolicyError::InvalidMxPattern {
+                    pattern: "*.*.a".into(),
+                    why: "nested wildcard".into(),
+                }),
+                PolicyLayer::Syntax,
+            ),
+            (
+                PolicyFetchError::Tls(TlsFailure::Handshake("alert".into())),
+                PolicyLayer::Tls,
+            ),
+        ];
+        for (error, want_layer) in cases {
+            let mapped = layer_error(&error);
+            assert_eq!(mapped.layer, want_layer, "{error:?}");
+            assert_eq!(mapped.cert_error, None, "{error:?}");
+            assert_eq!(mapped.detail, error.to_string());
+        }
+
+        // TLS certificate failures: every variant surfaces its cert error.
+        let cert_errors = vec![
+            CertError::NoCertificate,
+            CertError::Expired,
+            CertError::NotYetValid,
+            CertError::SelfSigned,
+            CertError::UnknownIssuer,
+            CertError::BadSignature,
+            CertError::NotACa,
+            CertError::IntermediateExpired,
+            CertError::NameMismatch {
+                wanted: "mta-sts.a.com".parse().unwrap(),
+                presented: vec!["shared.host.net".into()],
+            },
+            CertError::BrokenChain,
+        ];
+        for cert in cert_errors {
+            let error = PolicyFetchError::Tls(TlsFailure::Cert(cert.clone()));
+            let mapped = layer_error(&error);
+            assert_eq!(mapped.layer, PolicyLayer::Tls, "{cert:?}");
+            assert_eq!(mapped.cert_error, Some(cert.clone()), "{cert:?}");
+            assert_eq!(mapped.detail, error.to_string());
+        }
+    }
+
+    #[test]
     fn rate_limited_scan_advances_time() {
         let eco = eco();
         let date = SimDate::ymd(2024, 9, 29);
@@ -327,7 +553,13 @@ mod tests {
             .collect();
         let mut bucket = TokenBucket::new(10.0, 1, date.at_midnight());
         let t0 = SimInstant::from_unix_secs(date.at_midnight().unix_secs());
-        let snapshot = scan_snapshot(&world, &domains, date, Some(&mut bucket));
+        let snapshot = scan_snapshot(
+            &world,
+            &domains,
+            date,
+            Some(&mut bucket),
+            &ScanConfig::default(),
+        );
         assert_eq!(snapshot.len(), 30);
         // The bucket forced simulated time forward.
         let after = bucket.acquire_at(t0);

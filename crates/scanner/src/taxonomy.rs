@@ -3,11 +3,11 @@
 use mtasts::{MismatchKind, Mode, Policy, RecordError};
 use netbase::{DomainName, SimDate};
 use pkix::CertError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simnet::PolicyFetchError;
 
 /// The layer a policy-retrieval failure occurred at (Figure 5's series).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PolicyLayer {
     /// Policy host unresolvable.
     Dns,
@@ -46,7 +46,7 @@ impl PolicyLayer {
 }
 
 /// Per-MX probe verdict (§4.3.4, Figure 6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MxVerdict {
     /// The MX hostname.
     pub host: DomainName,
@@ -73,7 +73,7 @@ impl MxVerdict {
 }
 
 /// The aggregated misconfiguration categories of Figure 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum MisconfigCategory {
     /// Invalid `_mta-sts` record.
     DnsRecord,
@@ -106,8 +106,69 @@ impl MisconfigCategory {
     }
 }
 
+/// Attempt accounting for one scan stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageAttempts {
+    /// Attempts made (≥ 1 once the stage ran; 0 = stage skipped).
+    pub attempts: u32,
+    /// Whether a transient failure was observed and retried away.
+    pub recovered: bool,
+}
+
+impl StageAttempts {
+    /// A stage that succeeded (or failed persistently) on its first try.
+    pub fn clean() -> StageAttempts {
+        StageAttempts {
+            attempts: 1,
+            recovered: false,
+        }
+    }
+}
+
+/// Per-stage attempt accounting for a whole domain scan — the evidence the
+/// supervisor's degradation report aggregates, and the hook that keeps the
+/// misconfiguration statistics honest: a failure that a retry recovered
+/// never reaches the taxonomy, so only *persistent* errors are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScanAttempts {
+    /// The `_mta-sts` TXT lookup.
+    pub record: StageAttempts,
+    /// The HTTPS policy fetch.
+    pub policy: StageAttempts,
+    /// The SMTP MX probes (attempts summed over hosts; `recovered` if any
+    /// host recovered).
+    pub mx: StageAttempts,
+}
+
+impl ScanAttempts {
+    /// A scan where every stage went through on the first try.
+    pub fn clean() -> ScanAttempts {
+        ScanAttempts {
+            record: StageAttempts::clean(),
+            policy: StageAttempts::clean(),
+            mx: StageAttempts::clean(),
+        }
+    }
+
+    /// Retries issued beyond each stage's first attempt.
+    pub fn retries_issued(&self) -> u32 {
+        [self.record, self.policy, self.mx]
+            .iter()
+            .map(|s| s.attempts.saturating_sub(1))
+            .sum()
+    }
+
+    /// Stages that saw a transient failure and recovered.
+    pub fn recovered_count(&self) -> u32 {
+        [self.record, self.policy, self.mx]
+            .iter()
+            .filter(|s| s.recovered)
+            .count() as u32
+    }
+}
+
 /// One domain's full-component scan result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DomainScan {
     /// The scanned domain.
     pub domain: DomainName,
@@ -128,10 +189,12 @@ pub struct DomainScan {
     /// Mismatch classes per non-matching pattern (empty when consistent
     /// or no policy).
     pub mismatches: Vec<(String, MismatchKind)>,
+    /// Per-stage attempt accounting (all-1s under a single-shot config).
+    pub attempts: ScanAttempts,
 }
 
 /// A layered policy error with its detail string.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PolicyLayerError {
     /// The layer.
     pub layer: PolicyLayer,
@@ -261,6 +324,7 @@ mod tests {
                 cert: Some(Ok(())),
             }],
             mismatches: vec![],
+            attempts: ScanAttempts::clean(),
         }
     }
 

@@ -49,7 +49,7 @@ impl SenderStats {
         let total: u64 = self.operator_interactions.values().sum();
         let top: u64 = ["outlook.com", "google.com", "top10-other"]
             .iter()
-            .filter_map(|k| self.operator_interactions.get(**&k).copied())
+            .filter_map(|k| self.operator_interactions.get(*k).copied())
             .sum();
         top as f64 / total.max(1) as f64
     }
@@ -95,7 +95,9 @@ pub fn analyze(records: &[TestRecord]) -> SenderStats {
             }
             TestCase::MtaStsValid => {}
         }
-        *operator_interactions.entry(r.operator.to_string()).or_default() += 1;
+        *operator_interactions
+            .entry(r.operator.to_string())
+            .or_default() += 1;
     }
 
     let mut stats = SenderStats {
@@ -179,7 +181,11 @@ mod tests {
         let prefer = stats.prefer_mtasts as f64 / stats.senders as f64;
         assert!((0.02..0.035).contains(&prefer), "{prefer}");
         // PKIX-always ≈ 31 senders (1.3%).
-        assert!((25..=40).contains(&(stats.pkix_always as i64)), "{}", stats.pkix_always);
+        assert!(
+            (25..=40).contains(&(stats.pkix_always as i64)),
+            "{}",
+            stats.pkix_always
+        );
         // Top-10 operator concentration ≈ 60.7%.
         let top10 = stats.top10_share();
         assert!((0.55..0.66).contains(&top10), "{top10}");

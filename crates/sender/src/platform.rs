@@ -177,9 +177,8 @@ impl Platform {
         let mut tls_used = starttls && profile.tls != TlsSupport::None;
         let mut validated = false;
 
-        let dane_decision = |verdict: &Result<danelite::CertUsage, danelite::DaneError>| {
-            verdict.is_ok()
-        };
+        let dane_decision =
+            |verdict: &Result<danelite::CertUsage, danelite::DaneError>| verdict.is_ok();
 
         match profile.tls {
             TlsSupport::None => {
@@ -264,10 +263,14 @@ fn install_case(world: &World, case: TestCase, now: SimInstant) {
     // The MX endpoint + certificate per case.
     let chain = match case {
         TestCase::MtaStsValid | TestCase::Conflict => {
-            world.pki.issue(&CertKind::Valid, &[mx_host.clone()], now)
+            world
+                .pki
+                .issue(&CertKind::Valid, std::slice::from_ref(&mx_host), now)
         }
         TestCase::MtaStsBrokenCert | TestCase::DaneOnly => {
-            world.pki.issue(&CertKind::SelfSigned, &[mx_host.clone()], now)
+            world
+                .pki
+                .issue(&CertKind::SelfSigned, std::slice::from_ref(&mx_host), now)
         }
         TestCase::Plaintext => Vec::new(),
     };
@@ -297,7 +300,9 @@ fn install_case(world: &World, case: TestCase, now: SimInstant) {
         let mut web = WebEndpoint::up();
         web.install_chain(
             policy_host.clone(),
-            world.pki.issue(&CertKind::Valid, &[policy_host.clone()], now),
+            world
+                .pki
+                .issue(&CertKind::Valid, std::slice::from_ref(&policy_host), now),
         );
         web.install_policy(
             policy_host.clone(),
@@ -323,7 +328,7 @@ fn install_case(world: &World, case: TestCase, now: SimInstant) {
             world.set_dnssec(&domain, true);
             let decoy = world
                 .pki
-                .issue(&CertKind::SelfSigned, &[mx_host.clone()], now);
+                .issue(&CertKind::SelfSigned, std::slice::from_ref(&mx_host), now);
             let tlsa = tlsa_for_cert(&decoy[0]);
             world.with_zone(&domain, |z| {
                 z.add_rr(&danelite::tlsa_name(&mx_host), 300, RecordData::Tlsa(tlsa));
@@ -342,12 +347,7 @@ mod tests {
         Platform::new(SimDate::ymd(2024, 6, 1))
     }
 
-    fn profile(
-        tls: TlsSupport,
-        mtasts: bool,
-        dane: bool,
-        prefer: bool,
-    ) -> SenderProfile {
+    fn profile(tls: TlsSupport, mtasts: bool, dane: bool, prefer: bool) -> SenderProfile {
         SenderProfile {
             domain: "sender.example".parse().unwrap(),
             tls,

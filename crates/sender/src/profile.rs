@@ -90,10 +90,8 @@ impl SenderPopulation {
                     .parse()
                     .expect("generated names are valid");
                 let operator = {
-                    let weights: Vec<f64> = calib::OPERATOR_WEIGHTS
-                        .iter()
-                        .map(|(_, w)| *w)
-                        .collect();
+                    let weights: Vec<f64> =
+                        calib::OPERATOR_WEIGHTS.iter().map(|(_, w)| *w).collect();
                     let idx = root
                         .fork(&format!("op/{i}"))
                         .weighted_index("operator", &weights);

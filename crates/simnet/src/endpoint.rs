@@ -72,6 +72,9 @@ pub struct WebEndpoint {
     pub default_chain: Option<Vec<pkix::SimCert>>,
     /// Documents by `(host, path)`: `(status, body)`.
     pub documents: HashMap<(DomainName, String), (u16, String)>,
+    /// Transient-fault schedule (empty by default). Consulted by the fast
+    /// path only; the wire deployment serves the static behaviour.
+    pub faults: crate::faults::FaultSchedule,
 }
 
 impl WebEndpoint {
@@ -145,6 +148,9 @@ pub struct MxEndpoint {
     pub helo_only: bool,
     /// Recipient domains rejected with 550 (provider opt-out residue, §5).
     pub reject_rcpt_domains: Vec<DomainName>,
+    /// Transient-fault schedule (empty by default). Consulted by the fast
+    /// path only; the wire deployment serves the static behaviour.
+    pub faults: crate::faults::FaultSchedule,
 }
 
 impl MxEndpoint {
@@ -158,6 +164,7 @@ impl MxEndpoint {
             hide_starttls: false,
             helo_only: false,
             reject_rcpt_domains: Vec::new(),
+            faults: crate::faults::FaultSchedule::default(),
         }
     }
 
@@ -171,6 +178,7 @@ impl MxEndpoint {
             hide_starttls: false,
             helo_only: false,
             reject_rcpt_domains: Vec::new(),
+            faults: crate::faults::FaultSchedule::default(),
         }
     }
 }
@@ -212,8 +220,13 @@ mod tests {
     #[test]
     fn web_endpoint_documents() {
         let mut ep = WebEndpoint::up();
-        ep.install_policy(n("mta-sts.alpha.com"), "version: STSv1\nmode: none\nmax_age: 60\n");
-        assert!(ep.document(&n("mta-sts.alpha.com"), mtasts::WELL_KNOWN_PATH).is_some());
+        ep.install_policy(
+            n("mta-sts.alpha.com"),
+            "version: STSv1\nmode: none\nmax_age: 60\n",
+        );
+        assert!(ep
+            .document(&n("mta-sts.alpha.com"), mtasts::WELL_KNOWN_PATH)
+            .is_some());
         assert!(ep.document(&n("mta-sts.alpha.com"), "/other").is_none());
         assert!(ep.remove_policy(&n("mta-sts.alpha.com")));
         assert!(!ep.remove_policy(&n("mta-sts.alpha.com")));

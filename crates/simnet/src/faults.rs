@@ -1,0 +1,318 @@
+//! Transient-fault injection: the flaky-Internet layer.
+//!
+//! The static fault palette ([`crate::endpoint::Reachability`],
+//! [`crate::endpoint::CertKind`], …) models *persistent*
+//! misconfigurations — what the paper's taxonomy ultimately counts. Real
+//! scans additionally see *transient* failures (intermittent SERVFAIL,
+//! connection resets, greylisting 4xx) that must be retried away before
+//! classification, or misconfiguration rates inflate. A [`FaultSchedule`]
+//! injects exactly those: windowed outages and per-operation probabilistic
+//! failures, fully deterministic from a seed.
+//!
+//! Determinism contract: a draw is keyed on `(seed, scope, kind, instant)`.
+//! The same operation at the same simulated instant always sees the same
+//! fault decision, while a *retry at a later instant* re-draws — which is
+//! what lets retried scans recover from probabilistic transients, and what
+//! keeps an interrupted-and-resumed supervisor run byte-identical to an
+//! uninterrupted one.
+
+use netbase::{DetRng, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// The transient failure modes the schedule can inject, mirroring the
+/// layers of the §4.3.3 fetch ladder plus the SMTP session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// DNS answers SERVFAIL (upstream resolver/authority hiccup).
+    DnsServfail,
+    /// DNS query dropped: the resolver times out.
+    DnsDrop,
+    /// TCP connection reset by peer.
+    TcpReset,
+    /// TLS connection torn down mid-handshake.
+    TlsHandshakeAbort,
+    /// HTTP 503 from an overloaded policy host.
+    HttpServerError,
+    /// SMTP 450 greylisting tempfail.
+    SmtpGreylist,
+}
+
+/// The protocol stage a fault fires at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultStage {
+    /// Name resolution.
+    Dns,
+    /// TCP connect.
+    Tcp,
+    /// TLS handshake.
+    Tls,
+    /// HTTP request/response.
+    Http,
+    /// SMTP session.
+    Smtp,
+}
+
+impl FaultKind {
+    /// The stage this fault fires at.
+    pub fn stage(self) -> FaultStage {
+        match self {
+            FaultKind::DnsServfail | FaultKind::DnsDrop => FaultStage::Dns,
+            FaultKind::TcpReset => FaultStage::Tcp,
+            FaultKind::TlsHandshakeAbort => FaultStage::Tls,
+            FaultKind::HttpServerError => FaultStage::Http,
+            FaultKind::SmtpGreylist => FaultStage::Smtp,
+        }
+    }
+
+    /// Stable label used in RNG derivation (renaming a variant must not
+    /// silently reshuffle every experiment, so the label is explicit).
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::DnsServfail => "dns-servfail",
+            FaultKind::DnsDrop => "dns-drop",
+            FaultKind::TcpReset => "tcp-reset",
+            FaultKind::TlsHandshakeAbort => "tls-abort",
+            FaultKind::HttpServerError => "http-5xx",
+            FaultKind::SmtpGreylist => "smtp-greylist",
+        }
+    }
+}
+
+/// A deterministic outage window: `kind` fires on every matching operation
+/// with `start <= now < end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// The injected failure mode.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub start: SimInstant,
+    /// Window end (exclusive).
+    pub end: SimInstant,
+}
+
+impl FaultWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: SimInstant) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A per-endpoint (or per-resolver) transient-fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed for probabilistic draws.
+    seed: u64,
+    /// Deterministic outage windows.
+    windows: Vec<FaultWindow>,
+    /// Per-operation failure probabilities.
+    rates: Vec<(FaultKind, f64)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (never faults) rooted at `seed`.
+    pub fn new(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            windows: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    /// Adds an outage window.
+    pub fn with_window(mut self, kind: FaultKind, start: SimInstant, end: SimInstant) -> Self {
+        assert!(start <= end, "window must not be inverted");
+        self.windows.push(FaultWindow { kind, start, end });
+        self
+    }
+
+    /// Adds a probabilistic failure mode firing on each operation with
+    /// probability `rate`.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range: {rate}");
+        self.rates.push((kind, rate));
+        self
+    }
+
+    /// Whether the schedule can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.rates.iter().all(|(_, r)| *r == 0.0)
+    }
+
+    /// The fault (if any) affecting an operation at `stage` on behalf of
+    /// `scope` (a stable operation key, e.g. `"dns/mta-sts.a.com/A"`) at
+    /// simulated time `now`. Windows take precedence over probabilistic
+    /// draws; among overlapping windows the earliest added wins.
+    pub fn sample(&self, stage: FaultStage, scope: &str, now: SimInstant) -> Option<FaultKind> {
+        for w in &self.windows {
+            if w.kind.stage() == stage && w.contains(now) {
+                return Some(w.kind);
+            }
+        }
+        let rng = DetRng::new(self.seed).fork(scope);
+        for (kind, rate) in &self.rates {
+            if kind.stage() != stage {
+                continue;
+            }
+            if *rate > 0.0
+                && rng
+                    .fork(kind.label())
+                    .chance(&format!("t/{}", now.unix_secs()), *rate)
+            {
+                return Some(*kind);
+            }
+        }
+        None
+    }
+}
+
+/// Blanket transient rates for a whole [`crate::World`] — the knob the
+/// validation experiment turns (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientFaultConfig {
+    /// Root seed for all fault draws.
+    pub seed: u64,
+    /// Per-lookup DNS SERVFAIL probability.
+    pub dns_servfail: f64,
+    /// Per-connect TCP reset probability (policy hosts).
+    pub tcp_reset: f64,
+    /// Per-handshake TLS abort probability (policy hosts).
+    pub tls_abort: f64,
+    /// Per-request HTTP 503 probability (policy hosts).
+    pub http_5xx: f64,
+    /// Per-session SMTP greylisting probability (MX hosts).
+    pub smtp_greylist: f64,
+}
+
+impl TransientFaultConfig {
+    /// A uniform configuration: every stage faults with probability `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> TransientFaultConfig {
+        TransientFaultConfig {
+            seed,
+            dns_servfail: rate,
+            tcp_reset: rate,
+            tls_abort: rate,
+            http_5xx: rate,
+            smtp_greylist: rate,
+        }
+    }
+
+    /// The schedule for the resolver path.
+    pub fn dns_schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(self.seed).with_rate(FaultKind::DnsServfail, self.dns_servfail)
+    }
+
+    /// The schedule for one policy web endpoint.
+    pub fn web_schedule(&self, seed_offset: u64) -> FaultSchedule {
+        FaultSchedule::new(self.seed.wrapping_add(seed_offset))
+            .with_rate(FaultKind::TcpReset, self.tcp_reset)
+            .with_rate(FaultKind::TlsHandshakeAbort, self.tls_abort)
+            .with_rate(FaultKind::HttpServerError, self.http_5xx)
+    }
+
+    /// The schedule for one MX endpoint.
+    pub fn mx_schedule(&self, seed_offset: u64) -> FaultSchedule {
+        FaultSchedule::new(self.seed.wrapping_add(seed_offset))
+            .with_rate(FaultKind::SmtpGreylist, self.smtp_greylist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::{Duration, SimDate};
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    #[test]
+    fn empty_schedule_never_fires() {
+        let s = FaultSchedule::new(1);
+        assert!(s.is_empty());
+        for i in 0..100 {
+            let now = t0() + Duration::seconds(i);
+            assert_eq!(s.sample(FaultStage::Dns, "dns/x/A", now), None);
+        }
+    }
+
+    #[test]
+    fn window_fires_inside_only() {
+        let s = FaultSchedule::new(1).with_window(
+            FaultKind::TcpReset,
+            t0() + Duration::seconds(10),
+            t0() + Duration::seconds(20),
+        );
+        assert_eq!(s.sample(FaultStage::Tcp, "web/1", t0()), None);
+        let inside = t0() + Duration::seconds(15);
+        assert_eq!(
+            s.sample(FaultStage::Tcp, "web/1", inside),
+            Some(FaultKind::TcpReset)
+        );
+        // Stage-filtered: the window does not leak into other stages.
+        assert_eq!(s.sample(FaultStage::Http, "web/1", inside), None);
+        let after = t0() + Duration::seconds(20);
+        assert_eq!(s.sample(FaultStage::Tcp, "web/1", after), None);
+    }
+
+    #[test]
+    fn probabilistic_draws_are_deterministic_and_time_keyed() {
+        let s = FaultSchedule::new(7).with_rate(FaultKind::DnsServfail, 0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|i| {
+                s.sample(FaultStage::Dns, "dns/x/A", t0() + Duration::seconds(i))
+                    .is_some()
+            })
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| {
+                s.sample(FaultStage::Dns, "dns/x/A", t0() + Duration::seconds(i))
+                    .is_some()
+            })
+            .collect();
+        assert_eq!(a, b, "same (scope, instant) must redraw identically");
+        // A retry at a later instant is a fresh draw: at rate 0.5 over 64
+        // instants both outcomes must occur.
+        assert!(a.iter().any(|x| *x) && a.iter().any(|x| !*x), "{a:?}");
+    }
+
+    #[test]
+    fn scopes_are_independent() {
+        let s = FaultSchedule::new(7).with_rate(FaultKind::DnsServfail, 0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|i| {
+                s.sample(FaultStage::Dns, "dns/a/A", t0() + Duration::seconds(i))
+                    .is_some()
+            })
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| {
+                s.sample(FaultStage::Dns, "dns/b/A", t0() + Duration::seconds(i))
+                    .is_some()
+            })
+            .collect();
+        assert_ne!(a, b, "different scopes must draw independent streams");
+    }
+
+    #[test]
+    fn rates_are_calibrated() {
+        let s = FaultSchedule::new(3).with_rate(FaultKind::SmtpGreylist, 0.2);
+        let hits = (0..10_000)
+            .filter(|i| {
+                s.sample(FaultStage::Smtp, "mx/1", t0() + Duration::seconds(*i))
+                    .is_some()
+            })
+            .count();
+        // Binomial(10_000, 0.2): mean 2000, sd = 40. Allow ±5 sd.
+        assert!((1800..=2200).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn uniform_config_builds_stage_schedules() {
+        let cfg = TransientFaultConfig::uniform(11, 0.1);
+        assert!(!cfg.dns_schedule().is_empty());
+        assert!(!cfg.web_schedule(1).is_empty());
+        assert!(!cfg.mx_schedule(2).is_empty());
+        // Different seed offsets decorrelate endpoints.
+        assert_ne!(cfg.web_schedule(1), cfg.web_schedule(2));
+    }
+}

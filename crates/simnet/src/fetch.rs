@@ -7,6 +7,7 @@
 //! differential tests in `tests/` assert agreement.
 
 use crate::endpoint::{Reachability, TlsBehavior};
+use crate::faults::FaultStage;
 use crate::world::World;
 use dns::RecordType;
 use mtasts::{parse_policy, Policy, PolicyError};
@@ -59,6 +60,35 @@ impl PolicyFetchError {
             PolicyFetchError::Syntax(_) => "policy-syntax",
         }
     }
+
+    /// Whether this failure shape is worth retrying — the same judgment a
+    /// production scanner makes from the error it observed: server
+    /// failures, timeouts, resets and 5xx are plausibly transient; NXDOMAIN,
+    /// refused connections, certificate and syntax errors are not. A
+    /// *static* fault that happens to look transient (e.g. a permanently
+    /// dropped port) simply exhausts its retries and is still classified
+    /// persistent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PolicyFetchError::Dns(msg) => {
+                msg.contains("server failure") || msg.contains("timed out")
+            }
+            PolicyFetchError::Tcp(msg) => msg.contains("reset") || msg.contains("timeout"),
+            PolicyFetchError::Tls(TlsFailure::Handshake(msg)) => msg.contains("reset"),
+            PolicyFetchError::Tls(TlsFailure::Cert(_)) => false,
+            PolicyFetchError::Http(status) => *status >= 500,
+            PolicyFetchError::Syntax(_) => false,
+        }
+    }
+}
+
+/// Whether a raw DNS error is worth retrying (SERVFAIL, timeouts and
+/// transport hiccups are; NXDOMAIN and malformed answers are not).
+pub fn dns_error_is_transient(e: &dns::DnsError) -> bool {
+    matches!(
+        e,
+        dns::DnsError::ServFail(_) | dns::DnsError::Timeout | dns::DnsError::Transport(_)
+    )
 }
 
 impl fmt::Display for PolicyFetchError {
@@ -108,6 +138,9 @@ pub struct MxProbeOutcome {
     pub chain: Option<Vec<SimCert>>,
     /// A handshake-level failure description, if the upgrade broke.
     pub tls_failure: Option<String>,
+    /// A 4xx tempfail reply (greylisting), if the session was deferred.
+    /// Definitionally transient: the server asked the client to come back.
+    pub tempfail: Option<String>,
 }
 
 impl MxProbeOutcome {
@@ -119,7 +152,14 @@ impl MxProbeOutcome {
             starttls_offered: false,
             chain: None,
             tls_failure: None,
+            tempfail: None,
         }
+    }
+
+    /// Whether the probe failed in a plausibly transient way (host down or
+    /// session deferred) and is worth retrying.
+    pub fn is_transient_failure(&self) -> bool {
+        !self.reachable || self.tempfail.is_some()
     }
 
     /// Validates the presented chain for `host`; `None` when no chain was
@@ -186,6 +226,20 @@ impl World {
                 result: Err(PolicyFetchError::Tcp(format!("connection refused to {ip}"))),
             };
         };
+        let fault_scope = format!("web/{ip}");
+        if endpoint
+            .faults
+            .sample(FaultStage::Tcp, &fault_scope, now)
+            .is_some()
+        {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: None,
+                result: Err(PolicyFetchError::Tcp(format!(
+                    "connection reset by peer at {ip}"
+                ))),
+            };
+        }
         match endpoint.reachability {
             Reachability::Up => {}
             Reachability::Refused => {
@@ -206,6 +260,19 @@ impl World {
 
         // Layer 3: TLS. SNI and Host stay `mta-sts.<domain>` even through
         // CNAME delegation (RFC 8461 §3.3).
+        if endpoint
+            .faults
+            .sample(FaultStage::Tls, &fault_scope, now)
+            .is_some()
+        {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: None,
+                result: Err(PolicyFetchError::Tls(TlsFailure::Handshake(
+                    "connection reset during handshake".to_string(),
+                ))),
+            };
+        }
         match endpoint.tls_behavior {
             TlsBehavior::Normal => {}
             TlsBehavior::Refuse => {
@@ -227,7 +294,10 @@ impl World {
                 }
             }
         }
-        let chain = endpoint.select_chain(&policy_host).cloned().unwrap_or_default();
+        let chain = endpoint
+            .select_chain(&policy_host)
+            .cloned()
+            .unwrap_or_default();
         if let Err(e) = validate_chain(&chain, &policy_host, now, self.pki.trust_store()) {
             return PolicyFetchOutcome {
                 cname_chain,
@@ -237,6 +307,17 @@ impl World {
         }
 
         // Layer 4: HTTP.
+        if endpoint
+            .faults
+            .sample(FaultStage::Http, &fault_scope, now)
+            .is_some()
+        {
+            return PolicyFetchOutcome {
+                cname_chain,
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Http(503)),
+            };
+        }
         let doc = endpoint
             .document(&policy_host, mtasts::WELL_KNOWN_PATH)
             .cloned();
@@ -281,6 +362,28 @@ impl World {
         if endpoint.reachability != Reachability::Up {
             return MxProbeOutcome::unreachable();
         }
+        let fault_scope = format!("mx/{ip}");
+        if endpoint
+            .faults
+            .sample(FaultStage::Tcp, &fault_scope, now)
+            .is_some()
+        {
+            return MxProbeOutcome::unreachable();
+        }
+        if endpoint
+            .faults
+            .sample(FaultStage::Smtp, &fault_scope, now)
+            .is_some()
+        {
+            return MxProbeOutcome {
+                reachable: true,
+                used_helo: false,
+                starttls_offered: false,
+                chain: None,
+                tls_failure: None,
+                tempfail: Some("450 4.7.0 greylisted, try again later".to_string()),
+            };
+        }
         let used_helo = endpoint.helo_only;
         let starttls_offered = endpoint.starttls && !endpoint.hide_starttls && !endpoint.helo_only;
         if !starttls_offered {
@@ -290,6 +393,7 @@ impl World {
                 starttls_offered,
                 chain: None,
                 tls_failure: None,
+                tempfail: None,
             };
         }
         MxProbeOutcome {
@@ -298,6 +402,7 @@ impl World {
             starttls_offered,
             chain: Some(endpoint.chain.clone()),
             tls_failure: None,
+            tempfail: None,
         }
     }
 }
@@ -326,7 +431,10 @@ mod tests {
         w.ensure_zone(&n("example.com"));
         let policy_host = n("mta-sts.example.com");
         let mut web = WebEndpoint::up();
-        web.install_chain(policy_host.clone(), w.pki.issue_valid(&[policy_host.clone()], now()));
+        web.install_chain(
+            policy_host.clone(),
+            w.pki.issue_valid(std::slice::from_ref(&policy_host), now()),
+        );
         web.install_policy(policy_host.clone(), GOOD_POLICY);
         let web_ip = w.add_web_endpoint(web);
         let mx_chain = w.pki.issue_valid(&[n("mx.example.com")], now());
@@ -393,7 +501,9 @@ mod tests {
         let ip = w.web_ips()[0];
         let host = n("mta-sts.example.com");
         // Swap in an expired certificate.
-        let expired = w.pki.issue(&CertKind::Expired, &[host.clone()], now());
+        let expired = w
+            .pki
+            .issue(&CertKind::Expired, std::slice::from_ref(&host), now());
         w.with_web(ip, |ep| ep.install_chain(host.clone(), expired));
         let outcome = w.fetch_policy(&n("example.com"), now());
         assert_eq!(
@@ -414,7 +524,9 @@ mod tests {
         let outcome = w.fetch_policy(&n("example.com"), now());
         assert_eq!(
             outcome.result,
-            Err(PolicyFetchError::Tls(TlsFailure::Cert(CertError::NoCertificate)))
+            Err(PolicyFetchError::Tls(TlsFailure::Cert(
+                CertError::NoCertificate
+            )))
         );
     }
 
@@ -459,7 +571,10 @@ mod tests {
         // provider.net zone exists but the target name does not → NXDOMAIN.
         let outcome = w.fetch_policy(&n("customer.com"), now());
         assert!(matches!(outcome.result, Err(PolicyFetchError::Dns(_))));
-        assert_eq!(outcome.cname_chain, vec![n("customer-com.mta-sts.provider.net")]);
+        assert_eq!(
+            outcome.cname_chain,
+            vec![n("customer-com.mta-sts.provider.net")]
+        );
     }
 
     #[test]
@@ -471,6 +586,187 @@ mod tests {
             .cert_verdict(&n("mx.example.com"), now(), w.pki.trust_store())
             .unwrap();
         assert_eq!(verdict, Ok(()));
+    }
+
+    /// Every `CertError` variant (must stay exhaustive: adding a variant
+    /// without updating this table is a compile-time `match` error in
+    /// `all_cert_errors`' sibling tests below).
+    fn all_cert_errors() -> Vec<CertError> {
+        vec![
+            CertError::NoCertificate,
+            CertError::Expired,
+            CertError::NotYetValid,
+            CertError::SelfSigned,
+            CertError::UnknownIssuer,
+            CertError::BadSignature,
+            CertError::NotACa,
+            CertError::IntermediateExpired,
+            CertError::NameMismatch {
+                wanted: n("mta-sts.a.com"),
+                presented: vec!["shared.host.net".into()],
+            },
+            CertError::BrokenChain,
+        ]
+    }
+
+    /// Every `PolicyError` variant.
+    fn all_policy_errors() -> Vec<PolicyError> {
+        vec![
+            PolicyError::EmptyDocument,
+            PolicyError::MalformedLine("junk".into()),
+            PolicyError::MissingVersion,
+            PolicyError::WrongVersion("STSv2".into()),
+            PolicyError::MissingMode,
+            PolicyError::InvalidMode("panic".into()),
+            PolicyError::MissingMaxAge,
+            PolicyError::InvalidMaxAge("-1".into()),
+            PolicyError::MissingMx,
+            PolicyError::InvalidMxPattern {
+                pattern: "*.*.a".into(),
+                why: "nested wildcard".into(),
+            },
+            PolicyError::DuplicateKey("mode".into()),
+        ]
+    }
+
+    #[test]
+    fn layer_is_exhaustive_over_every_error_shape() {
+        // DNS / TCP / HTTP.
+        assert_eq!(PolicyFetchError::Dns("no A records".into()).layer(), "dns");
+        assert_eq!(PolicyFetchError::Tcp("refused".into()).layer(), "tcp");
+        for status in [301, 403, 404, 500, 503] {
+            assert_eq!(PolicyFetchError::Http(status).layer(), "http");
+        }
+        // TLS: handshake and every certificate variant.
+        assert_eq!(
+            PolicyFetchError::Tls(TlsFailure::Handshake("alert".into())).layer(),
+            "tls"
+        );
+        for cert in all_cert_errors() {
+            assert_eq!(PolicyFetchError::Tls(TlsFailure::Cert(cert)).layer(), "tls");
+        }
+        // Syntax: every policy-error variant.
+        for e in all_policy_errors() {
+            assert_eq!(PolicyFetchError::Syntax(e).layer(), "policy-syntax");
+        }
+    }
+
+    #[test]
+    fn transient_classification_over_every_error_shape() {
+        // DNS: only failure shapes a resolver could emit transiently.
+        assert!(PolicyFetchError::Dns("server failure (ServFail)".into()).is_transient());
+        assert!(PolicyFetchError::Dns("query timed out".into()).is_transient());
+        assert!(!PolicyFetchError::Dns("NXDOMAIN".into()).is_transient());
+        assert!(!PolicyFetchError::Dns("no A records".into()).is_transient());
+        // TCP: resets and timeouts, not refusals.
+        assert!(
+            PolicyFetchError::Tcp("connection reset by peer at 10.0.0.1".into()).is_transient()
+        );
+        assert!(PolicyFetchError::Tcp("connect timeout to 10.0.0.1".into()).is_transient());
+        assert!(!PolicyFetchError::Tcp("connection refused to 10.0.0.1".into()).is_transient());
+        // TLS: a torn-down handshake may recover; alerts and every
+        // certificate error are configuration, not weather.
+        assert!(PolicyFetchError::Tls(TlsFailure::Handshake(
+            "connection reset during handshake".into()
+        ))
+        .is_transient());
+        assert!(
+            !PolicyFetchError::Tls(TlsFailure::Handshake("handshake_failure alert".into()))
+                .is_transient()
+        );
+        for cert in all_cert_errors() {
+            assert!(
+                !PolicyFetchError::Tls(TlsFailure::Cert(cert.clone())).is_transient(),
+                "{cert:?} must be persistent"
+            );
+        }
+        // HTTP: the server-error range only.
+        for status in [500, 502, 503, 599] {
+            assert!(PolicyFetchError::Http(status).is_transient(), "{status}");
+        }
+        for status in [200, 301, 403, 404, 451, 499] {
+            assert!(!PolicyFetchError::Http(status).is_transient(), "{status}");
+        }
+        // Syntax: never transient.
+        for e in all_policy_errors() {
+            assert!(!PolicyFetchError::Syntax(e.clone()).is_transient(), "{e:?}");
+        }
+        // Raw DNS errors.
+        assert!(dns_error_is_transient(&dns::DnsError::ServFail(
+            dns::Rcode::ServFail
+        )));
+        assert!(dns_error_is_transient(&dns::DnsError::Timeout));
+        assert!(!dns_error_is_transient(&dns::DnsError::NxDomain));
+        assert!(!dns_error_is_transient(&dns::DnsError::Malformed(
+            "truncated header".into()
+        )));
+        assert!(!dns_error_is_transient(&dns::DnsError::CnameChainTooLong));
+    }
+
+    #[test]
+    fn transient_web_faults_fire_and_clear() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        use netbase::Duration;
+        let w = good_world();
+        let ip = w.web_ips()[0];
+        let outage_end = now() + Duration::seconds(60);
+        w.with_web(ip, |ep| {
+            ep.faults = FaultSchedule::new(1).with_window(FaultKind::TcpReset, now(), outage_end);
+        });
+        // Inside the window: a reset, classified transient.
+        let during = w.fetch_policy(&n("example.com"), now());
+        let err = during.result.unwrap_err();
+        assert_eq!(err.layer(), "tcp");
+        assert!(err.is_transient());
+        // After the window: the same fetch succeeds — nothing persistent
+        // was recorded anywhere.
+        let after = w.fetch_policy(&n("example.com"), outage_end);
+        assert!(after.result.is_ok());
+    }
+
+    #[test]
+    fn transient_dns_faults_do_not_pollute_the_cache() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        use netbase::Duration;
+        let w = good_world();
+        let outage_end = now() + Duration::seconds(30);
+        w.set_dns_faults(FaultSchedule::new(2).with_window(
+            FaultKind::DnsServfail,
+            now(),
+            outage_end,
+        ));
+        let during = w.fetch_policy(&n("example.com"), now());
+        let err = during.result.unwrap_err();
+        assert_eq!(err.layer(), "dns");
+        assert!(err.is_transient(), "SERVFAIL must classify as transient");
+        // Without flushing the cache, the post-window fetch sees the real
+        // answer: the injected SERVFAIL never entered the resolver.
+        let after = w.fetch_policy(&n("example.com"), outage_end);
+        assert!(after.result.is_ok());
+    }
+
+    #[test]
+    fn transient_mx_greylisting_fires_and_clears() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        use netbase::Duration;
+        let w = good_world();
+        let ip = w.mx_ips()[0];
+        let outage_end = now() + Duration::seconds(45);
+        w.with_mx(ip, |mx| {
+            mx.faults =
+                FaultSchedule::new(3).with_window(FaultKind::SmtpGreylist, now(), outage_end);
+        });
+        let during = w.probe_mx(&n("mx.example.com"), now());
+        assert!(during.reachable);
+        assert!(during.tempfail.as_deref().unwrap().starts_with("450"));
+        assert!(during.is_transient_failure());
+        assert!(
+            during.chain.is_none(),
+            "a deferred session upgrades nothing"
+        );
+        let after = w.probe_mx(&n("mx.example.com"), outage_end);
+        assert!(after.tempfail.is_none() && after.chain.is_some());
+        assert!(!after.is_transient_failure());
     }
 
     #[test]
@@ -485,7 +781,9 @@ mod tests {
         w.with_mx(ip, |mx| {
             mx.hide_starttls = false;
         });
-        let self_signed = w.pki.issue(&CertKind::SelfSigned, &[n("mx.example.com")], now());
+        let self_signed = w
+            .pki
+            .issue(&CertKind::SelfSigned, &[n("mx.example.com")], now());
         w.with_mx(ip, |mx| mx.chain = self_signed);
         let probe = w.probe_mx(&n("mx.example.com"), now());
         assert_eq!(

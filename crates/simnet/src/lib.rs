@@ -17,15 +17,21 @@
 //!   both paths agree.
 //!
 //! Fault injection is first-class: every endpoint models the reachability,
-//! TLS and content failures the paper's taxonomy needs.
+//! TLS and content failures the paper's taxonomy needs — and, through
+//! [`faults::FaultSchedule`], the *transient* failures (SERVFAIL spells,
+//! connection resets, greylisting) a resilient scanner must retry away.
 
 pub mod endpoint;
+pub mod faults;
 pub mod fetch;
 pub mod pki;
 pub mod wire;
 pub mod world;
 
 pub use endpoint::{CertKind, MxEndpoint, WebEndpoint};
-pub use fetch::{MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure};
+pub use faults::{FaultKind, FaultSchedule, FaultStage, FaultWindow, TransientFaultConfig};
+pub use fetch::{
+    dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure,
+};
 pub use pki::SharedPki;
 pub use world::World;

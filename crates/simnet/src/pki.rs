@@ -80,7 +80,11 @@ impl SharedPki {
                 vec![leaf, g.issuing.cert.clone()]
             }
             CertKind::SelfSigned => {
-                vec![self_signed_leaf(names, now - Duration::days(1), now + LEAF_LIFETIME)]
+                vec![self_signed_leaf(
+                    names,
+                    now - Duration::days(1),
+                    now + LEAF_LIFETIME,
+                )]
             }
             CertKind::WrongName(other) => self.issue_valid(std::slice::from_ref(other), now),
             CertKind::UntrustedCa => {
@@ -125,7 +129,9 @@ mod tests {
         let pki = SharedPki::new();
         let chain = pki.issue_valid(&[n("mta-sts.example.com")], now());
         assert_eq!(chain.len(), 2);
-        assert!(validate_chain(&chain, &n("mta-sts.example.com"), now(), pki.trust_store()).is_ok());
+        assert!(
+            validate_chain(&chain, &n("mta-sts.example.com"), now(), pki.trust_store()).is_ok()
+        );
     }
 
     #[test]

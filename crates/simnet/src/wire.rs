@@ -311,6 +311,7 @@ impl WireWorld {
             starttls_offered: false,
             chain: None,
             tls_failure: None,
+            tempfail: None,
         };
         let Ok(lookup) = self.wire_resolve(mx_host.clone(), RecordType::A, now).await else {
             return unreachable;
@@ -325,9 +326,7 @@ impl WireWorld {
             return unreachable;
         };
         let config = ProbeConfig {
-            helo_name: "scanner.mta-sts-lab.example"
-                .parse()
-                .expect("static name"),
+            helo_name: "scanner.mta-sts-lab.example".parse().expect("static name"),
             mx_hostname: mx_host.clone(),
             nonce: 0x9806,
             dh_secret: 0x9806_5EC2,
@@ -345,6 +344,7 @@ impl WireWorld {
                     starttls_offered: result.starttls_offered,
                     chain,
                     tls_failure,
+                    tempfail: None,
                 }
             }
             Err(_) => unreachable,
@@ -381,14 +381,15 @@ mod tests {
             let mut web = WebEndpoint::up();
             web.install_chain(
                 policy_host.clone(),
-                w.pki.issue(&kind, std::slice::from_ref(&policy_host), now()),
+                w.pki
+                    .issue(&kind, std::slice::from_ref(&policy_host), now()),
             );
             web.install_policy(
                 policy_host.clone(),
                 &format!("version: STSv1\r\nmode: enforce\r\nmx: {mx_host}\r\nmax_age: 86400\r\n"),
             );
             let web_ip = w.add_web_endpoint(web);
-            let mx_chain = w.pki.issue_valid(&[mx_host.clone()], now());
+            let mx_chain = w.pki.issue_valid(std::slice::from_ref(&mx_host), now());
             let mx_ip = w.add_mx_endpoint(MxEndpoint::healthy(mx_host.clone(), mx_chain));
             w.with_zone(&domain, |z| {
                 z.add_rr(&policy_host, 300, RecordData::A(web_ip));

@@ -1,8 +1,9 @@
 //! The world: zones, endpoints and the shared PKI under one handle.
 
 use crate::endpoint::{MxEndpoint, WebEndpoint};
+use crate::faults::{FaultKind, FaultSchedule, FaultStage, TransientFaultConfig};
 use crate::pki::SharedPki;
-use dns::{DnsError, InMemoryAuthorities, Lookup, RecordType, Resolver, Zone};
+use dns::{DnsError, InMemoryAuthorities, Lookup, Rcode, RecordType, Resolver, Zone};
 use netbase::{DomainName, SimInstant};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -20,6 +21,7 @@ pub struct World {
     web: Arc<Mutex<HashMap<Ipv4Addr, WebEndpoint>>>,
     mx: Arc<Mutex<HashMap<Ipv4Addr, MxEndpoint>>>,
     signed_zones: Arc<Mutex<HashSet<DomainName>>>,
+    dns_faults: Arc<Mutex<FaultSchedule>>,
     next_ip: Arc<Mutex<u32>>,
 }
 
@@ -35,8 +37,28 @@ impl World {
             web: Arc::new(Mutex::new(HashMap::new())),
             mx: Arc::new(Mutex::new(HashMap::new())),
             signed_zones: Arc::new(Mutex::new(HashSet::new())),
+            dns_faults: Arc::new(Mutex::new(FaultSchedule::default())),
             // 10.0.0.0/8, skipping .0.0.0.
             next_ip: Arc::new(Mutex::new(1)),
+        }
+    }
+
+    /// Installs the transient-fault schedule for the resolver path.
+    pub fn set_dns_faults(&self, schedule: FaultSchedule) {
+        *self.dns_faults.lock() = schedule;
+    }
+
+    /// Applies blanket transient-fault rates across the whole world: the
+    /// resolver path plus every currently registered web and MX endpoint
+    /// (decorrelated per endpoint by its IP). Endpoints registered later
+    /// are unaffected; re-apply after deploying more.
+    pub fn inject_transient_faults(&self, cfg: &TransientFaultConfig) {
+        self.set_dns_faults(cfg.dns_schedule());
+        for (ip, ep) in self.web.lock().iter_mut() {
+            ep.faults = cfg.web_schedule(u64::from(u32::from(*ip)));
+        }
+        for (ip, ep) in self.mx.lock().iter_mut() {
+            ep.faults = cfg.mx_schedule(u64::from(u32::from(*ip)));
         }
     }
 
@@ -61,11 +83,7 @@ impl World {
 
     /// Ensures a zone exists for `apex`, creating an empty one if needed.
     pub fn ensure_zone(&self, apex: &DomainName) {
-        if self
-            .authorities
-            .with_zone(apex, |_| ())
-            .is_none()
-        {
+        if self.authorities.with_zone(apex, |_| ()).is_none() {
             self.authorities.upsert_zone(Zone::new(apex.clone()));
         }
     }
@@ -151,12 +169,23 @@ impl World {
     }
 
     /// Resolves `name`/`rtype` at `now` through the shared resolver.
+    ///
+    /// Transient DNS faults are injected *in front of* the resolver so a
+    /// SERVFAIL hiccup never pollutes the TTL cache — a retry at a later
+    /// instant re-draws and, absent a fault, sees the real answer.
     pub fn resolve(
         &self,
         name: &DomainName,
         rtype: RecordType,
         now: SimInstant,
     ) -> Result<Lookup, DnsError> {
+        let scope = format!("dns/{name}/{rtype:?}");
+        if let Some(kind) = self.dns_faults.lock().sample(FaultStage::Dns, &scope, now) {
+            return Err(match kind {
+                FaultKind::DnsDrop => DnsError::Timeout,
+                _ => DnsError::ServFail(Rcode::ServFail),
+            });
+        }
         self.resolver.lookup(name, rtype, now)
     }
 
@@ -243,7 +272,10 @@ mod tests {
                 },
             );
         });
-        assert_eq!(w.mx_records(&n("example.com"), now()).unwrap(), vec![n("mx.example.com")]);
+        assert_eq!(
+            w.mx_records(&n("example.com"), now()).unwrap(),
+            vec![n("mx.example.com")]
+        );
         // ensure_zone is idempotent.
         w.ensure_zone(&n("example.com"));
         assert_eq!(w.mx_records(&n("example.com"), now()).unwrap().len(), 1);
@@ -287,7 +319,10 @@ mod tests {
         let web_ip = w.add_web_endpoint(WebEndpoint::up());
         assert!(w.web_endpoint(web_ip).is_some());
         w.with_web(web_ip, |ep| {
-            ep.install_policy(n("mta-sts.example.com"), "version: STSv1\nmode: none\nmax_age: 60\n");
+            ep.install_policy(
+                n("mta-sts.example.com"),
+                "version: STSv1\nmode: none\nmax_age: 60\n",
+            );
         });
         assert_eq!(w.web_endpoint(web_ip).unwrap().documents.len(), 1);
         let mx_ip = w.add_mx_endpoint(MxEndpoint::plaintext(n("mx.example.com")));

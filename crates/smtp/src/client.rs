@@ -157,7 +157,12 @@ pub async fn probe_mx<S: AsyncRead + AsyncWrite + Unpin>(
     let mut capabilities = Vec::new();
     let ehlo = command(&mut reader, &format!("EHLO {}", config.helo_name)).await?;
     if ehlo.0.is_positive() {
-        capabilities = ehlo.1.iter().skip(1).map(|l| Capability::parse(l)).collect();
+        capabilities = ehlo
+            .1
+            .iter()
+            .skip(1)
+            .map(|l| Capability::parse(l))
+            .collect();
     } else {
         used_helo_fallback = true;
         expect_positive(
@@ -183,11 +188,7 @@ pub async fn probe_mx<S: AsyncRead + AsyncWrite + Unpin>(
         let inner = reader.into_inner();
         let tls = match client_handshake(
             inner,
-            ClientConfig::opportunistic(
-                config.mx_hostname.clone(),
-                config.nonce,
-                config.dh_secret,
-            ),
+            ClientConfig::opportunistic(config.mx_hostname.clone(), config.nonce, config.dh_secret),
         )
         .await
         {
@@ -250,17 +251,29 @@ async fn transact<S: AsyncRead + AsyncWrite + Unpin>(
 ) -> Result<Option<(&'static str, ReplyCode, String)>, SmtpError> {
     let from = command(reader, &format!("MAIL FROM:<{}>", envelope.mail_from)).await?;
     if !from.0.is_positive() {
-        return Ok(Some(("MAIL", from.0, from.1.first().cloned().unwrap_or_default())));
+        return Ok(Some((
+            "MAIL",
+            from.0,
+            from.1.first().cloned().unwrap_or_default(),
+        )));
     }
     for rcpt in &envelope.rcpt_to {
         let r = command(reader, &format!("RCPT TO:<{rcpt}>")).await?;
         if !r.0.is_positive() {
-            return Ok(Some(("RCPT", r.0, r.1.first().cloned().unwrap_or_default())));
+            return Ok(Some((
+                "RCPT",
+                r.0,
+                r.1.first().cloned().unwrap_or_default(),
+            )));
         }
     }
     let data = command(reader, "DATA").await?;
     if data.0 != ReplyCode::START_INPUT {
-        return Ok(Some(("DATA", data.0, data.1.first().cloned().unwrap_or_default())));
+        return Ok(Some((
+            "DATA",
+            data.0,
+            data.1.first().cloned().unwrap_or_default(),
+        )));
     }
     // Dot-stuff the body per RFC 5321 §4.5.2.
     let mut payload = String::new();
@@ -276,7 +289,11 @@ async fn transact<S: AsyncRead + AsyncWrite + Unpin>(
     reader.get_mut().flush().await?;
     let fin = read_reply(reader).await?;
     if !fin.0.is_positive() {
-        return Ok(Some(("END-OF-DATA", fin.0, fin.1.first().cloned().unwrap_or_default())));
+        return Ok(Some((
+            "END-OF-DATA",
+            fin.0,
+            fin.1.first().cloned().unwrap_or_default(),
+        )));
     }
     let _ = command(reader, "QUIT").await;
     Ok(None)
@@ -296,9 +313,16 @@ pub async fn deliver<S: AsyncRead + AsyncWrite + Unpin>(
     expect_positive("greeting", read_reply(&mut reader).await?)?;
     let ehlo = command(&mut reader, &format!("EHLO {helo_name}")).await?;
     let capabilities: Vec<Capability> = if ehlo.0.is_positive() {
-        ehlo.1.iter().skip(1).map(|l| Capability::parse(l)).collect()
+        ehlo.1
+            .iter()
+            .skip(1)
+            .map(|l| Capability::parse(l))
+            .collect()
     } else {
-        expect_positive("HELO", command(&mut reader, &format!("HELO {helo_name}")).await?)?;
+        expect_positive(
+            "HELO",
+            command(&mut reader, &format!("HELO {helo_name}")).await?,
+        )?;
         Vec::new()
     };
     let starttls_offered = capabilities.contains(&Capability::StartTls);
@@ -420,7 +444,10 @@ mod tests {
         let na = SimDate::ymd(2026, 1, 1).at_midnight();
         let dn = n(host);
         let mut identity = ServerIdentity::empty();
-        identity.install(dn.clone(), vec![pki.root.issue_leaf(&[dn.clone()], nb, na)]);
+        identity.install(
+            dn.clone(),
+            vec![pki.root.issue_leaf(std::slice::from_ref(&dn), nb, na)],
+        );
         MxConfig::new(
             dn,
             Some(ServerConfig {
@@ -447,7 +474,9 @@ mod tests {
         let config = mx_with_cert(&mut pki, "mx.example.com");
         let (client_io, server_io) = tokio::io::duplex(8192);
         tokio::spawn(async move { serve_connection(server_io, &config).await });
-        let result = probe_mx(client_io, &probe_config("mx.example.com")).await.unwrap();
+        let result = probe_mx(client_io, &probe_config("mx.example.com"))
+            .await
+            .unwrap();
         assert!(result.greeting.contains("mx.example.com"));
         assert!(!result.used_helo_fallback);
         assert!(result.starttls_offered);
@@ -460,7 +489,9 @@ mod tests {
         let config = MxConfig::new(n("mx.plain.com"), None);
         let (client_io, server_io) = tokio::io::duplex(8192);
         tokio::spawn(async move { serve_connection(server_io, &config).await });
-        let result = probe_mx(client_io, &probe_config("mx.plain.com")).await.unwrap();
+        let result = probe_mx(client_io, &probe_config("mx.plain.com"))
+            .await
+            .unwrap();
         assert!(!result.starttls_offered);
         assert!(result.tls.is_none());
     }
@@ -471,7 +502,9 @@ mod tests {
         config.behavior = MxBehavior::HeloOnly;
         let (client_io, server_io) = tokio::io::duplex(8192);
         tokio::spawn(async move { serve_connection(server_io, &config).await });
-        let result = probe_mx(client_io, &probe_config("mx.old.com")).await.unwrap();
+        let result = probe_mx(client_io, &probe_config("mx.old.com"))
+            .await
+            .unwrap();
         assert!(result.used_helo_fallback);
         assert!(result.capabilities.is_empty());
     }
@@ -486,7 +519,11 @@ mod tests {
         let mut identity = ServerIdentity::empty();
         identity.install(
             dn.clone(),
-            vec![pkix::authority::self_signed_leaf(&[dn.clone()], nb, na)],
+            vec![pkix::authority::self_signed_leaf(
+                std::slice::from_ref(&dn),
+                nb,
+                na,
+            )],
         );
         let config = MxConfig::new(
             dn.clone(),
@@ -499,7 +536,9 @@ mod tests {
         );
         let (client_io, server_io) = tokio::io::duplex(8192);
         tokio::spawn(async move { serve_connection(server_io, &config).await });
-        let result = probe_mx(client_io, &probe_config("mx.selfsigned.com")).await.unwrap();
+        let result = probe_mx(client_io, &probe_config("mx.selfsigned.com"))
+            .await
+            .unwrap();
         let chain = result.peer_chain().unwrap();
         let verdict = classify_chain(chain, &dn, now(), &pki().store);
         assert_eq!(verdict, Err(CertError::SelfSigned));
@@ -526,7 +565,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             outcome,
-            DeliveryOutcome::Delivered { tls_used: true, cert_validated: false }
+            DeliveryOutcome::Delivered {
+                tls_used: true,
+                cert_validated: false
+            }
         ));
         assert_eq!(sink.len(), 1);
         assert!(sink.messages()[0].body.contains(".dot-stuffed"));
@@ -550,7 +592,13 @@ mod tests {
         )
         .await
         .unwrap();
-        assert!(matches!(outcome, DeliveryOutcome::Delivered { tls_used: false, .. }));
+        assert!(matches!(
+            outcome,
+            DeliveryOutcome::Delivered {
+                tls_used: false,
+                ..
+            }
+        ));
         assert_eq!(sink.len(), 1);
     }
 
@@ -562,7 +610,11 @@ mod tests {
         let mut identity = ServerIdentity::empty();
         identity.install(
             dn.clone(),
-            vec![pkix::authority::self_signed_leaf(&[dn.clone()], nb, na)],
+            vec![pkix::authority::self_signed_leaf(
+                std::slice::from_ref(&dn),
+                nb,
+                na,
+            )],
         );
         let config = MxConfig::new(
             dn.clone(),
@@ -594,7 +646,10 @@ mod tests {
         .err()
         .expect("delivery must fail");
         assert!(matches!(err, SmtpError::Cert(CertError::SelfSigned)));
-        assert!(sink.is_empty(), "no mail must be delivered on enforce-failure");
+        assert!(
+            sink.is_empty(),
+            "no mail must be delivered on enforce-failure"
+        );
     }
 
     #[tokio::test]

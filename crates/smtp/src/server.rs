@@ -56,7 +56,7 @@ impl RecipientPolicy {
                 let Ok(domain) = domain.parse::<DomainName>() else {
                     return false;
                 };
-                !domains.iter().any(|d| domain == *d)
+                !domains.contains(&domain)
             }
         }
     }
@@ -193,7 +193,12 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
         let upper = line.to_ascii_uppercase();
         let stream = reader.get_mut();
         if config.behavior == MxBehavior::TempfailAll && upper != "QUIT" {
-            reply(stream, ReplyCode::UNAVAILABLE, "service temporarily unavailable").await?;
+            reply(
+                stream,
+                ReplyCode::UNAVAILABLE,
+                "service temporarily unavailable",
+            )
+            .await?;
             continue;
         }
         if let Some(name) = upper.strip_prefix("EHLO") {
@@ -202,16 +207,20 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
                 continue;
             }
             if !check_client_name(config, name) {
-                reply(stream, ReplyCode::TEMPFAIL, "resolve your reverse DNS first").await?;
+                reply(
+                    stream,
+                    ReplyCode::TEMPFAIL,
+                    "resolve your reverse DNS first",
+                )
+                .await?;
                 continue;
             }
             let mut lines = vec![format!("{} greets you", config.hostname)];
             lines.push(Capability::Pipelining.keyword());
             lines.push(Capability::Size(35_882_577).keyword());
             lines.push(Capability::EightBitMime.keyword());
-            let advertise_tls = config.tls.is_some()
-                && !tls_active
-                && config.behavior != MxBehavior::HideStartTls;
+            let advertise_tls =
+                config.tls.is_some() && !tls_active && config.behavior != MxBehavior::HideStartTls;
             if advertise_tls {
                 lines.push(Capability::StartTls.keyword());
             }
@@ -219,7 +228,12 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
             greeted = true;
         } else if let Some(name) = upper.strip_prefix("HELO") {
             if !check_client_name(config, name) {
-                reply(stream, ReplyCode::TEMPFAIL, "resolve your reverse DNS first").await?;
+                reply(
+                    stream,
+                    ReplyCode::TEMPFAIL,
+                    "resolve your reverse DNS first",
+                )
+                .await?;
                 continue;
             }
             reply(stream, ReplyCode::OK, &config.hostname.to_string()).await?;
@@ -268,7 +282,9 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
                     break;
                 }
                 // Dot-unstuffing per RFC 5321 §4.5.2.
-                let unstuffed = data_line.strip_prefix('.').map_or(data_line.as_str(), |s| s);
+                let unstuffed = data_line
+                    .strip_prefix('.')
+                    .map_or(data_line.as_str(), |s| s);
                 body.push_str(unstuffed);
                 body.push('\n');
             }
@@ -327,17 +343,14 @@ pub async fn serve_connection<S: AsyncRead + AsyncWrite + Unpin>(mut io: S, conf
     {
         return;
     }
-    match session_loop(&mut io, config, false).await {
-        Ok(SessionExit::UpgradeRequested) => {
-            let tls = config.tls.as_ref().expect("upgrade only offered with TLS");
-            let Ok(session) = server_handshake(io, tls).await else {
-                return;
-            };
-            let mut tls_stream = session.stream;
-            // Fresh state post-upgrade per RFC 3207 §4.2.
-            let _ = session_loop(&mut tls_stream, config, true).await;
-        }
-        _ => {}
+    if let Ok(SessionExit::UpgradeRequested) = session_loop(&mut io, config, false).await {
+        let tls = config.tls.as_ref().expect("upgrade only offered with TLS");
+        let Ok(session) = server_handshake(io, tls).await else {
+            return;
+        };
+        let mut tls_stream = session.stream;
+        // Fresh state post-upgrade per RFC 3207 §4.2.
+        let _ = session_loop(&mut tls_stream, config, true).await;
     }
 }
 
@@ -540,11 +553,11 @@ mod tests {
         let lines = run_script(
             config,
             &[
-                "MAIL FROM:<a@b.test>",          // before EHLO
+                "MAIL FROM:<a@b.test>", // before EHLO
                 "EHLO x.test",
-                "RCPT TO:<c@d.test>",            // before MAIL
-                "DATA",                           // before MAIL+RCPT
-                "BOGUS",                          // unknown
+                "RCPT TO:<c@d.test>", // before MAIL
+                "DATA",               // before MAIL+RCPT
+                "BOGUS",              // unknown
             ],
         )
         .await;

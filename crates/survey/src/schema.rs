@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn bucket_labels_match_figure11() {
         let labels: Vec<&str> = AccountsBucket::ALL.iter().map(|b| b.label()).collect();
-        assert_eq!(labels, vec!["~10", "10 ~ 100", "100 ~ 500", "500 ~ 1k", "1k ~"]);
+        assert_eq!(
+            labels,
+            vec!["~10", "10 ~ 100", "100 ~ 500", "500 ~ 1k", "1k ~"]
+        );
     }
 
     #[test]

@@ -104,7 +104,8 @@ pub fn compute(data: &[Respondent]) -> SurveyStats {
             })
             .collect(),
         motivation_downgrade: share(data, |r| {
-            r.motivation.map(|m| m == DeployMotivation::PreventDowngrade)
+            r.motivation
+                .map(|m| m == DeployMotivation::PreventDowngrade)
         }),
         customer_demand: share(data, |r| r.customer_demand),
         regulation: share(data, |r| r.regulation_driven),
@@ -115,7 +116,8 @@ pub fn compute(data: &[Respondent]) -> SurveyStats {
             r.bottleneck.map(|b| b == Bottleneck::DaneIsBetter)
         }),
         not_deployed_uses_dane: share(data, |r| {
-            r.not_deployed_reason.map(|x| x == NotDeployedReason::UsesDane)
+            r.not_deployed_reason
+                .map(|x| x == NotDeployedReason::UsesDane)
         }),
         not_deployed_too_complicated: share(data, |r| {
             r.not_deployed_reason
@@ -155,26 +157,44 @@ mod tests {
         assert_eq!((stats.awareness.count, stats.awareness.answered), (89, 94));
         assert!((stats.awareness.pct() - 94.7).abs() < 0.1);
         // Deployment: 50 of 88 = 56.8%.
-        assert_eq!((stats.deployment.count, stats.deployment.answered), (50, 88));
+        assert_eq!(
+            (stats.deployment.count, stats.deployment.answered),
+            (50, 88)
+        );
         assert!((stats.deployment.pct() - 56.8).abs() < 0.1);
         // Motivation: 34 of 42 = 80.9%.
         assert_eq!(
-            (stats.motivation_downgrade.count, stats.motivation_downgrade.answered),
+            (
+                stats.motivation_downgrade.count,
+                stats.motivation_downgrade.answered
+            ),
             (34, 42)
         );
         // Customer demand 13/41 (31.7%), regulation 14/41 (34.1%).
-        assert_eq!((stats.customer_demand.count, stats.customer_demand.answered), (13, 41));
-        assert_eq!((stats.regulation.count, stats.regulation.answered), (14, 41));
+        assert_eq!(
+            (stats.customer_demand.count, stats.customer_demand.answered),
+            (13, 41)
+        );
+        assert_eq!(
+            (stats.regulation.count, stats.regulation.answered),
+            (14, 41)
+        );
         // Bottlenecks: 21/43 (48.8%) complexity, 17/43 (39.5%) DANE.
         assert_eq!(
-            (stats.bottleneck_complexity.count, stats.bottleneck_complexity.answered),
+            (
+                stats.bottleneck_complexity.count,
+                stats.bottleneck_complexity.answered
+            ),
             (21, 43)
         );
         assert!((stats.bottleneck_complexity.pct() - 48.8).abs() < 0.1);
         assert_eq!(stats.bottleneck_dane_better.count, 17);
         // Non-deployers: 15/33 DANE (45.4%), 9/33 complicated (27.2%).
         assert_eq!(
-            (stats.not_deployed_uses_dane.count, stats.not_deployed_uses_dane.answered),
+            (
+                stats.not_deployed_uses_dane.count,
+                stats.not_deployed_uses_dane.answered
+            ),
             (15, 33)
         );
         assert!((stats.not_deployed_uses_dane.pct() - 45.4).abs() < 0.1);
@@ -184,16 +204,28 @@ mod tests {
         assert_eq!(stats.difficulty_updates.count, 11);
         assert!((stats.difficulty_updates.pct() - 26.8).abs() < 0.1);
         // Updates: 15/42 never (35.7%), 10/42 TXT-first (23.8%).
-        assert_eq!((stats.never_updated.count, stats.never_updated.answered), (15, 42));
+        assert_eq!(
+            (stats.never_updated.count, stats.never_updated.answered),
+            (15, 42)
+        );
         assert_eq!(stats.txt_first.count, 10);
         // DANE: 78/79 familiar (98.7%), 26/78 no TLSA (33.3%), 10 lack
         // DNSSEC, 51/70 DANE superior (72.8%).
-        assert_eq!((stats.dane_familiarity.count, stats.dane_familiarity.answered), (78, 79));
+        assert_eq!(
+            (
+                stats.dane_familiarity.count,
+                stats.dane_familiarity.answered
+            ),
+            (78, 79)
+        );
         assert!((stats.dane_familiarity.pct() - 98.7).abs() < 0.1);
         assert_eq!((stats.no_tlsa.count, stats.no_tlsa.answered), (26, 78));
         assert!((stats.no_tlsa.pct() - 33.3).abs() < 0.1);
         assert_eq!(stats.dnssec_unsupported.count, 10);
-        assert_eq!((stats.dane_superior.count, stats.dane_superior.answered), (51, 70));
+        assert_eq!(
+            (stats.dane_superior.count, stats.dane_superior.answered),
+            (51, 70)
+        );
         assert!((stats.dane_superior.pct() - 72.8).abs() < 0.2);
     }
 

@@ -94,7 +94,7 @@ pub fn synthesize(seed: u64) -> Vec<Respondent> {
     // Separate Likert-derived booleans (41 answered each).
     for (i, resp) in r.iter_mut().enumerate().take(41) {
         resp.customer_demand = Some(i < 13); // 13 of 41 (31.7%)
-        resp.regulation_driven = Some(i >= 13 && i < 27); // 14 of 41 (34.1%)
+        resp.regulation_driven = Some((13..27).contains(&i)); // 14 of 41 (34.1%)
     }
     let bottlenecks: Vec<Bottleneck> = quota(&[
         (Bottleneck::OperationalComplexity, 21), // 48.8% of 43
@@ -105,8 +105,8 @@ pub fn synthesize(seed: u64) -> Vec<Respondent> {
         resp.bottleneck = Some(b);
     }
     let difficulties: Vec<ManagementDifficulty> = quota(&[
-        (ManagementDifficulty::PolicyUpdates, 11),   // 26.8% of 41
-        (ManagementDifficulty::HttpsPolicyFile, 8),  // 19.5%
+        (ManagementDifficulty::PolicyUpdates, 11),  // 26.8% of 41
+        (ManagementDifficulty::HttpsPolicyFile, 8), // 19.5%
         (ManagementDifficulty::SmtpCertificates, 9),
         (ManagementDifficulty::DnsRecords, 8),
         (ManagementDifficulty::OptingOut, 5),
@@ -134,8 +134,8 @@ pub fn synthesize(seed: u64) -> Vec<Respondent> {
 
     // Non-deployer page (indices 50..88): 33 of 38 answered.
     let reasons: Vec<NotDeployedReason> = quota(&[
-        (NotDeployedReason::UsesDane, 15),       // 45.4% of 33
-        (NotDeployedReason::TooComplicated, 9),  // 27.2%
+        (NotDeployedReason::UsesDane, 15),      // 45.4% of 33
+        (NotDeployedReason::TooComplicated, 9), // 27.2%
         (NotDeployedReason::NoNeed, 5),
         (NotDeployedReason::DontUnderstand, 4),
     ]);
@@ -155,7 +155,7 @@ pub fn synthesize(seed: u64) -> Vec<Respondent> {
             continue;
         }
         resp.no_tlsa = Some(i < 26);
-        resp.dnssec_unsupported = Some(i >= 26 && i < 36);
+        resp.dnssec_unsupported = Some((26..36).contains(&i));
     }
     let protocols: Vec<WhichProtocol> = quota(&[
         (WhichProtocol::Dane, 51),
@@ -188,7 +188,7 @@ pub fn synthesize(seed: u64) -> Vec<Respondent> {
 fn quota<T: Copy>(pairs: &[(T, usize)]) -> Vec<T> {
     pairs
         .iter()
-        .flat_map(|(v, n)| std::iter::repeat(*v).take(*n))
+        .flat_map(|(v, n)| std::iter::repeat_n(*v, *n))
         .collect()
 }
 

@@ -156,7 +156,9 @@ mod tests {
     async fn oversized_frame_rejected() {
         let (mut a, mut b) = tokio::io::duplex(64);
         use tokio::io::AsyncWriteExt;
-        a.write_all(&u32::to_be_bytes(64 * 1024 * 1024)).await.unwrap();
+        a.write_all(&u32::to_be_bytes(64 * 1024 * 1024))
+            .await
+            .unwrap();
         let err = read_frame(&mut b).await.unwrap_err();
         assert!(matches!(err, FrameError::TooLarge(_)));
     }

@@ -359,8 +359,7 @@ fn parse_client_hello(payload: &[u8]) -> Result<(u64, u64, DomainName), Handshak
     if payload.len() != 20 + sni_len {
         return Err(err("bad SNI length"));
     }
-    let sni_str =
-        std::str::from_utf8(&payload[20..]).map_err(|_| err("SNI is not UTF-8"))?;
+    let sni_str = std::str::from_utf8(&payload[20..]).map_err(|_| err("SNI is not UTF-8"))?;
     let sni = DomainName::parse(sni_str).map_err(|_| err("SNI is not a valid name"))?;
     Ok((nonce, dh_pub, sni))
 }
@@ -382,8 +381,7 @@ fn parse_server_hello(payload: &[u8]) -> Result<(u64, u64, Vec<SimCert>), Handsh
         if payload.len() < pos + 4 {
             return Err(err("truncated chain"));
         }
-        let len =
-            u32::from_be_bytes(payload[pos..pos + 4].try_into().expect("sized")) as usize;
+        let len = u32::from_be_bytes(payload[pos..pos + 4].try_into().expect("sized")) as usize;
         pos += 4;
         if payload.len() < pos + len {
             return Err(err("truncated certificate"));
@@ -429,7 +427,7 @@ mod tests {
         let mut identity = ServerIdentity::empty();
         for name in names {
             let dn = n(name);
-            let chain = vec![root.issue_leaf(&[dn.clone()], nb, na)];
+            let chain = vec![root.issue_leaf(std::slice::from_ref(&dn), nb, na)];
             identity.install(dn, chain);
         }
         ServerConfig {
@@ -488,13 +486,20 @@ mod tests {
             dh_secret: 2222,
             strict: Some((empty_store, now())),
         };
-        let err = client_handshake(client_io, config).await.err().expect("expected handshake failure");
+        let err = client_handshake(client_io, config)
+            .await
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(
             err,
             HandshakeError::Cert(CertError::UnknownIssuer)
         ));
         // Server sees the alert.
-        let server_err = server.await.unwrap().err().expect("expected handshake failure");
+        let server_err = server
+            .await
+            .unwrap()
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(
             server_err,
             HandshakeError::PeerAlert(Alert::BadCertificate)
@@ -524,7 +529,10 @@ mod tests {
             let _ = server_handshake(server_io, &sc).await;
         });
         let config = ClientConfig::opportunistic(n("mta-sts.example.com"), 3, 2222);
-        let err = client_handshake(client_io, config).await.err().expect("expected handshake failure");
+        let err = client_handshake(client_io, config)
+            .await
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(
             err,
             HandshakeError::PeerAlert(Alert::UnrecognizedName)
@@ -584,7 +592,10 @@ mod tests {
             dh_secret: 20,
             strict: Some((store, now())),
         };
-        let err = client_handshake(client_io, config).await.err().expect("expected handshake failure");
+        let err = client_handshake(client_io, config)
+            .await
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(
             err,
             HandshakeError::Cert(CertError::NameMismatch { .. })
@@ -604,7 +615,10 @@ mod tests {
             let _ = server_handshake(server_io, &sc).await;
         });
         let config = ClientConfig::opportunistic(n("mta-sts.example.com"), 2, 20);
-        let err = client_handshake(client_io, config).await.err().expect("expected handshake failure");
+        let err = client_handshake(client_io, config)
+            .await
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(
             err,
             HandshakeError::PeerAlert(Alert::HandshakeFailure)
@@ -626,7 +640,10 @@ mod tests {
             // server_io dropped here => EOF at the client
         });
         let config = ClientConfig::opportunistic(n("mta-sts.example.com"), 2, 20);
-        let err = client_handshake(client_io, config).await.err().expect("expected handshake failure");
+        let err = client_handshake(client_io, config)
+            .await
+            .err()
+            .expect("expected handshake failure");
         assert!(matches!(err, HandshakeError::Frame(_)));
     }
 }

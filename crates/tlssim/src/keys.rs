@@ -69,7 +69,7 @@ pub struct SessionKeys {
 /// Derives session keys from the shared secret and both nonces.
 pub fn derive_keys(shared: u64, client_nonce: u64, server_nonce: u64) -> SessionKeys {
     SessionKeys {
-        client_to_server: mix(shared, client_nonce, 0xC11E_27_5_EA7),
+        client_to_server: mix(shared, client_nonce, 0x00C1_1E27_5EA7),
         server_to_client: mix(shared, server_nonce, 0x5E12_7E12_BEEF),
     }
 }

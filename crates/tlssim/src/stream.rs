@@ -191,7 +191,10 @@ mod tests {
         client.flush().await.unwrap();
         drop(client);
         let mut lines = BufReader::new(server).lines();
-        assert_eq!(lines.next_line().await.unwrap().unwrap(), "220 mx.example.com ESMTP");
+        assert_eq!(
+            lines.next_line().await.unwrap().unwrap(),
+            "220 mx.example.com ESMTP"
+        );
         assert_eq!(lines.next_line().await.unwrap().unwrap(), "250 OK");
     }
 

@@ -29,7 +29,9 @@ fn main() {
         let mut web = WebEndpoint::up();
         web.install_chain(
             policy_host.clone(),
-            world.pki.issue(&CertKind::Valid, &[policy_host.clone()], now),
+            world
+                .pki
+                .issue(&CertKind::Valid, std::slice::from_ref(&policy_host), now),
         );
         web.install_policy(
             policy_host.clone(),
@@ -83,7 +85,9 @@ fn main() {
             world.with_web(web_ip, |ep| {
                 ep.install_chain(
                     policy_host.clone(),
-                    world.pki.issue(&CertKind::Expired, &[policy_host.clone()], now),
+                    world
+                        .pki
+                        .issue(&CertKind::Expired, std::slice::from_ref(&policy_host), now),
                 );
             });
         }

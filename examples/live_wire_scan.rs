@@ -24,14 +24,18 @@ fn deploy(world: &World, domain: &DomainName, kind: CertKind, now: netbase::SimI
     let mut web = WebEndpoint::up();
     web.install_chain(
         policy_host.clone(),
-        world.pki.issue(&kind, std::slice::from_ref(&policy_host), now),
+        world
+            .pki
+            .issue(&kind, std::slice::from_ref(&policy_host), now),
     );
     web.install_policy(
         policy_host.clone(),
         &format!("version: STSv1\r\nmode: enforce\r\nmx: {mx_host}\r\nmax_age: 86400\r\n"),
     );
     let web_ip = world.add_web_endpoint(web);
-    let mx_chain = world.pki.issue(&CertKind::Valid, &[mx_host.clone()], now);
+    let mx_chain = world
+        .pki
+        .issue(&CertKind::Valid, std::slice::from_ref(&mx_host), now);
     let mx_ip = world.add_mx_endpoint(MxEndpoint::healthy(mx_host.clone(), mx_chain));
     world.with_zone(domain, |z| {
         z.add_rr(

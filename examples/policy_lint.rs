@@ -126,17 +126,20 @@ fn lint(records: &[String], policy_text: Option<&str>, mx: &[DomainName]) -> boo
 fn main() {
     let args = parse_args();
     if !args.records.is_empty() || args.policy.is_some() {
-        let ok = lint(
-            &args.records,
-            args.policy.as_deref(),
-            &args.mx,
-        );
+        let ok = lint(&args.records, args.policy.as_deref(), &args.mx);
         std::process::exit(if ok { 0 } else { 1 });
     }
 
     // Demonstration: the wild error classes from §4.3-4.4.
+    // (label, TXT records, policy body, served MX hosts)
+    type Demo = (
+        &'static str,
+        Vec<String>,
+        Option<&'static str>,
+        Vec<&'static str>,
+    );
     println!("== demo: the paper's observed error classes ==\n");
-    let demos: Vec<(&str, Vec<String>, Option<&str>, Vec<&str>)> = vec![
+    let demos: Vec<Demo> = vec![
         (
             "healthy deployment",
             vec!["v=STSv1; id=20240131;".into()],

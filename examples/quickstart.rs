@@ -26,7 +26,9 @@ fn deploy_domain(world: &World, domain: &DomainName, mode: &str, now: netbase::S
     let mut web = WebEndpoint::up();
     web.install_chain(
         policy_host.clone(),
-        world.pki.issue(&CertKind::Valid, &[policy_host.clone()], now),
+        world
+            .pki
+            .issue(&CertKind::Valid, std::slice::from_ref(&policy_host), now),
     );
     web.install_policy(
         policy_host.clone(),
@@ -35,7 +37,9 @@ fn deploy_domain(world: &World, domain: &DomainName, mode: &str, now: netbase::S
     let web_ip = world.add_web_endpoint(web);
 
     // 2. The STARTTLS-capable MX.
-    let mx_chain = world.pki.issue(&CertKind::Valid, &[mx_host.clone()], now);
+    let mx_chain = world
+        .pki
+        .issue(&CertKind::Valid, std::slice::from_ref(&mx_host), now);
     let mx_ip = world.add_mx_endpoint(MxEndpoint::healthy(mx_host.clone(), mx_chain));
 
     // 3. DNS: MX, the policy host's A record, and the _mta-sts record.
@@ -68,7 +72,9 @@ fn main() {
     {
         // Break the second domain: swap its MX certificate for an expired one.
         let mx_host = n("mx.broken.example");
-        let expired = world.pki.issue(&CertKind::Expired, &[mx_host.clone()], now);
+        let expired = world
+            .pki
+            .issue(&CertKind::Expired, std::slice::from_ref(&mx_host), now);
         for ip in world.mx_ips() {
             world.with_mx(ip, |mx| {
                 if mx.hostname == mx_host {

@@ -59,7 +59,11 @@ fn main() {
 
     // Forgetting to bump the record id.
     let no_bump = vec![
-        snapshot(SimDate::ymd(2024, 5, 1), Some("same"), Some(enforce_policy())),
+        snapshot(
+            SimDate::ymd(2024, 5, 1),
+            Some("same"),
+            Some(enforce_policy()),
+        ),
         snapshot(SimDate::ymd(2024, 6, 1), Some("same"), Some(none_policy())),
         snapshot(SimDate::ymd(2024, 7, 1), None, None),
     ];

@@ -1,0 +1,138 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! A minimal wall-clock harness: each `bench_function` runs a short warmup,
+//! then `sample_size` timed batches, and prints the mean per-iteration
+//! time. No statistics beyond the mean — enough to keep the workspace's
+//! bench targets compiling and producing usable relative numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (tests import the std one).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not differentiated).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times closures handed over by benchmark bodies.
+pub struct Bencher {
+    samples: u64,
+    iters_per_sample: u64,
+    total: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: aim for samples of at least ~1ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.total_iters += self.iters_per_sample;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// cost from the reported time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.total_iters += 1;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.total_iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.total_iters.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+/// The benchmark registry/config handle.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            iters_per_sample: 1,
+            total: Duration::ZERO,
+            total_iters: 0,
+        };
+        f(&mut b);
+        println!("{id}: {:?}/iter ({} iters)", b.mean(), b.total_iters);
+        self
+    }
+
+    /// Final hook (the real crate prints summaries here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group (`name`/`config`/`targets` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,52 @@
+//! Offline shim for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Only the pieces this workspace could plausibly reach are provided:
+//! `crossbeam::scope` delegating to `std::thread::scope`, and an
+//! mpsc-backed `channel` module with `unbounded()`.
+
+/// Scoped threads, delegating to `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}
+
+pub mod channel {
+    //! Multi-producer channels backed by `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn scope_joins() {
+        let mut x = 0;
+        super::scope(|s| {
+            s.spawn(|| ());
+            x = 5;
+        })
+        .unwrap();
+        assert_eq!(x, 5);
+    }
+}

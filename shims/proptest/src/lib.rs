@@ -1,0 +1,566 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Deterministic generate-and-check: every `proptest!` test derives its
+//! RNG seed from the test's name, draws `cases` inputs per strategy, and
+//! runs the body with plain `assert!`-backed `prop_assert!` macros. No
+//! shrinking — a failing case panics with the values Debug-printed by the
+//! assert itself.
+
+use rand::Rng;
+
+pub use strategy::Strategy;
+
+pub mod test_runner {
+    //! Test configuration and RNG plumbing used by the `proptest!` macro.
+
+    use rand::SeedableRng;
+
+    /// The generator driving all strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// FNV-1a over the test name: a stable per-test seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// A fresh deterministic RNG.
+    pub fn new_rng(seed: u64) -> TestRng {
+        TestRng::seed_from_u64(seed)
+    }
+}
+
+pub use test_runner::ProptestConfig;
+use test_runner::TestRng;
+
+pub mod strategy {
+    //! The core [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Provided combinators carry `Self: Sized` bounds so the trait stays
+    /// object-safe for [`prop_oneof!`](crate::prop_oneof).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `pred`, re-drawing until one passes.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for heterogeneous unions.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.reason
+            )
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the `prop_oneof!` core).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub use strategy::Just;
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace draws.
+
+    use super::TestRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.gen();
+            }
+            out
+        }
+    }
+
+    /// Strategy yielding arbitrary `T`s.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy for "any value of `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub use arbitrary::any;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::TestRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from the range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------ string (regex) patterns
+
+/// One atom of the mini pattern language: a character class plus a length
+/// range.
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the subset of regex syntax the workspace's patterns use:
+/// character classes (`[a-z0-9-]`, ranges and literals, literal `-` last)
+/// with optional `{n}` / `{n,m}` quantifiers, plus literal characters.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier"),
+                    hi.parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = (<$crate::test_runner::ProptestConfig as Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = ($cfg:expr);
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::new_rng(
+                    $crate::test_runner::seed_from_name(stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Alias so `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn pattern_strategies_respect_classes() {
+        let mut rng = new_rng(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,14}[a-z0-9]".generate(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 16, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_class_range() {
+        let mut rng = new_rng(2);
+        for _ in 0..100 {
+            let s = "[ -~]{0,80}".generate(&mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = new_rng(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn map_filter_tuples_and_vec() {
+        let strat = crate::collection::vec(
+            (0u8..10, Just("x")).prop_map(|(n, s)| format!("{s}{n}")),
+            2..=5,
+        )
+        .prop_filter("non-empty", |v| !v.is_empty());
+        let mut rng = new_rng(4);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|s| s.starts_with('x')));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, s in "[a-z]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! Offline shim for the `serde_derive` crate (see `shims/README.md`).
+//!
+//! A hand-rolled token parser (no `syn`/`quote`) that expands
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the shapes the
+//! workspace actually contains: non-generic named-field structs, tuple
+//! structs, and enums with unit, tuple, and struct variants. Supported
+//! attributes: field/variant `#[serde(rename = "...")]` and the container
+//! pair `#[serde(try_from = "T", into = "T")]`. Output targets the
+//! `Value`-based traits in the `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    ident: String,
+    wire_name: String,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    wire_name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+/// Pulls `key = "value"` pairs and bare flags out of a `serde(...)` group.
+fn parse_serde_args(group: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        if i + 2 < toks.len() && matches!(&toks[i + 1], TokenTree::Punct(p) if p.as_char() == '=') {
+            let lit = toks[i + 2].to_string();
+            let val = lit.trim_matches('"').to_string();
+            out.push((key, Some(val)));
+            i += 3;
+        } else {
+            out.push((key, None));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A cursor over the item's top-level tokens.
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    /// Consumes attributes, returning any `serde(...)` key/value pairs.
+    fn take_attrs(&mut self) -> Vec<(String, Option<String>)> {
+        let mut out = Vec::new();
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde shim derive: malformed attribute");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if name.to_string() == "serde" {
+                    out.extend(parse_serde_args(args));
+                }
+            }
+        }
+        out
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, etc.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` nesting so
+/// generic arguments like `HashMap<String, u32>` stay in one piece.
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(t.clone());
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+fn wire_name(ident: &str, attrs: &[(String, Option<String>)]) -> String {
+    attrs
+        .iter()
+        .find(|(k, _)| k == "rename")
+        .and_then(|(_, v)| v.clone())
+        .unwrap_or_else(|| ident.to_string())
+}
+
+/// Parses one field group (`ident: Type` with optional attrs/vis) into a
+/// [`Field`]; field groups come from [`split_top_level_commas`].
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    split_top_level_commas(&group.stream().into_iter().collect::<Vec<_>>())
+        .into_iter()
+        .map(|part| {
+            let mut p = Parser { toks: part, pos: 0 };
+            let attrs = p.take_attrs();
+            p.skip_visibility();
+            let Some(TokenTree::Ident(id)) = p.next() else {
+                panic!("serde shim derive: expected field name");
+            };
+            let ident = id.to_string();
+            Field {
+                wire_name: wire_name(&ident, &attrs),
+                ident,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut p = Parser {
+        toks: input.into_iter().collect(),
+        pos: 0,
+    };
+    let container = p.take_attrs();
+    let mut attrs = ContainerAttrs::default();
+    for (k, v) in container {
+        match k.as_str() {
+            "try_from" => attrs.try_from = v,
+            "into" => attrs.into = v,
+            _ => {}
+        }
+    }
+    p.skip_visibility();
+    let kind = match p.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = p.next() else {
+        panic!("serde shim derive: expected type name");
+    };
+    let name = name.to_string();
+    if matches!(p.peek(), Some(TokenTree::Punct(pc)) if pc.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported ({name})");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>());
+                Body::TupleStruct(fields.len())
+            }
+            Some(TokenTree::Punct(pc)) if pc.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde shim derive: malformed struct body: {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = p.next() else {
+                panic!("serde shim derive: expected enum body");
+            };
+            let mut vp = Parser {
+                toks: g.stream().into_iter().collect(),
+                pos: 0,
+            };
+            let mut variants = Vec::new();
+            while vp.peek().is_some() {
+                let vattrs = vp.take_attrs();
+                let Some(TokenTree::Ident(id)) = vp.next() else {
+                    panic!("serde shim derive: expected variant name");
+                };
+                let ident = id.to_string();
+                let shape = match vp.peek() {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        let n =
+                            split_top_level_commas(&vg.stream().into_iter().collect::<Vec<_>>())
+                                .len();
+                        vp.next();
+                        VariantShape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(vg);
+                        vp.next();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Trailing comma between variants.
+                if matches!(vp.peek(), Some(TokenTree::Punct(pc)) if pc.as_char() == ',') {
+                    vp.next();
+                }
+                variants.push(Variant {
+                    wire_name: wire_name(&ident, &vattrs),
+                    ident,
+                    shape,
+                });
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Item { name, attrs, body }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __converted: {into_ty} = \
+             std::convert::Into::into(std::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &item.body {
+            Body::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{}\".to_string(), serde::Serialize::to_value(&self.{}))",
+                            escape(&f.wire_name),
+                            f.ident
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Map(vec![{}])", entries.join(", "))
+            }
+            Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Body::UnitStruct => "serde::Value::Null".to_string(),
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let tag = escape(&v.wire_name);
+                        let vid = &v.ident;
+                        match &v.shape {
+                            VariantShape::Unit => {
+                                format!("{name}::{vid} => serde::Value::Str(\"{tag}\".to_string())")
+                            }
+                            VariantShape::Tuple(1) => format!(
+                                "{name}::{vid}(__f0) => serde::Value::Map(vec![\
+                                 (\"{tag}\".to_string(), serde::Serialize::to_value(__f0))])"
+                            ),
+                            VariantShape::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vid}({}) => serde::Value::Map(vec![\
+                                     (\"{tag}\".to_string(), serde::Value::Seq(vec![{}]))])",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            VariantShape::Struct(fields) => {
+                                let binds: Vec<String> =
+                                    fields.iter().map(|f| f.ident.clone()).collect();
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(\"{}\".to_string(), \
+                                             serde::Serialize::to_value({}))",
+                                            escape(&f.wire_name),
+                                            f.ident
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vid} {{ {} }} => serde::Value::Map(vec![\
+                                     (\"{tag}\".to_string(), \
+                                     serde::Value::Map(vec![{}]))])",
+                                    binds.join(", "),
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(",\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn gen_named_fields_ctor(path: &str, fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let wire = escape(&f.wire_name);
+            format!(
+                "{}: match {source}.get(\"{wire}\") {{\n\
+                     Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+                     None => serde::Deserialize::from_missing(\"{wire}\")?,\n\
+                 }}",
+                f.ident
+            )
+        })
+        .collect();
+    format!("Ok({path} {{ {} }})", inits.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.attrs.try_from {
+        format!(
+            "let __raw: {from_ty} = serde::Deserialize::from_value(__v)?;\n\
+             match std::convert::TryFrom::try_from(__raw) {{\n\
+                 Ok(__x) => Ok(__x),\n\
+                 Err(__e) => Err(serde::DeError::custom(__e)),\n\
+             }}"
+        )
+    } else {
+        match &item.body {
+            Body::NamedStruct(fields) => {
+                let ctor = gen_named_fields_ctor(name, fields, "__v");
+                format!(
+                    "if !matches!(__v, serde::Value::Map(_)) {{\n\
+                         return Err(serde::DeError::expected(\"map for {name}\", __v));\n\
+                     }}\n{ctor}"
+                )
+            }
+            Body::TupleStruct(1) => {
+                format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+            }
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let serde::Value::Seq(__items) = __v else {{\n\
+                         return Err(serde::DeError::expected(\"sequence for {name}\", __v));\n\
+                     }};\n\
+                     if __items.len() != {n} {{\n\
+                         return Err(serde::DeError::custom(format!(\n\
+                             \"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::UnitStruct => format!("Ok({name})"),
+            Body::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.shape, VariantShape::Unit))
+                    .map(|v| format!("\"{}\" => Ok({name}::{}),", escape(&v.wire_name), v.ident))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let tag = escape(&v.wire_name);
+                        let vid = &v.ident;
+                        match &v.shape {
+                            VariantShape::Unit => None,
+                            VariantShape::Tuple(1) => Some(format!(
+                                "\"{tag}\" => Ok({name}::{vid}(\
+                                 serde::Deserialize::from_value(__inner)?)),"
+                            )),
+                            VariantShape::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("serde::Deserialize::from_value(&__items[{i}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{tag}\" => {{\n\
+                                     let serde::Value::Seq(__items) = __inner else {{\n\
+                                         return Err(serde::DeError::expected(\n\
+                                             \"sequence for {name}::{vid}\", __inner));\n\
+                                     }};\n\
+                                     if __items.len() != {n} {{\n\
+                                         return Err(serde::DeError::custom(format!(\n\
+                                             \"expected {n} elements for {name}::{vid}, \
+                                              got {{}}\", __items.len())));\n\
+                                     }}\n\
+                                     Ok({name}::{vid}({}))\n\
+                                     }}",
+                                    items.join(", ")
+                                ))
+                            }
+                            VariantShape::Struct(fields) => {
+                                let ctor = gen_named_fields_ctor(
+                                    &format!("{name}::{vid}"),
+                                    fields,
+                                    "__inner",
+                                );
+                                Some(format!("\"{tag}\" => {{ {ctor} }}"))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => Err(serde::DeError::custom(format!(\n\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => Err(serde::DeError::custom(format!(\n\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(serde::DeError::expected(\"variant of {name}\", __other)),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    tagged_arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,549 @@
+//! Async IO traits, adapters, and the in-memory duplex pipe.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::io;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+// ----------------------------------------------------------------- traits
+
+/// A byte buffer being filled by a reader (real-tokio signature subset).
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    /// Wraps a fully initialized buffer.
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes not yet filled.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    /// The filled prefix.
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    /// The filled prefix, mutably.
+    pub fn filled_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.filled]
+    }
+
+    /// The unfilled suffix (already initialized in this shim).
+    pub fn initialize_unfilled(&mut self) -> &mut [u8] {
+        &mut self.buf[self.filled..]
+    }
+
+    /// Marks `n` more bytes as filled.
+    pub fn advance(&mut self, n: usize) {
+        assert!(self.filled + n <= self.buf.len(), "ReadBuf overfill");
+        self.filled += n;
+    }
+
+    /// Appends bytes to the filled region.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        let end = self.filled + src.len();
+        assert!(end <= self.buf.len(), "ReadBuf overfill");
+        self.buf[self.filled..end].copy_from_slice(src);
+        self.filled = end;
+    }
+}
+
+/// Nonblocking read into a [`ReadBuf`]; `Ok(())` with nothing filled
+/// means EOF.
+pub trait AsyncRead {
+    /// Attempts the read.
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>>;
+}
+
+/// Nonblocking write/flush/shutdown.
+pub trait AsyncWrite {
+    /// Attempts to write from `buf`, returning bytes accepted.
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>>;
+
+    /// Attempts to flush buffered data.
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Attempts a graceful write-side shutdown.
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+/// Buffered reading: exposes the internal buffer.
+pub trait AsyncBufRead: AsyncRead {
+    /// Fills and returns the internal buffer.
+    fn poll_fill_buf(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<&[u8]>>;
+
+    /// Consumes `amt` bytes from the internal buffer.
+    fn consume(self: Pin<&mut Self>, amt: usize);
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write(cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+}
+
+// ------------------------------------------------------------ extensions
+
+/// Read helpers, blanket-implemented for every `AsyncRead + Unpin`.
+pub trait AsyncReadExt: AsyncRead + Unpin {
+    /// Reads some bytes, returning the count (0 = EOF).
+    fn read(&mut self, buf: &mut [u8]) -> impl std::future::Future<Output = io::Result<usize>> {
+        async move {
+            poll_fn(|cx| {
+                let mut rb = ReadBuf::new(buf);
+                match Pin::new(&mut *self).poll_read(cx, &mut rb) {
+                    Poll::Ready(Ok(())) => Poll::Ready(Ok(rb.filled().len())),
+                    Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+                    Poll::Pending => Poll::Pending,
+                }
+            })
+            .await
+        }
+    }
+
+    /// Fills `buf` entirely or fails with `UnexpectedEof`.
+    fn read_exact(
+        &mut self,
+        buf: &mut [u8],
+    ) -> impl std::future::Future<Output = io::Result<usize>> {
+        async move {
+            let mut done = 0;
+            while done < buf.len() {
+                let n = self.read(&mut buf[done..]).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof in read_exact",
+                    ));
+                }
+                done += n;
+            }
+            Ok(done)
+        }
+    }
+
+    /// Reads one byte.
+    fn read_u8(&mut self) -> impl std::future::Future<Output = io::Result<u8>> {
+        async move {
+            let mut b = [0u8; 1];
+            self.read_exact(&mut b).await?;
+            Ok(b[0])
+        }
+    }
+
+    /// Reads until EOF, appending to `buf`.
+    fn read_to_end(
+        &mut self,
+        buf: &mut Vec<u8>,
+    ) -> impl std::future::Future<Output = io::Result<usize>> {
+        async move {
+            let mut total = 0;
+            let mut chunk = [0u8; 4096];
+            loop {
+                let n = self.read(&mut chunk).await?;
+                if n == 0 {
+                    return Ok(total);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                total += n;
+            }
+        }
+    }
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncReadExt for T {}
+
+/// Write helpers, blanket-implemented for every `AsyncWrite + Unpin`.
+pub trait AsyncWriteExt: AsyncWrite + Unpin {
+    /// Writes some bytes, returning the count accepted.
+    fn write(&mut self, buf: &[u8]) -> impl std::future::Future<Output = io::Result<usize>> {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, buf)).await }
+    }
+
+    /// Writes all of `buf`.
+    fn write_all(&mut self, buf: &[u8]) -> impl std::future::Future<Output = io::Result<()>> {
+        async move {
+            let mut done = 0;
+            while done < buf.len() {
+                let n = poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, &buf[done..])).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write_all made no progress",
+                    ));
+                }
+                done += n;
+            }
+            Ok(())
+        }
+    }
+
+    /// Flushes buffered data.
+    fn flush(&mut self) -> impl std::future::Future<Output = io::Result<()>> {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_flush(cx)).await }
+    }
+
+    /// Gracefully shuts down the write side.
+    fn shutdown(&mut self) -> impl std::future::Future<Output = io::Result<()>> {
+        async move {
+            poll_fn(|cx| Pin::new(&mut *self).poll_flush(cx)).await?;
+            poll_fn(|cx| Pin::new(&mut *self).poll_shutdown(cx)).await
+        }
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWriteExt for T {}
+
+/// Buffered-read helpers.
+pub trait AsyncBufReadExt: AsyncBufRead + Unpin {
+    /// Appends one line (including the `\n`) to `dst`; returns bytes read
+    /// (0 = EOF).
+    fn read_line(
+        &mut self,
+        dst: &mut String,
+    ) -> impl std::future::Future<Output = io::Result<usize>> {
+        async move {
+            let mut total = 0;
+            loop {
+                let (consumed, finished, chunk) = {
+                    let avail = poll_fn(|cx| {
+                        Pin::new(&mut *self)
+                            .poll_fill_buf(cx)
+                            .map(|r| r.map(Vec::from))
+                    })
+                    .await?;
+                    if avail.is_empty() {
+                        return Ok(total);
+                    }
+                    match avail.iter().position(|&b| b == b'\n') {
+                        Some(i) => (i + 1, true, avail[..=i].to_vec()),
+                        None => (avail.len(), false, avail),
+                    }
+                };
+                Pin::new(&mut *self).consume(consumed);
+                dst.push_str(std::str::from_utf8(&chunk).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "stream is not UTF-8")
+                })?);
+                total += consumed;
+                if finished {
+                    return Ok(total);
+                }
+            }
+        }
+    }
+
+    /// Splits the stream into lines (terminators stripped).
+    fn lines(self) -> Lines<Self>
+    where
+        Self: Sized,
+    {
+        Lines { reader: self }
+    }
+}
+
+impl<T: AsyncBufRead + Unpin + ?Sized> AsyncBufReadExt for T {}
+
+/// Line iterator over a buffered reader.
+pub struct Lines<R> {
+    reader: R,
+}
+
+impl<R: AsyncBufRead + Unpin> Lines<R> {
+    /// The next line, `None` at EOF.
+    pub async fn next_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).await?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+        }
+        Ok(Some(line))
+    }
+}
+
+// -------------------------------------------------------------- BufReader
+
+/// Buffered wrapper adding [`AsyncBufRead`] to any reader.
+pub struct BufReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<R: AsyncRead + Unpin> BufReader<R> {
+    /// Wraps `inner` with an internal buffer.
+    pub fn new(inner: R) -> BufReader<R> {
+        BufReader {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The wrapped reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Shared access to the wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped reader. Writing through this is
+    /// safe (the buffer only holds *read* data), which is how the SMTP
+    /// code reuses one duplex stream for both directions.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: AsyncRead + Unpin> AsyncRead for BufReader<R> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = self.get_mut();
+        if this.pos < this.buf.len() {
+            let n = (this.buf.len() - this.pos).min(buf.remaining());
+            buf.put_slice(&this.buf[this.pos..this.pos + n]);
+            this.pos += n;
+            return Poll::Ready(Ok(()));
+        }
+        Pin::new(&mut this.inner).poll_read(cx, buf)
+    }
+}
+
+impl<R: AsyncRead + Unpin> AsyncBufRead for BufReader<R> {
+    fn poll_fill_buf(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<&[u8]>> {
+        let this = self.get_mut();
+        if this.pos >= this.buf.len() {
+            this.buf.clear();
+            this.pos = 0;
+            let mut chunk = [0u8; 4096];
+            let mut rb = ReadBuf::new(&mut chunk);
+            match Pin::new(&mut this.inner).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) => this.buf.extend_from_slice(rb.filled()),
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(&this.buf[this.pos..]))
+    }
+
+    fn consume(self: Pin<&mut Self>, amt: usize) {
+        let this = self.get_mut();
+        this.pos = (this.pos + amt).min(this.buf.len());
+    }
+}
+
+// ------------------------------------------------------------------ split
+
+/// Read half from [`split`].
+pub struct ReadHalf<S> {
+    shared: Rc<RefCell<S>>,
+}
+
+/// Write half from [`split`].
+pub struct WriteHalf<S> {
+    shared: Rc<RefCell<S>>,
+}
+
+/// Splits a stream into independently usable read and write halves
+/// (same-thread only, matching this shim's single-threaded executor).
+pub fn split<S>(stream: S) -> (ReadHalf<S>, WriteHalf<S>)
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    let shared = Rc::new(RefCell::new(stream));
+    (
+        ReadHalf {
+            shared: Rc::clone(&shared),
+        },
+        WriteHalf { shared },
+    )
+}
+
+impl<S: AsyncRead + Unpin> AsyncRead for ReadHalf<S> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut *self.shared.borrow_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<S: AsyncWrite + Unpin> AsyncWrite for WriteHalf<S> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut *self.shared.borrow_mut()).poll_write(cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut *self.shared.borrow_mut()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut *self.shared.borrow_mut()).poll_shutdown(cx)
+    }
+}
+
+// ----------------------------------------------------------------- duplex
+
+/// One direction of a duplex pipe.
+struct Pipe {
+    buffer: VecDeque<u8>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Rc<RefCell<Pipe>> {
+        Rc::new(RefCell::new(Pipe {
+            buffer: VecDeque::new(),
+            capacity,
+            closed: false,
+        }))
+    }
+}
+
+/// One endpoint of an in-memory, bidirectional, bounded byte pipe.
+pub struct DuplexStream {
+    read: Rc<RefCell<Pipe>>,
+    write: Rc<RefCell<Pipe>>,
+}
+
+/// Creates a connected pair of duplex streams with `max_buf_size` bytes
+/// of buffer in each direction.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new(max_buf_size);
+    let b_to_a = Pipe::new(max_buf_size);
+    (
+        DuplexStream {
+            read: Rc::clone(&b_to_a),
+            write: Rc::clone(&a_to_b),
+        },
+        DuplexStream {
+            read: a_to_b,
+            write: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut pipe = self.read.borrow_mut();
+        if !pipe.buffer.is_empty() {
+            let n = pipe.buffer.len().min(buf.remaining());
+            for _ in 0..n {
+                let byte = pipe.buffer.pop_front().unwrap();
+                buf.put_slice(&[byte]);
+            }
+            return Poll::Ready(Ok(()));
+        }
+        if pipe.closed {
+            // EOF: ready with nothing filled.
+            return Poll::Ready(Ok(()));
+        }
+        Poll::Pending
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let mut pipe = self.write.borrow_mut();
+        if pipe.closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed",
+            )));
+        }
+        let space = pipe.capacity.saturating_sub(pipe.buffer.len());
+        if space == 0 {
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        pipe.buffer.extend(&buf[..n]);
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        self.write.borrow_mut().closed = true;
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Closing both directions gives the peer EOF on read and
+        // `BrokenPipe` on write, like real tokio.
+        self.write.borrow_mut().closed = true;
+        self.read.borrow_mut().closed = true;
+    }
+}

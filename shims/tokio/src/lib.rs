@@ -1,0 +1,74 @@
+//! Offline shim for the `tokio` crate (see `shims/README.md`).
+//!
+//! A single-threaded cooperative runtime: [`runtime::block_on`] drives the
+//! root future plus every [`spawn`]ed task, re-polling on a short tick so
+//! nonblocking std sockets (which return `WouldBlock` → `Pending`) make
+//! progress without an epoll reactor. `flavor = "multi_thread"` test
+//! annotations run on this single thread — the workspace's servers are
+//! short-lived test fixtures, so cooperative scheduling suffices.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};
+
+/// Two-future select used by the [`select!`] macro.
+pub mod future {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::Poll;
+
+    /// Which branch completed first.
+    pub enum Either<A, B> {
+        /// The first future finished.
+        A(A),
+        /// The second future finished.
+        B(B),
+    }
+
+    /// Resolves to whichever of the two futures completes first, polling
+    /// the first one with priority (like `tokio::select!` in `biased`
+    /// mode — deterministic, which this workspace prefers anyway).
+    pub async fn select2<FA, FB>(
+        mut a: Pin<&mut FA>,
+        mut b: Pin<&mut FB>,
+    ) -> Either<FA::Output, FB::Output>
+    where
+        FA: Future,
+        FB: Future,
+    {
+        std::future::poll_fn(move |cx| {
+            if let Poll::Ready(x) = a.as_mut().poll(cx) {
+                return Poll::Ready(Either::A(x));
+            }
+            if let Poll::Ready(x) = b.as_mut().poll(cx) {
+                return Poll::Ready(Either::B(x));
+            }
+            Poll::Pending
+        })
+        .await
+    }
+}
+
+/// Two-branch `select!` covering the `pat = future => body` form the
+/// workspace's servers use.
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {{
+        // Inner block so the futures (and any borrows they hold) are
+        // dropped before an arm body runs, like real tokio's select!.
+        let __select_result = {
+            let mut __select_fut1 = std::pin::pin!($f1);
+            let mut __select_fut2 = std::pin::pin!($f2);
+            $crate::future::select2(__select_fut1.as_mut(), __select_fut2.as_mut()).await
+        };
+        match __select_result {
+            $crate::future::Either::A($p1) => $b1,
+            $crate::future::Either::B($p2) => $b2,
+        }
+    }};
+}

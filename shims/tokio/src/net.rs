@@ -1,0 +1,168 @@
+//! Async adapters over std nonblocking sockets.
+//!
+//! No reactor: `WouldBlock` maps to `Pending` and the tick-based executor
+//! re-polls shortly after, which is plenty for loopback test traffic.
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    )
+}
+
+/// Async TCP connection over a nonblocking std socket.
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr` (blocking connect, then nonblocking IO — fine
+    /// for the loopback addresses this workspace talks to).
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        Ok(TcpStream { inner: stream })
+    }
+
+    pub(crate) fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// Local socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Remote socket address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = self.get_mut();
+        match this.inner.read(buf.initialize_unfilled()) {
+            Ok(n) => {
+                buf.advance(n);
+                Poll::Ready(Ok(()))
+            }
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let this = self.get_mut();
+        match this.inner.write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match self.get_mut().inner.flush() {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        // NotConnected after the peer already went away is a non-event.
+        match self.get_mut().inner.shutdown(Shutdown::Write) {
+            Ok(()) | Err(_) => Poll::Ready(Ok(())),
+        }
+    }
+}
+
+/// Async TCP listener over a nonblocking std socket.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|_cx| match self.inner.accept() {
+            Ok((stream, peer)) => Poll::Ready(TcpStream::from_std(stream).map(|s| (s, peer))),
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// Async UDP socket over a nonblocking std socket.
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Binds to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Receives one datagram.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        poll_fn(|_cx| match self.inner.recv_from(buf) {
+            Ok(out) => Poll::Ready(Ok(out)),
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+
+    /// Sends one datagram to `target`.
+    pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+        let addr = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        poll_fn(|_cx| match self.inner.send_to(buf, addr) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if would_block(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}

@@ -1,0 +1,94 @@
+//! The cooperative single-threaded executor.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+pub(crate) struct TaskEntry {
+    pub(crate) fut: Pin<Box<dyn Future<Output = ()>>>,
+    pub(crate) aborted: Rc<std::cell::Cell<bool>>,
+}
+
+thread_local! {
+    /// `Some` while a `block_on` call is live on this thread; spawned
+    /// tasks queue here until the executor adopts them.
+    static SPAWN_QUEUE: RefCell<Option<Vec<TaskEntry>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn enqueue(task: TaskEntry) {
+    SPAWN_QUEUE.with(|q| match q.borrow_mut().as_mut() {
+        Some(queue) => queue.push(task),
+        None => panic!("tokio shim: spawn called outside of a runtime context"),
+    });
+}
+
+fn drain_spawned() -> Vec<TaskEntry> {
+    SPAWN_QUEUE.with(|q| {
+        q.borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    })
+}
+
+struct RuntimeGuard;
+
+impl Drop for RuntimeGuard {
+    fn drop(&mut self) {
+        SPAWN_QUEUE.with(|q| *q.borrow_mut() = None);
+    }
+}
+
+/// Runs `fut` to completion, cooperatively driving every spawned task.
+///
+/// Tasks still pending when the root future finishes are dropped, which
+/// is how the workspace's ephemeral test servers get torn down.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    SPAWN_QUEUE.with(|q| {
+        let mut slot = q.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "tokio shim: nested block_on on one thread is not supported"
+        );
+        *slot = Some(Vec::new());
+    });
+    let _guard = RuntimeGuard;
+
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let mut root = Box::pin(fut);
+    let mut tasks: Vec<TaskEntry> = Vec::new();
+
+    loop {
+        tasks.extend(drain_spawned());
+
+        if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+            return out;
+        }
+
+        let mut progressed = false;
+        let mut i = 0;
+        while i < tasks.len() {
+            if tasks[i].aborted.get() {
+                tasks.swap_remove(i);
+                progressed = true;
+                continue;
+            }
+            match tasks[i].fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    tasks.swap_remove(i);
+                    progressed = true;
+                }
+                Poll::Pending => i += 1,
+            }
+        }
+
+        if !progressed {
+            // Nothing completed this tick: yield briefly so nonblocking
+            // socket retries don't spin a core.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Synchronization primitives (watch channel only — all this workspace
+//! uses).
+
+pub mod watch {
+    //! Single-producer, multi-consumer "latest value" channel.
+
+    use std::future::poll_fn;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::Poll;
+
+    /// Channel errors.
+    pub mod error {
+        /// The channel closed with no receivers.
+        #[derive(Debug)]
+        pub struct SendError<T>(pub T);
+
+        /// The sender dropped with no new value observed.
+        #[derive(Debug)]
+        pub struct RecvError(pub(crate) ());
+    }
+
+    struct Shared<T> {
+        value: Mutex<T>,
+        version: AtomicU64,
+        sender_gone: AtomicBool,
+    }
+
+    /// Sends replacement values.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Observes the latest value.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        seen: u64,
+    }
+
+    /// Creates a watch channel holding `initial`.
+    pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            value: Mutex::new(initial),
+            version: AtomicU64::new(0),
+            sender_gone: AtomicBool::new(false),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Replaces the value and notifies receivers.
+        pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+            *self.shared.value.lock().unwrap() = value;
+            self.shared.version.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.sender_gone.store(true, Ordering::SeqCst);
+        }
+    }
+
+    impl<T: Clone> Receiver<T> {
+        /// A clone of the current value.
+        pub fn borrow(&self) -> T {
+            self.shared.value.lock().unwrap().clone()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Waits for a value newer than the last one seen; errors once
+        /// the sender is gone.
+        pub async fn changed(&mut self) -> Result<(), error::RecvError> {
+            poll_fn(|_cx| {
+                let current = self.shared.version.load(Ordering::SeqCst);
+                if current != self.seen {
+                    self.seen = current;
+                    return Poll::Ready(Ok(()));
+                }
+                if self.shared.sender_gone.load(Ordering::SeqCst) {
+                    return Poll::Ready(Err(error::RecvError(())));
+                }
+                Poll::Pending
+            })
+            .await
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen: self.seen,
+            }
+        }
+    }
+}

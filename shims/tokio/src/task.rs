@@ -1,0 +1,124 @@
+//! Task spawning and join handles.
+
+use crate::runtime::{enqueue, TaskEntry};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::task::{Context, Poll};
+
+/// A task failed to produce a value (aborted or panicked).
+#[derive(Debug)]
+pub struct JoinError(&'static str);
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+enum Inner<T> {
+    Local {
+        result: Rc<RefCell<Option<T>>>,
+        aborted: Rc<Cell<bool>>,
+    },
+    Thread(mpsc::Receiver<std::thread::Result<T>>),
+}
+
+/// Awaits a spawned task's output.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Cancels the task: the executor drops it before its next poll.
+    pub fn abort(&self) {
+        if let Inner::Local { aborted, .. } = &self.inner {
+            aborted.set(true);
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &self.get_mut().inner {
+            Inner::Local { result, aborted } => {
+                if let Some(v) = result.borrow_mut().take() {
+                    return Poll::Ready(Ok(v));
+                }
+                if aborted.get() {
+                    return Poll::Ready(Err(JoinError("aborted")));
+                }
+                Poll::Pending
+            }
+            Inner::Thread(rx) => match rx.try_recv() {
+                Ok(Ok(v)) => Poll::Ready(Ok(v)),
+                Ok(Err(_)) => Poll::Ready(Err(JoinError("panicked"))),
+                Err(mpsc::TryRecvError::Empty) => Poll::Pending,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    Poll::Ready(Err(JoinError("worker thread vanished")))
+                }
+            },
+        }
+    }
+}
+
+/// Spawns a future onto the current runtime.
+///
+/// Single-threaded executor, so no `Send` bound — strictly more
+/// permissive than real tokio, which the workspace satisfies anyway.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let result = Rc::new(RefCell::new(None));
+    let aborted = Rc::new(Cell::new(false));
+    let result_in_task = Rc::clone(&result);
+    enqueue(TaskEntry {
+        fut: Box::pin(async move {
+            let out = fut.await;
+            *result_in_task.borrow_mut() = Some(out);
+        }),
+        aborted: Rc::clone(&aborted),
+    });
+    JoinHandle {
+        inner: Inner::Local { result, aborted },
+    }
+}
+
+/// Runs a blocking closure on a dedicated OS thread.
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(std::panic::catch_unwind(AssertUnwindSafe(f)));
+    });
+    JoinHandle {
+        inner: Inner::Thread(rx),
+    }
+}
+
+/// Yields once back to the executor.
+pub async fn yield_now() {
+    let mut yielded = false;
+    std::future::poll_fn(move |_cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            Poll::Pending
+        }
+    })
+    .await
+}

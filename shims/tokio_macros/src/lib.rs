@@ -1,0 +1,126 @@
+//! Offline shim for the `tokio-macros` crate (see `shims/README.md`).
+//!
+//! Rewrites `async fn` items into synchronous wrappers that drive the
+//! async body through the tokio shim's `runtime::block_on`. Flavor
+//! arguments (`flavor = "multi_thread"`, `worker_threads = N`) are
+//! accepted and ignored — the shim executor is always the single
+//! cooperative thread.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct FnParts {
+    /// Attributes (e.g. `#[ignore]`) — stay on the outer test fn.
+    attrs: String,
+    /// `pub` etc.
+    vis: String,
+    name: String,
+    /// `-> Type` tokens, possibly empty.
+    ret: String,
+    /// `{ ... }` body.
+    body: String,
+}
+
+fn parse_async_fn(item: TokenStream) -> FnParts {
+    let toks: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+
+    let mut attrs = String::new();
+    while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        attrs.push_str(&toks[i].to_string());
+        attrs.push_str(&toks[i + 1].to_string());
+        attrs.push('\n');
+        i += 2;
+    }
+
+    let mut vis = String::new();
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        vis.push_str("pub ");
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            vis.push_str(&toks[i].to_string());
+            vis.push(' ');
+            i += 1;
+        }
+    }
+
+    assert!(
+        matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "async"),
+        "tokio shim: #[tokio::test]/#[tokio::main] requires an async fn"
+    );
+    i += 1;
+    assert!(
+        matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "fn"),
+        "tokio shim: expected `fn`"
+    );
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("tokio shim: expected fn name, got {other:?}"),
+    };
+    i += 1;
+    assert!(
+        matches!(&toks.get(i), Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && g.stream().is_empty()),
+        "tokio shim: async test/main fns must take no arguments"
+    );
+    i += 1;
+
+    let mut ret = String::new();
+    let mut body = String::new();
+    for tok in &toks[i..] {
+        if let TokenTree::Group(g) = tok {
+            if g.delimiter() == Delimiter::Brace {
+                body = tok.to_string();
+                continue;
+            }
+        }
+        ret.push_str(&tok.to_string());
+        ret.push(' ');
+    }
+    assert!(!body.is_empty(), "tokio shim: missing fn body");
+
+    FnParts {
+        attrs,
+        vis,
+        name,
+        ret,
+        body,
+    }
+}
+
+fn expand(item: TokenStream, is_test: bool) -> TokenStream {
+    let f = parse_async_fn(item);
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    let FnParts {
+        attrs,
+        vis,
+        name,
+        ret,
+        body,
+    } = f;
+    format!(
+        "{test_attr}{attrs}{vis}fn {name}() {ret} {{\n\
+             async fn __tokio_shim_body() {ret} {body}\n\
+             tokio::runtime::block_on(__tokio_shim_body())\n\
+         }}"
+    )
+    .parse()
+    .expect("tokio shim: generated wrapper failed to parse")
+}
+
+/// Shim for `#[tokio::test]`.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(item, true)
+}
+
+/// Shim for `#[tokio::main]`.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(item, false)
+}

@@ -19,7 +19,13 @@ fn measured_misconfiguration_matches_injected_ground_truth() {
     let date = SimDate::ymd(2024, 9, 29);
     let world = eco.world_at(date, SnapshotDetail::Full);
     let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
-    let snapshot = scan_snapshot(&world, &domains, date, None);
+    let snapshot = scan_snapshot(
+        &world,
+        &domains,
+        date,
+        None,
+        &scanner::ScanConfig::default(),
+    );
 
     let mut false_negatives = 0usize;
     let mut false_positives = 0usize;
@@ -139,7 +145,13 @@ fn deterministic_end_to_end() {
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
         let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
-        let snap = scan_snapshot(&world, &domains, date, None);
+        let snap = scan_snapshot(
+            &world,
+            &domains,
+            date,
+            None,
+            &scanner::ScanConfig::default(),
+        );
         snap.scans
             .iter()
             .filter(|s| s.is_misconfigured())
@@ -151,7 +163,13 @@ fn deterministic_end_to_end() {
         let date = SimDate::ymd(2024, 9, 29);
         let world = eco.world_at(date, SnapshotDetail::Full);
         let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
-        let snap = scan_snapshot(&world, &domains, date, None);
+        let snap = scan_snapshot(
+            &world,
+            &domains,
+            date,
+            None,
+            &scanner::ScanConfig::default(),
+        );
         snap.scans
             .iter()
             .filter(|s| s.is_misconfigured())

@@ -43,14 +43,20 @@ fn record_data() -> impl Strategy<Value = RecordData> {
                 minimum: 300,
             })
         }),
-        (0u8..4, 0u8..2, 0u8..2, prop::collection::vec(any::<u8>(), 0..40)).prop_map(
-            |(usage, selector, matching_type, data)| RecordData::Tlsa(dns::TlsaRecord {
-                usage,
-                selector,
-                matching_type,
-                data,
-            })
-        ),
+        (
+            0u8..4,
+            0u8..2,
+            0u8..2,
+            prop::collection::vec(any::<u8>(), 0..40)
+        )
+            .prop_map(|(usage, selector, matching_type, data)| RecordData::Tlsa(
+                dns::TlsaRecord {
+                    usage,
+                    selector,
+                    matching_type,
+                    data,
+                }
+            )),
     ]
 }
 

@@ -27,7 +27,9 @@ fn deploy(provider: &PolicyProvider, now: SimInstant) -> Deployment {
     let mut web = simnet::WebEndpoint::up();
     web.install_chain(
         policy_host.clone(),
-        world.pki.issue(&CertKind::Valid, &[policy_host.clone()], now),
+        world
+            .pki
+            .issue(&CertKind::Valid, std::slice::from_ref(&policy_host), now),
     );
     web.install_policy(
         policy_host.clone(),
@@ -82,9 +84,11 @@ fn opt_out(d: &Deployment, provider: &PolicyProvider, now: SimInstant) {
         d.world.with_web(d.web_ip, |ep| {
             ep.install_chain(
                 d.policy_host.clone(),
-                d.world
-                    .pki
-                    .issue(&CertKind::Expired, &[d.policy_host.clone()], now),
+                d.world.pki.issue(
+                    &CertKind::Expired,
+                    std::slice::from_ref(&d.policy_host),
+                    now,
+                ),
             );
         });
     }
@@ -99,7 +103,12 @@ fn every_provider_behaviour_matches_table2() {
         let d = deploy(&provider, now);
         // Healthy while subscribed.
         let before = d.world.fetch_policy(&d.customer, now);
-        assert!(before.result.is_ok(), "{}: {:?}", provider.key, before.result);
+        assert!(
+            before.result.is_ok(),
+            "{}: {:?}",
+            provider.key,
+            before.result
+        );
 
         opt_out(&d, &provider, now);
         let after = d.world.fetch_policy(&d.customer, now);
@@ -167,7 +176,7 @@ fn stale_enforce_policy_strands_senders_after_mx_migration() {
     opt_out(&d, &provider, now);
 
     // The customer's new MX (after migrating away).
-    let new_mx: DomainName = format!("in.newprovider.net").parse().unwrap();
+    let new_mx: DomainName = "in.newprovider.net".to_string().parse().unwrap();
     let mut engine = SenderEngine::new();
     let record_txts = d.world.mta_sts_txts(&d.customer, now).ok();
     let fetch_world = d.world.clone();

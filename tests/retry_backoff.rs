@@ -1,0 +1,174 @@
+//! Property tests for the transient-retry backoff schedule
+//! (`netbase::retry`): the schedule is the contract the resilient
+//! scanner leans on, so we pin its shape down over the whole
+//! configuration space rather than a handful of examples.
+
+use netbase::rng::DetRng;
+use netbase::{Duration, RetryPolicy, RetryVerdict, SimDate};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["record", "policy", "mx/mx1.example.com", "policy-ip"];
+
+/// Builds a policy from raw integer draws (the proptest shim has no
+/// float strategies; jitter arrives as percent).
+fn policy(
+    max_attempts: u32,
+    initial_secs: i64,
+    multiplier: u32,
+    max_backoff_secs: i64,
+    jitter_pct: u32,
+    timeout_secs: i64,
+    deadline_secs: i64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        initial_backoff: Duration::seconds(initial_secs),
+        multiplier,
+        max_backoff: Duration::seconds(max_backoff_secs),
+        jitter: f64::from(jitter_pct) / 100.0,
+        attempt_timeout: Duration::seconds(timeout_secs),
+        total_deadline: Duration::seconds(deadline_secs),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The schedule has exactly `max_attempts - 1` entries, is monotone
+    /// non-decreasing, and every delay respects the `max_backoff` cap —
+    /// no jitter draw may reorder or inflate the sequence.
+    #[test]
+    fn backoff_schedule_is_monotone_and_capped(
+        seed in any::<u64>(),
+        label_ix in 0usize..LABELS.len(),
+        max_attempts in 1u32..10,
+        initial_secs in 0i64..40,
+        multiplier in 1u32..5,
+        max_backoff_secs in 0i64..180,
+        jitter_pct in 0u32..101,
+    ) {
+        let p = policy(max_attempts, initial_secs, multiplier, max_backoff_secs, jitter_pct, 5, 600);
+        let rng = DetRng::new(seed);
+        let delays = p.backoff_delays(&rng, LABELS[label_ix]);
+        prop_assert_eq!(delays.len(), max_attempts as usize - 1);
+        for pair in delays.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "schedule must be non-decreasing: {:?}", delays);
+        }
+        for d in &delays {
+            prop_assert!(*d <= p.max_backoff, "delay {:?} exceeds cap {:?}", d, p.max_backoff);
+            prop_assert!(*d >= Duration::seconds(0));
+        }
+    }
+
+    /// The schedule is a pure function of (policy, rng seed, label): the
+    /// same inputs always reproduce it, which is what makes killed scans
+    /// resumable byte-for-byte.
+    #[test]
+    fn backoff_schedule_is_deterministic(
+        seed in any::<u64>(),
+        label_ix in 0usize..LABELS.len(),
+        max_attempts in 2u32..10,
+        initial_secs in 1i64..40,
+        jitter_pct in 0u32..101,
+    ) {
+        let p = policy(max_attempts, initial_secs, 2, 120, jitter_pct, 5, 600);
+        let a = p.backoff_delays(&DetRng::new(seed), LABELS[label_ix]);
+        let b = p.backoff_delays(&DetRng::new(seed), LABELS[label_ix]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Driving an always-failing transient op: `run` never exceeds
+    /// `max_attempts`, never overshoots the deadline by more than one
+    /// attempt timeout (the final failed attempt is still charged), and
+    /// reports `Exhausted`. Running it twice is bit-identical.
+    #[test]
+    fn run_respects_attempt_and_deadline_budgets(
+        seed in any::<u64>(),
+        label_ix in 0usize..LABELS.len(),
+        max_attempts in 1u32..8,
+        initial_secs in 0i64..30,
+        multiplier in 1u32..4,
+        max_backoff_secs in 0i64..90,
+        jitter_pct in 0u32..101,
+        timeout_secs in 1i64..10,
+        deadline_secs in 0i64..400,
+    ) {
+        let p = policy(
+            max_attempts, initial_secs, multiplier, max_backoff_secs,
+            jitter_pct, timeout_secs, deadline_secs,
+        );
+        let start = SimDate::ymd(2024, 9, 29).at_midnight();
+        let rng = DetRng::new(seed);
+        let drive = || {
+            p.run::<(), &str>(&rng, LABELS[label_ix], start, |_| true, |_, _| Err("tempfail"))
+        };
+        let out = drive();
+        prop_assert!(out.result.is_err());
+        prop_assert_eq!(out.verdict, RetryVerdict::Exhausted);
+        prop_assert!(out.attempts >= 1 && out.attempts <= max_attempts);
+        // Every failed attempt costs one timeout; sleeps only happen when
+        // they still fit inside the deadline, so the worst case is the
+        // deadline plus the last attempt's timeout.
+        prop_assert!(
+            out.finished_at <= start + p.total_deadline + p.attempt_timeout,
+            "finished {:?} attempts, overshot the deadline window",
+            out.attempts
+        );
+        let again = drive();
+        prop_assert_eq!(out.attempts, again.attempts);
+        prop_assert_eq!(out.finished_at, again.finished_at);
+    }
+
+    /// An op that recovers after `k` transient failures succeeds in
+    /// exactly `k + 1` attempts whenever the policy's budgets allow it,
+    /// and the verdict distinguishes first-try from recovered success.
+    #[test]
+    fn run_counts_recovery_attempts_exactly(
+        seed in any::<u64>(),
+        failures in 0u32..6,
+        spare in 1u32..4,
+    ) {
+        let max_attempts = failures + spare;
+        // A deadline generous enough that it never intervenes here.
+        let p = policy(max_attempts, 1, 2, 60, 50, 2, 100_000);
+        let start = SimDate::ymd(2024, 9, 29).at_midnight();
+        let out = p.run::<u32, &str>(
+            &DetRng::new(seed),
+            "record",
+            start,
+            |_| true,
+            |_, attempt| if attempt <= failures { Err("tempfail") } else { Ok(attempt) },
+        );
+        prop_assert_eq!(out.attempts, failures + 1);
+        prop_assert_eq!(out.result, Ok(failures + 1));
+        prop_assert_eq!(out.retries(), failures);
+        if failures == 0 {
+            prop_assert_eq!(out.verdict, RetryVerdict::FirstTry);
+            prop_assert!(!out.recovered());
+        } else {
+            prop_assert_eq!(out.verdict, RetryVerdict::RecoveredTransient);
+            prop_assert!(out.recovered());
+        }
+    }
+
+    /// Persistent (non-transient) errors never retry, no matter how many
+    /// attempts the policy would allow.
+    #[test]
+    fn persistent_errors_fail_fast(
+        seed in any::<u64>(),
+        max_attempts in 1u32..10,
+    ) {
+        let p = policy(max_attempts, 1, 2, 60, 50, 3, 100_000);
+        let start = SimDate::ymd(2024, 9, 29).at_midnight();
+        let out = p.run::<(), &str>(
+            &DetRng::new(seed),
+            "policy",
+            start,
+            |_| false,
+            |_, _| Err("certificate name mismatch"),
+        );
+        prop_assert_eq!(out.attempts, 1);
+        prop_assert_eq!(out.verdict, RetryVerdict::Persistent);
+        prop_assert_eq!(out.finished_at, start + p.attempt_timeout);
+    }
+}

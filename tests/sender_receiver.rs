@@ -54,7 +54,13 @@ fn scanner_predictions_match_sender_engine() {
     let now = date.at_midnight();
     let world = eco.world_at(date, SnapshotDetail::Full);
     let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
-    let snapshot = scan_snapshot(&world, &domains, date, None);
+    let snapshot = scan_snapshot(
+        &world,
+        &domains,
+        date,
+        None,
+        &scanner::ScanConfig::default(),
+    );
 
     let mut predicted_failures = 0;
     let mut engine_refusals = 0;
