@@ -9,6 +9,8 @@
 //!   0.25 preserves every percentage and is the default recorded in
 //!   EXPERIMENTS.md.
 
+pub mod downgrade;
+
 use ecosystem::{Ecosystem, EcosystemConfig};
 use scanner::longitudinal::{LongitudinalRun, Study};
 

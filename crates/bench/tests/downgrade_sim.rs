@@ -1,0 +1,122 @@
+//! Acceptance tests for the downgrade-attack simulator: the deterministic
+//! claims `exp_downgrade` prints must hold exactly.
+
+use mtasts::{Mode, ResultType};
+use mtasts_bench::downgrade::{run_downgrade, sweep, tlsrpt_failure_coverage, DowngradeConfig};
+use netbase::Duration;
+
+#[test]
+fn warm_cache_with_covering_max_age_loses_nothing() {
+    // max_age (1 week) >= attack window (1 day) + priming lead: the
+    // enforce-mode sender delivers zero messages to the attacker, turning
+    // the whole window into visible refusals instead.
+    let out = run_downgrade(&DowngradeConfig::new(42, 604_800, Duration::days(1)));
+    assert_eq!(out.stats.intercepted, 0);
+    assert_eq!(out.stats.refused, out.in_window_attempts);
+    assert!(out.stats.refused > 0);
+    // Outside the window the sender goes right back to validated delivery.
+    assert!(out.stats.delivered_validated > 0);
+    assert_eq!(out.stats.delivered_unvalidated, 0);
+}
+
+#[test]
+fn cacheless_sender_loses_the_whole_window() {
+    // The always-refetch ablation sees no record during the stripping
+    // window, so MTA-STS silently stops applying and every in-window
+    // message goes to the attacker's relay.
+    let out = run_downgrade(&DowngradeConfig {
+        use_cache: false,
+        ..DowngradeConfig::new(42, 604_800, Duration::days(1))
+    });
+    assert_eq!(out.stats.intercepted, out.in_window_attempts);
+    assert!(out.stats.intercepted > 0);
+    assert_eq!(out.stats.refused, 0);
+}
+
+#[test]
+fn short_max_age_reopens_the_attack() {
+    // Once the cached policy expires mid-window the domain is released
+    // and the tail of the window is lost — the paper's argument for long
+    // max_age values.
+    let out = run_downgrade(&DowngradeConfig::new(42, 7_200, Duration::days(1)));
+    assert!(out.stats.intercepted > 0);
+    assert!(
+        out.stats.intercepted < out.in_window_attempts,
+        "the fresh-cache head of the window must still be protected"
+    );
+}
+
+#[test]
+fn testing_mode_soft_fails_match_enforce_refusals() {
+    // Same scenario, testing mode: every delivery enforce would refuse is
+    // instead delivered unprotected and surfaces in TLSRPT with the same
+    // per-type counts.
+    let enforce = run_downgrade(&DowngradeConfig::new(42, 604_800, Duration::days(1)));
+    let testing = run_downgrade(&DowngradeConfig {
+        mode: Mode::Testing,
+        ..DowngradeConfig::new(42, 604_800, Duration::days(1))
+    });
+    assert_eq!(testing.stats.soft_fails, enforce.stats.refused);
+    assert_eq!(testing.stats.refused, 0);
+    // Soft-failing hands the attacker exactly the messages enforce held.
+    assert_eq!(testing.stats.intercepted, enforce.stats.refused);
+    // TLSRPT failure counts agree between the two modes.
+    assert_eq!(testing.tlsrpt_failures, enforce.tlsrpt_failures);
+    assert_eq!(
+        testing
+            .tlsrpt_failures
+            .get(&ResultType::ValidationFailure)
+            .copied(),
+        Some(enforce.stats.refused)
+    );
+}
+
+#[test]
+fn sweep_reproduces_the_max_age_boundary_deterministically() {
+    let windows = [Duration::hours(6), Duration::days(1)];
+    let max_ages = [3_600, 86_400, 604_800];
+    let cells = sweep(42, &windows, &max_ages);
+    assert_eq!(cells.len(), windows.len() * max_ages.len());
+    for cell in &cells {
+        if cell.cache_covers_window {
+            assert_eq!(
+                cell.warm.stats.intercepted, 0,
+                "covering max_age must shut the attacker out (window={}h max_age={}s)",
+                cell.window_hours, cell.max_age
+            );
+        } else {
+            assert!(
+                cell.warm.stats.intercepted > 0,
+                "non-covering max_age must leak (window={}h max_age={}s)",
+                cell.window_hours,
+                cell.max_age
+            );
+        }
+        // The ablation always loses the entire window.
+        assert_eq!(
+            cell.cacheless.stats.intercepted,
+            cell.cacheless.in_window_attempts
+        );
+    }
+    // Fixed seed, repeated run: byte-for-byte identical outcomes.
+    let again = sweep(42, &windows, &max_ages);
+    for (a, b) in cells.iter().zip(&again) {
+        assert_eq!(a.warm, b.warm);
+        assert_eq!(a.cacheless, b.cacheless);
+    }
+}
+
+#[test]
+fn degraded_modes_cover_the_three_tlsrpt_failure_types() {
+    let coverage = tlsrpt_failure_coverage(42);
+    for ty in [
+        ResultType::ValidationFailure,
+        ResultType::StsWebpkiInvalid,
+        ResultType::StsPolicyFetchError,
+    ] {
+        assert!(
+            coverage.get(&ty).copied().unwrap_or(0) > 0,
+            "missing TLSRPT coverage for {ty:?}: {coverage:?}"
+        );
+    }
+}

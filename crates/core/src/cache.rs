@@ -10,7 +10,7 @@
 //! removal, §2.6, cause lingering delivery failures).
 
 use crate::policy::Policy;
-use netbase::{DomainName, Duration, SimInstant};
+use netbase::{DomainName, SimInstant};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -27,11 +27,18 @@ pub struct CachedPolicy {
 
 impl CachedPolicy {
     /// When this entry expires (`fetched_at + max_age`).
+    ///
+    /// Saturates: a hostile or nonsensical `max_age` (up to `u64::MAX`)
+    /// must clamp to "the end of simulated time", never wrap into the
+    /// past — a wrapped expiry would silently drop downgrade protection.
     pub fn expires_at(&self) -> SimInstant {
-        self.fetched_at + Duration::seconds(self.policy.max_age as i64)
+        let age_secs = i64::try_from(self.policy.max_age).unwrap_or(i64::MAX);
+        SimInstant::from_unix_secs(self.fetched_at.unix_secs().saturating_add(age_secs))
     }
 
-    /// Whether the entry is still fresh at `now`.
+    /// Whether the entry is still fresh at `now`. `max_age = 0` entries
+    /// are never fresh (the strict `<` makes the expiry boundary
+    /// exclusive), so they can never be served from cache.
     pub fn is_fresh(&self, now: SimInstant) -> bool {
         now < self.expires_at()
     }
@@ -171,7 +178,7 @@ impl PolicyCache {
 mod tests {
     use super::*;
     use crate::policy::{Mode, MxPattern, Policy};
-    use netbase::SimDate;
+    use netbase::{Duration, SimDate};
 
     fn n(s: &str) -> DomainName {
         s.parse().unwrap()
@@ -269,6 +276,46 @@ mod tests {
         let _ = cache.decide(&n("a.com"), Some("1"), t0()); // hit
         let _ = cache.decide(&n("a.com"), Some("2"), t0()); // fetch (id)
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn max_age_zero_is_never_served() {
+        let mut cache = PolicyCache::new();
+        cache.store(n("a.com"), policy(0), "1", t0());
+        // Not even at the very instant it was stored.
+        assert_eq!(
+            cache.decide(&n("a.com"), Some("1"), t0()),
+            CacheDecision::Fetch(RefreshReason::Expired)
+        );
+        // And a record outage must not resurrect it either: the entry is
+        // expired, so the domain is released rather than protected.
+        cache.store(n("a.com"), policy(0), "1", t0());
+        assert_eq!(
+            cache.decide(&n("a.com"), None, t0()),
+            CacheDecision::Fetch(RefreshReason::Expired)
+        );
+        assert!(cache.peek(&n("a.com")).is_none());
+    }
+
+    #[test]
+    fn huge_max_age_saturates_instead_of_overflowing() {
+        // u32::MAX seconds (~136 years) and u64::MAX (which does not even
+        // fit i64) must both clamp, not wrap into the past.
+        for max_age in [u64::from(u32::MAX), u64::MAX] {
+            let mut cache = PolicyCache::new();
+            cache.store(n("a.com"), policy(max_age), "1", t0());
+            let entry = cache.peek(&n("a.com")).unwrap().clone();
+            assert!(
+                entry.expires_at() > t0(),
+                "max_age={max_age} wrapped into the past"
+            );
+            let far_future = t0() + Duration::days(365 * 100);
+            assert!(entry.is_fresh(far_future), "max_age={max_age}");
+            assert!(matches!(
+                cache.decide(&n("a.com"), Some("1"), far_future),
+                CacheDecision::UseCached(_)
+            ));
+        }
     }
 
     #[test]

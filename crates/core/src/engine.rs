@@ -130,6 +130,7 @@ where
 #[derive(Debug, Default)]
 pub struct SenderEngine {
     cache: PolicyCache,
+    fetch_fallbacks: u64,
 }
 
 impl SenderEngine {
@@ -142,6 +143,26 @@ impl SenderEngine {
     /// hit/fetch counters).
     pub fn cache(&self) -> &PolicyCache {
         &self.cache
+    }
+
+    /// Drops any cached policy for `domain` (the always-refetch ablation).
+    pub fn evict(&mut self, domain: &DomainName) -> bool {
+        self.cache.evict(domain)
+    }
+
+    /// How many times a failed refresh fell back to a still-fresh cached
+    /// policy (RFC 8461 §3.3 degraded mode).
+    pub fn fetch_fallbacks(&self) -> u64 {
+        self.fetch_fallbacks
+    }
+
+    /// The still-fresh cached policy for `domain`, if a failed refresh can
+    /// fall back to it.
+    fn stale_fallback(&self, domain: &DomainName, now: SimInstant) -> Option<Policy> {
+        self.cache
+            .peek(domain)
+            .filter(|entry| entry.is_fresh(now))
+            .map(|entry| entry.policy.clone())
     }
 
     /// Evaluates one delivery, updating the cache, and returns the
@@ -193,21 +214,40 @@ impl SenderEngine {
                             (policy, false)
                         }
                         Err(e) => {
-                            // Unparsable (e.g. empty) policy: sender treats
-                            // the domain as unprotected (≈ `none`, §5).
+                            // A refresh that yields garbage must not defeat
+                            // a still-fresh cached policy (RFC 8461 §3.3):
+                            // an attacker able to swap the document (after
+                            // changing the record id) would otherwise
+                            // downgrade the domain to unprotected delivery.
+                            if let Some(policy) = self.stale_fallback(obs.domain, obs.now) {
+                                self.fetch_fallbacks += 1;
+                                (policy, true)
+                            } else {
+                                // Unparsable (e.g. empty) policy: sender
+                                // treats the domain as unprotected
+                                // (≈ `none`, §5).
+                                let outcome = StsOutcome::PolicyUnavailable {
+                                    reason: format!("policy parse failure: {e}"),
+                                };
+                                let action = action_for(&outcome);
+                                return (outcome, action);
+                            }
+                        }
+                    },
+                    Err(e) => {
+                        // Same degraded mode for a broken fetch: keep
+                        // honoring the cached policy until `max_age` runs
+                        // out rather than dropping to unprotected delivery.
+                        if let Some(policy) = self.stale_fallback(obs.domain, obs.now) {
+                            self.fetch_fallbacks += 1;
+                            (policy, true)
+                        } else {
                             let outcome = StsOutcome::PolicyUnavailable {
-                                reason: format!("policy parse failure: {e}"),
+                                reason: format!("policy fetch failure: {e}"),
                             };
                             let action = action_for(&outcome);
                             return (outcome, action);
                         }
-                    },
-                    Err(e) => {
-                        let outcome = StsOutcome::PolicyUnavailable {
-                            reason: format!("policy fetch failure: {e}"),
-                        };
-                        let action = action_for(&outcome);
-                        return (outcome, action);
                     }
                 }
             }
@@ -570,6 +610,119 @@ mod tests {
             t0(),
         );
         assert_eq!(action, SenderAction::Refuse);
+    }
+
+    #[test]
+    fn tofu_refresh_race_keeps_old_policy() {
+        // Satellite: record id changed (attacker- or operator-initiated)
+        // while the HTTPS fetch is faulted. RFC 8461 §3.3: the still-fresh
+        // cached policy must keep applying — the engine must NOT drop to
+        // unprotected delivery.
+        let mut e = SenderEngine::new();
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        // Id changed + fetch faulted + attacker-chosen MX: still refused.
+        let (outcome, action) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=attacker1;".to_string()]),
+            Err("tls: certificate: unknown issuer".into()),
+            "evil.attacker.net",
+            Ok(()),
+            t0() + Duration::hours(3),
+        );
+        assert_eq!(action, SenderAction::Refuse);
+        assert!(matches!(
+            outcome,
+            StsOutcome::Failed {
+                mode: Mode::Enforce,
+                failure: StsFailure::MxNotListed,
+                from_cache: true
+            }
+        ));
+        assert_eq!(e.fetch_fallbacks(), 1);
+        // The legitimate MX still validates and delivers under the old
+        // policy during the outage.
+        let (outcome, action) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=attacker1;".to_string()]),
+            Err("still down".into()),
+            "mx.example.com",
+            Ok(()),
+            t0() + Duration::hours(4),
+        );
+        assert_eq!(action, SenderAction::Deliver);
+        assert!(matches!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::Enforce,
+                from_cache: true
+            }
+        ));
+        assert_eq!(e.fetch_fallbacks(), 2);
+    }
+
+    #[test]
+    fn garbage_refresh_document_keeps_old_policy() {
+        // Same race, but the fetch "succeeds" with attacker-fed garbage.
+        let mut e = SenderEngine::new();
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(doc("enforce")),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        let (outcome, _) = eval(
+            &mut e,
+            Some(vec!["v=STSv1; id=attacker2;".to_string()]),
+            Ok("HTTP garbage, not a policy".into()),
+            "mx.example.com",
+            Ok(()),
+            t0() + Duration::hours(1),
+        );
+        assert!(matches!(
+            outcome,
+            StsOutcome::Validated {
+                mode: Mode::Enforce,
+                from_cache: true
+            }
+        ));
+        assert_eq!(e.fetch_fallbacks(), 1);
+    }
+
+    #[test]
+    fn expired_cache_does_not_fall_back() {
+        // The fallback is bounded by max_age: once the cached policy
+        // expires, a failed fetch degrades to unprotected delivery — the
+        // attacker has outwaited the cache.
+        let mut e = SenderEngine::new();
+        let short = "version: STSv1\r\nmode: enforce\r\nmx: mx.example.com\r\nmax_age: 3600\r\n";
+        let _ = eval(
+            &mut e,
+            Some(record()),
+            Ok(short.to_string()),
+            "mx.example.com",
+            Ok(()),
+            t0(),
+        );
+        let (outcome, action) = eval(
+            &mut e,
+            Some(record()),
+            Err("blocked".into()),
+            "mx.example.com",
+            Ok(()),
+            t0() + Duration::hours(2),
+        );
+        assert!(matches!(outcome, StsOutcome::PolicyUnavailable { .. }));
+        assert_eq!(action, SenderAction::DeliverUnvalidated);
+        assert_eq!(e.fetch_fallbacks(), 0);
     }
 
     #[test]

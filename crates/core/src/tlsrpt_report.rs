@@ -53,6 +53,11 @@ impl ResultType {
             StsOutcome::PolicyUnavailable { reason } => {
                 if reason.contains("parse") {
                     Some(ResultType::StsPolicyInvalid)
+                } else if reason.contains("certificate") {
+                    // RFC 8460 §4.3.2: the policy could not be
+                    // authenticated by PKIX — the policy host's HTTPS
+                    // certificate failed validation (e.g. a MITM cert).
+                    Some(ResultType::StsWebpkiInvalid)
                 } else {
                     Some(ResultType::StsPolicyFetchError)
                 }
@@ -250,6 +255,14 @@ mod tests {
                 reason: "policy parse failure: empty".into()
             }),
             Some(ResultType::StsPolicyInvalid)
+        );
+        // A policy-fetch TLS *certificate* failure is the PKIX
+        // authentication failure RFC 8460 calls sts-webpki-invalid.
+        assert_eq!(
+            ResultType::from_outcome(&StsOutcome::PolicyUnavailable {
+                reason: "policy fetch failure: tls: certificate: unknown issuer".into()
+            }),
+            Some(ResultType::StsWebpkiInvalid)
         );
     }
 

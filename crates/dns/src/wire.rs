@@ -292,17 +292,33 @@ impl<'a> Decoder<'a> {
                 return Err(WireError::BadName);
             }
             total_len += len + 1;
-            if total_len > 255 {
+            // 255 wire octets including the root byte = 254 here, which
+            // keeps decoded names within `netbase::MAX_NAME_LEN` in
+            // presentation form.
+            if total_len > 254 {
                 return Err(WireError::BadName);
             }
             let raw = self.data.get(pos..pos + len).ok_or(WireError::Truncated)?;
             let label = std::str::from_utf8(raw)
                 .map_err(|_| WireError::BadLabel)?
                 .to_ascii_lowercase();
-            if !label.bytes().all(|b| {
-                b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_' || b == b'*'
-            }) {
-                return Err(WireError::BadLabel);
+            // Enforce the same canonical form `DomainName::parse` does, so
+            // hostile wire input can never smuggle in a name the rest of
+            // the pipeline (serde round-trips included) would reject.
+            if label.contains('*') {
+                if label != "*" || !labels.is_empty() {
+                    return Err(WireError::BadLabel);
+                }
+            } else {
+                if !label
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+                {
+                    return Err(WireError::BadLabel);
+                }
+                if label.starts_with('-') || label.ends_with('-') {
+                    return Err(WireError::BadLabel);
+                }
             }
             labels.push(label);
             pos += len;

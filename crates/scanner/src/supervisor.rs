@@ -125,16 +125,53 @@ fn thaw_ips(frozen: &[(String, String)]) -> HashMap<DomainName, Ipv4Addr> {
         .collect()
 }
 
+/// Magic tag of the checkpoint header line.
+const CKPT_MAGIC: &str = "MTASTS-CKPT1";
+
+/// FNV-1a 64-bit, the integrity hash of the checkpoint payload.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 impl Checkpoint {
+    /// Loads the checkpoint, verifying the `MTASTS-CKPT1 <len> <fnv64>`
+    /// header. A missing file starts fresh; so does any corruption — a
+    /// truncated or bit-rotted checkpoint (a crash mid-write, a full
+    /// disk) must cost the saved progress, never the whole campaign.
     fn load(path: &PathBuf) -> Checkpoint {
-        match std::fs::read_to_string(path) {
-            Ok(text) => serde_json::from_str(&text).expect("checkpoint file must parse if present"),
-            Err(_) => Checkpoint::default(),
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Checkpoint::default();
+        };
+        Checkpoint::parse(&text).unwrap_or_default()
+    }
+
+    /// Parses and verifies the on-disk format; `None` means corrupt.
+    fn parse(text: &str) -> Option<Checkpoint> {
+        let (header, payload) = text.split_once('\n')?;
+        let mut fields = header.split(' ');
+        if fields.next() != Some(CKPT_MAGIC) {
+            return None;
         }
+        let len: usize = fields.next()?.parse().ok()?;
+        let hash: u64 = u64::from_str_radix(fields.next()?, 16).ok()?;
+        if fields.next().is_some() || payload.len() != len || fnv64(payload.as_bytes()) != hash {
+            return None;
+        }
+        serde_json::from_str(payload).ok()
     }
 
     fn store(&self, path: &PathBuf) {
-        let text = serde_json::to_string(self).expect("checkpoint serializes");
+        let payload = serde_json::to_string(self).expect("checkpoint serializes");
+        let text = format!(
+            "{CKPT_MAGIC} {} {:016x}\n{payload}",
+            payload.len(),
+            fnv64(payload.as_bytes())
+        );
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, &text).expect("checkpoint directory must be writable");
         std::fs::rename(&tmp, path).expect("checkpoint rename must succeed");
@@ -381,6 +418,94 @@ mod tests {
         // layer actually worked during the faulted runs.
         assert_eq!(want_report, got_report);
         assert!(want_report.retries_issued > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_restart_cleanly() {
+        let dir =
+            std::env::temp_dir().join(format!("mtasts-supervisor-{}-corrupt", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut ckpt = Checkpoint::default();
+        ckpt.report.domains_scanned = 123;
+        ckpt.store(&path);
+
+        // Intact: round-trips.
+        assert_eq!(Checkpoint::load(&path).report.domains_scanned, 123);
+
+        let stored = std::fs::read_to_string(&path).unwrap();
+
+        // Truncated at every prefix (a crash mid-write): clean restart,
+        // never a panic.
+        for cut in 0..stored.len() {
+            std::fs::write(&path, &stored[..cut]).unwrap();
+            assert_eq!(
+                Checkpoint::load(&path).report.domains_scanned,
+                0,
+                "truncation at {cut} must start fresh"
+            );
+        }
+
+        // One corrupted payload byte: the hash catches it.
+        let mut flipped = stored.clone().into_bytes();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(Checkpoint::load(&path).report.domains_scanned, 0);
+
+        // Valid JSON without the header is still rejected.
+        std::fs::write(&path, "{\"completed\":[],\"partial\":null}").unwrap();
+        assert_eq!(Checkpoint::load(&path).report.domains_scanned, 0);
+
+        // And a missing file starts fresh.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).report.domains_scanned, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_survives_a_truncated_checkpoint() {
+        // A kill mid-snapshot followed by checkpoint corruption: the rerun
+        // silently restarts from scratch and still matches the reference.
+        let study = study();
+        let dir = std::env::temp_dir().join(format!(
+            "mtasts-supervisor-{}-trunc-resume",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let base = SupervisorConfig {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 16,
+            ..SupervisorConfig::default()
+        };
+        let reference = study.run_full_supervised(&SupervisorConfig::default());
+        let SupervisedOutcome::Complete {
+            snapshots: want, ..
+        } = reference
+        else {
+            panic!("reference run must complete")
+        };
+
+        let killed = study.run_full_supervised(&SupervisorConfig {
+            domain_budget: Some(want.iter().map(Snapshot::len).sum::<usize>() / 3),
+            ..base.clone()
+        });
+        assert!(matches!(killed, SupervisedOutcome::Suspended { .. }));
+
+        // Corrupt the checkpoint the way a crash mid-write would.
+        let stored = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &stored[..stored.len() / 2]).unwrap();
+
+        let resumed = study.run_full_supervised(&base);
+        let SupervisedOutcome::Complete { snapshots: got, .. } = resumed else {
+            panic!("rerun over a corrupt checkpoint must complete")
+        };
+        assert_eq!(snapshot_fingerprint(&want), snapshot_fingerprint(&got));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,551 @@
+//! The per-message delivery engine: RFC 8461 degraded-mode semantics end
+//! to end, driven against a (possibly hostile) [`simnet::World`].
+//!
+//! [`crate::platform`] asks "what does this sender's validation behaviour
+//! look like from the outside?"; this module asks the complementary
+//! question the paper's security argument (§2.4, §6) rests on: *what does
+//! MTA-STS actually buy a sender under active attack?* Each message walks
+//! an explicit state machine — MX lookup, `_mta-sts` record lookup, cache
+//! consultation, policy fetch (with stale-cache fallback within
+//! `max_age`), MX probe, TLS validation, decision — and every degraded
+//! mode is accounted: `testing` vs `enforce` divergence, soft-fails, and
+//! RFC 8460 TLSRPT failure-type emission through
+//! [`mtasts::ReportBuilder`].
+
+use mtasts::{
+    DeliveryObservation, Mode, ReportBuilder, ResultType, SenderAction, SenderEngine, StsFailure,
+    StsOutcome, TlsReport,
+};
+use netbase::{DomainName, SimDate, SimInstant};
+use pkix::validate_chain;
+use serde::Serialize;
+use simnet::World;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The states a message traverses (recorded in order for observability;
+/// conditional states appear only when entered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DeliveryPhase {
+    /// Resolve the recipient domain's MX set.
+    MxLookup,
+    /// Look up the `_mta-sts` TXT record.
+    StsRecordLookup,
+    /// The ablation dropped the cached policy before deciding.
+    CacheEvicted,
+    /// The engine went to the network for the policy document.
+    PolicyFetch,
+    /// The fetch failed but a still-fresh cached policy took over
+    /// (RFC 8461 §3.3 degraded mode).
+    StaleCacheFallback,
+    /// Probe the selected MX (EHLO, STARTTLS, certificate).
+    MxProbe,
+    /// Terminal: delivered with validated TLS.
+    Delivered,
+    /// Terminal: delivered without MTA-STS protection.
+    DeliveredUnvalidated,
+    /// Terminal: refused (failure under `enforce`).
+    Refused,
+}
+
+/// Delivery-engine configuration.
+#[derive(Debug, Clone)]
+pub struct DeliveryConfig {
+    /// TOFU caching on (`false` = the always-refetch ablation: every
+    /// message re-reads record and policy from the network).
+    pub use_cache: bool,
+    /// TLSRPT reporting organization.
+    pub organization: String,
+    /// TLSRPT contact address.
+    pub contact: String,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> DeliveryConfig {
+        DeliveryConfig {
+            use_cache: true,
+            organization: "MTA-STS Lab Sender".to_string(),
+            contact: "mailto:tlsrpt@sender.example".to_string(),
+        }
+    }
+}
+
+impl DeliveryConfig {
+    /// The always-refetch ablation (a sender without a TOFU cache).
+    pub fn without_cache() -> DeliveryConfig {
+        DeliveryConfig {
+            use_cache: false,
+            ..DeliveryConfig::default()
+        }
+    }
+}
+
+/// Running totals over every delivery attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DeliveryStats {
+    /// Messages attempted.
+    pub attempted: u64,
+    /// Delivered with validated TLS.
+    pub delivered_validated: u64,
+    /// Delivered without MTA-STS protection.
+    pub delivered_unvalidated: u64,
+    /// Refused under `enforce`.
+    pub refused: u64,
+    /// Validation failures delivered anyway under `testing` (the
+    /// soft-fail account RFC 8461 §5.2 trades for TLSRPT visibility).
+    pub soft_fails: u64,
+    /// Failed refreshes that fell back to a still-fresh cached policy.
+    pub stale_fallbacks: u64,
+    /// Deliveries the active attacker could read or redirect: delivered
+    /// without validated TLS while an attack window covered the domain or
+    /// its MX. This is the attacker's win count.
+    pub intercepted: u64,
+}
+
+impl DeliveryStats {
+    /// Every message delivered, protected or not.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_validated + self.delivered_unvalidated
+    }
+}
+
+/// One message's full delivery record.
+#[derive(Debug, Clone)]
+pub struct DeliveryRecord {
+    /// Recipient domain.
+    pub domain: DomainName,
+    /// The MX the delivery targeted.
+    pub mx: DomainName,
+    /// Protocol outcome.
+    pub outcome: StsOutcome,
+    /// Final action.
+    pub action: SenderAction,
+    /// The TLSRPT result type this attempt contributes (`None` = success
+    /// or MTA-STS not applicable).
+    pub result_type: Option<ResultType>,
+    /// Whether the attacker won this message (see
+    /// [`DeliveryStats::intercepted`]).
+    pub intercepted: bool,
+    /// The states traversed, in order.
+    pub trace: Vec<DeliveryPhase>,
+}
+
+/// A stateful sending MTA: one TOFU cache, one TLSRPT ledger, many
+/// messages.
+#[derive(Debug, Default)]
+pub struct DeliveryEngine {
+    cfg: DeliveryConfig,
+    engine: SenderEngine,
+    report: ReportBuilder,
+    stats: DeliveryStats,
+}
+
+impl DeliveryEngine {
+    /// A fresh engine.
+    pub fn new(cfg: DeliveryConfig) -> DeliveryEngine {
+        DeliveryEngine {
+            cfg,
+            engine: SenderEngine::new(),
+            report: ReportBuilder::new(),
+            stats: DeliveryStats::default(),
+        }
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+
+    /// The underlying decision engine (cache instrumentation).
+    pub fn engine(&self) -> &SenderEngine {
+        &self.engine
+    }
+
+    /// Builds the TLSRPT report over everything recorded so far.
+    pub fn tls_report(&self, day: SimDate) -> TlsReport {
+        self.report
+            .build(&self.cfg.organization, &self.cfg.contact, day)
+    }
+
+    /// Delivers one message to `domain` at `now`, walking the full state
+    /// machine against `world`.
+    pub fn deliver(
+        &mut self,
+        world: &World,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> DeliveryRecord {
+        let mut trace = vec![DeliveryPhase::MxLookup];
+
+        // MX selection: best-preference published MX, or the apex when the
+        // domain publishes none (RFC 5321 implicit MX).
+        let mx = world
+            .mx_records(domain, now)
+            .ok()
+            .and_then(|hosts| hosts.first().cloned())
+            .unwrap_or_else(|| domain.clone());
+
+        trace.push(DeliveryPhase::StsRecordLookup);
+        let record_txts = world.mta_sts_txts(domain, now).ok();
+
+        if !self.cfg.use_cache && self.engine.evict(domain) {
+            trace.push(DeliveryPhase::CacheEvicted);
+        }
+
+        trace.push(DeliveryPhase::MxProbe);
+        let probe = world.probe_mx(&mx, now);
+        let starttls = probe.starttls_offered;
+        let chain = probe.chain.clone().unwrap_or_default();
+
+        let fetch_attempted = Rc::new(Cell::new(false));
+        let fallbacks_before = self.engine.fetch_fallbacks();
+        let fetch_world = world.clone();
+        let fetch_domain = domain.clone();
+        let fetch_flag = Rc::clone(&fetch_attempted);
+        let mx_for_tls = mx.clone();
+        let trust = world.pki.trust_store().clone();
+        let (outcome, action) = self.engine.evaluate(DeliveryObservation {
+            domain,
+            record_txts: record_txts.as_deref(),
+            fetch_policy: move || {
+                fetch_flag.set(true);
+                fetch_world
+                    .fetch_policy(&fetch_domain, now)
+                    .result
+                    .map(|(_, raw)| raw)
+                    .map_err(|e| e.to_string())
+            },
+            mx_host: &mx,
+            check_mx_tls: move || {
+                if !starttls {
+                    return Err(StsFailure::StartTlsUnavailable);
+                }
+                validate_chain(&chain, &mx_for_tls, now, &trust).map_err(StsFailure::CertInvalid)
+            },
+            now,
+        });
+
+        if fetch_attempted.get() {
+            trace.push(DeliveryPhase::PolicyFetch);
+        }
+        let fell_back = self.engine.fetch_fallbacks() > fallbacks_before;
+        if fell_back {
+            trace.push(DeliveryPhase::StaleCacheFallback);
+        }
+
+        // Accounting.
+        self.stats.attempted += 1;
+        if fell_back {
+            self.stats.stale_fallbacks += 1;
+        }
+        let validated = action == SenderAction::Deliver;
+        match action {
+            SenderAction::Deliver => {
+                self.stats.delivered_validated += 1;
+                trace.push(DeliveryPhase::Delivered);
+            }
+            SenderAction::DeliverUnvalidated => {
+                self.stats.delivered_unvalidated += 1;
+                trace.push(DeliveryPhase::DeliveredUnvalidated);
+            }
+            SenderAction::Refuse => {
+                self.stats.refused += 1;
+                trace.push(DeliveryPhase::Refused);
+            }
+        }
+        if matches!(
+            outcome,
+            StsOutcome::Failed {
+                mode: Mode::Testing,
+                ..
+            }
+        ) && action == SenderAction::DeliverUnvalidated
+        {
+            self.stats.soft_fails += 1;
+        }
+
+        // The attacker wins a message delivered without validated TLS
+        // while any attack window covers the domain or its MX (omniscient
+        // labelling — the sim knows what a real sender cannot).
+        let attack_touched = !world.attacks_active(domain, now).is_empty()
+            || !world.attacks_active(&mx, now).is_empty();
+        let delivered = action != SenderAction::Refuse;
+        let intercepted = delivered && attack_touched && !validated;
+        if intercepted {
+            self.stats.intercepted += 1;
+        }
+
+        self.report.record(domain, &mx, &outcome);
+        let result_type = ResultType::from_outcome(&outcome);
+
+        DeliveryRecord {
+            domain: domain.clone(),
+            mx,
+            outcome,
+            action,
+            result_type,
+            intercepted,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns::{RecordData, RecordType};
+    use netbase::{Duration, SimDate};
+    use simnet::{AttackKind, AttackSchedule, MxEndpoint, WebEndpoint};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn t0() -> SimInstant {
+        SimDate::ymd(2024, 6, 1).at_midnight()
+    }
+
+    /// A healthy enforce/testing-mode receiver, `good_world` style.
+    fn victim_world(mode: &str) -> World {
+        let w = World::new();
+        let domain = n("example.com");
+        w.ensure_zone(&domain);
+        let policy_host = n("mta-sts.example.com");
+        let mut web = WebEndpoint::up();
+        web.install_chain(
+            policy_host.clone(),
+            w.pki.issue_valid(std::slice::from_ref(&policy_host), t0()),
+        );
+        web.install_policy(
+            policy_host.clone(),
+            &format!("version: STSv1\r\nmode: {mode}\r\nmx: mx.example.com\r\nmax_age: 604800\r\n"),
+        );
+        let web_ip = w.add_web_endpoint(web);
+        let mx_chain = w.pki.issue_valid(&[n("mx.example.com")], t0());
+        let mx_ip = w.add_mx_endpoint(MxEndpoint::healthy(n("mx.example.com"), mx_chain));
+        w.with_zone(&domain, |z| {
+            z.add_rr(&policy_host, 300, RecordData::A(web_ip));
+            z.add_rr(&n("mx.example.com"), 300, RecordData::A(mx_ip));
+            z.add_rr(
+                &domain,
+                300,
+                RecordData::Mx {
+                    preference: 10,
+                    exchange: n("mx.example.com"),
+                },
+            );
+            z.add_rr(
+                &n("_mta-sts.example.com"),
+                300,
+                RecordData::Txt(vec!["v=STSv1; id=20240601;".into()]),
+            );
+        });
+        w
+    }
+
+    fn downgrade_attack(start: SimInstant, end: SimInstant) -> AttackSchedule {
+        AttackSchedule::new()
+            .with_window(AttackKind::DnsTxtStrip, Some(n("example.com")), start, end)
+            .with_window(AttackKind::MxRedirect, Some(n("example.com")), start, end)
+    }
+
+    #[test]
+    fn healthy_delivery_validates_and_traces() {
+        let w = victim_world("enforce");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::default());
+        let rec = eng.deliver(&w, &n("example.com"), t0());
+        assert_eq!(rec.action, SenderAction::Deliver);
+        assert_eq!(rec.mx, n("mx.example.com"));
+        assert!(!rec.intercepted);
+        assert_eq!(
+            rec.trace,
+            vec![
+                DeliveryPhase::MxLookup,
+                DeliveryPhase::StsRecordLookup,
+                DeliveryPhase::MxProbe,
+                DeliveryPhase::PolicyFetch,
+                DeliveryPhase::Delivered,
+            ]
+        );
+        // Second delivery rides the cache: no fetch phase.
+        let rec2 = eng.deliver(&w, &n("example.com"), t0() + Duration::hours(1));
+        assert!(!rec2.trace.contains(&DeliveryPhase::PolicyFetch));
+        assert_eq!(eng.stats().delivered_validated, 2);
+        assert_eq!(eng.stats().intercepted, 0);
+    }
+
+    #[test]
+    fn warm_cache_enforce_sender_refuses_during_downgrade() {
+        let w = victim_world("enforce");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::default());
+        // Prime the TOFU cache before the attack begins.
+        assert_eq!(
+            eng.deliver(&w, &n("example.com"), t0()).action,
+            SenderAction::Deliver
+        );
+
+        let start = t0() + Duration::hours(1);
+        let end = start + Duration::hours(6);
+        w.set_attacker(downgrade_attack(start, end));
+        w.flush_dns_cache();
+
+        let rec = eng.deliver(&w, &n("example.com"), start + Duration::hours(1));
+        // The cached policy survives the stripped record; the redirected
+        // MX fails pattern matching; enforce refuses.
+        assert_eq!(rec.action, SenderAction::Refuse);
+        assert_eq!(rec.mx, n("mx.attacker.example"));
+        assert!(matches!(
+            rec.outcome,
+            StsOutcome::Failed {
+                mode: Mode::Enforce,
+                failure: StsFailure::MxNotListed,
+                from_cache: true,
+            }
+        ));
+        assert!(!rec.intercepted, "a refusal is never an interception");
+        assert_eq!(eng.stats().refused, 1);
+        assert_eq!(eng.stats().intercepted, 0);
+    }
+
+    #[test]
+    fn cacheless_sender_loses_messages_during_downgrade() {
+        let w = victim_world("enforce");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::without_cache());
+        assert_eq!(
+            eng.deliver(&w, &n("example.com"), t0()).action,
+            SenderAction::Deliver
+        );
+
+        let start = t0() + Duration::hours(1);
+        let end = start + Duration::hours(6);
+        w.set_attacker(downgrade_attack(start, end));
+        w.flush_dns_cache();
+
+        let rec = eng.deliver(&w, &n("example.com"), start + Duration::hours(1));
+        // No cache, no record: MTA-STS silently does not apply and the
+        // message goes to the attacker's relay in the clear.
+        assert_eq!(rec.outcome, StsOutcome::NotApplicable);
+        assert_eq!(rec.action, SenderAction::DeliverUnvalidated);
+        assert_eq!(rec.mx, n("mx.attacker.example"));
+        assert!(rec.intercepted);
+        assert_eq!(eng.stats().intercepted, 1);
+    }
+
+    #[test]
+    fn testing_mode_soft_fails_and_reports() {
+        let w = victim_world("testing");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::default());
+        let start = t0();
+        let end = start + Duration::hours(6);
+        w.set_attacker(AttackSchedule::new().with_window(
+            AttackKind::MxRedirect,
+            Some(n("example.com")),
+            start,
+            end,
+        ));
+
+        let rec = eng.deliver(&w, &n("example.com"), start + Duration::hours(1));
+        // testing mode: the failure is observed but the message still goes
+        // out — the attacker wins exactly the message enforce would hold.
+        assert!(matches!(
+            rec.outcome,
+            StsOutcome::Failed {
+                mode: Mode::Testing,
+                failure: StsFailure::MxNotListed,
+                ..
+            }
+        ));
+        assert_eq!(rec.action, SenderAction::DeliverUnvalidated);
+        assert_eq!(rec.result_type, Some(ResultType::ValidationFailure));
+        assert!(rec.intercepted);
+        assert_eq!(eng.stats().soft_fails, 1);
+        assert_eq!(eng.stats().intercepted, 1);
+
+        // And the TLSRPT report carries the failure against the attacker MX.
+        let report = eng.tls_report(SimDate::ymd(2024, 6, 1));
+        let policy = &report.policies[0];
+        assert_eq!(policy.total_failure, 1);
+        assert_eq!(
+            policy.failure_details[0].result_type,
+            ResultType::ValidationFailure
+        );
+        assert_eq!(
+            policy.failure_details[0].receiving_mx_hostname,
+            "mx.attacker.example"
+        );
+    }
+
+    #[test]
+    fn https_mitm_during_refresh_falls_back_to_stale_policy() {
+        let w = victim_world("enforce");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::default());
+        assert_eq!(
+            eng.deliver(&w, &n("example.com"), t0()).action,
+            SenderAction::Deliver
+        );
+
+        // The operator rotates the record id (forcing a refresh)…
+        w.with_zone(&n("example.com"), |z| {
+            z.remove(&n("_mta-sts.example.com"), RecordType::Txt);
+            z.add_rr(
+                &n("_mta-sts.example.com"),
+                300,
+                RecordData::Txt(vec!["v=STSv1; id=20240701;".into()]),
+            );
+        });
+        w.flush_dns_cache();
+        // …while an attacker MITMs the policy host with a bogus cert.
+        let start = t0() + Duration::hours(1);
+        let end = start + Duration::hours(6);
+        w.set_attacker(AttackSchedule::new().with_window(
+            AttackKind::HttpsMitm,
+            Some(n("example.com")),
+            start,
+            end,
+        ));
+
+        let rec = eng.deliver(&w, &n("example.com"), start + Duration::hours(1));
+        // RFC 8461 §3.3: the failed refresh falls back to the still-fresh
+        // cached policy, and the legitimate MX validates under it.
+        assert!(rec.trace.contains(&DeliveryPhase::PolicyFetch));
+        assert!(rec.trace.contains(&DeliveryPhase::StaleCacheFallback));
+        assert_eq!(rec.action, SenderAction::Deliver);
+        assert!(matches!(
+            rec.outcome,
+            StsOutcome::Validated {
+                from_cache: true,
+                ..
+            }
+        ));
+        assert_eq!(eng.stats().stale_fallbacks, 1);
+        assert_eq!(eng.stats().intercepted, 0);
+    }
+
+    #[test]
+    fn cacheless_https_mitm_emits_sts_webpki_invalid() {
+        let w = victim_world("enforce");
+        let mut eng = DeliveryEngine::new(DeliveryConfig::without_cache());
+        let start = t0();
+        let end = start + Duration::hours(6);
+        w.set_attacker(AttackSchedule::new().with_window(
+            AttackKind::HttpsMitm,
+            Some(n("example.com")),
+            start,
+            end,
+        ));
+
+        let rec = eng.deliver(&w, &n("example.com"), start + Duration::hours(1));
+        // Record present, fetch MITMed, no cache: the policy is simply
+        // unavailable and delivery proceeds unprotected.
+        assert!(matches!(rec.outcome, StsOutcome::PolicyUnavailable { .. }));
+        assert_eq!(rec.action, SenderAction::DeliverUnvalidated);
+        assert_eq!(rec.result_type, Some(ResultType::StsWebpkiInvalid));
+        assert!(rec.intercepted);
+
+        let report = eng.tls_report(SimDate::ymd(2024, 6, 1));
+        assert_eq!(
+            report.policies[0].failure_details[0].result_type,
+            ResultType::StsWebpkiInvalid
+        );
+    }
+}

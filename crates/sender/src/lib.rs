@@ -18,9 +18,11 @@
 //!   sender domain.
 
 pub mod analysis;
+pub mod delivery;
 pub mod platform;
 pub mod profile;
 
 pub use analysis::{analyze, SenderStats};
+pub use delivery::{DeliveryConfig, DeliveryEngine, DeliveryPhase, DeliveryRecord, DeliveryStats};
 pub use platform::{Platform, TestCase, TestRecord};
 pub use profile::{SenderPopulation, SenderProfile, TlsSupport};

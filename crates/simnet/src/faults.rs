@@ -16,7 +16,7 @@
 //! keeps an interrupted-and-resumed supervisor run byte-identical to an
 //! uninterrupted one.
 
-use netbase::{DetRng, SimInstant};
+use netbase::{DetRng, DomainName, SimInstant};
 use serde::{Deserialize, Serialize};
 
 /// The transient failure modes the schedule can inject, mirroring the
@@ -165,6 +165,162 @@ impl FaultSchedule {
     }
 }
 
+/// The moves an on-path *active* adversary can make against MTA-STS
+/// (paper §2.4, §6): unlike the transient [`FaultKind`]s above, these are
+/// deliberate, targeted and persist for the whole attack window. They are
+/// exactly the downgrade vectors RFC 8461's TOFU cache is designed to
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Strip `_mta-sts` TXT answers so the victim appears not to deploy
+    /// MTA-STS at all (downgrade-by-DNS for first-contact senders).
+    DnsTxtStrip,
+    /// Forge a CNAME at `mta-sts.<victim>` redirecting the policy fetch to
+    /// an attacker host — which cannot present a certificate for the
+    /// victim's policy host, so a strict fetch fails with a name mismatch.
+    CnameForge,
+    /// Intercept the HTTPS policy fetch and present an attacker-CA
+    /// certificate for the correct name (fails strict PKIX).
+    HttpsMitm,
+    /// Forge the victim's MX answers to point at the attacker's relay.
+    MxRedirect,
+    /// Filter STARTTLS from the MX's EHLO response (classic STRIPTLS).
+    StartTlsStrip,
+    /// Substitute the MX's certificate chain with one from the attacker's
+    /// own CA (passive-decrypt MITM on the SMTP session).
+    MxCertSubstitute,
+}
+
+impl AttackKind {
+    /// All attack kinds (reporting, sweeps).
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::DnsTxtStrip,
+        AttackKind::CnameForge,
+        AttackKind::HttpsMitm,
+        AttackKind::MxRedirect,
+        AttackKind::StartTlsStrip,
+        AttackKind::MxCertSubstitute,
+    ];
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::DnsTxtStrip => "dns-txt-strip",
+            AttackKind::CnameForge => "cname-forge",
+            AttackKind::HttpsMitm => "https-mitm",
+            AttackKind::MxRedirect => "mx-redirect",
+            AttackKind::StartTlsStrip => "starttls-strip",
+            AttackKind::MxCertSubstitute => "mx-cert-substitute",
+        }
+    }
+}
+
+/// One attack: `kind` is active against `victim` (or every domain when
+/// `None`) for `start <= now < end`. Names match by suffix, so a window
+/// targeting `example.com` also covers `mx.example.com` and
+/// `mta-sts.example.com`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackWindow {
+    /// The attack vector.
+    pub kind: AttackKind,
+    /// The targeted domain (apex); `None` targets everyone.
+    pub victim: Option<DomainName>,
+    /// Window start (inclusive).
+    pub start: SimInstant,
+    /// Window end (exclusive).
+    pub end: SimInstant,
+}
+
+impl AttackWindow {
+    /// Whether this window covers `name` at `now`.
+    pub fn applies(&self, name: &DomainName, now: SimInstant) -> bool {
+        if !(self.start <= now && now < self.end) {
+            return false;
+        }
+        match &self.victim {
+            None => true,
+            Some(victim) => name.is_subdomain_of(victim),
+        }
+    }
+}
+
+/// The active attacker's plan: a set of [`AttackWindow`]s plus the host
+/// the attacker operates (the target of forged CNAMEs and MX answers).
+/// Entirely deterministic — an adversary is deliberate, not stochastic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackSchedule {
+    attacker_host: DomainName,
+    windows: Vec<AttackWindow>,
+}
+
+impl Default for AttackSchedule {
+    fn default() -> AttackSchedule {
+        AttackSchedule::new()
+    }
+}
+
+impl AttackSchedule {
+    /// An empty schedule with the default attacker host.
+    pub fn new() -> AttackSchedule {
+        AttackSchedule {
+            attacker_host: "mx.attacker.example"
+                .parse()
+                .expect("static attacker host is valid"),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Overrides the attacker-operated host.
+    pub fn with_attacker_host(mut self, host: DomainName) -> Self {
+        self.attacker_host = host;
+        self
+    }
+
+    /// Adds an attack window against `victim` (`None` = every domain).
+    pub fn with_window(
+        mut self,
+        kind: AttackKind,
+        victim: Option<DomainName>,
+        start: SimInstant,
+        end: SimInstant,
+    ) -> Self {
+        assert!(start <= end, "attack window must not be inverted");
+        self.windows.push(AttackWindow {
+            kind,
+            victim,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// The host the attacker redirects traffic to.
+    pub fn attacker_host(&self) -> &DomainName {
+        &self.attacker_host
+    }
+
+    /// Whether `kind` is active against `name` at `now`.
+    pub fn active(&self, kind: AttackKind, name: &DomainName, now: SimInstant) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind == kind && w.applies(name, now))
+    }
+
+    /// Every attack kind active against `name` at `now` (deduplicated, in
+    /// [`AttackKind::ALL`] order).
+    pub fn active_kinds(&self, name: &DomainName, now: SimInstant) -> Vec<AttackKind> {
+        AttackKind::ALL
+            .into_iter()
+            .filter(|k| self.active(*k, name, now))
+            .collect()
+    }
+
+    /// Whether the schedule can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
 /// Blanket transient rates for a whole [`crate::World`] — the knob the
 /// validation experiment turns (see EXPERIMENTS.md).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -304,6 +460,57 @@ mod tests {
             .count();
         // Binomial(10_000, 0.2): mean 2000, sd = 40. Allow ±5 sd.
         assert!((1800..=2200).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn attack_windows_match_by_suffix_and_time() {
+        let victim: netbase::DomainName = "example.com".parse().unwrap();
+        let s = AttackSchedule::new().with_window(
+            AttackKind::DnsTxtStrip,
+            Some(victim.clone()),
+            t0() + Duration::seconds(10),
+            t0() + Duration::seconds(20),
+        );
+        let inside = t0() + Duration::seconds(15);
+        assert!(s.active(AttackKind::DnsTxtStrip, &victim, inside));
+        // Suffix match: the record name under the victim is covered too.
+        let record: netbase::DomainName = "_mta-sts.example.com".parse().unwrap();
+        assert!(s.active(AttackKind::DnsTxtStrip, &record, inside));
+        // Other domains, other kinds, and out-of-window instants are not.
+        let other: netbase::DomainName = "other.org".parse().unwrap();
+        assert!(!s.active(AttackKind::DnsTxtStrip, &other, inside));
+        assert!(!s.active(AttackKind::HttpsMitm, &victim, inside));
+        assert!(!s.active(AttackKind::DnsTxtStrip, &victim, t0()));
+        assert!(!s.active(
+            AttackKind::DnsTxtStrip,
+            &victim,
+            t0() + Duration::seconds(20)
+        ));
+        assert_eq!(
+            s.active_kinds(&victim, inside),
+            vec![AttackKind::DnsTxtStrip]
+        );
+    }
+
+    #[test]
+    fn untargeted_window_covers_everyone() {
+        let s = AttackSchedule::new().with_window(
+            AttackKind::StartTlsStrip,
+            None,
+            t0(),
+            t0() + Duration::hours(1),
+        );
+        let any: netbase::DomainName = "whoever.net".parse().unwrap();
+        assert!(s.active(AttackKind::StartTlsStrip, &any, t0()));
+        assert!(!s.is_empty());
+        assert!(AttackSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn attack_labels_are_stable_and_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            AttackKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), AttackKind::ALL.len());
     }
 
     #[test]

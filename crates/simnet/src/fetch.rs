@@ -6,8 +6,8 @@
 //! in [`crate::wire`] performs the same ladders over real sockets; the
 //! differential tests in `tests/` assert agreement.
 
-use crate::endpoint::{Reachability, TlsBehavior};
-use crate::faults::FaultStage;
+use crate::endpoint::{CertKind, Reachability, TlsBehavior};
+use crate::faults::{AttackKind, FaultStage};
 use crate::world::World;
 use dns::RecordType;
 use mtasts::{parse_policy, Policy, PolicyError};
@@ -183,6 +183,46 @@ impl World {
         let policy_host = domain
             .prefixed(mtasts::POLICY_HOST_LABEL)
             .expect("policy host label is valid");
+
+        // Active attacker: on-path interception happens before any real
+        // endpoint is consulted. Either way the attacker cannot present a
+        // publicly trusted certificate for `mta-sts.<domain>`, so the
+        // strict (RFC 8461 §3.3) fetch fails at the TLS layer; the forged
+        // evidence is still recorded like any observed chain.
+        let attacker = self.attacker();
+        if attacker.active(AttackKind::CnameForge, domain, now) {
+            // Forged CNAME to the attacker's host, which serves its own
+            // (validly issued) certificate → name mismatch.
+            let attacker_host = attacker.attacker_host().clone();
+            let chain = self.pki.issue(
+                &CertKind::WrongName(attacker_host.clone()),
+                std::slice::from_ref(&policy_host),
+                now,
+            );
+            let err = validate_chain(&chain, &policy_host, now, self.pki.trust_store())
+                .expect_err("attacker chain never validates for the victim host");
+            return PolicyFetchOutcome {
+                cname_chain: vec![attacker_host],
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Tls(TlsFailure::Cert(err))),
+            };
+        }
+        if attacker.active(AttackKind::HttpsMitm, domain, now) {
+            // MITM terminates TLS with a certificate for the *right* name
+            // issued by the attacker's own CA → unknown issuer.
+            let chain = self.pki.issue(
+                &CertKind::UntrustedCa,
+                std::slice::from_ref(&policy_host),
+                now,
+            );
+            let err = validate_chain(&chain, &policy_host, now, self.pki.trust_store())
+                .expect_err("attacker chain never validates for the victim host");
+            return PolicyFetchOutcome {
+                cname_chain: Vec::new(),
+                presented_chain: Some(chain),
+                result: Err(PolicyFetchError::Tls(TlsFailure::Cert(err))),
+            };
+        }
 
         // Layer 1: DNS. Resolve A; recover the CNAME chain for delegation
         // analysis even when resolution fails (provider NXDOMAIN opt-outs,
@@ -385,7 +425,11 @@ impl World {
             };
         }
         let used_helo = endpoint.helo_only;
-        let starttls_offered = endpoint.starttls && !endpoint.hide_starttls && !endpoint.helo_only;
+        // An on-path STRIPTLS attacker filters the capability out of the
+        // EHLO response; the client cannot tell stripped from never-offered.
+        let stripped = self.attack_active(AttackKind::StartTlsStrip, mx_host, now);
+        let starttls_offered =
+            endpoint.starttls && !endpoint.hide_starttls && !endpoint.helo_only && !stripped;
         if !starttls_offered {
             return MxProbeOutcome {
                 reachable: true,
@@ -396,11 +440,19 @@ impl World {
                 tempfail: None,
             };
         }
+        // A cert-substituting MITM terminates the upgraded session with a
+        // chain from its own CA for the right name.
+        let chain = if self.attack_active(AttackKind::MxCertSubstitute, mx_host, now) {
+            self.pki
+                .issue(&CertKind::UntrustedCa, std::slice::from_ref(mx_host), now)
+        } else {
+            endpoint.chain.clone()
+        };
         MxProbeOutcome {
             reachable: true,
             used_helo,
             starttls_offered,
-            chain: Some(endpoint.chain.clone()),
+            chain: Some(chain),
             tls_failure: None,
             tempfail: None,
         }
@@ -767,6 +819,74 @@ mod tests {
         let after = w.probe_mx(&n("mx.example.com"), outage_end);
         assert!(after.tempfail.is_none() && after.chain.is_some());
         assert!(!after.is_transient_failure());
+    }
+
+    #[test]
+    fn active_attacker_downgrade_vectors() {
+        use crate::faults::{AttackKind, AttackSchedule};
+        use netbase::Duration;
+        let w = good_world();
+        let victim = n("example.com");
+        let window_end = now() + Duration::hours(6);
+        let attack =
+            |kind| AttackSchedule::new().with_window(kind, Some(victim.clone()), now(), window_end);
+
+        // TXT stripping: the record vanishes; other domains are untouched.
+        w.set_attacker(attack(AttackKind::DnsTxtStrip));
+        assert_eq!(
+            w.mta_sts_txts(&victim, now()).unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(!w.mta_sts_txts(&victim, window_end).unwrap().is_empty());
+
+        // Forged CNAME: fetch fails with a name mismatch, forged chain and
+        // CNAME evidence recorded.
+        w.set_attacker(attack(AttackKind::CnameForge));
+        let forged = w.fetch_policy(&victim, now());
+        assert_eq!(forged.cname_chain, vec![n("mx.attacker.example")]);
+        assert!(matches!(
+            forged.result,
+            Err(PolicyFetchError::Tls(TlsFailure::Cert(
+                CertError::NameMismatch { .. }
+            )))
+        ));
+        assert!(forged.presented_chain.is_some());
+
+        // HTTPS MITM: attacker CA cert for the right name → unknown issuer.
+        w.set_attacker(attack(AttackKind::HttpsMitm));
+        let mitm = w.fetch_policy(&victim, now());
+        assert_eq!(
+            mitm.result,
+            Err(PolicyFetchError::Tls(TlsFailure::Cert(
+                CertError::UnknownIssuer
+            )))
+        );
+        // Outside the window the fetch is clean again.
+        assert!(w.fetch_policy(&victim, window_end).result.is_ok());
+
+        // MX redirect: forged MX answer points at the attacker relay.
+        w.set_attacker(attack(AttackKind::MxRedirect));
+        assert_eq!(
+            w.mx_records(&victim, now()).unwrap(),
+            vec![n("mx.attacker.example")]
+        );
+
+        // STARTTLS stripping on the victim's MX.
+        w.set_attacker(attack(AttackKind::StartTlsStrip));
+        let strip = w.probe_mx(&n("mx.example.com"), now());
+        assert!(strip.reachable && !strip.starttls_offered && strip.chain.is_none());
+        assert!(
+            w.probe_mx(&n("mx.example.com"), window_end)
+                .starttls_offered
+        );
+
+        // Cert substitution: the chain no longer validates.
+        w.set_attacker(attack(AttackKind::MxCertSubstitute));
+        let subst = w.probe_mx(&n("mx.example.com"), now());
+        assert_eq!(
+            subst.cert_verdict(&n("mx.example.com"), now(), w.pki.trust_store()),
+            Some(Err(CertError::UnknownIssuer))
+        );
     }
 
     #[test]

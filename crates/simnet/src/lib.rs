@@ -29,7 +29,10 @@ pub mod wire;
 pub mod world;
 
 pub use endpoint::{CertKind, MxEndpoint, WebEndpoint};
-pub use faults::{FaultKind, FaultSchedule, FaultStage, FaultWindow, TransientFaultConfig};
+pub use faults::{
+    AttackKind, AttackSchedule, AttackWindow, FaultKind, FaultSchedule, FaultStage, FaultWindow,
+    TransientFaultConfig,
+};
 pub use fetch::{
     dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure,
 };

@@ -1,7 +1,9 @@
 //! The world: zones, endpoints and the shared PKI under one handle.
 
 use crate::endpoint::{MxEndpoint, WebEndpoint};
-use crate::faults::{FaultKind, FaultSchedule, FaultStage, TransientFaultConfig};
+use crate::faults::{
+    AttackKind, AttackSchedule, FaultKind, FaultSchedule, FaultStage, TransientFaultConfig,
+};
 use crate::pki::SharedPki;
 use dns::{DnsError, InMemoryAuthorities, Lookup, Rcode, RecordType, Resolver, Zone};
 use netbase::{DomainName, SimInstant};
@@ -22,6 +24,7 @@ pub struct World {
     mx: Arc<Mutex<HashMap<Ipv4Addr, MxEndpoint>>>,
     signed_zones: Arc<Mutex<HashSet<DomainName>>>,
     dns_faults: Arc<Mutex<FaultSchedule>>,
+    attacker: Arc<Mutex<AttackSchedule>>,
     next_ip: Arc<Mutex<u32>>,
 }
 
@@ -38,6 +41,7 @@ impl World {
             mx: Arc::new(Mutex::new(HashMap::new())),
             signed_zones: Arc::new(Mutex::new(HashSet::new())),
             dns_faults: Arc::new(Mutex::new(FaultSchedule::default())),
+            attacker: Arc::new(Mutex::new(AttackSchedule::default())),
             // 10.0.0.0/8, skipping .0.0.0.
             next_ip: Arc::new(Mutex::new(1)),
         }
@@ -60,6 +64,29 @@ impl World {
         for (ip, ep) in self.mx.lock().iter_mut() {
             ep.faults = cfg.mx_schedule(u64::from(u32::from(*ip)));
         }
+    }
+
+    /// Installs the active attacker's plan. The attacker sits on-path:
+    /// [`World::mta_sts_txts`], [`World::mx_records`],
+    /// [`World::fetch_policy`] and [`World::probe_mx`] all consult it.
+    pub fn set_attacker(&self, schedule: AttackSchedule) {
+        *self.attacker.lock() = schedule;
+    }
+
+    /// A snapshot of the attacker's plan.
+    pub fn attacker(&self) -> AttackSchedule {
+        self.attacker.lock().clone()
+    }
+
+    /// Whether `kind` is active against `name` at `now`.
+    pub fn attack_active(&self, kind: AttackKind, name: &DomainName, now: SimInstant) -> bool {
+        self.attacker.lock().active(kind, name, now)
+    }
+
+    /// Every attack kind active against `name` at `now` (omniscient view;
+    /// experiments use it to label which deliveries the attacker touched).
+    pub fn attacks_active(&self, name: &DomainName, now: SimInstant) -> Vec<AttackKind> {
+        self.attacker.lock().active_kinds(name, now)
     }
 
     /// The shared stub resolver.
@@ -190,11 +217,19 @@ impl World {
     }
 
     /// The TXT strings at `_mta-sts.<domain>`, or the DNS error.
+    ///
+    /// An active [`AttackKind::DnsTxtStrip`] window filters the answers:
+    /// the sender sees an empty (record-less) response, exactly as if the
+    /// domain never deployed MTA-STS — the first-contact downgrade the
+    /// TOFU cache exists to bound.
     pub fn mta_sts_txts(
         &self,
         domain: &DomainName,
         now: SimInstant,
     ) -> Result<Vec<String>, DnsError> {
+        if self.attack_active(AttackKind::DnsTxtStrip, domain, now) {
+            return Ok(Vec::new());
+        }
         let name = domain
             .prefixed(mtasts::RECORD_LABEL)
             .expect("record label is valid");
@@ -215,11 +250,18 @@ impl World {
     }
 
     /// The domain's MX hosts sorted by preference (empty = none published).
+    ///
+    /// An active [`AttackKind::MxRedirect`] window forges the answer to
+    /// point at the attacker's relay — against a cached policy this is the
+    /// `MxNotListed` failure RFC 8461 exists to catch.
     pub fn mx_records(
         &self,
         domain: &DomainName,
         now: SimInstant,
     ) -> Result<Vec<DomainName>, DnsError> {
+        if self.attack_active(AttackKind::MxRedirect, domain, now) {
+            return Ok(vec![self.attacker.lock().attacker_host().clone()]);
+        }
         Ok(self
             .resolve(domain, RecordType::Mx, now)?
             .mx_hosts()

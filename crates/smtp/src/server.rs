@@ -25,6 +25,11 @@ pub enum MxBehavior {
     /// Supports TLS but does not advertise STARTTLS (greylisting-style
     /// hiding; the paper excludes such MXes from TLS analysis).
     HideStartTls,
+    /// What an on-path STARTTLS-stripping attacker leaves the client
+    /// facing: the capability is gone from EHLO and an explicit STARTTLS
+    /// attempt gets 454 (RFC 3207's temporary failure), so only a cached
+    /// MTA-STS policy tells the sender anything is wrong.
+    StartTlsStripped,
     /// Replies 500 to EHLO, forcing the HELO fallback.
     HeloOnly,
     /// Tempfails everything after the greeting (421).
@@ -219,8 +224,12 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
             lines.push(Capability::Pipelining.keyword());
             lines.push(Capability::Size(35_882_577).keyword());
             lines.push(Capability::EightBitMime.keyword());
-            let advertise_tls =
-                config.tls.is_some() && !tls_active && config.behavior != MxBehavior::HideStartTls;
+            let advertise_tls = config.tls.is_some()
+                && !tls_active
+                && !matches!(
+                    config.behavior,
+                    MxBehavior::HideStartTls | MxBehavior::StartTlsStripped
+                );
             if advertise_tls {
                 lines.push(Capability::StartTls.keyword());
             }
@@ -241,6 +250,13 @@ async fn session_loop<S: AsyncRead + AsyncWrite + Unpin>(
         } else if upper == "STARTTLS" {
             if tls_active {
                 reply(stream, ReplyCode::BAD_SEQUENCE, "TLS already active").await?;
+            } else if config.behavior == MxBehavior::StartTlsStripped {
+                reply(
+                    stream,
+                    ReplyCode::TLS_NOT_AVAILABLE,
+                    "TLS not available due to temporary reason",
+                )
+                .await?;
             } else if config.tls.is_none() {
                 reply(stream, ReplyCode::NOT_IMPLEMENTED, "TLS unavailable").await?;
             } else {
@@ -481,6 +497,19 @@ mod tests {
         config.behavior = MxBehavior::HideStartTls;
         let lines = run_script(config, &["EHLO x.test"]).await;
         assert!(!lines.iter().any(|l| l.contains("STARTTLS")));
+    }
+
+    #[tokio::test]
+    async fn stripped_starttls_disappears_and_tempfails() {
+        // The stripped server is TLS-capable, but a victim of on-path
+        // stripping sees no STARTTLS capability and gets 454 (not the
+        // 502 of a genuinely TLS-less host) when it insists anyway.
+        let mut config = MxConfig::new(n("mx.example.com"), Some(ServerConfig::default()));
+        config.behavior = MxBehavior::StartTlsStripped;
+        let lines = run_script(config, &["EHLO x.test", "STARTTLS", "QUIT"]).await;
+        assert!(!lines.iter().any(|l| l.contains("STARTTLS")));
+        assert!(lines.iter().any(|l| l.starts_with("454")));
+        assert!(lines.last().unwrap().starts_with("221"));
     }
 
     #[tokio::test]

@@ -21,6 +21,8 @@ impl ReplyCode {
     pub const UNAVAILABLE: ReplyCode = ReplyCode(421);
     /// 450: mailbox unavailable, try again (greylisting).
     pub const TEMPFAIL: ReplyCode = ReplyCode(450);
+    /// 454: TLS not available due to temporary reason (RFC 3207 §4).
+    pub const TLS_NOT_AVAILABLE: ReplyCode = ReplyCode(454);
     /// 500: syntax error.
     pub const SYNTAX: ReplyCode = ReplyCode(500);
     /// 502: command not implemented.

@@ -264,6 +264,30 @@ pub mod arbitrary {
         }
     }
 
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mix plain ASCII (common case) with arbitrary scalar values so
+            // multi-byte boundaries and exotic planes both get exercised.
+            if rng.gen::<u8>() < 160 {
+                char::from(rng.gen::<u8>() & 0x7F)
+            } else {
+                loop {
+                    let v = rng.gen::<u32>() % 0x11_0000;
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = (rng.gen::<u32>() % 64) as usize;
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
     /// Strategy yielding arbitrary `T`s.
     pub struct Any<T>(PhantomData<T>);
 
