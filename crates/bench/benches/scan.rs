@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ecosystem::{Ecosystem, EcosystemConfig, SnapshotDetail};
 use netbase::{DomainName, SimDate, TokenBucket};
-use scanner::{scan_domain, scan_snapshot, ScanConfig};
+use scanner::{scan_domain, scan_snapshot, scan_snapshot_with_threads, ScanConfig};
 use std::hint::black_box;
 
 fn bench_scan(c: &mut Criterion) {
@@ -18,12 +18,44 @@ fn bench_scan(c: &mut Criterion) {
     let config = ScanConfig::default();
     let one = domains[0].clone();
     c.bench_function("scan/single-domain", |b| {
-        b.iter(|| scan_domain(black_box(&world), black_box(&one), date, &config))
+        b.iter(|| {
+            scan_domain(
+                black_box(&world),
+                black_box(&one),
+                date,
+                date.at_midnight(),
+                &config,
+            )
+        })
     });
 
     let sample: Vec<DomainName> = domains.iter().take(100).cloned().collect();
     c.bench_function("scan/snapshot-100", |b| {
         b.iter(|| scan_snapshot(black_box(&world), black_box(&sample), date, None, &config))
+    });
+    c.bench_function("scan/snapshot-100-seq", |b| {
+        b.iter(|| {
+            scan_snapshot_with_threads(
+                black_box(&world),
+                black_box(&sample),
+                date,
+                None,
+                &config,
+                1,
+            )
+        })
+    });
+    c.bench_function("scan/snapshot-100-8-threads", |b| {
+        b.iter(|| {
+            scan_snapshot_with_threads(
+                black_box(&world),
+                black_box(&sample),
+                date,
+                None,
+                &config,
+                8,
+            )
+        })
     });
     c.bench_function("scan/snapshot-100-rate-limited", |b| {
         b.iter_batched(

@@ -38,6 +38,16 @@ pub struct Ecosystem {
     mail_providers: Vec<MailProvider>,
 }
 
+// Shard workers and the longitudinal driver hold `&Ecosystem` across
+// threads; the ecosystem is plain generated data (no interior
+// mutability), and this assertion keeps it that way at compile time.
+#[allow(dead_code)]
+fn static_assert_ecosystem_is_shareable() {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<Ecosystem>();
+    shareable::<Population>();
+}
+
 /// Provider infrastructure handles inside one world.
 struct Infra {
     /// Policy web endpoint per provider key (top-8 + `misc<i>` + `small<i>`).

@@ -13,6 +13,9 @@
 //!   §4.4 of the paper);
 //! - [`rate`]: a token-bucket rate limiter (the paper rate-limits its DNS
 //!   scans to protect small authoritative servers, §3.1);
+//! - [`pool`]: a scoped worker pool with contiguous, stable sharding and
+//!   in-order merge — the substrate of the deterministic parallel scan
+//!   engine;
 //! - [`retry`]: clock-agnostic retry policies with deterministic backoff,
 //!   so transient network failures are retried before anything is
 //!   classified as a misconfiguration;
@@ -21,6 +24,7 @@
 
 pub mod editdist;
 pub mod name;
+pub mod pool;
 pub mod rate;
 pub mod retry;
 pub mod rng;
@@ -28,6 +32,7 @@ pub mod time;
 
 pub use editdist::{levenshtein, levenshtein_within};
 pub use name::{DomainName, NameError};
+pub use pool::{map_sharded, shard_bounds};
 pub use rate::TokenBucket;
 pub use retry::{RetryOutcome, RetryPolicy, RetryVerdict};
 pub use rng::DetRng;

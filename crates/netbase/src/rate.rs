@@ -108,6 +108,26 @@ impl TokenBucket {
     pub fn level(&self) -> f64 {
         self.tokens
     }
+
+    /// Plans the next `n` admission instants starting from `now`, exactly
+    /// as `n` sequential [`Self::acquire_at`] calls would produce them
+    /// (the bucket state advances identically).
+    ///
+    /// This is the parallel scanner's per-shard clock: the full admission
+    /// timeline is planned once on the single logical bucket, then each
+    /// shard worker consumes its contiguous slice. Because the plan is a
+    /// pure function of the bucket's state and `n`, every thread count
+    /// observes the same throttled timeline — which is what keeps the
+    /// parallel scan byte-identical to the sequential one.
+    pub fn plan_admissions(&mut self, now: SimInstant, n: usize) -> Vec<SimInstant> {
+        let mut at = now;
+        (0..n)
+            .map(|_| {
+                at = self.acquire_at(at);
+                at
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +191,31 @@ mod tests {
         }
         let elapsed = now.since(t0()).as_secs();
         assert!((98..=100).contains(&elapsed), "elapsed={elapsed}");
+    }
+
+    #[test]
+    fn planned_admissions_match_sequential_acquires() {
+        let mut plan_bucket = TokenBucket::new(2.0, 3, t0());
+        let mut seq_bucket = TokenBucket::new(2.0, 3, t0());
+        let plan = plan_bucket.plan_admissions(t0(), 50);
+        let mut now = t0();
+        let seq: Vec<SimInstant> = (0..50)
+            .map(|_| {
+                now = seq_bucket.acquire_at(now);
+                now
+            })
+            .collect();
+        assert_eq!(plan, seq);
+        // Both buckets end in the same state.
+        assert_eq!(plan_bucket.level(), seq_bucket.level());
+        assert_eq!(
+            plan_bucket.acquire_at(*plan.last().unwrap()),
+            seq_bucket.acquire_at(*seq.last().unwrap())
+        );
+        // The empty plan is a no-op.
+        assert!(TokenBucket::new(1.0, 1, t0())
+            .plan_admissions(t0(), 0)
+            .is_empty());
     }
 
     #[test]

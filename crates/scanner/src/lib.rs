@@ -11,6 +11,9 @@
 //!   third parties, same-eSLD self-management, ≤5-domain policy hosts,
 //!   and the single-administrator IP-grouping nuance);
 //! - [`scan`]: one full-component snapshot scan of a world;
+//! - [`parallel`]: the deterministic parallel scan engine's thread-count
+//!   resolution and its determinism argument (sharding, per-shard
+//!   clocks, in-order merge);
 //! - [`longitudinal`]: the weekly record series and monthly full scans
 //!   over the whole study calendar, retaining MX history for Figure 9;
 //! - [`supervisor`]: the checkpointing, resumable, panic-isolating driver
@@ -22,13 +25,15 @@ pub mod analysis;
 pub mod classify;
 pub mod longitudinal;
 pub mod notify;
+pub mod parallel;
 pub mod scan;
 pub mod supervisor;
 pub mod taxonomy;
 
 pub use classify::{EntityClass, EntityClassifier};
 pub use longitudinal::{LongitudinalRun, Study};
-pub use scan::{scan_domain, scan_snapshot, ScanConfig, Snapshot};
+pub use parallel::default_scan_threads;
+pub use scan::{scan_domain, scan_snapshot, scan_snapshot_with_threads, ScanConfig, Snapshot};
 pub use supervisor::{DegradationReport, SupervisedOutcome, SupervisorConfig};
 pub use taxonomy::{
     DomainScan, MisconfigCategory, MxVerdict, PolicyLayer, ScanAttempts, StageAttempts,

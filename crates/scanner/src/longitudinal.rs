@@ -2,9 +2,10 @@
 //! 2024-09) and monthly full-component scans (2023-11 → 2024-09), §3.1
 //! and §4.1.
 
-use crate::scan::{scan_snapshot, ScanConfig, Snapshot};
+use crate::parallel::default_scan_threads;
+use crate::scan::{scan_snapshot_with_threads, ScanConfig, Snapshot};
 use ecosystem::{Ecosystem, SnapshotDetail, TldId};
-use netbase::{DomainName, SimDate};
+use netbase::{map_sharded, DomainName, SimDate};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -77,37 +78,52 @@ impl Study {
         Study { eco }
     }
 
-    /// Runs the weekly record-level series, collecting MX history.
+    /// Runs the weekly record-level series, collecting MX history, on
+    /// the default thread count.
     pub fn run_weekly(&self) -> (Vec<WeeklyPoint>, MxHistory) {
+        self.run_weekly_with_threads(default_scan_threads())
+    }
+
+    /// [`Study::run_weekly`] with an explicit thread count. Per-domain
+    /// DNS observations fan out across shard workers; the per-TLD
+    /// counters and the MX history fold from the merged, input-ordered
+    /// observation vector, so the series is byte-identical for every
+    /// thread count.
+    pub fn run_weekly_with_threads(&self, threads: usize) -> (Vec<WeeklyPoint>, MxHistory) {
         let mut weekly = Vec::new();
         let mut history: MxHistory = HashMap::new();
         for date in self.eco.config.weekly_snapshots() {
             let world = self.eco.world_at(date, SnapshotDetail::DnsOnly);
             let now = date.at_midnight();
-            let mut mtasts: HashMap<TldId, u64> = HashMap::new();
-            let mut tlsrpt: HashMap<TldId, u64> = HashMap::new();
-            for spec in self.eco.population.domains.iter() {
-                // The paper queries every zone-file domain; unadopted
-                // domains simply have no record yet.
-                let Ok(txts) = world.mta_sts_txts(&spec.name, now) else {
-                    continue;
-                };
+            // The paper queries every zone-file domain; unadopted
+            // domains simply have no record yet. `None` = no (valid)
+            // MTA-STS record this week.
+            let observations = map_sharded(threads, &self.eco.population.domains, |_, spec| {
+                let txts = world.mta_sts_txts(&spec.name, now).ok()?;
                 if !txts
                     .iter()
                     .any(|t| t.starts_with("v=STS") || t.contains("STS"))
                 {
-                    continue;
+                    return None;
                 }
-                *mtasts.entry(spec.tld).or_default() += 1;
-                if world
+                let tlsrpt = world
                     .tlsrpt_txts(&spec.name, now)
                     .map(|t| t.iter().any(|s| s.starts_with("v=TLSRPTv1")))
-                    .unwrap_or(false)
-                {
-                    *tlsrpt.entry(spec.tld).or_default() += 1;
+                    .unwrap_or(false);
+                let mx = world.mx_records(&spec.name, now).unwrap_or_default();
+                Some((spec.tld, tlsrpt, mx))
+            });
+            let mut mtasts: HashMap<TldId, u64> = HashMap::new();
+            let mut tlsrpt: HashMap<TldId, u64> = HashMap::new();
+            for (spec, observed) in self.eco.population.domains.iter().zip(observations) {
+                let Some((tld, has_tlsrpt, mx)) = observed else {
+                    continue;
+                };
+                *mtasts.entry(tld).or_default() += 1;
+                if has_tlsrpt {
+                    *tlsrpt.entry(tld).or_default() += 1;
                 }
                 // MX history (collapse consecutive duplicates).
-                let mx = world.mx_records(&spec.name, now).unwrap_or_default();
                 if !mx.is_empty() {
                     let entry = history.entry(spec.name.clone()).or_default();
                     if entry.last().map(|(_, prev)| prev) != Some(&mx) {
@@ -124,19 +140,26 @@ impl Study {
         (weekly, history)
     }
 
-    /// Runs the monthly full-component scans.
+    /// Runs the monthly full-component scans on the default thread count.
     pub fn run_full(&self) -> Vec<Snapshot> {
+        self.run_full_with_threads(default_scan_threads())
+    }
+
+    /// [`Study::run_full`] with an explicit thread count; the snapshots
+    /// are byte-identical for every value.
+    pub fn run_full_with_threads(&self, threads: usize) -> Vec<Snapshot> {
         let mut out = Vec::new();
         for date in self.eco.config.full_scan_dates() {
             let world = self.eco.world_at(date, SnapshotDetail::Full);
             let domains: Vec<DomainName> =
                 self.eco.domains_at(date).map(|d| d.name.clone()).collect();
-            out.push(scan_snapshot(
+            out.push(scan_snapshot_with_threads(
                 &world,
                 &domains,
                 date,
                 None,
                 &ScanConfig::default(),
+                threads,
             ));
         }
         out

@@ -1,0 +1,69 @@
+//! The deterministic parallel scan engine's plumbing: thread-count
+//! resolution and the `Send + Sync` audit of everything a shard worker
+//! touches.
+//!
+//! # Determinism argument
+//!
+//! PR 1 made each domain scan a pure function of
+//! `(world, domain, admitted instant, config)`: retry jitter forks off
+//! `config.seed` and the domain name, transient-fault draws are keyed on
+//! `(seed, scope, instant)`, and the world's zones and endpoints are
+//! immutable for the duration of a snapshot (its mutexes guard maps that
+//! scanning only reads; the resolver's TTL cache is a pure memoization of
+//! lookups against those static zones, so a hit and a miss return the
+//! same answer). The engine therefore only has to guarantee that
+//!
+//! 1. every domain is scanned at the **same admitted instant** regardless
+//!    of thread count — [`netbase::TokenBucket::plan_admissions`] plans
+//!    the whole throttled timeline on one logical bucket up front, and
+//!    each shard consumes its contiguous slice of that plan; and
+//! 2. results are merged back **in input order** —
+//!    [`netbase::map_sharded`]'s contiguous stable shards concatenate to
+//!    exactly the sequential output.
+//!
+//! Everything else (per-TLD counters, the entity classifier, policy-IP
+//! maps) is folded sequentially from that ordered vector, so a parallel
+//! snapshot is byte-identical to a sequential one for any `K`.
+
+/// Hard cap on auto-detected scan parallelism (an explicit
+/// `SCAN_THREADS` may exceed it).
+const AUTO_THREAD_CAP: usize = 8;
+
+/// The scan engine's thread count: the `SCAN_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism capped at 8 (beyond that the in-memory world's
+/// shared mutexes start to dominate). Always at least 1.
+pub fn default_scan_threads() -> usize {
+    match std::env::var("SCAN_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get().min(AUTO_THREAD_CAP))
+            .unwrap_or(1),
+    }
+}
+
+// The Send + Sync audit, encoded as compile-time assertions: a shard
+// worker holds `&World`, `&Ecosystem` and `&ScanConfig` across threads.
+// None of these may grow thread-hostile interior mutability (`Rc`,
+// `RefCell`, raw pointers) without this failing to compile.
+#[allow(dead_code)]
+fn static_assert_scan_inputs_are_shareable() {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<simnet::World>();
+    shareable::<ecosystem::Ecosystem>();
+    shareable::<crate::scan::ScanConfig>();
+    shareable::<crate::taxonomy::DomainScan>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(default_scan_threads() >= 1);
+    }
+}

@@ -1,12 +1,13 @@
 //! Snapshot scanning: §4.1's methodology against a world.
 
 use crate::classify::EntityClassifier;
+use crate::parallel::default_scan_threads;
 use crate::taxonomy::{
     DomainScan, MxVerdict, PolicyLayer, PolicyLayerError, ScanAttempts, StageAttempts,
 };
 use dns::RecordType;
 use mtasts::{classify_policy_mismatches, evaluate_record_set, RecordError};
-use netbase::{DetRng, DomainName, RetryPolicy, SimDate, TokenBucket};
+use netbase::{map_sharded, DetRng, DomainName, RetryPolicy, SimDate, SimInstant, TokenBucket};
 use simnet::{
     dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure, World,
 };
@@ -109,6 +110,12 @@ fn layer_error(error: &PolicyFetchError) -> PolicyLayerError {
 /// instrumented SMTP probe of every MX, consistency check), retrying
 /// transient failures per `config` before anything reaches the taxonomy.
 ///
+/// `now` is the instant the rate limiter admitted this domain — every
+/// per-second fault and attack draw keys off it, so a throttled campaign
+/// really does sweep across the simulated day instead of replaying
+/// midnight for every domain. Unthrottled callers pass
+/// `date.at_midnight()`.
+///
 /// Classification only ever sees the *final* attempt of each stage, so a
 /// failure that a retry recovered never inflates the misconfiguration
 /// statistics; the attempt counts land in [`DomainScan::attempts`].
@@ -119,9 +126,9 @@ pub fn scan_domain(
     world: &World,
     domain: &DomainName,
     date: SimDate,
+    now: SimInstant,
     config: &ScanConfig,
 ) -> DomainScan {
-    let now = date.at_midnight();
     let rng = DetRng::new(config.seed).fork(&domain.to_string());
     let mut attempts = ScanAttempts::default();
 
@@ -264,24 +271,59 @@ pub fn scan_domain(
     }
 }
 
+/// Plans each domain's admitted instant: the whole throttled timeline is
+/// derived from one logical bucket up front, so it is the same for every
+/// thread count (the parallel engine's per-shard clock slices this plan).
+/// Unthrottled scans run the entire population at midnight, as before.
+pub(crate) fn plan_admissions(
+    date: SimDate,
+    rate: Option<&mut TokenBucket>,
+    n: usize,
+) -> Vec<SimInstant> {
+    let midnight = date.at_midnight();
+    match rate {
+        Some(bucket) => bucket.plan_admissions(midnight, n),
+        None => vec![midnight; n],
+    }
+}
+
 /// Scans a set of domains, optionally rate-limited (§3.1's ethics:
-/// the simulated clock advances while the bucket throttles).
+/// the simulated clock advances while the bucket throttles), across the
+/// default thread count (`SCAN_THREADS` or the machine's parallelism).
 pub fn scan_snapshot(
     world: &World,
     domains: &[DomainName],
     date: SimDate,
-    mut rate: Option<&mut TokenBucket>,
+    rate: Option<&mut TokenBucket>,
     config: &ScanConfig,
 ) -> Snapshot {
-    let mut now = date.at_midnight();
+    scan_snapshot_with_threads(world, domains, date, rate, config, default_scan_threads())
+}
+
+/// [`scan_snapshot`] with an explicit thread count. The output is
+/// byte-identical for every `threads` value (see `parallel` module docs
+/// for the argument); `threads <= 1` is the sequential engine.
+pub fn scan_snapshot_with_threads(
+    world: &World,
+    domains: &[DomainName],
+    date: SimDate,
+    rate: Option<&mut TokenBucket>,
+    config: &ScanConfig,
+    threads: usize,
+) -> Snapshot {
+    let admissions = plan_admissions(date, rate, domains.len());
+    let results = map_sharded(threads, domains, |i, domain| {
+        let now = admissions[i];
+        let scan = scan_domain(world, domain, date, now, config);
+        let ip = resolve_policy_ip(world, domain, now, config);
+        (scan, ip)
+    });
     let mut scans = Vec::with_capacity(domains.len());
     let mut policy_ips = HashMap::new();
-    for domain in domains {
-        if let Some(bucket) = rate.as_deref_mut() {
-            now = bucket.acquire_at(now);
+    for (scan, ip) in results {
+        if let Some(ip) = ip {
+            policy_ips.insert(scan.domain.clone(), ip);
         }
-        let scan = scan_domain(world, domain, date, config);
-        record_policy_ip(world, domain, now, config, &mut policy_ips);
         scans.push(scan);
     }
     let classifier = EntityClassifier::from_scans(scans.iter(), &policy_ips);
@@ -295,27 +337,21 @@ pub fn scan_snapshot(
 
 /// Resolves the policy host's address as classification evidence, retrying
 /// transient DNS failures so flaky resolution doesn't degrade clustering.
-pub(crate) fn record_policy_ip(
+/// Keyed on the same admitted instant as the domain's scan.
+pub(crate) fn resolve_policy_ip(
     world: &World,
     domain: &DomainName,
-    now: netbase::SimInstant,
+    now: SimInstant,
     config: &ScanConfig,
-    policy_ips: &mut HashMap<DomainName, Ipv4Addr>,
-) {
-    let Ok(policy_host) = domain.prefixed(mtasts::POLICY_HOST_LABEL) else {
-        return;
-    };
+) -> Option<Ipv4Addr> {
+    let policy_host = domain.prefixed(mtasts::POLICY_HOST_LABEL).ok()?;
     let rng = DetRng::new(config.seed).fork(&domain.to_string());
     let out = config
         .record_retry
         .run(&rng, "policy-ip", now, dns_error_is_transient, |at, _| {
             world.resolve(&policy_host, RecordType::A, at)
         });
-    if let Ok(lookup) = out.result {
-        if let Some(ip) = lookup.a_addrs().first() {
-            policy_ips.insert(domain.clone(), *ip);
-        }
-    }
+    out.result.ok()?.a_addrs().first().copied()
 }
 
 #[cfg(test)]
@@ -538,6 +574,106 @@ mod tests {
             assert_eq!(mapped.layer, PolicyLayer::Tls, "{cert:?}");
             assert_eq!(mapped.cert_error, Some(cert.clone()), "{cert:?}");
             assert_eq!(mapped.detail, error.to_string());
+        }
+    }
+
+    #[test]
+    fn throttled_scan_sees_midday_fault_windows() {
+        // Regression: `scan_snapshot` used to advance `now` through the
+        // bucket but then scan every domain at `date.at_midnight()`, so
+        // time-windowed faults could never hit a throttled campaign. With
+        // the admitted instant threaded through, a DNS outage window must
+        // hit exactly the domains the rate limiter schedules inside it.
+        use simnet::{FaultKind, FaultSchedule};
+
+        let world = World::new();
+        let apex: DomainName = "example.com".parse().unwrap();
+        world.ensure_zone(&apex);
+        let domains: Vec<DomainName> = (0..25)
+            .map(|i| format!("d{i}.example.com").parse().unwrap())
+            .collect();
+        world.with_zone(&apex, |z| {
+            for d in &domains {
+                z.add_rr(
+                    &d.prefixed(mtasts::RECORD_LABEL).unwrap(),
+                    300,
+                    dns::RecordData::Txt(vec!["v=STSv1; id=20240601;".into()]),
+                );
+            }
+        });
+
+        let date = SimDate::ymd(2024, 6, 1);
+        let t0 = date.at_midnight();
+        // Outage: DNS drops everything for 10 s starting 5 s into the
+        // scan. At 1 domain/s (burst 1), domain i is admitted at t0 + i.
+        world.set_dns_faults(FaultSchedule::new(0).with_window(
+            FaultKind::DnsDrop,
+            t0 + netbase::Duration::seconds(5),
+            t0 + netbase::Duration::seconds(15),
+        ));
+
+        let mut bucket = TokenBucket::new(1.0, 1, t0);
+        let snapshot = scan_snapshot(
+            &world,
+            &domains,
+            date,
+            Some(&mut bucket),
+            &ScanConfig::single_shot(),
+        );
+        for (i, scan) in snapshot.scans.iter().enumerate() {
+            let in_window = (5..15).contains(&i);
+            assert_eq!(
+                scan.record.is_err(),
+                in_window,
+                "domain {i} admitted at t0+{i}s: record {:?}",
+                scan.record
+            );
+        }
+
+        // The unthrottled scan runs entirely at midnight and never
+        // enters the window — the pre-fix behaviour, still correct for
+        // rate-unlimited callers.
+        let unthrottled = scan_snapshot(&world, &domains, date, None, &ScanConfig::single_shot());
+        assert!(unthrottled.scans.iter().all(|s| s.record.is_ok()));
+    }
+
+    #[test]
+    fn parallel_snapshot_is_byte_identical_to_sequential() {
+        // The determinism contract of the parallel engine, on a faulted,
+        // rate-limited world: thread counts 1, 2 and 8 must produce the
+        // same bytes (scan order, policy IPs, attempt accounting).
+        let eco = eco();
+        let date = SimDate::ymd(2024, 9, 29);
+        let world = eco.world_at(date, SnapshotDetail::Full);
+        world.inject_transient_faults(&simnet::TransientFaultConfig::uniform(7, 0.05));
+        let domains: Vec<DomainName> = eco.domains_at(date).map(|d| d.name.clone()).collect();
+
+        let digest = |threads: usize| {
+            let mut bucket = TokenBucket::new(50.0, 10, date.at_midnight());
+            let snap = crate::scan::scan_snapshot_with_threads(
+                &world,
+                &domains,
+                date,
+                Some(&mut bucket),
+                &ScanConfig::default(),
+                threads,
+            );
+            let mut ips: Vec<(String, String)> = snap
+                .policy_ips
+                .iter()
+                .map(|(d, ip)| (d.to_string(), ip.to_string()))
+                .collect();
+            ips.sort();
+            serde_json::to_string(&(&snap.scans, ips)).unwrap()
+        };
+
+        let sequential = digest(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                digest(threads),
+                "parallel scan diverges at {threads} threads"
+            );
         }
     }
 

@@ -22,16 +22,18 @@
 
 use crate::classify::EntityClassifier;
 use crate::longitudinal::Study;
-use crate::scan::{record_policy_ip, scan_domain, ScanConfig, Snapshot};
+use crate::parallel::default_scan_threads;
+use crate::scan::{resolve_policy_ip, scan_domain, ScanConfig, Snapshot};
 use crate::taxonomy::DomainScan;
 use ecosystem::SnapshotDetail;
-use netbase::{DomainName, SimDate};
+use netbase::{map_sharded, shard_bounds, DomainName, SimDate};
 use serde::{Deserialize, Serialize};
 use simnet::TransientFaultConfig;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Supervisor knobs.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +53,21 @@ pub struct SupervisorConfig {
     /// Domains whose scan is made to panic — the chaos hook exercising
     /// per-domain isolation.
     pub chaos_panic_domains: Vec<DomainName>,
+    /// Worker threads for the parallel scan engine (0 = the default from
+    /// [`default_scan_threads`]). The snapshots and the degradation
+    /// report are byte-identical for every value.
+    pub threads: usize,
+}
+
+impl SupervisorConfig {
+    /// The effective worker-thread count.
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_scan_threads()
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// How hard the supervision layer had to work.
@@ -66,6 +83,12 @@ pub struct DegradationReport {
     pub domains_abandoned: u64,
     /// The abandoned domains, in encounter order.
     pub abandoned_domains: Vec<String>,
+    /// Checkpoint writes that failed (full disk, unwritable directory).
+    /// After the first failure the supervisor keeps scanning without
+    /// checkpoints rather than dying mid-campaign.
+    pub checkpoint_failures: u64,
+    /// The I/O errors behind those failures, in encounter order.
+    pub checkpoint_errors: Vec<String>,
 }
 
 impl DegradationReport {
@@ -94,6 +117,10 @@ struct PartialSnapshot {
     next_index: usize,
     scans: Vec<DomainScan>,
     policy_ips: Vec<(String, String)>,
+    /// Per-shard progress: how many domains each worker slot has scanned
+    /// in this snapshot so far (operator-facing shard-balance evidence;
+    /// resume correctness rests on `next_index`, not on this).
+    shard_scanned: Vec<u64>,
 }
 
 /// The on-disk checkpoint.
@@ -165,16 +192,49 @@ impl Checkpoint {
         serde_json::from_str(payload).ok()
     }
 
-    fn store(&self, path: &PathBuf) {
+    /// Atomically persists the checkpoint: write a temp sibling, then
+    /// rename over `path`.
+    ///
+    /// The temp name is unique per writer (pid + a process-wide
+    /// sequence), so two studies — or two shards — sharing a checkpoint
+    /// directory never clobber each other's in-flight file; the rename
+    /// step keeps the visible checkpoint always either the old or the
+    /// new complete state.
+    ///
+    /// I/O failure (full disk, unwritable directory) is a recoverable
+    /// error, not a panic: the supervisor records it and continues the
+    /// campaign without checkpoints.
+    fn store(&self, path: &PathBuf) -> std::io::Result<()> {
+        static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
         let payload = serde_json::to_string(self).expect("checkpoint serializes");
         let text = format!(
             "{CKPT_MAGIC} {} {:016x}\n{payload}",
             payload.len(),
             fnv64(payload.as_bytes())
         );
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &text).expect("checkpoint directory must be writable");
-        std::fs::rename(&tmp, path).expect("checkpoint rename must succeed");
+        let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, &text)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+/// Stores `ckpt` if checkpointing is still enabled; on I/O failure the
+/// error lands in the degradation report and `path_slot` is cleared so
+/// the campaign continues checkpoint-free (satisfying "resilient" even
+/// when the disk is not).
+fn store_or_degrade(ckpt: &mut Checkpoint, path_slot: &mut Option<PathBuf>) {
+    let Some(path) = path_slot else { return };
+    if let Err(e) = ckpt.store(path) {
+        ckpt.report.checkpoint_failures += 1;
+        ckpt.report
+            .checkpoint_errors
+            .push(format!("{}: {e}", path.display()));
+        *path_slot = None;
     }
 }
 
@@ -209,12 +269,14 @@ impl Study {
     /// to [`Study::run_full`] when nothing faults, panics, or suspends —
     /// and byte-identical across kill/resume cycles otherwise.
     pub fn run_full_supervised(&self, cfg: &SupervisorConfig) -> SupervisedOutcome {
-        let mut ckpt = match &cfg.checkpoint_path {
+        let mut checkpoint_path = cfg.checkpoint_path.clone();
+        let mut ckpt = match &checkpoint_path {
             Some(path) => Checkpoint::load(path),
             None => Checkpoint::default(),
         };
         let mut budget = cfg.domain_budget;
         let mut snapshots = Vec::new();
+        let threads = cfg.effective_threads();
 
         for date in self.eco.config.full_scan_dates() {
             // Replay snapshots already completed in the checkpoint.
@@ -231,66 +293,105 @@ impl Study {
                 self.eco.domains_at(date).map(|d| d.name.clone()).collect();
 
             // Resume the scanned prefix when the checkpoint holds one.
-            let (mut scans, mut policy_ips, start) = match ckpt.partial.take() {
+            let (mut scans, mut policy_ips, start, mut shard_scanned) = match ckpt.partial.take() {
                 Some(p) if p.date == date => {
                     let ips = thaw_ips(&p.policy_ips);
-                    (p.scans, ips, p.next_index)
+                    (p.scans, ips, p.next_index, p.shard_scanned)
                 }
-                _ => (Vec::new(), HashMap::new(), 0),
+                _ => (Vec::new(), HashMap::new(), 0, Vec::new()),
             };
+            if shard_scanned.len() < threads {
+                shard_scanned.resize(threads, 0);
+            }
 
+            // The campaign is unthrottled: every domain scans at the
+            // snapshot's midnight, exactly as before parallelization.
             let now = date.at_midnight();
-            for index in start..domains.len() {
+            let mut index = start;
+            let mut scanned_here = 0usize;
+            while index < domains.len() {
                 if budget == Some(0) {
                     ckpt.partial = Some(PartialSnapshot {
                         date,
                         next_index: index,
                         scans,
                         policy_ips: freeze_ips(&policy_ips),
+                        shard_scanned,
                     });
-                    if let Some(path) = &cfg.checkpoint_path {
-                        ckpt.store(path);
-                    }
+                    store_or_degrade(&mut ckpt, &mut checkpoint_path);
                     return SupervisedOutcome::Suspended {
                         report: ckpt.report,
                     };
                 }
-                let domain = &domains[index];
-                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    assert!(
-                        !cfg.chaos_panic_domains.contains(domain),
-                        "chaos: injected panic for {domain}"
-                    );
-                    scan_domain(&world, domain, date, &cfg.scan)
-                }));
-                match attempt {
-                    Ok(scan) => {
-                        ckpt.report.absorb(&scan);
-                        record_policy_ip(&world, domain, now, &cfg.scan, &mut policy_ips);
-                        scans.push(scan);
-                    }
-                    Err(_) => {
-                        ckpt.report.domains_abandoned += 1;
-                        ckpt.report.abandoned_domains.push(domain.to_string());
+
+                // One round: up to the next checkpoint boundary (and the
+                // budget), scanned in parallel. Rounds depend only on
+                // `(checkpoint_every, budget)`, never on the thread
+                // count, so the absorb order below — and with it the
+                // whole degradation report — is deterministic.
+                let mut round_end = domains.len();
+                if let Some(b) = budget {
+                    round_end = round_end.min(index + b);
+                }
+                if cfg.checkpoint_every > 0 {
+                    let to_boundary = cfg.checkpoint_every - (scanned_here % cfg.checkpoint_every);
+                    round_end = round_end.min(index + to_boundary);
+                }
+                let round = &domains[index..round_end];
+                // Per-domain panic isolation inside each shard worker: a
+                // panicking domain yields `None` and the round survives.
+                let results = map_sharded(threads, round, |_, domain| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        assert!(
+                            !cfg.chaos_panic_domains.contains(domain),
+                            "chaos: injected panic for {domain}"
+                        );
+                        let scan = scan_domain(&world, domain, date, now, &cfg.scan);
+                        let ip = resolve_policy_ip(&world, domain, now, &cfg.scan);
+                        (scan, ip)
+                    }))
+                    .ok()
+                });
+                for (slot, (lo, hi)) in shard_bounds(round.len(), threads).iter().enumerate() {
+                    shard_scanned[slot] += (hi - lo) as u64;
+                }
+                // Absorb in input order — identical for every thread
+                // count, and identical to the sequential engine.
+                for (offset, outcome) in results.into_iter().enumerate() {
+                    match outcome {
+                        Some((scan, ip)) => {
+                            ckpt.report.absorb(&scan);
+                            if let Some(ip) = ip {
+                                policy_ips.insert(scan.domain.clone(), ip);
+                            }
+                            scans.push(scan);
+                        }
+                        None => {
+                            ckpt.report.domains_abandoned += 1;
+                            ckpt.report
+                                .abandoned_domains
+                                .push(round[offset].to_string());
+                        }
                     }
                 }
                 if let Some(b) = budget.as_mut() {
-                    *b -= 1;
+                    *b -= round.len();
                 }
-                let scanned_here = index - start + 1;
+                scanned_here += round.len();
+                index = round_end;
+
                 if cfg.checkpoint_every > 0
-                    && scanned_here % cfg.checkpoint_every == 0
-                    && index + 1 < domains.len()
+                    && scanned_here.is_multiple_of(cfg.checkpoint_every)
+                    && index < domains.len()
                 {
                     ckpt.partial = Some(PartialSnapshot {
                         date,
-                        next_index: index + 1,
+                        next_index: index,
                         scans: scans.clone(),
                         policy_ips: freeze_ips(&policy_ips),
+                        shard_scanned: shard_scanned.clone(),
                     });
-                    if let Some(path) = &cfg.checkpoint_path {
-                        ckpt.store(path);
-                    }
+                    store_or_degrade(&mut ckpt, &mut checkpoint_path);
                     ckpt.partial = None;
                 }
             }
@@ -302,9 +403,7 @@ impl Study {
             };
             snapshots.push(rebuild_snapshot(&completed));
             ckpt.completed.push(completed);
-            if let Some(path) = &cfg.checkpoint_path {
-                ckpt.store(path);
-            }
+            store_or_degrade(&mut ckpt, &mut checkpoint_path);
         }
 
         SupervisedOutcome::Complete {
@@ -378,6 +477,7 @@ mod tests {
             domain_budget: None,
             transient: Some(faults),
             chaos_panic_domains: Vec::new(),
+            threads: 0,
         };
 
         // Reference: one uninterrupted faulted run (no checkpoint file).
@@ -430,7 +530,7 @@ mod tests {
 
         let mut ckpt = Checkpoint::default();
         ckpt.report.domains_scanned = 123;
-        ckpt.store(&path);
+        ckpt.store(&path).unwrap();
 
         // Intact: round-trips.
         assert_eq!(Checkpoint::load(&path).report.domains_scanned, 123);
@@ -507,6 +607,125 @@ mod tests {
         };
         assert_eq!(snapshot_fingerprint(&want), snapshot_fingerprint(&got));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_checkpoint_degrades_instead_of_panicking() {
+        // The checkpoint path's parent is a regular *file*, so every
+        // write attempt fails with ENOTDIR — the shape of a dead disk
+        // that even a root test process cannot bypass. The supervisor
+        // must finish the campaign anyway and record the degradation.
+        let dir = std::env::temp_dir().join(format!(
+            "mtasts-supervisor-{}-unwritable",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not-a-directory");
+        std::fs::write(&blocker, b"occupied").unwrap();
+        let path = blocker.join("ckpt.json");
+
+        let study = study();
+        let reference = study.run_full_supervised(&SupervisorConfig::default());
+        let SupervisedOutcome::Complete {
+            snapshots: want, ..
+        } = reference
+        else {
+            panic!("reference run must complete")
+        };
+
+        let outcome = study.run_full_supervised(&SupervisorConfig {
+            checkpoint_path: Some(path),
+            checkpoint_every: 16,
+            ..SupervisorConfig::default()
+        });
+        let SupervisedOutcome::Complete { snapshots, report } = outcome else {
+            panic!("checkpoint I/O failure must not kill the campaign")
+        };
+        // Exactly one failure: checkpointing is disabled after the first.
+        assert_eq!(report.checkpoint_failures, 1);
+        assert_eq!(report.checkpoint_errors.len(), 1);
+        assert!(
+            report.checkpoint_errors[0].contains("ckpt.json"),
+            "{:?}",
+            report.checkpoint_errors
+        );
+        // The scans themselves are untouched by the degradation.
+        assert_eq!(
+            snapshot_fingerprint(&want),
+            snapshot_fingerprint(&snapshots)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_clobber_each_other() {
+        // Two writers (two studies, or two shards of one) share a
+        // checkpoint path. The fixed-`tmp`-sibling scheme let one
+        // writer's rename ship the other's half-written file; unique
+        // temp names must keep every observable checkpoint complete and
+        // verifiable.
+        let dir = std::env::temp_dir().join(format!(
+            "mtasts-supervisor-{}-concurrent",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        std::thread::scope(|scope| {
+            for writer in 0u64..4 {
+                let path = &path;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let mut ckpt = Checkpoint::default();
+                        ckpt.report.domains_scanned = writer * 1000 + round;
+                        ckpt.store(path).unwrap();
+                    }
+                });
+            }
+        });
+
+        // The final file is one writer's complete checkpoint — never a
+        // torn mix (load() would fall back to default and lose the
+        // count entirely).
+        let loaded = Checkpoint::load(&path);
+        assert!(
+            (0..4).any(|w| {
+                let d = loaded.report.domains_scanned;
+                d >= w * 1000 && d < w * 1000 + 50
+            }),
+            "final checkpoint holds an unexpected count: {}",
+            loaded.report.domains_scanned
+        );
+        // No leftover temp files accumulate.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "ckpt.json")
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervised_runs_agree_across_thread_counts() {
+        let study = study();
+        let mut fingerprints = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let outcome = study.run_full_supervised(&SupervisorConfig {
+                threads,
+                checkpoint_every: 16,
+                ..SupervisorConfig::default()
+            });
+            let SupervisedOutcome::Complete { snapshots, report } = outcome else {
+                panic!("no budget set: must complete")
+            };
+            fingerprints.push((threads, snapshot_fingerprint(&snapshots), report));
+        }
+        let (_, want_snap, want_report) = &fingerprints[0];
+        for (threads, snap, report) in &fingerprints[1..] {
+            assert_eq!(snap, want_snap, "snapshots diverge at {threads} threads");
+            assert_eq!(report, want_report, "report diverges at {threads} threads");
+        }
     }
 
     #[test]

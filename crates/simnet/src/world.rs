@@ -277,6 +277,15 @@ impl Default for World {
     }
 }
 
+// The parallel scan engine hands `&World` to shard workers. Every piece
+// of shared state is `Arc<Mutex<_>>` (no `Rc`/`RefCell`); this assertion
+// turns a future regression into a compile error instead of a data race.
+#[allow(dead_code)]
+fn static_assert_world_is_shareable() {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<World>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,6 +34,7 @@ fn main() {
         domain_budget: Some(400),
         transient: Some(TransientFaultConfig::uniform(7, 0.08)),
         chaos_panic_domains: vec![victim.clone()],
+        threads: 0,
     };
 
     println!(
