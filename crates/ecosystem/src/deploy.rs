@@ -26,7 +26,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// Default TTL for generated records.
-const TTL: u32 = 3600;
+pub(crate) const TTL: u32 = 3600;
 
 /// The generated ecosystem: population plus deployment logic.
 pub struct Ecosystem {
@@ -34,8 +34,8 @@ pub struct Ecosystem {
     pub config: EcosystemConfig,
     /// The domain population.
     pub population: Population,
-    policy_providers: Vec<PolicyProvider>,
-    mail_providers: Vec<MailProvider>,
+    pub(crate) policy_providers: Vec<PolicyProvider>,
+    pub(crate) mail_providers: Vec<MailProvider>,
 }
 
 // Shard workers and the longitudinal driver hold `&Ecosystem` across
@@ -49,22 +49,29 @@ fn static_assert_ecosystem_is_shareable() {
 }
 
 /// Provider infrastructure handles inside one world.
-struct Infra {
+///
+/// Crate-visible so [`crate::incremental::IncrementalWorld`] can retain the
+/// handles across snapshots instead of rebuilding them per date.
+pub(crate) struct Infra {
     /// Policy web endpoint per provider key (top-8 + `misc<i>` + `small<i>`).
-    policy_ip: HashMap<String, Ipv4Addr>,
+    pub(crate) policy_ip: HashMap<String, Ipv4Addr>,
     /// An allocated IP with no listener (TCP-refused fault target).
-    dead_ip: Ipv4Addr,
+    pub(crate) dead_ip: Ipv4Addr,
     /// Healthy MX endpoint per mail provider key.
-    mail_ip: HashMap<String, Ipv4Addr>,
+    pub(crate) mail_ip: HashMap<String, Ipv4Addr>,
     /// Faulty MX endpoints for per-customer-hostname providers, by
     /// (provider, fault kind).
-    mail_faulty_ip: HashMap<(String, MxCertFaultKind), Ipv4Addr>,
+    pub(crate) mail_faulty_ip: HashMap<(String, MxCertFaultKind), Ipv4Addr>,
     /// The two mxascen policy IPs.
-    mxascen_web: [Ipv4Addr; 2],
+    pub(crate) mxascen_web: [Ipv4Addr; 2],
     /// The Porkbun parking host.
-    porkbun_ip: Ipv4Addr,
+    pub(crate) porkbun_ip: Ipv4Addr,
     /// Shared CNAME targets / shared MX hostnames already given A records.
-    shared_a_done: HashSet<DomainName>,
+    /// Invariant: a name is in here iff exactly one domain installed its A
+    /// record through the per-customer path — which is what makes
+    /// incremental uninstallation able to tell "mine to remove" from
+    /// "infrastructure-owned" records.
+    pub(crate) shared_a_done: HashSet<DomainName>,
 }
 
 impl Ecosystem {
@@ -98,16 +105,32 @@ impl Ecosystem {
     }
 
     /// Builds the world as it stood on `date`.
+    ///
+    /// Implemented as a single [`crate::incremental::IncrementalWorld`]
+    /// advance, so the from-scratch and incremental construction paths are
+    /// the same code by definition — the digest-equality oracle the
+    /// incremental engine is tested against compares this against a world
+    /// advanced date-by-date.
     pub fn world_at(&self, date: SimDate, detail: SnapshotDetail) -> World {
-        let world = World::new();
-        let now = date.at_midnight();
-        let mut infra = self.install_infra(&world, now, detail);
-        for spec in self.population.domains.iter() {
-            if spec.adopted_by(date) {
-                self.install_domain(&world, &mut infra, spec, date, detail);
-            }
-        }
-        world
+        let mut iw = crate::incremental::IncrementalWorld::new(detail);
+        iw.advance_to(self, date);
+        iw.into_world()
+    }
+
+    /// The deterministic endpoint address of population index `index`,
+    /// slot `slot` (0 = policy web server, 1..=3 = MX endpoints).
+    ///
+    /// Derived addresses live in the reserved upper half of 10/8 (see
+    /// [`simnet::DYNAMIC_IP_LIMIT`]) so they never collide with the
+    /// sequential infrastructure allocator — and, crucially, never depend
+    /// on how many *other* domains are installed, which is what lets a
+    /// delta-built world serve byte-identical answers to a from-scratch
+    /// one.
+    pub(crate) fn domain_ip(index: usize, slot: u8) -> Ipv4Addr {
+        debug_assert!(slot < 4, "four endpoint slots per domain");
+        let v = simnet::DYNAMIC_IP_LIMIT + (index as u32) * 4 + u32::from(slot);
+        assert!(v < 1 << 24, "per-domain 10/8 region exhausted");
+        Ipv4Addr::new(10, (v >> 16) as u8, (v >> 8) as u8, v as u8)
     }
 
     /// The effective MX hosts of a domain at `date` (§4.4's migrations).
@@ -140,7 +163,14 @@ impl Ecosystem {
     /// mail provider's own registrable domain, with the same TLD as the
     /// new MX so the post-migration mismatch is a *complete domain*
     /// mismatch (§4.4's dominant class), never a TLD or 3LD+ artefact.
-    fn legacy_mx_of(&self, spec: &DomainSpec) -> DomainName {
+    ///
+    /// The old host's name embeds both the domain's leftmost label *and*
+    /// its TLD: leftmost labels repeat across TLDs (`d000017.com` /
+    /// `d000017.org`), and two stale-migration domains must never share a
+    /// legacy zone — each domain owns its legacy host outright, so the
+    /// incremental engine can drop the whole zone when the migration date
+    /// passes.
+    pub(crate) fn legacy_mx_of(&self, spec: &DomainSpec) -> DomainName {
         let new_first = match &spec.mail {
             MailHosting::SelfManaged { .. } => spec.name.clone(),
             MailHosting::Provider { key } => self
@@ -153,9 +183,14 @@ impl Ecosystem {
                 format!("in.smallmx{idx}.net").parse().expect("valid")
             }
         };
-        format!("mx.oldhost-{}.{}", spec.name.leftmost(), new_first.tld())
-            .parse()
-            .expect("derived names are valid")
+        format!(
+            "mx.oldhost-{}-{}.{}",
+            spec.name.leftmost(),
+            spec.name.tld(),
+            new_first.tld()
+        )
+        .parse()
+        .expect("derived names are valid")
     }
 
     /// The mx patterns the domain's policy lists at `date`.
@@ -245,7 +280,12 @@ impl Ecosystem {
     // Infrastructure.
     // ------------------------------------------------------------------
 
-    fn install_infra(&self, world: &World, now: SimInstant, detail: SnapshotDetail) -> Infra {
+    pub(crate) fn install_infra(
+        &self,
+        world: &World,
+        now: SimInstant,
+        detail: SnapshotDetail,
+    ) -> Infra {
         let full = detail == SnapshotDetail::Full;
         let mut policy_ip = HashMap::new();
         let mut mail_ip = HashMap::new();
@@ -424,11 +464,12 @@ impl Ecosystem {
     // Per-domain installation.
     // ------------------------------------------------------------------
 
-    fn install_domain(
+    pub(crate) fn install_domain(
         &self,
         world: &World,
         infra: &mut Infra,
         spec: &DomainSpec,
+        index: usize,
         date: SimDate,
         detail: SnapshotDetail,
     ) {
@@ -468,7 +509,9 @@ impl Ecosystem {
                     Some((_, MxFaultScope::Partial)) => i == 0,
                     None => false,
                 };
-                let ip = if full {
+                // MX endpoints live in the domain's slots 1..=3.
+                let ip = Self::domain_ip(index, 1 + i as u8);
+                if full {
                     let cert_kind = match (faulty, mx_fault) {
                         (true, Some((MxCertFaultKind::CnMismatch, _))) => {
                             CertKind::WrongName(spec.name.clone())
@@ -478,10 +521,8 @@ impl Ecosystem {
                         _ => CertKind::Valid,
                     };
                     let chain = world.pki.issue(&cert_kind, std::slice::from_ref(host), now);
-                    world.add_mx_endpoint(MxEndpoint::healthy(host.clone(), chain))
-                } else {
-                    world.alloc_ip()
-                };
+                    world.put_mx_endpoint(ip, MxEndpoint::healthy(host.clone(), chain));
+                }
                 let zone_apex = if host.is_subdomain_of(&spec.name) {
                     spec.name.clone()
                 } else {
@@ -598,7 +639,9 @@ impl Ecosystem {
                 if policy_fault == Some(PolicyFaultKind::Dns) {
                     return; // no A record at all
                 }
-                let ip = if full {
+                // The self-managed policy server is the domain's slot 0.
+                let ip = Self::domain_ip(index, 0);
+                if full {
                     let endpoint = self.self_web_endpoint(
                         world,
                         spec,
@@ -607,10 +650,8 @@ impl Ecosystem {
                         policy_fault,
                         &document,
                     );
-                    world.add_web_endpoint(endpoint)
-                } else {
-                    world.alloc_ip()
-                };
+                    world.put_web_endpoint(ip, endpoint);
+                }
                 world.with_zone(&spec.name, |z| {
                     z.add_rr(&policy_host, TTL, RecordData::A(ip));
                 });
@@ -874,7 +915,7 @@ impl Ecosystem {
 }
 
 /// The record TXT strings for a domain, faults applied (§4.3.2).
-fn record_texts(spec: &DomainSpec) -> Vec<String> {
+pub(crate) fn record_texts(spec: &DomainSpec) -> Vec<String> {
     let good_id = format!("a{}", spec.adopted.days_since_epoch());
     match spec.faults.record {
         None => vec![format!("v=STSv1; id={good_id};")],
@@ -936,7 +977,7 @@ fn swap_tld(host: &DomainName) -> String {
 }
 
 /// Whether `date` falls inside an inclusive window.
-fn in_window(date: SimDate, window: (SimDate, SimDate)) -> bool {
+pub(crate) fn in_window(date: SimDate, window: (SimDate, SimDate)) -> bool {
     date >= window.0 && date <= window.1
 }
 

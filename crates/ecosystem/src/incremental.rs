@@ -1,0 +1,415 @@
+//! Delta world construction: advance a deployed world date-by-date.
+//!
+//! [`IncrementalWorld`] keeps one [`World`] alive across snapshots and, on
+//! each [`IncrementalWorld::advance_to`], applies only the diff between
+//! the previous and the new date:
+//!
+//! 1. every *leaf* certificate's validity window is shifted by the
+//!    inter-snapshot delta (exactly what re-issuing at the new date would
+//!    produce — see [`pkix::SimCert::shift_validity`]);
+//! 2. shared CNAME targets are reconciled (their A record is owned by the
+//!    first adopted customer in population order, which can change);
+//! 3. every domain's [`DomainFingerprint`] at the new date is compared to
+//!    the fingerprint it was installed with: unchanged domains are left
+//!    alone, new adopters are installed, dirty domains are uninstalled
+//!    with their *old*-date semantics and reinstalled with the new;
+//! 4. the resolver cache is flushed.
+//!
+//! The equivalence contract — the reason this is safe to use under the
+//! digest oracle — is that [`crate::Ecosystem::world_at`] itself is a
+//! single `advance_to` call, and the test suite checks that a world walked
+//! through many dates serves byte-identical observations to a fresh build
+//! at each date. Uninstallation is exact: a domain's records live either
+//! in zones it owns outright (its own zone, its private legacy-MX zone),
+//! at per-customer names inside provider zones (tracked by the
+//! `shared_a_done` registry, whose invariant is "present iff exactly one
+//! domain installed it"), or as per-customer chain/document entries keyed
+//! by the domain's policy host on shared endpoints.
+
+use crate::config::SnapshotDetail;
+use crate::deploy::{Ecosystem, Infra, TTL};
+use crate::fingerprint::DomainFingerprint;
+use crate::providers::CnameStyle;
+use crate::spec::{DomainSpec, PolicyHosting};
+use dns::{RecordData, RecordType};
+use netbase::{DomainName, Duration, SimDate};
+use simnet::World;
+
+/// What one [`IncrementalWorld::advance_to`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// Newly adopted domains installed for the first time.
+    pub installed: usize,
+    /// Domains whose fingerprint changed: uninstalled and reinstalled.
+    pub reinstalled: usize,
+    /// Adopted domains left untouched.
+    pub unchanged: usize,
+}
+
+impl AdvanceStats {
+    /// Domains whose deployment was (re)written this advance.
+    pub fn dirty(&self) -> usize {
+        self.installed + self.reinstalled
+    }
+}
+
+/// A [`World`] that tracks which date it represents and advances by diff.
+pub struct IncrementalWorld {
+    world: World,
+    detail: SnapshotDetail,
+    infra: Option<Infra>,
+    date: Option<SimDate>,
+    /// Fingerprint each population index was installed with (`None` =
+    /// not installed). Indexed by position in `population.domains`; an
+    /// `IncrementalWorld` is therefore tied to one [`Ecosystem`].
+    installed: Vec<Option<DomainFingerprint>>,
+}
+
+impl IncrementalWorld {
+    /// An empty world, no date yet.
+    pub fn new(detail: SnapshotDetail) -> IncrementalWorld {
+        IncrementalWorld {
+            world: World::new(),
+            detail,
+            infra: None,
+            date: None,
+            installed: Vec::new(),
+        }
+    }
+
+    /// The underlying world (valid for the last advanced-to date).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Consumes self, returning the world.
+    pub fn into_world(self) -> World {
+        self.world
+    }
+
+    /// The date the world currently represents.
+    pub fn date(&self) -> Option<SimDate> {
+        self.date
+    }
+
+    /// The fingerprint population index `index` is currently deployed
+    /// with (`None` = not installed). Scan caches key on this.
+    pub fn installed_fingerprint(&self, index: usize) -> Option<DomainFingerprint> {
+        self.installed.get(index).copied().flatten()
+    }
+
+    /// Advances the world to `date`, applying only the diff. Must always
+    /// be called with the same `eco`, and dates must not move backwards.
+    pub fn advance_to(&mut self, eco: &Ecosystem, date: SimDate) -> AdvanceStats {
+        if let Some(prev) = self.date {
+            assert!(prev <= date, "incremental worlds only move forward");
+            if prev == date {
+                return AdvanceStats {
+                    unchanged: self.installed.iter().flatten().count(),
+                    ..AdvanceStats::default()
+                };
+            }
+        }
+        let first = self.infra.is_none();
+        if first {
+            self.infra = Some(eco.install_infra(&self.world, date.at_midnight(), self.detail));
+            self.installed = vec![None; eco.population.domains.len()];
+        } else {
+            let prev = self.date.expect("infra exists, so a date was set");
+            self.world
+                .shift_cert_validity(Duration::days(date.days_since(prev)));
+            self.reconcile_shared_targets(eco, date);
+        }
+        assert_eq!(
+            self.installed.len(),
+            eco.population.domains.len(),
+            "an IncrementalWorld is tied to one Ecosystem"
+        );
+
+        let ctx = eco.fingerprint_context(date);
+        let prev = self.date;
+        let infra = self.infra.as_mut().expect("installed above");
+        let mut stats = AdvanceStats::default();
+        for (index, spec) in eco.population.domains.iter().enumerate() {
+            let want = eco.fingerprint_at(spec, &ctx);
+            let have = self.installed[index];
+            if have == want {
+                if want.is_some() {
+                    stats.unchanged += 1;
+                }
+                continue;
+            }
+            if have.is_some() {
+                let prev_date = prev.expect("a deployed domain implies a prior advance");
+                uninstall_domain(&self.world, infra, eco, spec, index, prev_date);
+            }
+            match want {
+                Some(_) => {
+                    eco.install_domain(&self.world, infra, spec, index, date, self.detail);
+                    if have.is_some() {
+                        stats.reinstalled += 1;
+                    } else {
+                        stats.installed += 1;
+                    }
+                }
+                None => debug_assert!(have.is_none(), "adoption is monotone"),
+            }
+            self.installed[index] = want;
+        }
+        self.world.flush_dns_cache();
+        self.date = Some(date);
+        stats
+    }
+
+    /// Rewrites the A record of each *shared* CNAME target whose desired
+    /// value changed. The record's value is defined by the first adopted
+    /// customer in population order (the one whose install wrote it): a
+    /// TCP-layer fault on that customer points the whole target at the
+    /// dead edge. New adoptions below the old installer's index — or the
+    /// installer's fault windows — can flip it between snapshots.
+    fn reconcile_shared_targets(&mut self, eco: &Ecosystem, date: SimDate) {
+        let infra = self.infra.as_mut().expect("reconcile runs after install");
+        for provider in &eco.policy_providers {
+            let CnameStyle::Shared(target) = provider.cname_style else {
+                continue;
+            };
+            let target: DomainName = target.parse().expect("static name");
+            if !infra.shared_a_done.contains(&target) {
+                continue; // no customer adopted yet; natural install handles it
+            }
+            let desired = if eco.shared_cname_dead(provider.key, date) {
+                infra.dead_ip
+            } else {
+                infra.policy_ip[provider.key]
+            };
+            let apex = target
+                .effective_sld()
+                .expect("provider targets have an eSLD");
+            self.world.with_zone(&apex, |z| {
+                let current =
+                    z.get(&target, RecordType::A)
+                        .into_iter()
+                        .find_map(|r| match r.data {
+                            RecordData::A(ip) => Some(ip),
+                            _ => None,
+                        });
+                if current != Some(desired) {
+                    z.remove(&target, RecordType::A);
+                    z.add_rr(&target, TTL, RecordData::A(desired));
+                }
+            });
+        }
+    }
+}
+
+/// Reverses [`Ecosystem::install_domain`] for a domain deployed with
+/// `prev_date` semantics.
+fn uninstall_domain(
+    world: &World,
+    infra: &mut Infra,
+    eco: &Ecosystem,
+    spec: &DomainSpec,
+    index: usize,
+    prev_date: SimDate,
+) {
+    // The domain's own zone: MX/NS/TXT/TLSRPT records, self-hosted A
+    // records, and the policy host's A or CNAME record.
+    world.remove_zone(&spec.name);
+    // The four deterministic endpoint slots (no-ops when never deployed,
+    // e.g. DNS-only detail or provider-hosted domains).
+    world.remove_web_endpoint(Ecosystem::domain_ip(index, 0));
+    for slot in 1..4u8 {
+        world.remove_mx_endpoint(Ecosystem::domain_ip(index, slot));
+    }
+    // The legacy-MX zone of stale-migration domains is owned outright
+    // (its name embeds this domain's leftmost label and TLD).
+    if spec
+        .faults
+        .inconsistency
+        .as_ref()
+        .is_some_and(|i| i.stale_migration.is_some())
+    {
+        if let Some(apex) = eco.legacy_mx_of(spec).effective_sld() {
+            world.remove_zone(&apex);
+        }
+    }
+    // Per-customer MX hostnames this domain installed into provider
+    // zones. The `shared_a_done` invariant makes membership the exact
+    // "mine to remove" oracle: infrastructure-owned shared hostnames are
+    // never in the registry.
+    for host in eco.effective_mx_hosts(spec, prev_date) {
+        if host.is_subdomain_of(&spec.name) {
+            continue; // lived in the domain's own zone, already gone
+        }
+        remove_registered_a(world, infra, &host);
+    }
+    // The policy side: delegation targets and per-customer state on
+    // shared provider endpoints.
+    let policy_host = spec.name.prefixed("mta-sts").expect("static label");
+    match &spec.policy {
+        // Own zone + slot endpoint (removed above); the Porkbun parking
+        // host serves its default chain, nothing per-customer.
+        PolicyHosting::SelfManaged | PolicyHosting::Porkbun => {}
+        PolicyHosting::Mxascen => {
+            let ip = infra.mxascen_web[spec.name.to_string().len() % 2];
+            remove_customer_state(world, ip, &policy_host);
+        }
+        PolicyHosting::Provider { key } => {
+            let provider = eco.policy_provider(key).expect("known provider");
+            // Shared targets are communal — other customers still resolve
+            // through them; reconciliation owns their A record instead.
+            if !matches!(provider.cname_style, CnameStyle::Shared(_)) {
+                remove_registered_a(world, infra, &provider.cname_target(&spec.name));
+            }
+            remove_customer_state(world, infra.policy_ip[*key], &policy_host);
+        }
+        PolicyHosting::MiscProvider { idx } => {
+            let target: DomainName = format!("{}.polhost{idx}.net", spec.name.labels().join("-"))
+                .parse()
+                .expect("valid");
+            remove_registered_a(world, infra, &target);
+            remove_customer_state(world, infra.policy_ip[&format!("misc{idx}")], &policy_host);
+        }
+        PolicyHosting::SmallProvider { idx } => {
+            let target: DomainName = format!("{}.smallpol{idx}.net", spec.name.labels().join("-"))
+                .parse()
+                .expect("valid");
+            remove_registered_a(world, infra, &target);
+            remove_customer_state(world, infra.policy_ip[&format!("small{idx}")], &policy_host);
+        }
+    }
+}
+
+/// Removes a per-customer A record iff this registry owns it.
+fn remove_registered_a(world: &World, infra: &mut Infra, name: &DomainName) {
+    if infra.shared_a_done.remove(name) {
+        let apex = name.effective_sld().expect("registered names have an eSLD");
+        world.with_zone(&apex, |z| {
+            z.remove(name, RecordType::A);
+        });
+    }
+}
+
+/// Evicts one customer's certificate chain and documents from a shared
+/// web endpoint (no-op when the endpoint does not exist, e.g. DNS-only).
+fn remove_customer_state(world: &World, ip: std::net::Ipv4Addr, policy_host: &DomainName) {
+    world.with_web(ip, |ep| {
+        ep.remove_chain(policy_host);
+        ep.remove_documents_for(policy_host);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcosystemConfig;
+    use std::fmt::Write as _;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::paper(42, 0.02))
+    }
+
+    /// Every observation a scan makes of every adopted domain, as one
+    /// comparable string: record + TLSRPT TXT sets, MX host sets, the
+    /// policy fetch outcome with its CNAME chain, and each MX's STARTTLS
+    /// certificate verdict.
+    fn observe(world: &World, eco: &Ecosystem, date: SimDate) -> String {
+        let now = date.at_midnight();
+        let mut out = String::new();
+        for spec in eco.domains_at(date) {
+            let _ = writeln!(
+                out,
+                "{} txt={:?} tlsrpt={:?}",
+                spec.name,
+                world.mta_sts_txts(&spec.name, now),
+                world.tlsrpt_txts(&spec.name, now),
+            );
+            let fetch = world.fetch_policy(&spec.name, now);
+            let _ = writeln!(
+                out,
+                "  fetch={:?} cnames={:?}",
+                fetch.result, fetch.cname_chain
+            );
+            if let Ok(hosts) = world.mx_records(&spec.name, now) {
+                for host in hosts {
+                    let probe = world.probe_mx(&host, now);
+                    let _ = writeln!(
+                        out,
+                        "  mx {host} verdict={:?}",
+                        probe.cert_verdict(&host, now, world.pki.trust_store())
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn advancing_matches_from_scratch_at_every_checkpoint() {
+        let eco = eco();
+        let mut iw = IncrementalWorld::new(SnapshotDetail::Full);
+        // Deliberately includes both incident windows (Jan 23 inside
+        // lucidgrow, Jun 8 inside the June-8 outage) and the study end.
+        for date in [
+            SimDate::ymd(2023, 11, 7),
+            SimDate::ymd(2024, 1, 23),
+            SimDate::ymd(2024, 3, 7),
+            SimDate::ymd(2024, 6, 8),
+            SimDate::ymd(2024, 9, 29),
+        ] {
+            iw.advance_to(&eco, date);
+            let scratch = eco.world_at(date, SnapshotDetail::Full);
+            assert_eq!(
+                observe(iw.world(), &eco, date),
+                observe(&scratch, &eco, date),
+                "divergence at {date}"
+            );
+        }
+    }
+
+    #[test]
+    fn weekly_advance_touches_only_a_sliver() {
+        let eco = eco();
+        let mut iw = IncrementalWorld::new(SnapshotDetail::Full);
+        let full = iw.advance_to(&eco, SimDate::ymd(2024, 3, 1));
+        assert_eq!(full.reinstalled, 0, "first advance installs fresh");
+        assert_eq!(full.unchanged, 0);
+        let week = iw.advance_to(&eco, SimDate::ymd(2024, 3, 8));
+        let adopted = eco.domains_at(SimDate::ymd(2024, 3, 8)).count();
+        assert_eq!(week.installed + week.reinstalled + week.unchanged, adopted);
+        assert!(
+            week.dirty() * 5 < week.unchanged,
+            "one calm week should be >80% unchanged: {week:?}"
+        );
+    }
+
+    #[test]
+    fn same_date_advance_is_a_noop() {
+        let eco = eco();
+        let date = SimDate::ymd(2024, 4, 1);
+        let mut iw = IncrementalWorld::new(SnapshotDetail::Full);
+        let first = iw.advance_to(&eco, date);
+        let before = observe(iw.world(), &eco, date);
+        let again = iw.advance_to(&eco, date);
+        assert_eq!(again.dirty(), 0);
+        assert_eq!(again.unchanged, first.installed);
+        assert_eq!(observe(iw.world(), &eco, date), before);
+    }
+
+    #[test]
+    fn installed_fingerprints_track_the_current_date() {
+        let eco = eco();
+        let date = SimDate::ymd(2024, 5, 1);
+        let mut iw = IncrementalWorld::new(SnapshotDetail::DnsOnly);
+        iw.advance_to(&eco, date);
+        let ctx = eco.fingerprint_context(date);
+        for (index, spec) in eco.population.domains.iter().enumerate() {
+            assert_eq!(
+                iw.installed_fingerprint(index),
+                eco.fingerprint_at(spec, &ctx),
+                "{}",
+                spec.name
+            );
+        }
+    }
+}

@@ -20,12 +20,16 @@
 pub mod calib;
 pub mod config;
 pub mod deploy;
+pub mod fingerprint;
+pub mod incremental;
 pub mod providers;
 pub mod spec;
 pub mod tld;
 
 pub use config::{EcosystemConfig, SnapshotDetail};
 pub use deploy::Ecosystem;
+pub use fingerprint::{DomainFingerprint, FingerprintContext};
+pub use incremental::{AdvanceStats, IncrementalWorld};
 pub use providers::{MailProvider, OptOutBehavior, PolicyProvider};
 pub use spec::{DomainSpec, FaultProfile, MailHosting, PolicyHosting};
 pub use tld::TldId;

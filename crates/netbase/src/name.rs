@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Maximum length of a single label in octets (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -76,7 +77,11 @@ impl std::error::Error for NameError {}
 #[serde(try_from = "String", into = "String")]
 pub struct DomainName {
     /// Labels in presentation order: `labels[0]` is the leftmost label.
-    labels: Vec<String>,
+    ///
+    /// Shared, not owned: the longitudinal drivers clone every adopted
+    /// domain's name once per snapshot date, so `clone()` must be a
+    /// reference-count bump rather than a fresh allocation per label.
+    labels: Arc<[String]>,
 }
 
 impl DomainName {
@@ -115,7 +120,9 @@ impl DomainName {
             }
             labels.push(label);
         }
-        Ok(DomainName { labels })
+        Ok(DomainName {
+            labels: labels.into(),
+        })
     }
 
     /// Builds a name from pre-validated labels (used by the wire decoder).
@@ -125,7 +132,9 @@ impl DomainName {
         debug_assert!(labels
             .iter()
             .all(|l| !l.is_empty() && l.len() <= MAX_LABEL_LEN && *l == l.to_ascii_lowercase()));
-        DomainName { labels }
+        DomainName {
+            labels: labels.into(),
+        }
     }
 
     /// Labels in presentation order (leftmost first).
@@ -159,7 +168,7 @@ impl DomainName {
             None
         } else {
             Some(DomainName {
-                labels: self.labels[1..].to_vec(),
+                labels: self.labels[1..].to_vec().into(),
             })
         }
     }
@@ -203,7 +212,7 @@ impl DomainName {
         }
         let start = self.labels.len() - suffix_len - 1;
         Some(DomainName {
-            labels: self.labels[start..].to_vec(),
+            labels: self.labels[start..].to_vec().into(),
         })
     }
 

@@ -16,6 +16,9 @@
 //!   clocks, in-order merge);
 //! - [`longitudinal`]: the weekly record series and monthly full scans
 //!   over the whole study calendar, retaining MX history for Figure 9;
+//! - [`incremental`]: the change-driven rescan cache that makes the
+//!   longitudinal drivers cost O(changes) instead of O(dates × domains)
+//!   while staying byte-identical to from-scratch runs;
 //! - [`supervisor`]: the checkpointing, resumable, panic-isolating driver
 //!   around the monthly campaign, with its degradation report;
 //! - [`analysis`]: figure- and table-shaped aggregations;
@@ -23,6 +26,7 @@
 
 pub mod analysis;
 pub mod classify;
+pub mod incremental;
 pub mod longitudinal;
 pub mod notify;
 pub mod parallel;
@@ -31,6 +35,7 @@ pub mod supervisor;
 pub mod taxonomy;
 
 pub use classify::{EntityClass, EntityClassifier};
+pub use incremental::{CacheStats, IncrementalScanner};
 pub use longitudinal::{LongitudinalRun, Study};
 pub use parallel::default_scan_threads;
 pub use scan::{scan_domain, scan_snapshot, scan_snapshot_with_threads, ScanConfig, Snapshot};

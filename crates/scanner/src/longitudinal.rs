@@ -1,20 +1,29 @@
 //! The longitudinal study driver: weekly record scans (2021-09 →
 //! 2024-09) and monthly full-component scans (2023-11 → 2024-09), §3.1
 //! and §4.1.
+//!
+//! Both series run through the incremental engine by default
+//! ([`crate::incremental`]): a persistent delta-built world plus a
+//! change-driven cache, byte-identical to the from-scratch drivers
+//! (`run_weekly_scratch_with_threads`, `run_full_scratch_with_threads`),
+//! which are kept as the reference oracles for the digest suite.
 
+use crate::incremental::{cache_forced, CacheStats};
 use crate::parallel::default_scan_threads;
 use crate::scan::{scan_snapshot_with_threads, ScanConfig, Snapshot};
-use ecosystem::{Ecosystem, SnapshotDetail, TldId};
-use netbase::{map_sharded, DomainName, SimDate};
+use ecosystem::{DomainSpec, Ecosystem, IncrementalWorld, SnapshotDetail, TldId};
+use mtasts::evaluate_record_set;
+use netbase::{map_sharded, DomainName, SimDate, SimInstant};
 use serde::Serialize;
-use std::collections::HashMap;
+use simnet::World;
+use std::collections::{HashMap, HashSet};
 
 /// One weekly record-level observation.
 #[derive(Debug, Clone, Serialize)]
 pub struct WeeklyPoint {
     /// Snapshot date.
     pub date: SimDate,
-    /// Domains with a (present) MTA-STS record, per TLD.
+    /// Domains with a (valid) MTA-STS record, per TLD.
     pub mtasts_per_tld: HashMap<TldId, u64>,
     /// Domains with both MTA-STS and TLSRPT records, per TLD (Figure 12's
     /// bottom panel numerators).
@@ -48,14 +57,16 @@ impl LongitudinalRun {
         self.full.last().expect("study produces full snapshots")
     }
 
-    /// Historical MX hosts of `domain` observed strictly before `date`.
+    /// Historical MX hosts of `domain` observed strictly before `date`,
+    /// in first-observation order.
     pub fn historical_mx(&self, domain: &DomainName, before: SimDate) -> Vec<DomainName> {
         let mut out = Vec::new();
+        let mut seen = HashSet::new();
         if let Some(entries) = self.mx_history.get(domain) {
             for (date, hosts) in entries {
                 if *date < before {
                     for h in hosts {
-                        if !out.contains(h) {
+                        if seen.insert(h) {
                             out.push(h.clone());
                         }
                     }
@@ -63,6 +74,62 @@ impl LongitudinalRun {
             }
         }
         out
+    }
+}
+
+/// One domain's weekly DNS observation, or `None` when the domain has no
+/// *valid* MTA-STS record that week. Validity is [`evaluate_record_set`]
+/// — the same semantics the sender and the full scan apply — so a
+/// malformed record, a wrong version tag, or a duplicate set never
+/// inflates the adoption series (§3.1 counts working deployments).
+pub(crate) type WeeklyObservation = Option<(TldId, bool, Vec<DomainName>)>;
+
+pub(crate) fn weekly_observe(
+    world: &World,
+    spec: &DomainSpec,
+    now: SimInstant,
+) -> WeeklyObservation {
+    let txts = world.mta_sts_txts(&spec.name, now).ok()?;
+    evaluate_record_set(&txts).ok()?;
+    let tlsrpt = world
+        .tlsrpt_txts(&spec.name, now)
+        .map(|t| t.iter().any(|s| s.starts_with("v=TLSRPTv1")))
+        .unwrap_or(false);
+    let mx = world.mx_records(&spec.name, now).unwrap_or_default();
+    Some((spec.tld, tlsrpt, mx))
+}
+
+/// Folds one week's merged, input-ordered observations into the per-TLD
+/// counters and the MX history. Shared by the scratch and incremental
+/// drivers so they cannot drift.
+fn fold_weekly(
+    date: SimDate,
+    domains: &[DomainSpec],
+    observations: &[WeeklyObservation],
+    history: &mut MxHistory,
+) -> WeeklyPoint {
+    let mut mtasts: HashMap<TldId, u64> = HashMap::new();
+    let mut tlsrpt: HashMap<TldId, u64> = HashMap::new();
+    for (spec, observed) in domains.iter().zip(observations) {
+        let Some((tld, has_tlsrpt, mx)) = observed else {
+            continue;
+        };
+        *mtasts.entry(*tld).or_default() += 1;
+        if *has_tlsrpt {
+            *tlsrpt.entry(*tld).or_default() += 1;
+        }
+        // MX history (collapse consecutive duplicates).
+        if !mx.is_empty() {
+            let entry = history.entry(spec.name.clone()).or_default();
+            if entry.last().map(|(_, prev)| prev) != Some(mx) {
+                entry.push((date, mx.clone()));
+            }
+        }
+    }
+    WeeklyPoint {
+        date,
+        mtasts_per_tld: mtasts,
+        tlsrpt_among_mtasts_per_tld: tlsrpt,
     }
 }
 
@@ -84,60 +151,90 @@ impl Study {
         self.run_weekly_with_threads(default_scan_threads())
     }
 
-    /// [`Study::run_weekly`] with an explicit thread count. Per-domain
-    /// DNS observations fan out across shard workers; the per-TLD
-    /// counters and the MX history fold from the merged, input-ordered
-    /// observation vector, so the series is byte-identical for every
-    /// thread count.
+    /// [`Study::run_weekly`] with an explicit thread count, through the
+    /// incremental engine. Per-domain DNS observations fan out across
+    /// shard workers; the per-TLD counters and the MX history fold from
+    /// the merged, input-ordered observation vector, so the series is
+    /// byte-identical for every thread count.
     pub fn run_weekly_with_threads(&self, threads: usize) -> (Vec<WeeklyPoint>, MxHistory) {
+        let (weekly, history, _) = self.run_weekly_incremental_with_threads(threads);
+        (weekly, history)
+    }
+
+    /// The from-scratch weekly driver: one full world per week, every
+    /// domain queried. Kept as the reference oracle the incremental
+    /// engine is digest-checked against.
+    pub fn run_weekly_scratch_with_threads(&self, threads: usize) -> (Vec<WeeklyPoint>, MxHistory) {
         let mut weekly = Vec::new();
         let mut history: MxHistory = HashMap::new();
+        let domains = &self.eco.population.domains;
         for date in self.eco.config.weekly_snapshots() {
             let world = self.eco.world_at(date, SnapshotDetail::DnsOnly);
             let now = date.at_midnight();
             // The paper queries every zone-file domain; unadopted
-            // domains simply have no record yet. `None` = no (valid)
-            // MTA-STS record this week.
-            let observations = map_sharded(threads, &self.eco.population.domains, |_, spec| {
-                let txts = world.mta_sts_txts(&spec.name, now).ok()?;
-                if !txts
-                    .iter()
-                    .any(|t| t.starts_with("v=STS") || t.contains("STS"))
-                {
-                    return None;
-                }
-                let tlsrpt = world
-                    .tlsrpt_txts(&spec.name, now)
-                    .map(|t| t.iter().any(|s| s.starts_with("v=TLSRPTv1")))
-                    .unwrap_or(false);
-                let mx = world.mx_records(&spec.name, now).unwrap_or_default();
-                Some((spec.tld, tlsrpt, mx))
+            // domains simply have no record yet.
+            let observations = map_sharded(threads, domains, |_, spec| {
+                weekly_observe(&world, spec, now)
             });
-            let mut mtasts: HashMap<TldId, u64> = HashMap::new();
-            let mut tlsrpt: HashMap<TldId, u64> = HashMap::new();
-            for (spec, observed) in self.eco.population.domains.iter().zip(observations) {
-                let Some((tld, has_tlsrpt, mx)) = observed else {
-                    continue;
-                };
-                *mtasts.entry(tld).or_default() += 1;
-                if has_tlsrpt {
-                    *tlsrpt.entry(tld).or_default() += 1;
-                }
-                // MX history (collapse consecutive duplicates).
-                if !mx.is_empty() {
-                    let entry = history.entry(spec.name.clone()).or_default();
-                    if entry.last().map(|(_, prev)| prev) != Some(&mx) {
-                        entry.push((date, mx));
-                    }
-                }
-            }
-            weekly.push(WeeklyPoint {
-                date,
-                mtasts_per_tld: mtasts,
-                tlsrpt_among_mtasts_per_tld: tlsrpt,
-            });
+            weekly.push(fold_weekly(date, domains, &observations, &mut history));
         }
         (weekly, history)
+    }
+
+    /// The incremental weekly driver: a persistent DNS-only world
+    /// advanced week by week, with each domain's observation reused
+    /// while its record and MX fingerprint components are unchanged.
+    /// Policy-side changes (e.g. the lucidgrow incident rewriting hosted
+    /// policy documents) deliberately do *not* invalidate weekly
+    /// entries — the weekly series never looks at policies.
+    pub fn run_weekly_incremental_with_threads(
+        &self,
+        threads: usize,
+    ) -> (Vec<WeeklyPoint>, MxHistory, CacheStats) {
+        let mut weekly = Vec::new();
+        let mut history: MxHistory = HashMap::new();
+        let mut stats = CacheStats::default();
+        let mut engine = IncrementalWorld::new(SnapshotDetail::DnsOnly);
+        let domains = &self.eco.population.domains;
+        // Slot per population index: the (record, mx) fingerprint key the
+        // cached observation was taken under. `key == None` = unadopted.
+        type Key = Option<(u64, u64)>;
+        let mut cache: Vec<Option<(Key, WeeklyObservation)>> = vec![None; domains.len()];
+        for date in self.eco.config.weekly_snapshots() {
+            engine.advance_to(&self.eco, date);
+            let world = engine.world();
+            let forced = cache_forced(world);
+            let now = date.at_midnight();
+            let ctx = self.eco.fingerprint_context(date);
+            let keys: Vec<Key> = domains
+                .iter()
+                .map(|d| {
+                    self.eco
+                        .fingerprint_at(d, &ctx)
+                        .map(|fp| (fp.record, fp.mx))
+                })
+                .collect();
+            let cache_ref = &cache;
+            let observations: Vec<(WeeklyObservation, bool)> =
+                map_sharded(threads, domains, |i, spec| match &cache_ref[i] {
+                    Some((key, obs)) if !forced && *key == keys[i] => (obs.clone(), true),
+                    _ => (weekly_observe(world, spec, now), false),
+                });
+            let mut merged = Vec::with_capacity(domains.len());
+            for (i, (obs, hit)) in observations.into_iter().enumerate() {
+                if hit {
+                    stats.full_hits += 1;
+                } else if forced {
+                    stats.forced += 1;
+                } else {
+                    stats.misses += 1;
+                    cache[i] = Some((keys[i], obs.clone()));
+                }
+                merged.push(obs);
+            }
+            weekly.push(fold_weekly(date, domains, &merged, &mut history));
+        }
+        (weekly, history, stats)
     }
 
     /// Runs the monthly full-component scans on the default thread count.
@@ -145,9 +242,18 @@ impl Study {
         self.run_full_with_threads(default_scan_threads())
     }
 
-    /// [`Study::run_full`] with an explicit thread count; the snapshots
-    /// are byte-identical for every value.
+    /// [`Study::run_full`] with an explicit thread count, through the
+    /// incremental engine; the snapshots are byte-identical for every
+    /// value.
     pub fn run_full_with_threads(&self, threads: usize) -> Vec<Snapshot> {
+        self.run_full_incremental_with_threads(threads).0
+    }
+
+    /// The from-scratch monthly driver: one full world per snapshot
+    /// date, every adopted domain scanned end to end. Kept as the
+    /// reference oracle the incremental engine is digest-checked
+    /// against.
+    pub fn run_full_scratch_with_threads(&self, threads: usize) -> Vec<Snapshot> {
         let mut out = Vec::new();
         for date in self.eco.config.full_scan_dates() {
             let world = self.eco.world_at(date, SnapshotDetail::Full);
@@ -194,10 +300,65 @@ mod tests {
         let first = weekly.first().unwrap().total();
         let last = weekly.last().unwrap().total();
         assert!(last > first * 3, "{first} -> {last}");
-        // The measured totals equal the adopted-domain counts.
-        let expected = study.eco.domains_at(weekly.last().unwrap().date).count() as u64;
+        // The measured totals equal the adopted-domain counts minus the
+        // record-faulted ones: `evaluate_record_set` (the sender's own
+        // semantics) rejects every injected record fault, so a broken
+        // record never counts as adoption.
+        let date = weekly.last().unwrap().date;
+        let expected = study
+            .eco
+            .domains_at(date)
+            .filter(|d| d.faults.record.is_none())
+            .count() as u64;
         assert_eq!(last, expected);
+        // Pinned seed-42 scale-0.01 totals: the record-validity semantics
+        // (`evaluate_record_set`, not a substring heuristic) are part of
+        // the series' contract — a drift here is a semantics change, not
+        // noise.
+        assert_eq!((first, last), (149, 675));
         assert!(!history.is_empty());
+    }
+
+    #[test]
+    fn weekly_scratch_and_incremental_agree() {
+        let study = study();
+        let (scratch_weekly, scratch_history) = study.run_weekly_scratch_with_threads(2);
+        let (inc_weekly, inc_history, stats) = study.run_weekly_incremental_with_threads(2);
+        // Canonical form: HashMaps iterate in arbitrary per-instance
+        // order, so sort everything before comparing.
+        let sorted = |m: &HashMap<TldId, u64>| {
+            let mut v: Vec<_> = m.iter().map(|(t, c)| (format!("{t:?}"), *c)).collect();
+            v.sort();
+            v
+        };
+        let digest = |w: &[WeeklyPoint], h: &MxHistory| {
+            let points: Vec<_> = w
+                .iter()
+                .map(|p| {
+                    (
+                        p.date,
+                        sorted(&p.mtasts_per_tld),
+                        sorted(&p.tlsrpt_among_mtasts_per_tld),
+                    )
+                })
+                .collect();
+            let mut hist: Vec<_> = h
+                .iter()
+                .map(|(d, v)| (d.to_string(), format!("{v:?}")))
+                .collect();
+            hist.sort();
+            (points, hist)
+        };
+        assert_eq!(
+            digest(&scratch_weekly, &scratch_history),
+            digest(&inc_weekly, &inc_history)
+        );
+        // 160 weeks over a mostly-static population: reuse dominates.
+        assert!(
+            stats.full_hits > stats.misses * 10,
+            "weekly reuse should dominate: {stats:?}"
+        );
+        assert_eq!(stats.forced, 0);
     }
 
     #[test]
@@ -229,12 +390,15 @@ mod tests {
         let study = study();
         let run = study.run();
         // Find a stale-migration domain whose migration falls inside the
-        // window; its legacy MX must appear in history before migration.
+        // window (and whose record is valid, so the weekly series tracks
+        // it); its legacy MX must appear in history before migration.
         let stale = study.eco.population.domains.iter().find_map(|d| {
             let inc = d.faults.inconsistency.as_ref()?;
             let migration = inc.stale_migration?;
-            (migration > d.adopted.add_days(14) && migration < SimDate::ymd(2024, 8, 1))
-                .then_some((d, migration))
+            (d.faults.record.is_none()
+                && migration > d.adopted.add_days(14)
+                && migration < SimDate::ymd(2024, 8, 1))
+            .then_some((d, migration))
         });
         let Some((spec, migration)) = stale else {
             return; // tiny scale may not include one; other tests cover it

@@ -6,13 +6,14 @@ use crate::taxonomy::{
     DomainScan, MxVerdict, PolicyLayer, PolicyLayerError, ScanAttempts, StageAttempts,
 };
 use dns::RecordType;
-use mtasts::{classify_policy_mismatches, evaluate_record_set, RecordError};
+use mtasts::{classify_policy_mismatches, evaluate_record_set, MismatchKind, Policy, RecordError};
 use netbase::{map_sharded, DetRng, DomainName, RetryPolicy, SimDate, SimInstant, TokenBucket};
 use simnet::{
     dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure, World,
 };
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
 
 /// The scanner's retry discipline, per stage.
 ///
@@ -74,12 +75,40 @@ pub struct Snapshot {
     pub policy_ips: HashMap<DomainName, Ipv4Addr>,
     /// The entity classifier built over this snapshot.
     pub classifier: EntityClassifier,
+    /// Domain → index into `scans`, built lazily on the first
+    /// [`Snapshot::scan_of`] — analyses probe tens of thousands of
+    /// domains per snapshot, and a linear search per lookup is O(n²).
+    index: OnceLock<HashMap<DomainName, usize>>,
 }
 
 impl Snapshot {
+    /// Assembles a snapshot from scan results, building the entity
+    /// classifier (a pure function of the scans and policy IPs).
+    pub fn assemble(
+        date: SimDate,
+        scans: Vec<DomainScan>,
+        policy_ips: HashMap<DomainName, Ipv4Addr>,
+    ) -> Snapshot {
+        let classifier = EntityClassifier::from_scans(scans.iter(), &policy_ips);
+        Snapshot {
+            date,
+            scans,
+            policy_ips,
+            classifier,
+            index: OnceLock::new(),
+        }
+    }
+
     /// Looks up a domain's scan.
     pub fn scan_of(&self, domain: &DomainName) -> Option<&DomainScan> {
-        self.scans.iter().find(|s| s.domain == *domain)
+        let index = self.index.get_or_init(|| {
+            self.scans
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.domain.clone(), i))
+                .collect()
+        });
+        index.get(domain).map(|&i| &self.scans[i])
     }
 
     /// Number of domains scanned.
@@ -106,53 +135,77 @@ fn layer_error(error: &PolicyFetchError) -> PolicyLayerError {
     }
 }
 
-/// Scans one domain end to end (§4.1: record, policy over HTTPS,
-/// instrumented SMTP probe of every MX, consistency check), retrying
-/// transient failures per `config` before anything reaches the taxonomy.
-///
-/// `now` is the instant the rate limiter admitted this domain — every
-/// per-second fault and attack draw keys off it, so a throttled campaign
-/// really does sweep across the simulated day instead of replaying
-/// midnight for every domain. Unthrottled callers pass
-/// `date.at_midnight()`.
-///
-/// Classification only ever sees the *final* attempt of each stage, so a
-/// failure that a retry recovered never inflates the misconfiguration
-/// statistics; the attempt counts land in [`DomainScan::attempts`].
-// The policy-retry closure's Err carries the whole fetch outcome on
-// purpose — delegation evidence from the final attempt must survive.
-#[allow(clippy::result_large_err)]
-pub fn scan_domain(
+/// The record stage's output: the `_mta-sts` TXT evaluation.
+pub(crate) struct RecordStage {
+    pub record: Result<String, RecordError>,
+    pub attempts: StageAttempts,
+}
+
+/// The policy stage's output: the HTTPS fetch ladder's result plus the
+/// CNAME delegation evidence.
+pub(crate) struct PolicyStage {
+    pub policy: Result<Policy, PolicyLayerError>,
+    pub cname: Vec<DomainName>,
+    pub attempts: StageAttempts,
+}
+
+/// The MX stage's output: records, NS evidence, and per-host probes.
+pub(crate) struct MxStage {
+    pub mx_records: Vec<DomainName>,
+    pub ns_records: Vec<DomainName>,
+    pub mx_verdicts: Vec<MxVerdict>,
+    pub attempts: StageAttempts,
+}
+
+/// The per-domain retry RNG. Each stage forks its own scope off this, so
+/// stages are independent: re-running one stage in isolation (the
+/// incremental engine's partial re-scan) draws exactly the jitter the
+/// full scan would have drawn for it.
+pub(crate) fn stage_rng(config: &ScanConfig, domain: &DomainName) -> DetRng {
+    DetRng::new(config.seed).fork(&domain.to_string())
+}
+
+/// Stage 1: the `_mta-sts` record, retrying SERVFAIL/timeout shapes.
+pub(crate) fn record_stage(
     world: &World,
     domain: &DomainName,
-    date: SimDate,
     now: SimInstant,
     config: &ScanConfig,
-) -> DomainScan {
-    let rng = DetRng::new(config.seed).fork(&domain.to_string());
-    let mut attempts = ScanAttempts::default();
-
-    // 1. The `_mta-sts` record, retrying SERVFAIL/timeout shapes.
+    rng: &DetRng,
+) -> RecordStage {
     let record_out =
         config
             .record_retry
-            .run(&rng, "record", now, dns_error_is_transient, |at, _| {
+            .run(rng, "record", now, dns_error_is_transient, |at, _| {
                 world.mta_sts_txts(domain, at)
             });
-    attempts.record = StageAttempts {
-        attempts: record_out.attempts,
-        recovered: record_out.recovered(),
-    };
-    let record = match record_out.result {
-        Ok(txts) => evaluate_record_set(&txts).map(|r| r.id),
-        Err(_) => Err(RecordError::NoRecord),
-    };
+    RecordStage {
+        attempts: StageAttempts {
+            attempts: record_out.attempts,
+            recovered: record_out.recovered(),
+        },
+        record: match record_out.result {
+            Ok(txts) => evaluate_record_set(&txts).map(|r| r.id),
+            Err(_) => Err(RecordError::NoRecord),
+        },
+    }
+}
 
-    // 2. Policy retrieval over HTTPS (full §4.3.3 ladder). The whole
-    // outcome travels through the retry loop so delegation evidence from
-    // the final attempt is preserved either way.
+/// Stage 2: policy retrieval over HTTPS (full §4.3.3 ladder). The whole
+/// outcome travels through the retry loop so delegation evidence from
+/// the final attempt is preserved either way.
+// The policy-retry closure's Err carries the whole fetch outcome on
+// purpose — delegation evidence from the final attempt must survive.
+#[allow(clippy::result_large_err)]
+pub(crate) fn policy_stage(
+    world: &World,
+    domain: &DomainName,
+    now: SimInstant,
+    config: &ScanConfig,
+    rng: &DetRng,
+) -> PolicyStage {
     let policy_out = config.policy_retry.run(
-        &rng,
+        rng,
         "policy",
         now,
         |o: &PolicyFetchOutcome| {
@@ -170,37 +223,49 @@ pub fn scan_domain(
             }
         },
     );
-    attempts.policy = StageAttempts {
+    let attempts = StageAttempts {
         attempts: policy_out.attempts,
         recovered: policy_out.recovered(),
     };
     let fetch = match policy_out.result {
         Ok(outcome) | Err(outcome) => outcome,
     };
-    let policy = match &fetch.result {
-        Ok((policy, _raw)) => Ok(policy.clone()),
-        Err(e) => Err(layer_error(e)),
-    };
+    PolicyStage {
+        policy: match &fetch.result {
+            Ok((policy, _raw)) => Ok(policy.clone()),
+            Err(e) => Err(layer_error(e)),
+        },
+        cname: fetch.cname_chain,
+        attempts,
+    }
+}
 
-    // 3. MX records and the instrumented SMTP probe (NS records are
-    // collected alongside, §3.1). The MX-record lookup and every per-host
-    // probe count toward the MX stage's attempt budget; a probe that still
-    // tempfails after its last retry is kept with `chain: None`, excluding
-    // the host from certificate analysis rather than miscounting it.
-    let mut mx_stage = StageAttempts::default();
+/// Stage 3: MX records and the instrumented SMTP probe (NS records are
+/// collected alongside, §3.1). The MX-record lookup and every per-host
+/// probe count toward the MX stage's attempt budget; a probe that still
+/// tempfails after its last retry is kept with `chain: None`, excluding
+/// the host from certificate analysis rather than miscounting it.
+pub(crate) fn mx_stage(
+    world: &World,
+    domain: &DomainName,
+    now: SimInstant,
+    config: &ScanConfig,
+    rng: &DetRng,
+) -> MxStage {
+    let mut attempts = StageAttempts::default();
     let mx_out =
         config
             .record_retry
-            .run(&rng, "mx-records", now, dns_error_is_transient, |at, _| {
+            .run(rng, "mx-records", now, dns_error_is_transient, |at, _| {
                 world.mx_records(domain, at)
             });
-    mx_stage.attempts += mx_out.attempts;
-    mx_stage.recovered |= mx_out.recovered();
+    attempts.attempts += mx_out.attempts;
+    attempts.recovered |= mx_out.recovered();
     let mx_records = mx_out.result.unwrap_or_default();
     let ns_out =
         config
             .record_retry
-            .run(&rng, "ns-records", now, dns_error_is_transient, |at, _| {
+            .run(rng, "ns-records", now, dns_error_is_transient, |at, _| {
                 world.resolve(domain, RecordType::Ns, at)
             });
     let ns_records: Vec<DomainName> = ns_out
@@ -219,7 +284,7 @@ pub fn scan_domain(
         .iter()
         .map(|host| {
             let probe_out = config.mx_retry.run(
-                &rng,
+                rng,
                 &format!("mx/{host}"),
                 now,
                 MxProbeOutcome::is_transient_failure,
@@ -232,8 +297,8 @@ pub fn scan_domain(
                     }
                 },
             );
-            mx_stage.attempts += probe_out.attempts;
-            mx_stage.recovered |= probe_out.recovered();
+            attempts.attempts += probe_out.attempts;
+            attempts.recovered |= probe_out.recovered();
             let probe = match probe_out.result {
                 Ok(p) | Err(p) => p,
             };
@@ -246,28 +311,70 @@ pub fn scan_domain(
             }
         })
         .collect();
-    attempts.mx = mx_stage;
+    MxStage {
+        mx_records,
+        ns_records,
+        mx_verdicts,
+        attempts,
+    }
+}
 
-    // 4. Consistency between mx patterns and MX records (§4.4).
-    let mismatches = match &policy {
-        Ok(p) if !mx_records.is_empty() => classify_policy_mismatches(p, &mx_records)
+/// Stage 4: consistency between mx patterns and MX records (§4.4). A
+/// pure function of the policy- and MX-stage outputs, recomputed by the
+/// incremental engine whenever either input stage re-ran.
+pub(crate) fn consistency_mismatches(
+    policy: &Result<Policy, PolicyLayerError>,
+    mx_records: &[DomainName],
+) -> Vec<(String, MismatchKind)> {
+    match policy {
+        Ok(p) if !mx_records.is_empty() => classify_policy_mismatches(p, mx_records)
             .into_iter()
             .map(|(pattern, kind)| (pattern.to_string(), kind))
             .collect(),
         _ => Vec::new(),
-    };
+    }
+}
 
+/// Scans one domain end to end (§4.1: record, policy over HTTPS,
+/// instrumented SMTP probe of every MX, consistency check), retrying
+/// transient failures per `config` before anything reaches the taxonomy.
+///
+/// `now` is the instant the rate limiter admitted this domain — every
+/// per-second fault and attack draw keys off it, so a throttled campaign
+/// really does sweep across the simulated day instead of replaying
+/// midnight for every domain. Unthrottled callers pass
+/// `date.at_midnight()`.
+///
+/// Classification only ever sees the *final* attempt of each stage, so a
+/// failure that a retry recovered never inflates the misconfiguration
+/// statistics; the attempt counts land in [`DomainScan::attempts`].
+pub fn scan_domain(
+    world: &World,
+    domain: &DomainName,
+    date: SimDate,
+    now: SimInstant,
+    config: &ScanConfig,
+) -> DomainScan {
+    let rng = stage_rng(config, domain);
+    let record = record_stage(world, domain, now, config, &rng);
+    let policy = policy_stage(world, domain, now, config, &rng);
+    let mx = mx_stage(world, domain, now, config, &rng);
+    let mismatches = consistency_mismatches(&policy.policy, &mx.mx_records);
     DomainScan {
         domain: domain.clone(),
         date,
-        record,
-        policy,
-        policy_cname: fetch.cname_chain,
-        mx_records,
-        ns_records,
-        mx_verdicts,
+        record: record.record,
+        policy: policy.policy,
+        policy_cname: policy.cname,
+        mx_records: mx.mx_records,
+        ns_records: mx.ns_records,
+        mx_verdicts: mx.mx_verdicts,
         mismatches,
-        attempts,
+        attempts: ScanAttempts {
+            record: record.attempts,
+            policy: policy.attempts,
+            mx: mx.attempts,
+        },
     }
 }
 
@@ -326,13 +433,7 @@ pub fn scan_snapshot_with_threads(
         }
         scans.push(scan);
     }
-    let classifier = EntityClassifier::from_scans(scans.iter(), &policy_ips);
-    Snapshot {
-        date,
-        scans,
-        policy_ips,
-        classifier,
-    }
+    Snapshot::assemble(date, scans, policy_ips)
 }
 
 /// Resolves the policy host's address as classification evidence, retrying

@@ -13,6 +13,14 @@
 //!   `(world, domain, date, config)` and every world is rebuilt from the
 //!   ecosystem seed, so a killed-and-resumed run is *byte-identical* (same
 //!   serialized snapshots) to an uninterrupted one;
+//! - **incrementality**: the campaign runs over one persistent
+//!   delta-built world plus the [`crate::incremental`] rescan cache, so
+//!   unchanged domains reuse their prior scans. Checkpointed scans seed
+//!   the cache on resume — each is exactly the entry a live run would
+//!   have cached at that date — so kill/resume stays byte-identical,
+//!   degradation accounting included. With transient faults configured
+//!   the cache stands down entirely (observations are instant-keyed)
+//!   and every domain scans fresh, as before;
 //! - **isolation**: each domain scan runs under `catch_unwind`; a panic
 //!   abandons that domain (recorded in the [`DegradationReport`]) and the
 //!   campaign continues;
@@ -20,12 +28,12 @@
 //!   into the degradation report so an operator can see how hard the
 //!   retry layer worked.
 
-use crate::classify::EntityClassifier;
+use crate::incremental::{cache_forced, CacheStats, ScanCache};
 use crate::longitudinal::Study;
 use crate::parallel::default_scan_threads;
-use crate::scan::{resolve_policy_ip, scan_domain, ScanConfig, Snapshot};
+use crate::scan::{ScanConfig, Snapshot};
 use crate::taxonomy::DomainScan;
-use ecosystem::SnapshotDetail;
+use ecosystem::{DomainFingerprint, IncrementalWorld, SnapshotDetail};
 use netbase::{map_sharded, shard_bounds, DomainName, SimDate};
 use serde::{Deserialize, Serialize};
 use simnet::TransientFaultConfig;
@@ -89,6 +97,11 @@ pub struct DegradationReport {
     pub checkpoint_failures: u64,
     /// The I/O errors behind those failures, in encounter order.
     pub checkpoint_errors: Vec<String>,
+    /// Rescan-cache accounting (`default` keeps pre-cache checkpoints
+    /// loadable). Deterministic across thread counts and kill/resume
+    /// cycles, so it participates in the report-equality assertions.
+    #[serde(default)]
+    pub cache: CacheStats,
 }
 
 impl DegradationReport {
@@ -278,24 +291,59 @@ impl Study {
         let mut snapshots = Vec::new();
         let threads = cfg.effective_threads();
 
+        // The persistent incremental engine. With transient faults
+        // configured the cache is forced off for every domain (and
+        // checkpoint seeding skipped): fault draws are instant-keyed, so
+        // reuse would be unsound — the campaign degrades to full scans
+        // over the (still delta-built) world.
+        let mut engine = IncrementalWorld::new(SnapshotDetail::Full);
+        let mut cache = ScanCache::new(&self.eco, cfg.scan);
+        let seeding = cfg.transient.is_none();
+
         for date in self.eco.config.full_scan_dates() {
-            // Replay snapshots already completed in the checkpoint.
+            // Replay snapshots already completed in the checkpoint. The
+            // world is *not* advanced through replayed dates —
+            // `advance_to` jumps straight to the next live one — but the
+            // cache is seeded from the checkpointed scans so the live
+            // dates resume with exactly the state an uninterrupted run
+            // would carry.
             if let Some(done) = ckpt.completed.iter().find(|c| c.date == date) {
-                snapshots.push(rebuild_snapshot(done));
+                let snap = rebuild_snapshot(done);
+                if seeding {
+                    cache.seed(&self.eco, date, &snap.scans, &snap.policy_ips);
+                }
+                snapshots.push(snap);
                 continue;
             }
 
-            let world = self.eco.world_at(date, SnapshotDetail::Full);
+            engine.advance_to(&self.eco, date);
+            let world = engine.world();
             if let Some(transient) = &cfg.transient {
                 world.inject_transient_faults(transient);
             }
-            let domains: Vec<DomainName> =
-                self.eco.domains_at(date).map(|d| d.name.clone()).collect();
+            let forced = cache_forced(world);
+            let ctx = self.eco.fingerprint_context(date);
+            let mut domains: Vec<DomainName> = Vec::new();
+            let mut meta: Vec<(usize, DomainFingerprint)> = Vec::new();
+            for (i, d) in self.eco.population.domains.iter().enumerate() {
+                if d.adopted_by(date) {
+                    domains.push(d.name.clone());
+                    meta.push((
+                        i,
+                        self.eco
+                            .fingerprint_at(d, &ctx)
+                            .expect("adopted domains have fingerprints"),
+                    ));
+                }
+            }
 
             // Resume the scanned prefix when the checkpoint holds one.
             let (mut scans, mut policy_ips, start, mut shard_scanned) = match ckpt.partial.take() {
                 Some(p) if p.date == date => {
                     let ips = thaw_ips(&p.policy_ips);
+                    if seeding {
+                        cache.seed(&self.eco, date, &p.scans, &ips);
+                    }
                     (p.scans, ips, p.next_index, p.shard_scanned)
                 }
                 _ => (Vec::new(), HashMap::new(), 0, Vec::new()),
@@ -340,15 +388,17 @@ impl Study {
                 let round = &domains[index..round_end];
                 // Per-domain panic isolation inside each shard worker: a
                 // panicking domain yields `None` and the round survives.
-                let results = map_sharded(threads, round, |_, domain| {
+                // The chaos assert stays ahead of the cache so an
+                // injected panic can never be papered over by a hit.
+                let cache_ref = &cache;
+                let results = map_sharded(threads, round, |i, domain| {
                     catch_unwind(AssertUnwindSafe(|| {
                         assert!(
                             !cfg.chaos_panic_domains.contains(domain),
                             "chaos: injected panic for {domain}"
                         );
-                        let scan = scan_domain(&world, domain, date, now, &cfg.scan);
-                        let ip = resolve_policy_ip(&world, domain, now, &cfg.scan);
-                        (scan, ip)
+                        let (pop_index, fp) = &meta[index + i];
+                        cache_ref.scan(world, *pop_index, domain, date, now, fp, forced)
                     }))
                     .ok()
                 });
@@ -359,8 +409,11 @@ impl Study {
                 // count, and identical to the sequential engine.
                 for (offset, outcome) in results.into_iter().enumerate() {
                     match outcome {
-                        Some((scan, ip)) => {
+                        Some((scan, ip, kind)) => {
                             ckpt.report.absorb(&scan);
+                            ckpt.report.cache.count(kind);
+                            let (pop_index, fp) = meta[index + offset];
+                            cache.insert(pop_index, fp, &scan, ip, kind);
                             if let Some(ip) = ip {
                                 policy_ips.insert(scan.domain.clone(), ip);
                             }
@@ -416,13 +469,7 @@ impl Study {
 /// Rebuilds a live [`Snapshot`] (classifier included) from checkpoint form.
 fn rebuild_snapshot(done: &CompletedSnapshot) -> Snapshot {
     let policy_ips = thaw_ips(&done.policy_ips);
-    let classifier = EntityClassifier::from_scans(done.scans.iter(), &policy_ips);
-    Snapshot {
-        date: done.date,
-        scans: done.scans.clone(),
-        policy_ips,
-        classifier,
-    }
+    Snapshot::assemble(done.date, done.scans.clone(), policy_ips)
 }
 
 #[cfg(test)]

@@ -1,0 +1,139 @@
+//! The incremental engine's byte-identity suite (DESIGN.md "Incremental
+//! engine"): every driver that goes through the change-driven rescan
+//! cache must serialize *byte-identically* to its from-scratch oracle —
+//! reused scans included. A cache that is merely "close" (a drifted
+//! retry count, a re-resolved policy IP, a re-dated certificate verdict
+//! leaking into a reused scan) fails here, not in an analysis table
+//! three crates away.
+//!
+//! CI runs this suite at `SCAN_THREADS=1` and `SCAN_THREADS=8` alongside
+//! the parallel-determinism suite.
+
+use ecosystem::{Ecosystem, EcosystemConfig, TldId};
+use mtasts_scanner::longitudinal::{MxHistory, Study, WeeklyPoint};
+use mtasts_scanner::{Snapshot, SupervisedOutcome, SupervisorConfig};
+use std::collections::HashMap;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn study() -> Study {
+    Study::new(Ecosystem::generate(EcosystemConfig::paper(42, 0.01)))
+}
+
+/// Scans + sorted policy IPs are the full snapshot state (the classifier
+/// is derived from the scans), so this digest is the byte-identity
+/// witness.
+fn fingerprint(snapshots: &[Snapshot]) -> String {
+    let digest: Vec<_> = snapshots
+        .iter()
+        .map(|s| {
+            let mut ips: Vec<_> = s
+                .policy_ips
+                .iter()
+                .map(|(d, ip)| (d.to_string(), ip.to_string()))
+                .collect();
+            ips.sort();
+            (s.date, &s.scans, ips)
+        })
+        .collect();
+    serde_json::to_string(&digest).expect("snapshots serialize")
+}
+
+/// Canonical weekly digest: per-TLD maps sorted, history sorted.
+fn weekly_fingerprint(weekly: &[WeeklyPoint], history: &MxHistory) -> String {
+    let sorted = |m: &HashMap<TldId, u64>| {
+        let mut v: Vec<_> = m.iter().map(|(t, c)| (format!("{t:?}"), *c)).collect();
+        v.sort();
+        v
+    };
+    let points: Vec<_> = weekly
+        .iter()
+        .map(|p| {
+            (
+                p.date,
+                sorted(&p.mtasts_per_tld),
+                sorted(&p.tlsrpt_among_mtasts_per_tld),
+            )
+        })
+        .collect();
+    let mut hist: Vec<_> = history
+        .iter()
+        .map(|(d, v)| {
+            (
+                d.to_string(),
+                v.iter()
+                    .map(|(date, mx)| (*date, mx.iter().map(|h| h.to_string()).collect::<Vec<_>>()))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    hist.sort();
+    serde_json::to_string(&(points, hist)).expect("weekly serializes")
+}
+
+#[test]
+fn full_scans_incremental_matches_scratch_across_thread_counts() {
+    let study = study();
+    let want = fingerprint(&study.run_full_scratch_with_threads(1));
+    for threads in THREAD_COUNTS {
+        let (snapshots, stats) = study.run_full_incremental_with_threads(threads);
+        assert_eq!(
+            want,
+            fingerprint(&snapshots),
+            "incremental full scans diverge at {threads} threads"
+        );
+        // The engine actually reused work — this is not a vacuous pass
+        // where everything fell back to full scans.
+        assert!(
+            stats.full_hits + stats.partial_hits > stats.misses,
+            "cache should dominate after the first snapshot: {stats:?}"
+        );
+        assert_eq!(stats.forced, 0, "no faults or attacks configured");
+    }
+}
+
+#[test]
+fn weekly_incremental_matches_scratch_across_thread_counts() {
+    let study = study();
+    let (w, h) = study.run_weekly_scratch_with_threads(1);
+    let want = weekly_fingerprint(&w, &h);
+    for threads in THREAD_COUNTS {
+        let (w, h, stats) = study.run_weekly_incremental_with_threads(threads);
+        assert_eq!(
+            want,
+            weekly_fingerprint(&w, &h),
+            "incremental weekly series diverges at {threads} threads"
+        );
+        assert!(
+            stats.full_hits > stats.misses * 10,
+            "160 weeks over a mostly-static population must mostly hit: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn supervised_incremental_matches_scratch() {
+    // The supervisor runs over the same persistent engine; with no
+    // transients configured its snapshots must equal the from-scratch
+    // oracle, and its cache accounting must match the plain incremental
+    // run's (same rounds, same input order).
+    let study = study();
+    let want = fingerprint(&study.run_full_scratch_with_threads(1));
+    let (_, plain_stats) = study.run_full_incremental_with_threads(1);
+    for threads in THREAD_COUNTS {
+        let outcome = study.run_full_supervised(&SupervisorConfig {
+            threads,
+            checkpoint_every: 16,
+            ..SupervisorConfig::default()
+        });
+        let SupervisedOutcome::Complete { snapshots, report } = outcome else {
+            panic!("no budget set: must complete")
+        };
+        assert_eq!(
+            want,
+            fingerprint(&snapshots),
+            "supervised incremental scans diverge at {threads} threads"
+        );
+        assert_eq!(report.cache, plain_stats);
+    }
+}

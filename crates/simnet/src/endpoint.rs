@@ -109,6 +109,21 @@ impl WebEndpoint {
             .is_some()
     }
 
+    /// Removes the certificate chain installed for `sni`; returns whether
+    /// it existed. Used by incremental redeployment to evict a departing
+    /// customer from a shared provider endpoint.
+    pub fn remove_chain(&mut self, sni: &DomainName) -> bool {
+        self.chains.remove(sni).is_some()
+    }
+
+    /// Removes every document served for `host` (any path); returns how
+    /// many were evicted.
+    pub fn remove_documents_for(&mut self, host: &DomainName) -> usize {
+        let before = self.documents.len();
+        self.documents.retain(|(h, _), _| h != host);
+        before - self.documents.len()
+    }
+
     /// Selects the chain presented for `sni`: exact name, then any
     /// wildcard-covering installed chain, then the default.
     pub fn select_chain(&self, sni: &DomainName) -> Option<&Vec<pkix::SimCert>> {

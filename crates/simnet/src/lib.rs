@@ -37,4 +37,4 @@ pub use fetch::{
     dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure,
 };
 pub use pki::SharedPki;
-pub use world::World;
+pub use world::{World, DYNAMIC_IP_LIMIT};

@@ -12,6 +12,14 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+/// First 10/8 offset *not* served by [`World::alloc_ip`]. The sequential
+/// allocator hands out `10.0.0.1 ..` up to (exclusive) this offset; the
+/// range from here to the top of 10/8 belongs to deterministic,
+/// caller-derived addressing (incremental deployment derives per-domain
+/// endpoint addresses from stable population indices so a domain's IPs
+/// never depend on how many other domains were installed first).
+pub const DYNAMIC_IP_LIMIT: u32 = 1 << 23;
+
 /// The simulated Internet. Cheap to clone; all clones share state.
 #[derive(Clone)]
 pub struct World {
@@ -99,12 +107,73 @@ impl World {
         self.resolver.flush_cache();
     }
 
-    /// Allocates a fresh simulated IPv4 address in 10/8.
+    /// Whether any transient-fault schedule is installed anywhere — the
+    /// resolver path or any registered endpoint. Scan caches must refuse
+    /// to reuse results across snapshots while this is true: fault draws
+    /// are keyed on the admitted instant, so an unchanged configuration
+    /// does not imply an unchanged observation.
+    pub fn has_transient_faults(&self) -> bool {
+        if !self.dns_faults.lock().is_empty() {
+            return true;
+        }
+        if self.web.lock().values().any(|ep| !ep.faults.is_empty()) {
+            return true;
+        }
+        self.mx.lock().values().any(|ep| !ep.faults.is_empty())
+    }
+
+    /// Whether any attack window is installed at all (active or not).
+    pub fn has_attacker(&self) -> bool {
+        !self.attacker.lock().is_empty()
+    }
+
+    /// Shifts every *leaf* certificate's validity window by `delta`,
+    /// re-signing each one. CA certificates keep their fixed windows (the
+    /// shared PKI's root and intermediates are issued once with multi-year
+    /// validity). Incremental deployment calls this between snapshots so
+    /// endpoints that did not change still present certificates dated as a
+    /// from-scratch build at the new date would issue them.
+    pub fn shift_cert_validity(&self, delta: netbase::Duration) {
+        let mut web = self.web.lock();
+        for ep in web.values_mut() {
+            for chain in ep.chains.values_mut() {
+                for cert in chain.iter_mut().filter(|c| !c.is_ca) {
+                    cert.shift_validity(delta);
+                }
+            }
+            if let Some(chain) = ep.default_chain.as_mut() {
+                for cert in chain.iter_mut().filter(|c| !c.is_ca) {
+                    cert.shift_validity(delta);
+                }
+            }
+        }
+        drop(web);
+        let mut mx = self.mx.lock();
+        for ep in mx.values_mut() {
+            for cert in ep.chain.iter_mut().filter(|c| !c.is_ca) {
+                cert.shift_validity(delta);
+            }
+        }
+    }
+
+    /// Drops the zone for `apex` entirely; returns whether it existed.
+    pub fn remove_zone(&self, apex: &DomainName) -> bool {
+        self.authorities.remove_zone(apex)
+    }
+
+    /// Allocates a fresh simulated IPv4 address in the dynamic half of
+    /// 10/8 (below [`DYNAMIC_IP_LIMIT`]). Addresses at or above the limit
+    /// are reserved for callers that derive addresses deterministically
+    /// and register them via [`World::put_web_endpoint`] /
+    /// [`World::put_mx_endpoint`], so the two schemes can never collide.
     pub fn alloc_ip(&self) -> Ipv4Addr {
         let mut next = self.next_ip.lock();
         let v = *next;
         *next += 1;
-        assert!(v < 1 << 24, "simulated 10/8 exhausted");
+        assert!(
+            v < DYNAMIC_IP_LIMIT,
+            "simulated dynamic 10/8 pool exhausted"
+        );
         Ipv4Addr::new(10, (v >> 16) as u8, (v >> 8) as u8, v as u8)
     }
 
@@ -153,9 +222,15 @@ impl World {
         ip
     }
 
-    /// Registers a web endpoint at a specific IP (tests, named incidents).
+    /// Registers a web endpoint at a specific IP (tests, named incidents,
+    /// deterministic per-domain addressing).
     pub fn put_web_endpoint(&self, ip: Ipv4Addr, endpoint: WebEndpoint) {
         self.web.lock().insert(ip, endpoint);
+    }
+
+    /// Removes the web endpoint at `ip`; returns whether one existed.
+    pub fn remove_web_endpoint(&self, ip: Ipv4Addr) -> bool {
+        self.web.lock().remove(&ip).is_some()
     }
 
     /// Mutates the web endpoint at `ip`.
@@ -178,6 +253,17 @@ impl World {
         let ip = self.alloc_ip();
         self.mx.lock().insert(ip, endpoint);
         ip
+    }
+
+    /// Registers an MX endpoint at a specific IP (deterministic per-domain
+    /// addressing).
+    pub fn put_mx_endpoint(&self, ip: Ipv4Addr, endpoint: MxEndpoint) {
+        self.mx.lock().insert(ip, endpoint);
+    }
+
+    /// Removes the MX endpoint at `ip`; returns whether one existed.
+    pub fn remove_mx_endpoint(&self, ip: Ipv4Addr) -> bool {
+        self.mx.lock().remove(&ip).is_some()
     }
 
     /// Mutates the MX endpoint at `ip`.
