@@ -101,6 +101,7 @@ impl IncrementalWorld {
     /// Advances the world to `date`, applying only the diff. Must always
     /// be called with the same `eco`, and dates must not move backwards.
     pub fn advance_to(&mut self, eco: &Ecosystem, date: SimDate) -> AdvanceStats {
+        let _span = obsv::span!("ecosystem.advance");
         if let Some(prev) = self.date {
             assert!(prev <= date, "incremental worlds only move forward");
             if prev == date {
@@ -158,6 +159,9 @@ impl IncrementalWorld {
         }
         self.world.flush_dns_cache();
         self.date = Some(date);
+        obsv::counter!("ecosystem_installs_total", stats.installed as u64);
+        obsv::counter!("ecosystem_reinstalls_total", stats.reinstalled as u64);
+        obsv::counter!("ecosystem_unchanged_total", stats.unchanged as u64);
         stats
     }
 

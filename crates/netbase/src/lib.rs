@@ -34,6 +34,6 @@ pub use editdist::{levenshtein, levenshtein_within};
 pub use name::{DomainName, NameError};
 pub use pool::{map_sharded, shard_bounds};
 pub use rate::TokenBucket;
-pub use retry::{RetryOutcome, RetryPolicy, RetryVerdict};
+pub use retry::{AttemptEvent, RetryOutcome, RetryPolicy, RetryVerdict};
 pub use rng::DetRng;
 pub use time::{Duration, SimDate, SimInstant};

@@ -45,6 +45,13 @@ pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
 /// `threads <= 1` (or a single-item input) runs inline on the caller's
 /// thread with zero spawn overhead. A panic inside `f` is re-raised on
 /// the caller's thread after the other shards finish their joins.
+///
+/// Telemetry: each worker accumulates into its own thread-local `obsv`
+/// collector; when its shard finishes, the collector is harvested and
+/// merged into the caller's collector **in shard order** alongside the
+/// result merge. The telemetry side-channel therefore follows exactly
+/// the same deterministic merge discipline as the data — and when
+/// telemetry is disabled, the harvest is a single atomic load per shard.
 pub fn map_sharded<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -53,20 +60,23 @@ where
 {
     let threads = threads.max(1).min(items.len());
     if threads <= 1 {
+        // Inline path: f runs on the caller's thread, so its telemetry
+        // already lands in the caller's collector.
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let bounds = shard_bounds(items.len(), threads);
-    let shard_outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+    let shard_outputs: Vec<(Vec<R>, Option<obsv::Collector>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .iter()
             .map(|&(lo, hi)| {
                 let f = &f;
                 scope.spawn(move || {
-                    items[lo..hi]
+                    let results = items[lo..hi]
                         .iter()
                         .enumerate()
                         .map(|(j, t)| f(lo + j, t))
-                        .collect::<Vec<R>>()
+                        .collect::<Vec<R>>();
+                    (results, obsv::harvest())
                 })
             })
             .collect();
@@ -79,8 +89,11 @@ where
             .collect()
     });
     let mut out = Vec::with_capacity(items.len());
-    for shard in shard_outputs {
+    for (shard, telemetry) in shard_outputs {
         out.extend(shard);
+        if let Some(collector) = telemetry {
+            obsv::absorb(&collector);
+        }
     }
     out
 }

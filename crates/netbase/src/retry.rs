@@ -102,8 +102,32 @@ impl RetryPolicy {
         rng: &DetRng,
         label: &str,
         start: SimInstant,
+        is_transient: impl FnMut(&E) -> bool,
+        op: impl FnMut(SimInstant, u32) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        self.run_observed(rng, label, start, is_transient, op, |_| {})
+    }
+
+    /// [`RetryPolicy::run`] with an attempt observer: `observe` is called
+    /// once per completed attempt, in order, with the attempt's outcome
+    /// and — on failure — the backoff sleep taken before the next try.
+    ///
+    /// This is the hook taxonomy attempt accounting and telemetry hang
+    /// off: callers accumulate whatever view they need (the scanner
+    /// derives its per-stage `StageAttempts` and retry counters here)
+    /// instead of each call site re-deriving it from [`RetryOutcome`]
+    /// fields. The observer runs *after* the attempt and all of its
+    /// clock/jitter arithmetic, so it cannot perturb the retry schedule:
+    /// the outcome is byte-identical whether or not an observer is
+    /// attached.
+    pub fn run_observed<T, E>(
+        &self,
+        rng: &DetRng,
+        label: &str,
+        start: SimInstant,
         mut is_transient: impl FnMut(&E) -> bool,
         mut op: impl FnMut(SimInstant, u32) -> Result<T, E>,
+        mut observe: impl FnMut(AttemptEvent),
     ) -> RetryOutcome<T, E> {
         assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
         let deadline = start + self.total_deadline;
@@ -114,6 +138,7 @@ impl RetryPolicy {
             attempts += 1;
             match op(now, attempts) {
                 Ok(value) => {
+                    observe(AttemptEvent::Success { attempt: attempts });
                     let verdict = if attempts == 1 {
                         RetryVerdict::FirstTry
                     } else {
@@ -139,6 +164,11 @@ impl RetryPolicy {
                             Some(_) => (RetryVerdict::Exhausted, false),
                         }
                     };
+                    observe(AttemptEvent::Failure {
+                        attempt: attempts,
+                        transient,
+                        backoff: if stop { None } else { next_delay },
+                    });
                     if stop {
                         return RetryOutcome {
                             result: Err(e),
@@ -152,6 +182,28 @@ impl RetryPolicy {
             }
         }
     }
+}
+
+/// One completed attempt, as delivered to a
+/// [`RetryPolicy::run_observed`] observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptEvent {
+    /// The attempt succeeded (attempt > 1 means a transient recovered).
+    Success {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The attempt failed.
+    Failure {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Whether the error was classed transient (retry-worthy).
+        transient: bool,
+        /// The backoff slept before the next attempt; `None` when the
+        /// sequence stops here (persistent error, attempts exhausted, or
+        /// the deadline leaves no room to sleep).
+        backoff: Option<Duration>,
+    },
 }
 
 /// How a retry sequence ended.
@@ -306,6 +358,90 @@ mod tests {
         for d in &a {
             assert!(*d <= p.max_backoff);
         }
+    }
+
+    #[test]
+    fn observer_sees_every_attempt_in_order() {
+        let mut events = Vec::new();
+        let out = policy().run_observed(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |_: &&str| true,
+            |_, attempt| {
+                if attempt < 3 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |ev| events.push(ev),
+        );
+        assert_eq!(out.attempts, 3);
+        assert_eq!(events.len(), 3);
+        // Two failures with a backoff each, then the recovery.
+        for (i, ev) in events.iter().take(2).enumerate() {
+            match ev {
+                AttemptEvent::Failure {
+                    attempt,
+                    transient,
+                    backoff,
+                } => {
+                    assert_eq!(*attempt as usize, i + 1);
+                    assert!(*transient);
+                    assert!(backoff.is_some(), "non-final failure sleeps");
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+        assert_eq!(events[2], AttemptEvent::Success { attempt: 3 });
+    }
+
+    #[test]
+    fn observer_final_failure_has_no_backoff() {
+        let mut events = Vec::new();
+        let out = policy().run_observed(
+            &DetRng::new(1),
+            "x",
+            t0(),
+            |e: &&str| *e != "fatal",
+            |_, _| Err::<u32, _>("fatal"),
+            |ev| events.push(ev),
+        );
+        assert_eq!(out.verdict, RetryVerdict::Persistent);
+        assert_eq!(
+            events,
+            vec![AttemptEvent::Failure {
+                attempt: 1,
+                transient: false,
+                backoff: None
+            }]
+        );
+    }
+
+    #[test]
+    fn observer_does_not_change_outcome() {
+        // The same op under run and run_observed lands on identical
+        // attempt counts, verdicts and finish instants.
+        let drive = |observed: bool| {
+            let op = |_: SimInstant, attempt: u32| {
+                if attempt < 4 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            };
+            if observed {
+                policy().run_observed(&DetRng::new(3), "y", t0(), |_| true, op, |_| {})
+            } else {
+                policy().run(&DetRng::new(3), "y", t0(), |_| true, op)
+            }
+        };
+        let plain = drive(false);
+        let observed = drive(true);
+        assert_eq!(plain.attempts, observed.attempts);
+        assert_eq!(plain.verdict, observed.verdict);
+        assert_eq!(plain.finished_at, observed.finished_at);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Streaming JSONL trace exporter.
+//!
+//! When the `RUN_TRACE` environment variable names a file, every
+//! completed span and every event appends one JSON object per line:
+//!
+//! ```text
+//! {"kind":"span","name":"scan.policy","real_ns":183042,"sim_secs":5,"thread":3}
+//! {"kind":"event","name":"supervisor.checkpoint_write","thread":0}
+//! ```
+//!
+//! `thread` is a small process-local ordinal (assigned on first write
+//! per thread), not an OS thread id, so traces from repeated runs are
+//! comparable. Lines from concurrent workers interleave — the trace is
+//! an execution log, not a deterministic artifact; the deterministic
+//! aggregates live in [`crate::Collector`]. JSON is emitted by hand:
+//! names are `&'static str` literals from instrumentation sites and the
+//! writer escapes them conservatively, keeping the crate zero-dep.
+
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static WRITER: OnceLock<Option<Mutex<BufWriter<std::fs::File>>>> = OnceLock::new();
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORD: u64 = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn writer() -> Option<&'static Mutex<BufWriter<std::fs::File>>> {
+    WRITER
+        .get_or_init(|| {
+            let path = std::env::var_os("RUN_TRACE").filter(|v| !v.is_empty())?;
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .ok()?;
+            Some(Mutex::new(BufWriter::new(file)))
+        })
+        .as_ref()
+}
+
+/// Whether a trace file is active (i.e. `RUN_TRACE` named a writable
+/// path).
+pub fn active() -> bool {
+    writer().is_some()
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_line(line: &str) {
+    if let Some(w) = writer() {
+        if let Ok(mut w) = w.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+pub(crate) fn write_span(name: &str, real_ns: u64, sim_secs: u64) {
+    if !active() {
+        return;
+    }
+    let ord = THREAD_ORD.with(|t| *t);
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"kind\":\"span\",\"name\":\"");
+    escape_into(&mut line, name);
+    line.push_str(&format!(
+        "\",\"real_ns\":{real_ns},\"sim_secs\":{sim_secs},\"thread\":{ord}}}"
+    ));
+    write_line(&line);
+}
+
+pub(crate) fn write_event(name: &str) {
+    if !active() {
+        return;
+    }
+    let ord = THREAD_ORD.with(|t| *t);
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"kind\":\"event\",\"name\":\"");
+    escape_into(&mut line, name);
+    line.push_str(&format!("\",\"thread\":{ord}}}"));
+    write_line(&line);
+}
+
+/// Flushes buffered trace lines to disk. Call at the end of a run (the
+/// bench binaries and supervisor do); otherwise lines flush when the
+/// buffer fills or the process exits cleanly.
+pub fn flush() {
+    if let Some(w) = writer() {
+        if let Ok(mut w) = w.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::escape_into;
+
+    #[test]
+    fn escapes_json_specials() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property suite for the collector merge semantics (DESIGN.md
+//! "Observability"): the shard-order merge convention is deterministic
+//! by construction, but the *aggregates* must also be order-free —
+//! merging per-shard collectors in any shard order yields identical
+//! counters, histograms and span totals — and the histogram bucket
+//! boundaries must be pure integer arithmetic, stable across platforms.
+
+use obsv::{Collector, Histogram, SpanAgg, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Builds a collector from generated primitives. Names draw from a
+/// small fixed pool so different shards genuinely collide on keys.
+fn build(ops: &[(u8, u8, u64)]) -> Collector {
+    const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    let mut c = Collector::new();
+    for &(what, name, value) in ops {
+        let name = NAMES[(name % 4) as usize];
+        match what % 3 {
+            0 => {
+                let slot = c.counters.entry(name).or_default();
+                *slot = slot.saturating_add(value);
+            }
+            1 => c.histograms.entry(name).or_default().record(value),
+            _ => {
+                let s = c.spans.entry(name).or_default();
+                s.count += 1;
+                s.real_ns = s.real_ns.saturating_add(value);
+                s.sim_secs = s.sim_secs.saturating_add(value % 1000);
+            }
+        }
+    }
+    c
+}
+
+fn merge_in_order(shards: &[Collector], order: &[usize]) -> Collector {
+    let mut total = Collector::new();
+    for &i in order {
+        total.merge(&shards[i]);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merging per-shard collectors in shard order and in reverse (or
+    /// any rotation) yields the same aggregate — the property that
+    /// makes the pool's shard-order convention a determinism guarantee
+    /// rather than a load-bearing accident.
+    #[test]
+    fn merge_is_order_free(
+        shard_ops in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..20),
+            0..8,
+        ),
+        rotation in any::<u8>(),
+    ) {
+        let shards: Vec<Collector> = shard_ops.iter().map(|ops| build(ops)).collect();
+        let in_order: Vec<usize> = (0..shards.len()).collect();
+        let reversed: Vec<usize> = in_order.iter().rev().copied().collect();
+        let rotated: Vec<usize> = if shards.is_empty() {
+            Vec::new()
+        } else {
+            let r = rotation as usize % shards.len();
+            in_order[r..].iter().chain(&in_order[..r]).copied().collect()
+        };
+        let want = merge_in_order(&shards, &in_order);
+        prop_assert_eq!(&merge_in_order(&shards, &reversed), &want);
+        prop_assert_eq!(&merge_in_order(&shards, &rotated), &want);
+    }
+
+    /// One flat collector over all operations equals the merge of any
+    /// sharding of those operations — harvest/absorb loses nothing.
+    #[test]
+    fn sharding_is_lossless(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..60),
+        cut in any::<u8>(),
+    ) {
+        let flat = build(&ops);
+        let cut = if ops.is_empty() { 0 } else { cut as usize % (ops.len() + 1) };
+        let shards = [build(&ops[..cut]), build(&ops[cut..])];
+        let merged = merge_in_order(&shards, &[0, 1]);
+        prop_assert_eq!(merged, flat);
+    }
+
+    /// Histogram bucket boundaries are stable: bucket_of is exactly
+    /// `floor(log2(v)) + 1` (0 for 0), every value lands in the bucket
+    /// whose bounds contain it, and count/sum track every record.
+    #[test]
+    fn histogram_buckets_are_log2_stable(values in prop::collection::vec(any::<u64>(), 0..100)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            let b = Histogram::bucket_of(v);
+            prop_assert!(b < HISTOGRAM_BUCKETS);
+            if v == 0 {
+                prop_assert_eq!(b, 0);
+            } else {
+                prop_assert_eq!(b, 64 - v.leading_zeros() as usize);
+                prop_assert!(v > Histogram::upper_bound(b - 1));
+                prop_assert!(v <= Histogram::upper_bound(b));
+            }
+            h.record(v);
+        }
+        prop_assert_eq!(h.count, values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum, expected_sum);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}
+
+#[test]
+fn merge_identity_and_empty() {
+    let c = build(&[(0, 0, 5), (1, 1, 77), (2, 2, 9)]);
+    let mut merged = Collector::new();
+    merged.merge(&c);
+    assert_eq!(merged, c);
+    let mut with_empty = c.clone();
+    with_empty.merge(&Collector::new());
+    assert_eq!(with_empty, c);
+    assert_eq!(
+        c.span("gamma"),
+        SpanAgg {
+            count: 1,
+            real_ns: 9,
+            sim_secs: 9
+        }
+    );
+}

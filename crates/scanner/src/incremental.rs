@@ -87,10 +87,22 @@ impl CacheStats {
 
     pub(crate) fn count(&mut self, kind: HitKind) {
         match kind {
-            HitKind::Full => self.full_hits += 1,
-            HitKind::Partial => self.partial_hits += 1,
-            HitKind::Miss => self.misses += 1,
-            HitKind::Forced => self.forced += 1,
+            HitKind::Full => {
+                self.full_hits += 1;
+                obsv::counter!("cache_full_hits_total");
+            }
+            HitKind::Partial => {
+                self.partial_hits += 1;
+                obsv::counter!("cache_partial_hits_total");
+            }
+            HitKind::Miss => {
+                self.misses += 1;
+                obsv::counter!("cache_misses_total");
+            }
+            HitKind::Forced => {
+                self.forced += 1;
+                obsv::counter!("cache_stand_downs_total");
+            }
         }
     }
 }
@@ -342,6 +354,7 @@ impl IncrementalScanner {
     /// Advances the world to `date` and produces the snapshot,
     /// byte-identical to `scan_snapshot` against a from-scratch world.
     pub fn snapshot_at(&mut self, eco: &Ecosystem, date: SimDate, threads: usize) -> Snapshot {
+        let _span = obsv::span!("snapshot.full");
         self.world.advance_to(eco, date);
         let world = self.world.world();
         let forced = cache_forced(world);

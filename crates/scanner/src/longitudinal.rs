@@ -8,7 +8,7 @@
 //! (`run_weekly_scratch_with_threads`, `run_full_scratch_with_threads`),
 //! which are kept as the reference oracles for the digest suite.
 
-use crate::incremental::{cache_forced, CacheStats};
+use crate::incremental::{cache_forced, CacheStats, HitKind};
 use crate::parallel::default_scan_threads;
 use crate::scan::{scan_snapshot_with_threads, ScanConfig, Snapshot};
 use ecosystem::{DomainSpec, Ecosystem, IncrementalWorld, SnapshotDetail, TldId};
@@ -169,6 +169,7 @@ impl Study {
         let mut history: MxHistory = HashMap::new();
         let domains = &self.eco.population.domains;
         for date in self.eco.config.weekly_snapshots() {
+            let _span = obsv::span!("snapshot.weekly");
             let world = self.eco.world_at(date, SnapshotDetail::DnsOnly);
             let now = date.at_midnight();
             // The paper queries every zone-file domain; unadopted
@@ -201,6 +202,7 @@ impl Study {
         type Key = Option<(u64, u64)>;
         let mut cache: Vec<Option<(Key, WeeklyObservation)>> = vec![None; domains.len()];
         for date in self.eco.config.weekly_snapshots() {
+            let _span = obsv::span!("snapshot.weekly");
             engine.advance_to(&self.eco, date);
             let world = engine.world();
             let forced = cache_forced(world);
@@ -223,11 +225,11 @@ impl Study {
             let mut merged = Vec::with_capacity(domains.len());
             for (i, (obs, hit)) in observations.into_iter().enumerate() {
                 if hit {
-                    stats.full_hits += 1;
+                    stats.count(HitKind::Full);
                 } else if forced {
-                    stats.forced += 1;
+                    stats.count(HitKind::Forced);
                 } else {
-                    stats.misses += 1;
+                    stats.count(HitKind::Miss);
                     cache[i] = Some((keys[i], obs.clone()));
                 }
                 merged.push(obs);
@@ -256,6 +258,7 @@ impl Study {
     pub fn run_full_scratch_with_threads(&self, threads: usize) -> Vec<Snapshot> {
         let mut out = Vec::new();
         for date in self.eco.config.full_scan_dates() {
+            let _span = obsv::span!("snapshot.full");
             let world = self.eco.world_at(date, SnapshotDetail::Full);
             let domains: Vec<DomainName> =
                 self.eco.domains_at(date).map(|d| d.name.clone()).collect();

@@ -7,7 +7,9 @@ use crate::taxonomy::{
 };
 use dns::RecordType;
 use mtasts::{classify_policy_mismatches, evaluate_record_set, MismatchKind, Policy, RecordError};
-use netbase::{map_sharded, DetRng, DomainName, RetryPolicy, SimDate, SimInstant, TokenBucket};
+use netbase::{
+    map_sharded, AttemptEvent, DetRng, DomainName, RetryPolicy, SimDate, SimInstant, TokenBucket,
+};
 use simnet::{
     dns_error_is_transient, MxProbeOutcome, PolicyFetchError, PolicyFetchOutcome, TlsFailure, World,
 };
@@ -157,6 +159,46 @@ pub(crate) struct MxStage {
     pub attempts: StageAttempts,
 }
 
+/// Telemetry for one retry attempt (a side channel only: counters read
+/// nothing back). Recovered transients, failed attempts, retries and
+/// real backoff sleeps each get a counter, matching the taxonomy's
+/// retry vocabulary.
+pub(crate) fn note_attempt(ev: AttemptEvent) {
+    match ev {
+        AttemptEvent::Success { attempt } => {
+            if attempt > 1 {
+                obsv::counter!("scan_recovered_transients_total");
+            }
+        }
+        AttemptEvent::Failure { backoff, .. } => {
+            obsv::counter!("scan_failed_attempts_total");
+            if let Some(delay) = backoff {
+                obsv::counter!("scan_retries_total");
+                if delay > netbase::Duration::ZERO {
+                    obsv::counter!("scan_backoff_sleeps_total");
+                }
+            }
+        }
+    }
+}
+
+/// An attempt observer that accumulates the stage's taxonomy accounting
+/// (total attempts; whether a transient recovered) and emits the retry
+/// telemetry. This is the migration target for the per-call-site
+/// `RetryOutcome.attempts` bookkeeping: stages hand this to
+/// [`RetryPolicy::run_observed`] instead of reading outcome fields back.
+pub(crate) fn tally(acc: &mut StageAttempts) -> impl FnMut(AttemptEvent) + '_ {
+    move |ev| {
+        acc.attempts += 1;
+        if let AttemptEvent::Success { attempt } = ev {
+            if attempt > 1 {
+                acc.recovered = true;
+            }
+        }
+        note_attempt(ev);
+    }
+}
+
 /// The per-domain retry RNG. Each stage forks its own scope off this, so
 /// stages are independent: re-running one stage in isolation (the
 /// incremental engine's partial re-scan) draws exactly the jitter the
@@ -173,17 +215,19 @@ pub(crate) fn record_stage(
     config: &ScanConfig,
     rng: &DetRng,
 ) -> RecordStage {
-    let record_out =
-        config
-            .record_retry
-            .run(rng, "record", now, dns_error_is_transient, |at, _| {
-                world.mta_sts_txts(domain, at)
-            });
+    let mut span = obsv::span!("scan.record");
+    let mut attempts = StageAttempts::default();
+    let record_out = config.record_retry.run_observed(
+        rng,
+        "record",
+        now,
+        dns_error_is_transient,
+        |at, _| world.mta_sts_txts(domain, at),
+        tally(&mut attempts),
+    );
+    span.set_sim_secs(record_out.finished_at.since(now).as_secs());
     RecordStage {
-        attempts: StageAttempts {
-            attempts: record_out.attempts,
-            recovered: record_out.recovered(),
-        },
+        attempts,
         record: match record_out.result {
             Ok(txts) => evaluate_record_set(&txts).map(|r| r.id),
             Err(_) => Err(RecordError::NoRecord),
@@ -204,7 +248,9 @@ pub(crate) fn policy_stage(
     config: &ScanConfig,
     rng: &DetRng,
 ) -> PolicyStage {
-    let policy_out = config.policy_retry.run(
+    let mut span = obsv::span!("scan.policy");
+    let mut attempts = StageAttempts::default();
+    let policy_out = config.policy_retry.run_observed(
         rng,
         "policy",
         now,
@@ -222,11 +268,9 @@ pub(crate) fn policy_stage(
                 Err(outcome)
             }
         },
+        tally(&mut attempts),
     );
-    let attempts = StageAttempts {
-        attempts: policy_out.attempts,
-        recovered: policy_out.recovered(),
-    };
+    span.set_sim_secs(policy_out.finished_at.since(now).as_secs());
     let fetch = match policy_out.result {
         Ok(outcome) | Err(outcome) => outcome,
     };
@@ -252,22 +296,27 @@ pub(crate) fn mx_stage(
     config: &ScanConfig,
     rng: &DetRng,
 ) -> MxStage {
+    let mut span = obsv::span!("scan.mx");
     let mut attempts = StageAttempts::default();
-    let mx_out =
-        config
-            .record_retry
-            .run(rng, "mx-records", now, dns_error_is_transient, |at, _| {
-                world.mx_records(domain, at)
-            });
-    attempts.attempts += mx_out.attempts;
-    attempts.recovered |= mx_out.recovered();
+    let mx_out = config.record_retry.run_observed(
+        rng,
+        "mx-records",
+        now,
+        dns_error_is_transient,
+        |at, _| world.mx_records(domain, at),
+        tally(&mut attempts),
+    );
     let mx_records = mx_out.result.unwrap_or_default();
-    let ns_out =
-        config
-            .record_retry
-            .run(rng, "ns-records", now, dns_error_is_transient, |at, _| {
-                world.resolve(domain, RecordType::Ns, at)
-            });
+    // NS evidence rides along for classification but has never counted
+    // toward the MX stage's attempt budget; telemetry still sees it.
+    let ns_out = config.record_retry.run_observed(
+        rng,
+        "ns-records",
+        now,
+        dns_error_is_transient,
+        |at, _| world.resolve(domain, RecordType::Ns, at),
+        note_attempt,
+    );
     let ns_records: Vec<DomainName> = ns_out
         .result
         .map(|l| {
@@ -280,10 +329,12 @@ pub(crate) fn mx_stage(
                 .collect()
         })
         .unwrap_or_default();
+    let mut sim_end = mx_out.finished_at;
     let mx_verdicts: Vec<MxVerdict> = mx_records
         .iter()
         .map(|host| {
-            let probe_out = config.mx_retry.run(
+            let mut probe_span = obsv::span!("scan.probe");
+            let probe_out = config.mx_retry.run_observed(
                 rng,
                 &format!("mx/{host}"),
                 now,
@@ -296,9 +347,12 @@ pub(crate) fn mx_stage(
                         Ok(probe)
                     }
                 },
+                tally(&mut attempts),
             );
-            attempts.attempts += probe_out.attempts;
-            attempts.recovered |= probe_out.recovered();
+            probe_span.set_sim_secs(probe_out.finished_at.since(now).as_secs());
+            if probe_out.finished_at > sim_end {
+                sim_end = probe_out.finished_at;
+            }
             let probe = match probe_out.result {
                 Ok(p) | Err(p) => p,
             };
@@ -311,6 +365,7 @@ pub(crate) fn mx_stage(
             }
         })
         .collect();
+    span.set_sim_secs(sim_end.since(now).as_secs());
     MxStage {
         mx_records,
         ns_records,
@@ -355,11 +410,16 @@ pub fn scan_domain(
     now: SimInstant,
     config: &ScanConfig,
 ) -> DomainScan {
+    let domain_start = obsv::enabled().then(std::time::Instant::now);
     let rng = stage_rng(config, domain);
     let record = record_stage(world, domain, now, config, &rng);
     let policy = policy_stage(world, domain, now, config, &rng);
     let mx = mx_stage(world, domain, now, config, &rng);
     let mismatches = consistency_mismatches(&policy.policy, &mx.mx_records);
+    if let Some(started) = domain_start {
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        obsv::histogram!("scan_domain_real_us", micros);
+    }
     DomainScan {
         domain: domain.clone(),
         date,
@@ -447,11 +507,16 @@ pub(crate) fn resolve_policy_ip(
 ) -> Option<Ipv4Addr> {
     let policy_host = domain.prefixed(mtasts::POLICY_HOST_LABEL).ok()?;
     let rng = DetRng::new(config.seed).fork(&domain.to_string());
-    let out = config
-        .record_retry
-        .run(&rng, "policy-ip", now, dns_error_is_transient, |at, _| {
-            world.resolve(&policy_host, RecordType::A, at)
-        });
+    let mut span = obsv::span!("scan.policy_ip");
+    let out = config.record_retry.run_observed(
+        &rng,
+        "policy-ip",
+        now,
+        dns_error_is_transient,
+        |at, _| world.resolve(&policy_host, RecordType::A, at),
+        note_attempt,
+    );
+    span.set_sim_secs(out.finished_at.since(now).as_secs());
     out.result.ok()?.a_addrs().first().copied()
 }
 

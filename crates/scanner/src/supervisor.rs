@@ -110,6 +110,18 @@ impl DegradationReport {
         self.retries_issued += u64::from(scan.attempts.retries_issued());
         self.transients_recovered += u64::from(scan.attempts.recovered_count());
     }
+
+    /// The cache-accounting invariant a kill/resume cycle must preserve:
+    /// every scanned domain was counted by the cache exactly once, so
+    /// the totals agree. Checkpoint replay and partial-prefix resume
+    /// seed cache *entries* via [`ScanCache::seed`], which never touches
+    /// stats — the report loaded from the checkpoint is the single
+    /// accumulator, already holding those domains' counts from the
+    /// invocation that scanned them. Re-counting seeded entries (the
+    /// blind-sum failure mode) would break this equality.
+    pub fn cache_accounting_consistent(&self) -> bool {
+        self.cache.total() == self.domains_scanned
+    }
 }
 
 /// One finished snapshot in checkpoint form. The classifier is *not*
@@ -243,11 +255,14 @@ impl Checkpoint {
 fn store_or_degrade(ckpt: &mut Checkpoint, path_slot: &mut Option<PathBuf>) {
     let Some(path) = path_slot else { return };
     if let Err(e) = ckpt.store(path) {
+        obsv::event!("supervisor.checkpoint_failure");
         ckpt.report.checkpoint_failures += 1;
         ckpt.report
             .checkpoint_errors
             .push(format!("{}: {e}", path.display()));
         *path_slot = None;
+    } else {
+        obsv::event!("supervisor.checkpoint_write");
     }
 }
 
@@ -308,6 +323,12 @@ impl Study {
             // dates resume with exactly the state an uninterrupted run
             // would carry.
             if let Some(done) = ckpt.completed.iter().find(|c| c.date == date) {
+                // Seeding restores cache *entries* only: the checkpointed
+                // report already carries these domains' cache accounting
+                // from the invocation that scanned them, so re-counting
+                // here would double the stats (see
+                // `DegradationReport::cache_accounting_consistent`).
+                obsv::event!("supervisor.replay_completed_snapshot");
                 let snap = rebuild_snapshot(done);
                 if seeding {
                     cache.seed(&self.eco, date, &snap.scans, &snap.policy_ips);
@@ -340,6 +361,9 @@ impl Study {
             // Resume the scanned prefix when the checkpoint holds one.
             let (mut scans, mut policy_ips, start, mut shard_scanned) = match ckpt.partial.take() {
                 Some(p) if p.date == date => {
+                    // Same stat-free seeding discipline as completed-
+                    // snapshot replay above.
+                    obsv::event!("supervisor.resume_partial_snapshot");
                     let ips = thaw_ips(&p.policy_ips);
                     if seeding {
                         cache.seed(&self.eco, date, &p.scans, &ips);
@@ -367,6 +391,7 @@ impl Study {
                         shard_scanned,
                     });
                     store_or_degrade(&mut ckpt, &mut checkpoint_path);
+                    obsv::event!("supervisor.suspend");
                     return SupervisedOutcome::Suspended {
                         report: ckpt.report,
                     };
@@ -420,6 +445,7 @@ impl Study {
                             scans.push(scan);
                         }
                         None => {
+                            obsv::event!("supervisor.panic_isolated");
                             ckpt.report.domains_abandoned += 1;
                             ckpt.report
                                 .abandoned_domains
@@ -459,6 +485,11 @@ impl Study {
             store_or_degrade(&mut ckpt, &mut checkpoint_path);
         }
 
+        debug_assert!(
+            ckpt.report.cache_accounting_consistent(),
+            "cache stats drifted from domains_scanned: {:?}",
+            ckpt.report
+        );
         SupervisedOutcome::Complete {
             snapshots,
             report: ckpt.report,
@@ -565,6 +596,72 @@ mod tests {
         // layer actually worked during the faulted runs.
         assert_eq!(want_report, got_report);
         assert!(want_report.retries_issued > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_resume_does_not_double_count_cache_stats() {
+        // Regression guard for the cache-stat merge semantics: with the
+        // rescan cache ENGAGED (no transient faults, so nothing forces
+        // it off), a killed-and-resumed campaign must report exactly the
+        // cache totals of an uninterrupted one. Checkpoint replay and
+        // partial-prefix resume seed cache entries; if either path ever
+        // re-counted the seeded entries into the live stats, the resumed
+        // report's hits would exceed the reference and the per-report
+        // total/domains_scanned invariant would break.
+        let study = study();
+        let dir = std::env::temp_dir().join(format!(
+            "mtasts-supervisor-{}-cache-resume",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let base = SupervisorConfig {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 16,
+            ..SupervisorConfig::default()
+        };
+
+        let reference = study.run_full_supervised(&SupervisorConfig {
+            checkpoint_path: None,
+            ..base.clone()
+        });
+        let SupervisedOutcome::Complete {
+            report: want_report,
+            snapshots: want,
+        } = reference
+        else {
+            panic!("reference run must complete")
+        };
+        // The cache must actually be doing work for this test to bite.
+        assert!(want_report.cache.full_hits > 0, "{:?}", want_report.cache);
+        assert_eq!(want_report.cache.forced, 0);
+        assert!(want_report.cache_accounting_consistent());
+
+        // Kill mid-snapshot, then resume to completion.
+        let killed = study.run_full_supervised(&SupervisorConfig {
+            domain_budget: Some(want.iter().map(Snapshot::len).sum::<usize>() / 3),
+            ..base.clone()
+        });
+        let SupervisedOutcome::Suspended {
+            report: killed_report,
+        } = killed
+        else {
+            panic!("budgeted run must suspend")
+        };
+        assert!(killed_report.cache_accounting_consistent());
+
+        let resumed = study.run_full_supervised(&base);
+        let SupervisedOutcome::Complete { report, .. } = resumed else {
+            panic!("resumed run must complete")
+        };
+        assert_eq!(
+            report, want_report,
+            "kill/resume must not inflate (or lose) cache accounting"
+        );
+        assert!(report.cache_accounting_consistent());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -145,6 +145,7 @@ impl FaultSchedule {
     pub fn sample(&self, stage: FaultStage, scope: &str, now: SimInstant) -> Option<FaultKind> {
         for w in &self.windows {
             if w.kind.stage() == stage && w.contains(now) {
+                count_fault_activation(w.kind);
                 return Some(w.kind);
             }
         }
@@ -158,11 +159,26 @@ impl FaultSchedule {
                     .fork(kind.label())
                     .chance(&format!("t/{}", now.unix_secs()), *rate)
             {
+                count_fault_activation(*kind);
                 return Some(*kind);
             }
         }
         None
     }
+}
+
+/// Telemetry: one counter bump per fault activation, keyed per kind plus
+/// a total (a pure side channel — draws above already happened).
+fn count_fault_activation(kind: FaultKind) {
+    obsv::counter!("fault_activations_total");
+    obsv::counter!(match kind {
+        FaultKind::DnsServfail => "fault_activations.dns-servfail",
+        FaultKind::DnsDrop => "fault_activations.dns-drop",
+        FaultKind::TcpReset => "fault_activations.tcp-reset",
+        FaultKind::TlsHandshakeAbort => "fault_activations.tls-abort",
+        FaultKind::HttpServerError => "fault_activations.http-5xx",
+        FaultKind::SmtpGreylist => "fault_activations.smtp-greylist",
+    });
 }
 
 /// The moves an on-path *active* adversary can make against MTA-STS
@@ -301,9 +317,23 @@ impl AttackSchedule {
 
     /// Whether `kind` is active against `name` at `now`.
     pub fn active(&self, kind: AttackKind, name: &DomainName, now: SimInstant) -> bool {
-        self.windows
+        let hit = self
+            .windows
             .iter()
-            .any(|w| w.kind == kind && w.applies(name, now))
+            .any(|w| w.kind == kind && w.applies(name, now));
+        if hit {
+            // Telemetry: an operation intersected a live attack window.
+            obsv::counter!("attack_window_hits_total");
+            obsv::counter!(match kind {
+                AttackKind::DnsTxtStrip => "attack_window_hits.dns-txt-strip",
+                AttackKind::CnameForge => "attack_window_hits.cname-forge",
+                AttackKind::HttpsMitm => "attack_window_hits.https-mitm",
+                AttackKind::MxRedirect => "attack_window_hits.mx-redirect",
+                AttackKind::StartTlsStrip => "attack_window_hits.starttls-strip",
+                AttackKind::MxCertSubstitute => "attack_window_hits.mx-cert-substitute",
+            });
+        }
+        hit
     }
 
     /// Every attack kind active against `name` at `now` (deduplicated, in
