@@ -89,6 +89,39 @@ impl RetryPolicy {
         delays
     }
 
+    /// The worst-case instants at which attempts `1..=max_attempts` would
+    /// start if every attempt failed transiently: attempt 1 starts at
+    /// `start`, and each later attempt starts one `attempt_timeout` plus
+    /// one backoff delay after its predecessor.
+    ///
+    /// All arithmetic saturates, so extreme `multiplier`/`max_backoff`
+    /// combinations (or a `start` near the representable edge) can never
+    /// overflow — the schedule just pins at the horizon while staying
+    /// monotone non-decreasing. The `total_deadline` is *not* applied
+    /// here: this is the uncut ladder, an upper bound on when each
+    /// attempt could begin (the outbound queue uses it to size retry
+    /// windows before committing to a run).
+    pub fn attempt_schedule(
+        &self,
+        rng: &DetRng,
+        label: &str,
+        start: SimInstant,
+    ) -> Vec<SimInstant> {
+        let delays = self.backoff_delays(rng, label);
+        let timeout = self.attempt_timeout.as_secs().max(0);
+        let mut out = Vec::with_capacity(self.max_attempts as usize);
+        let mut at = start.unix_secs();
+        for attempt in 1..=self.max_attempts {
+            out.push(SimInstant::from_unix_secs(at));
+            if let Some(delay) = delays.get(attempt as usize - 1) {
+                at = at
+                    .saturating_add(timeout)
+                    .saturating_add(delay.as_secs().max(0));
+            }
+        }
+        out
+    }
+
     /// Drives `op` under this policy, starting at `start`.
     ///
     /// `op` receives the current simulated instant and the 1-based attempt
@@ -442,6 +475,41 @@ mod tests {
         assert_eq!(plain.attempts, observed.attempts);
         assert_eq!(plain.verdict, observed.verdict);
         assert_eq!(plain.finished_at, observed.finished_at);
+    }
+
+    #[test]
+    fn attempt_schedule_matches_delays_and_timeout() {
+        let p = policy();
+        let rng = DetRng::new(4);
+        let delays = p.backoff_delays(&rng, "z");
+        let schedule = p.attempt_schedule(&rng, "z", t0());
+        assert_eq!(schedule.len(), p.max_attempts as usize);
+        assert_eq!(schedule[0], t0());
+        for (i, pair) in schedule.windows(2).enumerate() {
+            assert_eq!(pair[1], pair[0] + p.attempt_timeout + delays[i]);
+        }
+    }
+
+    #[test]
+    fn attempt_schedule_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::seconds(i64::MAX / 2),
+            multiplier: u32::MAX,
+            max_backoff: Duration::seconds(i64::MAX),
+            jitter: 1.0,
+            attempt_timeout: Duration::seconds(i64::MAX / 2),
+            total_deadline: Duration::seconds(i64::MAX),
+        };
+        let schedule = p.attempt_schedule(&DetRng::new(1), "edge", t0());
+        assert_eq!(schedule.len(), 8);
+        for pair in schedule.windows(2) {
+            assert!(pair[0] <= pair[1], "must stay monotone: {schedule:?}");
+        }
+        assert_eq!(
+            *schedule.last().unwrap(),
+            SimInstant::from_unix_secs(i64::MAX)
+        );
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Per-MX-host circuit breaker.
+//!
+//! A dead MX must degrade throughput, not stall the queue: after `N`
+//! consecutive *hard* failures (connection-level — refused, timeout,
+//! reset; never 4xx/5xx protocol replies, which prove the host is up),
+//! the host opens for a cooldown window and the dispatch ladder skips
+//! it. Once the window elapses the breaker goes half-open: exactly one
+//! message is admitted as a probe; success closes the breaker, another
+//! hard failure re-opens it for a fresh window.
+//!
+//! Determinism contract: breaker state is only mutated *between* waves,
+//! by folding the per-message [`HostEvent`]s in canonical message order
+//! (see `pipeline`). During a wave every message consults the same
+//! immutable snapshot, so outcomes are independent of thread count.
+
+use netbase::SimInstant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive hard failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker skips the host, in sim seconds.
+    pub cooldown_secs: i64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 300,
+        }
+    }
+}
+
+/// Breaker state for one MX host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation; counts consecutive hard failures.
+    Closed {
+        /// Hard failures since the last success.
+        consecutive_failures: u32,
+    },
+    /// Tripped: skip the host until the cooldown elapses, then admit a
+    /// single half-open probe.
+    Open {
+        /// Unix seconds at which the host may be probed again.
+        until_unix_secs: i64,
+    },
+}
+
+/// What the dispatch ladder should do with a host right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: attempt normally.
+    Allowed,
+    /// Breaker open and cooling down: skip this rung.
+    Skip,
+    /// Cooldown elapsed: attempt as a half-open probe.
+    Probe,
+}
+
+/// A connection-level observation about one host, emitted by message
+/// processing and folded into the board between waves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostEvent {
+    /// The host answered at the SMTP layer (any reply counts — even a
+    /// 5xx proves the machine is alive).
+    Reachable {
+        /// MX host name.
+        host: String,
+    },
+    /// Connection-level failure: refused, timeout, reset mid-dialogue.
+    HardFailure {
+        /// MX host name.
+        host: String,
+        /// When the failure was observed (sets the cooldown start).
+        at_unix_secs: i64,
+    },
+}
+
+/// Breaker state across all MX hosts, keyed by host name.
+///
+/// `BTreeMap` keeps iteration (and serde output) in canonical order, so
+/// checkpoint bytes and digests are stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerBoard {
+    hosts: BTreeMap<String, BreakerState>,
+}
+
+impl BreakerBoard {
+    /// An all-closed board.
+    pub fn new() -> BreakerBoard {
+        BreakerBoard::default()
+    }
+
+    /// What the ladder should do with `host` at `now`, per the *snapshot*
+    /// this board represents.
+    pub fn admission(&self, host: &str, now: SimInstant) -> Admission {
+        match self.hosts.get(host) {
+            None | Some(BreakerState::Closed { .. }) => Admission::Allowed,
+            Some(BreakerState::Open { until_unix_secs }) => {
+                if now.unix_secs() >= *until_unix_secs {
+                    Admission::Probe
+                } else {
+                    Admission::Skip
+                }
+            }
+        }
+    }
+
+    /// Folds one observation into the board. Called between waves only,
+    /// in canonical message order.
+    pub fn apply(&mut self, cfg: &BreakerConfig, event: &HostEvent) {
+        match event {
+            HostEvent::Reachable { host } => {
+                // Success (at the connection level) fully resets: a
+                // half-open probe that lands closes the breaker.
+                self.hosts.insert(
+                    host.clone(),
+                    BreakerState::Closed {
+                        consecutive_failures: 0,
+                    },
+                );
+            }
+            HostEvent::HardFailure { host, at_unix_secs } => {
+                let state = self
+                    .hosts
+                    .entry(host.clone())
+                    .or_insert(BreakerState::Closed {
+                        consecutive_failures: 0,
+                    });
+                match state {
+                    BreakerState::Closed {
+                        consecutive_failures,
+                    } => {
+                        *consecutive_failures += 1;
+                        if *consecutive_failures >= cfg.failure_threshold {
+                            *state = BreakerState::Open {
+                                until_unix_secs: at_unix_secs.saturating_add(cfg.cooldown_secs),
+                            };
+                            obsv::counter!("delivery.breaker_open_total");
+                        }
+                    }
+                    BreakerState::Open { until_unix_secs } => {
+                        // A failed half-open probe (or a failure recorded
+                        // while already open) restarts the cooldown.
+                        if *at_unix_secs >= *until_unix_secs {
+                            *until_unix_secs = at_unix_secs.saturating_add(cfg.cooldown_secs);
+                            obsv::counter!("delivery.breaker_reopen_total");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of hosts currently in the open state.
+    pub fn open_count(&self) -> usize {
+        self.hosts
+            .values()
+            .filter(|s| matches!(s, BreakerState::Open { .. }))
+            .count()
+    }
+
+    /// Iterates `(host, state)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &BreakerState)> {
+        self.hosts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> SimInstant {
+        SimInstant::from_unix_secs(secs)
+    }
+
+    fn hard(host: &str, at: i64) -> HostEvent {
+        HostEvent::HardFailure {
+            host: host.to_string(),
+            at_unix_secs: at,
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_and_skips_until_cooldown() {
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 300,
+        };
+        let mut board = BreakerBoard::new();
+        board.apply(&cfg, &hard("mx.a", 10));
+        board.apply(&cfg, &hard("mx.a", 20));
+        assert_eq!(board.admission("mx.a", t(25)), Admission::Allowed);
+        board.apply(&cfg, &hard("mx.a", 30));
+        assert_eq!(board.open_count(), 1);
+        assert_eq!(board.admission("mx.a", t(100)), Admission::Skip);
+        assert_eq!(board.admission("mx.a", t(330)), Admission::Probe);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 300,
+        };
+        let mut board = BreakerBoard::new();
+        board.apply(&cfg, &hard("mx.a", 10));
+        board.apply(&cfg, &hard("mx.a", 20));
+        board.apply(
+            &cfg,
+            &HostEvent::Reachable {
+                host: "mx.a".to_string(),
+            },
+        );
+        board.apply(&cfg, &hard("mx.a", 30));
+        board.apply(&cfg, &hard("mx.a", 40));
+        // Streak restarted after the success: still closed at 2 failures.
+        assert_eq!(board.open_count(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_secs: 100,
+        };
+        let mut board = BreakerBoard::new();
+        board.apply(&cfg, &hard("mx.a", 0));
+        assert_eq!(board.admission("mx.a", t(100)), Admission::Probe);
+        // Probe at t=100 hard-fails: cooldown restarts from 100.
+        board.apply(&cfg, &hard("mx.a", 100));
+        assert_eq!(board.admission("mx.a", t(150)), Admission::Skip);
+        assert_eq!(board.admission("mx.a", t(200)), Admission::Probe);
+        // Probe lands: breaker closes.
+        board.apply(
+            &cfg,
+            &HostEvent::Reachable {
+                host: "mx.a".to_string(),
+            },
+        );
+        assert_eq!(board.admission("mx.a", t(201)), Admission::Allowed);
+    }
+
+    #[test]
+    fn stale_failure_does_not_extend_open_window() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_secs: 100,
+        };
+        let mut board = BreakerBoard::new();
+        board.apply(&cfg, &hard("mx.a", 50));
+        // A failure observed *inside* the open window (e.g. from a message
+        // processed in the same wave that tripped it) must not push the
+        // window out indefinitely.
+        board.apply(&cfg, &hard("mx.a", 60));
+        assert_eq!(board.admission("mx.a", t(150)), Admission::Probe);
+    }
+}

@@ -16,13 +16,37 @@
 //!   interactions with operator attribution;
 //! - [`analysis`]: the §6.2 statistics over the most recent test per
 //!   sender domain.
+//!
+//! The operational counterpart is the outbound delivery pipeline:
+//!
+//! - [`mx_select`]: RFC 5321 MX selection — priority tiers plus a
+//!   seeded, thread-independent weight shuffle within equal-preference
+//!   sets;
+//! - [`breaker`]: the per-MX-host circuit breaker (open after N
+//!   consecutive connection-level failures, cooldown, half-open probe);
+//! - [`pipeline`]: the deterministic wave-based message queue with
+//!   per-recipient envelope status, multi-MX fail-over, typed
+//!   4xx-requeue / 5xx-bounce classification, and checkpoint/resume;
+//! - [`scenario`]: the degraded-MX chaos worlds (hard-down, flapping,
+//!   tier outage, greylisting) shared by tests, bench, and example.
 
 pub mod analysis;
+pub mod breaker;
 pub mod delivery;
+pub mod mx_select;
+pub mod pipeline;
 pub mod platform;
 pub mod profile;
+pub mod scenario;
 
 pub use analysis::{analyze, SenderStats};
+pub use breaker::{Admission, BreakerBoard, BreakerConfig, BreakerState, HostEvent};
 pub use delivery::{DeliveryConfig, DeliveryEngine, DeliveryPhase, DeliveryRecord, DeliveryStats};
+pub use mx_select::{implicit_mx, mx_ladder, MxCandidate};
+pub use pipeline::{
+    ledger_digest, AttemptDisposition, BounceReason, DeliveryQueue, FastTransport, MessageRecord,
+    MessageStatus, MxTransport, QueueConfig, QueueOutcome, QueueStats, QueuedMessage,
+};
 pub use platform::{Platform, TestCase, TestRecord};
 pub use profile::{SenderPopulation, SenderProfile, TlsSupport};
+pub use scenario::{Degradation, Scenario, ScenarioSpec};

@@ -1,0 +1,127 @@
+//! RFC 5321 §5.1 MX selection: priority tiers, deterministic weight
+//! shuffle within equal-preference sets.
+//!
+//! A sending MTA must try the lowest-preference MX hosts first and, when
+//! several share a preference value, pick among them "randomly" to
+//! spread load. This repository's determinism contract forbids actual
+//! randomness, so the shuffle is *seeded*: each host's position within
+//! its tier is a pure function of `(seed, recipient domain, host name)`.
+//! The result is a proper permutation of the published MX set, stable
+//! across runs and thread counts, yet different per domain and seed —
+//! exactly the load-spreading a weight shuffle buys, reproducibly.
+
+use netbase::{DetRng, DomainName};
+use rand::Rng;
+
+/// One rung of the fail-over ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxCandidate {
+    /// RFC 5321 preference (lower tries first).
+    pub preference: u16,
+    /// The exchange host.
+    pub host: DomainName,
+}
+
+/// Orders `records` into the fail-over ladder: ascending preference
+/// tiers, seeded shuffle within each tier.
+///
+/// Determinism contract: the output is a permutation of the input
+/// (nothing added, nothing dropped) whose order depends only on
+/// `(rng seed, domain, preference, host)` — never on the input order or
+/// on which thread runs the sort. Equal-`(preference, key)` collisions
+/// fall back to host-name order, so the ladder is fully canonical.
+pub fn mx_ladder(
+    rng: &DetRng,
+    domain: &DomainName,
+    records: &[(u16, DomainName)],
+) -> Vec<MxCandidate> {
+    let scope = rng.fork("mx-select").fork(&domain.to_string());
+    let mut keyed: Vec<(u16, u64, MxCandidate)> = records
+        .iter()
+        .map(|(preference, host)| {
+            let key: u64 = scope.stream_for(&format!("host/{host}")).gen();
+            (
+                *preference,
+                key,
+                MxCandidate {
+                    preference: *preference,
+                    host: host.clone(),
+                },
+            )
+        })
+        .collect();
+    keyed.sort_by(|a, b| (a.0, a.1, a.2.host.to_string()).cmp(&(b.0, b.1, b.2.host.to_string())));
+    keyed.into_iter().map(|(_, _, c)| c).collect()
+}
+
+/// The ladder when a domain publishes no MX records at all: RFC 5321
+/// §5.1's implicit MX — the domain itself at preference 0.
+pub fn implicit_mx(domain: &DomainName) -> Vec<MxCandidate> {
+    vec![MxCandidate {
+        preference: 0,
+        host: domain.clone(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn records() -> Vec<(u16, DomainName)> {
+        vec![
+            (10, n("mx1.example.com")),
+            (10, n("mx2.example.com")),
+            (10, n("mx3.example.com")),
+            (20, n("backup.example.com")),
+        ]
+    }
+
+    #[test]
+    fn tiers_stay_ordered_and_complete() {
+        let ladder = mx_ladder(&DetRng::new(7), &n("example.com"), &records());
+        assert_eq!(ladder.len(), 4);
+        assert_eq!(ladder[3].host, n("backup.example.com"));
+        for pair in ladder.windows(2) {
+            assert!(pair[0].preference <= pair[1].preference);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_stable_per_seed_and_domain() {
+        let a = mx_ladder(&DetRng::new(7), &n("example.com"), &records());
+        let b = mx_ladder(&DetRng::new(7), &n("example.com"), &records());
+        assert_eq!(a, b);
+        // Input order is irrelevant: a reversed record set lands on the
+        // same ladder.
+        let mut reversed = records();
+        reversed.reverse();
+        let c = mx_ladder(&DetRng::new(7), &n("example.com"), &reversed);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn different_domains_shuffle_differently() {
+        // Across many domains the first-tier winner must vary — that is
+        // the load-spreading the shuffle exists for.
+        let rng = DetRng::new(7);
+        let firsts: std::collections::HashSet<String> = (0..32)
+            .map(|i| {
+                let d = n(&format!("d{i}.example.org"));
+                mx_ladder(&rng, &d, &records())[0].host.to_string()
+            })
+            .collect();
+        assert!(firsts.len() > 1, "shuffle never varied: {firsts:?}");
+    }
+
+    #[test]
+    fn implicit_mx_is_the_domain_itself() {
+        let ladder = implicit_mx(&n("nodns.example.net"));
+        assert_eq!(ladder.len(), 1);
+        assert_eq!(ladder[0].preference, 0);
+        assert_eq!(ladder[0].host, n("nodns.example.net"));
+    }
+}

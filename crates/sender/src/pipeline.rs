@@ -1,0 +1,850 @@
+//! The outbound delivery pipeline: a deterministic message queue with
+//! per-recipient envelope status, multi-MX fail-over, a typed
+//! retry-vs-bounce taxonomy, and per-host circuit breaking.
+//!
+//! The paper's sender-side story (§2.4, §6) is about what a *sending*
+//! MTA does when the recipient's infrastructure misbehaves. The
+//! per-message engine in [`crate::delivery`] answers the policy
+//! question (what does MTA-STS buy?); this module answers the
+//! operational one: **when an MX is down, degraded, flapping, or
+//! greylisting, does the mail still flow — and at what retry cost?**
+//!
+//! Shape of the machine:
+//!
+//! - every submitted recipient becomes one [`QueuedMessage`] with its
+//!   own ledger row — per-recipient envelope status, never a
+//!   whole-message blur;
+//! - each delivery attempt walks the RFC 5321 fail-over ladder from
+//!   [`crate::mx_select::mx_ladder`]: priority tiers in order, a seeded
+//!   weight shuffle within equal-preference sets, connection-level
+//!   failures falling through to the next rung;
+//! - SMTP replies are classified *by type*: 4xx requeues with the
+//!   [`RetryPolicy`]'s backoff, 5xx bounces immediately, and
+//!   connection-level failures count against the per-host
+//!   [`BreakerBoard`] so a dead MX is skipped for a cooldown window
+//!   instead of eating a timeout per message;
+//! - the queue runs in **waves** of a fixed size: within a wave every
+//!   message sees the same immutable breaker snapshot and is processed
+//!   by [`netbase::map_sharded`] (pure in `(seq, message)`), and
+//!   between waves the per-host events fold into the board in
+//!   canonical message order. Output is therefore byte-identical for
+//!   any `SCAN_THREADS`, and a killed run resumes from its checkpoint
+//!   to the same ledger.
+
+use crate::breaker::{Admission, BreakerBoard, BreakerConfig, HostEvent};
+use crate::mx_select::{implicit_mx, mx_ladder, MxCandidate};
+use netbase::AttemptEvent;
+use netbase::{map_sharded, DetRng, DomainName, Duration, RetryPolicy, RetryVerdict, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One per-recipient envelope in the queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedMessage {
+    /// Queue-unique message id (caller-assigned; appears in the ledger).
+    pub id: String,
+    /// Envelope sender (MAIL FROM).
+    pub mail_from: String,
+    /// The single envelope recipient this queue entry tracks (RCPT TO).
+    /// Multi-recipient submissions fan out into one entry per recipient
+    /// so every recipient gets its own status row.
+    pub rcpt_to: String,
+    /// Message body.
+    pub body: String,
+}
+
+impl QueuedMessage {
+    /// A one-recipient message.
+    pub fn new(id: &str, from: &str, to: &str, body: &str) -> QueuedMessage {
+        QueuedMessage {
+            id: id.to_string(),
+            mail_from: from.to_string(),
+            rcpt_to: to.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    /// The recipient's domain (routing key). `None` for a malformed
+    /// address, which bounces without touching the network.
+    pub fn recipient_domain(&self) -> Option<DomainName> {
+        self.rcpt_to
+            .rsplit_once('@')
+            .and_then(|(_, d)| d.parse().ok())
+    }
+}
+
+/// What one connection attempt to one MX host produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptDisposition {
+    /// The message was accepted.
+    Delivered {
+        /// Whether the session was upgraded with STARTTLS.
+        tls_used: bool,
+    },
+    /// Connection-level failure: refused, timeout, reset mid-dialogue.
+    /// Counts against the host's circuit breaker; the ladder falls
+    /// through to the next rung.
+    HostUnreachable,
+    /// The server answered with a non-positive SMTP reply. The host is
+    /// *alive* (no breaker damage); the code's class decides requeue
+    /// (4xx) versus bounce (5xx).
+    Reply {
+        /// The reply code.
+        code: u16,
+        /// First reply line text.
+        text: String,
+    },
+}
+
+/// How the queue reaches recipient infrastructure. The fast path walks
+/// the in-process [`simnet::World`]; the wire path (assembled in the
+/// root-package tests) speaks real SMTP over localhost TCP. Both
+/// implementations must be pure functions of `(domain/host, message,
+/// now)` for the determinism contract to hold.
+pub trait MxTransport: Sync {
+    /// The recipient domain's MX RRset as `(preference, host)` pairs.
+    /// `Err` is treated as a transient routing failure (requeue);
+    /// `Ok(vec![])` falls back to the implicit MX.
+    fn route(&self, domain: &DomainName, now: SimInstant)
+        -> Result<Vec<(u16, DomainName)>, String>;
+
+    /// One delivery attempt to one MX host.
+    fn attempt(
+        &self,
+        mx_host: &DomainName,
+        message: &QueuedMessage,
+        now: SimInstant,
+    ) -> AttemptDisposition;
+}
+
+/// Why a message bounced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BounceReason {
+    /// A 5xx reply: the recipient infrastructure permanently refused.
+    Permanent {
+        /// The 5xx code.
+        code: u16,
+        /// Reply text.
+        text: String,
+    },
+    /// Transient failures (4xx, unreachable hosts, routing errors)
+    /// persisted past the retry policy's attempt cap or deadline.
+    RetriesExhausted {
+        /// The final attempt's failure, rendered.
+        last_error: String,
+    },
+    /// The recipient address had no parseable domain; never attempted.
+    Unroutable,
+}
+
+/// Terminal per-recipient envelope status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageStatus {
+    /// Accepted by an MX.
+    Delivered {
+        /// The host that accepted.
+        mx_host: String,
+        /// Whether STARTTLS protected the session.
+        tls_used: bool,
+    },
+    /// Returned to sender.
+    Bounced {
+        /// The typed reason.
+        reason: BounceReason,
+    },
+}
+
+/// One ledger row: everything the queue observed for one recipient.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Global submission index (stable across kill/resume).
+    pub seq: u64,
+    /// Caller-assigned message id.
+    pub id: String,
+    /// The recipient.
+    pub rcpt_to: String,
+    /// Terminal status.
+    pub status: MessageStatus,
+    /// Delivery attempts made (1..=retry cap).
+    pub attempts: u32,
+    /// Ladder rungs fallen through after connection-level failures.
+    pub failovers: u32,
+    /// Rungs skipped because the host's breaker was open.
+    pub breaker_skips: u32,
+    /// When the first attempt started (sim clock, unix seconds).
+    pub admitted_unix_secs: i64,
+    /// When the terminal status was reached (sim clock, unix seconds).
+    pub finished_unix_secs: i64,
+}
+
+impl MessageRecord {
+    /// Whether the message reached an MX.
+    pub fn delivered(&self) -> bool {
+        matches!(self.status, MessageStatus::Delivered { .. })
+    }
+}
+
+/// Queue-wide accounting, deterministic across thread counts and
+/// kill/resume cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Messages processed to a terminal status.
+    pub processed: u64,
+    /// Delivered.
+    pub delivered: u64,
+    /// Bounced on a 5xx.
+    pub bounced_permanent: u64,
+    /// Bounced after exhausting retries.
+    pub bounced_exhausted: u64,
+    /// Bounced unroutable.
+    pub bounced_unroutable: u64,
+    /// Total delivery attempts.
+    pub attempts: u64,
+    /// Requeues (attempts beyond each message's first).
+    pub requeues: u64,
+    /// Connection-level fail-overs to a lower rung.
+    pub failovers: u64,
+    /// Ladder rungs skipped by open breakers.
+    pub breaker_skips: u64,
+}
+
+impl QueueStats {
+    fn absorb(&mut self, rec: &MessageRecord) {
+        self.processed += 1;
+        match &rec.status {
+            MessageStatus::Delivered { .. } => self.delivered += 1,
+            MessageStatus::Bounced { reason } => match reason {
+                BounceReason::Permanent { .. } => self.bounced_permanent += 1,
+                BounceReason::RetriesExhausted { .. } => self.bounced_exhausted += 1,
+                BounceReason::Unroutable => self.bounced_unroutable += 1,
+            },
+        }
+        self.attempts += u64::from(rec.attempts);
+        self.requeues += u64::from(rec.attempts.saturating_sub(1));
+        self.failovers += u64::from(rec.failovers);
+        self.breaker_skips += u64::from(rec.breaker_skips);
+    }
+}
+
+/// Queue configuration.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Root seed for the MX shuffle and retry jitter.
+    pub seed: u64,
+    /// Worker threads (0 = read `SCAN_THREADS`, default 1). The ledger
+    /// is byte-identical for every value.
+    pub threads: usize,
+    /// Messages per wave. Wave boundaries sit at fixed multiples of
+    /// this, so checkpoint/resume composes with determinism. Must be
+    /// at least 1.
+    pub wave_size: usize,
+    /// The sim instant message 0 is admitted at.
+    pub epoch: SimInstant,
+    /// Seconds between consecutive admissions: message `seq` starts at
+    /// `epoch + seq * admission_spacing_secs`. Decorrelates per-message
+    /// fault draws (faults are keyed on `(scope, instant)`).
+    pub admission_spacing_secs: i64,
+    /// The retry/backoff discipline (4xx and unreachable-ladder
+    /// failures requeue under it).
+    pub retry: RetryPolicy,
+    /// Per-host circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Where to persist the queue checkpoint; `None` disables.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Stop (with a checkpoint) at the first wave boundary after this
+    /// many messages processed in this invocation — the kill hook the
+    /// resume tests use.
+    pub message_budget: Option<usize>,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            seed: 42,
+            threads: 0,
+            wave_size: 32,
+            epoch: SimInstant::from_unix_secs(1_717_200_000),
+            admission_spacing_secs: 7,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                initial_backoff: Duration::seconds(60),
+                multiplier: 4,
+                max_backoff: Duration::seconds(3600),
+                jitter: 0.25,
+                attempt_timeout: Duration::seconds(30),
+                total_deadline: Duration::seconds(48 * 3600),
+            },
+            breaker: BreakerConfig::default(),
+            checkpoint_path: None,
+            message_budget: None,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// The effective worker-thread count (mirrors the scan engine's
+    /// `SCAN_THREADS` contract without a scanner dependency).
+    fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::env::var("SCAN_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    }
+}
+
+/// The outcome of one queue invocation.
+#[derive(Debug, Clone)]
+pub struct QueueOutcome {
+    /// Per-recipient ledger, in submission order (complete prefix).
+    pub records: Vec<MessageRecord>,
+    /// Aggregate accounting over `records`.
+    pub stats: QueueStats,
+    /// Final breaker state.
+    pub board: BreakerBoard,
+    /// `true` when the message budget suspended the run mid-queue; the
+    /// checkpoint holds the state to resume from.
+    pub suspended: bool,
+}
+
+/// FNV-1a 64-bit over the serialized ledger — the byte-identity witness
+/// the determinism tests and the bench compare.
+pub fn ledger_digest(records: &[MessageRecord]) -> String {
+    let payload = serde_json::to_string(records).expect("ledger serializes");
+    format!("{:016x}", fnv64(payload.as_bytes()))
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Magic tag of the queue checkpoint header line.
+const QUEUE_CKPT_MAGIC: &str = "MTASTS-DLVQ1";
+
+/// The on-disk queue checkpoint: the completed ledger prefix plus the
+/// folded breaker board at the wave boundary it was taken on. Same
+/// integrity discipline as the scan supervisor's checkpoint: a
+/// `MTASTS-DLVQ1 <len> <fnv64>` header, and any corruption starts the
+/// run fresh instead of resuming wrong.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct QueueCheckpoint {
+    records: Vec<MessageRecord>,
+    board: BreakerBoard,
+    next_index: usize,
+    stats: QueueStats,
+}
+
+impl QueueCheckpoint {
+    fn load(path: &PathBuf) -> QueueCheckpoint {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return QueueCheckpoint::default();
+        };
+        QueueCheckpoint::parse(&text).unwrap_or_default()
+    }
+
+    fn parse(text: &str) -> Option<QueueCheckpoint> {
+        let (header, payload) = text.split_once('\n')?;
+        let mut fields = header.split(' ');
+        if fields.next() != Some(QUEUE_CKPT_MAGIC) {
+            return None;
+        }
+        let len: usize = fields.next()?.parse().ok()?;
+        let hash: u64 = u64::from_str_radix(fields.next()?, 16).ok()?;
+        if fields.next().is_some() || payload.len() != len || fnv64(payload.as_bytes()) != hash {
+            return None;
+        }
+        serde_json::from_str(payload).ok()
+    }
+
+    /// Atomic store: unique temp sibling, then rename (see the scan
+    /// supervisor for the rationale). I/O failure is returned, not
+    /// panicked, so the queue can keep draining checkpoint-free.
+    fn store(&self, path: &PathBuf) -> std::io::Result<()> {
+        static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
+        let payload = serde_json::to_string(self).expect("checkpoint serializes");
+        let text = format!(
+            "{QUEUE_CKPT_MAGIC} {} {:016x}\n{payload}",
+            payload.len(),
+            fnv64(payload.as_bytes())
+        );
+        let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, &text)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+/// A dispatch-layer failure, classified for the retry policy.
+#[derive(Debug, Clone)]
+struct DispatchError {
+    transient: bool,
+    rendered: String,
+    /// Set when the failure was a concrete 5xx reply.
+    permanent_reply: Option<(u16, String)>,
+}
+
+impl DispatchError {
+    fn transient(rendered: String) -> DispatchError {
+        DispatchError {
+            transient: true,
+            rendered,
+            permanent_reply: None,
+        }
+    }
+}
+
+/// The deterministic outbound queue.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryQueue {
+    /// Queue tuning.
+    pub cfg: QueueConfig,
+}
+
+impl DeliveryQueue {
+    /// A queue with the given configuration.
+    pub fn new(cfg: QueueConfig) -> DeliveryQueue {
+        DeliveryQueue { cfg }
+    }
+
+    /// Drains `messages` (or resumes draining them from the checkpoint)
+    /// through `transport`.
+    ///
+    /// Determinism contract: for a fixed `(cfg.seed, messages,
+    /// transport behaviour)` the returned ledger is byte-identical for
+    /// every thread count and across any kill/resume split — waves sit
+    /// at fixed multiples of `wave_size`, every message in a wave sees
+    /// the same breaker snapshot, and per-host events fold between
+    /// waves in submission order.
+    pub fn run<T: MxTransport>(&self, transport: &T, messages: &[QueuedMessage]) -> QueueOutcome {
+        assert!(self.cfg.wave_size >= 1, "wave_size must be at least 1");
+        let threads = self.cfg.effective_threads();
+        let rng = DetRng::new(self.cfg.seed);
+        let mut checkpoint_path = self.cfg.checkpoint_path.clone();
+        let mut ckpt = match &checkpoint_path {
+            Some(path) => QueueCheckpoint::load(path),
+            None => QueueCheckpoint::default(),
+        };
+        // A checkpoint from a different (longer) queue run would resume
+        // nonsense; treat it as absent.
+        if ckpt.next_index > messages.len() {
+            ckpt = QueueCheckpoint::default();
+        }
+        let mut index = ckpt.next_index;
+        let mut processed_here = 0usize;
+
+        while index < messages.len() {
+            if let Some(budget) = self.cfg.message_budget {
+                if processed_here >= budget {
+                    ckpt.next_index = index;
+                    let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
+                    obsv::event!("delivery.queue_suspend");
+                    return QueueOutcome {
+                        records: ckpt.records,
+                        stats: ckpt.stats,
+                        board: ckpt.board,
+                        suspended: true,
+                    };
+                }
+            }
+
+            // Wave boundaries sit at absolute multiples of wave_size so
+            // a killed-and-resumed run re-forms exactly the waves an
+            // uninterrupted one had (the breaker fold points — and with
+            // them the ladder decisions — depend on wave composition).
+            let wave_end =
+                (((index / self.cfg.wave_size) + 1) * self.cfg.wave_size).min(messages.len());
+            let batch = &messages[index..wave_end];
+            let snapshot = ckpt.board.clone();
+            let mut wave_span = obsv::span!("delivery.wave");
+            let results = map_sharded(threads, batch, |j, msg| {
+                process_message(
+                    &self.cfg,
+                    &rng,
+                    &snapshot,
+                    transport,
+                    (index + j) as u64,
+                    msg,
+                )
+            });
+            wave_span.set_sim_secs(0);
+            for (record, events) in results {
+                for event in &events {
+                    ckpt.board.apply(&self.cfg.breaker, event);
+                }
+                ckpt.stats.absorb(&record);
+                ckpt.records.push(record);
+            }
+            processed_here += batch.len();
+            index = wave_end;
+            ckpt.next_index = index;
+            if index < messages.len() {
+                let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
+            }
+        }
+
+        let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
+        QueueOutcome {
+            records: ckpt.records,
+            stats: ckpt.stats,
+            board: ckpt.board,
+            suspended: false,
+        }
+    }
+}
+
+/// Stores the checkpoint when a path is set; the first I/O failure
+/// disables checkpointing for the rest of the invocation (the queue
+/// keeps draining — same degradation discipline as the supervisor).
+fn store_checkpoint(ckpt: &QueueCheckpoint, path_slot: &mut Option<PathBuf>) -> bool {
+    let Some(path) = path_slot else { return true };
+    if ckpt.store(path).is_err() {
+        obsv::event!("delivery.checkpoint_failure");
+        *path_slot = None;
+        false
+    } else {
+        obsv::event!("delivery.checkpoint_write");
+        true
+    }
+}
+
+/// Processes one message to its terminal status against an immutable
+/// breaker snapshot. Pure in `(cfg, seed, snapshot, transport, seq,
+/// message)` — the determinism obligation `map_sharded` needs.
+fn process_message<T: MxTransport>(
+    cfg: &QueueConfig,
+    rng: &DetRng,
+    snapshot: &BreakerBoard,
+    transport: &T,
+    seq: u64,
+    message: &QueuedMessage,
+) -> (MessageRecord, Vec<HostEvent>) {
+    obsv::counter!("delivery.enqueued");
+    let admitted = SimInstant::from_unix_secs(
+        cfg.epoch
+            .unix_secs()
+            .saturating_add(cfg.admission_spacing_secs.saturating_mul(seq as i64)),
+    );
+
+    let Some(domain) = message.recipient_domain() else {
+        obsv::counter!("delivery.bounced");
+        let record = MessageRecord {
+            seq,
+            id: message.id.clone(),
+            rcpt_to: message.rcpt_to.clone(),
+            status: MessageStatus::Bounced {
+                reason: BounceReason::Unroutable,
+            },
+            attempts: 0,
+            failovers: 0,
+            breaker_skips: 0,
+            admitted_unix_secs: admitted.unix_secs(),
+            finished_unix_secs: admitted.unix_secs(),
+        };
+        return (record, Vec::new());
+    };
+
+    let mut events: Vec<HostEvent> = Vec::new();
+    let mut failovers = 0u32;
+    let mut breaker_skips = 0u32;
+
+    let label = format!("delivery/{seq}/{domain}");
+    let outcome = cfg.retry.run_observed(
+        rng,
+        &label,
+        admitted,
+        |e: &DispatchError| e.transient,
+        |now, _attempt| {
+            attempt_ladder(
+                rng,
+                snapshot,
+                transport,
+                &domain,
+                message,
+                now,
+                &mut events,
+                &mut failovers,
+                &mut breaker_skips,
+            )
+        },
+        |event| {
+            if let AttemptEvent::Failure {
+                transient: true,
+                backoff: Some(_),
+                ..
+            } = event
+            {
+                obsv::counter!("delivery.requeue_total");
+            }
+        },
+    );
+
+    let status = match outcome.result {
+        Ok((host, tls_used)) => {
+            obsv::counter!("delivery.delivered");
+            MessageStatus::Delivered {
+                mx_host: host,
+                tls_used,
+            }
+        }
+        Err(err) => {
+            obsv::counter!("delivery.bounced");
+            let reason = match (outcome.verdict, err.permanent_reply) {
+                (RetryVerdict::Persistent, Some((code, text))) => {
+                    BounceReason::Permanent { code, text }
+                }
+                _ => BounceReason::RetriesExhausted {
+                    last_error: err.rendered,
+                },
+            };
+            MessageStatus::Bounced { reason }
+        }
+    };
+    obsv::histogram!("delivery.attempts", u64::from(outcome.attempts));
+
+    let record = MessageRecord {
+        seq,
+        id: message.id.clone(),
+        rcpt_to: message.rcpt_to.clone(),
+        status,
+        attempts: outcome.attempts,
+        failovers,
+        breaker_skips,
+        admitted_unix_secs: admitted.unix_secs(),
+        finished_unix_secs: outcome.finished_at.unix_secs(),
+    };
+    (record, events)
+}
+
+/// One walk down the fail-over ladder (= one retry-policy attempt).
+#[allow(clippy::too_many_arguments)]
+fn attempt_ladder<T: MxTransport>(
+    rng: &DetRng,
+    snapshot: &BreakerBoard,
+    transport: &T,
+    domain: &DomainName,
+    message: &QueuedMessage,
+    now: SimInstant,
+    events: &mut Vec<HostEvent>,
+    failovers: &mut u32,
+    breaker_skips: &mut u32,
+) -> Result<(String, bool), DispatchError> {
+    let records = transport
+        .route(domain, now)
+        .map_err(|e| DispatchError::transient(format!("MX lookup failed: {e}")))?;
+    let ladder: Vec<MxCandidate> = if records.is_empty() {
+        implicit_mx(domain)
+    } else {
+        mx_ladder(rng, domain, &records)
+    };
+
+    let mut hard_failures = 0u32;
+    let mut skipped = 0u32;
+    for (rung, candidate) in ladder.iter().enumerate() {
+        let host = candidate.host.to_string();
+        match snapshot.admission(&host, now) {
+            Admission::Skip => {
+                skipped += 1;
+                *breaker_skips += 1;
+                obsv::counter!("delivery.breaker_skip_total");
+                continue;
+            }
+            Admission::Allowed | Admission::Probe => {}
+        }
+        match transport.attempt(&candidate.host, message, now) {
+            AttemptDisposition::Delivered { tls_used } => {
+                events.push(HostEvent::Reachable { host: host.clone() });
+                if rung > 0 {
+                    obsv::counter!("delivery.failover_delivered");
+                }
+                return Ok((host, tls_used));
+            }
+            AttemptDisposition::HostUnreachable => {
+                events.push(HostEvent::HardFailure {
+                    host,
+                    at_unix_secs: now.unix_secs(),
+                });
+                hard_failures += 1;
+                *failovers += 1;
+                obsv::counter!("delivery.failover_total");
+                continue;
+            }
+            AttemptDisposition::Reply { code, text } => {
+                // Any SMTP reply proves the host is up.
+                events.push(HostEvent::Reachable { host });
+                if (400..500).contains(&code) {
+                    // Typed 4xx: requeue with backoff. Greylisting asked
+                    // *this client* to come back later; hammering the
+                    // rest of the ladder would multiply load, so the
+                    // attempt ends here.
+                    return Err(DispatchError::transient(format!(
+                        "tempfail {code} from {}: {text}",
+                        candidate.host
+                    )));
+                }
+                // Typed 5xx: bounce, no retry.
+                return Err(DispatchError {
+                    transient: false,
+                    rendered: format!("rejected {code} from {}: {text}", candidate.host),
+                    permanent_reply: Some((code, text)),
+                });
+            }
+        }
+    }
+    // Every rung unreachable or skipped: transient — the breaker may
+    // re-admit a recovered host on a later attempt.
+    Err(DispatchError::transient(format!(
+        "all {} MX hosts failed ({hard_failures} unreachable, {skipped} breaker-skipped)",
+        ladder.len()
+    )))
+}
+
+/// The fast-path transport: routes and attempts against the in-process
+/// [`simnet::World`], mirroring `World::probe_mx`'s fault/attack
+/// semantics plus RCPT-level rejection — so the wire deployment (real
+/// SMTP over localhost, assembled in the root-package tests) produces
+/// the same ledger for fault-free scenarios.
+pub struct FastTransport<'a> {
+    world: &'a simnet::World,
+}
+
+impl<'a> FastTransport<'a> {
+    /// A transport over `world`.
+    pub fn new(world: &'a simnet::World) -> FastTransport<'a> {
+        FastTransport { world }
+    }
+}
+
+impl MxTransport for FastTransport<'_> {
+    fn route(
+        &self,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> Result<Vec<(u16, DomainName)>, String> {
+        self.world
+            .mx_records_with_pref(domain, now)
+            .map_err(|e| format!("{e:?}"))
+    }
+
+    fn attempt(
+        &self,
+        mx_host: &DomainName,
+        message: &QueuedMessage,
+        now: SimInstant,
+    ) -> AttemptDisposition {
+        use simnet::{FaultStage, Reachability};
+        let Ok(lookup) = self.world.resolve(mx_host, dns::RecordType::A, now) else {
+            return AttemptDisposition::HostUnreachable;
+        };
+        let Some(ip) = lookup.a_addrs().first().copied() else {
+            return AttemptDisposition::HostUnreachable;
+        };
+        let Some(endpoint) = self.world.mx_endpoint(ip) else {
+            return AttemptDisposition::HostUnreachable;
+        };
+        if endpoint.reachability != Reachability::Up {
+            return AttemptDisposition::HostUnreachable;
+        }
+        let fault_scope = format!("mx/{ip}");
+        if endpoint
+            .faults
+            .sample(FaultStage::Tcp, &fault_scope, now)
+            .is_some()
+        {
+            return AttemptDisposition::HostUnreachable;
+        }
+        if endpoint
+            .faults
+            .sample(FaultStage::Smtp, &fault_scope, now)
+            .is_some()
+        {
+            return AttemptDisposition::Reply {
+                code: 450,
+                text: "4.7.0 greylisted, try again later".to_string(),
+            };
+        }
+        if let Some(rcpt_domain) = message.recipient_domain() {
+            if endpoint.reject_rcpt_domains.contains(&rcpt_domain) {
+                return AttemptDisposition::Reply {
+                    code: 550,
+                    text: format!("5.7.1 relaying denied for {rcpt_domain}"),
+                };
+            }
+        }
+        let stripped = self
+            .world
+            .attack_active(simnet::AttackKind::StartTlsStrip, mx_host, now);
+        let tls_used = endpoint.starttls
+            && !endpoint.hide_starttls
+            && !endpoint.helo_only
+            && !stripped
+            && !endpoint.chain.is_empty();
+        AttemptDisposition::Delivered { tls_used }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_recipient_bounces_unroutable() {
+        struct NoTransport;
+        impl MxTransport for NoTransport {
+            fn route(
+                &self,
+                _domain: &DomainName,
+                _now: SimInstant,
+            ) -> Result<Vec<(u16, DomainName)>, String> {
+                panic!("unroutable mail must never route")
+            }
+            fn attempt(
+                &self,
+                _mx: &DomainName,
+                _m: &QueuedMessage,
+                _now: SimInstant,
+            ) -> AttemptDisposition {
+                panic!("unroutable mail must never attempt")
+            }
+        }
+        let queue = DeliveryQueue::default();
+        let out = queue.run(
+            &NoTransport,
+            &[QueuedMessage::new("m0", "a@s.test", "not-an-address", "hi")],
+        );
+        assert_eq!(out.stats.bounced_unroutable, 1);
+        assert_eq!(out.records[0].attempts, 0);
+        assert!(!out.suspended);
+    }
+
+    #[test]
+    fn checkpoint_corruption_starts_fresh() {
+        let good = QueueCheckpoint {
+            next_index: 5,
+            ..QueueCheckpoint::default()
+        };
+        let dir = std::env::temp_dir().join(format!("mtasts-dlvq-{}-corrupt", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue.ckpt");
+        good.store(&path).unwrap();
+        assert_eq!(QueueCheckpoint::load(&path).next_index, 5);
+        let stored = std::fs::read_to_string(&path).unwrap();
+        for cut in 0..stored.len() {
+            std::fs::write(&path, &stored[..cut]).unwrap();
+            assert_eq!(QueueCheckpoint::load(&path).next_index, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

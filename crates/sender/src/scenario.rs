@@ -1,0 +1,256 @@
+//! Degraded-MX scenario builder: the shared worlds the delivery
+//! pipeline's chaos matrix runs over.
+//!
+//! One builder feeds the unit/determinism tests, the live-wire parity
+//! test, `exp_delivery`, and the `outbound_pipeline` example, so every
+//! consumer exercises *the same* degradations: a hard-down MX, a
+//! flapping MX, a whole-preference-tier outage, and probabilistic
+//! greylisting. Every populated domain gets the same topology — two
+//! preference-10 exchanges and one preference-20 backup — because the
+//! matrix is about *failure shape*, not topology variety.
+//!
+//! Fault-schedule degradations ([`Degradation::FlappingMx`],
+//! [`Degradation::Greylist`]) act on the fast path only (the wire
+//! deployment serves static behaviour); reachability degradations
+//! ([`Degradation::OneMxDown`], [`Degradation::TierOutage`]) translate
+//! to both paths, which is what makes the wire-parity test honest.
+
+use crate::pipeline::QueuedMessage;
+use dns::RecordData;
+use netbase::{DomainName, SimInstant};
+use simnet::{FaultKind, FaultSchedule, MxEndpoint, Reachability, World};
+
+/// Which failure shape the scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Degradation {
+    /// Healthy baseline: every MX up.
+    None,
+    /// The first preference-10 exchange of every domain is hard-down
+    /// (connection refused) for the whole run.
+    OneMxDown,
+    /// The first preference-10 exchange of every domain flaps: `cycles`
+    /// alternations of `down_secs` dead / `up_secs` alive, starting at
+    /// the scenario epoch.
+    FlappingMx {
+        /// Seconds down per cycle.
+        down_secs: i64,
+        /// Seconds up per cycle.
+        up_secs: i64,
+        /// Number of down-phases.
+        cycles: u32,
+    },
+    /// The entire preference-10 tier is hard-down; only the backup
+    /// exchange carries mail.
+    TierOutage,
+    /// Every exchange greylists with this per-draw probability.
+    Greylist {
+        /// 0.0–1.0 chance a session is deferred with a 450.
+        rate: f64,
+    },
+}
+
+impl Degradation {
+    /// Short machine name, used as the bench scenario key.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Degradation::None => "baseline",
+            Degradation::OneMxDown => "one_mx_down",
+            Degradation::FlappingMx { .. } => "flapping_mx",
+            Degradation::TierOutage => "tier_outage",
+            Degradation::Greylist { .. } => "greylist",
+        }
+    }
+
+    /// Whether the degradation is expressed purely through endpoint
+    /// reachability (and therefore reproduces on the wire deployment,
+    /// which does not serve fault schedules).
+    pub fn wire_faithful(&self) -> bool {
+        matches!(
+            self,
+            Degradation::None | Degradation::OneMxDown | Degradation::TierOutage
+        )
+    }
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Seed for the world's fault schedules.
+    pub seed: u64,
+    /// Populated recipient domains (`d0.test` … `d{n-1}.test`).
+    pub domains: usize,
+    /// Messages queued per domain.
+    pub messages_per_domain: usize,
+    /// The injected failure shape.
+    pub degradation: Degradation,
+    /// When the scenario's clock starts (flapping windows anchor here).
+    pub epoch: SimInstant,
+}
+
+impl ScenarioSpec {
+    /// A small scenario with the given degradation (tests, example).
+    pub fn small(seed: u64, degradation: Degradation) -> ScenarioSpec {
+        ScenarioSpec {
+            seed,
+            domains: 4,
+            messages_per_domain: 8,
+            degradation,
+            epoch: SimInstant::from_unix_secs(1_717_200_000),
+        }
+    }
+}
+
+/// One recipient domain's deployed topology.
+#[derive(Debug, Clone)]
+pub struct DomainTopology {
+    /// The recipient domain.
+    pub domain: DomainName,
+    /// Its exchanges as `(preference, host)`, primaries first.
+    pub exchanges: Vec<(u16, DomainName)>,
+}
+
+/// A built world plus the message load to drain through it.
+pub struct Scenario {
+    /// The simulated internet with the degradation installed.
+    pub world: World,
+    /// The queue load, round-robin across domains in submission order.
+    pub messages: Vec<QueuedMessage>,
+    /// Per-domain topology (asserts and ledger checks).
+    pub topologies: Vec<DomainTopology>,
+    /// The spec this was built from.
+    pub spec: ScenarioSpec,
+}
+
+/// MX layout every scenario domain gets: two primaries, one backup.
+const MX_LAYOUT: [(&str, u16); 3] = [("mxa", 10), ("mxb", 10), ("mxc", 20)];
+
+/// Builds the world and message load for `spec`.
+pub fn build(spec: ScenarioSpec) -> Scenario {
+    let world = World::new();
+    let mut topologies = Vec::with_capacity(spec.domains);
+    for i in 0..spec.domains {
+        let domain: DomainName = format!("d{i}.test")
+            .parse()
+            .expect("scenario domain parses");
+        world.ensure_zone(&domain);
+        let mut exchanges = Vec::new();
+        for (slot, (label, preference)) in MX_LAYOUT.iter().enumerate() {
+            let host: DomainName = format!("{label}.d{i}.test")
+                .parse()
+                .expect("scenario host parses");
+            let mut endpoint = MxEndpoint::plaintext(host.clone());
+            apply_degradation(&mut endpoint, &spec, slot);
+            let ip = world.add_mx_endpoint(endpoint);
+            world.with_zone(&domain, |z| {
+                z.add_rr(&host, 300, RecordData::A(ip));
+                z.add_rr(
+                    &domain,
+                    300,
+                    RecordData::Mx {
+                        preference: *preference,
+                        exchange: host.clone(),
+                    },
+                );
+            });
+            exchanges.push((*preference, host));
+        }
+        topologies.push(DomainTopology { domain, exchanges });
+    }
+
+    // Round-robin submission order spreads each domain's messages across
+    // the admission timeline, so time-varying degradations (flapping,
+    // greylist windows) bite different messages of the same domain.
+    let mut messages = Vec::with_capacity(spec.domains * spec.messages_per_domain);
+    let mut seq = 0usize;
+    for j in 0..spec.messages_per_domain {
+        for i in 0..spec.domains {
+            messages.push(QueuedMessage::new(
+                &format!("m{seq}"),
+                "queue@sender.test",
+                &format!("user{j}@d{i}.test"),
+                &format!("scenario message {seq}"),
+            ));
+            seq += 1;
+        }
+    }
+
+    Scenario {
+        world,
+        messages,
+        topologies,
+        spec,
+    }
+}
+
+fn apply_degradation(endpoint: &mut MxEndpoint, spec: &ScenarioSpec, slot: usize) {
+    match spec.degradation {
+        Degradation::None => {}
+        Degradation::OneMxDown => {
+            if slot == 0 {
+                endpoint.reachability = Reachability::Refused;
+            }
+        }
+        Degradation::FlappingMx {
+            down_secs,
+            up_secs,
+            cycles,
+        } => {
+            if slot == 0 {
+                endpoint.faults = FaultSchedule::new(spec.seed).with_flapping(
+                    FaultKind::TcpReset,
+                    spec.epoch,
+                    netbase::Duration::seconds(down_secs),
+                    netbase::Duration::seconds(up_secs),
+                    cycles,
+                );
+            }
+        }
+        Degradation::TierOutage => {
+            if slot <= 1 {
+                endpoint.reachability = Reachability::Refused;
+            }
+        }
+        Degradation::Greylist { rate } => {
+            endpoint.faults =
+                FaultSchedule::new(spec.seed).with_rate(FaultKind::SmtpGreylist, rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_topology_and_load() {
+        let s = build(ScenarioSpec::small(7, Degradation::None));
+        assert_eq!(s.topologies.len(), 4);
+        assert_eq!(s.messages.len(), 32);
+        // MX records resolve with both tiers present.
+        let recs = s
+            .world
+            .mx_records_with_pref(&s.topologies[0].domain, s.spec.epoch)
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs.iter().filter(|(p, _)| *p == 10).count(), 2);
+        assert_eq!(recs.iter().filter(|(p, _)| *p == 20).count(), 1);
+    }
+
+    #[test]
+    fn one_mx_down_kills_exactly_the_first_primary() {
+        let s = build(ScenarioSpec::small(7, Degradation::OneMxDown));
+        let down: Vec<bool> = s.topologies[0]
+            .exchanges
+            .iter()
+            .map(|(_, host)| {
+                let ip = s
+                    .world
+                    .resolve(host, dns::RecordType::A, s.spec.epoch)
+                    .unwrap()
+                    .a_addrs()[0];
+                s.world.mx_endpoint(ip).unwrap().reachability != Reachability::Up
+            })
+            .collect();
+        assert_eq!(down, vec![true, false, false]);
+    }
+}

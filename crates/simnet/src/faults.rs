@@ -125,6 +125,31 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a flapping outage: `cycles` repetitions of `down` (the fault
+    /// fires) followed by `up` (it does not), starting at `start`. This is
+    /// the degraded-MX pattern the delivery chaos matrix exercises — a
+    /// host that keeps dying and recovering, so a queue must both fail
+    /// over *and* come back instead of writing the host off.
+    pub fn with_flapping(
+        mut self,
+        kind: FaultKind,
+        start: SimInstant,
+        down: netbase::Duration,
+        up: netbase::Duration,
+        cycles: u32,
+    ) -> Self {
+        assert!(
+            down > netbase::Duration::ZERO,
+            "flapping down-phase must be positive"
+        );
+        let mut at = start;
+        for _ in 0..cycles {
+            self = self.with_window(kind, at, at + down);
+            at = at + down + up;
+        }
+        self
+    }
+
     /// Adds a probabilistic failure mode firing on each operation with
     /// probability `rate`.
     pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
@@ -438,6 +463,36 @@ mod tests {
         assert_eq!(s.sample(FaultStage::Http, "web/1", inside), None);
         let after = t0() + Duration::seconds(20);
         assert_eq!(s.sample(FaultStage::Tcp, "web/1", after), None);
+    }
+
+    #[test]
+    fn flapping_alternates_down_and_up_phases() {
+        let s = FaultSchedule::new(1).with_flapping(
+            FaultKind::TcpReset,
+            t0(),
+            Duration::seconds(10),
+            Duration::seconds(20),
+            3,
+        );
+        let probe = |secs: i64| {
+            s.sample(FaultStage::Tcp, "mx/1", t0() + Duration::seconds(secs))
+                .is_some()
+        };
+        // Cycle layout: [0,10) down, [10,30) up, [30,40) down, [40,60) up,
+        // [60,70) down, then nothing.
+        for (secs, expect) in [
+            (0, true),
+            (9, true),
+            (10, false),
+            (29, false),
+            (30, true),
+            (45, false),
+            (60, true),
+            (70, false),
+            (1000, false),
+        ] {
+            assert_eq!(probe(secs), expect, "t={secs}");
+        }
     }
 
     #[test]

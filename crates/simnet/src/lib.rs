@@ -28,7 +28,7 @@ pub mod pki;
 pub mod wire;
 pub mod world;
 
-pub use endpoint::{CertKind, MxEndpoint, WebEndpoint};
+pub use endpoint::{CertKind, MxEndpoint, Reachability, WebEndpoint};
 pub use faults::{
     AttackKind, AttackSchedule, AttackWindow, FaultKind, FaultSchedule, FaultStage, FaultWindow,
     TransientFaultConfig,

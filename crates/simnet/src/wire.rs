@@ -139,6 +139,19 @@ impl WireWorld {
         })
     }
 
+    /// The localhost socket address serving the MX endpoint at simulated
+    /// `ip`, if that endpoint was deployed (non-`Up` endpoints are not).
+    pub fn mx_addr(&self, ip: Ipv4Addr) -> Option<SocketAddr> {
+        self.mx_addrs.get(&ip).copied()
+    }
+
+    /// A copy of the whole simulated-IP → socket map for MX endpoints.
+    /// Plain data (`Send`), so outbound-delivery transports can carry it
+    /// onto blocking worker threads without borrowing the server handles.
+    pub fn mx_addr_map(&self) -> HashMap<Ipv4Addr, SocketAddr> {
+        self.mx_addrs.clone()
+    }
+
     /// Stops every server.
     pub async fn shutdown(mut self) {
         if let Some(dns) = self.dns_server.take() {

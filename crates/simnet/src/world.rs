@@ -345,15 +345,27 @@ impl World {
         domain: &DomainName,
         now: SimInstant,
     ) -> Result<Vec<DomainName>, DnsError> {
-        if self.attack_active(AttackKind::MxRedirect, domain, now) {
-            return Ok(vec![self.attacker.lock().attacker_host().clone()]);
-        }
         Ok(self
-            .resolve(domain, RecordType::Mx, now)?
-            .mx_hosts()
+            .mx_records_with_pref(domain, now)?
             .into_iter()
             .map(|(_, host)| host)
             .collect())
+    }
+
+    /// The domain's MX hosts with their RFC 5321 preference values, sorted
+    /// ascending by `(preference, host)` — the tiered fail-over ladder the
+    /// outbound delivery pipeline walks. A forged [`AttackKind::MxRedirect`]
+    /// answer carries preference 0, so the attacker's relay outranks every
+    /// legitimate tier exactly as a real forged answer would.
+    pub fn mx_records_with_pref(
+        &self,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> Result<Vec<(u16, DomainName)>, DnsError> {
+        if self.attack_active(AttackKind::MxRedirect, domain, now) {
+            return Ok(vec![(0, self.attacker.lock().attacker_host().clone())]);
+        }
+        Ok(self.resolve(domain, RecordType::Mx, now)?.mx_hosts())
     }
 }
 

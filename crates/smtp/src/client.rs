@@ -14,7 +14,7 @@ use crate::types::{Capability, Envelope, ReplyCode, SmtpError};
 use netbase::{DomainName, SimInstant};
 use pkix::{validate_chain, CertError, SimCert, TrustStore};
 use tlssim::{client_handshake, ClientConfig};
-use tokio::io::{AsyncBufReadExt, AsyncRead, AsyncWrite, AsyncWriteExt, BufReader};
+use tokio::io::{AsyncRead, AsyncWrite, AsyncWriteExt, BufReader};
 
 /// TLS enforcement levels for [`deliver`].
 #[derive(Debug, Clone)]
@@ -76,33 +76,98 @@ impl ProbeResult {
     }
 }
 
+/// Longest reply line the client accepts, in octets before the
+/// terminator (RFC 5321 §4.5.3.1.5 specifies 512 including CRLF; hostile
+/// peers get no slack beyond that).
+pub const MAX_REPLY_LINE_LEN: usize = 512;
+
+/// Most continuation lines one reply may carry. Real EHLO responses top
+/// out at a couple dozen capability lines; a `250-`-forever peer is an
+/// attack on the client's memory and patience, not a mail server.
+pub const MAX_REPLY_LINES: usize = 64;
+
+/// Reads one line without the unbounded buffering of `read_line`: bytes
+/// accumulate through the `BufReader` until `\n`, and the read aborts
+/// with [`SmtpError::ReplyLineTooLong`] the moment the cap is crossed —
+/// a peer streaming an endless line cannot grow the buffer past it.
+async fn read_bounded_line<S: AsyncRead + Unpin>(
+    reader: &mut BufReader<S>,
+) -> Result<String, SmtpError> {
+    use std::pin::Pin;
+    use tokio::io::AsyncBufRead;
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, finished) = {
+            let available = std::future::poll_fn(|cx| {
+                Pin::new(&mut *reader)
+                    .poll_fill_buf(cx)
+                    .map(|r| r.map(Vec::from))
+            })
+            .await?;
+            if available.is_empty() {
+                return Err(SmtpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                )));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&available[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(&available);
+                    (available.len(), false)
+                }
+            }
+        };
+        Pin::new(&mut *reader).consume(consumed);
+        if line.len() > MAX_REPLY_LINE_LEN {
+            return Err(SmtpError::ReplyLineTooLong {
+                limit: MAX_REPLY_LINE_LEN,
+            });
+        }
+        if finished {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|e| SmtpError::Malformed(format!("non-UTF-8 reply: {e}")));
+        }
+    }
+}
+
 /// Reads one (possibly multi-line) SMTP reply.
-async fn read_reply<S: AsyncRead + Unpin>(
+///
+/// Hostility bounds: each line is capped at [`MAX_REPLY_LINE_LEN`] octets
+/// and a multiline reply at [`MAX_REPLY_LINES`] lines; crossing either
+/// cap yields a typed [`SmtpError`] instead of an unbounded read. Public
+/// so the hostile-bytes test suite can drive it directly.
+pub async fn read_reply<S: AsyncRead + Unpin>(
     reader: &mut BufReader<S>,
 ) -> Result<(ReplyCode, Vec<String>), SmtpError> {
     let mut lines = Vec::new();
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).await?;
-        if n == 0 {
-            return Err(SmtpError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-reply",
-            )));
-        }
-        let line = line.trim_end_matches(['\r', '\n']).to_string();
+        let line = read_bounded_line(reader).await?;
         if line.len() < 3 {
             return Err(SmtpError::Malformed(line));
         }
-        let code: u16 = line[..3]
-            .parse()
-            .map_err(|_| SmtpError::Malformed(line.clone()))?;
+        // `get` (not a direct slice): a multibyte char straddling byte 3
+        // must surface as Malformed, not a char-boundary panic.
+        let code: u16 = line
+            .get(..3)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SmtpError::Malformed(line.clone()))?;
         let more = line.as_bytes().get(3) == Some(&b'-');
         let text = line.get(4..).unwrap_or("").to_string();
         lines.push(text);
-        let _ = code;
         if !more {
             return Ok((ReplyCode(code), lines));
+        }
+        if lines.len() >= MAX_REPLY_LINES {
+            return Err(SmtpError::TooManyReplyLines {
+                limit: MAX_REPLY_LINES,
+            });
         }
     }
 }

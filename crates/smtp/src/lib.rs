@@ -20,6 +20,9 @@ pub mod client;
 pub mod server;
 pub mod types;
 
-pub use client::{deliver, probe_mx, DeliveryOutcome, ProbeConfig, ProbeResult, TlsPolicy};
+pub use client::{
+    deliver, probe_mx, read_reply, DeliveryOutcome, ProbeConfig, ProbeResult, TlsPolicy,
+    MAX_REPLY_LINES, MAX_REPLY_LINE_LEN,
+};
 pub use server::{serve_connection, MxBehavior, MxConfig, MxServer};
 pub use types::{Capability, Envelope, ReplyCode, SmtpError};

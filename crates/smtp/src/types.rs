@@ -151,6 +151,19 @@ pub enum SmtpError {
     },
     /// The server's reply could not be parsed.
     Malformed(String),
+    /// A reply line exceeded the client's length cap before a terminator
+    /// arrived (hostile or broken peer; RFC 5321 §4.5.3.1.5 caps reply
+    /// lines at 512 octets).
+    ReplyLineTooLong {
+        /// The enforced cap, in octets.
+        limit: usize,
+    },
+    /// A multiline reply kept continuing past the client's line-count cap
+    /// (a `250-`-forever peer would otherwise pin the client reading).
+    TooManyReplyLines {
+        /// The enforced cap.
+        limit: usize,
+    },
     /// STARTTLS was required by the client's policy but not offered.
     StartTlsNotOffered,
     /// The TLS upgrade failed.
@@ -167,6 +180,12 @@ impl fmt::Display for SmtpError {
                 write!(f, "unexpected {code} during {phase}: {text}")
             }
             SmtpError::Malformed(l) => write!(f, "malformed reply: {l:?}"),
+            SmtpError::ReplyLineTooLong { limit } => {
+                write!(f, "reply line exceeded {limit} octets")
+            }
+            SmtpError::TooManyReplyLines { limit } => {
+                write!(f, "multiline reply exceeded {limit} lines")
+            }
             SmtpError::StartTlsNotOffered => write!(f, "STARTTLS not offered"),
             SmtpError::Tls(e) => write!(f, "starttls upgrade failed: {e}"),
             SmtpError::Cert(e) => write!(f, "certificate validation failed: {e}"),

@@ -238,3 +238,163 @@ proptest! {
         let _ = mtasts::evaluate_record_set(&set);
     }
 }
+
+// ---- SMTP reply parsing under hostile peers --------------------------
+//
+// The outbound delivery pipeline points `smtp::read_reply` at arbitrary
+// remote MTAs; a hostile peer must not be able to pin the client in an
+// unbounded read (an endless reply line, a `250-`-forever multiline) or
+// panic it with non-ASCII garbage. Every bound violation surfaces as a
+// *typed* `SmtpError`.
+
+use smtp::{read_reply, SmtpError, MAX_REPLY_LINES, MAX_REPLY_LINE_LEN};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use tokio::io::{AsyncRead, BufReader, ReadBuf};
+
+/// A peer producing a fixed byte stream, then EOF.
+struct Feed {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Feed {
+    fn new(data: impl Into<Vec<u8>>) -> Feed {
+        Feed {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsyncRead for Feed {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let this = self.get_mut();
+        let n = buf.remaining().min(this.data.len() - this.pos);
+        buf.put_slice(&this.data[this.pos..this.pos + n]);
+        this.pos += n;
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// A peer that streams one line forever — no newline, no EOF.
+struct EndlessLine;
+
+impl AsyncRead for EndlessLine {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let n = buf.remaining();
+        buf.put_slice(&vec![b'A'; n]);
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// A peer that answers `250-more` forever.
+struct EndlessMultiline {
+    line: Vec<u8>,
+    pos: usize,
+}
+
+impl EndlessMultiline {
+    fn new() -> EndlessMultiline {
+        EndlessMultiline {
+            line: b"250-and another thing\r\n".to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsyncRead for EndlessMultiline {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let this = self.get_mut();
+        while buf.remaining() > 0 {
+            let n = buf.remaining().min(this.line.len() - this.pos);
+            buf.put_slice(&this.line[this.pos..this.pos + n]);
+            this.pos = (this.pos + n) % this.line.len();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+fn read_from<R: AsyncRead + Unpin>(peer: R) -> Result<(smtp::ReplyCode, Vec<String>), SmtpError> {
+    tokio::runtime::block_on(async move {
+        let mut reader = BufReader::new(peer);
+        read_reply(&mut reader).await
+    })
+}
+
+#[test]
+fn endless_reply_line_is_cut_at_the_cap() {
+    match read_from(EndlessLine) {
+        Err(SmtpError::ReplyLineTooLong { limit }) => assert_eq!(limit, MAX_REPLY_LINE_LEN),
+        other => panic!("endless line must hit the length cap, got {other:?}"),
+    }
+}
+
+#[test]
+fn endless_multiline_reply_is_cut_at_the_line_cap() {
+    match read_from(EndlessMultiline::new()) {
+        Err(SmtpError::TooManyReplyLines { limit }) => assert_eq!(limit, MAX_REPLY_LINES),
+        other => panic!("250- forever must hit the line cap, got {other:?}"),
+    }
+}
+
+#[test]
+fn reply_line_at_exactly_the_cap_still_parses() {
+    // RFC 5321's 512-octet limit includes the CRLF.
+    let mut line = b"250 ".to_vec();
+    line.resize(MAX_REPLY_LINE_LEN - 2, b'x');
+    line.extend_from_slice(b"\r\n");
+    let (code, lines) = read_from(Feed::new(line)).expect("cap-length line is legal");
+    assert_eq!(code, smtp::ReplyCode::OK);
+    assert_eq!(lines.len(), 1);
+}
+
+#[test]
+fn truncated_reply_surfaces_eof_not_hang() {
+    for bytes in [&b"250"[..], b"250-only half a multi\r\n", b"2"] {
+        match read_from(Feed::new(bytes)) {
+            Err(SmtpError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("{bytes:?}: truncation must be UnexpectedEof, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn multibyte_reply_code_is_malformed_not_a_panic() {
+    // 'ä' is two octets; byte 3 falls inside it. The old `line[..3]`
+    // slice panicked on the char boundary.
+    for hostile in ["ä50 hello\r\n", "2ä0 hi\r\n", "αβγ nope\r\n"] {
+        match read_from(Feed::new(hostile.as_bytes())) {
+            Err(SmtpError::Malformed(_)) => {}
+            other => panic!("{hostile:?} must be Malformed, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    /// `read_reply` is total over arbitrary byte soup: some typed error
+    /// or a well-formed reply, never a panic or hang.
+    #[test]
+    fn smtp_reply_reader_total_over_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok((_code, lines)) = read_from(Feed::new(bytes)) {
+            prop_assert!(lines.len() <= MAX_REPLY_LINES);
+            for line in &lines {
+                prop_assert!(line.len() <= MAX_REPLY_LINE_LEN + 4);
+            }
+        }
+    }
+}

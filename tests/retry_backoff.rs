@@ -172,3 +172,106 @@ proptest! {
         prop_assert_eq!(out.finished_at, start + p.attempt_timeout);
     }
 }
+
+// ---- attempt_schedule: the uncut retry ladder ------------------------
+//
+// The outbound delivery queue sizes its retry windows from
+// `RetryPolicy::attempt_schedule`; the contract is monotone
+// non-decreasing instants that *saturate* instead of overflowing, for
+// any multiplier/cap combination a config file could throw at it.
+
+use netbase::SimInstant;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One instant per attempt, starting at `start`, monotone
+    /// non-decreasing, and consistent with `backoff_delays`: each step
+    /// is exactly one attempt_timeout plus the published delay (when
+    /// nothing saturates).
+    #[test]
+    fn schedule_is_monotone_and_tracks_delays(
+        seed in any::<u64>(),
+        max_attempts in 1u32..10,
+        initial in 1i64..3600,
+        multiplier in 1u32..16,
+        cap in 1i64..86_400,
+        jitter_pct in 0u32..100,
+        timeout in 1i64..300,
+    ) {
+        let p = policy(max_attempts, initial, multiplier, cap, jitter_pct, timeout, 1_000_000);
+        let rng = DetRng::new(seed);
+        let start = SimDate::ymd(2024, 9, 29).at_midnight();
+        let schedule = p.attempt_schedule(&rng, "mx/mx1.example.com", start);
+        prop_assert_eq!(schedule.len(), max_attempts as usize);
+        prop_assert_eq!(schedule[0], start);
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        let delays = p.backoff_delays(&rng, "mx/mx1.example.com");
+        for (i, pair) in schedule.windows(2).enumerate() {
+            let expect = pair[0].unix_secs() + timeout + delays[i].as_secs();
+            prop_assert_eq!(pair[1].unix_secs(), expect);
+        }
+    }
+
+    /// Extreme multiplier/cap/timeout combinations saturate at the
+    /// horizon while staying monotone — never a wrapped (negative or
+    /// decreasing) instant.
+    #[test]
+    fn schedule_saturates_at_extremes(
+        seed in any::<u64>(),
+        max_attempts in 2u32..12,
+        multiplier in proptest::prop_oneof![Just(u32::MAX), Just(u32::MAX / 2), Just(1_000_000u32)],
+        timeout in proptest::prop_oneof![Just(i64::MAX / 2), Just(i64::MAX / 4), Just(i64::MAX)],
+    ) {
+        let p = RetryPolicy {
+            max_attempts,
+            initial_backoff: Duration::seconds(i64::MAX / 2),
+            multiplier,
+            max_backoff: Duration::seconds(i64::MAX),
+            jitter: 1.0,
+            attempt_timeout: Duration::seconds(timeout),
+            total_deadline: Duration::seconds(i64::MAX),
+        };
+        let rng = DetRng::new(seed);
+        let start = SimDate::ymd(2024, 9, 29).at_midnight();
+        let schedule = p.attempt_schedule(&rng, "record", start);
+        prop_assert_eq!(schedule.len(), max_attempts as usize);
+        prop_assert_eq!(schedule[0], start);
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "wrapped: {:?} -> {:?}", pair[0], pair[1]);
+        }
+        // Every delay is at least `initial_backoff` (jitter only inflates),
+        // so with timeout >= i64::MAX / 2 the very first step overshoots
+        // the horizon and pins there. With timeout = i64::MAX / 4 the
+        // second attempt may legitimately land below the horizon
+        // (~3/4 * i64::MAX), but the step after it must pin.
+        let horizon = SimInstant::from_unix_secs(i64::MAX);
+        let pinned_from = if timeout >= i64::MAX / 2 { 1 } else { 2 };
+        for at in schedule.iter().skip(pinned_from) {
+            prop_assert_eq!(*at, horizon);
+        }
+        // Nothing ever wraps negative or precedes the start.
+        for at in &schedule {
+            prop_assert!(*at >= start);
+        }
+    }
+
+    /// A start near the representable edge cannot overflow either.
+    #[test]
+    fn schedule_saturates_from_a_late_start(
+        seed in any::<u64>(),
+        max_attempts in 1u32..8,
+        offset in 0i64..1000,
+    ) {
+        let p = policy(max_attempts, 60, 2, 3600, 50, 30, 1_000_000);
+        let rng = DetRng::new(seed);
+        let start = SimInstant::from_unix_secs(i64::MAX - offset);
+        let schedule = p.attempt_schedule(&rng, "policy", start);
+        prop_assert_eq!(schedule[0], start);
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+}
