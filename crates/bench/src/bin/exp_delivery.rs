@@ -1,18 +1,30 @@
 //! Outbound delivery pipeline under the degraded-MX chaos matrix
-//! (EXPERIMENTS.md, DESIGN.md "Delivery pipeline").
+//! (EXPERIMENTS.md, DESIGN.md "Delivery pipeline" / "Policy enforcement
+//! in the queue").
 //!
 //! Drains the same queue load through five failure shapes — healthy
 //! baseline, one hard-down primary, a flapping primary, a full
 //! preference-tier outage, and probabilistic greylisting — and records
 //! sustained throughput (messages/second of simulated queue drained,
-//! wall clock) plus the typed bounce/retry accounting for each. Two
-//! invariants are asserted on every run, not just measured:
+//! wall clock) plus the typed bounce/retry accounting for each. On top
+//! of that, an **attack matrix** runs the window-based adversaries
+//! (STARTTLS stripping, forged-MX redirection, policy-host outage)
+//! against domains publishing MTA-STS in `enforce`, `testing` and
+//! `none` modes with queue-side enforcement switched on, and *asserts*
+//! the containment the protocol promises:
 //!
 //! - **fail-over completeness**: with any single MX down (and with the
 //!   whole primary tier down) every message still delivers via a
 //!   surviving rung, with bounded retry amplification;
+//! - **enforce-mode containment**: zero intercepted deliveries for
+//!   covered domains under stripping and redirection — attacked
+//!   attempts are refused and recover via post-window retries;
+//! - **testing-mode accounting**: mail still flows during the attack,
+//!   but every downgraded session lands in the RFC 8460 TLSRPT ledger;
+//! - **stale-cache resilience**: a policy-host outage with a warm TOFU
+//!   cache causes zero policy bounces (RFC 8461 §3.3);
 //! - **determinism**: the per-recipient ledger digest is byte-identical
-//!   at 1 and 8 worker threads.
+//!   at 1 and 8 worker threads, enforcement included.
 //!
 //! Results land in `BENCH_delivery.json` at the repo root.
 //!
@@ -20,9 +32,13 @@
 //! cargo run --release -p mtasts-bench --bin exp_delivery
 //! ```
 
+use mtasts::Mode;
 use netbase::SimInstant;
-use sender::scenario::{build, Degradation, Scenario, ScenarioSpec};
-use sender::{ledger_digest, DeliveryQueue, FastTransport, QueueConfig, QueueStats};
+use sender::scenario::{build, Degradation, Scenario, ScenarioSpec, StsDeployment};
+use sender::{
+    ledger_digest, DeliveryQueue, EnforcementConfig, FastTransport, QueueConfig, QueueOutcome,
+    QueueStats,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -32,21 +48,23 @@ fn spec(seed: u64, scale: f64, degradation: Degradation) -> ScenarioSpec {
         domains: ((64.0 * scale) as usize).max(2),
         messages_per_domain: ((256.0 * scale) as usize).max(4),
         degradation,
+        sts: StsDeployment::None,
         epoch: SimInstant::from_unix_secs(1_717_200_000),
     }
 }
 
-fn queue_cfg(seed: u64, threads: usize) -> QueueConfig {
+fn queue_cfg(seed: u64, threads: usize, enforce: bool) -> QueueConfig {
     QueueConfig {
         seed,
         threads,
+        enforcement: enforce.then(EnforcementConfig::default),
         ..QueueConfig::default()
     }
 }
 
 #[derive(Serialize)]
 struct ScenarioReport {
-    scenario: &'static str,
+    scenario: String,
     messages: usize,
     wall_secs: f64,
     msgs_per_sec: f64,
@@ -66,19 +84,38 @@ struct BenchReport {
     notes: &'static str,
 }
 
-fn run_one(seed: u64, threads: usize, s: &Scenario) -> (ScenarioReport, QueueStats) {
-    let key = s.spec.degradation.key();
+/// Scenario key: degradation, suffixed with the STS deployment shape
+/// when one is published (`starttls_strip_enforce`, …).
+fn scenario_key(s: &Scenario) -> String {
+    match s.spec.sts {
+        StsDeployment::None => s.spec.degradation.key().to_string(),
+        StsDeployment::Published { .. } => {
+            format!("{}_{}", s.spec.degradation.key(), s.spec.sts.key())
+        }
+    }
+}
+
+fn run_one(
+    seed: u64,
+    threads: usize,
+    s: &Scenario,
+    enforce: bool,
+) -> (ScenarioReport, QueueOutcome) {
+    let key = scenario_key(s);
     let transport = FastTransport::new(&s.world);
 
     // Timed run at the requested thread count.
     let start = Instant::now();
-    let outcome = DeliveryQueue::new(queue_cfg(seed, threads)).run(&transport, &s.messages);
+    let outcome =
+        DeliveryQueue::new(queue_cfg(seed, threads, enforce)).run(&transport, &s.messages);
     let wall_secs = start.elapsed().as_secs_f64();
     let digest = ledger_digest(&outcome.records);
 
-    // Determinism witness: 1 and 8 workers must produce the same ledger.
-    let single = DeliveryQueue::new(queue_cfg(seed, 1)).run(&transport, &s.messages);
-    let eight = DeliveryQueue::new(queue_cfg(seed, 8)).run(&transport, &s.messages);
+    // Determinism witness: 1 and 8 workers must produce the same ledger
+    // (with enforcement on, this also pins the per-wave policy
+    // resolution order and the TOFU cache evolution).
+    let single = DeliveryQueue::new(queue_cfg(seed, 1, enforce)).run(&transport, &s.messages);
+    let eight = DeliveryQueue::new(queue_cfg(seed, 8, enforce)).run(&transport, &s.messages);
     let digest_match =
         ledger_digest(&single.records) == digest && ledger_digest(&eight.records) == digest;
     assert!(
@@ -97,7 +134,19 @@ fn run_one(seed: u64, threads: usize, s: &Scenario) -> (ScenarioReport, QueueSta
         digest_match_across_threads: digest_match,
         stats: outcome.stats,
     };
-    (report, outcome.stats)
+    (report, outcome)
+}
+
+/// Total TLSRPT failure sessions across every recipient domain.
+fn tlsrpt_failures(outcome: &QueueOutcome) -> u64 {
+    let day = netbase::SimDate::ymd(2024, 6, 1);
+    outcome
+        .tlsrpt
+        .build("bench", "tlsrpt@sender.test", day)
+        .policies
+        .iter()
+        .map(|p| p.total_failure)
+        .sum()
 }
 
 fn main() {
@@ -105,7 +154,7 @@ fn main() {
     let threads = scanner::default_scan_threads();
     eprintln!("# threads: {threads}");
 
-    let matrix = [
+    let baseline_matrix = [
         Degradation::None,
         Degradation::OneMxDown,
         Degradation::FlappingMx {
@@ -119,12 +168,13 @@ fn main() {
 
     let mut scenarios = Vec::new();
     println!(
-        "{:<12} {:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}",
+        "{:<28} {:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}",
         "scenario", "msgs", "wall", "msgs/sec", "deliv%", "failover", "requeue", "bounced"
     );
-    for degradation in matrix {
+    for degradation in baseline_matrix {
         let s = build(spec(config.seed, config.scale, degradation));
-        let (report, stats) = run_one(config.seed, threads, &s);
+        let (report, outcome) = run_one(config.seed, threads, &s, false);
+        let stats = &outcome.stats;
         let n = s.messages.len() as u64;
 
         // Acceptance asserts, per scenario class.
@@ -150,28 +200,108 @@ fn main() {
                 assert_eq!(stats.bounced_permanent, 0, "greylist never 5xx-bounces");
                 assert_eq!(stats.delivered + stats.bounced_exhausted, n);
             }
+            _ => unreachable!("attack degradations run in the attack matrix"),
         }
-        // Bounded amplification: never more attempts than the retry cap
-        // allows, per message.
-        let cap = QueueConfig::default().retry.max_attempts as u64;
-        assert!(
-            stats.attempts <= n * cap,
-            "{}: retry amplification exceeds the per-message cap",
-            degradation.key()
-        );
+        finish_row(&mut scenarios, report, stats, n);
+    }
 
-        println!(
-            "{:<12} {:>8} {:>9.3}s {:>12.0} {:>8.1}% {:>9} {:>9} {:>8}",
-            report.scenario,
-            report.messages,
-            report.wall_secs,
-            report.msgs_per_sec,
-            report.delivered_pct,
-            stats.failovers,
-            stats.requeues,
-            stats.bounced_permanent + stats.bounced_exhausted + stats.bounced_unroutable,
-        );
-        scenarios.push(report);
+    // ---- Attack matrix: window adversaries vs published policy modes.
+    //
+    // Windows open at +300 s and last 600 s: early waves resolve every
+    // domain's policy first (warm covered TOFU cache), the window bites
+    // mid-drain, and the retry ladder (+60/+300/+1260 s) outlasts it, so
+    // enforce-mode refusals recover instead of bouncing.
+    let strip = Degradation::StartTlsStrip {
+        delay_secs: 300,
+        duration_secs: 600,
+    };
+    let redirect = Degradation::MxRedirect {
+        delay_secs: 300,
+        duration_secs: 600,
+    };
+    // The outage window opens only after every domain's first message has
+    // been admitted (first-touch resolution warms the cache), scaling
+    // with the domain count.
+    let base = spec(config.seed, config.scale, Degradation::None);
+    let outage = Degradation::PolicyHostOutage {
+        delay_secs: base.domains as i64 * QueueConfig::default().admission_spacing_secs + 60,
+        duration_secs: 3_600,
+    };
+
+    let attack_matrix = [
+        (strip, Some(Mode::Enforce)),
+        (strip, Some(Mode::Testing)),
+        (strip, Some(Mode::None)),
+        (redirect, Some(Mode::Enforce)),
+        (redirect, Some(Mode::Testing)),
+        (redirect, None),
+        (outage, Some(Mode::Enforce)),
+    ];
+
+    for (degradation, mode) in attack_matrix {
+        let mut sp = spec(config.seed, config.scale, degradation);
+        if let Some(mode) = mode {
+            sp = sp.with_sts(mode);
+        }
+        let s = build(sp);
+        let (report, outcome) = run_one(config.seed, threads, &s, true);
+        let stats = &outcome.stats;
+        let n = s.messages.len() as u64;
+        let key = scenario_key(&s);
+
+        match (degradation, mode) {
+            // Containment: covered enforce-mode domains lose *nothing* to
+            // the attacker — no interception, no policy bounce, and every
+            // message eventually lands once the window closes.
+            (Degradation::StartTlsStrip { .. }, Some(Mode::Enforce))
+            | (Degradation::MxRedirect { .. }, Some(Mode::Enforce)) => {
+                assert_eq!(
+                    stats.delivered, n,
+                    "{key}: enforce must recover post-window"
+                );
+                assert_eq!(
+                    stats.intercepted, 0,
+                    "{key}: enforce leaked to the attacker"
+                );
+                assert_eq!(
+                    stats.bounced_policy, 0,
+                    "{key}: window shorter than retry span"
+                );
+            }
+            // Testing mode keeps delivering through the attack (that is
+            // the point of the mode) but every downgraded session must be
+            // visible: soft-fail accounting plus TLSRPT failure sessions.
+            (_, Some(Mode::Testing)) => {
+                assert_eq!(stats.delivered, n, "{key}: testing never blocks mail");
+                assert!(
+                    stats.intercepted > 0,
+                    "{key}: window saw no attacked delivery"
+                );
+                assert!(stats.soft_fails > 0, "{key}: soft failures unaccounted");
+                assert!(
+                    tlsrpt_failures(&outcome) > 0,
+                    "{key}: downgrades missing from TLSRPT"
+                );
+            }
+            // Mode `none` / no policy: the attack succeeds silently —
+            // the undefended baseline the enforce rows are measured
+            // against.
+            (Degradation::StartTlsStrip { .. }, Some(Mode::None))
+            | (Degradation::MxRedirect { .. }, None) => {
+                assert_eq!(stats.delivered, n, "{key}: undefended mail still flows");
+                assert!(stats.intercepted > 0, "{key}: attack window had no effect");
+            }
+            // Policy-host outage with a warm cache: RFC 8461 §3.3 keeps
+            // enforcement alive on cached policies — zero policy bounces
+            // and nothing for an attacker to exploit.
+            (Degradation::PolicyHostOutage { .. }, _) => {
+                assert_eq!(stats.delivered, n, "{key}: outage must not lose mail");
+                assert_eq!(stats.bounced_policy, 0, "{key}: stale fallback failed");
+                assert_eq!(stats.intercepted, 0, "{key}");
+            }
+            _ => unreachable!("unexpected attack-matrix row {key}"),
+        }
+        finish_row(&mut scenarios, report, stats, n);
     }
 
     let out = BenchReport {
@@ -181,7 +311,9 @@ fn main() {
         threads,
         scenarios,
         notes: "fast-path queue over the simulated world; ledgers asserted \
-                byte-identical at 1 and 8 workers before timing is reported",
+                byte-identical at 1 and 8 workers before timing is reported; \
+                attack rows run with queue-side MTA-STS enforcement on and \
+                assert containment (see module docs)",
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delivery.json");
     std::fs::write(
@@ -190,4 +322,34 @@ fn main() {
     )
     .expect("write BENCH_delivery.json");
     eprintln!("# wrote BENCH_delivery.json");
+}
+
+/// Shared per-row epilogue: bounded-amplification assert + table line.
+fn finish_row(
+    scenarios: &mut Vec<ScenarioReport>,
+    report: ScenarioReport,
+    stats: &QueueStats,
+    n: u64,
+) {
+    let cap = QueueConfig::default().retry.max_attempts as u64;
+    assert!(
+        stats.attempts <= n * cap,
+        "{}: retry amplification exceeds the per-message cap",
+        report.scenario
+    );
+    println!(
+        "{:<28} {:>8} {:>9.3}s {:>12.0} {:>8.1}% {:>9} {:>9} {:>8}",
+        report.scenario,
+        report.messages,
+        report.wall_secs,
+        report.msgs_per_sec,
+        report.delivered_pct,
+        stats.failovers,
+        stats.requeues,
+        stats.bounced_permanent
+            + stats.bounced_exhausted
+            + stats.bounced_unroutable
+            + stats.bounced_policy,
+    );
+    scenarios.push(report);
 }

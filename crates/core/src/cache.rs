@@ -172,6 +172,30 @@ impl PolicyCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.fetches)
     }
+
+    /// A serializable snapshot of every entry, sorted by domain so the
+    /// bytes are canonical (checkpoint digests depend on it). Counters
+    /// are deliberately excluded: they are run-local instrumentation,
+    /// not protocol state.
+    pub fn snapshot(&self) -> Vec<(DomainName, CachedPolicy)> {
+        let mut entries: Vec<(DomainName, CachedPolicy)> = self
+            .entries
+            .iter()
+            .map(|(d, e)| (d.clone(), e.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Rebuilds a cache from a [`snapshot`](PolicyCache::snapshot).
+    /// Duplicate domains keep the last entry; counters start at zero.
+    pub fn from_snapshot(entries: Vec<(DomainName, CachedPolicy)>) -> PolicyCache {
+        PolicyCache {
+            entries: entries.into_iter().collect(),
+            hits: 0,
+            fetches: 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,12 @@ pub enum StsFailure {
     StartTlsUnavailable,
     /// The MX certificate failed PKIX validation.
     CertInvalid(CertError),
+    /// DANE governed the attempt (TLSA records present, RFC 7672
+    /// precedence) and the presented chain failed DANE validation.
+    DaneInvalid {
+        /// The DANE validation error, rendered.
+        reason: String,
+    },
 }
 
 impl StsFailure {
@@ -36,6 +42,7 @@ impl StsFailure {
             StsFailure::MxNotListed => "mx-not-listed",
             StsFailure::StartTlsUnavailable => "starttls-unavailable",
             StsFailure::CertInvalid(_) => "cert-invalid",
+            StsFailure::DaneInvalid { .. } => "dane-invalid",
         }
     }
 }

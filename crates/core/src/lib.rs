@@ -36,7 +36,7 @@ pub mod removal;
 pub mod tlsrpt;
 pub mod tlsrpt_report;
 
-pub use cache::{CachedPolicy, PolicyCache};
+pub use cache::{CacheDecision, CachedPolicy, PolicyCache, RefreshReason};
 pub use engine::{DeliveryObservation, SenderAction, SenderEngine, StsFailure, StsOutcome};
 pub use matching::{
     classify_mismatch, classify_policy_mismatches, mx_matches_policy, MismatchKind,

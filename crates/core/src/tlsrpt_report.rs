@@ -75,6 +75,9 @@ impl ResultType {
                     }
                     _ => ResultType::StsWebpkiInvalid,
                 },
+                // DANE failures have no dedicated RFC 8460 result type;
+                // they land in the generic validation bucket.
+                StsFailure::DaneInvalid { .. } => ResultType::ValidationFailure,
             }),
         }
     }
@@ -137,13 +140,13 @@ pub struct TlsReport {
 }
 
 /// Aggregates one day's delivery outcomes into per-domain reports.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReportBuilder {
     /// (domain → (successes, failures by (type, mx))).
     domains: BTreeMap<DomainName, DomainTally>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct DomainTally {
     successes: u64,
     failures: BTreeMap<(ResultType, String), u64>,

@@ -27,12 +27,17 @@
 //! - [`pipeline`]: the deterministic wave-based message queue with
 //!   per-recipient envelope status, multi-MX fail-over, typed
 //!   4xx-requeue / 5xx-bounce classification, and checkpoint/resume;
+//! - [`enforce`]: MTA-STS enforcement *inside* the queue — per-(domain,
+//!   wave) policy resolution through the TOFU cache with RFC 8461 §3.3
+//!   stale fallback, typed per-attempt TLS requirements, and DANE
+//!   precedence (RFC 7672);
 //! - [`scenario`]: the degraded-MX chaos worlds (hard-down, flapping,
 //!   tier outage, greylisting) shared by tests, bench, and example.
 
 pub mod analysis;
 pub mod breaker;
 pub mod delivery;
+pub mod enforce;
 pub mod mx_select;
 pub mod pipeline;
 pub mod platform;
@@ -42,11 +47,15 @@ pub mod scenario;
 pub use analysis::{analyze, SenderStats};
 pub use breaker::{Admission, BreakerBoard, BreakerConfig, BreakerState, HostEvent};
 pub use delivery::{DeliveryConfig, DeliveryEngine, DeliveryPhase, DeliveryRecord, DeliveryStats};
-pub use mx_select::{implicit_mx, mx_ladder, MxCandidate};
+pub use enforce::{
+    resolve_domain, EnforcementConfig, ResolvedPolicy, StsApplication, TlsEvidence, TlsRequirement,
+    WavePolicies,
+};
+pub use mx_select::{filter_ladder_for_policy, implicit_mx, mx_ladder, MxCandidate};
 pub use pipeline::{
     ledger_digest, AttemptDisposition, BounceReason, DeliveryQueue, FastTransport, MessageRecord,
     MessageStatus, MxTransport, QueueConfig, QueueOutcome, QueueStats, QueuedMessage,
 };
 pub use platform::{Platform, TestCase, TestRecord};
 pub use profile::{SenderPopulation, SenderProfile, TlsSupport};
-pub use scenario::{Degradation, Scenario, ScenarioSpec};
+pub use scenario::{Degradation, Scenario, ScenarioSpec, StsDeployment};

@@ -50,8 +50,24 @@ pub fn mx_ladder(
             )
         })
         .collect();
-    keyed.sort_by(|a, b| (a.0, a.1, a.2.host.to_string()).cmp(&(b.0, b.1, b.2.host.to_string())));
+    keyed.sort_by_key(|a| (a.0, a.1, a.2.host.to_string()));
     keyed.into_iter().map(|(_, _, c)| c).collect()
+}
+
+/// Filters an `enforce`-mode ladder through the policy's `mx` patterns
+/// *before* fail-over (RFC 8461 §5.1): rungs matching no pattern are
+/// removed so they are never even attempted — except rungs for which
+/// `dane_covered` returns true, because usable TLSA records take
+/// precedence over MTA-STS (RFC 7672 semantics; the kumomta egress
+/// rule). Returns how many rungs were filtered out.
+pub fn filter_ladder_for_policy(
+    ladder: &mut Vec<MxCandidate>,
+    policy: &mtasts::Policy,
+    mut dane_covered: impl FnMut(&DomainName) -> bool,
+) -> u32 {
+    let before = ladder.len();
+    ladder.retain(|c| mtasts::mx_matches_policy(&c.host, policy) || dane_covered(&c.host));
+    (before - ladder.len()) as u32
 }
 
 /// The ladder when a domain publishes no MX records at all: RFC 5321
@@ -115,6 +131,29 @@ mod tests {
             })
             .collect();
         assert!(firsts.len() > 1, "shuffle never varied: {firsts:?}");
+    }
+
+    #[test]
+    fn ladder_filter_keeps_listed_and_dane_covered_rungs() {
+        let policy = mtasts::parse_policy(
+            "version: STSv1\r\nmode: enforce\r\nmx: *.example.com\r\nmax_age: 604800\r\n",
+        )
+        .unwrap();
+        let mut ladder = mx_ladder(
+            &DetRng::new(7),
+            &n("example.com"),
+            &[
+                (10, n("mx1.example.com")),
+                (10, n("deep.mx.example.com")), // multi-label: wildcard must NOT match
+                (20, n("relay.evil.example")),  // unlisted
+                (30, n("dane.evil.example")),   // unlisted but DANE-covered
+            ],
+        );
+        let filtered =
+            filter_ladder_for_policy(&mut ladder, &policy, |h| *h == n("dane.evil.example"));
+        assert_eq!(filtered, 2);
+        let hosts: Vec<String> = ladder.iter().map(|c| c.host.to_string()).collect();
+        assert_eq!(hosts, vec!["mx1.example.com", "dane.evil.example"]);
     }
 
     #[test]

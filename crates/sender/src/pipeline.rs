@@ -32,7 +32,12 @@
 //!   to the same ledger.
 
 use crate::breaker::{Admission, BreakerBoard, BreakerConfig, HostEvent};
-use crate::mx_select::{implicit_mx, mx_ladder, MxCandidate};
+use crate::enforce::{
+    resolve_domain, EnforcementConfig, ResolvedPolicy, StsApplication, TlsEvidence, TlsRequirement,
+    WavePolicies,
+};
+use crate::mx_select::{filter_ladder_for_policy, implicit_mx, mx_ladder, MxCandidate};
+use mtasts::{CachedPolicy, Mode, PolicyCache, ReportBuilder, StsFailure, StsOutcome};
 use netbase::AttemptEvent;
 use netbase::{map_sharded, DetRng, DomainName, Duration, RetryPolicy, RetryVerdict, SimInstant};
 use serde::{Deserialize, Serialize};
@@ -79,8 +84,8 @@ impl QueuedMessage {
 pub enum AttemptDisposition {
     /// The message was accepted.
     Delivered {
-        /// Whether the session was upgraded with STARTTLS.
-        tls_used: bool,
+        /// The TLS evidence the session produced.
+        tls: TlsEvidence,
     },
     /// Connection-level failure: refused, timeout, reset mid-dialogue.
     /// Counts against the host's circuit breaker; the ladder falls
@@ -94,6 +99,15 @@ pub enum AttemptDisposition {
         code: u16,
         /// First reply line text.
         text: String,
+    },
+    /// The *sender* aborted the session because the attempt's
+    /// [`TlsRequirement`] was unmet (no STARTTLS, bad certificate under
+    /// `RequirePkix`/`RequireDane`). The host is alive — no breaker
+    /// damage — but the rung is unusable under the governing policy;
+    /// the ladder falls through.
+    TlsRefused {
+        /// What the requirement check rejected.
+        failure: StsFailure,
     },
 }
 
@@ -109,13 +123,45 @@ pub trait MxTransport: Sync {
     fn route(&self, domain: &DomainName, now: SimInstant)
         -> Result<Vec<(u16, DomainName)>, String>;
 
-    /// One delivery attempt to one MX host.
+    /// One delivery attempt to one MX host under `tls`.
     fn attempt(
         &self,
         mx_host: &DomainName,
         message: &QueuedMessage,
         now: SimInstant,
+        tls: &TlsRequirement,
     ) -> AttemptDisposition;
+
+    /// The `_mta-sts.<domain>` TXT strings; `None` when the lookup
+    /// failed (SERVFAIL-class), `Some(vec![])` when the name does not
+    /// exist. The default — no MTA-STS anywhere — keeps policy-blind
+    /// transports (and the pre-enforcement behaviour) working unchanged.
+    fn sts_record(&self, _domain: &DomainName, _now: SimInstant) -> Option<Vec<String>> {
+        Some(Vec::new())
+    }
+
+    /// Fetches the raw policy document over strict-TLS HTTPS
+    /// (RFC 8461 §3.3). Only called when a valid record demands it.
+    fn fetch_sts_policy(&self, _domain: &DomainName, _now: SimInstant) -> Result<String, String> {
+        Err("transport has no policy source".to_string())
+    }
+
+    /// Usable TLSA records at `_25._tcp.<mx>` when the hosting zone is
+    /// DNSSEC-signed; `None` when DANE does not apply to the host.
+    fn tlsa_records(
+        &self,
+        _mx_host: &DomainName,
+        _now: SimInstant,
+    ) -> Option<Vec<dns::TlsaRecord>> {
+        None
+    }
+
+    /// Whether an active attack window touches `name` at `now` — the
+    /// simulation's omniscient interception accounting (a real MTA
+    /// cannot know this; the chaos matrix uses it to *grade* modes).
+    fn attack_touched(&self, _name: &DomainName, _now: SimInstant) -> bool {
+        false
+    }
 }
 
 /// Why a message bounced.
@@ -136,6 +182,15 @@ pub enum BounceReason {
     },
     /// The recipient address had no parseable domain; never attempted.
     Unroutable,
+    /// An `enforce`-mode MTA-STS policy (or DANE) refused every usable
+    /// rung for the whole retry schedule: the ladder was fully filtered
+    /// by the policy's `mx` patterns, or every surviving rung failed
+    /// the TLS requirement. Distinct from [`BounceReason::Unroutable`]
+    /// — the MX set existed, the *policy* forbade it.
+    PolicyRefused {
+        /// The last policy-level failure observed.
+        failure: StsFailure,
+    },
 }
 
 /// Terminal per-recipient envelope status.
@@ -147,6 +202,10 @@ pub enum MessageStatus {
         mx_host: String,
         /// Whether STARTTLS protected the session.
         tls_used: bool,
+        /// Whether the session was *validated* under the governing
+        /// requirement (PKIX under `enforce`/`testing` audit, DANE under
+        /// TLSA precedence). Always `false` without enforcement.
+        validated: bool,
     },
     /// Returned to sender.
     Bounced {
@@ -172,6 +231,20 @@ pub struct MessageRecord {
     pub failovers: u32,
     /// Rungs skipped because the host's breaker was open.
     pub breaker_skips: u32,
+    /// Rungs never used because of the governing policy: filtered out
+    /// by `enforce`-mode `mx` patterns before fail-over, or attempted
+    /// and TLS-refused.
+    pub policy_skips: u32,
+    /// What governed the terminal attempt (policy mode / DANE / none).
+    pub sts: StsApplication,
+    /// The RFC 8460 outcome this message contributes to TLSRPT; `None`
+    /// when enforcement was off, or for non-policy bounces (no TLS
+    /// session concluded, nothing to report).
+    pub sts_outcome: Option<StsOutcome>,
+    /// Simulation-omniscient grading: the message was delivered
+    /// *unvalidated* while an attack window touched its domain or the
+    /// accepting MX — mail an on-path attacker could read or take.
+    pub intercepted: bool,
     /// When the first attempt started (sim clock, unix seconds).
     pub admitted_unix_secs: i64,
     /// When the terminal status was reached (sim clock, unix seconds).
@@ -199,6 +272,8 @@ pub struct QueueStats {
     pub bounced_exhausted: u64,
     /// Bounced unroutable.
     pub bounced_unroutable: u64,
+    /// Bounced because the policy refused every usable rung.
+    pub bounced_policy: u64,
     /// Total delivery attempts.
     pub attempts: u64,
     /// Requeues (attempts beyond each message's first).
@@ -207,23 +282,55 @@ pub struct QueueStats {
     pub failovers: u64,
     /// Ladder rungs skipped by open breakers.
     pub breaker_skips: u64,
+    /// Deliveries whose session validated under the governing
+    /// requirement (PKIX or DANE).
+    pub delivered_validated: u64,
+    /// Deliveries carried by DANE precedence over MTA-STS.
+    pub delivered_dane: u64,
+    /// `testing`-mode deliveries that would have failed under `enforce`
+    /// (RFC 8461 §5: report, don't refuse).
+    pub soft_fails: u64,
+    /// Ladder rungs filtered by policy patterns or TLS-refused.
+    pub policy_ladder_skips: u64,
+    /// Wave resolutions that served a fresh-enough cached policy after
+    /// a failed or garbage refresh (RFC 8461 §3.3 stale fallback).
+    pub stale_fallbacks: u64,
+    /// Deliveries graded as intercepted (unvalidated under an active
+    /// attack window).
+    pub intercepted: u64,
 }
 
 impl QueueStats {
     fn absorb(&mut self, rec: &MessageRecord) {
         self.processed += 1;
         match &rec.status {
-            MessageStatus::Delivered { .. } => self.delivered += 1,
+            MessageStatus::Delivered { validated, .. } => {
+                self.delivered += 1;
+                if *validated {
+                    self.delivered_validated += 1;
+                }
+                if matches!(rec.sts, StsApplication::Dane) {
+                    self.delivered_dane += 1;
+                }
+                if matches!(rec.sts_outcome, Some(StsOutcome::Failed { .. })) {
+                    self.soft_fails += 1;
+                }
+            }
             MessageStatus::Bounced { reason } => match reason {
                 BounceReason::Permanent { .. } => self.bounced_permanent += 1,
                 BounceReason::RetriesExhausted { .. } => self.bounced_exhausted += 1,
                 BounceReason::Unroutable => self.bounced_unroutable += 1,
+                BounceReason::PolicyRefused { .. } => self.bounced_policy += 1,
             },
+        }
+        if rec.intercepted {
+            self.intercepted += 1;
         }
         self.attempts += u64::from(rec.attempts);
         self.requeues += u64::from(rec.attempts.saturating_sub(1));
         self.failovers += u64::from(rec.failovers);
         self.breaker_skips += u64::from(rec.breaker_skips);
+        self.policy_ladder_skips += u64::from(rec.policy_skips);
     }
 }
 
@@ -256,6 +363,9 @@ pub struct QueueConfig {
     /// many messages processed in this invocation — the kill hook the
     /// resume tests use.
     pub message_budget: Option<usize>,
+    /// MTA-STS enforcement. `None` keeps the pre-enforcement queue:
+    /// every attempt opportunistic, no policy resolution, no TLSRPT.
+    pub enforcement: Option<EnforcementConfig>,
 }
 
 impl Default for QueueConfig {
@@ -278,6 +388,7 @@ impl Default for QueueConfig {
             breaker: BreakerConfig::default(),
             checkpoint_path: None,
             message_budget: None,
+            enforcement: None,
         }
     }
 }
@@ -306,6 +417,11 @@ pub struct QueueOutcome {
     pub stats: QueueStats,
     /// Final breaker state.
     pub board: BreakerBoard,
+    /// RFC 8460 TLSRPT aggregation over the ledger (deliveries and
+    /// policy bounces). Rebuilt from `records` on every return, so it
+    /// is identical across kill/resume splits. Empty when enforcement
+    /// is off.
+    pub tlsrpt: ReportBuilder,
     /// `true` when the message budget suspended the run mid-queue; the
     /// checkpoint holds the state to resume from.
     pub suspended: bool,
@@ -341,6 +457,13 @@ struct QueueCheckpoint {
     board: BreakerBoard,
     next_index: usize,
     stats: QueueStats,
+    /// The MTA-STS policy-cache snapshot at the wave boundary, sorted
+    /// by domain. Resuming restores it, so the resumed run replays the
+    /// same cache decisions (and §3.3 fallbacks) the uninterrupted run
+    /// makes — the determinism contract with enforcement on. `default`
+    /// so pre-enforcement checkpoints still parse.
+    #[serde(default)]
+    sts_cache: Vec<(DomainName, CachedPolicy)>,
 }
 
 impl QueueCheckpoint {
@@ -394,6 +517,13 @@ struct DispatchError {
     rendered: String,
     /// Set when the failure was a concrete 5xx reply.
     permanent_reply: Option<(u16, String)>,
+    /// Set when the governing policy (not the network) blocked the
+    /// ladder: fully filtered by `mx` patterns, or every surviving rung
+    /// TLS-refused. Transient — a later retry may land outside an
+    /// attack window or after a breaker re-admission — but exhaustion
+    /// becomes [`BounceReason::PolicyRefused`] instead of the generic
+    /// retries-exhausted bounce.
+    policy_refusal: Option<StsFailure>,
 }
 
 impl DispatchError {
@@ -402,6 +532,7 @@ impl DispatchError {
             transient: true,
             rendered,
             permanent_reply: None,
+            policy_refusal: None,
         }
     }
 }
@@ -442,6 +573,9 @@ impl DeliveryQueue {
         if ckpt.next_index > messages.len() {
             ckpt = QueueCheckpoint::default();
         }
+        // The TOFU policy cache rides the checkpoint so a resumed run
+        // replays the same cache decisions the uninterrupted run makes.
+        let mut sts_cache = PolicyCache::from_snapshot(ckpt.sts_cache.clone());
         let mut index = ckpt.next_index;
         let mut processed_here = 0usize;
 
@@ -451,10 +585,12 @@ impl DeliveryQueue {
                     ckpt.next_index = index;
                     let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
                     obsv::event!("delivery.queue_suspend");
+                    let tlsrpt = fold_tlsrpt(&ckpt.records);
                     return QueueOutcome {
                         records: ckpt.records,
                         stats: ckpt.stats,
                         board: ckpt.board,
+                        tlsrpt,
                         suspended: true,
                     };
                 }
@@ -468,12 +604,29 @@ impl DeliveryQueue {
                 (((index / self.cfg.wave_size) + 1) * self.cfg.wave_size).min(messages.len());
             let batch = &messages[index..wave_end];
             let snapshot = ckpt.board.clone();
+            // Single-threaded, submission-ordered policy resolution:
+            // one resolution per (domain, wave), at the admission
+            // instant of the wave's first message for that domain, so
+            // cache state never depends on worker interleaving.
+            let wave_policies = if self.cfg.enforcement.is_some() {
+                resolve_wave(
+                    &self.cfg,
+                    &mut sts_cache,
+                    transport,
+                    batch,
+                    index as u64,
+                    &mut ckpt.stats,
+                )
+            } else {
+                WavePolicies::new()
+            };
             let mut wave_span = obsv::span!("delivery.wave");
             let results = map_sharded(threads, batch, |j, msg| {
                 process_message(
                     &self.cfg,
                     &rng,
                     &snapshot,
+                    &wave_policies,
                     transport,
                     (index + j) as u64,
                     msg,
@@ -490,19 +643,98 @@ impl DeliveryQueue {
             processed_here += batch.len();
             index = wave_end;
             ckpt.next_index = index;
+            if self.cfg.enforcement.is_some() {
+                ckpt.sts_cache = sts_cache.snapshot();
+            }
             if index < messages.len() {
                 let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
             }
         }
 
         let _ = store_checkpoint(&ckpt, &mut checkpoint_path);
+        let tlsrpt = fold_tlsrpt(&ckpt.records);
         QueueOutcome {
             records: ckpt.records,
             stats: ckpt.stats,
             board: ckpt.board,
+            tlsrpt,
             suspended: false,
         }
     }
+}
+
+/// Resolves each distinct recipient domain of a wave once, in
+/// submission order, at the admission instant of its first message.
+fn resolve_wave<T: MxTransport>(
+    cfg: &QueueConfig,
+    cache: &mut PolicyCache,
+    transport: &T,
+    batch: &[QueuedMessage],
+    base_seq: u64,
+    stats: &mut QueueStats,
+) -> WavePolicies {
+    let mut policies = WavePolicies::new();
+    for (j, msg) in batch.iter().enumerate() {
+        let Some(domain) = msg.recipient_domain() else {
+            continue;
+        };
+        if policies.contains_key(&domain) {
+            continue;
+        }
+        let now = admission_instant(cfg, base_seq + j as u64);
+        let resolved = resolve_domain(
+            cache,
+            &domain,
+            transport.sts_record(&domain, now).as_deref(),
+            || transport.fetch_sts_policy(&domain, now),
+            now,
+        );
+        if matches!(resolved, ResolvedPolicy::Active { stale: true, .. }) {
+            stats.stale_fallbacks += 1;
+            obsv::counter!("delivery.sts_stale_fallback");
+        }
+        policies.insert(domain, resolved);
+    }
+    policies
+}
+
+/// Rebuilds the RFC 8460 aggregation from the ledger: one entry per
+/// delivered message (success or typed soft failure) and per policy
+/// bounce (hard failure). Non-policy bounces concluded no TLS session
+/// and are not reported.
+fn fold_tlsrpt(records: &[MessageRecord]) -> ReportBuilder {
+    let mut builder = ReportBuilder::new();
+    for rec in records {
+        let Some(outcome) = &rec.sts_outcome else {
+            continue;
+        };
+        let Some(domain) = rec
+            .rcpt_to
+            .rsplit_once('@')
+            .and_then(|(_, d)| d.parse::<DomainName>().ok())
+        else {
+            continue;
+        };
+        let mx: DomainName = match &rec.status {
+            MessageStatus::Delivered { mx_host, .. } => {
+                mx_host.parse().unwrap_or_else(|_| domain.clone())
+            }
+            // Policy bounces report against the recipient domain — no
+            // single MX concluded the failure (the whole ladder did).
+            MessageStatus::Bounced { .. } => domain.clone(),
+        };
+        builder.record(&domain, &mx, outcome);
+    }
+    builder
+}
+
+/// When message `seq` is admitted (pure in `(cfg, seq)`).
+fn admission_instant(cfg: &QueueConfig, seq: u64) -> SimInstant {
+    SimInstant::from_unix_secs(
+        cfg.epoch
+            .unix_secs()
+            .saturating_add(cfg.admission_spacing_secs.saturating_mul(seq as i64)),
+    )
 }
 
 /// Stores the checkpoint when a path is set; the first I/O failure
@@ -527,16 +759,13 @@ fn process_message<T: MxTransport>(
     cfg: &QueueConfig,
     rng: &DetRng,
     snapshot: &BreakerBoard,
+    policies: &WavePolicies,
     transport: &T,
     seq: u64,
     message: &QueuedMessage,
 ) -> (MessageRecord, Vec<HostEvent>) {
     obsv::counter!("delivery.enqueued");
-    let admitted = SimInstant::from_unix_secs(
-        cfg.epoch
-            .unix_secs()
-            .saturating_add(cfg.admission_spacing_secs.saturating_mul(seq as i64)),
-    );
+    let admitted = admission_instant(cfg, seq);
 
     let Some(domain) = message.recipient_domain() else {
         obsv::counter!("delivery.bounced");
@@ -550,15 +779,23 @@ fn process_message<T: MxTransport>(
             attempts: 0,
             failovers: 0,
             breaker_skips: 0,
+            policy_skips: 0,
+            sts: StsApplication::None,
+            sts_outcome: None,
+            intercepted: false,
             admitted_unix_secs: admitted.unix_secs(),
             finished_unix_secs: admitted.unix_secs(),
         };
         return (record, Vec::new());
     };
 
+    let enforcement = cfg.enforcement.as_ref();
+    let resolution = enforcement.and_then(|_| policies.get(&domain));
+
     let mut events: Vec<HostEvent> = Vec::new();
     let mut failovers = 0u32;
     let mut breaker_skips = 0u32;
+    let mut policy_skips = 0u32;
 
     let label = format!("delivery/{seq}/{domain}");
     let outcome = cfg.retry.run_observed(
@@ -574,9 +811,12 @@ fn process_message<T: MxTransport>(
                 &domain,
                 message,
                 now,
+                resolution,
+                enforcement,
                 &mut events,
                 &mut failovers,
                 &mut breaker_skips,
+                &mut policy_skips,
             )
         },
         |event| {
@@ -590,29 +830,76 @@ fn process_message<T: MxTransport>(
             }
         },
     );
+    let finished = outcome.finished_at;
 
-    let status = match outcome.result {
-        Ok((host, tls_used)) => {
+    let (status, sts, sts_outcome) = match outcome.result {
+        Ok(success) => {
             obsv::counter!("delivery.delivered");
-            MessageStatus::Delivered {
-                mx_host: host,
-                tls_used,
-            }
+            let validated = matches!(success.evidence, TlsEvidence::Validated)
+                && success.soft_failure.is_none();
+            let sts_outcome = enforcement
+                .map(|_| crate::enforce::report_outcome(resolution, success.soft_failure.as_ref()));
+            (
+                MessageStatus::Delivered {
+                    mx_host: success.host,
+                    tls_used: success.evidence.tls_used(),
+                    validated,
+                },
+                success.applied,
+                sts_outcome,
+            )
         }
         Err(err) => {
             obsv::counter!("delivery.bounced");
-            let reason = match (outcome.verdict, err.permanent_reply) {
+            let sts = match resolution {
+                Some(ResolvedPolicy::Active {
+                    policy,
+                    from_cache,
+                    stale,
+                }) => StsApplication::Sts {
+                    mode: policy.mode,
+                    from_cache: *from_cache,
+                    stale: *stale,
+                },
+                _ => StsApplication::None,
+            };
+            let (reason, sts_outcome) = match (outcome.verdict, err.permanent_reply) {
                 (RetryVerdict::Persistent, Some((code, text))) => {
-                    BounceReason::Permanent { code, text }
+                    (BounceReason::Permanent { code, text }, None)
                 }
-                _ => BounceReason::RetriesExhausted {
-                    last_error: err.rendered,
+                _ => match err.policy_refusal {
+                    Some(failure) => {
+                        let outcome = enforcement
+                            .map(|_| crate::enforce::report_outcome(resolution, Some(&failure)));
+                        (BounceReason::PolicyRefused { failure }, outcome)
+                    }
+                    None => (
+                        BounceReason::RetriesExhausted {
+                            last_error: err.rendered,
+                        },
+                        None,
+                    ),
                 },
             };
-            MessageStatus::Bounced { reason }
+            (MessageStatus::Bounced { reason }, sts, sts_outcome)
         }
     };
     obsv::histogram!("delivery.attempts", u64::from(outcome.attempts));
+
+    // Omniscient interception grading: delivered unvalidated while an
+    // attack window touched the domain or the accepting host.
+    let intercepted = match &status {
+        MessageStatus::Delivered {
+            mx_host, validated, ..
+        } => {
+            !validated
+                && (transport.attack_touched(&domain, finished)
+                    || mx_host
+                        .parse::<DomainName>()
+                        .is_ok_and(|h| transport.attack_touched(&h, finished)))
+        }
+        MessageStatus::Bounced { .. } => false,
+    };
 
     let record = MessageRecord {
         seq,
@@ -622,10 +909,95 @@ fn process_message<T: MxTransport>(
         attempts: outcome.attempts,
         failovers,
         breaker_skips,
+        policy_skips,
+        sts,
+        sts_outcome,
+        intercepted,
         admitted_unix_secs: admitted.unix_secs(),
-        finished_unix_secs: outcome.finished_at.unix_secs(),
+        finished_unix_secs: finished.unix_secs(),
     };
     (record, events)
+}
+
+/// What a successful ladder walk concluded.
+struct LadderSuccess {
+    /// The accepting host.
+    host: String,
+    /// TLS evidence from the accepting session.
+    evidence: TlsEvidence,
+    /// What governed the attempt (policy mode / DANE / none).
+    applied: StsApplication,
+    /// `testing`-mode accounting: the failure that `enforce` would have
+    /// refused on (MX not listed, plaintext, bad certificate).
+    soft_failure: Option<StsFailure>,
+}
+
+/// Picks the TLS requirement for one rung: DANE precedence first
+/// (RFC 7672), then the policy mode (RFC 8461 §5), opportunistic
+/// otherwise.
+fn attempt_plan<T: MxTransport + ?Sized>(
+    enforcement: Option<&EnforcementConfig>,
+    transport: &T,
+    resolution: Option<&ResolvedPolicy>,
+    host: &DomainName,
+    now: SimInstant,
+) -> (TlsRequirement, StsApplication) {
+    let Some(enf) = enforcement else {
+        return (TlsRequirement::Opportunistic, StsApplication::None);
+    };
+    if enf.dane_precedence {
+        if let Some(tlsa) = transport.tlsa_records(host, now) {
+            return (TlsRequirement::RequireDane(tlsa), StsApplication::Dane);
+        }
+    }
+    match resolution {
+        Some(ResolvedPolicy::Active {
+            policy,
+            from_cache,
+            stale,
+        }) => {
+            let applied = StsApplication::Sts {
+                mode: policy.mode,
+                from_cache: *from_cache,
+                stale: *stale,
+            };
+            let requirement = match policy.mode {
+                Mode::Enforce => TlsRequirement::RequirePkix,
+                Mode::Testing => TlsRequirement::OpportunisticAudit,
+                Mode::None => TlsRequirement::Opportunistic,
+            };
+            (requirement, applied)
+        }
+        _ => (TlsRequirement::Opportunistic, StsApplication::None),
+    }
+}
+
+/// `testing`-mode soft-failure typing, in engine order: MX listing
+/// first, then STARTTLS, then the certificate (RFC 8461 §5).
+fn soft_failure_for(
+    applied: &StsApplication,
+    resolution: Option<&ResolvedPolicy>,
+    host: &DomainName,
+    evidence: &TlsEvidence,
+) -> Option<StsFailure> {
+    if !matches!(
+        applied,
+        StsApplication::Sts {
+            mode: Mode::Testing,
+            ..
+        }
+    ) {
+        return None;
+    }
+    let policy = resolution.and_then(|r| r.policy())?;
+    if !mtasts::mx_matches_policy(host, policy) {
+        return Some(StsFailure::MxNotListed);
+    }
+    match evidence {
+        TlsEvidence::Plaintext => Some(StsFailure::StartTlsUnavailable),
+        TlsEvidence::CertFailed(e) => Some(StsFailure::CertInvalid(e.clone())),
+        TlsEvidence::Encrypted | TlsEvidence::Validated => None,
+    }
 }
 
 /// One walk down the fail-over ladder (= one retry-policy attempt).
@@ -637,21 +1009,54 @@ fn attempt_ladder<T: MxTransport>(
     domain: &DomainName,
     message: &QueuedMessage,
     now: SimInstant,
+    resolution: Option<&ResolvedPolicy>,
+    enforcement: Option<&EnforcementConfig>,
     events: &mut Vec<HostEvent>,
     failovers: &mut u32,
     breaker_skips: &mut u32,
-) -> Result<(String, bool), DispatchError> {
+    policy_skips: &mut u32,
+) -> Result<LadderSuccess, DispatchError> {
     let records = transport
         .route(domain, now)
         .map_err(|e| DispatchError::transient(format!("MX lookup failed: {e}")))?;
-    let ladder: Vec<MxCandidate> = if records.is_empty() {
+    let mut ladder: Vec<MxCandidate> = if records.is_empty() {
         implicit_mx(domain)
     } else {
         mx_ladder(rng, domain, &records)
     };
 
+    // RFC 8461 §5.1: under `enforce`, rungs matching no `mx` pattern
+    // are filtered out *before* fail-over — never attempted — unless
+    // DANE covers them (RFC 7672 precedence).
+    if let (Some(enf), Some(ResolvedPolicy::Active { policy, .. })) = (enforcement, resolution) {
+        if policy.mode == Mode::Enforce {
+            let filtered = filter_ladder_for_policy(&mut ladder, policy, |h| {
+                enf.dane_precedence && transport.tlsa_records(h, now).is_some()
+            });
+            *policy_skips += filtered;
+            if filtered > 0 {
+                obsv::counter!("delivery.policy_filtered_rungs");
+            }
+            if ladder.is_empty() {
+                // The typed policy bounce, not Unroutable: the MX set
+                // existed, the policy forbade all of it. Transient —
+                // a forged MX answer (MxRedirect) heals when the
+                // window closes.
+                return Err(DispatchError {
+                    transient: true,
+                    rendered: format!(
+                        "policy filtered all {filtered} MX rungs for {domain} under enforce"
+                    ),
+                    permanent_reply: None,
+                    policy_refusal: Some(StsFailure::MxNotListed),
+                });
+            }
+        }
+    }
+
     let mut hard_failures = 0u32;
     let mut skipped = 0u32;
+    let mut refusal: Option<StsFailure> = None;
     for (rung, candidate) in ladder.iter().enumerate() {
         let host = candidate.host.to_string();
         match snapshot.admission(&host, now) {
@@ -663,13 +1068,21 @@ fn attempt_ladder<T: MxTransport>(
             }
             Admission::Allowed | Admission::Probe => {}
         }
-        match transport.attempt(&candidate.host, message, now) {
-            AttemptDisposition::Delivered { tls_used } => {
+        let (requirement, applied) =
+            attempt_plan(enforcement, transport, resolution, &candidate.host, now);
+        match transport.attempt(&candidate.host, message, now, &requirement) {
+            AttemptDisposition::Delivered { tls } => {
                 events.push(HostEvent::Reachable { host: host.clone() });
                 if rung > 0 {
                     obsv::counter!("delivery.failover_delivered");
                 }
-                return Ok((host, tls_used));
+                let soft_failure = soft_failure_for(&applied, resolution, &candidate.host, &tls);
+                return Ok(LadderSuccess {
+                    host,
+                    evidence: tls,
+                    applied,
+                    soft_failure,
+                });
             }
             AttemptDisposition::HostUnreachable => {
                 events.push(HostEvent::HardFailure {
@@ -699,9 +1112,35 @@ fn attempt_ladder<T: MxTransport>(
                     transient: false,
                     rendered: format!("rejected {code} from {}: {text}", candidate.host),
                     permanent_reply: Some((code, text)),
+                    policy_refusal: None,
                 });
             }
+            AttemptDisposition::TlsRefused { failure } => {
+                // The host answered SMTP — alive, no breaker damage —
+                // but the session could not meet the TLS requirement.
+                // The rung is unusable under the policy; fall through.
+                events.push(HostEvent::Reachable { host });
+                *policy_skips += 1;
+                obsv::counter!("delivery.tls_refused_total");
+                if refusal.is_none() {
+                    refusal = Some(failure);
+                }
+                continue;
+            }
         }
+    }
+    if let Some(failure) = refusal {
+        // At least one rung was alive but policy-refused: exhaustion of
+        // this schedule is a policy bounce, not a network one.
+        return Err(DispatchError {
+            transient: true,
+            rendered: format!(
+                "TLS requirement unmet on every usable rung ({})",
+                failure.label()
+            ),
+            permanent_reply: None,
+            policy_refusal: Some(failure),
+        });
     }
     // Every rung unreachable or skipped: transient — the breaker may
     // re-admit a recovered host on a later attempt.
@@ -743,6 +1182,7 @@ impl MxTransport for FastTransport<'_> {
         mx_host: &DomainName,
         message: &QueuedMessage,
         now: SimInstant,
+        tls: &TlsRequirement,
     ) -> AttemptDisposition {
         use simnet::{FaultStage, Reachability};
         let Ok(lookup) = self.world.resolve(mx_host, dns::RecordType::A, now) else {
@@ -783,15 +1223,122 @@ impl MxTransport for FastTransport<'_> {
                 };
             }
         }
+        // STARTTLS availability and the presented chain mirror
+        // `World::probe_mx`: a strip attacker removes the capability, a
+        // cert-substituting MITM terminates TLS with its own chain.
         let stripped = self
             .world
             .attack_active(simnet::AttackKind::StartTlsStrip, mx_host, now);
-        let tls_used = endpoint.starttls
+        let starttls = endpoint.starttls
             && !endpoint.hide_starttls
             && !endpoint.helo_only
             && !stripped
             && !endpoint.chain.is_empty();
-        AttemptDisposition::Delivered { tls_used }
+        let chain = if starttls
+            && self
+                .world
+                .attack_active(simnet::AttackKind::MxCertSubstitute, mx_host, now)
+        {
+            self.world.pki.issue(
+                &simnet::CertKind::UntrustedCa,
+                std::slice::from_ref(mx_host),
+                now,
+            )
+        } else {
+            endpoint.chain.clone()
+        };
+        let roots = self.world.pki.trust_store();
+        let evidence = match tls {
+            TlsRequirement::Opportunistic => {
+                if starttls {
+                    TlsEvidence::Encrypted
+                } else {
+                    TlsEvidence::Plaintext
+                }
+            }
+            TlsRequirement::OpportunisticAudit => {
+                if !starttls {
+                    TlsEvidence::Plaintext
+                } else {
+                    match pkix::validate_chain(&chain, mx_host, now, roots) {
+                        Ok(()) => TlsEvidence::Validated,
+                        Err(e) => TlsEvidence::CertFailed(e),
+                    }
+                }
+            }
+            TlsRequirement::RequirePkix => {
+                if !starttls {
+                    return AttemptDisposition::TlsRefused {
+                        failure: StsFailure::StartTlsUnavailable,
+                    };
+                }
+                match pkix::validate_chain(&chain, mx_host, now, roots) {
+                    Ok(()) => TlsEvidence::Validated,
+                    Err(e) => {
+                        return AttemptDisposition::TlsRefused {
+                            failure: StsFailure::CertInvalid(e),
+                        }
+                    }
+                }
+            }
+            TlsRequirement::RequireDane(tlsa) => {
+                if !starttls {
+                    return AttemptDisposition::TlsRefused {
+                        failure: StsFailure::StartTlsUnavailable,
+                    };
+                }
+                // The transport only hands out TLSA records from signed
+                // zones, so the DNSSEC gate passed upstream.
+                match danelite::validate_dane(tlsa, &chain, true, mx_host, now, roots) {
+                    Ok(_) => TlsEvidence::Validated,
+                    Err(e) => {
+                        return AttemptDisposition::TlsRefused {
+                            failure: StsFailure::DaneInvalid {
+                                reason: e.to_string(),
+                            },
+                        }
+                    }
+                }
+            }
+        };
+        AttemptDisposition::Delivered { tls: evidence }
+    }
+
+    fn sts_record(&self, domain: &DomainName, now: SimInstant) -> Option<Vec<String>> {
+        self.world.mta_sts_txts(domain, now).ok()
+    }
+
+    fn fetch_sts_policy(&self, domain: &DomainName, now: SimInstant) -> Result<String, String> {
+        self.world
+            .fetch_policy(domain, now)
+            .result
+            .map(|(_, raw)| raw)
+            .map_err(|e| e.to_string())
+    }
+
+    fn tlsa_records(&self, mx_host: &DomainName, now: SimInstant) -> Option<Vec<dns::TlsaRecord>> {
+        let name = danelite::tlsa_name(mx_host);
+        if !self.world.is_signed(&name) {
+            return None;
+        }
+        let lookup = self.world.resolve(&name, dns::RecordType::Tlsa, now).ok()?;
+        let records: Vec<dns::TlsaRecord> = lookup
+            .records
+            .iter()
+            .filter_map(|r| match &r.data {
+                dns::RecordData::Tlsa(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        if records.is_empty() {
+            None
+        } else {
+            Some(records)
+        }
+    }
+
+    fn attack_touched(&self, name: &DomainName, now: SimInstant) -> bool {
+        !self.world.attacks_active(name, now).is_empty()
     }
 }
 
@@ -815,6 +1362,7 @@ mod tests {
                 _mx: &DomainName,
                 _m: &QueuedMessage,
                 _now: SimInstant,
+                _tls: &TlsRequirement,
             ) -> AttemptDisposition {
                 panic!("unroutable mail must never attempt")
             }

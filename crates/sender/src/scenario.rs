@@ -17,8 +17,12 @@
 
 use crate::pipeline::QueuedMessage;
 use dns::RecordData;
+use mtasts::Mode;
 use netbase::{DomainName, SimInstant};
-use simnet::{FaultKind, FaultSchedule, MxEndpoint, Reachability, World};
+use simnet::{
+    AttackKind, AttackSchedule, FaultKind, FaultSchedule, MxEndpoint, Reachability, WebEndpoint,
+    World,
+};
 
 /// Which failure shape the scenario injects.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +51,33 @@ pub enum Degradation {
         /// 0.0–1.0 chance a session is deferred with a 450.
         rate: f64,
     },
+    /// An on-path attacker strips STARTTLS from every MX session during
+    /// `[epoch + delay, epoch + delay + duration)` — the downgrade
+    /// MTA-STS exists to stop (§2.4).
+    StartTlsStrip {
+        /// Seconds after the epoch the window opens.
+        delay_secs: i64,
+        /// Window length in seconds.
+        duration_secs: i64,
+    },
+    /// Forged MX answers redirect every domain's mail to the attacker's
+    /// preference-0 relay (`mx.attacker.example`, plaintext) during the
+    /// window — the `MxNotListed` case RFC 8461 §4.1 catches.
+    MxRedirect {
+        /// Seconds after the epoch the window opens.
+        delay_secs: i64,
+        /// Window length in seconds.
+        duration_secs: i64,
+    },
+    /// Every policy host is TCP-dark during the window: HTTPS fetches
+    /// fail, and only the TOFU cache (with §3.3 stale fallback) can
+    /// keep enforcement alive.
+    PolicyHostOutage {
+        /// Seconds after the epoch the window opens.
+        delay_secs: i64,
+        /// Window length in seconds.
+        duration_secs: i64,
+    },
 }
 
 impl Degradation {
@@ -58,17 +89,51 @@ impl Degradation {
             Degradation::FlappingMx { .. } => "flapping_mx",
             Degradation::TierOutage => "tier_outage",
             Degradation::Greylist { .. } => "greylist",
+            Degradation::StartTlsStrip { .. } => "starttls_strip",
+            Degradation::MxRedirect { .. } => "mx_redirect",
+            Degradation::PolicyHostOutage { .. } => "policy_outage",
         }
     }
 
     /// Whether the degradation is expressed purely through endpoint
     /// reachability (and therefore reproduces on the wire deployment,
-    /// which does not serve fault schedules).
+    /// which does not serve fault schedules or attack windows).
     pub fn wire_faithful(&self) -> bool {
         matches!(
             self,
             Degradation::None | Degradation::OneMxDown | Degradation::TierOutage
         )
+    }
+}
+
+/// Whether (and how) the scenario domains deploy MTA-STS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StsDeployment {
+    /// No MTA-STS anywhere; plaintext MXes (the pre-enforcement worlds,
+    /// and the only shape the wire deployment serves).
+    None,
+    /// Every domain publishes a policy in `mode`: STARTTLS-capable MXes
+    /// with valid chains, a `_mta-sts` TXT record, and a policy host
+    /// serving a document listing all three exchanges explicitly.
+    Published {
+        /// The policy mode every domain publishes.
+        mode: Mode,
+        /// The policy `max_age` in seconds.
+        max_age: u64,
+    },
+}
+
+impl StsDeployment {
+    /// Short machine name, used as the bench scenario key suffix.
+    pub fn key(&self) -> &'static str {
+        match self {
+            StsDeployment::None => "nosts",
+            StsDeployment::Published { mode, .. } => match mode {
+                Mode::Enforce => "enforce",
+                Mode::Testing => "testing",
+                Mode::None => "mode_none",
+            },
+        }
     }
 }
 
@@ -83,6 +148,8 @@ pub struct ScenarioSpec {
     pub messages_per_domain: usize,
     /// The injected failure shape.
     pub degradation: Degradation,
+    /// MTA-STS deployment shape across the recipient domains.
+    pub sts: StsDeployment,
     /// When the scenario's clock starts (flapping windows anchor here).
     pub epoch: SimInstant,
 }
@@ -95,7 +162,20 @@ impl ScenarioSpec {
             domains: 4,
             messages_per_domain: 8,
             degradation,
+            sts: StsDeployment::None,
             epoch: SimInstant::from_unix_secs(1_717_200_000),
+        }
+    }
+
+    /// The same scenario with every domain publishing a policy in
+    /// `mode` (week-long `max_age`, well within every queue run).
+    pub fn with_sts(self, mode: Mode) -> ScenarioSpec {
+        ScenarioSpec {
+            sts: StsDeployment::Published {
+                mode,
+                max_age: 604_800,
+            },
+            ..self
         }
     }
 }
@@ -138,7 +218,17 @@ pub fn build(spec: ScenarioSpec) -> Scenario {
             let host: DomainName = format!("{label}.d{i}.test")
                 .parse()
                 .expect("scenario host parses");
-            let mut endpoint = MxEndpoint::plaintext(host.clone());
+            let mut endpoint = match spec.sts {
+                // Enforcement worlds get STARTTLS-capable exchanges with
+                // valid chains — the policy must be satisfiable.
+                StsDeployment::Published { .. } => MxEndpoint::healthy(
+                    host.clone(),
+                    world
+                        .pki
+                        .issue_valid(std::slice::from_ref(&host), spec.epoch),
+                ),
+                StsDeployment::None => MxEndpoint::plaintext(host.clone()),
+            };
             apply_degradation(&mut endpoint, &spec, slot);
             let ip = world.add_mx_endpoint(endpoint);
             world.with_zone(&domain, |z| {
@@ -154,8 +244,13 @@ pub fn build(spec: ScenarioSpec) -> Scenario {
             });
             exchanges.push((*preference, host));
         }
+        if let StsDeployment::Published { mode, max_age } = spec.sts {
+            deploy_sts(&world, &spec, i, mode, max_age);
+        }
         topologies.push(DomainTopology { domain, exchanges });
     }
+
+    install_attacker(&world, &spec);
 
     // Round-robin submission order spreads each domain's messages across
     // the admission timeline, so time-varying degradations (flapping,
@@ -180,6 +275,88 @@ pub fn build(spec: ScenarioSpec) -> Scenario {
         topologies,
         spec,
     }
+}
+
+/// Publishes domain `i`'s MTA-STS deployment: the `_mta-sts` TXT record
+/// and a per-domain policy host serving a document that lists all three
+/// exchanges explicitly (no wildcard — the ladder filter must match
+/// hosts, not luck). Under [`Degradation::PolicyHostOutage`] the policy
+/// host goes TCP-dark for the window, so only the TOFU cache keeps
+/// enforcement alive.
+fn deploy_sts(world: &World, spec: &ScenarioSpec, i: usize, mode: Mode, max_age: u64) {
+    let domain: DomainName = format!("d{i}.test").parse().expect("domain parses");
+    let policy_host: DomainName = format!("mta-sts.d{i}.test")
+        .parse()
+        .expect("policy host parses");
+    let mut web = WebEndpoint::up();
+    web.install_chain(
+        policy_host.clone(),
+        world
+            .pki
+            .issue_valid(std::slice::from_ref(&policy_host), spec.epoch),
+    );
+    let mut body = format!("version: STSv1\r\nmode: {mode}\r\n");
+    for (label, _) in MX_LAYOUT {
+        body.push_str(&format!("mx: {label}.d{i}.test\r\n"));
+    }
+    body.push_str(&format!("max_age: {max_age}\r\n"));
+    web.install_policy(policy_host.clone(), &body);
+    if let Degradation::PolicyHostOutage {
+        delay_secs,
+        duration_secs,
+    } = spec.degradation
+    {
+        let start = spec.epoch + netbase::Duration::seconds(delay_secs);
+        web.faults = FaultSchedule::new(spec.seed).with_window(
+            FaultKind::TcpReset,
+            start,
+            start + netbase::Duration::seconds(duration_secs),
+        );
+    }
+    let web_ip = world.add_web_endpoint(web);
+    world.with_zone(&domain, |z| {
+        z.add_rr(&policy_host, 300, RecordData::A(web_ip));
+        let txt: DomainName = format!("_mta-sts.d{i}.test")
+            .parse()
+            .expect("txt name parses");
+        z.add_rr(
+            &txt,
+            300,
+            RecordData::Txt(vec!["v=STSv1; id=scenario1;".to_string()]),
+        );
+    });
+}
+
+/// Installs the on-path attacker for the window-based degradations and,
+/// for [`Degradation::MxRedirect`], deploys the attacker's own relay
+/// zone so the forged preference-0 answer actually resolves.
+fn install_attacker(world: &World, spec: &ScenarioSpec) {
+    let (kind, delay_secs, duration_secs) = match spec.degradation {
+        Degradation::StartTlsStrip {
+            delay_secs,
+            duration_secs,
+        } => (AttackKind::StartTlsStrip, delay_secs, duration_secs),
+        Degradation::MxRedirect {
+            delay_secs,
+            duration_secs,
+        } => (AttackKind::MxRedirect, delay_secs, duration_secs),
+        _ => return,
+    };
+    let start = spec.epoch + netbase::Duration::seconds(delay_secs);
+    let schedule = AttackSchedule::new().with_window(
+        kind,
+        None,
+        start,
+        start + netbase::Duration::seconds(duration_secs),
+    );
+    if kind == AttackKind::MxRedirect {
+        let relay = schedule.attacker_host().clone();
+        let zone: DomainName = "attacker.example".parse().expect("attacker zone parses");
+        world.ensure_zone(&zone);
+        let ip = world.add_mx_endpoint(MxEndpoint::plaintext(relay.clone()));
+        world.with_zone(&zone, |z| z.add_rr(&relay, 300, RecordData::A(ip)));
+    }
+    world.set_attacker(schedule);
 }
 
 fn apply_degradation(endpoint: &mut MxEndpoint, spec: &ScenarioSpec, slot: usize) {
@@ -214,6 +391,12 @@ fn apply_degradation(endpoint: &mut MxEndpoint, spec: &ScenarioSpec, slot: usize
             endpoint.faults =
                 FaultSchedule::new(spec.seed).with_rate(FaultKind::SmtpGreylist, rate);
         }
+        // Attacker-window degradations leave the legitimate exchanges
+        // untouched: the strip and redirect live on the path (the
+        // attacker schedule), the outage lives on the policy host.
+        Degradation::StartTlsStrip { .. }
+        | Degradation::MxRedirect { .. }
+        | Degradation::PolicyHostOutage { .. } => {}
     }
 }
 
@@ -234,6 +417,58 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs.iter().filter(|(p, _)| *p == 10).count(), 2);
         assert_eq!(recs.iter().filter(|(p, _)| *p == 20).count(), 1);
+    }
+
+    #[test]
+    fn sts_deployment_publishes_fetchable_policies() {
+        let s = build(ScenarioSpec::small(7, Degradation::None).with_sts(Mode::Enforce));
+        let d = &s.topologies[0].domain;
+        let txts = s.world.mta_sts_txts(d, s.spec.epoch).unwrap();
+        assert_eq!(txts.len(), 1, "one _mta-sts TXT record: {txts:?}");
+        let (policy, _raw) = s.world.fetch_policy(d, s.spec.epoch).result.unwrap();
+        assert_eq!(policy.mode, Mode::Enforce);
+        // Every published exchange is listed in the policy.
+        for (_, host) in &s.topologies[0].exchanges {
+            assert!(
+                mtasts::mx_matches_policy(host, &policy),
+                "{host} missing from policy"
+            );
+        }
+    }
+
+    #[test]
+    fn mx_redirect_deploys_a_resolvable_attacker_relay() {
+        let s = build(
+            ScenarioSpec::small(
+                7,
+                Degradation::MxRedirect {
+                    delay_secs: 300,
+                    duration_secs: 600,
+                },
+            )
+            .with_sts(Mode::Enforce),
+        );
+        let inside = s.spec.epoch + netbase::Duration::seconds(400);
+        let recs = s
+            .world
+            .mx_records_with_pref(&s.topologies[0].domain, inside)
+            .unwrap();
+        assert_eq!(recs.len(), 1, "forged answer replaces the real set");
+        assert_eq!(recs[0].0, 0);
+        let relay = recs[0].1.clone();
+        assert!(
+            s.world.resolve(&relay, dns::RecordType::A, inside).is_ok(),
+            "attacker relay must resolve"
+        );
+        // Outside the window the legitimate ladder is back.
+        let after = s.spec.epoch + netbase::Duration::seconds(2_000);
+        assert_eq!(
+            s.world
+                .mx_records_with_pref(&s.topologies[0].domain, after)
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -154,6 +154,7 @@ fn breaker_opens_on_the_dead_host_and_queue_keeps_draining() {
         domains: 2,
         messages_per_domain: 40,
         degradation: Degradation::OneMxDown,
+        sts: mtasts_sender::scenario::StsDeployment::None,
         epoch: netbase::SimInstant::from_unix_secs(1_717_200_000),
     });
     let queue = DeliveryQueue::new(QueueConfig {
@@ -195,6 +196,7 @@ fn recovered_host_is_readmitted_through_a_half_open_probe() {
             up_secs: 100_000,
             cycles: 1,
         },
+        sts: mtasts_sender::scenario::StsDeployment::None,
         epoch: netbase::SimInstant::from_unix_secs(1_717_200_000),
     });
     let queue = DeliveryQueue::new(QueueConfig {

@@ -24,6 +24,19 @@ pub enum TlsPolicy {
     /// Upgrade when STARTTLS is offered; accept any certificate; fall back
     /// to plaintext when it is not offered.
     Opportunistic,
+    /// Opportunistic delivery with PKIX accounting: upgrade when offered
+    /// and never fail the delivery, but validate the certificate for
+    /// `host` against `roots` and surface the verdict via
+    /// [`DeliveryOutcome::Delivered::cert_validated`] — the behaviour an
+    /// MTA-STS `testing` policy wants (§2.4: report, don't refuse).
+    OpportunisticAudit {
+        /// Trust anchors.
+        roots: TrustStore,
+        /// Validation time.
+        now: SimInstant,
+        /// The host name the certificate must cover (the MX hostname).
+        host: DomainName,
+    },
     /// Require STARTTLS and a PKIX-valid certificate for `host`, validated
     /// against `roots` at `now`. Fail delivery otherwise — the behaviour
     /// MTA-STS "enforce" mandates (§2.4).
@@ -420,9 +433,16 @@ pub async fn deliver<S: AsyncRead + AsyncWrite + Unpin>(
         .map_err(SmtpError::Tls)?;
 
         let mut cert_validated = false;
-        if let TlsPolicy::RequirePkix { roots, now, host } = policy {
-            validate_cert(&session.peer_chain, host, *now, roots)?;
-            cert_validated = true;
+        match policy {
+            TlsPolicy::RequirePkix { roots, now, host } => {
+                validate_cert(&session.peer_chain, host, *now, roots)?;
+                cert_validated = true;
+            }
+            TlsPolicy::OpportunisticAudit { roots, now, host } => {
+                // Audit-only: a bad chain is recorded, never fatal.
+                cert_validated = validate_chain(&session.peer_chain, host, *now, roots).is_ok();
+            }
+            _ => {}
         }
 
         let mut tls_reader = BufReader::new(session.stream);

@@ -46,11 +46,17 @@ fn main() {
     );
     for rec in &outcome.records {
         let outcome_text = match &rec.status {
-            MessageStatus::Delivered { mx_host, tls_used } => {
-                format!(
-                    "delivered via {mx_host}{}",
-                    if *tls_used { " (TLS)" } else { "" }
-                )
+            MessageStatus::Delivered {
+                mx_host,
+                tls_used,
+                validated,
+            } => {
+                let tls = match (tls_used, validated) {
+                    (true, true) => " (TLS, validated)",
+                    (true, false) => " (TLS)",
+                    _ => "",
+                };
+                format!("delivered via {mx_host}{tls}")
             }
             MessageStatus::Bounced { reason } => match reason {
                 BounceReason::Permanent { code, text } => {
@@ -58,6 +64,9 @@ fn main() {
                 }
                 BounceReason::RetriesExhausted { last_error } => {
                     format!("bounced after retries: {last_error}")
+                }
+                BounceReason::PolicyRefused { failure } => {
+                    format!("bounced: policy refused ({})", failure.label())
                 }
                 BounceReason::Unroutable => "bounced: unroutable".to_string(),
             },

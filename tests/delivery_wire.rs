@@ -15,10 +15,10 @@ use netbase::{DomainName, SimInstant};
 use sender::scenario::{build, Degradation, ScenarioSpec};
 use sender::{
     ledger_digest, AttemptDisposition, DeliveryQueue, FastTransport, MxTransport, QueueConfig,
-    QueuedMessage,
+    QueuedMessage, TlsEvidence, TlsRequirement,
 };
 use simnet::wire::WireWorld;
-use smtp::{deliver, DeliveryOutcome, Envelope, TlsPolicy};
+use smtp::{deliver, DeliveryOutcome, Envelope, SmtpError, TlsPolicy};
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddr};
 
@@ -49,6 +49,7 @@ impl MxTransport for WireTransport {
         mx_host: &DomainName,
         message: &QueuedMessage,
         now: SimInstant,
+        tls: &TlsRequirement,
     ) -> AttemptDisposition {
         let Ok(lookup) = self.world.resolve(mx_host, dns::RecordType::A, now) else {
             return AttemptDisposition::HostUnreachable;
@@ -62,6 +63,30 @@ impl MxTransport for WireTransport {
         let Some(addr) = self.mx_addrs.get(&ip).copied() else {
             return AttemptDisposition::HostUnreachable;
         };
+        let policy = match tls {
+            TlsRequirement::Opportunistic => TlsPolicy::Opportunistic,
+            TlsRequirement::OpportunisticAudit => TlsPolicy::OpportunisticAudit {
+                roots: self.world.pki.trust_store().clone(),
+                now,
+                host: mx_host.clone(),
+            },
+            TlsRequirement::RequirePkix => TlsPolicy::RequirePkix {
+                roots: self.world.pki.trust_store().clone(),
+                now,
+                host: mx_host.clone(),
+            },
+            // The wire client carries no DANE verifier; DANE-governed
+            // rungs are a fast-path-only concern (`wire_faithful` keeps
+            // enforcement scenarios off this leg).
+            TlsRequirement::RequireDane(_) => {
+                return AttemptDisposition::TlsRefused {
+                    failure: mtasts::StsFailure::DaneInvalid {
+                        reason: "wire transport has no DANE verifier".to_string(),
+                    },
+                }
+            }
+        };
+        let must_tls = matches!(policy, TlsPolicy::RequirePkix { .. });
         let envelope = Envelope::new(&message.mail_from, &message.rcpt_to, &message.body);
         let helo = self.helo.clone();
         let mx_hostname = mx_host.clone();
@@ -70,23 +95,28 @@ impl MxTransport for WireTransport {
                 Ok(s) => s,
                 Err(_) => return AttemptDisposition::HostUnreachable,
             };
-            match deliver(
-                stream,
-                &helo,
-                &mx_hostname,
-                &envelope,
-                &TlsPolicy::Opportunistic,
-                7,
-                11,
-            )
-            .await
-            {
-                Ok(DeliveryOutcome::Delivered { tls_used, .. }) => {
-                    AttemptDisposition::Delivered { tls_used }
-                }
+            match deliver(stream, &helo, &mx_hostname, &envelope, &policy, 7, 11).await {
+                Ok(DeliveryOutcome::Delivered {
+                    tls_used,
+                    cert_validated,
+                }) => AttemptDisposition::Delivered {
+                    tls: match (tls_used, cert_validated) {
+                        (true, true) => TlsEvidence::Validated,
+                        (true, false) => TlsEvidence::Encrypted,
+                        (false, _) => TlsEvidence::Plaintext,
+                    },
+                },
                 Ok(DeliveryOutcome::Rejected { code, text, .. }) => {
                     AttemptDisposition::Reply { code: code.0, text }
                 }
+                // Under a mandatory-TLS policy, a refused upgrade or bad
+                // chain is a policy refusal, not a dead host.
+                Err(SmtpError::StartTlsNotOffered) if must_tls => AttemptDisposition::TlsRefused {
+                    failure: mtasts::StsFailure::StartTlsUnavailable,
+                },
+                Err(SmtpError::Cert(e)) if must_tls => AttemptDisposition::TlsRefused {
+                    failure: mtasts::StsFailure::CertInvalid(e),
+                },
                 // Transport-level SMTP errors (reset mid-dialogue,
                 // protocol violations) are connection-class failures.
                 Err(_) => AttemptDisposition::HostUnreachable,

@@ -1,0 +1,154 @@
+//! Property-based hardening of the RFC 8461 §4.1 MX matching logic and
+//! the §4.4 mismatch taxonomy — the functions the delivery queue's
+//! enforcement ladder filter stands on.
+//!
+//! The generators stress exactly the edge shapes the ISSUE calls out:
+//! wildcard patterns vs bare apex names, multi-label subdomains (a
+//! wildcard matches *one* leftmost label, never two), and case folding
+//! (DNS names compare case-insensitively; policies are authored in
+//! whatever case the operator felt like).
+
+use mtasts::{classify_mismatch, mx_matches_policy, MismatchKind, Mode, MxPattern, Policy};
+use netbase::DomainName;
+use proptest::prelude::*;
+
+/// Strategy: a valid DNS label.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_filter("no trailing hyphen", |s| !s.ends_with('-'))
+}
+
+/// Strategy: a base domain of 2–3 labels (the policy-holder apex).
+fn apex() -> impl Strategy<Value = String> {
+    prop::collection::vec(label(), 2..=3).prop_map(|ls| ls.join("."))
+}
+
+/// Randomly upper-cases characters of `s` according to `mask` bits.
+fn mixed_case(s: &str, mask: u64) -> String {
+    s.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if mask >> (i % 64) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn policy_of(patterns: &[&str]) -> Policy {
+    Policy::new(
+        Mode::Enforce,
+        86_400,
+        patterns
+            .iter()
+            .map(|p| MxPattern::parse(p).unwrap())
+            .collect(),
+    )
+}
+
+proptest! {
+    /// A `*.apex` wildcard matches every single-label child, never the
+    /// bare apex, and never a grandchild (two labels below the apex).
+    #[test]
+    fn wildcard_matches_exactly_one_label(
+        base in apex(),
+        child in label(),
+        grandchild in label(),
+    ) {
+        let policy = policy_of(&[&format!("*.{base}")]);
+        let bare: DomainName = base.parse().unwrap();
+        let one: DomainName = format!("{child}.{base}").parse().unwrap();
+        let two: DomainName = format!("{grandchild}.{child}.{base}").parse().unwrap();
+        prop_assert!(mx_matches_policy(&one, &policy), "{one} must match *.{base}");
+        prop_assert!(!mx_matches_policy(&bare, &policy), "bare {bare} must not match");
+        prop_assert!(!mx_matches_policy(&two, &policy), "{two} spans two labels");
+    }
+
+    /// An exact (non-wildcard) pattern matches its own name and nothing
+    /// else — not children, not the parent.
+    #[test]
+    fn exact_pattern_matches_only_itself(base in apex(), child in label()) {
+        let host = format!("{child}.{base}");
+        let policy = policy_of(&[&host]);
+        let exact: DomainName = host.parse().unwrap();
+        let parent: DomainName = base.parse().unwrap();
+        let deeper: DomainName = format!("x.{host}").parse().unwrap();
+        prop_assert!(mx_matches_policy(&exact, &policy));
+        prop_assert!(!mx_matches_policy(&parent, &policy));
+        prop_assert!(!mx_matches_policy(&deeper, &policy));
+    }
+
+    /// Matching is invariant under arbitrary case mangling of either the
+    /// host or the pattern text: both parse to canonical lowercase.
+    #[test]
+    fn matching_folds_case(base in apex(), child in label(), mask in any::<u64>()) {
+        let host = format!("{child}.{base}");
+        let lower = policy_of(&[&host]);
+        let shouted = policy_of(&[&mixed_case(&host, mask)]);
+        let mangled: DomainName = mixed_case(&host, mask.rotate_left(13)).parse().unwrap();
+        let plain: DomainName = host.parse().unwrap();
+        prop_assert_eq!(
+            mx_matches_policy(&mangled, &lower),
+            mx_matches_policy(&plain, &lower)
+        );
+        prop_assert_eq!(
+            mx_matches_policy(&plain, &shouted),
+            mx_matches_policy(&plain, &lower)
+        );
+    }
+
+    /// `classify_mismatch` is the complement of matching: `None` exactly
+    /// when the pattern matches some MX, a typed class otherwise.
+    #[test]
+    fn classification_complements_matching(
+        base in apex(),
+        child in label(),
+        other in label(),
+    ) {
+        let pattern = MxPattern::parse(&format!("{child}.{base}")).unwrap();
+        let hosts: Vec<DomainName> = vec![
+            format!("{other}.{base}").parse().unwrap(),
+            format!("{child}.{base}").parse().unwrap(),
+        ];
+        // The pattern's own name is in the set: always a match.
+        prop_assert_eq!(classify_mismatch(&pattern, &hosts), None);
+        // Remove it; whatever the classifier says must now be `Some`
+        // unless the remaining host happens to equal the pattern.
+        let rest = &hosts[..1];
+        let verdict = classify_mismatch(&pattern, rest);
+        prop_assert_eq!(verdict.is_none(), pattern.matches(&rest[0]));
+    }
+
+    /// A TLD verdict really means the TLDs all disagree, and a wildcard
+    /// pattern one label above the MX set never produces a TLD verdict
+    /// against hosts under its own apex.
+    #[test]
+    fn tld_verdict_is_honest(base in apex(), child in label(), tld in "[a-z]{2,6}") {
+        let host: DomainName = format!("{child}.{base}").parse().unwrap();
+        let foreign = MxPattern::parse(&format!("{child}.{base}.{tld}")).unwrap();
+        if let Some(MismatchKind::Tld) = classify_mismatch(&foreign, std::slice::from_ref(&host)) {
+            prop_assert!(host.tld() != foreign.name().tld());
+        }
+        let wild = MxPattern::parse(&format!("*.{base}")).unwrap();
+        let verdict = classify_mismatch(&wild, std::slice::from_ref(&host));
+        prop_assert_eq!(verdict, None, "wildcard covers its child {host}");
+    }
+
+    /// Multi-label subdomains under a wildcard apex classify as 3LD+ (or
+    /// typo), never as a complete-domain mismatch: the eSLD agrees.
+    #[test]
+    fn deep_subdomain_never_complete_mismatch(
+        base in apex(),
+        a in label(),
+        b in label(),
+    ) {
+        let wild = MxPattern::parse(&format!("*.{base}")).unwrap();
+        let deep: DomainName = format!("{a}.{b}.{base}").parse().unwrap();
+        if let Some(MismatchKind::CompleteDomain) =
+            classify_mismatch(&wild, std::slice::from_ref(&deep))
+        {
+            prop_assert!(false, "{deep} shares the eSLD of *.{base}")
+        }
+    }
+}
