@@ -70,7 +70,12 @@ pub enum CacheDecision {
 /// The sender's policy cache.
 ///
 /// Instrumented with hit/refresh counters for the `cache` benchmark and the
-/// always-refetch ablation in DESIGN.md.
+/// always-refetch ablation in DESIGN.md. `hits` counts decisions served
+/// from cache; `fetches` counts **completed** fetches (a [`store`]) — a
+/// recommended fetch whose HTTPS leg then fails does not inflate the
+/// counter, so `stats()` stays reconcilable with TLSRPT/ledger totals.
+///
+/// [`store`]: PolicyCache::store
 #[derive(Debug, Clone, Default)]
 pub struct PolicyCache {
     entries: HashMap<DomainName, CachedPolicy>,
@@ -84,53 +89,68 @@ impl PolicyCache {
         PolicyCache::default()
     }
 
-    /// Decides between cached use and refetching, given the outcome of the
-    /// `_mta-sts` record lookup (`Some(id)` when a valid record was read,
-    /// `None` when the record was absent or unreadable).
-    pub fn decide(
-        &mut self,
+    /// The decision for `domain`, computed without touching counters or
+    /// entries — the resolver's read-locked fast path. The entry is
+    /// borrowed for the whole classification; a `Policy` clone happens
+    /// only in the `UseCached*` arms that hand it out.
+    ///
+    /// Expired entries are **never** evicted here, whatever the record
+    /// lookup said: when a DNS outage coincides with expiry the entry is
+    /// exactly what the RFC 8461 §3.3 stale fallback needs, so disposal
+    /// belongs to the caller ([`evict`] / [`evict_expired`]), not to the
+    /// decision.
+    ///
+    /// [`evict`]: PolicyCache::evict
+    /// [`evict_expired`]: PolicyCache::evict_expired
+    pub fn assess(
+        &self,
         domain: &DomainName,
         current_record_id: Option<&str>,
         now: SimInstant,
     ) -> CacheDecision {
-        let entry = self.entries.get(domain).cloned();
-        match (entry, current_record_id) {
+        match (self.entries.get(domain), current_record_id) {
             (Some(cached), Some(id)) if cached.is_fresh(now) && cached.record_id == id => {
-                self.hits += 1;
-                CacheDecision::UseCached(cached)
+                CacheDecision::UseCached(cached.clone())
             }
             (Some(cached), Some(_id_changed)) if cached.is_fresh(now) => {
-                self.fetches += 1;
                 CacheDecision::Fetch(RefreshReason::IdChanged)
             }
             (Some(cached), None) if cached.is_fresh(now) => {
                 // Record gone/unreadable but policy still valid: keep
                 // enforcing (this is the RFC's protection, and the §2.6
                 // removal-ordering hazard).
-                self.hits += 1;
-                CacheDecision::UseCachedDespiteDns(cached)
+                CacheDecision::UseCachedDespiteDns(cached.clone())
             }
-            (Some(_expired), Some(_)) => {
-                self.fetches += 1;
-                CacheDecision::Fetch(RefreshReason::Expired)
-            }
-            (Some(expired), None) => {
-                // Expired and no record: drop the entry; MTA-STS no longer
-                // applies.
-                let _ = expired;
-                self.entries.remove(domain);
-                self.fetches += 1;
-                CacheDecision::Fetch(RefreshReason::Expired)
-            }
-            (None, _) => {
-                self.fetches += 1;
-                CacheDecision::Fetch(RefreshReason::NoEntry)
-            }
+            (Some(_expired), _) => CacheDecision::Fetch(RefreshReason::Expired),
+            (None, _) => CacheDecision::Fetch(RefreshReason::NoEntry),
         }
     }
 
-    /// Stores a freshly fetched policy.
+    /// Decides between cached use and refetching, given the outcome of the
+    /// `_mta-sts` record lookup (`Some(id)` when a valid record was read,
+    /// `None` when the record was absent or unreadable). Counts cache
+    /// uses; fetch completions are counted by [`PolicyCache::store`].
+    pub fn decide(
+        &mut self,
+        domain: &DomainName,
+        current_record_id: Option<&str>,
+        now: SimInstant,
+    ) -> CacheDecision {
+        let decision = self.assess(domain, current_record_id, now);
+        if matches!(
+            decision,
+            CacheDecision::UseCached(_) | CacheDecision::UseCachedDespiteDns(_)
+        ) {
+            self.hits += 1;
+        }
+        decision
+    }
+
+    /// Stores a freshly fetched policy. This is the fetch-completion
+    /// point: the `fetches` counter increments here, not when a fetch is
+    /// merely *recommended*, so failed HTTPS legs never inflate it.
     pub fn store(&mut self, domain: DomainName, policy: Policy, record_id: &str, now: SimInstant) {
+        self.fetches += 1;
         self.entries.insert(
             domain,
             CachedPolicy {
@@ -168,7 +188,7 @@ impl PolicyCache {
         self.entries.is_empty()
     }
 
-    /// `(cache uses, fetches)` so far.
+    /// `(cache uses, completed fetches)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.fetches)
     }
@@ -272,11 +292,22 @@ mod tests {
     }
 
     #[test]
-    fn record_removed_and_cache_expired_releases_domain() {
+    fn record_removed_and_cache_expired_recommends_fetch_but_keeps_entry() {
+        // Regression (stale-fallback erasure): the old `decide` evicted
+        // the entry in the (expired, no-record) arm, so a DNS outage
+        // coinciding with expiry erased exactly the entry the §3.3
+        // stale fallback needs. The decision still says Fetch(Expired);
+        // disposal is the caller's (`evict_expired`), not the decision's.
         let mut cache = PolicyCache::new();
         cache.store(n("example.com"), policy(3600), "id1", t0());
         let decision = cache.decide(&n("example.com"), None, t0() + Duration::days(1));
         assert_eq!(decision, CacheDecision::Fetch(RefreshReason::Expired));
+        assert!(
+            cache.peek(&n("example.com")).is_some(),
+            "expired entry must survive the decision for stale fallback"
+        );
+        // Explicit disposal still works.
+        assert_eq!(cache.evict_expired(t0() + Duration::days(1)), 1);
         assert!(cache.peek(&n("example.com")).is_none());
     }
 
@@ -293,13 +324,31 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_uses_and_fetches() {
+    fn stats_count_uses_and_completed_fetches() {
         let mut cache = PolicyCache::new();
-        let _ = cache.decide(&n("a.com"), Some("1"), t0()); // fetch
-        cache.store(n("a.com"), policy(3600), "1", t0());
+        let _ = cache.decide(&n("a.com"), Some("1"), t0()); // fetch recommended
+        cache.store(n("a.com"), policy(3600), "1", t0()); // fetch completed
         let _ = cache.decide(&n("a.com"), Some("1"), t0()); // hit
-        let _ = cache.decide(&n("a.com"), Some("2"), t0()); // fetch (id)
+        let _ = cache.decide(&n("a.com"), Some("2"), t0()); // fetch recommended (id)
+                                                            // Only the completed fetch counts; the two recommendations alone
+                                                            // don't.
+        assert_eq!(cache.stats(), (1, 1));
+        cache.store(n("a.com"), policy(3600), "2", t0());
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn failed_fetch_does_not_inflate_fetch_counter() {
+        // Regression (counter drift): a caller whose HTTPS fetch fails
+        // after `decide` recommended one must not shift `stats()` away
+        // from the TLSRPT/ledger totals — the counter moves on `store`.
+        let mut cache = PolicyCache::new();
+        for _ in 0..5 {
+            let d = cache.decide(&n("a.com"), Some("1"), t0());
+            assert!(matches!(d, CacheDecision::Fetch(_)));
+            // Simulated fetch failure: the caller never stores.
+        }
+        assert_eq!(cache.stats(), (0, 0));
     }
 
     #[test]
@@ -311,14 +360,15 @@ mod tests {
             cache.decide(&n("a.com"), Some("1"), t0()),
             CacheDecision::Fetch(RefreshReason::Expired)
         );
-        // And a record outage must not resurrect it either: the entry is
-        // expired, so the domain is released rather than protected.
+        // And a record outage must not serve it either: the entry is
+        // expired, so the decision is a fetch (the entry itself survives
+        // for the caller's stale-fallback policy to dispose of).
         cache.store(n("a.com"), policy(0), "1", t0());
         assert_eq!(
             cache.decide(&n("a.com"), None, t0()),
             CacheDecision::Fetch(RefreshReason::Expired)
         );
-        assert!(cache.peek(&n("a.com")).is_none());
+        assert!(cache.peek(&n("a.com")).is_some());
     }
 
     #[test]

@@ -183,7 +183,25 @@ pub fn resolve_domain(
         }
         CacheDecision::Fetch(_) => {
             let record = match record {
-                None | Some(Err(RecordError::NoRecord)) => return ResolvedPolicy::NotApplicable,
+                // The record *lookup failed* (SERVFAIL-class). With a
+                // fresh entry we never reach this arm (the cache answers
+                // `UseCachedDespiteDns`); with a retained expired entry
+                // the §3.3 stale fallback keeps governing — a sender
+                // cannot tell attacker-blocked DNS from an outage, and
+                // genuine removal (NXDOMAIN → `NoRecord` below) is the
+                // path that releases the domain. Disposal of truly dead
+                // entries belongs to `PolicyCache::evict_expired`.
+                None => {
+                    return match cache.peek(domain) {
+                        Some(entry) => ResolvedPolicy::Active {
+                            policy: entry.policy.clone(),
+                            from_cache: true,
+                            stale: true,
+                        },
+                        None => ResolvedPolicy::NotApplicable,
+                    }
+                }
+                Some(Err(RecordError::NoRecord)) => return ResolvedPolicy::NotApplicable,
                 Some(Err(e)) => return ResolvedPolicy::RecordInvalid(e),
                 Some(Ok(r)) => r,
             };
@@ -421,6 +439,53 @@ mod tests {
             t0() + Duration::days(1),
         );
         assert!(matches!(r, ResolvedPolicy::Unavailable { .. }));
+    }
+
+    #[test]
+    fn dns_outage_at_expiry_keeps_stale_policy() {
+        // Regression for the stale-fallback erasure: DNS outage
+        // coinciding with cache expiry used to evict the entry inside
+        // `decide`, so enforcement silently dropped to opportunistic at
+        // the exact moment an attacker blocking DNS would want it to.
+        let mut cache = PolicyCache::new();
+        cache.store(
+            n("example.com"),
+            Policy::new(
+                Mode::Enforce,
+                3600,
+                vec![MxPattern::parse("mx.example.com").unwrap()],
+            ),
+            "a1",
+            t0(),
+        );
+        let r = resolve_domain(
+            &mut cache,
+            &n("example.com"),
+            None, // lookup failed (SERVFAIL-class), not NXDOMAIN
+            || panic!("no valid record: no fetch"),
+            t0() + Duration::days(1), // well past max_age
+        );
+        assert!(
+            matches!(
+                &r,
+                ResolvedPolicy::Active {
+                    from_cache: true,
+                    stale: true,
+                    policy,
+                } if policy.mode == Mode::Enforce
+            ),
+            "expired entry must keep governing through a DNS outage, got {r:?}"
+        );
+        // Genuine removal (NXDOMAIN → empty record set) still releases
+        // the domain even with the entry retained.
+        let r = resolve_domain(
+            &mut cache,
+            &n("example.com"),
+            Some(&[]),
+            || panic!("no record: no fetch"),
+            t0() + Duration::days(1),
+        );
+        assert_eq!(r, ResolvedPolicy::NotApplicable);
     }
 
     #[test]

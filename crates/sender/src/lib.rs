@@ -31,6 +31,9 @@
 //!   wave) policy resolution through the TOFU cache with RFC 8461 §3.3
 //!   stale fallback, typed per-attempt TLS requirements, and DANE
 //!   precedence (RFC 7672);
+//! - [`resolver`]: the shared-concurrency policy-resolution service —
+//!   sharded TOFU cache with lock-free reads, single-flight refresh,
+//!   token-bucket fetch admission, and a Prometheus `/metrics` surface;
 //! - [`scenario`]: the degraded-MX chaos worlds (hard-down, flapping,
 //!   tier outage, greylisting) shared by tests, bench, and example.
 
@@ -42,6 +45,7 @@ pub mod mx_select;
 pub mod pipeline;
 pub mod platform;
 pub mod profile;
+pub mod resolver;
 pub mod scenario;
 
 pub use analysis::{analyze, SenderStats};
@@ -58,4 +62,9 @@ pub use pipeline::{
 };
 pub use platform::{Platform, TestCase, TestRecord};
 pub use profile::{SenderPopulation, SenderProfile, TlsSupport};
+pub use resolver::{
+    resolution_digest, resolve_shared, AdmissionConfig, DaemonConfig, Disposition, MetricsSnapshot,
+    PolicyResolver, PolicySource, Resolution, ResolverConfig, ResolverDaemon, ShardedPolicyCache,
+    TransportSource,
+};
 pub use scenario::{Degradation, Scenario, ScenarioSpec, StsDeployment};

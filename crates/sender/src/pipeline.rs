@@ -33,11 +33,11 @@
 
 use crate::breaker::{Admission, BreakerBoard, BreakerConfig, HostEvent};
 use crate::enforce::{
-    resolve_domain, EnforcementConfig, ResolvedPolicy, StsApplication, TlsEvidence, TlsRequirement,
-    WavePolicies,
+    EnforcementConfig, ResolvedPolicy, StsApplication, TlsEvidence, TlsRequirement, WavePolicies,
 };
 use crate::mx_select::{filter_ladder_for_policy, implicit_mx, mx_ladder, MxCandidate};
-use mtasts::{CachedPolicy, Mode, PolicyCache, ReportBuilder, StsFailure, StsOutcome};
+use crate::resolver::{resolve_shared, ResolverConfig, ShardedPolicyCache, TransportSource};
+use mtasts::{CachedPolicy, Mode, ReportBuilder, StsFailure, StsOutcome};
 use netbase::AttemptEvent;
 use netbase::{map_sharded, DetRng, DomainName, Duration, RetryPolicy, RetryVerdict, SimInstant};
 use serde::{Deserialize, Serialize};
@@ -575,7 +575,13 @@ impl DeliveryQueue {
         }
         // The TOFU policy cache rides the checkpoint so a resumed run
         // replays the same cache decisions the uninterrupted run makes.
-        let mut sts_cache = PolicyCache::from_snapshot(ckpt.sts_cache.clone());
+        // Since PR 8 it is the resolver's sharded cache, so the queue
+        // and a co-resident daemon share one implementation; the
+        // snapshot format (sorted entries) is unchanged.
+        let sts_cache = ShardedPolicyCache::from_snapshot(
+            ckpt.sts_cache.clone(),
+            ResolverConfig::default().shards,
+        );
         let mut index = ckpt.next_index;
         let mut processed_here = 0usize;
 
@@ -611,7 +617,7 @@ impl DeliveryQueue {
             let wave_policies = if self.cfg.enforcement.is_some() {
                 resolve_wave(
                     &self.cfg,
-                    &mut sts_cache,
+                    &sts_cache,
                     transport,
                     batch,
                     index as u64,
@@ -667,12 +673,13 @@ impl DeliveryQueue {
 /// submission order, at the admission instant of its first message.
 fn resolve_wave<T: MxTransport>(
     cfg: &QueueConfig,
-    cache: &mut PolicyCache,
+    cache: &ShardedPolicyCache,
     transport: &T,
     batch: &[QueuedMessage],
     base_seq: u64,
     stats: &mut QueueStats,
 ) -> WavePolicies {
+    let source = TransportSource(transport);
     let mut policies = WavePolicies::new();
     for (j, msg) in batch.iter().enumerate() {
         let Some(domain) = msg.recipient_domain() else {
@@ -682,13 +689,7 @@ fn resolve_wave<T: MxTransport>(
             continue;
         }
         let now = admission_instant(cfg, base_seq + j as u64);
-        let resolved = resolve_domain(
-            cache,
-            &domain,
-            transport.sts_record(&domain, now).as_deref(),
-            || transport.fetch_sts_policy(&domain, now),
-            now,
-        );
+        let (resolved, _) = resolve_shared(cache, &source, &domain, now);
         if matches!(resolved, ResolvedPolicy::Active { stale: true, .. }) {
             stats.stale_fallbacks += 1;
             obsv::counter!("delivery.sts_stale_fallback");

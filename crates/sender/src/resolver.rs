@@ -1,0 +1,1181 @@
+//! The shared-concurrency policy-resolution service: "how do I deliver
+//! to domain X right now?" for millions of queued messages (ROADMAP
+//! item 2; paper §2.4/§3.3).
+//!
+//! The per-message engine ([`crate::delivery`]) and the queue's per-wave
+//! resolution ([`crate::enforce`]) both answer that question for *one*
+//! caller at a time over a private [`PolicyCache`]. A long-running MTA
+//! answers it for hundreds of concurrent delivery workers, and the
+//! sender-side measurements ("Lazy Gatekeepers", PAPERS.md) show that
+//! *this* layer — what the cache does under live traffic — decides how
+//! much protection MTA-STS actually delivers. This module is that
+//! service:
+//!
+//! - **[`ShardedPolicyCache`]** — `RwLock`-per-shard over the existing
+//!   [`PolicyCache`] decision logic. Reads (the overwhelmingly common
+//!   warm-path operation) take a shard read lock and never write, so
+//!   they proceed concurrently; writes touch exactly one shard. Shard
+//!   assignment is FNV-1a over the domain's labels, so it is stable
+//!   across runs and processes.
+//! - **Single-flight refresh** — a thundering herd of N workers
+//!   resolving the same cold domain triggers exactly **one** policy
+//!   fetch: the first caller becomes the flight leader, the other N−1
+//!   park on the in-flight slot (a condvar) and reuse the leader's
+//!   result. Coalesced waits are counted.
+//! - **Request admission** — the HTTPS fetch leg (the part that can
+//!   hammer a small policy host) is gated by a
+//!   [`netbase::rate::TokenBucket`]. The deterministic batch driver
+//!   plans admission instants with [`TokenBucket::plan_admissions`],
+//!   exactly as the parallel scanner's per-shard clocks do, and sheds
+//!   requests whose admission would be delayed past the configured
+//!   bound.
+//! - **Kumomta egress semantics** — answers are the existing
+//!   [`ResolvedPolicy`] / [`crate::enforce::TlsRequirement`] types, so
+//!   cached policy *mode* adjusts the effective TLS requirement and the
+//!   DANE/TLSA precedence rule of the queue is untouched (DANE is
+//!   per-MX-host and stays with the attempt planner).
+//! - **`/metrics`** — the service's counters (hits, fetches, coalesced
+//!   waits, stale fallbacks, shed requests, …) render through the
+//!   `obsv` Prometheus exporter; [`ResolverDaemon`] serves them over a
+//!   real TCP socket.
+//!
+//! # Determinism contract
+//!
+//! Live concurrent [`PolicyResolver::resolve`] calls are scheduled by
+//! the OS and make no ordering promise beyond single-flight. The
+//! **batch** driver [`PolicyResolver::resolve_batch`] is the
+//! deterministic surface: for a fixed `(cache state, source behaviour,
+//! batch, submit instant)` its resolution ledger — and therefore
+//! [`resolution_digest`] — is byte-identical at every `SCAN_THREADS`,
+//! because classification is a pure read phase, fetch admission is
+//! planned once on the single logical bucket, and stores fold back in
+//! submission order.
+
+use crate::enforce::ResolvedPolicy;
+use crate::pipeline::MxTransport;
+use mtasts::{
+    evaluate_record_set, parse_policy, CacheDecision, CachedPolicy, Mode, PolicyCache, RecordError,
+    StsRecord,
+};
+use netbase::{map_sharded, DomainName, Duration, SimInstant, TokenBucket};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+// ---------------------------------------------------------------------
+// Policy source
+// ---------------------------------------------------------------------
+
+/// Where policies come from: the `_mta-sts` TXT lookup and the
+/// strict-TLS HTTPS fetch. Both must be pure functions of
+/// `(domain, now)` for the batch driver's determinism contract to hold.
+pub trait PolicySource: Sync {
+    /// The `_mta-sts.<domain>` TXT strings; `None` when the lookup
+    /// failed (SERVFAIL-class), `Some(vec![])` when the name does not
+    /// exist.
+    fn record_txts(&self, domain: &DomainName, now: SimInstant) -> Option<Vec<String>>;
+
+    /// Fetches the raw policy document over strict-TLS HTTPS.
+    fn fetch_policy(&self, domain: &DomainName, now: SimInstant) -> Result<String, String>;
+}
+
+/// Adapts any queue transport into a [`PolicySource`], so the delivery
+/// pipeline and the daemon resolve through one cache implementation.
+pub struct TransportSource<'a, T: MxTransport + ?Sized>(pub &'a T);
+
+impl<T: MxTransport + ?Sized> PolicySource for TransportSource<'_, T> {
+    fn record_txts(&self, domain: &DomainName, now: SimInstant) -> Option<Vec<String>> {
+        self.0.sts_record(domain, now)
+    }
+
+    fn fetch_policy(&self, domain: &DomainName, now: SimInstant) -> Result<String, String> {
+        self.0.fetch_sts_policy(domain, now)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded cache
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit, fed incrementally (shard selection, ledger digests).
+fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The shard a domain maps to among `n` shards (`n` a power of two):
+/// FNV-1a over its labels, stable across runs and processes.
+fn shard_index_for(domain: &DomainName, n: usize) -> usize {
+    let mut h = FNV_OFFSET;
+    for label in domain.labels() {
+        h = fnv64(h, label.as_bytes());
+        h = fnv64(h, b".");
+    }
+    (h as usize) & (n - 1)
+}
+
+/// A concurrent TOFU policy cache: `RwLock`-per-shard over
+/// [`PolicyCache`]. Decision logic is entirely the inner cache's
+/// ([`PolicyCache::assess`]), so a sharded cache is observationally
+/// equivalent to one big `PolicyCache` — the property the oracle
+/// cross-check proptest pins.
+#[derive(Debug)]
+pub struct ShardedPolicyCache {
+    shards: Vec<RwLock<PolicyCache>>,
+    /// Cache uses (served decisions), summed across all callers.
+    hits: AtomicU64,
+}
+
+impl ShardedPolicyCache {
+    /// A cache with `shards` shards (rounded up to a power of two,
+    /// minimum 1).
+    pub fn new(shards: usize) -> ShardedPolicyCache {
+        let n = shards.max(1).next_power_of_two();
+        ShardedPolicyCache {
+            shards: (0..n).map(|_| RwLock::new(PolicyCache::new())).collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds a cache from a [`snapshot`](ShardedPolicyCache::snapshot)
+    /// (same entry format as [`PolicyCache::snapshot`], so pipeline
+    /// checkpoints written before the sharded cache still restore).
+    /// Counters start at zero — seeding is not traffic.
+    pub fn from_snapshot(
+        entries: Vec<(DomainName, CachedPolicy)>,
+        shards: usize,
+    ) -> ShardedPolicyCache {
+        let n = shards.max(1).next_power_of_two();
+        let mut per_shard: Vec<Vec<(DomainName, CachedPolicy)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (domain, entry) in entries {
+            per_shard[shard_index_for(&domain, n)].push((domain, entry));
+        }
+        // Per-shard `from_snapshot` keeps counters at zero: seeding is
+        // not fetch traffic.
+        ShardedPolicyCache {
+            shards: per_shard
+                .into_iter()
+                .map(|entries| RwLock::new(PolicyCache::from_snapshot(entries)))
+                .collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a domain lives in: FNV-1a over its labels, stable
+    /// across runs, processes, and shard-count-preserving rebuilds.
+    pub fn shard_index(&self, domain: &DomainName) -> usize {
+        shard_index_for(domain, self.shards.len())
+    }
+
+    /// The cache decision for `domain` under a shard **read** lock —
+    /// the lock-free-read warm path. Counts a hit when the decision is
+    /// served from cache.
+    pub fn assess(
+        &self,
+        domain: &DomainName,
+        current_record_id: Option<&str>,
+        now: SimInstant,
+    ) -> CacheDecision {
+        let shard = self.shards[self.shard_index(domain)]
+            .read()
+            .expect("shard lock poisoned");
+        let decision = shard.assess(domain, current_record_id, now);
+        if matches!(
+            decision,
+            CacheDecision::UseCached(_) | CacheDecision::UseCachedDespiteDns(_)
+        ) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    /// Stores a freshly fetched policy (shard write lock; the inner
+    /// cache counts the completed fetch).
+    pub fn store(
+        &self,
+        domain: DomainName,
+        policy: mtasts::Policy,
+        record_id: &str,
+        now: SimInstant,
+    ) {
+        let idx = self.shard_index(&domain);
+        self.shards[idx]
+            .write()
+            .expect("shard lock poisoned")
+            .store(domain, policy, record_id, now);
+    }
+
+    /// A clone of the raw entry, fresh or not (stale-fallback reads).
+    pub fn entry_clone(&self, domain: &DomainName) -> Option<CachedPolicy> {
+        self.shards[self.shard_index(domain)]
+            .read()
+            .expect("shard lock poisoned")
+            .peek(domain)
+            .cloned()
+    }
+
+    /// Removes every expired entry across all shards; returns how many
+    /// were dropped. This is the disposal path `decide`/`assess`
+    /// deliberately do not take (stale fallback needs the entries).
+    pub fn evict_expired(&self, now: SimInstant) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.write().expect("shard lock poisoned").evict_expired(now))
+            .sum()
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(cache uses, completed fetches)` across all shards.
+    pub fn stats(&self) -> (u64, u64) {
+        let fetches = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").stats().1)
+            .sum();
+        (self.hits.load(Ordering::Relaxed), fetches)
+    }
+
+    /// A canonical snapshot: every entry from every shard, sorted by
+    /// domain — byte-identical to the equivalent single
+    /// [`PolicyCache::snapshot`], whatever the shard count (the
+    /// shard-merge determinism property).
+    pub fn snapshot(&self) -> Vec<(DomainName, CachedPolicy)> {
+        let mut entries: Vec<(DomainName, CachedPolicy)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().expect("shard lock poisoned").snapshot())
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared resolution (pipeline + resolver leaders)
+// ---------------------------------------------------------------------
+
+/// How a resolution was satisfied — the ledger-facing classification
+/// behind the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Fresh cache entry, record id unchanged.
+    Hit,
+    /// Fresh cache entry despite a failed record lookup (TOFU
+    /// downgrade protection).
+    HitDespiteDns,
+    /// A completed HTTPS fetch (this caller was the flight leader).
+    Fetched,
+    /// Parked on another caller's in-flight fetch and reused its result.
+    Coalesced,
+    /// Refresh failed; a retained cached policy governs (RFC 8461 §3.3).
+    StaleFallback,
+    /// No record (or NXDOMAIN): MTA-STS does not apply.
+    Undeployed,
+    /// A record exists but is invalid (counts as not deployed, §3.1).
+    RecordInvalid,
+    /// Fetch failed and nothing cached could take over.
+    Unavailable,
+    /// Admission control refused the fetch leg (token bucket empty or
+    /// delay past the bound).
+    Shed,
+}
+
+/// The pre-evaluated `_mta-sts` record lookup.
+type RecordLookup = Option<Result<StsRecord, RecordError>>;
+
+fn evaluate_lookup(txts: Option<&[String]>) -> RecordLookup {
+    txts.map(evaluate_record_set)
+}
+
+fn record_id_of(record: &RecordLookup) -> Option<String> {
+    match record {
+        Some(Ok(r)) => Some(r.id.clone()),
+        _ => None,
+    }
+}
+
+/// §3.3 stale fallback against the sharded cache: a still-fresh entry
+/// keeps governing after a failed refresh; an expired one never
+/// resurrects *on this path* (the record was readable, so the domain
+/// demonstrably still publishes MTA-STS — a dark policy host past
+/// `max_age` resolves Unavailable, exactly like [`crate::enforce`]).
+fn stale_or_shared(
+    cache: &ShardedPolicyCache,
+    domain: &DomainName,
+    now: SimInstant,
+    reason: String,
+) -> (ResolvedPolicy, Disposition) {
+    match cache.entry_clone(domain).filter(|e| e.is_fresh(now)) {
+        Some(entry) => (
+            ResolvedPolicy::Active {
+                policy: entry.policy,
+                from_cache: true,
+                stale: true,
+            },
+            Disposition::StaleFallback,
+        ),
+        None => (
+            ResolvedPolicy::Unavailable { reason },
+            Disposition::Unavailable,
+        ),
+    }
+}
+
+/// Resolves `domain` against the shared cache with a pre-evaluated
+/// record lookup. `admit_fetch` gates the HTTPS leg (admission
+/// control); everything up to it is lock-free reads plus at most one
+/// shard write on a completed fetch.
+///
+/// This is the single implementation both the delivery pipeline's
+/// per-wave resolution and the resolver's flight leaders run — the
+/// semantics mirror [`crate::enforce::resolve_domain`] over one big
+/// cache, which the oracle cross-check proptest verifies.
+fn resolve_with_record<S: PolicySource + ?Sized>(
+    cache: &ShardedPolicyCache,
+    source: &S,
+    domain: &DomainName,
+    record: RecordLookup,
+    now: SimInstant,
+    admit_fetch: &mut dyn FnMut(SimInstant) -> bool,
+) -> (ResolvedPolicy, Disposition) {
+    let record_id = record_id_of(&record);
+    match cache.assess(domain, record_id.as_deref(), now) {
+        CacheDecision::UseCached(entry) => (
+            ResolvedPolicy::Active {
+                policy: entry.policy,
+                from_cache: true,
+                stale: false,
+            },
+            Disposition::Hit,
+        ),
+        CacheDecision::UseCachedDespiteDns(entry) => (
+            ResolvedPolicy::Active {
+                policy: entry.policy,
+                from_cache: true,
+                stale: false,
+            },
+            Disposition::HitDespiteDns,
+        ),
+        CacheDecision::Fetch(_) => match record {
+            // Record lookup failed (SERVFAIL-class): any retained entry —
+            // even past `max_age`, since `decide` no longer disposes of
+            // it — keeps governing (§3.3; a sender cannot tell blocked
+            // DNS from an outage). Genuine removal is the NXDOMAIN arm.
+            None => match cache.entry_clone(domain) {
+                Some(entry) => (
+                    ResolvedPolicy::Active {
+                        policy: entry.policy,
+                        from_cache: true,
+                        stale: true,
+                    },
+                    Disposition::StaleFallback,
+                ),
+                None => (ResolvedPolicy::NotApplicable, Disposition::Undeployed),
+            },
+            Some(Err(RecordError::NoRecord)) => {
+                (ResolvedPolicy::NotApplicable, Disposition::Undeployed)
+            }
+            Some(Err(e)) => (ResolvedPolicy::RecordInvalid(e), Disposition::RecordInvalid),
+            Some(Ok(rec)) => {
+                if !admit_fetch(now) {
+                    return (
+                        ResolvedPolicy::Unavailable {
+                            reason: "fetch shed by admission control".to_string(),
+                        },
+                        Disposition::Shed,
+                    );
+                }
+                match source.fetch_policy(domain, now) {
+                    Ok(body) => match parse_policy(&body) {
+                        Ok(policy) => {
+                            cache.store(domain.clone(), policy.clone(), &rec.id, now);
+                            (
+                                ResolvedPolicy::Active {
+                                    policy,
+                                    from_cache: false,
+                                    stale: false,
+                                },
+                                Disposition::Fetched,
+                            )
+                        }
+                        Err(e) => stale_or_shared(
+                            cache,
+                            domain,
+                            now,
+                            format!("policy parse failure: {e:?}"),
+                        ),
+                    },
+                    Err(e) => {
+                        stale_or_shared(cache, domain, now, format!("policy fetch failure: {e}"))
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// Sequential resolution through the shared cache — the delivery
+/// pipeline's per-wave entry point (no admission, no flight: wave
+/// resolution is already one-caller-per-domain by construction).
+pub fn resolve_shared<S: PolicySource + ?Sized>(
+    cache: &ShardedPolicyCache,
+    source: &S,
+    domain: &DomainName,
+    now: SimInstant,
+) -> (ResolvedPolicy, Disposition) {
+    let txts = source.record_txts(domain, now);
+    let record = evaluate_lookup(txts.as_deref());
+    resolve_with_record(cache, source, domain, record, now, &mut |_| true)
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// The resolver's service counters. Monotonic, relaxed atomics: totals
+/// are exact (every event increments exactly once), order is not
+/// meaningful.
+#[derive(Debug, Default)]
+struct Metrics {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    hits_despite_dns: AtomicU64,
+    fetches: AtomicU64,
+    coalesced: AtomicU64,
+    stale_fallbacks: AtomicU64,
+    shed: AtomicU64,
+    undeployed: AtomicU64,
+    record_invalid: AtomicU64,
+    unavailable: AtomicU64,
+    evicted: AtomicU64,
+    sweeps: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Total resolve calls answered (batch rows included).
+    pub requests: u64,
+    /// Decisions served from a fresh cache entry.
+    pub hits: u64,
+    /// Hits served through a failed record lookup (TOFU protection).
+    pub hits_despite_dns: u64,
+    /// Completed HTTPS policy fetches.
+    pub fetches: u64,
+    /// Callers that parked on an in-flight fetch and reused its result.
+    pub coalesced: u64,
+    /// RFC 8461 §3.3 stale fallbacks served.
+    pub stale_fallbacks: u64,
+    /// Fetches refused by admission control.
+    pub shed: u64,
+    /// Resolutions concluding MTA-STS does not apply.
+    pub undeployed: u64,
+    /// Resolutions hitting an invalid `_mta-sts` record.
+    pub record_invalid: u64,
+    /// Resolutions with no usable policy and no fallback.
+    pub unavailable: u64,
+    /// Entries dropped by expiry sweeps.
+    pub evicted: u64,
+    /// Expiry sweeps run.
+    pub sweeps: u64,
+    /// Live cache entries at snapshot time.
+    pub cache_entries: u64,
+}
+
+impl Metrics {
+    fn count(&self, disposition: Disposition) {
+        let slot = match disposition {
+            Disposition::Hit => &self.hits,
+            Disposition::HitDespiteDns => &self.hits_despite_dns,
+            Disposition::Fetched => &self.fetches,
+            Disposition::Coalesced => &self.coalesced,
+            Disposition::StaleFallback => &self.stale_fallbacks,
+            Disposition::Shed => &self.shed,
+            Disposition::Undeployed => &self.undeployed,
+            Disposition::RecordInvalid => &self.record_invalid,
+            Disposition::Unavailable => &self.unavailable,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resolver
+// ---------------------------------------------------------------------
+
+/// Admission control for the fetch leg.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Sustained fetches per second.
+    pub rate_per_sec: f64,
+    /// Burst capacity.
+    pub burst: u32,
+    /// Batch driver: a fetch whose planned admission instant would lie
+    /// more than this far past its submit instant is shed instead of
+    /// queued. The live path sheds when no token is immediately
+    /// available (a parked delivery worker cannot wait out a refill).
+    pub max_delay: Duration,
+}
+
+/// Resolver tuning.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Cache shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Fetch admission; `None` disables shedding entirely.
+    pub admission: Option<AdmissionConfig>,
+    /// Worker threads for [`PolicyResolver::resolve_batch`]
+    /// (0 = read `SCAN_THREADS`, default 1).
+    pub threads: usize,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> ResolverConfig {
+        ResolverConfig {
+            shards: 16,
+            admission: None,
+            threads: 0,
+        }
+    }
+}
+
+impl ResolverConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::env::var("SCAN_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    }
+}
+
+/// One in-flight fetch slot: the leader publishes its result here and
+/// wakes every parked follower.
+#[derive(Default)]
+struct Flight {
+    result: Mutex<Option<(ResolvedPolicy, Disposition)>>,
+    ready: Condvar,
+}
+
+/// One row of the resolution ledger — serializable, so the batch
+/// driver's output digests like the delivery ledger does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Submission index within the batch (stable across thread counts).
+    pub seq: u64,
+    /// The recipient domain resolved.
+    pub domain: DomainName,
+    /// How the resolution was satisfied.
+    pub disposition: Disposition,
+    /// The governing policy's mode, when one applies.
+    pub mode: Option<Mode>,
+    /// Whether §3.3 stale fallback supplied the policy.
+    pub stale: bool,
+    /// The instant the resolution was performed at (admission clock for
+    /// fetch leaders, submit instant otherwise).
+    pub resolved_unix_secs: i64,
+}
+
+/// FNV-1a 64-bit over the serialized resolution ledger — the
+/// byte-identity witness the 1-vs-8-thread tests and `exp_resolver`
+/// compare.
+pub fn resolution_digest(rows: &[Resolution]) -> String {
+    let payload = serde_json::to_string(rows).expect("ledger serializes");
+    format!("{:016x}", fnv64(FNV_OFFSET, payload.as_bytes()))
+}
+
+fn row_for(
+    seq: u64,
+    domain: &DomainName,
+    resolved: &ResolvedPolicy,
+    disposition: Disposition,
+    at: SimInstant,
+) -> Resolution {
+    let (mode, stale) = match resolved {
+        ResolvedPolicy::Active { policy, stale, .. } => (Some(policy.mode), *stale),
+        _ => (None, false),
+    };
+    Resolution {
+        seq,
+        domain: domain.clone(),
+        disposition,
+        mode,
+        stale,
+        resolved_unix_secs: at.unix_secs(),
+    }
+}
+
+/// The concurrent policy-resolution service.
+pub struct PolicyResolver {
+    cfg: ResolverConfig,
+    cache: ShardedPolicyCache,
+    /// Per-shard in-flight fetch slots (single-flight).
+    inflight: Vec<Mutex<HashMap<DomainName, Arc<Flight>>>>,
+    /// The single logical admission bucket (per-shard clocks are
+    /// *planned* from it, as the scan engine does).
+    bucket: Option<Mutex<TokenBucket>>,
+    metrics: Metrics,
+}
+
+impl PolicyResolver {
+    /// A resolver with an empty cache. `epoch` starts the admission
+    /// bucket's clock.
+    pub fn new(cfg: ResolverConfig, epoch: SimInstant) -> PolicyResolver {
+        PolicyResolver::with_cache(cfg, epoch, Vec::new())
+    }
+
+    /// A resolver seeded from a cache snapshot (checkpoint resume, warm
+    /// starts). Seeding never touches counters.
+    pub fn with_cache(
+        cfg: ResolverConfig,
+        epoch: SimInstant,
+        entries: Vec<(DomainName, CachedPolicy)>,
+    ) -> PolicyResolver {
+        let cache = ShardedPolicyCache::from_snapshot(entries, cfg.shards);
+        let inflight = (0..cache.shard_count()).map(|_| Mutex::default()).collect();
+        let bucket = cfg
+            .admission
+            .as_ref()
+            .map(|a| Mutex::new(TokenBucket::new(a.rate_per_sec, a.burst, epoch)));
+        PolicyResolver {
+            cfg,
+            cache,
+            inflight,
+            bucket,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The underlying sharded cache (snapshots, sweeps, tests).
+    pub fn cache(&self) -> &ShardedPolicyCache {
+        &self.cache
+    }
+
+    /// A copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            hits: self.metrics.hits.load(Ordering::Relaxed),
+            hits_despite_dns: self.metrics.hits_despite_dns.load(Ordering::Relaxed),
+            fetches: self.metrics.fetches.load(Ordering::Relaxed),
+            coalesced: self.metrics.coalesced.load(Ordering::Relaxed),
+            stale_fallbacks: self.metrics.stale_fallbacks.load(Ordering::Relaxed),
+            shed: self.metrics.shed.load(Ordering::Relaxed),
+            undeployed: self.metrics.undeployed.load(Ordering::Relaxed),
+            record_invalid: self.metrics.record_invalid.load(Ordering::Relaxed),
+            unavailable: self.metrics.unavailable.load(Ordering::Relaxed),
+            evicted: self.metrics.evicted.load(Ordering::Relaxed),
+            sweeps: self.metrics.sweeps.load(Ordering::Relaxed),
+            cache_entries: self.cache.len() as u64,
+        }
+    }
+
+    /// The counters as an `obsv` collector — the `/metrics` surface
+    /// renders this through [`obsv::export::prometheus_text`].
+    pub fn metrics_collector(&self) -> obsv::Collector {
+        let snap = self.metrics();
+        let mut c = obsv::Collector::new();
+        let pairs: [(&'static str, u64); 13] = [
+            ("resolver.requests", snap.requests),
+            ("resolver.hits", snap.hits),
+            ("resolver.hits_despite_dns", snap.hits_despite_dns),
+            ("resolver.fetches", snap.fetches),
+            ("resolver.coalesced_waits", snap.coalesced),
+            ("resolver.stale_fallbacks", snap.stale_fallbacks),
+            ("resolver.shed_requests", snap.shed),
+            ("resolver.undeployed", snap.undeployed),
+            ("resolver.record_invalid", snap.record_invalid),
+            ("resolver.unavailable", snap.unavailable),
+            ("resolver.evicted", snap.evicted),
+            ("resolver.sweeps", snap.sweeps),
+            ("resolver.cache_entries", snap.cache_entries),
+        ];
+        for (name, value) in pairs {
+            *c.counters.entry(name).or_default() += value;
+        }
+        c
+    }
+
+    /// The Prometheus text exposition of the service counters.
+    pub fn metrics_text(&self) -> String {
+        obsv::export::prometheus_text(&self.metrics_collector())
+    }
+
+    /// Removes expired entries (the disposal path the decision logic
+    /// deliberately does not take).
+    pub fn sweep(&self, now: SimInstant) -> usize {
+        let evicted = self.cache.evict_expired(now);
+        self.metrics.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        obsv::counter!("resolver.sweep_evicted", evicted as u64);
+        evicted
+    }
+
+    /// Live concurrent resolution with single-flight refresh: any
+    /// number of threads may call this; a cold domain triggers exactly
+    /// one policy fetch, with every other caller parked on the flight
+    /// slot and reusing the leader's result.
+    pub fn resolve<S: PolicySource>(
+        &self,
+        source: &S,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> (ResolvedPolicy, Disposition) {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let txts = source.record_txts(domain, now);
+        let record = evaluate_lookup(txts.as_deref());
+        let record_id = record_id_of(&record);
+
+        // Warm path: one shard read lock, no writes anywhere.
+        match self.cache.assess(domain, record_id.as_deref(), now) {
+            CacheDecision::UseCached(entry) => {
+                self.metrics.count(Disposition::Hit);
+                obsv::counter!("resolver.hit");
+                return (
+                    ResolvedPolicy::Active {
+                        policy: entry.policy,
+                        from_cache: true,
+                        stale: false,
+                    },
+                    Disposition::Hit,
+                );
+            }
+            CacheDecision::UseCachedDespiteDns(entry) => {
+                self.metrics.count(Disposition::HitDespiteDns);
+                obsv::counter!("resolver.hit");
+                return (
+                    ResolvedPolicy::Active {
+                        policy: entry.policy,
+                        from_cache: true,
+                        stale: false,
+                    },
+                    Disposition::HitDespiteDns,
+                );
+            }
+            CacheDecision::Fetch(_) => {}
+        }
+
+        // Cold path: join or lead the flight for this domain.
+        let shard = self.cache.shard_index(domain);
+        let (flight, leader) = {
+            let mut map = self.inflight[shard].lock().expect("inflight lock poisoned");
+            match map.get(domain) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    map.insert(domain.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            // Park until the leader publishes, then reuse its result.
+            let mut slot = flight.result.lock().expect("flight lock poisoned");
+            while slot.is_none() {
+                slot = flight.ready.wait(slot).expect("flight lock poisoned");
+            }
+            let (resolved, _) = slot.clone().expect("slot filled");
+            self.metrics.count(Disposition::Coalesced);
+            obsv::counter!("resolver.coalesced_wait");
+            return (resolved, Disposition::Coalesced);
+        }
+
+        // Leader: re-run the full resolution (the cache may have been
+        // filled between the assessment above and taking leadership —
+        // `resolve_with_record` re-assesses first, so a just-landed
+        // policy turns this flight into a hit without a second fetch).
+        let mut admit = |at: SimInstant| match &self.bucket {
+            Some(bucket) => bucket.lock().expect("bucket lock poisoned").try_acquire(at),
+            None => true,
+        };
+        let outcome = resolve_with_record(&self.cache, source, domain, record, now, &mut admit);
+        {
+            let mut slot = flight.result.lock().expect("flight lock poisoned");
+            *slot = Some(outcome.clone());
+            flight.ready.notify_all();
+        }
+        self.inflight[shard]
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(domain);
+        self.metrics.count(outcome.1);
+        if matches!(outcome.1, Disposition::Fetched) {
+            obsv::counter!("resolver.fetch");
+        }
+        outcome
+    }
+
+    /// Deterministic batch resolution: resolves `domains` (a wave of
+    /// requests submitted at `submitted`) and returns one ledger row
+    /// per request, in submission order.
+    ///
+    /// Within the batch, duplicate cold domains coalesce onto the first
+    /// occurrence's fetch — the batch-mode face of single-flight.
+    /// Fetch admission instants are planned once on the logical bucket
+    /// via [`TokenBucket::plan_admissions`] (or the shedding variant
+    /// when a delay bound is configured), so the ledger — and
+    /// [`resolution_digest`] — is byte-identical at every thread count.
+    pub fn resolve_batch<S: PolicySource>(
+        &self,
+        source: &S,
+        domains: &[DomainName],
+        submitted: SimInstant,
+    ) -> Vec<Resolution> {
+        let threads = self.cfg.effective_threads();
+        self.metrics
+            .requests
+            .fetch_add(domains.len() as u64, Ordering::Relaxed);
+
+        // Phase A (parallel, pure reads): record lookup + cache
+        // assessment per request. No writes happen anywhere in this
+        // phase, so every thread count observes the same pre-wave cache.
+        enum Class {
+            Served(ResolvedPolicy, Disposition),
+            NeedsFetch(RecordLookup),
+        }
+        let classified: Vec<Class> = map_sharded(threads, domains, |_, domain| {
+            let txts = source.record_txts(domain, submitted);
+            let record = evaluate_lookup(txts.as_deref());
+            let record_id = record_id_of(&record);
+            match self.cache.assess(domain, record_id.as_deref(), submitted) {
+                CacheDecision::UseCached(entry) => Class::Served(
+                    ResolvedPolicy::Active {
+                        policy: entry.policy,
+                        from_cache: true,
+                        stale: false,
+                    },
+                    Disposition::Hit,
+                ),
+                CacheDecision::UseCachedDespiteDns(entry) => Class::Served(
+                    ResolvedPolicy::Active {
+                        policy: entry.policy,
+                        from_cache: true,
+                        stale: false,
+                    },
+                    Disposition::HitDespiteDns,
+                ),
+                CacheDecision::Fetch(_) => Class::NeedsFetch(record),
+            }
+        });
+
+        // Phase B (sequential): first occurrence of each cold domain
+        // leads; later occurrences coalesce. Leaders that actually need
+        // the HTTPS leg (valid record) get planned admission instants.
+        let mut leader_of: HashMap<&DomainName, usize> = HashMap::new();
+        let mut leaders: Vec<usize> = Vec::new();
+        for (i, class) in classified.iter().enumerate() {
+            if matches!(class, Class::NeedsFetch(_)) {
+                leader_of.entry(&domains[i]).or_insert_with(|| {
+                    leaders.push(i);
+                    i
+                });
+            }
+        }
+        let fetch_leaders: Vec<usize> = leaders
+            .iter()
+            .copied()
+            .filter(|&i| matches!(&classified[i], Class::NeedsFetch(Some(Ok(_)))))
+            .collect();
+        // Admission plan: one instant per fetch leader, from the single
+        // logical bucket (deterministic per-shard clocks, PR-3 style).
+        // `None` = shed.
+        let admissions: Vec<Option<SimInstant>> = match (&self.bucket, &self.cfg.admission) {
+            (Some(bucket), Some(adm)) => {
+                let mut bucket = bucket.lock().expect("bucket lock poisoned");
+                fetch_leaders
+                    .iter()
+                    .map(|_| {
+                        let wait = bucket.time_until_available(submitted);
+                        if wait > adm.max_delay {
+                            None
+                        } else {
+                            Some(bucket.acquire_at(submitted))
+                        }
+                    })
+                    .collect()
+            }
+            _ => fetch_leaders.iter().map(|_| Some(submitted)).collect(),
+        };
+
+        // Phase C (parallel, pure in `(domain, instant)`): the fetches.
+        let fetch_inputs: Vec<(usize, SimInstant)> = fetch_leaders
+            .iter()
+            .zip(&admissions)
+            .filter_map(|(&i, at)| at.map(|at| (i, at)))
+            .collect();
+        let fetched: Vec<Result<String, String>> =
+            map_sharded(threads, &fetch_inputs, |_, &(i, at)| {
+                source.fetch_policy(&domains[i], at)
+            });
+        let mut fetch_result: HashMap<usize, (Result<String, String>, SimInstant)> = fetch_inputs
+            .iter()
+            .zip(fetched)
+            .map(|(&(i, at), body)| (i, (body, at)))
+            .collect();
+        let shed: std::collections::HashSet<usize> = fetch_leaders
+            .iter()
+            .zip(&admissions)
+            .filter_map(|(&i, at)| at.is_none().then_some(i))
+            .collect();
+
+        // Phase D (sequential, submission order): interpret leaders,
+        // fold stores into the cache, then emit rows — coalesced
+        // followers reuse their leader's resolution.
+        let mut leader_outcome: HashMap<usize, (ResolvedPolicy, Disposition, SimInstant)> =
+            HashMap::new();
+        for &i in &leaders {
+            let Class::NeedsFetch(record) = &classified[i] else {
+                unreachable!("leaders are NeedsFetch by construction");
+            };
+            let domain = &domains[i];
+            let outcome = if shed.contains(&i) {
+                (
+                    (
+                        ResolvedPolicy::Unavailable {
+                            reason: "fetch shed by admission control".to_string(),
+                        },
+                        Disposition::Shed,
+                    ),
+                    submitted,
+                )
+            } else {
+                match record {
+                    None => (
+                        match self.cache.entry_clone(domain) {
+                            Some(entry) => (
+                                ResolvedPolicy::Active {
+                                    policy: entry.policy,
+                                    from_cache: true,
+                                    stale: true,
+                                },
+                                Disposition::StaleFallback,
+                            ),
+                            None => (ResolvedPolicy::NotApplicable, Disposition::Undeployed),
+                        },
+                        submitted,
+                    ),
+                    Some(Err(RecordError::NoRecord)) => (
+                        (ResolvedPolicy::NotApplicable, Disposition::Undeployed),
+                        submitted,
+                    ),
+                    Some(Err(e)) => (
+                        (
+                            ResolvedPolicy::RecordInvalid(e.clone()),
+                            Disposition::RecordInvalid,
+                        ),
+                        submitted,
+                    ),
+                    Some(Ok(rec)) => {
+                        let (body, at) = fetch_result.remove(&i).expect("fetch ran for leader");
+                        let outcome = match body {
+                            Ok(body) => match parse_policy(&body) {
+                                Ok(policy) => {
+                                    self.cache
+                                        .store(domain.clone(), policy.clone(), &rec.id, at);
+                                    (
+                                        ResolvedPolicy::Active {
+                                            policy,
+                                            from_cache: false,
+                                            stale: false,
+                                        },
+                                        Disposition::Fetched,
+                                    )
+                                }
+                                Err(e) => stale_or_shared(
+                                    &self.cache,
+                                    domain,
+                                    at,
+                                    format!("policy parse failure: {e:?}"),
+                                ),
+                            },
+                            Err(e) => stale_or_shared(
+                                &self.cache,
+                                domain,
+                                at,
+                                format!("policy fetch failure: {e}"),
+                            ),
+                        };
+                        (outcome, at)
+                    }
+                }
+            };
+            let ((resolved, disposition), at) = outcome;
+            leader_outcome.insert(i, (resolved, disposition, at));
+        }
+
+        let mut rows = Vec::with_capacity(domains.len());
+        for (i, class) in classified.iter().enumerate() {
+            let domain = &domains[i];
+            let row = match class {
+                Class::Served(resolved, disposition) => {
+                    self.metrics.count(*disposition);
+                    row_for(i as u64, domain, resolved, *disposition, submitted)
+                }
+                Class::NeedsFetch(_) => {
+                    let leader = leader_of[domain];
+                    let (resolved, disposition, at) =
+                        leader_outcome.get(&leader).expect("leader resolved");
+                    if leader == i {
+                        self.metrics.count(*disposition);
+                        row_for(i as u64, domain, resolved, *disposition, *at)
+                    } else {
+                        self.metrics.count(Disposition::Coalesced);
+                        row_for(i as u64, domain, resolved, Disposition::Coalesced, *at)
+                    }
+                }
+            };
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon loop + /metrics
+// ---------------------------------------------------------------------
+
+/// Daemon tuning.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Simulated seconds between ticks.
+    pub tick: Duration,
+    /// Run an expiry sweep every this many ticks (0 = never).
+    pub sweep_every: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            tick: Duration::minutes(1),
+            sweep_every: 60,
+        }
+    }
+}
+
+/// The long-running resolution service: a shared [`PolicyResolver`]
+/// plus a deterministic tick loop (resolve the queued batch, advance
+/// the clock, periodically sweep expired entries) and a `/metrics`
+/// endpoint serving the Prometheus exposition over TCP.
+pub struct ResolverDaemon {
+    cfg: DaemonConfig,
+    resolver: Arc<PolicyResolver>,
+    now: SimInstant,
+    ticks: u64,
+}
+
+impl ResolverDaemon {
+    /// A daemon over an existing resolver, starting its clock at `now`.
+    pub fn new(
+        cfg: DaemonConfig,
+        resolver: Arc<PolicyResolver>,
+        now: SimInstant,
+    ) -> ResolverDaemon {
+        ResolverDaemon {
+            cfg,
+            resolver,
+            now,
+            ticks: 0,
+        }
+    }
+
+    /// The shared resolver (hand clones to delivery workers).
+    pub fn resolver(&self) -> Arc<PolicyResolver> {
+        Arc::clone(&self.resolver)
+    }
+
+    /// The daemon's current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// One daemon tick: resolve the batch of requests that arrived
+    /// since the last tick, advance the clock, and sweep expired
+    /// entries on the configured cadence. Returns the tick's ledger.
+    pub fn tick<S: PolicySource>(
+        &mut self,
+        source: &S,
+        requests: &[DomainName],
+    ) -> Vec<Resolution> {
+        let rows = self.resolver.resolve_batch(source, requests, self.now);
+        self.ticks += 1;
+        if self.cfg.sweep_every != 0 && self.ticks.is_multiple_of(self.cfg.sweep_every) {
+            self.resolver.sweep(self.now);
+        }
+        self.now += self.cfg.tick;
+        rows
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `/metrics` — the
+    /// resolver's counters in Prometheus text exposition — answering up
+    /// to `max_requests` connections before returning (`None` = serve
+    /// forever). Returns the bound local address via the callback so
+    /// callers using port 0 learn the real port before serving starts.
+    pub fn serve_metrics(
+        resolver: Arc<PolicyResolver>,
+        addr: &str,
+        max_requests: Option<usize>,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> std::io::Result<()> {
+        use std::io::{Read as _, Write as _};
+        let listener = std::net::TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        let mut served = 0usize;
+        for stream in listener.incoming() {
+            let mut stream = stream?;
+            let mut buf = [0u8; 1024];
+            let n = stream.read(&mut buf).unwrap_or(0);
+            let request = String::from_utf8_lossy(&buf[..n]);
+            let path = request
+                .lines()
+                .next()
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap_or("/");
+            let (status, body) = if path == "/metrics" {
+                ("200 OK", resolver.metrics_text())
+            } else {
+                ("404 Not Found", String::from("see /metrics\n"))
+            };
+            let response = format!(
+                "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(response.as_bytes());
+            served += 1;
+            if matches!(max_requests, Some(max) if served >= max) {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
