@@ -44,6 +44,12 @@ impl EcosystemConfig {
         }
     }
 
+    /// A residual-tracking allocator for splitting one scaled total
+    /// across categories without rounding drift.
+    pub fn allocator(&self) -> ScaledAllocator {
+        ScaledAllocator::new(self.scale)
+    }
+
     /// The weekly DNS snapshot dates (§3.1: weekly records over the whole
     /// window).
     pub fn weekly_snapshots(&self) -> Vec<SimDate> {
@@ -75,6 +81,67 @@ impl EcosystemConfig {
 impl Default for EcosystemConfig {
     fn default() -> EcosystemConfig {
         EcosystemConfig::paper(0xEC0, 1.0)
+    }
+}
+
+/// Residual-tracking scaled allocator.
+///
+/// Independent `scaled()` calls round each category to nearest, so a
+/// sequence of categories can drift from the scaled total by up to one
+/// domain *per category* at odd scales. The allocator instead tracks the
+/// exact cumulative target and grants `round(cum_exact) - granted_so_far`
+/// each call, so over any call sequence the running sum equals
+/// `round(scale × paper_sum)` — categories always sum exactly to the
+/// population they were carved from.
+#[derive(Debug, Clone)]
+pub struct ScaledAllocator {
+    scale: f64,
+    exact: f64,
+    granted: u64,
+}
+
+impl ScaledAllocator {
+    /// A fresh allocator at `scale`.
+    pub fn new(scale: f64) -> ScaledAllocator {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        ScaledAllocator {
+            scale,
+            exact: 0.0,
+            granted: 0,
+        }
+    }
+
+    /// Grants the next category's scaled share, carrying the fractional
+    /// residual forward.
+    pub fn take(&mut self, paper_count: u64) -> u64 {
+        self.exact += paper_count as f64 * self.scale;
+        let target = self.exact.round() as u64;
+        let grant = target.saturating_sub(self.granted);
+        self.granted += grant;
+        grant
+    }
+
+    /// [`ScaledAllocator::take`], but never grants zero for a nonzero
+    /// paper count (named cohorts must survive scaling). The extra
+    /// domain is charged against the running total, so later grants
+    /// compensate downward and the sum invariant still holds within the
+    /// number of forced floors.
+    pub fn take_at_least_one(&mut self, paper_count: u64) -> u64 {
+        if paper_count == 0 {
+            return 0;
+        }
+        let grant = self.take(paper_count);
+        if grant == 0 {
+            self.granted += 1;
+            1
+        } else {
+            grant
+        }
+    }
+
+    /// Total granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
     }
 }
 
@@ -117,5 +184,40 @@ mod tests {
     #[should_panic(expected = "scale must be in")]
     fn zero_scale_rejected() {
         let _ = EcosystemConfig::paper(1, 0.0);
+    }
+
+    #[test]
+    fn residual_allocator_sums_exactly() {
+        // The satellite invariant: however the paper total is split into
+        // categories, the grants sum to the scaled total — independent
+        // rounding can drift by ±1 per category.
+        let categories: &[u64] = &[46_563, 7_237, 6_183, 6_512, 692, 843, 57, 3, 1];
+        for scale in [0.05, 0.33, 1.0] {
+            let mut alloc = ScaledAllocator::new(scale);
+            let granted: u64 = categories.iter().map(|&c| alloc.take(c)).sum();
+            let total: u64 = categories.iter().sum();
+            assert_eq!(
+                granted,
+                (total as f64 * scale).round() as u64,
+                "scale {scale}"
+            );
+            assert_eq!(granted, alloc.granted());
+        }
+    }
+
+    #[test]
+    fn allocator_matches_paper_counts_at_full_scale() {
+        let mut alloc = ScaledAllocator::new(1.0);
+        for c in [53_800u64, 6_183, 6_512, 692] {
+            assert_eq!(alloc.take(c), c, "scale 1.0 is the identity");
+            assert_eq!(alloc.take_at_least_one(3), 3);
+        }
+    }
+
+    #[test]
+    fn allocator_floors_named_cohorts() {
+        let mut alloc = ScaledAllocator::new(0.05);
+        assert_eq!(alloc.take_at_least_one(3), 1, "0.15 rounds to 0, floored");
+        assert_eq!(alloc.take_at_least_one(0), 0);
     }
 }

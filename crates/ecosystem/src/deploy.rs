@@ -36,6 +36,8 @@ pub struct Ecosystem {
     pub population: Population,
     pub(crate) policy_providers: Vec<PolicyProvider>,
     pub(crate) mail_providers: Vec<MailProvider>,
+    /// Lazily built change schedule (see [`crate::timeline`]).
+    timeline: std::sync::OnceLock<crate::timeline::ChangeTimeline>,
 }
 
 // Shard workers and the longitudinal driver hold `&Ecosystem` across
@@ -83,7 +85,14 @@ impl Ecosystem {
             population,
             policy_providers: policy_providers(),
             mail_providers: mail_providers(),
+            timeline: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The precomputed change schedule, built on first use.
+    pub fn timeline(&self) -> &crate::timeline::ChangeTimeline {
+        self.timeline
+            .get_or_init(|| crate::timeline::ChangeTimeline::build(self))
     }
 
     /// Domains whose record exists at `date`.

@@ -74,6 +74,12 @@ pub struct FingerprintContext {
 }
 
 impl FingerprintContext {
+    /// Assembles a context from precomputed per-provider dead states
+    /// (see [`crate::timeline::ChangeTimeline::context`]).
+    pub(crate) fn new(date: SimDate, shared_dead: Vec<(&'static str, bool)>) -> FingerprintContext {
+        FingerprintContext { date, shared_dead }
+    }
+
     /// Whether `key`'s shared CNAME target points at the dead edge.
     /// `false` for providers with per-customer targets (no coupling).
     pub fn shared_target_dead(&self, key: &str) -> bool {
@@ -85,8 +91,17 @@ impl FingerprintContext {
 }
 
 impl Ecosystem {
-    /// Computes the cross-domain fingerprint inputs for `date`.
+    /// Computes the cross-domain fingerprint inputs for `date` — a binary
+    /// search over the precomputed [`crate::timeline::ChangeTimeline`],
+    /// not a population walk.
     pub fn fingerprint_context(&self, date: SimDate) -> FingerprintContext {
+        self.timeline().context(date)
+    }
+
+    /// The semantic definition [`Ecosystem::fingerprint_context`] is
+    /// derived from: an O(population) installer scan per shared provider.
+    /// Kept as the oracle the timeline is tested against.
+    pub fn fingerprint_context_scratch(&self, date: SimDate) -> FingerprintContext {
         let mut shared_dead = Vec::new();
         for provider in &self.policy_providers {
             if !matches!(provider.cname_style, CnameStyle::Shared(_)) {

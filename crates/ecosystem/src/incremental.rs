@@ -63,6 +63,10 @@ pub struct IncrementalWorld {
     /// not installed). Indexed by position in `population.domains`; an
     /// `IncrementalWorld` is therefore tied to one [`Ecosystem`].
     installed: Vec<Option<DomainFingerprint>>,
+    /// Number of `Some` entries in `installed`.
+    installed_count: usize,
+    /// Indices (re)written by the last `advance_to`, ascending.
+    dirty: Vec<u32>,
 }
 
 impl IncrementalWorld {
@@ -74,6 +78,8 @@ impl IncrementalWorld {
             infra: None,
             date: None,
             installed: Vec::new(),
+            installed_count: 0,
+            dirty: Vec::new(),
         }
     }
 
@@ -98,25 +104,47 @@ impl IncrementalWorld {
         self.installed.get(index).copied().flatten()
     }
 
+    /// Population indices whose deployment was (re)written by the last
+    /// [`IncrementalWorld::advance_to`], ascending. Same-date advances
+    /// leave it empty. Downstream caches use this to walk only what
+    /// moved instead of re-keying the whole population.
+    pub fn last_dirty(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// Number of currently installed (adopted) domains.
+    pub fn installed_count(&self) -> usize {
+        self.installed_count
+    }
+
     /// Advances the world to `date`, applying only the diff. Must always
     /// be called with the same `eco`, and dates must not move backwards.
+    ///
+    /// Cost is O(adopters + changes): the candidate set is the adoption
+    /// column slice for `(prev, date]` plus the
+    /// [`crate::timeline::ChangeTimeline`] events in that window — no
+    /// other index can have a different fingerprint, which the oracle
+    /// suites pin against full from-scratch sweeps.
     pub fn advance_to(&mut self, eco: &Ecosystem, date: SimDate) -> AdvanceStats {
         let _span = obsv::span!("ecosystem.advance");
+        self.dirty.clear();
         if let Some(prev) = self.date {
             assert!(prev <= date, "incremental worlds only move forward");
             if prev == date {
                 return AdvanceStats {
-                    unchanged: self.installed.iter().flatten().count(),
+                    unchanged: self.installed_count,
                     ..AdvanceStats::default()
                 };
             }
         }
         let first = self.infra.is_none();
+        let prev = self.date;
         if first {
             self.infra = Some(eco.install_infra(&self.world, date.at_midnight(), self.detail));
             self.installed = vec![None; eco.population.domains.len()];
+            self.installed_count = 0;
         } else {
-            let prev = self.date.expect("infra exists, so a date was set");
+            let prev = prev.expect("infra exists, so a date was set");
             self.world
                 .shift_cert_validity(Duration::days(date.days_since(prev)));
             self.reconcile_shared_targets(eco, date);
@@ -127,17 +155,29 @@ impl IncrementalWorld {
             "an IncrementalWorld is tied to one Ecosystem"
         );
 
+        // Candidates: new adopters plus scheduled change events. Sorted
+        // ascending because shared A records are first-writer-wins and
+        // the install-order contract is population-index order.
+        let mut candidates: Vec<u32> = match prev {
+            None => eco.population.index.adopters_through(date).to_vec(),
+            Some(p) => {
+                let mut c = eco.population.index.adopters_between(p, date).to_vec();
+                c.extend(eco.timeline().events_between(p, date));
+                c
+            }
+        };
+        candidates.sort_unstable();
+        candidates.dedup();
+
         let ctx = eco.fingerprint_context(date);
-        let prev = self.date;
         let infra = self.infra.as_mut().expect("installed above");
         let mut stats = AdvanceStats::default();
-        for (index, spec) in eco.population.domains.iter().enumerate() {
+        for &i in &candidates {
+            let index = i as usize;
+            let spec = &eco.population.domains[index];
             let want = eco.fingerprint_at(spec, &ctx);
             let have = self.installed[index];
             if have == want {
-                if want.is_some() {
-                    stats.unchanged += 1;
-                }
                 continue;
             }
             if have.is_some() {
@@ -151,12 +191,15 @@ impl IncrementalWorld {
                         stats.reinstalled += 1;
                     } else {
                         stats.installed += 1;
+                        self.installed_count += 1;
                     }
+                    self.dirty.push(i);
                 }
                 None => debug_assert!(have.is_none(), "adoption is monotone"),
             }
             self.installed[index] = want;
         }
+        stats.unchanged = self.installed_count - stats.installed - stats.reinstalled;
         self.world.flush_dns_cache();
         self.date = Some(date);
         obsv::counter!("ecosystem_installs_total", stats.installed as u64);
@@ -181,7 +224,7 @@ impl IncrementalWorld {
             if !infra.shared_a_done.contains(&target) {
                 continue; // no customer adopted yet; natural install handles it
             }
-            let desired = if eco.shared_cname_dead(provider.key, date) {
+            let desired = if eco.timeline().shared_dead_at(provider.key, date) {
                 infra.dead_ip
             } else {
                 infra.policy_ip[provider.key]
@@ -414,6 +457,31 @@ mod tests {
                 "{}",
                 spec.name
             );
+        }
+    }
+
+    #[test]
+    fn event_driven_advance_matches_a_full_sweep_every_week() {
+        // The O(adopters + changes) candidate walk must leave exactly the
+        // state an O(population) fingerprint sweep would: every installed
+        // fingerprint equals the scratch-context fingerprint at every
+        // weekly date, and the dirty list matches the stats.
+        let eco = eco();
+        let mut iw = IncrementalWorld::new(SnapshotDetail::DnsOnly);
+        for date in eco.config.weekly_snapshots() {
+            let stats = iw.advance_to(&eco, date);
+            assert_eq!(stats.dirty(), iw.last_dirty().len(), "{date}");
+            assert!(iw.last_dirty().windows(2).all(|w| w[0] < w[1]));
+            let ctx = eco.fingerprint_context_scratch(date);
+            for (index, spec) in eco.population.domains.iter().enumerate() {
+                assert_eq!(
+                    iw.installed_fingerprint(index),
+                    eco.fingerprint_at(spec, &ctx),
+                    "{} at {date}",
+                    spec.name
+                );
+            }
+            assert_eq!(iw.installed_count(), eco.domains_at(date).count());
         }
     }
 }

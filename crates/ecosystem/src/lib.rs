@@ -24,12 +24,17 @@ pub mod fingerprint;
 pub mod incremental;
 pub mod providers;
 pub mod spec;
+pub mod timeline;
 pub mod tld;
 
-pub use config::{EcosystemConfig, SnapshotDetail};
+pub use config::{EcosystemConfig, ScaledAllocator, SnapshotDetail};
 pub use deploy::Ecosystem;
 pub use fingerprint::{DomainFingerprint, FingerprintContext};
 pub use incremental::{AdvanceStats, IncrementalWorld};
 pub use providers::{MailProvider, OptOutBehavior, PolicyProvider};
-pub use spec::{DomainSpec, FaultProfile, MailHosting, PolicyHosting};
+pub use spec::{
+    DomainSpec, FaultProfile, MailHosting, PolicyHosting, Population, PopulationChunks,
+    PopulationIndex, PopulationPlan,
+};
+pub use timeline::ChangeTimeline;
 pub use tld::TldId;

@@ -15,6 +15,8 @@ use netbase::{DetRng, DomainName, SimDate};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Who runs the domain's inbound MTAs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -205,6 +207,280 @@ pub struct Population {
     pub small_policy_providers: u32,
     /// Small mail-provider count.
     pub small_mail_providers: u32,
+    /// Columnar companion to `domains` (same indices).
+    pub index: PopulationIndex,
+}
+
+impl Population {
+    /// Assembles a population and builds its columnar index.
+    pub fn from_parts(
+        domains: Vec<DomainSpec>,
+        small_policy_providers: u32,
+        small_mail_providers: u32,
+    ) -> Population {
+        let index = PopulationIndex::build(&domains);
+        Population {
+            domains,
+            small_policy_providers,
+            small_mail_providers,
+            index,
+        }
+    }
+}
+
+/// Columnar (structure-of-arrays) view of the population.
+///
+/// Every hot per-date walk — `IncrementalWorld::advance_to`, the weekly
+/// observer, fingerprint timelines — needs only a handful of fields per
+/// domain. Scanning those through `Vec<DomainSpec>` drags the whole
+/// 300-byte spec (name `Arc`s, fault enums) through cache; these parallel
+/// columns keep each walk touching only the bytes it reads. The
+/// `adoption_order`/`adoption_dates` pair additionally turns "who exists
+/// at date d" from an O(population) filter into a binary search plus an
+/// O(adopters) slice.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationIndex {
+    /// Adoption date per population index.
+    pub adopted: Vec<SimDate>,
+    /// TLD per population index.
+    pub tld: Vec<TldId>,
+    /// Table-2 policy-provider key per index (`None` for every other
+    /// hosting arrangement).
+    pub policy_provider: Vec<Option<&'static str>>,
+    /// Mail-provider key per index (`None` when not `MailHosting::Provider`).
+    pub mail_provider: Vec<Option<&'static str>>,
+    /// Tranco bin (rank / [`calib::TRANCO_BIN`]) per index; `u16::MAX`
+    /// when unranked.
+    pub tranco_bin: Vec<u16>,
+    /// Per-index `(leftmost, tld)` references into the interned `labels`
+    /// arena — the registered name without touching the spec.
+    pub name_refs: Vec<(u32, u32)>,
+    /// Interned unique labels backing `name_refs`.
+    pub labels: Vec<Arc<str>>,
+    /// Population indices sorted by (adoption date, index).
+    adoption_order: Vec<u32>,
+    /// Adoption date of `adoption_order[k]` — the binary-search column.
+    adoption_dates: Vec<SimDate>,
+}
+
+impl PopulationIndex {
+    /// Builds the columns from a name-sorted spec slice.
+    pub fn build(domains: &[DomainSpec]) -> PopulationIndex {
+        let n = domains.len();
+        let mut labels: Vec<Arc<str>> = Vec::new();
+        let mut interned: HashMap<Arc<str>, u32> = HashMap::new();
+        let mut intern = |s: &str, labels: &mut Vec<Arc<str>>| -> u32 {
+            if let Some(&i) = interned.get(s) {
+                return i;
+            }
+            let arc: Arc<str> = Arc::from(s);
+            let i = u32::try_from(labels.len()).expect("label arena fits u32");
+            labels.push(arc.clone());
+            interned.insert(arc, i);
+            i
+        };
+        let mut index = PopulationIndex {
+            adopted: Vec::with_capacity(n),
+            tld: Vec::with_capacity(n),
+            policy_provider: Vec::with_capacity(n),
+            mail_provider: Vec::with_capacity(n),
+            tranco_bin: Vec::with_capacity(n),
+            name_refs: Vec::with_capacity(n),
+            labels: Vec::new(),
+            adoption_order: Vec::new(),
+            adoption_dates: Vec::new(),
+        };
+        for d in domains {
+            index.adopted.push(d.adopted);
+            index.tld.push(d.tld);
+            index.policy_provider.push(match &d.policy {
+                PolicyHosting::Provider { key } => Some(*key),
+                _ => None,
+            });
+            index.mail_provider.push(match &d.mail {
+                MailHosting::Provider { key } => Some(*key),
+                _ => None,
+            });
+            index.tranco_bin.push(match d.tranco_rank {
+                Some(rank) => ((u64::from(rank) - 1) / calib::TRANCO_BIN) as u16,
+                None => u16::MAX,
+            });
+            let leftmost = intern(d.name.leftmost(), &mut labels);
+            let tld = intern(d.name.tld(), &mut labels);
+            index.name_refs.push((leftmost, tld));
+        }
+        index.labels = labels;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (index.adopted[i as usize], i));
+        index.adoption_dates = order.iter().map(|&i| index.adopted[i as usize]).collect();
+        index.adoption_order = order;
+        index
+    }
+
+    /// Number of indexed domains.
+    pub fn len(&self) -> usize {
+        self.adopted.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.adopted.is_empty()
+    }
+
+    /// Population indices of every domain adopted on or before `date`,
+    /// ordered by (adoption date, index).
+    pub fn adopters_through(&self, date: SimDate) -> &[u32] {
+        let end = self.adoption_dates.partition_point(|d| *d <= date);
+        &self.adoption_order[..end]
+    }
+
+    /// Population indices of domains adopting in `(after, through]`.
+    pub fn adopters_between(&self, after: SimDate, through: SimDate) -> &[u32] {
+        let lo = self.adoption_dates.partition_point(|d| *d <= after);
+        let hi = self.adoption_dates.partition_point(|d| *d <= through);
+        &self.adoption_order[lo..hi]
+    }
+
+    /// Number of domains adopted on or before `date`.
+    pub fn adopter_count(&self, date: SimDate) -> usize {
+        self.adoption_dates.partition_point(|d| *d <= date)
+    }
+
+    /// The registered name at `i`, reconstructed from the label arena.
+    pub fn name_of(&self, i: usize) -> String {
+        let (leftmost, tld) = self.name_refs[i];
+        format!(
+            "{}.{}",
+            self.labels[leftmost as usize], self.labels[tld as usize]
+        )
+    }
+}
+
+/// The insertion-order blueprint plus the name-sorted traversal order.
+///
+/// [`plan`] runs every generation pass (the passes are whole-population:
+/// quota shuffles, sequential cohort counters, the Tranco permutation) but
+/// materializes nothing twice: [`PopulationPlan::into_chunks`] *moves*
+/// each spec out exactly once in name-sorted order, and
+/// [`PopulationPlan::into_population`] walks the same permutation — so
+/// chunked and monolithic emission are byte-identical by construction.
+#[derive(Debug, Clone)]
+pub struct PopulationPlan {
+    /// Specs in insertion (generation) order; `take`n on emission.
+    specs: Vec<Option<DomainSpec>>,
+    /// Name-sorted permutation over `specs`.
+    order: Vec<u32>,
+    small_policy_providers: u32,
+    small_mail_providers: u32,
+}
+
+impl PopulationPlan {
+    /// Number of planned domains.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Small policy-provider count (for deploy-side naming).
+    pub fn small_policy_providers(&self) -> u32 {
+        self.small_policy_providers
+    }
+
+    /// Small mail-provider count.
+    pub fn small_mail_providers(&self) -> u32 {
+        self.small_mail_providers
+    }
+
+    /// Streams the population as fixed-size chunks in name-sorted order.
+    pub fn into_chunks(self, chunk_size: usize) -> PopulationChunks {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        PopulationChunks {
+            specs: self.specs,
+            order: self.order,
+            cursor: 0,
+            chunk_size,
+            small_policy_providers: self.small_policy_providers,
+            small_mail_providers: self.small_mail_providers,
+        }
+    }
+
+    /// Materializes the whole population (same traversal as the chunk
+    /// stream) and builds the columnar index.
+    pub fn into_population(mut self) -> Population {
+        let mut domains = Vec::with_capacity(self.order.len());
+        for &i in &self.order {
+            domains.push(
+                self.specs[i as usize]
+                    .take()
+                    .expect("order is a permutation"),
+            );
+        }
+        Population::from_parts(
+            domains,
+            self.small_policy_providers,
+            self.small_mail_providers,
+        )
+    }
+}
+
+/// Iterator over name-sorted, fixed-size spec chunks (see
+/// [`PopulationPlan::into_chunks`]). Each spec is moved out exactly once;
+/// the stream never holds a second copy of the population.
+#[derive(Debug)]
+pub struct PopulationChunks {
+    specs: Vec<Option<DomainSpec>>,
+    order: Vec<u32>,
+    cursor: usize,
+    chunk_size: usize,
+    small_policy_providers: u32,
+    small_mail_providers: u32,
+}
+
+impl PopulationChunks {
+    /// Small policy-provider count (for deploy-side naming).
+    pub fn small_policy_providers(&self) -> u32 {
+        self.small_policy_providers
+    }
+
+    /// Small mail-provider count.
+    pub fn small_mail_providers(&self) -> u32 {
+        self.small_mail_providers
+    }
+
+    /// Total number of domains across all chunks.
+    pub fn total_len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+impl Iterator for PopulationChunks {
+    type Item = Vec<DomainSpec>;
+
+    fn next(&mut self) -> Option<Vec<DomainSpec>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.chunk_size).min(self.order.len());
+        let chunk = self.order[self.cursor..end]
+            .iter()
+            .map(|&i| {
+                self.specs[i as usize]
+                    .take()
+                    .expect("each index emitted once")
+            })
+            .collect();
+        self.cursor = end;
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.order.len() - self.cursor).div_ceil(self.chunk_size);
+        (left, Some(left))
+    }
 }
 
 /// The lucidgrow incident window: every lucidgrow-customer policy is
@@ -223,6 +499,17 @@ pub const JUNE8_WINDOW: (SimDate, SimDate) = (
 
 /// Deterministically generates the whole population.
 pub fn generate(config: &EcosystemConfig) -> Population {
+    plan(config).into_population()
+}
+
+/// Streams the population as name-sorted, fixed-size chunks — same specs,
+/// same order, same bytes as [`generate`], without a second copy.
+pub fn generate_chunked(config: &EcosystemConfig, chunk_size: usize) -> PopulationChunks {
+    plan(config).into_chunks(chunk_size)
+}
+
+/// Runs every generation pass and returns the emission-ready blueprint.
+pub fn plan(config: &EcosystemConfig) -> PopulationPlan {
     let root = DetRng::new(config.seed).fork("ecosystem");
     let mut domains: Vec<DomainSpec> = Vec::new();
 
@@ -230,9 +517,12 @@ pub fn generate(config: &EcosystemConfig) -> Population {
     // 1. Baseline adopters per TLD with curve-driven adoption dates.
     // ------------------------------------------------------------------
     let weekly: Vec<SimDate> = config.weekly_snapshots();
+    // One residual-tracking allocator across the four TLDs: the per-TLD
+    // grants sum exactly to the scaled paper total at any scale.
+    let mut tld_alloc = config.allocator();
     for tld in ALL_TLDS {
         // The smooth curve excludes the specials appended below.
-        let final_count = config.scaled(crate::tld::final_adoption(tld));
+        let final_count = tld_alloc.take(crate::tld::final_adoption(tld));
         // Precompute scaled counts per week for adoption-date assignment.
         let counts: Vec<u64> = weekly
             .iter()
@@ -331,14 +621,18 @@ pub fn generate(config: &EcosystemConfig) -> Population {
         .filter(|d| !d.org_spike && !d.is_porkbun())
         .count();
     let mut slots: Vec<PolicyHosting> = Vec::with_capacity(baseline_count);
+    // A second residual allocator over the policy-hosting quotas: however
+    // the categories round individually, their sum tracks the scaled
+    // total instead of drifting by ±1 per category.
+    let mut policy_alloc = config.allocator();
     for provider in policy_providers() {
-        let n = config.scaled_at_least_one(provider.paper_customers);
+        let n = policy_alloc.take_at_least_one(provider.paper_customers);
         for _ in 0..n {
             slots.push(PolicyHosting::Provider { key: provider.key });
         }
     }
     // Misc classifiable third-party hosts (≥50 customers each).
-    let misc_total = config.scaled(calib::MISC_THIRD_PARTY_POLICY);
+    let misc_total = policy_alloc.take(calib::MISC_THIRD_PARTY_POLICY);
     let misc_providers = calib::MISC_THIRD_PARTY_PROVIDERS.max(1);
     for i in 0..misc_total {
         // Spread round-robin; deploy names them polhost<i>.net.
@@ -347,7 +641,7 @@ pub fn generate(config: &EcosystemConfig) -> Population {
         });
     }
     // Unclassifiable small hosts (6-49 customers).
-    let small_total = config.scaled(calib::POLICY_UNCLASSIFIED);
+    let small_total = policy_alloc.take(calib::POLICY_UNCLASSIFIED);
     let small_provider_count = (small_total / calib::SMALL_PROVIDER_MEAN_CUSTOMERS).max(1) as u32;
     for i in 0..small_total {
         slots.push(PolicyHosting::SmallProvider {
@@ -355,7 +649,7 @@ pub fn generate(config: &EcosystemConfig) -> Population {
         });
     }
     // mxascen.
-    for _ in 0..config.scaled(calib::MXASCEN_DOMAINS) {
+    for _ in 0..policy_alloc.take(calib::MXASCEN_DOMAINS) {
         slots.push(PolicyHosting::Mxascen);
     }
     // Everyone else self-manages.
@@ -469,13 +763,15 @@ pub fn generate(config: &EcosystemConfig) -> Population {
         });
     }
 
-    domains.sort_by(|a, b| a.name.cmp(&b.name));
-    let small_policy_providers = (config.scaled(calib::POLICY_UNCLASSIFIED)
-        / calib::SMALL_PROVIDER_MEAN_CUSTOMERS)
-        .max(1) as u32;
-    Population {
-        domains,
-        small_policy_providers,
+    // Name-sorted traversal order. Chunked emission and monolithic
+    // materialization both walk this permutation, so they agree byte for
+    // byte by construction.
+    let mut order: Vec<u32> = (0..domains.len() as u32).collect();
+    order.sort_by(|&a, &b| domains[a as usize].name.cmp(&domains[b as usize].name));
+    PopulationPlan {
+        specs: domains.into_iter().map(Some).collect(),
+        order,
+        small_policy_providers: small_provider_count,
         small_mail_providers,
     }
 }
@@ -930,5 +1226,139 @@ mod tests {
             (calib::TLSRPT_EVENTUAL - 0.05..calib::TLSRPT_EVENTUAL + 0.05).contains(&share),
             "{share}"
         );
+    }
+
+    /// FNV-1a over the Debug rendering of every spec, in order.
+    fn population_digest(domains: &[DomainSpec]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for d in domains {
+            for b in format!("{d:?}").bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn chunked_generation_matches_monolithic() {
+        let config = small_config();
+        let mono = generate(&config);
+        let mono_digest = population_digest(&mono.domains);
+        for chunk_size in [1usize, 7, 1024] {
+            let chunks = generate_chunked(&config, chunk_size);
+            assert_eq!(chunks.small_policy_providers(), mono.small_policy_providers);
+            assert_eq!(chunks.small_mail_providers(), mono.small_mail_providers);
+            assert_eq!(chunks.total_len(), mono.domains.len());
+            let mut streamed: Vec<DomainSpec> = Vec::new();
+            for chunk in chunks {
+                assert!(!chunk.is_empty() && chunk.len() <= chunk_size);
+                streamed.extend(chunk);
+            }
+            assert_eq!(
+                population_digest(&streamed),
+                mono_digest,
+                "chunk_size {chunk_size}"
+            );
+            assert_eq!(streamed, mono.domains);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        /// Chunked generation is byte-identical to monolithic for
+        /// arbitrary seeds and fractional scales, at chunk sizes 1, 7
+        /// and 1024 — the digest-parity oracle, property-tested.
+        #[test]
+        fn chunked_digest_parity_over_seeds(
+            seed in 0u64..1_000_000,
+            scale_thousandths in 3u32..12,
+        ) {
+            let config =
+                EcosystemConfig::paper(seed, f64::from(scale_thousandths) / 1000.0);
+            let mono = generate(&config);
+            let mono_digest = population_digest(&mono.domains);
+            for chunk_size in [1usize, 7, 1024] {
+                let chunks = generate_chunked(&config, chunk_size);
+                let mut streamed: Vec<DomainSpec> = Vec::new();
+                for chunk in chunks {
+                    streamed.extend(chunk);
+                }
+                proptest::prop_assert_eq!(
+                    population_digest(&streamed),
+                    mono_digest,
+                    "chunk_size {}",
+                    chunk_size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_index_mirrors_the_specs() {
+        let config = small_config();
+        let pop = generate(&config);
+        let idx = &pop.index;
+        assert_eq!(idx.len(), pop.domains.len());
+        for (i, d) in pop.domains.iter().enumerate() {
+            assert_eq!(idx.adopted[i], d.adopted);
+            assert_eq!(idx.tld[i], d.tld);
+            assert_eq!(idx.name_of(i), d.name.to_string());
+            match &d.policy {
+                PolicyHosting::Provider { key } => assert_eq!(idx.policy_provider[i], Some(*key)),
+                _ => assert_eq!(idx.policy_provider[i], None),
+            }
+            match d.tranco_rank {
+                Some(r) => assert_eq!(
+                    u64::from(idx.tranco_bin[i]),
+                    (u64::from(r) - 1) / calib::TRANCO_BIN
+                ),
+                None => assert_eq!(idx.tranco_bin[i], u16::MAX),
+            }
+        }
+        // The adoption walk agrees with the brute-force filter at every
+        // weekly date, and slices are disjoint unions.
+        let mut prev = None;
+        let mut seen = 0usize;
+        for date in config.weekly_snapshots() {
+            let want = pop.domains.iter().filter(|d| d.adopted_by(date)).count();
+            assert_eq!(idx.adopter_count(date), want, "{date}");
+            assert_eq!(idx.adopters_through(date).len(), want);
+            let fresh = match prev {
+                Some(p) => idx.adopters_between(p, date),
+                None => idx.adopters_through(date),
+            };
+            for &i in fresh {
+                assert!(pop.domains[i as usize].adopted_by(date));
+                if let Some(p) = prev {
+                    assert!(!pop.domains[i as usize].adopted_by(p));
+                }
+            }
+            seen += fresh.len();
+            assert_eq!(seen, want);
+            prev = Some(date);
+        }
+    }
+
+    #[test]
+    fn categories_sum_exactly_to_scaled_population() {
+        // The rounding-drift satellite: at odd scales the per-TLD grants
+        // must still sum to the scaled paper total, with no ±1-per-category
+        // drift.
+        let paper_total: u64 = ALL_TLDS
+            .iter()
+            .map(|t| crate::tld::final_adoption(*t))
+            .sum();
+        for scale in [0.05, 0.33, 1.0] {
+            let config = EcosystemConfig::paper(11, scale);
+            let pop = generate(&config);
+            let baseline = pop
+                .domains
+                .iter()
+                .filter(|d| !d.org_spike && !d.is_porkbun())
+                .count() as u64;
+            assert_eq!(baseline, config.scaled(paper_total), "scale {scale}");
+        }
     }
 }

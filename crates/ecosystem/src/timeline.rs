@@ -1,0 +1,278 @@
+//! Precomputed change timeline: when each domain *can* change.
+//!
+//! A [`crate::fingerprint::DomainFingerprint`] is a pure function of
+//! `(spec, date, shared-CNAME state)`, and every date-dependent input is
+//! known at generation time: TLSRPT adoption lags, the lucidgrow and
+//! June-8 incident windows, stale-MX migration dates, the end-of-study
+//! CN-mismatch fix cohort, and the shared-CNAME dead-edge flips those
+//! faults induce. [`ChangeTimeline`] enumerates them once per
+//! [`Ecosystem`] as a sorted `(date, index)` event list plus a per-shared-
+//! provider dead-state step function, so that:
+//!
+//! - [`crate::IncrementalWorld::advance_to`] visits only *new adopters
+//!   plus scheduled events* between two dates — O(adopters + changes)
+//!   instead of an O(population) fingerprint sweep;
+//! - [`Ecosystem::fingerprint_context`] is a binary search over the
+//!   precomputed flips instead of an O(population) installer scan per
+//!   provider.
+//!
+//! Completeness is the load-bearing property: a missing event class would
+//! leave a stale deployment in place. It is pinned two ways — the oracle
+//! test here walks every weekly date pair asserting that any fingerprint
+//! that moved had a scheduled event, and the incremental-world suite
+//! asserts installed fingerprints match a from-scratch sweep at every
+//! date.
+
+use crate::deploy::Ecosystem;
+use crate::fingerprint::FingerprintContext;
+use crate::providers::CnameStyle;
+use crate::spec::{PolicyHosting, JUNE8_WINDOW, LUCIDGROW_WINDOW};
+use netbase::SimDate;
+
+/// Per-shared-provider dead-state step function.
+#[derive(Debug, Clone)]
+struct SharedFlips {
+    /// Policy-provider key.
+    key: &'static str,
+    /// `(date, new state)` transitions, ascending; the state holds from
+    /// its date until the next transition. Before the first: not dead.
+    flips: Vec<(SimDate, bool)>,
+}
+
+/// The precomputed schedule of every fingerprint-relevant change.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeTimeline {
+    /// `(date, population index)` events, sorted and deduped: index `i`
+    /// may change fingerprint on `date` (always after its adoption —
+    /// adoption itself is tracked by the population's adoption columns).
+    events: Vec<(SimDate, u32)>,
+    /// One step function per shared-CNAME provider, in
+    /// `policy_providers` order (the order contexts enumerate).
+    shared: Vec<SharedFlips>,
+}
+
+impl ChangeTimeline {
+    /// Enumerates every event class for `eco`'s population.
+    pub(crate) fn build(eco: &Ecosystem) -> ChangeTimeline {
+        let mut events: Vec<(SimDate, u32)> = Vec::new();
+        let end = eco.config.end;
+        for (i, spec) in eco.population.domains.iter().enumerate() {
+            let i = i as u32;
+            let push = |date: SimDate, events: &mut Vec<(SimDate, u32)>| {
+                if date > spec.adopted {
+                    events.push((date, i));
+                }
+            };
+            // Record component: TLSRPT appears.
+            if let Some(t) = spec.tlsrpt {
+                push(t, &mut events);
+            }
+            // Policy component: incident windows open and close.
+            if spec.lucidgrow {
+                push(LUCIDGROW_WINDOW.0, &mut events);
+                push(LUCIDGROW_WINDOW.1.add_days(1), &mut events);
+            }
+            if spec.june8_victim {
+                push(JUNE8_WINDOW.0, &mut events);
+                push(JUNE8_WINDOW.1.add_days(1), &mut events);
+            }
+            // MX component: the stale-policy migration and the
+            // fixed-at-latest cohort.
+            if let Some(inc) = &spec.faults.inconsistency {
+                if let Some(migration) = inc.stale_migration {
+                    push(migration, &mut events);
+                }
+            }
+            if spec.faults.mx_cn_fixed_at_latest {
+                push(end, &mut events);
+            }
+        }
+
+        // Shared-CNAME targets: the A record is owned by the first adopted
+        // customer in population order, so the dead state can only move at
+        // a customer adoption (the installer may change) or a June-8
+        // boundary (the installer's effective fault may change). Evaluate
+        // the semantic definition at those dates and record transitions;
+        // each transition dirties every already-adopted customer.
+        let mut shared = Vec::new();
+        for provider in &eco.policy_providers {
+            if !matches!(provider.cname_style, CnameStyle::Shared(_)) {
+                continue;
+            }
+            let customers: Vec<u32> = eco
+                .population
+                .domains
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| {
+                    matches!(&d.policy, PolicyHosting::Provider { key } if *key == provider.key)
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut candidates: Vec<SimDate> = customers
+                .iter()
+                .map(|&i| eco.population.domains[i as usize].adopted)
+                .collect();
+            candidates.push(JUNE8_WINDOW.0);
+            candidates.push(JUNE8_WINDOW.1.add_days(1));
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut flips: Vec<(SimDate, bool)> = Vec::new();
+            let mut state = false;
+            for date in candidates {
+                let dead = eco.shared_cname_dead(provider.key, date);
+                if dead != state {
+                    flips.push((date, dead));
+                    state = dead;
+                    for &c in &customers {
+                        if date > eco.population.domains[c as usize].adopted {
+                            events.push((date, c));
+                        }
+                    }
+                }
+            }
+            shared.push(SharedFlips {
+                key: provider.key,
+                flips,
+            });
+        }
+
+        events.sort_unstable();
+        events.dedup();
+        ChangeTimeline { events, shared }
+    }
+
+    /// Population indices that may change fingerprint in `(after,
+    /// through]`. Ordered by (date, index); an index can repeat across
+    /// dates — callers sort/dedup alongside the adopter slice.
+    pub fn events_between(
+        &self,
+        after: SimDate,
+        through: SimDate,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let lo = self.events.partition_point(|(d, _)| *d <= after);
+        let hi = self.events.partition_point(|(d, _)| *d <= through);
+        self.events[lo..hi].iter().map(|&(_, i)| i)
+    }
+
+    /// Whether `key`'s shared CNAME target points at the dead edge at
+    /// `date`. `false` for unknown keys (per-customer targets have no
+    /// coupling).
+    pub fn shared_dead_at(&self, key: &str, date: SimDate) -> bool {
+        self.shared
+            .iter()
+            .find(|s| s.key == key)
+            .is_some_and(|s| state_at(&s.flips, date))
+    }
+
+    /// The fingerprint context at `date` — O(shared providers · log
+    /// flips), no population walk.
+    pub fn context(&self, date: SimDate) -> FingerprintContext {
+        FingerprintContext::new(
+            date,
+            self.shared
+                .iter()
+                .map(|s| (s.key, state_at(&s.flips, date)))
+                .collect(),
+        )
+    }
+
+    /// Total number of scheduled `(date, index)` events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Evaluates a step function at `date`.
+fn state_at(flips: &[(SimDate, bool)], date: SimDate) -> bool {
+    let k = flips.partition_point(|(d, _)| *d <= date);
+    k > 0 && flips[k - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcosystemConfig;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::paper(42, 0.02))
+    }
+
+    #[test]
+    fn context_matches_the_population_scan_everywhere() {
+        let eco = eco();
+        let mut dates = eco.config.weekly_snapshots();
+        dates.extend([
+            LUCIDGROW_WINDOW.0,
+            LUCIDGROW_WINDOW.1,
+            JUNE8_WINDOW.0,
+            JUNE8_WINDOW.1,
+            JUNE8_WINDOW.1.add_days(1),
+        ]);
+        for date in dates {
+            let fast = eco.timeline().context(date);
+            let scratch = eco.fingerprint_context_scratch(date);
+            for provider in &eco.policy_providers {
+                assert_eq!(
+                    fast.shared_target_dead(provider.key),
+                    scratch.shared_target_dead(provider.key),
+                    "{} at {date}",
+                    provider.key
+                );
+                assert_eq!(
+                    eco.timeline().shared_dead_at(provider.key, date),
+                    scratch.shared_target_dead(provider.key)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_fingerprint_move_has_a_scheduled_event() {
+        // Completeness oracle: between consecutive weekly dates, any
+        // domain whose fingerprint moved must appear in events_between.
+        let eco = eco();
+        let timeline = eco.timeline();
+        let weekly = eco.config.weekly_snapshots();
+        let mut moved_total = 0usize;
+        for pair in weekly.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let scheduled: std::collections::HashSet<u32> = timeline.events_between(a, b).collect();
+            let ctx_a = eco.fingerprint_context_scratch(a);
+            let ctx_b = eco.fingerprint_context_scratch(b);
+            for (i, spec) in eco.population.domains.iter().enumerate() {
+                if !spec.adopted_by(a) {
+                    continue; // adoption is tracked by the population index
+                }
+                let fa = eco.fingerprint_at(spec, &ctx_a);
+                let fb = eco.fingerprint_at(spec, &ctx_b);
+                if fa != fb {
+                    moved_total += 1;
+                    assert!(
+                        scheduled.contains(&(i as u32)),
+                        "{} moved {a}->{b} with no scheduled event",
+                        spec.name
+                    );
+                }
+            }
+        }
+        assert!(
+            moved_total > 50,
+            "oracle exercised too little: {moved_total}"
+        );
+        assert!(timeline.event_count() > 0);
+    }
+
+    #[test]
+    fn events_are_sparse_relative_to_the_population_sweep() {
+        let eco = eco();
+        let weeks = eco.config.weekly_snapshots().len();
+        let sweep = eco.population.domains.len() * weeks;
+        assert!(
+            eco.timeline().event_count() * 10 < sweep,
+            "{} events vs {} sweep slots",
+            eco.timeline().event_count(),
+            sweep
+        );
+    }
+}

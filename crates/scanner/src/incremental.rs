@@ -86,22 +86,29 @@ impl CacheStats {
     }
 
     pub(crate) fn count(&mut self, kind: HitKind) {
+        self.count_many(kind, 1);
+    }
+
+    /// Counts `n` occurrences of `kind` at once — the O(changes) weekly
+    /// driver accounts for its untouched majority in bulk instead of
+    /// looping a per-domain increment.
+    pub(crate) fn count_many(&mut self, kind: HitKind, n: u64) {
         match kind {
             HitKind::Full => {
-                self.full_hits += 1;
-                obsv::counter!("cache_full_hits_total");
+                self.full_hits += n;
+                obsv::counter!("cache_full_hits_total", n);
             }
             HitKind::Partial => {
-                self.partial_hits += 1;
-                obsv::counter!("cache_partial_hits_total");
+                self.partial_hits += n;
+                obsv::counter!("cache_partial_hits_total", n);
             }
             HitKind::Miss => {
-                self.misses += 1;
-                obsv::counter!("cache_misses_total");
+                self.misses += n;
+                obsv::counter!("cache_misses_total", n);
             }
             HitKind::Forced => {
-                self.forced += 1;
-                obsv::counter!("cache_stand_downs_total");
+                self.forced += n;
+                obsv::counter!("cache_stand_downs_total", n);
             }
         }
     }
@@ -358,18 +365,21 @@ impl IncrementalScanner {
         self.world.advance_to(eco, date);
         let world = self.world.world();
         let forced = cache_forced(world);
-        let ctx = eco.fingerprint_context(date);
-        let jobs: Vec<(usize, &DomainName, DomainFingerprint)> = eco
-            .population
-            .domains
+        // The engine already certifies what is deployed at `date`: walk
+        // the adopter index (sorted back to population order) and reuse
+        // the installed fingerprints instead of re-hashing everyone —
+        // O(adopters), and no per-domain fingerprint computation.
+        let mut adopters: Vec<u32> = eco.population.index.adopters_through(date).to_vec();
+        adopters.sort_unstable();
+        let jobs: Vec<(usize, &DomainName, DomainFingerprint)> = adopters
             .iter()
-            .enumerate()
-            .filter(|(_, d)| d.adopted_by(date))
-            .map(|(i, d)| {
-                let fp = eco
-                    .fingerprint_at(d, &ctx)
-                    .expect("adopted domains have fingerprints");
-                (i, &d.name, fp)
+            .map(|&i| {
+                let i = i as usize;
+                let fp = self
+                    .world
+                    .installed_fingerprint(i)
+                    .expect("adopted domains are installed");
+                (i, &eco.population.domains[i].name, fp)
             })
             .collect();
 
@@ -379,6 +389,7 @@ impl IncrementalScanner {
             cache.scan(world, *index, domain, date, now, fp, forced)
         });
 
+        let ids: Vec<u32> = jobs.iter().map(|&(i, _, _)| i as u32).collect();
         let mut scans = Vec::with_capacity(jobs.len());
         let mut policy_ips = HashMap::new();
         for ((index, _, fp), (scan, ip, kind)) in jobs.into_iter().zip(results) {
@@ -389,7 +400,7 @@ impl IncrementalScanner {
             }
             scans.push(scan);
         }
-        Snapshot::assemble(date, scans, policy_ips)
+        Snapshot::assemble_indexed(date, scans, policy_ips, ids)
     }
 }
 
@@ -460,6 +471,21 @@ mod tests {
         // Forced (transient faults / attacker): always a full scan, even
         // with a clean fingerprint.
         assert_eq!(plan_for(Some(&base), &base, true), ScanPlan::FullScan);
+    }
+
+    #[test]
+    fn incremental_snapshots_carry_population_ids() {
+        // The compact-id column: each incremental snapshot carries the
+        // population index of every scan, ascending and aligned.
+        let study = Study::new(Ecosystem::generate(EcosystemConfig::paper(42, 0.005)));
+        let (snaps, _) = study.run_full_incremental_with_threads(2);
+        for snap in &snaps {
+            assert_eq!(snap.population_ids().len(), snap.scans.len());
+            assert!(snap.population_ids().windows(2).all(|w| w[0] < w[1]));
+            for (&id, scan) in snap.population_ids().iter().zip(&snap.scans) {
+                assert_eq!(study.eco.population.domains[id as usize].name, scan.domain);
+            }
+        }
     }
 
     #[test]

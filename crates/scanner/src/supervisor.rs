@@ -343,19 +343,21 @@ impl Study {
                 world.inject_transient_faults(transient);
             }
             let forced = cache_forced(world);
-            let ctx = self.eco.fingerprint_context(date);
-            let mut domains: Vec<DomainName> = Vec::new();
-            let mut meta: Vec<(usize, DomainFingerprint)> = Vec::new();
-            for (i, d) in self.eco.population.domains.iter().enumerate() {
-                if d.adopted_by(date) {
-                    domains.push(d.name.clone());
-                    meta.push((
-                        i,
-                        self.eco
-                            .fingerprint_at(d, &ctx)
-                            .expect("adopted domains have fingerprints"),
-                    ));
-                }
+            // The engine certifies what is deployed at `date`: walk the
+            // adopter index (sorted back to population order) and reuse
+            // the installed fingerprints — O(adopters), no population
+            // sweep and no fingerprint re-hashing.
+            let mut adopters: Vec<u32> = self.eco.population.index.adopters_through(date).to_vec();
+            adopters.sort_unstable();
+            let mut domains: Vec<DomainName> = Vec::with_capacity(adopters.len());
+            let mut meta: Vec<(usize, DomainFingerprint)> = Vec::with_capacity(adopters.len());
+            for &i in &adopters {
+                let i = i as usize;
+                let fp = engine
+                    .installed_fingerprint(i)
+                    .expect("adopted domains are installed");
+                domains.push(self.eco.population.domains[i].name.clone());
+                meta.push((i, fp));
             }
 
             // Resume the scanned prefix when the checkpoint holds one.

@@ -237,3 +237,19 @@ proptest! {
         prop_assert_eq!(out, items);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The O(changes) weekly driver is thread-count invariant for
+    /// arbitrary seeds: 1-thread and 8-thread runs digest identically,
+    /// cache accounting included.
+    #[test]
+    fn weekly_incremental_is_thread_invariant_over_seeds(seed in 0u64..1_000_000) {
+        let study = Study::new(Ecosystem::generate(EcosystemConfig::paper(seed, 0.005)));
+        let (p1, h1, s1) = study.run_weekly_incremental_with_threads(1);
+        let (p8, h8, s8) = study.run_weekly_incremental_with_threads(8);
+        prop_assert_eq!(weekly_fingerprint(&p1, &h1), weekly_fingerprint(&p8, &h8));
+        prop_assert_eq!(s1, s8);
+    }
+}
