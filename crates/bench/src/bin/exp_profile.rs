@@ -2,14 +2,17 @@
 //! of observing it (EXPERIMENTS.md, DESIGN.md "Observability").
 //!
 //! Runs the incremental study (monthly full scans + weekly series) at
-//! scale 0.05 twice — telemetry off, then telemetry on — and:
+//! scale 0.05 twice — telemetry off, then telemetry *and the flight
+//! recorder* on — and:
 //!
 //! - asserts the outputs are byte-identical (the observability layer's
 //!   determinism contract, also pinned by
-//!   `scanner/tests/telemetry_identity.rs`);
+//!   `scanner/tests/telemetry_identity.rs` and
+//!   `scanner/tests/flight_identity.rs`);
 //! - asserts the enabled-telemetry overhead on the combined run is ≤ 5%
 //!   (plus a small absolute slack so sub-second runs don't flake on
-//!   scheduler noise);
+//!   scheduler noise) — the flight recorder's per-date window folding
+//!   is inside that budget;
 //! - emits the per-stage self-time profile table (span counts, real
 //!   time, sim time) and the run's counters into `BENCH_profile.json`.
 //!
@@ -79,6 +82,10 @@ struct BenchReport {
     telemetry_off_secs: f64,
     telemetry_on_secs: f64,
     overhead_pct: f64,
+    /// Flight-recorder window counts from the telemetry-on pass — the
+    /// overhead number above includes maintaining them.
+    flight_sim_windows: u64,
+    flight_wall_windows: u64,
     profile: Vec<ProfileRowOut>,
     counters: std::collections::BTreeMap<String, u64>,
     notes: &'static str,
@@ -98,15 +105,21 @@ fn main() {
     eprintln!("# combined run, telemetry off...");
     let (off_digest, off_secs) = timed_runs(&study, threads);
 
-    // Profiled: collectors live, worker harvest/absorb active, trace
-    // streaming if RUN_TRACE is set.
-    obsv::set_enabled(true);
+    // Profiled: collectors live, worker harvest/absorb active, the
+    // flight recorder folding per-date windows, trace streaming if
+    // RUN_TRACE is set.
+    obsv::timeseries::set_flight(true);
     obsv::reset();
-    eprintln!("# combined run, telemetry on...");
+    eprintln!("# combined run, telemetry + flight recorder on...");
     let (on_digest, on_secs) = timed_runs(&study, threads);
     let collected = obsv::snapshot();
+    let recorder = obsv::timeseries::take();
     obsv::trace::flush();
     obsv::set_enabled(false);
+    let (flight_sim_windows, flight_wall_windows) = recorder
+        .as_ref()
+        .map(|r| (r.sim.iter().count() as u64, r.wall.iter().count() as u64))
+        .unwrap_or((0, 0));
 
     assert_eq!(
         off_digest, on_digest,
@@ -116,6 +129,10 @@ fn main() {
     let overhead_pct = (on_secs / off_secs - 1.0) * 100.0;
     let rows = obsv::export::profile_rows(&collected);
     println!("{}", obsv::export::profile_table(&rows));
+    let quantiles = obsv::export::quantile_rows(&collected);
+    if !quantiles.is_empty() {
+        println!("{}", obsv::export::quantile_table(&quantiles));
+    }
     println!(
         "telemetry off: {off_secs:.3}s  on: {on_secs:.3}s  overhead: {overhead_pct:+.2}%  \
          (acceptance: <=5%)"
@@ -130,6 +147,8 @@ fn main() {
         telemetry_off_secs: off_secs,
         telemetry_on_secs: on_secs,
         overhead_pct,
+        flight_sim_windows,
+        flight_wall_windows,
         profile: rows
             .iter()
             .map(|r| ProfileRowOut {
@@ -145,8 +164,9 @@ fn main() {
             .iter()
             .map(|(k, v)| ((*k).to_string(), *v))
             .collect(),
-        notes: "profile covers the telemetry-on combined run (2 passes merged); \
-                span aggregates merge from worker collectors in shard order, so \
+        notes: "profile covers the telemetry-on combined run (2 passes merged) \
+                with the flight recorder folding per-date windows; span \
+                aggregates merge from worker collectors in shard order, so \
                 the count/sim columns are deterministic — only real-time varies",
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profile.json");

@@ -1,7 +1,14 @@
 //! Scale sweep of the streaming ecosystem engine (DESIGN.md "Streaming
 //! ecosystem engine", EXPERIMENTS.md `exp_scale`): wall-clock and peak
 //! RSS of the weekly longitudinal series at scale ∈ {0.05, 0.1, 0.25,
-//! 0.5}, stepping toward the paper's 87M-domain zone files.
+//! 0.5, 1.0}, stepping toward the paper's 87M-domain zone files. The
+//! 1.0 step reproduces the paper's absolute population (~68k MTA-STS
+//! domains).
+//!
+//! Every child step runs with the flight recorder on
+//! (`obsv::timeseries`) and reports its [`obsv::health::RunManifest`]
+//! identity digest plus window counts, so BENCH_ecosystem.json carries
+//! a verifiable fingerprint of each recorded row.
 //!
 //! Each step runs in a fresh child process (re-exec of this binary with
 //! `MTASTS_SCALE_STEP` set) because `VmHWM` — the peak-RSS high-water
@@ -31,7 +38,7 @@
 //! ```
 //!
 //! `MTASTS_SCALE_MAX` caps the sweep (CI uses 0.25 to stay inside its
-//! timeout; the recorded EXPERIMENTS.md run uses the full 0.5).
+//! timeout; the recorded EXPERIMENTS.md run uses the full 1.0).
 
 use ecosystem::{DomainSpec, EcosystemConfig};
 use scanner::longitudinal::{MxHistory, Study, WeeklyPoint};
@@ -52,7 +59,7 @@ const RSS_LINEAR_SLACK: f64 = 1.10;
 /// Slack on the per-domain peak-RSS monotonicity check.
 const RSS_PER_DOMAIN_SLACK: f64 = 1.05;
 
-const SWEEP: [f64; 4] = [0.05, 0.1, 0.25, 0.5];
+const SWEEP: [f64; 5] = [0.05, 0.1, 0.25, 0.5, 1.0];
 
 /// One step's measurements, as serialized by the child process.
 #[derive(Debug, Serialize, Deserialize)]
@@ -67,6 +74,13 @@ struct StepReport {
     peak_rss_kb: u64,
     weekly_digest: String,
     chunked_parity: Option<bool>,
+    /// Identity digest of the step's [`obsv::health::RunManifest`] —
+    /// a pure function of seed, config, and outputs, so a re-run of the
+    /// same row must reproduce it bit-for-bit.
+    manifest_identity_digest: String,
+    /// Flight-recorder window counts for the step (execution detail).
+    sim_windows: u64,
+    wall_windows: u64,
 }
 
 #[derive(Serialize)]
@@ -173,19 +187,58 @@ fn run_step(seed: u64, scale: f64, threads: usize, chunk_check: bool) -> ! {
     });
 
     let study = Study::new(eco);
-    obsv::set_enabled(true);
+    // Flight recorder on: per-date windows accumulate alongside the
+    // base collector without touching the scan path.
+    obsv::timeseries::set_flight(true);
     obsv::reset();
     let t1 = Instant::now();
     let (points, history, _stats) = study.run_weekly_incremental_with_threads(threads);
     let weekly_secs = t1.elapsed().as_secs_f64();
     let collected = obsv::snapshot();
-    obsv::set_enabled(false);
 
     let rows = obsv::export::profile_rows(&collected);
     let weekly_row = rows
         .iter()
         .find(|r| r.name == "snapshot.weekly")
         .expect("the weekly driver emits snapshot.weekly spans");
+
+    let digest = weekly_digest(&points, &history);
+    let mut manifest = obsv::health::RunManifest {
+        experiment: "exp_scale.step".to_string(),
+        seed,
+        config_digest: obsv::health::fnv64(format!("{config:?}").as_bytes()),
+        output_digest: obsv::health::fnv64(digest.as_bytes()),
+        threads: threads as u64,
+        wall_ms: (weekly_secs * 1e3) as u64,
+        ..Default::default()
+    };
+    manifest
+        .totals
+        .insert("domains".to_string(), domains as u64);
+    manifest
+        .totals
+        .insert("weekly_points".to_string(), points.len() as u64);
+    manifest.capture_execution();
+    // CI artifact hook: children run sequentially, so the last sweep
+    // child (the largest scale) leaves the manifest that gets uploaded.
+    if let Ok(path) = std::env::var("MTASTS_SCALE_MANIFEST") {
+        if !path.is_empty() {
+            manifest
+                .write(std::path::Path::new(&path))
+                .expect("write step manifest");
+        }
+    }
+    let (sim_windows, wall_windows) = (
+        manifest
+            .sim_windows
+            .as_ref()
+            .map_or(0, |s| s.iter().count() as u64),
+        manifest
+            .wall_windows
+            .as_ref()
+            .map_or(0, |s| s.iter().count() as u64),
+    );
+    obsv::set_enabled(false);
 
     let report = StepReport {
         scale,
@@ -196,8 +249,11 @@ fn run_step(seed: u64, scale: f64, threads: usize, chunk_check: bool) -> ! {
         snapshot_weekly_calls: weekly_row.count,
         snapshot_weekly_mean_us: weekly_row.mean_ns as f64 / 1e3,
         peak_rss_kb: peak_rss_kb(),
-        weekly_digest: weekly_digest(&points, &history),
+        weekly_digest: digest,
         chunked_parity,
+        manifest_identity_digest: format!("{:016x}", manifest.identity_digest()),
+        sim_windows,
+        wall_windows,
     };
     println!("{}", serde_json::to_string(&report).expect("step json"));
     std::process::exit(0);
@@ -253,7 +309,7 @@ fn main() {
     let scale_max: f64 = std::env::var("MTASTS_SCALE_MAX")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(0.5);
+        .unwrap_or(1.0);
 
     // Thread-parity gate at the smallest scale: 1 vs 8 scan threads
     // must digest identically (the chunked-generation parity check
@@ -362,7 +418,9 @@ fn main() {
         notes: "each step runs in a fresh child process so VmHWM isolates that \
                 scale's peak; weekly digests are canonical (sorted maps/history) \
                 and thread-count invariant; the 1-thread step is the parity \
-                reference and is not part of the sweep",
+                reference and is not part of the sweep; every step runs with \
+                the flight recorder on and reports its RunManifest identity \
+                digest (seed + config + outputs, execution-independent)",
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ecosystem.json");
     std::fs::write(

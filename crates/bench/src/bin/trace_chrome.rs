@@ -1,0 +1,30 @@
+//! Convert an `obsv::trace` JSONL capture (RUN_TRACE output) into Chrome
+//! `trace_event` JSON loadable in Perfetto / `chrome://tracing`.
+//!
+//! ```text
+//! trace_chrome run.trace.jsonl > run.trace.json
+//! trace_chrome run.trace.jsonl run.trace.json
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(input) = args.next() else {
+        eprintln!("usage: trace_chrome <trace.jsonl> [out.json]");
+        std::process::exit(2);
+    };
+    let jsonl = match std::fs::read_to_string(&input) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace_chrome: cannot read {input}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let chrome = obsv::trace::chrome_trace(&jsonl);
+    match args.next() {
+        Some(out) => {
+            std::fs::write(&out, chrome).expect("write chrome trace");
+            eprintln!("trace_chrome: wrote {out}");
+        }
+        None => print!("{chrome}"),
+    }
+}

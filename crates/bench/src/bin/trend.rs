@@ -1,0 +1,61 @@
+//! CI trend gate over the committed `BENCH_*.json` reports.
+//!
+//! ```text
+//! trend           # compare current reports against the last recorded run; exit 1 on regression
+//! trend record    # append the current metrics as a new run in BENCH_trend.json
+//! ```
+//!
+//! `TREND_ROOT` overrides the workspace root (default: current directory).
+//! `TREND_FLOOR` sets the regression floor in percent (default 25).
+//! `TREND_LABEL` labels the run when recording.
+
+use mtasts_bench::trend;
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::var("TREND_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let record = std::env::args().nth(1).is_some_and(|a| a == "record");
+    let current = trend::collect(&root);
+    if current.is_empty() {
+        eprintln!(
+            "trend: no BENCH_*.json reports found under {}",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+
+    if record {
+        let mut history = trend::load_history(&root);
+        let label =
+            std::env::var("TREND_LABEL").unwrap_or_else(|_| format!("run-{}", history.len() + 1));
+        history.push(trend::TrendRun {
+            label: label.clone(),
+            metrics: current,
+        });
+        trend::save_history(&root, &history).expect("write BENCH_trend.json");
+        println!("trend: recorded run '{label}' ({} total)", history.len());
+        return;
+    }
+
+    let history = trend::load_history(&root);
+    let Some(last) = history.last() else {
+        println!(
+            "trend: no recorded history in {}; nothing to gate",
+            trend::HISTORY_FILE
+        );
+        return;
+    };
+    let floor = trend::floor_from_env();
+    let verdicts = trend::gate(&last.metrics, &current, floor);
+    print!("{}", trend::report(&verdicts, floor));
+    if verdicts.iter().any(|v| v.regressed) {
+        eprintln!(
+            "trend: regression past the {floor}% floor (baseline run '{}')",
+            last.label
+        );
+        std::process::exit(1);
+    }
+    println!("trend: ok against baseline run '{}'", last.label);
+}

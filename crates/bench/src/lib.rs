@@ -10,6 +10,7 @@
 //!   EXPERIMENTS.md.
 
 pub mod downgrade;
+pub mod trend;
 
 use ecosystem::{Ecosystem, EcosystemConfig};
 use scanner::longitudinal::{LongitudinalRun, Study};

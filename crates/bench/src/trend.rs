@@ -1,0 +1,430 @@
+//! Benchmark trend gate over the committed `BENCH_*.json` trajectory.
+//!
+//! Each experiment binary commits a machine-readable report
+//! (`BENCH_scan.json`, `BENCH_profile.json`, ...) next to the workspace
+//! root. This module tracks a small set of headline metrics across those
+//! reports, records them as runs in `BENCH_trend.json`, and fails when the
+//! current reports regress past a configurable floor relative to the last
+//! recorded run. The `trend` binary wraps it for CI:
+//!
+//! ```text
+//! cargo run --release -p mtasts-bench --bin trend            # gate (exit 1 on regression)
+//! cargo run --release -p mtasts-bench --bin trend -- record  # append current metrics
+//! ```
+//!
+//! The floor is `TREND_FLOOR` in percent (default 25). Throughput-style
+//! metrics (higher is better) regress when they fall below
+//! `baseline * (1 - floor/100)`. Overhead-style metrics (lower is better)
+//! regress when they drift up by more than `floor/5` percentage points —
+//! relative floors are meaningless around a near-zero baseline, so the
+//! default 25% floor permits +5 points of absolute drift.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// History file maintained next to the `BENCH_*.json` reports.
+pub const HISTORY_FILE: &str = "BENCH_trend.json";
+
+/// Default regression floor in percent when `TREND_FLOOR` is unset.
+pub const DEFAULT_FLOOR_PCT: f64 = 25.0;
+
+/// Whether larger values of a metric are an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Higher,
+    Lower,
+}
+
+/// One tracked metric: where it lives and which way it should move.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Stable name used in the history file, e.g. `scan.combined_speedup`.
+    pub name: &'static str,
+    /// Report file relative to the workspace root.
+    pub file: &'static str,
+    /// Dotted path inside the report; `[field=value]` segments select the
+    /// element of an array whose `field` equals `value`.
+    pub path: &'static str,
+    pub direction: Direction,
+}
+
+/// The headline metrics gated across the committed reports.
+pub fn specs() -> Vec<MetricSpec> {
+    use Direction::{Higher, Lower};
+    vec![
+        MetricSpec {
+            name: "scan.combined_speedup",
+            file: "BENCH_scan.json",
+            path: "combined_speedup",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "scan.full_speedup",
+            file: "BENCH_scan.json",
+            path: "full.speedup",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "scan.weekly_speedup",
+            file: "BENCH_scan.json",
+            path: "weekly.speedup",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "profile.overhead_pct",
+            file: "BENCH_profile.json",
+            path: "overhead_pct",
+            direction: Lower,
+        },
+        MetricSpec {
+            name: "ecosystem.speedup_at_smallest_scale",
+            file: "BENCH_ecosystem.json",
+            path: "speedup_at_smallest_scale",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "resolver.cold_per_sec",
+            file: "BENCH_resolver.json",
+            path: "regimes.[regime=cold].resolutions_per_sec",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "resolver.warm_per_sec",
+            file: "BENCH_resolver.json",
+            path: "regimes.[regime=warm].resolutions_per_sec",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "resolver.outage_per_sec",
+            file: "BENCH_resolver.json",
+            path: "regimes.[regime=outage].resolutions_per_sec",
+            direction: Higher,
+        },
+        MetricSpec {
+            name: "delivery.baseline_msgs_per_sec",
+            file: "BENCH_delivery.json",
+            path: "scenarios.[scenario=baseline].msgs_per_sec",
+            direction: Higher,
+        },
+    ]
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn map_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+/// Walk a dotted path through a `Value` tree. `[field=value]` segments
+/// select the array element whose string field matches.
+pub fn extract<'a>(root: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = root;
+    for seg in path.split('.') {
+        if let Some(body) = seg.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let (field, want) = body.split_once('=')?;
+            let items = match cur {
+                Value::Seq(items) => items,
+                _ => return None,
+            };
+            cur = items
+                .iter()
+                .find(|item| matches!(map_get(item, field), Some(Value::Str(s)) if s == want))?;
+        } else {
+            cur = map_get(cur, seg)?;
+        }
+    }
+    Some(cur)
+}
+
+/// Read every report under `root` and extract the tracked metrics.
+/// Reports that are missing or unparsable simply contribute nothing —
+/// the gate only compares metrics present on both sides.
+pub fn collect(root: &Path) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for spec in specs() {
+        let Ok(text) = std::fs::read_to_string(root.join(spec.file)) else {
+            continue;
+        };
+        let Ok(tree) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
+        if let Some(value) = extract(&tree, spec.path).and_then(as_f64) {
+            out.insert(spec.name.to_string(), value);
+        }
+    }
+    out
+}
+
+/// One recorded run in the history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRun {
+    pub label: String,
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Parse the history file contents. Unknown fields are ignored.
+pub fn parse_history(text: &str) -> Vec<TrendRun> {
+    let Ok(tree) = serde_json::from_str::<Value>(text) else {
+        return Vec::new();
+    };
+    let Some(Value::Seq(runs)) = map_get(&tree, "runs") else {
+        return Vec::new();
+    };
+    runs.iter()
+        .filter_map(|run| {
+            let label = match map_get(run, "label") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            let metrics = match map_get(run, "metrics") {
+                Some(Value::Map(entries)) => entries
+                    .iter()
+                    .filter_map(|(k, v)| as_f64(v).map(|x| (k.clone(), x)))
+                    .collect(),
+                _ => return None,
+            };
+            Some(TrendRun { label, metrics })
+        })
+        .collect()
+}
+
+/// Render the history file contents (pretty JSON, stable key order).
+pub fn render_history(runs: &[TrendRun]) -> String {
+    let runs_value = Value::Seq(
+        runs.iter()
+            .map(|run| {
+                Value::Map(vec![
+                    ("label".to_string(), Value::Str(run.label.clone())),
+                    (
+                        "metrics".to_string(),
+                        Value::Map(
+                            run.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let tree = Value::Map(vec![
+        (
+            "format".to_string(),
+            Value::Str("mtasts-bench-trend-v1".to_string()),
+        ),
+        ("runs".to_string(), runs_value),
+    ]);
+    let mut text = serde_json::to_string_pretty(&tree).expect("trend history renders");
+    text.push('\n');
+    text
+}
+
+pub fn load_history(root: &Path) -> Vec<TrendRun> {
+    match std::fs::read_to_string(root.join(HISTORY_FILE)) {
+        Ok(text) => parse_history(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+pub fn save_history(root: &Path, runs: &[TrendRun]) -> std::io::Result<()> {
+    std::fs::write(root.join(HISTORY_FILE), render_history(runs))
+}
+
+/// Gate outcome for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    pub name: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Worst acceptable value given the floor.
+    pub allowed: f64,
+    pub regressed: bool,
+}
+
+/// `TREND_FLOOR` in percent, defaulting to [`DEFAULT_FLOOR_PCT`].
+pub fn floor_from_env() -> f64 {
+    std::env::var("TREND_FLOOR")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f >= 0.0)
+        .unwrap_or(DEFAULT_FLOOR_PCT)
+}
+
+fn direction_of(name: &str) -> Direction {
+    specs()
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.direction)
+        .unwrap_or(Direction::Higher)
+}
+
+/// Compare current metrics against a baseline run. Metrics present on only
+/// one side are skipped (new metrics enter the trajectory without gating).
+pub fn gate(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    floor_pct: f64,
+) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    for (name, &base) in baseline {
+        let Some(&cur) = current.get(name) else {
+            continue;
+        };
+        let (allowed, regressed) = match direction_of(name) {
+            Direction::Higher => {
+                let allowed = base * (1.0 - floor_pct / 100.0);
+                (allowed, cur < allowed)
+            }
+            Direction::Lower => {
+                let allowed = base + floor_pct / 5.0;
+                (allowed, cur > allowed)
+            }
+        };
+        out.push(Verdict {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            allowed,
+            regressed,
+        });
+    }
+    out
+}
+
+/// Format verdicts as an aligned report table.
+pub fn report(verdicts: &[Verdict], floor_pct: f64) -> String {
+    let mut out = format!("trend gate (floor {floor_pct}%)\n");
+    let width = verdicts
+        .iter()
+        .map(|v| v.name.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    for v in verdicts {
+        out.push_str(&format!(
+            "  {:<width$}  baseline {:>14.3}  current {:>14.3}  allowed {:>14.3}  {}\n",
+            v.name,
+            v.baseline,
+            v.current,
+            v.allowed,
+            if v.regressed { "REGRESSED" } else { "ok" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn extract_walks_nested_and_array_select_paths() {
+        let tree: Value =
+            serde_json::from_str(r#"{"a":{"b":3.5},"rows":[{"id":"x","v":1},{"id":"y","v":2}]}"#)
+                .unwrap();
+        assert_eq!(extract(&tree, "a.b").and_then(as_f64), Some(3.5));
+        assert_eq!(extract(&tree, "rows.[id=y].v").and_then(as_f64), Some(2.0));
+        assert_eq!(extract(&tree, "rows.[id=z].v"), None);
+        assert_eq!(extract(&tree, "a.missing"), None);
+    }
+
+    #[test]
+    fn gate_passes_on_identical_metrics() {
+        let metrics: BTreeMap<String, f64> = [("scan.combined_speedup".to_string(), 19.7)]
+            .into_iter()
+            .collect();
+        let verdicts = gate(&metrics, &metrics, 25.0);
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].regressed);
+    }
+
+    #[test]
+    fn gate_fails_on_injected_synthetic_regression() {
+        let baseline: BTreeMap<String, f64> = [("resolver.warm_per_sec".to_string(), 400_000.0)]
+            .into_iter()
+            .collect();
+        let mut current = baseline.clone();
+        current.insert("resolver.warm_per_sec".to_string(), 200_000.0); // -50%
+        let verdicts = gate(&baseline, &current, 25.0);
+        assert!(verdicts[0].regressed, "50% drop must trip a 25% floor");
+
+        // Within the floor it must pass.
+        current.insert("resolver.warm_per_sec".to_string(), 320_000.0); // -20%
+        let verdicts = gate(&baseline, &current, 25.0);
+        assert!(!verdicts[0].regressed);
+    }
+
+    #[test]
+    fn lower_is_better_uses_absolute_point_slack() {
+        let baseline: BTreeMap<String, f64> = [("profile.overhead_pct".to_string(), -1.6)]
+            .into_iter()
+            .collect();
+        // +5 points from -1.6 is allowed at floor 25 (25/5 = 5 point slack).
+        let mut current = baseline.clone();
+        current.insert("profile.overhead_pct".to_string(), 3.0);
+        assert!(!gate(&baseline, &current, 25.0)[0].regressed);
+        current.insert("profile.overhead_pct".to_string(), 6.0);
+        assert!(gate(&baseline, &current, 25.0)[0].regressed);
+    }
+
+    #[test]
+    fn history_round_trips() {
+        let runs = vec![TrendRun {
+            label: "seed".to_string(),
+            metrics: [("scan.combined_speedup".to_string(), 19.25)]
+                .into_iter()
+                .collect(),
+        }];
+        let parsed = parse_history(&render_history(&runs));
+        assert_eq!(parsed, runs);
+    }
+
+    #[test]
+    fn committed_reports_yield_metrics() {
+        let metrics = collect(&repo_root());
+        // Every committed report must surface its headline metric; if a
+        // report file is renamed this catches the silent gate no-op.
+        for name in [
+            "scan.combined_speedup",
+            "profile.overhead_pct",
+            "ecosystem.speedup_at_smallest_scale",
+            "resolver.warm_per_sec",
+            "delivery.baseline_msgs_per_sec",
+        ] {
+            assert!(metrics.contains_key(name), "missing {name}: {metrics:?}");
+        }
+    }
+
+    #[test]
+    fn committed_trajectory_passes_the_gate() {
+        let root = repo_root();
+        let history = load_history(&root);
+        let Some(last) = history.last() else {
+            // History not recorded yet; the gate treats this as vacuous.
+            return;
+        };
+        let current = collect(&root);
+        let verdicts = gate(&last.metrics, &current, DEFAULT_FLOOR_PCT);
+        let regressed: Vec<_> = verdicts.iter().filter(|v| v.regressed).collect();
+        assert!(
+            regressed.is_empty(),
+            "committed trajectory regressed: {regressed:?}"
+        );
+    }
+}

@@ -205,6 +205,10 @@ impl IncrementalWorld {
         obsv::counter!("ecosystem_installs_total", stats.installed as u64);
         obsv::counter!("ecosystem_reinstalls_total", stats.reinstalled as u64);
         obsv::counter!("ecosystem_unchanged_total", stats.unchanged as u64);
+        // Deployed-population watermark for the flight recorder: lands
+        // in the next window the driver rolls, so a recorded run shows
+        // adoption growth over sim time. Free when recording is off.
+        obsv::timeseries::gauge("ecosystem.installed_domains", self.installed_count as u64);
         stats
     }
 

@@ -73,6 +73,13 @@ pub fn prometheus_text(c: &Collector) -> String {
         let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{m}_sum {}", h.sum);
         let _ = writeln!(out, "{m}_count {}", h.count);
+        // Server-side quantile estimates from the log2 buckets, as
+        // companion gauges (a TYPE histogram series may not carry
+        // quantile labels itself). Accurate to the bucket width (2x).
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = writeln!(out, "# TYPE {m}_{suffix} gauge");
+            let _ = writeln!(out, "{m}_{suffix} {}", h.quantile(q));
+        }
     }
     out
 }
@@ -139,6 +146,54 @@ pub fn profile_table(rows: &[ProfileRow]) -> String {
     out
 }
 
+/// One row of the histogram quantile table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileRow {
+    /// Histogram name ("probe_us", "resolver.latency_us", ...).
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Estimated quantiles (log2-bucket interpolation, 2x accuracy).
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+}
+
+/// The collector's histograms as quantile rows, sorted by name.
+pub fn quantile_rows(c: &Collector) -> Vec<QuantileRow> {
+    c.histograms
+        .iter()
+        .map(|(name, h)| QuantileRow {
+            name: (*name).to_string(),
+            count: h.count,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        })
+        .collect()
+}
+
+/// Renders the quantile rows as an aligned text table (printed by
+/// `exp_profile` under the per-stage profile).
+pub fn quantile_table(rows: &[QuantileRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>12} {:>12} {:>12}",
+        "histogram", "count", "p50", "p95", "p99"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>12} {:>12} {:>12}",
+            r.name, r.count, r.p50, r.p95, r.p99
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +227,20 @@ mod tests {
         assert!(text.contains("probe_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("probe_us_sum 903"));
         assert!(text.contains("probe_us_count 2"));
+        assert!(text.contains("# TYPE probe_us_p99 gauge"));
+        assert!(text.contains("probe_us_p50 "));
+    }
+
+    #[test]
+    fn quantile_rows_cover_all_histograms() {
+        let rows = quantile_rows(&sample_collector());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "probe_us");
+        assert_eq!(rows[0].count, 2);
+        assert!(rows[0].p50 <= rows[0].p95 && rows[0].p95 <= rows[0].p99);
+        let table = quantile_table(&rows);
+        assert!(table.contains("probe_us"));
+        assert!(table.contains("p99"));
     }
 
     #[test]

@@ -61,6 +61,8 @@
 //! commutativity claim).
 
 pub mod export;
+pub mod health;
+pub mod timeseries;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -166,6 +168,45 @@ impl Histogram {
         }
         self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from the log2 buckets:
+    /// find the bucket holding the `ceil(q·count)`-th sample, then
+    /// interpolate linearly within its `[2^(i-1), 2^i)` range by sample
+    /// rank. The rank is an integer and the interpolation is pure
+    /// integer arithmetic (`u128` intermediate), so the estimate is the
+    /// same on every platform; the only float is the initial
+    /// `q·count` product, whose IEEE result is fully determined.
+    ///
+    /// Accuracy is bounded by the bucket width: the estimate lies in
+    /// the correct power-of-two bucket, i.e. within 2× of the true
+    /// quantile — plenty for a "did p99 blow up" exposition line.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64) * q).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 {
+                    0
+                } else {
+                    Self::upper_bound(i - 1).saturating_add(1)
+                };
+                let hi = Self::upper_bound(i);
+                let within = rank - seen; // 1..=c
+                let offset = ((hi - lo) as u128 * within as u128 / c as u128) as u64;
+                return lo.saturating_add(offset);
+            }
+            seen += c;
+        }
+        Self::upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 }
 
@@ -444,6 +485,32 @@ mod tests {
             assert_eq!(Histogram::bucket_of(lo + 1), i, "low edge of {i}");
             assert_eq!(Histogram::bucket_of(hi), i, "high edge of {i}");
         }
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Log2 buckets bound accuracy to 2x: the estimate must land in
+        // the same power-of-two bucket as the true quantile.
+        for (q, truth) in [(0.50, 50u64), (0.95, 95), (0.99, 99)] {
+            let est = h.quantile(q);
+            assert_eq!(
+                Histogram::bucket_of(est),
+                Histogram::bucket_of(truth),
+                "q={q} est={est} truth={truth}"
+            );
+        }
+        // Degenerate single-value histogram: exact.
+        let mut one = Histogram::default();
+        one.record(0);
+        assert_eq!(one.quantile(0.99), 0);
+        let mut big = Histogram::default();
+        big.record(u64::MAX);
+        assert_eq!(Histogram::bucket_of(big.quantile(0.5)), 64);
     }
 
     #[test]

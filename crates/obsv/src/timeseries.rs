@@ -1,0 +1,524 @@
+//! Windowed time-series telemetry — the flight recorder's storage layer.
+//!
+//! The end-of-run aggregates in [`crate::Collector`] answer "how much,
+//! in total"; a multi-minute scale-1.0 run also needs "how much, *when*"
+//! — throughput collapse at a hot date, memory creep, a stalled shard
+//! are all invisible in totals. This module records **windows**: for
+//! each window key, the counter *deltas*, histogram *deltas* and gauge
+//! watermarks accumulated while that window was current.
+//!
+//! Two parallel keyings per recorder (ISSUE 10's "keyed by both
+//! sim-date and wall-clock window"):
+//!
+//! - the **sim series**, keyed by a caller-supplied ordinal (the
+//!   drivers pass the snapshot date's midnight unix seconds). Its
+//!   *counter* layer — counter deltas and span-count deltas — is a pure
+//!   function of the work and is byte-identical at any thread count;
+//!   gauge and histogram windows may carry execution observables (RSS
+//!   watermarks, wall-time latencies) placed against sim time, which is
+//!   exactly what memory-creep-per-date diagnosis needs but makes them
+//!   execution detail like the wall series;
+//! - the **wall series**, keyed by elapsed-wall-clock bucket since the
+//!   recorder started. An execution log, like the JSONL trace: useful,
+//!   comparable across runs, but not a digest artifact.
+//!
+//! # Merge discipline
+//!
+//! Exactly [`crate::Collector`]'s: counter and histogram merges are
+//! saturating sums (commutative, associative), gauges merge by
+//! **maximum** (also commutative/associative — a gauge window holds the
+//! high-water mark, so folding shard recorders in any order yields the
+//! same series). Ring-buffer eviction happens *after* merge and keeps
+//! the highest keys, so eviction cannot reorder a fold either. The
+//! proptests in `crates/obsv/tests/timeseries_props.rs` pin all of this
+//! the way `merge_props.rs` pins the collector.
+//!
+//! # Zero perturbation
+//!
+//! Like the rest of `obsv`, the recorder draws from no RNG, advances no
+//! simulated clock and takes no locks on the scan path: drivers call
+//! [`roll`] once per date/wave from the orchestrating thread, which
+//! diffs that thread's collector snapshot against the previous roll.
+//! When flight recording is off ([`flight_enabled`]), `roll` is one
+//! relaxed atomic load.
+
+use crate::{Collector, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Enablement
+// ---------------------------------------------------------------------
+
+static FLIGHT: AtomicBool = AtomicBool::new(false);
+static FLIGHT_ENV: Once = Once::new();
+
+/// Whether the flight recorder is on. First call reads the `FLIGHT`
+/// environment variable (anything but `0`/empty enables); later calls
+/// are one relaxed atomic load. Enabling the flight recorder also
+/// enables base telemetry — windows are deltas of the collector, so
+/// there is nothing to record without it.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ENV.call_once(|| {
+        let on = std::env::var("FLIGHT").map(|v| v != "0" && !v.is_empty()) == Ok(true);
+        if on {
+            FLIGHT.store(true, Ordering::Relaxed);
+            crate::set_enabled(true);
+        }
+    });
+    FLIGHT.load(Ordering::Relaxed)
+}
+
+/// Turns flight recording on or off programmatically. Turning it on
+/// also enables base telemetry (see [`flight_enabled`]).
+pub fn set_flight(on: bool) {
+    FLIGHT_ENV.call_once(|| {});
+    FLIGHT.store(on, Ordering::Relaxed);
+    if on {
+        crate::set_enabled(true);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Window
+// ---------------------------------------------------------------------
+
+/// One window's worth of telemetry: counter deltas, histogram deltas,
+/// and gauge high-water marks, all keyed by static instrumentation
+/// names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Window {
+    /// Counter increments that landed in this window.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram samples that landed in this window.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Gauge high-water marks observed during this window.
+    pub gauges: BTreeMap<&'static str, u64>,
+}
+
+impl Window {
+    /// Whether nothing landed in this window.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Merges another window into this one: counters and histograms by
+    /// saturating sum, gauges by maximum. Both operations are
+    /// commutative and associative, so window merges are order-free —
+    /// the property `timeseries_props.rs` pins.
+    pub fn merge(&mut self, other: &Window) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name).or_default();
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name).or_default();
+            *slot = (*slot).max(*v);
+        }
+    }
+
+    /// A counter's delta in this window (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's high-water mark in this window (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+// ---------------------------------------------------------------------
+// WindowSeries
+// ---------------------------------------------------------------------
+
+/// A bounded, key-ordered ring of windows. Keys are caller-defined
+/// ordinals (sim-date seconds for the sim series, elapsed-wall buckets
+/// for the wall series); when the ring exceeds its capacity the lowest
+/// keys are evicted, so a long run keeps its most recent horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    capacity: usize,
+    /// Windows evicted by the ring bound so far (so an exporter can say
+    /// "…and N older windows fell off" instead of silently truncating).
+    pub evicted: u64,
+    windows: BTreeMap<i64, Window>,
+}
+
+/// Default ring capacity: three years of weekly windows plus slack.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 256;
+
+impl Default for WindowSeries {
+    fn default() -> WindowSeries {
+        WindowSeries::new(DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+impl WindowSeries {
+    /// An empty series bounded to `capacity` windows (min 1).
+    pub fn new(capacity: usize) -> WindowSeries {
+        WindowSeries {
+            capacity: capacity.max(1),
+            evicted: 0,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The ring bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window is retained.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The retained windows in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Window)> {
+        self.windows.iter().map(|(k, w)| (*k, w))
+    }
+
+    /// The window at `key`, if retained.
+    pub fn window(&self, key: i64) -> Option<&Window> {
+        self.windows.get(&key)
+    }
+
+    /// Folds `delta` into the window at `key` (creating it), then
+    /// enforces the ring bound.
+    pub fn fold(&mut self, key: i64, delta: &Window) {
+        if delta.is_empty() {
+            return;
+        }
+        self.windows.entry(key).or_default().merge(delta);
+        self.trim();
+    }
+
+    /// Sets a gauge high-water mark in the window at `key`.
+    pub fn fold_gauge(&mut self, key: i64, name: &'static str, value: u64) {
+        let slot = self
+            .windows
+            .entry(key)
+            .or_default()
+            .gauges
+            .entry(name)
+            .or_default();
+        *slot = (*slot).max(value);
+        self.trim();
+    }
+
+    /// Merges another series into this one: windows fold pairwise by
+    /// key, eviction counts add, and the ring bound applies afterward —
+    /// so merging per-shard series in any order yields the same result.
+    pub fn merge(&mut self, other: &WindowSeries) {
+        for (key, w) in &other.windows {
+            self.windows.entry(*key).or_default().merge(w);
+        }
+        self.evicted = self.evicted.saturating_add(other.evicted);
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        while self.windows.len() > self.capacity {
+            let lowest = *self.windows.keys().next().expect("non-empty over capacity");
+            self.windows.remove(&lowest);
+            self.evicted += 1;
+        }
+    }
+
+    /// Renders the series as compact JSON (hand-rolled; see
+    /// [`crate::trace`] for the escaping discipline). Deterministic:
+    /// `BTreeMap` ordering everywhere.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (key, w)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"key\":{key}"));
+            if !w.counters.is_empty() {
+                out.push_str(",\"counters\":{");
+                for (j, (name, v)) in w.counters.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{name}\":{v}"));
+                }
+                out.push('}');
+            }
+            if !w.gauges.is_empty() {
+                out.push_str(",\"gauges\":{");
+                for (j, (name, v)) in w.gauges.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{name}\":{v}"));
+                }
+                out.push('}');
+            }
+            if !w.histograms.is_empty() {
+                out.push_str(",\"histograms\":{");
+                for (j, (name, h)) in w.histograms.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------
+
+/// The flight recorder proper: diffs collector snapshots into windows.
+///
+/// A recorder belongs to one orchestrating thread (the driver loop that
+/// absorbs worker collectors); [`Recorder::roll`] diffs that thread's
+/// current aggregates against the previous roll and folds the delta
+/// into both series. Sharded *recorders* (one per child process, say)
+/// fold with [`Recorder::merge`] under the same order-free guarantee as
+/// the windows themselves.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    /// Sim-keyed series (deterministic; part of manifest identity only
+    /// for uninterrupted work — see the manifest docs).
+    pub sim: WindowSeries,
+    /// Elapsed-wall-bucket series (execution log).
+    pub wall: WindowSeries,
+    /// Wall bucket width in milliseconds.
+    pub wall_bucket_ms: u64,
+    last: Collector,
+    started: Option<Instant>,
+    /// Gauges staged by [`Recorder::gauge`] for the next roll.
+    pending_gauges: BTreeMap<&'static str, u64>,
+}
+
+/// Default wall bucket width: one second.
+pub const DEFAULT_WALL_BUCKET_MS: u64 = 1000;
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new(DEFAULT_WINDOW_CAPACITY, DEFAULT_WALL_BUCKET_MS)
+    }
+}
+
+impl Recorder {
+    /// A recorder with the given ring capacity and wall bucket width.
+    pub fn new(capacity: usize, wall_bucket_ms: u64) -> Recorder {
+        Recorder {
+            sim: WindowSeries::new(capacity),
+            wall: WindowSeries::new(capacity),
+            wall_bucket_ms: wall_bucket_ms.max(1),
+            last: Collector::new(),
+            started: None,
+            pending_gauges: BTreeMap::new(),
+        }
+    }
+
+    /// Stages a gauge watermark for the next [`Recorder::roll`].
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        let slot = self.pending_gauges.entry(name).or_default();
+        *slot = (*slot).max(value);
+    }
+
+    /// Diffs `current` against the previous roll and folds the delta
+    /// (plus staged gauges) into the sim window at `sim_key` and the
+    /// current wall bucket. Returns the delta window.
+    pub fn roll(&mut self, sim_key: i64, current: &Collector) -> Window {
+        let started = *self.started.get_or_insert_with(Instant::now);
+        let mut delta = Window::default();
+        for (name, v) in &current.counters {
+            let prev = self.last.counters.get(name).copied().unwrap_or(0);
+            let d = v.saturating_sub(prev);
+            if d > 0 {
+                delta.counters.insert(name, d);
+            }
+        }
+        for (name, h) in &current.histograms {
+            let d = match self.last.histograms.get(name) {
+                Some(prev) => histogram_delta(h, prev),
+                None => h.clone(),
+            };
+            if d.count > 0 {
+                delta.histograms.insert(name, d);
+            }
+        }
+        // Span aggregates surface as per-window counters so stage
+        // activity is visible over time without a second key space.
+        for (name, agg) in &current.spans {
+            let prev = self.last.spans.get(name).copied().unwrap_or_default();
+            let d = agg.count.saturating_sub(prev.count);
+            if d > 0 {
+                delta.counters.insert(name, d);
+            }
+        }
+        delta.gauges = std::mem::take(&mut self.pending_gauges);
+        self.last = current.clone();
+        let wall_key = (started.elapsed().as_millis() as u64 / self.wall_bucket_ms) as i64;
+        self.sim.fold(sim_key, &delta);
+        self.wall.fold(wall_key, &delta);
+        delta
+    }
+
+    /// Merges another recorder's series into this one (order-free).
+    pub fn merge(&mut self, other: &Recorder) {
+        self.sim.merge(&other.sim);
+        self.wall.merge(&other.wall);
+    }
+}
+
+/// Bucket-wise histogram subtraction (`current - previous`). Sound
+/// because histograms only ever grow; saturating keeps a (buggy) reset
+/// from panicking.
+fn histogram_delta(current: &Histogram, previous: &Histogram) -> Histogram {
+    let mut d = Histogram::default();
+    for (i, slot) in d.buckets.iter_mut().enumerate() {
+        *slot = current.buckets[i].saturating_sub(previous.buckets[i]);
+    }
+    d.count = current.count.saturating_sub(previous.count);
+    d.sum = current.sum.saturating_sub(previous.sum);
+    d
+}
+
+// ---------------------------------------------------------------------
+// Process-global recorder (driver hooks)
+// ---------------------------------------------------------------------
+
+static GLOBAL: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Folds this thread's collector delta into the global recorder at
+/// `sim_key` — the one hook drivers call per date / wave. One atomic
+/// load when flight recording is off.
+pub fn roll(sim_key: i64) {
+    if !flight_enabled() {
+        return;
+    }
+    let current = crate::snapshot();
+    let mut guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    guard
+        .get_or_insert_with(Recorder::default)
+        .roll(sim_key, &current);
+}
+
+/// Stages a gauge watermark on the global recorder (applied at the next
+/// [`roll`]). Free when flight recording is off.
+pub fn gauge(name: &'static str, value: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    let mut guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    guard
+        .get_or_insert_with(Recorder::default)
+        .gauge(name, value);
+}
+
+/// Takes the global recorder, leaving none (manifest assembly reads
+/// this at end of run). `None` when nothing ever rolled.
+pub fn take() -> Option<Recorder> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner()).take()
+}
+
+/// A clone of the global recorder, if any (mid-run inspection).
+pub fn peek() -> Option<Recorder> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Clears the global recorder (test harnesses, bench binaries).
+pub fn reset_flight() {
+    *GLOBAL.lock().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_windows_are_counter_deltas() {
+        let mut r = Recorder::new(8, 1000);
+        let mut c = Collector::new();
+        *c.counters.entry("x").or_default() += 5;
+        c.histograms.entry("h").or_default().record(100);
+        let w1 = r.roll(10, &c);
+        assert_eq!(w1.counter("x"), 5);
+        assert_eq!(w1.histograms["h"].count, 1);
+        *c.counters.entry("x").or_default() += 2;
+        c.histograms.entry("h").or_default().record(7);
+        let w2 = r.roll(20, &c);
+        assert_eq!(w2.counter("x"), 2, "second window holds only the delta");
+        assert_eq!(w2.histograms["h"].count, 1);
+        assert_eq!(w2.histograms["h"].sum, 7);
+        assert_eq!(r.sim.len(), 2);
+        assert_eq!(r.sim.window(10).unwrap().counter("x"), 5);
+        assert_eq!(r.sim.window(20).unwrap().counter("x"), 2);
+    }
+
+    #[test]
+    fn gauges_merge_by_max_and_ring_evicts_lowest() {
+        let mut s = WindowSeries::new(2);
+        s.fold_gauge(1, "rss", 10);
+        s.fold_gauge(1, "rss", 7);
+        assert_eq!(s.window(1).unwrap().gauge("rss"), Some(10));
+        s.fold_gauge(2, "rss", 11);
+        s.fold_gauge(3, "rss", 12);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evicted, 1);
+        assert!(s.window(1).is_none(), "lowest key evicted");
+        assert!(s.window(3).is_some());
+    }
+
+    #[test]
+    fn series_json_is_deterministic() {
+        let mut s = WindowSeries::new(4);
+        let mut w = Window::default();
+        w.counters.insert("b", 2);
+        w.counters.insert("a", 1);
+        w.gauges.insert("g", 9);
+        s.fold(5, &w);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "[{\"key\":5,\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":9}}]"
+        );
+        assert_eq!(json, s.clone().to_json());
+    }
+
+    #[test]
+    fn staged_gauges_land_in_the_next_roll() {
+        let mut r = Recorder::new(8, 1000);
+        r.gauge("rss_kb", 100);
+        r.gauge("rss_kb", 90);
+        let w = r.roll(1, &Collector::new());
+        assert_eq!(w.gauge("rss_kb"), Some(100));
+        let w2 = r.roll(2, &Collector::new());
+        assert_eq!(
+            w2.gauge("rss_kb"),
+            None,
+            "gauges do not persist across rolls"
+        );
+    }
+}

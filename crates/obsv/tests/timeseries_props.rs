@@ -1,0 +1,212 @@
+//! Property suite for the flight recorder's window merge semantics
+//! (DESIGN.md "Flight recorder"), mirroring `merge_props.rs` for the
+//! collector: folding per-shard window series in any order yields the
+//! same series, sharding a fold loses nothing, gauge windows keep the
+//! high-water mark regardless of arrival order, ring eviction is a pure
+//! function of the key set, and a recorder's windows always re-sum to
+//! the collector totals they were diffed from.
+
+use obsv::timeseries::{Recorder, Window, WindowSeries};
+use obsv::Collector;
+use proptest::prelude::*;
+
+/// Builds one window from generated primitives. Names draw from a small
+/// fixed pool so different shards genuinely collide on keys.
+fn build_window(ops: &[(u8, u8, u64)]) -> Window {
+    const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    let mut w = Window::default();
+    for &(what, name, value) in ops {
+        let name = NAMES[(name % 4) as usize];
+        match what % 3 {
+            0 => {
+                let slot = w.counters.entry(name).or_default();
+                *slot = slot.saturating_add(value);
+            }
+            1 => w.histograms.entry(name).or_default().record(value),
+            _ => {
+                let slot = w.gauges.entry(name).or_default();
+                *slot = (*slot).max(value);
+            }
+        }
+    }
+    w
+}
+
+/// Folds keyed windows into a fresh series of the given capacity, in
+/// the order given.
+fn fold_all(capacity: usize, keyed: &[(i64, Window)]) -> WindowSeries {
+    let mut s = WindowSeries::new(capacity);
+    for (key, w) in keyed {
+        s.fold(*key, w);
+    }
+    s
+}
+
+type ShardOps = [(i64, Vec<(u8, u8, u64)>)];
+
+fn keyed_windows(shard_ops: &ShardOps) -> Vec<(i64, Window)> {
+    shard_ops
+        .iter()
+        .map(|(key, ops)| (*key % 8, build_window(ops)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merging per-shard series in shard order, reversed, or rotated
+    /// yields the same series — the property that lets child recorders
+    /// fold into a parent in whatever order they finish.
+    #[test]
+    fn series_merge_is_order_free(
+        shard_ops in prop::collection::vec(
+            prop::collection::vec(
+                (any::<i64>(), prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..8)),
+                0..6,
+            ),
+            0..6,
+        ),
+        rotation in any::<u8>(),
+    ) {
+        let shards: Vec<WindowSeries> = shard_ops
+            .iter()
+            .map(|ops| fold_all(64, &keyed_windows(ops)))
+            .collect();
+        let merge_order = |order: &[usize]| {
+            let mut total = WindowSeries::new(64);
+            for &i in order {
+                total.merge(&shards[i]);
+            }
+            total
+        };
+        let in_order: Vec<usize> = (0..shards.len()).collect();
+        let reversed: Vec<usize> = in_order.iter().rev().copied().collect();
+        let rotated: Vec<usize> = if shards.is_empty() {
+            Vec::new()
+        } else {
+            let r = rotation as usize % shards.len();
+            in_order[r..].iter().chain(&in_order[..r]).copied().collect()
+        };
+        let want = merge_order(&in_order);
+        prop_assert_eq!(&merge_order(&reversed), &want);
+        prop_assert_eq!(&merge_order(&rotated), &want);
+    }
+
+    /// One flat fold over all keyed windows equals the merge of any
+    /// split of those windows across two series — the recorder's
+    /// harvest/absorb path loses nothing.
+    #[test]
+    fn series_sharding_is_lossless(
+        ops in prop::collection::vec(
+            (any::<i64>(), prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..8)),
+            0..20,
+        ),
+        cut in any::<u8>(),
+    ) {
+        let keyed = keyed_windows(&ops);
+        let flat = fold_all(64, &keyed);
+        let cut = if keyed.is_empty() { 0 } else { cut as usize % (keyed.len() + 1) };
+        let mut merged = fold_all(64, &keyed[..cut]);
+        merged.merge(&fold_all(64, &keyed[cut..]));
+        prop_assert_eq!(merged, flat);
+    }
+
+    /// Gauge windows hold the high-water mark: any arrival order of
+    /// samples (and any sharding of them) produces max-per-key.
+    #[test]
+    fn gauges_keep_the_high_water_mark(
+        samples in prop::collection::vec((any::<i64>(), any::<u64>()), 1..30),
+        rotation in any::<u8>(),
+    ) {
+        let fold_samples = |order: &[usize]| {
+            let mut s = WindowSeries::new(64);
+            for &i in order {
+                let (key, v) = samples[i];
+                s.fold_gauge(key % 4, "rss", v);
+            }
+            s
+        };
+        let in_order: Vec<usize> = (0..samples.len()).collect();
+        let r = rotation as usize % samples.len();
+        let rotated: Vec<usize> =
+            in_order[r..].iter().chain(&in_order[..r]).copied().collect();
+        let want = fold_samples(&in_order);
+        prop_assert_eq!(&fold_samples(&rotated), &want);
+        for (key, w) in want.iter() {
+            let max = samples
+                .iter()
+                .filter(|(k, _)| k % 4 == key)
+                .map(|&(_, v)| v)
+                .max();
+            prop_assert_eq!(w.gauge("rss"), max);
+        }
+    }
+
+    /// Ring eviction is a pure function of the key set: a bounded fold
+    /// retains exactly the unbounded fold's windows at the highest
+    /// `capacity` keys — eviction can drop history but never corrupt a
+    /// retained window.
+    #[test]
+    fn ring_eviction_keeps_the_highest_keys_intact(
+        ops in prop::collection::vec(
+            (any::<i64>(), prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 1..5)),
+            0..24,
+        ),
+        capacity in 1usize..6,
+    ) {
+        let keyed = keyed_windows(&ops);
+        let bounded = fold_all(capacity, &keyed);
+        let unbounded = fold_all(usize::MAX, &keyed);
+        prop_assert!(bounded.len() <= capacity);
+        let mut keys: Vec<i64> = unbounded.iter().map(|(k, _)| k).collect();
+        keys.sort();
+        let expect_keys: Vec<i64> =
+            keys.iter().rev().take(capacity).rev().copied().collect();
+        let got_keys: Vec<i64> = bounded.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(got_keys, expect_keys, "retained keys are the highest");
+        for (key, w) in bounded.iter() {
+            prop_assert_eq!(Some(w), unbounded.window(key), "retained window intact at {}", key);
+        }
+    }
+
+    /// A recorder's sim windows are exact deltas: summing every window
+    /// reconstructs the final collector totals, no matter how the
+    /// increments are batched into rolls.
+    #[test]
+    fn recorder_windows_resum_to_collector_totals(
+        increments in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>() ), 0..6),
+            1..10,
+        ),
+    ) {
+        const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        let mut recorder = Recorder::new(usize::MAX, 1000);
+        let mut collector = Collector::new();
+        for (i, batch) in increments.iter().enumerate() {
+            for &(what, name, value) in batch {
+                let name = NAMES[(name % 4) as usize];
+                match what % 2 {
+                    0 => {
+                        let slot = collector.counters.entry(name).or_default();
+                        *slot = slot.saturating_add(value);
+                    }
+                    _ => collector.histograms.entry(name).or_default().record(value),
+                }
+            }
+            recorder.roll(i as i64, &collector);
+        }
+        let mut total = Window::default();
+        for (_, w) in recorder.sim.iter() {
+            total.merge(w);
+        }
+        for (name, v) in &collector.counters {
+            prop_assert_eq!(total.counter(name), *v, "counter {} re-sums", name);
+        }
+        for (name, h) in &collector.histograms {
+            let got = total.histograms.get(name).expect("histogram window present");
+            prop_assert_eq!(got.count, h.count);
+            prop_assert_eq!(got.sum, h.sum);
+            prop_assert_eq!(&got.buckets[..], &h.buckets[..]);
+        }
+    }
+}

@@ -410,12 +410,19 @@ impl Study {
     /// [`Study::run_full_scratch_with_threads`] for every thread count.
     pub fn run_full_incremental_with_threads(&self, threads: usize) -> (Vec<Snapshot>, CacheStats) {
         let mut engine = IncrementalScanner::new(&self.eco, ScanConfig::default());
-        let out = self
-            .eco
-            .config
-            .full_scan_dates()
+        let dates = self.eco.config.full_scan_dates();
+        let date_count = dates.len() as u64;
+        let out = dates
             .iter()
-            .map(|&date| engine.snapshot_at(&self.eco, date, threads))
+            .enumerate()
+            .map(|(ord, &date)| {
+                let snap = engine.snapshot_at(&self.eco, date, threads);
+                // Close this date's flight-recorder window on the driver
+                // thread; free when recording is off.
+                obsv::timeseries::roll(date.at_midnight().unix_secs());
+                obsv::health::progress("scan.full", ord as u64 + 1, date_count);
+                snap
+            })
             .collect();
         (out, engine.stats())
     }

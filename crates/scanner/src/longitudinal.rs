@@ -293,7 +293,16 @@ impl Study {
         // Indices rewritten by the engine since the last delta fold.
         let mut pending: Vec<u32> = Vec::new();
         let mut forced_since_fold = false;
-        for date in self.eco.config.weekly_snapshots() {
+        let snapshot_dates = self.eco.config.weekly_snapshots();
+        let date_count = snapshot_dates.len() as u64;
+        // Closes the date's flight-recorder window and emits a progress
+        // tick — called at each of the loop's three exits, on the driver
+        // thread, after the workers were absorbed. Free when off.
+        let weekly_tick = |date: SimDate, ord: usize| {
+            obsv::timeseries::roll(date.at_midnight().unix_secs());
+            obsv::health::progress("scan.weekly", ord as u64 + 1, date_count);
+        };
+        for (date_ord, date) in snapshot_dates.into_iter().enumerate() {
             let _span = obsv::span!("snapshot.weekly");
             engine.advance_to(&self.eco, date);
             pending.extend_from_slice(engine.last_dirty());
@@ -309,6 +318,7 @@ impl Study {
                 stats.count_many(HitKind::Forced, n as u64);
                 weekly.push(fold_weekly(date, domains, &observations, &mut history));
                 forced_since_fold = true;
+                weekly_tick(date, date_ord);
                 continue;
             }
             if !primed {
@@ -328,6 +338,7 @@ impl Study {
                 pending.clear();
                 primed = true;
                 forced_since_fold = false;
+                weekly_tick(date, date_ord);
                 continue;
             }
             // Steady state: only indices the engine rewrote since the
@@ -393,6 +404,7 @@ impl Study {
                 mtasts_per_tld: mtasts.clone(),
                 tlsrpt_among_mtasts_per_tld: tlsrpt.clone(),
             });
+            weekly_tick(date, date_ord);
         }
         (weekly, history, stats)
     }

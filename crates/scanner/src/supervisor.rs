@@ -297,6 +297,7 @@ impl Study {
     /// to [`Study::run_full`] when nothing faults, panics, or suspends —
     /// and byte-identical across kill/resume cycles otherwise.
     pub fn run_full_supervised(&self, cfg: &SupervisorConfig) -> SupervisedOutcome {
+        let run_started = std::time::Instant::now();
         let mut checkpoint_path = cfg.checkpoint_path.clone();
         let mut ckpt = match &checkpoint_path {
             Some(path) => Checkpoint::load(path),
@@ -315,7 +316,9 @@ impl Study {
         let mut cache = ScanCache::new(&self.eco, cfg.scan);
         let seeding = cfg.transient.is_none();
 
-        for date in self.eco.config.full_scan_dates() {
+        let dates = self.eco.config.full_scan_dates();
+        let date_count = dates.len() as u64;
+        for (date_ord, date) in dates.into_iter().enumerate() {
             // Replay snapshots already completed in the checkpoint. The
             // world is *not* advanced through replayed dates —
             // `advance_to` jumps straight to the next live one — but the
@@ -334,6 +337,11 @@ impl Study {
                     cache.seed(&self.eco, date, &snap.scans, &snap.policy_ips);
                 }
                 snapshots.push(snap);
+                // Replayed dates still close a flight-recorder window:
+                // the window holds only the replay events, which is the
+                // truthful record of what this execution did here.
+                obsv::timeseries::roll(date.at_midnight().unix_secs());
+                obsv::health::progress("supervisor.dates", date_ord as u64 + 1, date_count);
                 continue;
             }
 
@@ -460,6 +468,9 @@ impl Study {
                 }
                 scanned_here += round.len();
                 index = round_end;
+                // Per-round domains/sec + stall heartbeat (total unknown
+                // upfront, so the ETA lives on the per-date label).
+                obsv::health::progress("supervisor.domains", ckpt.report.domains_scanned, 0);
 
                 if cfg.checkpoint_every > 0
                     && scanned_here.is_multiple_of(cfg.checkpoint_every)
@@ -485,6 +496,12 @@ impl Study {
             snapshots.push(rebuild_snapshot(&completed));
             ckpt.completed.push(completed);
             store_or_degrade(&mut ckpt, &mut checkpoint_path);
+            // Close this date's flight-recorder window. Runs on the
+            // driver thread after the workers were absorbed, reads only
+            // the thread-local collector, and draws from no RNG — the
+            // identity suites pin that it cannot perturb outputs.
+            obsv::timeseries::roll(date.at_midnight().unix_secs());
+            obsv::health::progress("supervisor.dates", date_ord as u64 + 1, date_count);
         }
 
         debug_assert!(
@@ -492,10 +509,84 @@ impl Study {
             "cache stats drifted from domains_scanned: {:?}",
             ckpt.report
         );
+        // Write the run manifest next to the checkpoint. Its identity
+        // section (seed, config digest, output digest, report totals) is
+        // a pure function of the work — byte-equal between a resumed and
+        // an uninterrupted run — while the execution section (wall time,
+        // RSS, windows) describes this particular execution.
+        if let Some(ckpt_path) = &cfg.checkpoint_path {
+            let mut manifest = obsv::health::RunManifest {
+                experiment: "scan.full_supervised".to_string(),
+                seed: self.eco.config.seed,
+                threads: threads as u64,
+                wall_ms: u64::try_from(run_started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                ..Default::default()
+            };
+            // Checkpoint path, thread count and domain budget are
+            // execution details, not identity: two runs of the same
+            // campaign must digest identically however they were driven.
+            manifest.config_digest = fnv64(
+                format!(
+                    "{:?}|{:?}|{:?}|{}|{:?}",
+                    cfg.scan,
+                    cfg.transient,
+                    cfg.chaos_panic_domains,
+                    cfg.checkpoint_every,
+                    self.eco.config
+                )
+                .as_bytes(),
+            );
+            let output = serde_json::to_string(&ckpt.completed).expect("snapshots serialize");
+            manifest.output_digest = fnv64(output.as_bytes());
+            flatten_totals("report", &ckpt.report.to_value(), &mut manifest.totals);
+            manifest.capture_execution();
+            let manifest_path = obsv::health::RunManifest::path_for_checkpoint(ckpt_path);
+            if manifest.write(&manifest_path).is_ok() {
+                obsv::event!("supervisor.manifest_write");
+            } else {
+                obsv::event!("supervisor.manifest_failure");
+            }
+        }
         SupervisedOutcome::Complete {
             snapshots,
             report: ckpt.report,
         }
+    }
+}
+
+/// Flattens a serialized report into named numeric totals for the run
+/// manifest: numeric leaves keep their dotted path, sequences record
+/// their length (their contents live in the checkpoint, not the
+/// manifest). Every total is deterministic because the report is.
+fn flatten_totals(
+    prefix: &str,
+    v: &serde::Value,
+    out: &mut std::collections::BTreeMap<String, u64>,
+) {
+    match v {
+        serde::Value::Bool(b) => {
+            out.insert(prefix.to_string(), u64::from(*b));
+        }
+        serde::Value::I64(n) => {
+            out.insert(prefix.to_string(), u64::try_from(*n).unwrap_or(0));
+        }
+        serde::Value::U64(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        serde::Value::Seq(items) => {
+            out.insert(format!("{prefix}.len"), items.len() as u64);
+        }
+        serde::Value::Map(entries) => {
+            for (k, val) in entries {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_totals(&key, val, out);
+            }
+        }
+        serde::Value::Null | serde::Value::F64(_) | serde::Value::Str(_) => {}
     }
 }
 
@@ -598,6 +689,73 @@ mod tests {
         // layer actually worked during the faulted runs.
         assert_eq!(want_report, got_report);
         assert!(want_report.retries_issued > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_manifest_identity_matches_uninterrupted() {
+        // The RunManifest identity section (experiment, seed, config
+        // digest, output digest, report totals) is a pure function of
+        // the work: a killed-and-resumed campaign must write a manifest
+        // whose identity digest is bit-identical to an uninterrupted
+        // run's, even though the execution sections (wall clock, window
+        // deltas) legitimately differ.
+        let study = study();
+        let dir =
+            std::env::temp_dir().join(format!("mtasts-supervisor-{}-manifest", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ref_path = dir.join("ckpt_ref.json");
+        let path = dir.join("ckpt.json");
+        let _ = std::fs::remove_file(&ref_path);
+        let _ = std::fs::remove_file(&path);
+
+        let base = SupervisorConfig {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 16,
+            ..SupervisorConfig::default()
+        };
+
+        // Reference: uninterrupted, but checkpointed so it writes a
+        // manifest too (the config digest excludes the checkpoint path).
+        let reference = study.run_full_supervised(&SupervisorConfig {
+            checkpoint_path: Some(ref_path.clone()),
+            ..base.clone()
+        });
+        let SupervisedOutcome::Complete {
+            snapshots: want, ..
+        } = reference
+        else {
+            panic!("reference run must complete")
+        };
+        let ref_manifest_path = obsv::health::RunManifest::path_for_checkpoint(&ref_path);
+        let ref_manifest = std::fs::read_to_string(&ref_manifest_path)
+            .expect("uninterrupted run writes a manifest");
+
+        // Kill mid-snapshot (no manifest: the run suspended), resume.
+        let killed = study.run_full_supervised(&SupervisorConfig {
+            domain_budget: Some(want.iter().map(Snapshot::len).sum::<usize>() / 3),
+            ..base.clone()
+        });
+        assert!(matches!(killed, SupervisedOutcome::Suspended { .. }));
+        let manifest_path = obsv::health::RunManifest::path_for_checkpoint(&path);
+        assert!(
+            !manifest_path.exists(),
+            "a suspended run must not write a manifest"
+        );
+        let resumed = study.run_full_supervised(&base);
+        assert!(matches!(resumed, SupervisedOutcome::Complete { .. }));
+        let resumed_manifest =
+            std::fs::read_to_string(&manifest_path).expect("resumed run writes a manifest");
+
+        let want_digest = obsv::health::identity_digest_of_json(&ref_manifest)
+            .expect("reference manifest carries an identity digest");
+        let got_digest = obsv::health::identity_digest_of_json(&resumed_manifest)
+            .expect("resumed manifest carries an identity digest");
+        assert_eq!(
+            got_digest, want_digest,
+            "kill/resume must reproduce the manifest identity\n\
+             reference: {ref_manifest}\nresumed: {resumed_manifest}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -647,6 +647,12 @@ impl DeliveryQueue {
                 ckpt.records.push(record);
             }
             processed_here += batch.len();
+            // Close the wave's flight-recorder window (keyed by the
+            // absolute wave ordinal — the queue's "sim date") and emit a
+            // messages/sec progress tick. Driver thread only, after the
+            // workers were absorbed; free when recording is off.
+            obsv::timeseries::roll((index / self.cfg.wave_size) as i64);
+            obsv::health::progress("delivery.messages", wave_end as u64, messages.len() as u64);
             index = wave_end;
             ckpt.next_index = index;
             if self.cfg.enforcement.is_some() {

@@ -474,6 +474,11 @@ struct Metrics {
     unavailable: AtomicU64,
     evicted: AtomicU64,
     sweeps: AtomicU64,
+    /// Wall-clock latency of live [`PolicyResolver::resolve`] calls in
+    /// microseconds. A service observable (the `/metrics` surface
+    /// reports p50/p95/p99 from it), never part of any deterministic
+    /// ledger — which is why it may hold real timings.
+    latency_us: Mutex<obsv::Histogram>,
 }
 
 /// A point-in-time copy of the service counters.
@@ -721,6 +726,11 @@ impl PolicyResolver {
         for (name, value) in pairs {
             *c.counters.entry(name).or_default() += value;
         }
+        if let Ok(h) = self.metrics.latency_us.lock() {
+            if h.count > 0 {
+                c.histograms.insert("resolver.latency_us", h.clone());
+            }
+        }
         c
     }
 
@@ -746,6 +756,21 @@ impl PolicyResolver {
     /// one policy fetch, with every other caller parked on the flight
     /// slot and reusing the leader's result.
     pub fn resolve<S: PolicySource>(
+        &self,
+        source: &S,
+        domain: &DomainName,
+        now: SimInstant,
+    ) -> (ResolvedPolicy, Disposition) {
+        let started = std::time::Instant::now();
+        let out = self.resolve_inner(source, domain, now);
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if let Ok(mut h) = self.metrics.latency_us.lock() {
+            h.record(us);
+        }
+        out
+    }
+
+    fn resolve_inner<S: PolicySource>(
         &self,
         source: &S,
         domain: &DomainName,
@@ -852,6 +877,7 @@ impl PolicyResolver {
         domains: &[DomainName],
         submitted: SimInstant,
     ) -> Vec<Resolution> {
+        let batch_started = std::time::Instant::now();
         let threads = self.cfg.effective_threads();
         self.metrics
             .requests
@@ -1057,6 +1083,19 @@ impl PolicyResolver {
             };
             rows.push(row);
         }
+        // Latency accounting: one sample per row at the batch's mean
+        // per-row wall cost (individual rows aren't separately timed —
+        // they run fused inside shard workers). Service observable only;
+        // the ledger above is already sealed.
+        if !rows.is_empty() {
+            let us = u64::try_from(batch_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mean = us / rows.len() as u64;
+            if let Ok(mut h) = self.metrics.latency_us.lock() {
+                for _ in 0..rows.len() {
+                    h.record(mean);
+                }
+            }
+        }
         rows
     }
 }
@@ -1083,15 +1122,87 @@ impl Default for DaemonConfig {
     }
 }
 
+/// Rolling daemon health, updated once per tick and served at
+/// `/healthz`. Rides the flight recorder's [`obsv::timeseries::WindowSeries`]:
+/// each tick folds its counter deltas into a tick-keyed window and sets
+/// the cache-occupancy gauge, so "shed rate over the last window" is the
+/// most recent window's delta, not a lifetime total.
+#[derive(Debug, Default)]
+pub struct DaemonHealth {
+    /// Tick-keyed windows of per-tick counter deltas + gauges.
+    pub windows: obsv::timeseries::WindowSeries,
+    /// Ticks completed.
+    pub ticks: u64,
+    /// Ticks since the last expiry sweep ran.
+    pub last_sweep_age_ticks: u64,
+    /// Counter snapshot at the previous tick (delta base).
+    last_shed: u64,
+    last_requests: u64,
+}
+
+impl DaemonHealth {
+    fn observe(&mut self, snap: &MetricsSnapshot, swept: bool) {
+        let key = self.ticks as i64;
+        let mut delta = obsv::timeseries::Window::default();
+        let shed = snap.shed.saturating_sub(self.last_shed);
+        let requests = snap.requests.saturating_sub(self.last_requests);
+        if shed > 0 {
+            delta.counters.insert("resolver.shed_requests", shed);
+        }
+        if requests > 0 {
+            delta.counters.insert("resolver.requests", requests);
+        }
+        delta
+            .gauges
+            .insert("resolver.cache_entries", snap.cache_entries);
+        self.windows.fold(key, &delta);
+        self.last_shed = snap.shed;
+        self.last_requests = snap.requests;
+        self.ticks += 1;
+        self.last_sweep_age_ticks = if swept {
+            0
+        } else {
+            self.last_sweep_age_ticks + 1
+        };
+    }
+
+    /// The `/healthz` body: current cache occupancy, last-window shed
+    /// rate, and sweep recency, as one JSON object.
+    pub fn to_json(&self) -> String {
+        let last = self
+            .windows
+            .iter()
+            .last()
+            .map(|(_, w)| w.clone())
+            .unwrap_or_default();
+        let shed = last.counter("resolver.shed_requests");
+        let requests = last.counter("resolver.requests");
+        let cache_entries = last.gauge("resolver.cache_entries").unwrap_or(0);
+        // Degraded when the last window shed more than half its load.
+        let status = if requests > 0 && shed * 2 > requests {
+            "degraded"
+        } else {
+            "ok"
+        };
+        format!(
+            "{{\"status\":\"{status}\",\"ticks\":{},\"cache_entries\":{cache_entries},\
+             \"shed_last_window\":{shed},\"requests_last_window\":{requests},\
+             \"last_sweep_age_ticks\":{}}}\n",
+            self.ticks, self.last_sweep_age_ticks
+        )
+    }
+}
+
 /// The long-running resolution service: a shared [`PolicyResolver`]
 /// plus a deterministic tick loop (resolve the queued batch, advance
-/// the clock, periodically sweep expired entries) and a `/metrics`
-/// endpoint serving the Prometheus exposition over TCP.
+/// the clock, periodically sweep expired entries) and a `/metrics` +
+/// `/healthz` endpoint pair served over TCP.
 pub struct ResolverDaemon {
     cfg: DaemonConfig,
     resolver: Arc<PolicyResolver>,
     now: SimInstant,
     ticks: u64,
+    health: Arc<Mutex<DaemonHealth>>,
 }
 
 impl ResolverDaemon {
@@ -1106,12 +1217,18 @@ impl ResolverDaemon {
             resolver,
             now,
             ticks: 0,
+            health: Arc::new(Mutex::new(DaemonHealth::default())),
         }
     }
 
     /// The shared resolver (hand clones to delivery workers).
     pub fn resolver(&self) -> Arc<PolicyResolver> {
         Arc::clone(&self.resolver)
+    }
+
+    /// The shared health state (hand clones to the serving thread).
+    pub fn health(&self) -> Arc<Mutex<DaemonHealth>> {
+        Arc::clone(&self.health)
     }
 
     /// The daemon's current simulated instant.
@@ -1129,8 +1246,12 @@ impl ResolverDaemon {
     ) -> Vec<Resolution> {
         let rows = self.resolver.resolve_batch(source, requests, self.now);
         self.ticks += 1;
-        if self.cfg.sweep_every != 0 && self.ticks.is_multiple_of(self.cfg.sweep_every) {
+        let swept = self.cfg.sweep_every != 0 && self.ticks.is_multiple_of(self.cfg.sweep_every);
+        if swept {
             self.resolver.sweep(self.now);
+        }
+        if let Ok(mut health) = self.health.lock() {
+            health.observe(&self.resolver.metrics(), swept);
         }
         self.now += self.cfg.tick;
         rows
@@ -1143,6 +1264,23 @@ impl ResolverDaemon {
     /// callers using port 0 learn the real port before serving starts.
     pub fn serve_metrics(
         resolver: Arc<PolicyResolver>,
+        addr: &str,
+        max_requests: Option<usize>,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> std::io::Result<()> {
+        ResolverDaemon::serve(resolver, Arc::default(), addr, max_requests, on_bound)
+    }
+
+    /// Binds `addr` and serves both endpoints: `/metrics` (Prometheus
+    /// exposition, latency quantiles included) and `/healthz` (cache
+    /// occupancy, last-window shed rate, sweep recency — the state
+    /// [`ResolverDaemon::tick`] maintains in the shared
+    /// [`DaemonHealth`]). Answers up to `max_requests` connections
+    /// before returning (`None` = serve forever); reports the bound
+    /// address via `on_bound` so port-0 callers learn the real port.
+    pub fn serve(
+        resolver: Arc<PolicyResolver>,
+        health: Arc<Mutex<DaemonHealth>>,
         addr: &str,
         max_requests: Option<usize>,
         on_bound: impl FnOnce(std::net::SocketAddr),
@@ -1161,13 +1299,27 @@ impl ResolverDaemon {
                 .next()
                 .and_then(|l| l.split_whitespace().nth(1))
                 .unwrap_or("/");
-            let (status, body) = if path == "/metrics" {
-                ("200 OK", resolver.metrics_text())
-            } else {
-                ("404 Not Found", String::from("see /metrics\n"))
+            let (status, content_type, body) = match path {
+                "/metrics" => (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    resolver.metrics_text(),
+                ),
+                "/healthz" => {
+                    let body = health
+                        .lock()
+                        .map(|h| h.to_json())
+                        .unwrap_or_else(|_| String::from("{\"status\":\"poisoned\"}\n"));
+                    ("200 OK", "application/json", body)
+                }
+                _ => (
+                    "404 Not Found",
+                    "text/plain; version=0.0.4",
+                    String::from("see /metrics or /healthz\n"),
+                ),
             };
             let response = format!(
-                "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             );
             let _ = stream.write_all(response.as_bytes());

@@ -571,6 +571,59 @@ fn daemon_serves_prometheus_metrics_over_tcp() {
 }
 
 #[test]
+fn daemon_serves_healthz_over_tcp() {
+    use std::io::{Read as _, Write as _};
+
+    let mut source = CountingSource::new();
+    source.deploy("health.example", 86_400);
+    let resolver = Arc::new(PolicyResolver::new(ResolverConfig::default(), t0()));
+    let mut daemon = ResolverDaemon::new(DaemonConfig::default(), Arc::clone(&resolver), t0());
+    daemon.tick(&source, &[n("health.example")]);
+    daemon.tick(&source, &[n("health.example"), n("health.example")]);
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = {
+        let resolver = Arc::clone(&resolver);
+        let health = daemon.health();
+        std::thread::spawn(move || {
+            ResolverDaemon::serve(resolver, health, "127.0.0.1:0", Some(3), move |addr| {
+                addr_tx.send(addr).unwrap();
+            })
+        })
+    };
+    let addr = addr_rx.recv().unwrap();
+    let fetch = |path: &str| {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let healthz = fetch("/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+    assert!(healthz.contains("application/json"), "{healthz}");
+    assert!(healthz.contains("\"status\":\"ok\""), "{healthz}");
+    assert!(healthz.contains("\"ticks\":2"), "{healthz}");
+    assert!(healthz.contains("\"cache_entries\":1"), "{healthz}");
+    // Second tick's window: two requests, nothing shed.
+    assert!(healthz.contains("\"requests_last_window\":2"), "{healthz}");
+    assert!(healthz.contains("\"shed_last_window\":0"), "{healthz}");
+    assert!(healthz.contains("\"last_sweep_age_ticks\":2"), "{healthz}");
+
+    // The live-resolve latency histogram rides the same exposition.
+    let metrics = fetch("/metrics");
+    assert!(metrics.contains("resolver_latency_us_count"), "{metrics}");
+    assert!(metrics.contains("resolver_latency_us_p95"), "{metrics}");
+
+    let missing = fetch("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    assert!(missing.contains("see /metrics or /healthz"), "{missing}");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn sweep_disposes_expired_entries_metrics_counted() {
     let mut source = CountingSource::new();
     source.deploy("short.example", 60);

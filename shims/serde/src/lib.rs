@@ -469,6 +469,25 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
+// ---------------------------------------------------------------- Value
+// Identity impls, mirroring real serde_json's `Value: Serialize +
+// Deserialize`: a `Value` serializes as itself and deserializes by
+// cloning the tree. This is what lets `serde_json::from_str::<Value>`
+// parse arbitrary JSON (e.g. the committed BENCH_*.json reports in
+// `bench::trend`) without a struct definition per file shape.
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ------------------------------------------------------------- std::net
 
 impl Serialize for std::net::Ipv4Addr {
